@@ -1,0 +1,393 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (regenerating the artifact end-to-end each iteration), plus
+// ablation benchmarks for the design choices called out in DESIGN.md.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Custom metrics attached via b.ReportMetric carry the experiment's
+// headline numbers (blocked shares, delays, classification error) so a
+// benchmark run doubles as a results summary.
+package repro
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/botnet"
+	"repro/internal/core"
+	"repro/internal/dnsbl"
+	"repro/internal/greylist"
+	"repro/internal/lab"
+	"repro/internal/maillog"
+	"repro/internal/mta"
+	"repro/internal/mtaqueue"
+	"repro/internal/nolist"
+	"repro/internal/report"
+	"repro/internal/scan"
+	"repro/internal/simtime"
+	"repro/internal/smtpclient"
+	"repro/internal/webmail"
+)
+
+func benchOpts() report.Options {
+	return report.Options{
+		Seed:              1,
+		ScanDomains:       5000,
+		Recipients:        20,
+		LogDays:           30,
+		LogMessagesPerDay: 100,
+	}
+}
+
+// BenchmarkTable1MalwareDataset regenerates Table I.
+func BenchmarkTable1MalwareDataset(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if out := report.Table1(); len(out) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkFig2NolistingAdoption runs the full two-scan adoption study on
+// a 5000-domain synthetic Internet.
+func BenchmarkFig2NolistingAdoption(b *testing.B) {
+	var nolistingFrac, misclassified float64
+	for i := 0; i < b.N; i++ {
+		pop, err := scan.Generate(scan.DefaultConfig(5000, int64(i+1)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		clock := simtime.NewSim(simtime.Epoch)
+		res := scan.RunStudy(pop, clock, 56*24*time.Hour)
+		nolistingFrac = res.Fractions[nolist.CatNolisting]
+		misclassified = float64(res.Misclassified)
+	}
+	b.ReportMetric(nolistingFrac*100, "%nolisting")
+	b.ReportMetric(misclassified, "misclassified")
+}
+
+// BenchmarkTable2DefenseMatrix runs all 11 samples against both defenses.
+func BenchmarkTable2DefenseMatrix(b *testing.B) {
+	var effective int
+	for i := 0; i < b.N; i++ {
+		rows, err := lab.RunTableII(10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		effective = 0
+		for _, r := range rows {
+			if r.GreylistingEffective {
+				effective++
+			}
+			if r.NolistingEffective {
+				effective++
+			}
+		}
+	}
+	// Table II ground truth: greylisting effective for 5 samples
+	// (3 Cutwail + 2 Darkmailer), nolisting for 6 (Kelihos).
+	b.ReportMetric(float64(effective), "effective-cells")
+}
+
+// BenchmarkFig3KelihosCDF regenerates both Figure 3 curves.
+func BenchmarkFig3KelihosCDF(b *testing.B) {
+	var median float64
+	for i := 0; i < b.N; i++ {
+		for _, th := range []time.Duration{5 * time.Second, 300 * time.Second} {
+			cdf, _, err := lab.KelihosDeliveryCDF(th, 30)
+			if err != nil {
+				b.Fatal(err)
+			}
+			median = cdf.Median()
+		}
+	}
+	b.ReportMetric(median, "median-delay-s")
+}
+
+// BenchmarkFig4KelihosTimeline regenerates the 6-hour-threshold timeline.
+func BenchmarkFig4KelihosTimeline(b *testing.B) {
+	var delivered float64
+	for i := 0; i < b.N; i++ {
+		points, err := lab.KelihosTimeline(21600*time.Second, 30)
+		if err != nil {
+			b.Fatal(err)
+		}
+		delivered = 0
+		for _, p := range points {
+			if p.Delivered {
+				delivered++
+			}
+		}
+	}
+	b.ReportMetric(delivered, "delivered")
+}
+
+// BenchmarkFig5DeploymentCDF synthesizes a month of deployment logs and
+// computes the benign-delay CDF.
+func BenchmarkFig5DeploymentCDF(b *testing.B) {
+	var p10 float64
+	cfg := maillog.DefaultGeneratorConfig(1)
+	cfg.Days = 30
+	cfg.MessagesPerDay = 100
+	for i := 0; i < b.N; i++ {
+		entries, _, err := maillog.Generate(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p10 = maillog.Fig5CDF(entries).P(600)
+	}
+	b.ReportMetric(p10, "P(delay<=10min)")
+}
+
+// BenchmarkTable3Webmail simulates all ten providers against the 6-hour
+// threshold.
+func BenchmarkTable3Webmail(b *testing.B) {
+	var lost float64
+	for i := 0; i < b.N; i++ {
+		lost = 0
+		for _, r := range webmail.SimulateAll(6 * time.Hour) {
+			if !r.Delivered {
+				lost++
+			}
+		}
+	}
+	b.ReportMetric(lost, "providers-losing-mail")
+}
+
+// BenchmarkTable4MTASchedules expands every Table IV schedule over its
+// full queue lifetime.
+func BenchmarkTable4MTASchedules(b *testing.B) {
+	var attempts int
+	for i := 0; i < b.N; i++ {
+		attempts = 0
+		for _, s := range mta.All() {
+			attempts += len(s.AttemptTimes(0))
+		}
+	}
+	b.ReportMetric(float64(attempts), "total-attempts")
+}
+
+// --- Ablations -----------------------------------------------------------
+
+// BenchmarkAblationDefenseComposition measures blocked botnet-spam share
+// for each defense configuration (the paper's Section VI argument).
+func BenchmarkAblationDefenseComposition(b *testing.B) {
+	for _, defense := range []core.Defense{
+		core.DefenseNone, core.DefenseNolisting, core.DefenseGreylisting, core.DefenseBoth,
+	} {
+		b.Run(defense.String(), func(b *testing.B) {
+			var blocked float64
+			for i := 0; i < b.N; i++ {
+				blocked = 0
+				for _, f := range botnet.Families() {
+					l, err := lab.New(lab.Config{Defense: defense})
+					if err != nil {
+						b.Fatal(err)
+					}
+					res, err := l.RunSample(f, 1, 10)
+					l.Close()
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.Blocked() {
+						blocked += f.BotnetSpamShare
+					}
+				}
+			}
+			b.ReportMetric(blocked, "%botnet-spam-blocked")
+		})
+	}
+}
+
+// BenchmarkAblationThresholdSweep measures the benign-delay cost per
+// threshold choice.
+func BenchmarkAblationThresholdSweep(b *testing.B) {
+	for _, th := range []time.Duration{5 * time.Second, 300 * time.Second, 6 * time.Hour} {
+		b.Run(th.String(), func(b *testing.B) {
+			var median float64
+			for i := 0; i < b.N; i++ {
+				var delays []float64
+				for _, s := range mta.All() {
+					if d, ok := s.DeliveryDelay(th); ok {
+						delays = append(delays, d.Seconds())
+					}
+				}
+				sum := 0.0
+				for _, d := range delays {
+					sum += d
+				}
+				median = sum / float64(len(delays))
+			}
+			b.ReportMetric(median, "mean-benign-delay-s")
+		})
+	}
+}
+
+// BenchmarkAblationSubnetKeying compares full-IP and /24 triplet keying:
+// Postgrey's --lookup-by-subnet forgives webmail IP rotation at the cost
+// of a coarser spam key.
+func BenchmarkAblationSubnetKeying(b *testing.B) {
+	run := func(b *testing.B, subnet bool) {
+		var gmailDelay float64
+		for i := 0; i < b.N; i++ {
+			clock := simtime.NewSim(simtime.Epoch)
+			policy := greylist.Policy{
+				Threshold:    300 * time.Second,
+				RetryWindow:  48 * time.Hour,
+				SubnetKeying: subnet,
+			}
+			g := greylist.New(policy, clock)
+			p := webmail.Gmail()
+			pool := p.DefaultPool(0)
+			start := clock.Now()
+			for k, at := range p.AttemptTimes() {
+				clock.AdvanceTo(start.Add(at))
+				v := g.Check(greylist.Triplet{
+					ClientIP:  p.IPForAttempt(k, pool),
+					Sender:    "u@gmail.com",
+					Recipient: "v@dept.example",
+				})
+				if v.Decision == greylist.Pass {
+					gmailDelay = at.Seconds()
+					break
+				}
+			}
+		}
+		b.ReportMetric(gmailDelay, "gmail-delay-s")
+	}
+	b.Run("full-ip", func(b *testing.B) { run(b, false) })
+	b.Run("subnet-24", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkGreylistCheck measures the policy engine's hot path.
+func BenchmarkGreylistCheck(b *testing.B) {
+	g := greylist.New(greylist.DefaultPolicy(), simtime.NewSim(simtime.Epoch))
+	triplets := make([]greylist.Triplet, 1024)
+	for i := range triplets {
+		triplets[i] = greylist.Triplet{
+			ClientIP:  "203.0.113.9",
+			Sender:    "bulk@sender.example",
+			Recipient: "user" + string(rune('a'+i%26)) + "@dept.example",
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Check(triplets[i%len(triplets)])
+	}
+}
+
+// BenchmarkGreylistCheckParallel measures contention on the shared store,
+// comparing the single-lock engine against sharded variants
+// (the DESIGN.md store-sharding ablation).
+func BenchmarkGreylistCheckParallel(b *testing.B) {
+	bench := func(b *testing.B, check func(greylist.Triplet) greylist.Verdict) {
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				check(greylist.Triplet{
+					ClientIP:  "203.0.113.9",
+					Sender:    "bulk@sender.example",
+					Recipient: "user" + string(rune('a'+i%26)) + "@dept.example",
+				})
+				i++
+			}
+		})
+	}
+	b.Run("single-lock", func(b *testing.B) {
+		g := greylist.New(greylist.DefaultPolicy(), simtime.NewSim(simtime.Epoch))
+		bench(b, g.Check)
+	})
+	for _, shards := range []int{4, 16} {
+		b.Run(fmt.Sprintf("sharded-%d", shards), func(b *testing.B) {
+			g := greylist.NewSharded(shards, greylist.DefaultPolicy(), simtime.NewSim(simtime.Epoch))
+			bench(b, g.Check)
+		})
+	}
+}
+
+// BenchmarkEndToEndReport regenerates every artifact back to back — the
+// "full reproduction" cost.
+func BenchmarkEndToEndReport(b *testing.B) {
+	opts := benchOpts()
+	for i := 0; i < b.N; i++ {
+		if _, err := report.All(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSwarmCost measures greylist state growth and reclamation under
+// a fire-and-forget botnet swarm (the Section VI cost discussion).
+func BenchmarkSwarmCost(b *testing.B) {
+	var pending int
+	for i := 0; i < b.N; i++ {
+		res, err := lab.SwarmCost(50, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pending = res.PendingRecords
+	}
+	b.ReportMetric(float64(pending), "pending-records")
+}
+
+// BenchmarkMTAQueueLive runs a real queueing MTA (postfix schedule)
+// through greylisting end to end.
+func BenchmarkMTAQueueLive(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		l, err := lab.New(lab.Config{Defense: core.DefenseGreylisting})
+		if err != nil {
+			b.Fatal(err)
+		}
+		m, err := mtaqueue.New(mtaqueue.Config{
+			Schedule: mta.Postfix(),
+			Resolver: l.Resolver,
+			Dialer:   &smtpclient.SimDialer{Net: l.Net, LocalIP: "192.0.2.9"},
+			Sched:    l.Sched,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < 10; j++ {
+			m.Submit(lab.TargetDomain, smtpclient.Message{
+				From: fmt.Sprintf("a%d@s.example", j),
+				To:   []string{fmt.Sprintf("u%d@%s", j, lab.TargetDomain)},
+				Data: []byte("Subject: b\r\n\r\nx\r\n"),
+			})
+		}
+		l.Sched.Run()
+		_, delivered, _ := m.Summary()
+		l.Close()
+		if delivered != 10 {
+			b.Fatalf("delivered = %d", delivered)
+		}
+	}
+}
+
+// BenchmarkObsolescence runs the Results Validity projection sweep.
+func BenchmarkObsolescence(b *testing.B) {
+	var atHalf float64
+	for i := 0; i < b.N; i++ {
+		points, err := lab.Obsolescence([]float64{0, 0.5, 1}, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		atHalf = points[1].BlockedByDefense[core.DefenseBoth]
+	}
+	b.ReportMetric(atHalf, "both-blocked-at-50%-evolution")
+}
+
+// BenchmarkSynergy runs the greylisting+DNSBL race at a fast feed.
+func BenchmarkSynergy(b *testing.B) {
+	var blocked float64
+	for i := 0; i < b.N; i++ {
+		res, err := dnsbl.Synergy(60*time.Second, 5, int64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		blocked = float64(res.DeliveredGreylistOnly - res.DeliveredWithDNSBL)
+	}
+	b.ReportMetric(blocked, "spam-converted-to-blocks")
+}

@@ -1,0 +1,125 @@
+// Command authdns is a small authoritative DNS server and nolisting
+// deployment tool built on the reproduction's DNS substrate.
+//
+// Serve one or more zone files over real UDP:
+//
+//	authdns -listen 127.0.0.1:5353 -zone foo.net=foo.net.zone
+//
+// Generate a nolisting zone file for a domain (Figure 1's layout: a
+// primary MX whose host has an A record but no SMTP listener, and a
+// working secondary):
+//
+//	authdns -make-nolisting corp.example \
+//	        -dead mx1.corp.example=198.51.100.1 \
+//	        -live mx2.corp.example=198.51.100.2 > corp.example.zone
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"repro/internal/dnsserver"
+	"repro/internal/nolist"
+	"repro/internal/zonefile"
+)
+
+type zoneFlags []string
+
+func (z *zoneFlags) String() string { return strings.Join(*z, ",") }
+
+func (z *zoneFlags) Set(v string) error {
+	*z = append(*z, v)
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "authdns:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		listen        = flag.String("listen", "127.0.0.1:5353", "UDP address to serve on")
+		makeNolisting = flag.String("make-nolisting", "", "generate a nolisting zone file for this domain and exit")
+		dead          = flag.String("dead", "", "host=ip of the dead primary MX (with -make-nolisting)")
+		live          = flag.String("live", "", "host=ip of the working secondary MX (with -make-nolisting)")
+	)
+	var zones zoneFlags
+	flag.Var(&zones, "zone", "origin=path of a zone file to serve (repeatable)")
+	flag.Parse()
+
+	if *makeNolisting != "" {
+		return makeNolistingZone(*makeNolisting, *dead, *live)
+	}
+	if len(zones) == 0 {
+		return fmt.Errorf("nothing to do: pass -zone or -make-nolisting (see -help)")
+	}
+
+	srv := dnsserver.New()
+	for _, spec := range zones {
+		origin, path, ok := strings.Cut(spec, "=")
+		if !ok {
+			return fmt.Errorf("-zone %q: want origin=path", spec)
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		zone, err := zonefile.Parse(f, origin)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		srv.AddZone(zone)
+		fmt.Fprintf(os.Stderr, "loaded zone %s from %s (%d names)\n",
+			zone.Origin(), path, len(zone.Names()))
+	}
+
+	addr, err := srv.ListenAndServeUDP(*listen)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "authdns serving on %s (try: dig @%s -p PORT yourzone MX)\n", addr, addrHost(addr.String()))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Fprintln(os.Stderr, "shutting down")
+	return srv.Close()
+}
+
+func addrHost(addr string) string {
+	if i := strings.LastIndexByte(addr, ':'); i > 0 {
+		return addr[:i]
+	}
+	return addr
+}
+
+func makeNolistingZone(domain, dead, live string) error {
+	deadHost, deadIP, ok := strings.Cut(dead, "=")
+	if !ok {
+		return fmt.Errorf("-dead: want host=ip")
+	}
+	liveHost, liveIP, ok := strings.Cut(live, "=")
+	if !ok {
+		return fmt.Errorf("-live: want host=ip")
+	}
+	dep := nolist.Deployment{
+		Domain:   domain,
+		DeadHost: deadHost, DeadIP: deadIP,
+		LiveHost: liveHost, LiveIP: liveIP,
+	}
+	zone, err := dep.Zone()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "; nolisting deployment for %s\n", domain)
+	fmt.Fprintf(os.Stderr, "; REMEMBER: %s must have port 25 CLOSED (a real machine, not a black hole)\n", deadHost)
+	return zonefile.Format(os.Stdout, zone)
+}

@@ -1,0 +1,232 @@
+// Command greylistd is a standalone greylisting SMTP server — a usable
+// Postgrey-style daemon built on the reproduction's library. It answers
+// real SMTP on a TCP port, defers unknown (client IP, sender, recipient)
+// triplets with 451 4.7.1, accepts retries past the threshold, supports
+// client/recipient whitelists and persists its state across restarts.
+//
+// Usage:
+//
+//	greylistd [-listen :2525] [-hostname mx.example.org]
+//	          [-threshold 300s] [-retry-window 48h] [-max-age 840h]
+//	          [-auto-whitelist 5] [-subnet] [-state greylist.db]
+//	          [-whitelist-ip CIDR]... [-unprotect postmaster@dom]...
+package main
+
+import (
+	"crypto/tls"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/dialect"
+	"repro/internal/greylist"
+	"repro/internal/policyd"
+	"repro/internal/simtime"
+	"repro/internal/smtpproto"
+	"repro/internal/smtpserver"
+)
+
+type stringList []string
+
+func (s *stringList) String() string { return strings.Join(*s, ",") }
+
+func (s *stringList) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "greylistd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		listen      = flag.String("listen", ":2525", "address to listen on")
+		hostname    = flag.String("hostname", "greylistd.local", "announced hostname")
+		threshold   = flag.Duration("threshold", 300*time.Second, "greylisting threshold")
+		retryWindow = flag.Duration("retry-window", 48*time.Hour, "how long a deferred triplet awaits its retry")
+		maxAge      = flag.Duration("max-age", 35*24*time.Hour, "lifetime of passed triplets")
+		autoWL      = flag.Int("auto-whitelist", 5, "deliveries before a client is auto-whitelisted (0 = off)")
+		subnet      = flag.Bool("subnet", false, "key triplets by /24 network instead of full IP")
+		state       = flag.String("state", "", "state file for persistence across restarts")
+		gcEvery     = flag.Duration("gc", 10*time.Minute, "state garbage-collection interval")
+		fingerprint = flag.Bool("fingerprint", false, "log an SMTP-dialect fingerprint for every session")
+		shards      = flag.Int("shards", 1, "greylist store shards (>1 reduces lock contention)")
+		policyAddr  = flag.String("policy-listen", "", "also serve the Postfix policy-delegation protocol on this address (for check_policy_service)")
+		tlsCert     = flag.String("tls-cert", "", "TLS certificate file for STARTTLS (with -tls-key)")
+		tlsKey      = flag.String("tls-key", "", "TLS key file for STARTTLS")
+		tlsSelf     = flag.Bool("tls-self-signed", false, "enable STARTTLS with an ephemeral self-signed certificate")
+	)
+	var whitelistCIDRs, unprotect stringList
+	flag.Var(&whitelistCIDRs, "whitelist-ip", "client CIDR to exempt (repeatable)")
+	flag.Var(&unprotect, "unprotect", "recipient mailbox to exempt (repeatable)")
+	flag.Parse()
+
+	policy := greylist.Policy{
+		Threshold:             *threshold,
+		RetryWindow:           *retryWindow,
+		PassLifetime:          *maxAge,
+		AutoWhitelistAfter:    *autoWL,
+		AutoWhitelistLifetime: *maxAge,
+		SubnetKeying:          *subnet,
+	}
+	// The engine: a single-lock store by default, a sharded one for
+	// high-connection-rate deployments.
+	type engine interface {
+		greylist.Checker
+		SaveFile(string) error
+		LoadFile(string) error
+		PendingCount() int
+		PassedCount() int
+		Stats() greylist.Stats
+	}
+	var g engine
+	if *shards > 1 {
+		g = greylist.NewSharded(*shards, policy, simtime.Real{})
+	} else {
+		g = greylist.New(policy, simtime.Real{})
+	}
+	for _, cidr := range whitelistCIDRs {
+		if err := g.Whitelist().AddCIDR(cidr); err != nil {
+			return err
+		}
+	}
+	for _, rcpt := range unprotect {
+		g.Whitelist().AddRecipient(rcpt)
+	}
+	if *state != "" {
+		if _, err := os.Stat(*state); err == nil {
+			if err := g.LoadFile(*state); err != nil {
+				return fmt.Errorf("loading state: %w", err)
+			}
+			fmt.Fprintf(os.Stderr, "restored state from %s (%d pending, %d passed)\n",
+				*state, g.PendingCount(), g.PassedCount())
+		}
+	}
+
+	var tlsConfig *tls.Config
+	switch {
+	case *tlsCert != "" && *tlsKey != "":
+		cert, err := tls.LoadX509KeyPair(*tlsCert, *tlsKey)
+		if err != nil {
+			return fmt.Errorf("loading TLS keypair: %w", err)
+		}
+		tlsConfig = &tls.Config{Certificates: []tls.Certificate{cert}}
+	case *tlsSelf:
+		cert, err := smtpserver.SelfSignedCert(*hostname)
+		if err != nil {
+			return err
+		}
+		tlsConfig = &tls.Config{Certificates: []tls.Certificate{cert}}
+		fmt.Fprintln(os.Stderr, "STARTTLS enabled with an ephemeral self-signed certificate")
+	}
+
+	srv := smtpserver.New(smtpserver.Config{
+		Hostname:      *hostname,
+		Clock:         simtime.Real{},
+		TLS:           tlsConfig,
+		StampReceived: true,
+		ReadTimeout:   5 * time.Minute, // RFC 5321 §4.5.3.2
+		Hooks: smtpserver.Hooks{
+			OnRcpt: func(clientIP, sender, rcpt string) *smtpproto.Reply {
+				v := g.Check(greylist.Triplet{ClientIP: clientIP, Sender: sender, Recipient: rcpt})
+				if v.Decision == greylist.Pass {
+					return nil
+				}
+				r := smtpproto.NewReply(451, "4.7.1",
+					fmt.Sprintf("Greylisted, please retry in %d seconds", int(v.WaitRemaining.Seconds())))
+				return &r
+			},
+			OnMessage: func(env *smtpserver.Envelope) *smtpproto.Reply {
+				fmt.Fprintf(os.Stderr, "accepted: client=%s from=<%s> rcpts=%d bytes=%d\n",
+					env.ClientIP, env.Sender, len(env.Recipients), len(env.Data))
+				return nil
+			},
+			OnSessionEnd: func(tr *smtpserver.SessionTrace) {
+				if !*fingerprint {
+					return
+				}
+				v := dialect.Analyze(tr)
+				fmt.Fprintf(os.Stderr, "fingerprint: client=%s %s suspicious=%v\n",
+					tr.ClientIP, v, v.Suspicious())
+			},
+		},
+	})
+
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "greylistd listening on %s (threshold %v, subnet keying %v)\n",
+		l.Addr(), *threshold, *subnet)
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(l) }()
+
+	var policySrv *policyd.Server
+	if *policyAddr != "" {
+		policySrv = policyd.New(g)
+		policySrv.PrependHeader = true
+		pl, err := net.Listen("tcp", *policyAddr)
+		if err != nil {
+			return err
+		}
+		go func() {
+			if err := policySrv.Serve(pl); err != nil {
+				fmt.Fprintln(os.Stderr, "policy server:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "postfix policy service on %s (check_policy_service inet:%s)\n",
+			pl.Addr(), pl.Addr())
+	}
+
+	gcStop := make(chan struct{})
+	go func() {
+		ticker := time.NewTicker(*gcEvery)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				if n := g.GC(); n > 0 {
+					fmt.Fprintf(os.Stderr, "gc: dropped %d expired records\n", n)
+				}
+			case <-gcStop:
+				return
+			}
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		close(gcStop)
+		return err
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "received %v, shutting down\n", s)
+	}
+	close(gcStop)
+	srv.Close()
+	if policySrv != nil {
+		policySrv.Close()
+	}
+
+	if *state != "" {
+		if err := g.SaveFile(*state); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "saved state to %s\n", *state)
+	}
+	st := g.Stats()
+	fmt.Fprintf(os.Stderr, "stats: %d checks, %d deferred-new, %d passed-retry, %d passed-known\n",
+		st.Checks, st.DeferredNew, st.PassedRetry, st.PassedKnown)
+	return nil
+}

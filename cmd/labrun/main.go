@@ -1,0 +1,92 @@
+// Command labrun executes the contained malware experiments of Sections
+// IV-B and V-A: run one family (or all) against a chosen defense and
+// print the per-attempt timeline — or the full Table II matrix.
+//
+// Usage:
+//
+//	labrun -table2                         # the full 11-sample matrix
+//	labrun -family Kelihos -defense greylisting -threshold 21600s
+//	labrun -family Cutwail -defense nolisting -recipients 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/botnet"
+	"repro/internal/core"
+	"repro/internal/lab"
+	"repro/internal/stats"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "labrun:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		table2     = flag.Bool("table2", false, "run the full Table II matrix")
+		family     = flag.String("family", "Kelihos", "malware family (Cutwail, Kelihos, Darkmailer, Darkmailer(v3))")
+		defense    = flag.String("defense", "greylisting", "defense: none, nolisting, greylisting, both")
+		threshold  = flag.Duration("threshold", 300*time.Second, "greylisting threshold")
+		recipients = flag.Int("recipients", 10, "campaign size")
+	)
+	flag.Parse()
+
+	if *table2 {
+		rows, err := lab.RunTableII(*recipients)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Table II: Effect of nolisting and greylisting on popular malware families")
+		fmt.Println()
+		fmt.Print(lab.RenderTableII(rows))
+		return nil
+	}
+
+	f, err := botnet.ByName(*family)
+	if err != nil {
+		return err
+	}
+	var def core.Defense
+	switch *defense {
+	case "none":
+		def = core.DefenseNone
+	case "nolisting":
+		def = core.DefenseNolisting
+	case "greylisting":
+		def = core.DefenseGreylisting
+	case "both":
+		def = core.DefenseBoth
+	default:
+		return fmt.Errorf("unknown defense %q", *defense)
+	}
+
+	l, err := lab.New(lab.Config{Defense: def, Threshold: *threshold})
+	if err != nil {
+		return err
+	}
+	defer l.Close()
+	res, err := l.RunSample(f, 1, *recipients)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("%s vs %s (threshold %v): delivered %d/%d, inferred behavior %s\n\n",
+		f.Name, def, *threshold, res.Delivered, res.Recipients, res.Behavior)
+	tbl := stats.NewTable("OFFSET", "TRY", "RECIPIENT", "HOST", "OUTCOME")
+	for _, a := range res.Attempts {
+		outcome := a.Outcome.String()
+		if a.Refused {
+			outcome += " (connection refused)"
+		}
+		tbl.AddRow(stats.FormatDuration(a.Offset), fmt.Sprintf("%d", a.Try), a.Recipient, a.Host, outcome)
+	}
+	fmt.Print(tbl.String())
+	return nil
+}

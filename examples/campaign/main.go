@@ -1,0 +1,63 @@
+// Campaign: the full defense matrix — every Table I malware family against
+// every defense configuration, with per-cell delivery rates. This is the
+// paper's Table II expanded with the "none" and "both" columns that drive
+// its Section VI recommendation.
+//
+//	go run ./examples/campaign
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/botnet"
+	"repro/internal/core"
+	"repro/internal/lab"
+	"repro/internal/stats"
+)
+
+func main() {
+	defenses := []core.Defense{
+		core.DefenseNone, core.DefenseNolisting, core.DefenseGreylisting, core.DefenseBoth,
+	}
+	const recipients = 20
+
+	header := []string{"FAMILY (share of botnet spam)"}
+	for _, d := range defenses {
+		header = append(header, d.String())
+	}
+	tbl := stats.NewTable(header...)
+
+	blockedShare := make(map[core.Defense]float64)
+	for _, family := range botnet.Families() {
+		row := []string{fmt.Sprintf("%s (%.2f%%)", family.Name, family.BotnetSpamShare)}
+		for _, defense := range defenses {
+			l, err := lab.New(lab.Config{Defense: defense})
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := l.RunSample(family, 1, recipients)
+			l.Close()
+			if err != nil {
+				log.Fatal(err)
+			}
+			row = append(row, fmt.Sprintf("%d/%d delivered", res.Delivered, recipients))
+			if res.Blocked() {
+				blockedShare[defense] += family.BotnetSpamShare
+			}
+		}
+		tbl.AddRow(row...)
+	}
+	fmt.Println("Spam campaign outcomes per family and defense:")
+	fmt.Println()
+	fmt.Print(tbl.String())
+
+	fmt.Println()
+	fmt.Println("share of botnet spam blocked (weighting families by Table I):")
+	for _, d := range defenses {
+		fmt.Printf("  %-24s %6.2f%%\n", d, blockedShare[d])
+	}
+	fmt.Println()
+	fmt.Println("-> nolisting alone stops Kelihos (36.33%); greylisting alone stops the")
+	fmt.Println("   fire-and-forget families (56.69%); only the combination stops all four.")
+}

@@ -1,0 +1,75 @@
+// Fingerprint: classify an unknown sender's MX-selection behaviour the
+// way Section IV-B does — deploy a nolisting honeypot domain, let the
+// sender at it, and read the connection log. The dead primary is what
+// makes the four behaviours distinguishable.
+//
+//	go run ./examples/fingerprint
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/botnet"
+	"repro/internal/core"
+	"repro/internal/lab"
+	"repro/internal/nolist"
+	"repro/internal/stats"
+)
+
+func main() {
+	// The "unknown" samples: a shuffled bag of bots from every family.
+	rng := rand.New(rand.NewSource(2015))
+	var unknowns []botnet.Family
+	for _, f := range botnet.Families() {
+		for i := 0; i < f.Samples; i++ {
+			unknowns = append(unknowns, f)
+		}
+	}
+	rng.Shuffle(len(unknowns), func(i, j int) { unknowns[i], unknowns[j] = unknowns[j], unknowns[i] })
+
+	tbl := stats.NewTable("SAMPLE", "CONTACTED", "CLASSIFIED AS", "TRUTH", "NOLISTING WOULD")
+	correct := 0
+	for i, f := range unknowns {
+		// A fresh honeypot per sample: nolisting layout, no greylisting,
+		// so the only signal is which servers the sample dials.
+		l, err := lab.New(lab.Config{Defense: core.DefenseNolisting})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := l.RunSample(f, i+1, 3)
+		l.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		verdict := "let it through"
+		if res.Behavior.DefeatedByNolisting() {
+			verdict = "BLOCK it"
+		}
+		if res.Behavior == f.Behavior {
+			correct++
+		}
+		contacts := map[string]int{}
+		for _, a := range res.Attempts {
+			for _, h := range a.Contacted {
+				contacts[h]++
+			}
+		}
+		tbl.AddRow(
+			fmt.Sprintf("sample-%02d", i+1),
+			fmt.Sprintf("mx1×%d mx2×%d", contacts["mx1."+lab.TargetDomain], contacts["mx2."+lab.TargetDomain]),
+			res.Behavior.String(),
+			f.Behavior.String(),
+			verdict,
+		)
+	}
+	fmt.Println("MX-behaviour fingerprinting against a nolisting honeypot:")
+	fmt.Println()
+	fmt.Print(tbl.String())
+	fmt.Printf("\nclassification accuracy: %d/%d\n", correct, len(unknowns))
+	fmt.Println()
+	fmt.Printf("Section IV-B's categories: %v, %v, %v, %v\n",
+		nolist.BehaviorRFCCompliant, nolist.BehaviorPrimaryOnly,
+		nolist.BehaviorSecondaryOnly, nolist.BehaviorAllMX)
+}

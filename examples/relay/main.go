@@ -1,0 +1,107 @@
+// Relay: run a fleet of REAL queueing MTAs — one per Table IV schedule —
+// delivering a newsletter through a greylisted domain, and watch Figure
+// 5's delay distribution emerge from actual SMTP sessions and retry
+// queues rather than from a model.
+//
+//	go run ./examples/relay
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dnsresolver"
+	"repro/internal/dnsserver"
+	"repro/internal/mta"
+	"repro/internal/mtaqueue"
+	"repro/internal/netsim"
+	"repro/internal/simtime"
+	"repro/internal/smtpclient"
+	"repro/internal/stats"
+)
+
+func main() {
+	// Infrastructure: network, DNS, virtual time.
+	network := netsim.New()
+	dns := dnsserver.New()
+	clock := simtime.NewSim(simtime.Epoch)
+	sched := simtime.NewScheduler(clock)
+	resolver := dnsresolver.New(dnsresolver.Direct(dns), clock)
+
+	// The destination: a domain greylisting at the Postgrey default.
+	domain, err := core.New(core.Config{
+		Domain:      "list.example",
+		PrimaryIP:   "10.0.0.1",
+		SecondaryIP: "10.0.0.2",
+		Defense:     core.DefenseGreylisting,
+	}, core.Deps{Net: network, DNS: dns, Clock: clock})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer domain.Close()
+
+	// The fleet: every Table IV MTA runs as a real queueing relay with
+	// its own source address (its own greylisting identity).
+	const perMTA = 10
+	relays := make(map[string]*mtaqueue.MTA)
+	for i, schedule := range mta.All() {
+		m, err := mtaqueue.New(mtaqueue.Config{
+			Schedule: schedule,
+			HeloName: "relay-" + schedule.Name + ".example",
+			Resolver: resolver,
+			Dialer:   &smtpclient.SimDialer{Net: network, LocalIP: fmt.Sprintf("192.0.2.%d", 10+i)},
+			Sched:    sched,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		relays[schedule.Name] = m
+		for j := 0; j < perMTA; j++ {
+			m.Submit("list.example", smtpclient.Message{
+				From: fmt.Sprintf("news-%s-%d@sender.example", schedule.Name, j),
+				To:   []string{fmt.Sprintf("subscriber%d@list.example", j)},
+				Data: []byte("Subject: newsletter\r\n\r\nissue #1\r\n"),
+			})
+		}
+	}
+
+	// Let virtual time run until every queue drains.
+	sched.Run()
+
+	fmt.Println("Queueing MTAs vs greylisting (threshold 300s):")
+	fmt.Println()
+	tbl := stats.NewTable("MTA", "DELIVERED", "BOUNCED", "DELAY (each message)")
+	var allDelays []time.Duration
+	for _, schedule := range mta.All() {
+		m := relays[schedule.Name]
+		_, delivered, bounced := m.Summary()
+		var delay time.Duration
+		for _, rec := range m.Messages() {
+			if rec.Status == mtaqueue.StatusDelivered {
+				delay = rec.Delay
+				allDelays = append(allDelays, rec.Delay)
+			}
+		}
+		tbl.AddRow(schedule.Name,
+			fmt.Sprintf("%d/%d", delivered, perMTA),
+			fmt.Sprintf("%d", bounced),
+			stats.FormatDuration(delay))
+	}
+	fmt.Print(tbl.String())
+
+	cdf := stats.NewDurationCDF(allDelays)
+	fmt.Println()
+	fmt.Printf("delay distribution across the fleet (n=%d): min %s, median %s, max %s\n",
+		cdf.N(),
+		stats.FormatDuration(time.Duration(cdf.Min())*time.Second),
+		stats.FormatDuration(time.Duration(cdf.Median())*time.Second),
+		stats.FormatDuration(time.Duration(cdf.Max())*time.Second))
+	fmt.Println()
+	fmt.Println("Every message was deferred once (451) and delivered on the first retry —")
+	fmt.Println("the delay IS the MTA's first retry offset, which is why Figure 5's shape")
+	fmt.Println("is the mixture of sender retry schedules.")
+	fmt.Printf("server saw %d deferrals for %d deliveries\n",
+		len(domain.Deferrals()), len(domain.Inbox()))
+}

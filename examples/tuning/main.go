@@ -1,0 +1,95 @@
+// Tuning: the threshold trade-off behind the paper's Section VI advice.
+// For each candidate greylisting threshold we measure (a) which malware
+// families still get through, and (b) what delay benign senders suffer —
+// and land on the paper's conclusion: "the use of a very short threshold
+// is probably the best way to maximize both aspects".
+//
+//	go run ./examples/tuning
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/botnet"
+	"repro/internal/core"
+	"repro/internal/lab"
+	"repro/internal/mta"
+	"repro/internal/stats"
+	"repro/internal/webmail"
+)
+
+func main() {
+	thresholds := []time.Duration{
+		5 * time.Second,
+		300 * time.Second,
+		30 * time.Minute,
+		6 * time.Hour,
+		48 * time.Hour,
+	}
+
+	tbl := stats.NewTable(
+		"THRESHOLD", "SPAM BLOCKED (botnet share)", "KELIHOS", "BENIGN MEDIAN DELAY", "BENIGN LOSSES")
+	for _, th := range thresholds {
+		blocked := 0.0
+		kelihosBlocked := "passes"
+		for _, family := range botnet.Families() {
+			l, err := lab.New(lab.Config{Defense: core.DefenseGreylisting, Threshold: th})
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := l.RunSample(family, 1, 10)
+			l.Close()
+			if err != nil {
+				log.Fatal(err)
+			}
+			if res.Blocked() {
+				blocked += family.BotnetSpamShare
+				if family.Name == "Kelihos" {
+					kelihosBlocked = "blocked"
+				}
+			}
+		}
+
+		// Benign cost: median first-passing delay across the Table IV
+		// MTA schedules, plus webmail losses (providers whose give-up
+		// time the threshold exceeds).
+		var delays []float64
+		for _, s := range mta.All() {
+			if d, ok := s.DeliveryDelay(th); ok {
+				delays = append(delays, d.Seconds())
+			}
+		}
+		medianDelay := time.Duration(stats.NewCDF(delays).Median()) * time.Second
+
+		losses := 0
+		for i, p := range webmail.Top10() {
+			if r := webmail.Simulate(p, i, th); !r.Delivered {
+				losses++
+			}
+		}
+
+		tbl.AddRow(
+			th.String(),
+			fmt.Sprintf("%.2f%%", blocked),
+			kelihosBlocked,
+			stats.FormatDuration(medianDelay),
+			fmt.Sprintf("%d/10 webmail providers", losses),
+		)
+	}
+	fmt.Println("Greylisting threshold tuning (defense: greylisting only):")
+	fmt.Println()
+	fmt.Print(tbl.String())
+	fmt.Println()
+	fmt.Println("Reading the table:")
+	fmt.Println("  - The fire-and-forget families (56.69% of botnet spam) die at ANY")
+	fmt.Println("    threshold, even 5 seconds.")
+	fmt.Println("  - Kelihos outlasts every reasonable threshold (its last retry peak is at")
+	fmt.Println("    80000-90000s ≈ 25h); only a multi-day threshold beats it — at the cost")
+	fmt.Println("    of losing mail from EVERY webmail provider and bouncing Exchange mail.")
+	fmt.Println("  - Raising the threshold hurts benign mail long before that: delays grow")
+	fmt.Println("    and impatient providers (aol.com after ~31 min, qq.com after ~3.4h)")
+	fmt.Println("    start losing messages.")
+	fmt.Println("  - Hence the paper: pick a SHORT threshold, and add nolisting for Kelihos.")
+}

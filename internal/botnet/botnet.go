@@ -1,0 +1,456 @@
+// Package botnet models the spam malware the paper experimented with
+// (Table I): behavioural stand-ins for Cutwail, Kelihos and the two
+// Darkmailer versions — together responsible for 93% of 2014's
+// botnet-generated spam, which in turn was 76% of all spam.
+//
+// The paper's substitution rationale (see DESIGN.md): its conclusions
+// depend only on two behavioural axes, both measured in Sections IV-B and
+// V-A, and both are what these models implement:
+//
+//   - MX selection (Section IV-B): Kelihos contacts only the primary MX
+//     (defeated by nolisting), Cutwail skips straight to the
+//     lowest-priority server (immune to nolisting), the Darkmailers walk
+//     the MX list in RFC order (immune to nolisting).
+//   - Retry policy (Section V-A): Cutwail and Darkmailer are
+//     fire-and-forget (defeated by greylisting); Kelihos retransmits
+//     failed deliveries — never sooner than ~300 s, with the retry peaks
+//     Figure 4 shows at 300-600 s, ~5 000 s and 80 000-90 000 s — so it
+//     beats greylisting at any threshold its last peak outlasts.
+//
+// Each bot speaks real SMTP through the shared client over the simulated
+// network, with small per-family dialect quirks (HELO vs EHLO, QUIT or
+// abrupt close) in the spirit of the SMTP-dialect fingerprinting work the
+// paper builds on.
+package botnet
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/dnsresolver"
+	"repro/internal/netsim"
+	"repro/internal/nolist"
+	"repro/internal/simtime"
+	"repro/internal/smtpclient"
+)
+
+// RetryPeak is one cluster of retransmission offsets (measured from the
+// first delivery attempt of a message).
+type RetryPeak struct {
+	Min, Max time.Duration
+}
+
+// RetrySchedule is a bot's retransmission behaviour: one retry per peak,
+// at a uniformly drawn offset inside the peak. An empty schedule is
+// fire-and-forget.
+type RetrySchedule struct {
+	Peaks []RetryPeak
+}
+
+// FireAndForget reports whether the schedule never retries.
+func (r RetrySchedule) FireAndForget() bool { return len(r.Peaks) == 0 }
+
+// Offset draws the offset of the n-th retry (n starting at 1). ok is
+// false when the bot has exhausted its retries and abandons the message.
+func (r RetrySchedule) Offset(n int, rng *rand.Rand) (time.Duration, bool) {
+	if n < 1 || n > len(r.Peaks) {
+		return 0, false
+	}
+	p := r.Peaks[n-1]
+	if p.Max <= p.Min {
+		return p.Min, true
+	}
+	return p.Min + time.Duration(rng.Int63n(int64(p.Max-p.Min))), true
+}
+
+// Dialect captures per-family SMTP quirks.
+type Dialect struct {
+	// UseEHLO selects EHLO (true) or bare HELO (false).
+	UseEHLO bool
+	// SendQuit closes sessions politely with QUIT; bots often just
+	// drop the connection.
+	SendQuit bool
+	// HeloName is announced at HELO/EHLO time.
+	HeloName string
+}
+
+// Family is one malware family's behavioural profile.
+type Family struct {
+	// Name is the family name as in Table I.
+	Name string
+	// BotnetSpamShare is the family's percentage of 2014 botnet spam
+	// (Table I's middle column).
+	BotnetSpamShare float64
+	// Samples is the number of distinct binaries the paper analyzed.
+	Samples int
+	// Behavior is the family's MX-selection category (Section IV-B).
+	Behavior nolist.Behavior
+	// Retry is the family's retransmission schedule.
+	Retry RetrySchedule
+	// Dialect holds the family's SMTP quirks.
+	Dialect Dialect
+}
+
+// Cutwail: 46.90% of botnet spam, 3 samples, targets only the
+// lowest-priority MX ("the natural reaction of malware writers to
+// nolisting"), never retries.
+func Cutwail() Family {
+	return Family{
+		Name:            "Cutwail",
+		BotnetSpamShare: 46.90,
+		Samples:         3,
+		Behavior:        nolist.BehaviorSecondaryOnly,
+		Dialect:         Dialect{UseEHLO: false, SendQuit: false, HeloName: "localhost"},
+	}
+}
+
+// Kelihos: 36.33% of botnet spam, 6 samples, targets only the primary MX,
+// retransmits with Figure 4's peak structure (first retry never sooner
+// than ~300 s — the Figure 3 observation that a 5 s threshold buys
+// nothing over 300 s).
+func Kelihos() Family {
+	return Family{
+		Name:            "Kelihos",
+		BotnetSpamShare: 36.33,
+		Samples:         6,
+		Behavior:        nolist.BehaviorPrimaryOnly,
+		Retry: RetrySchedule{Peaks: []RetryPeak{
+			{Min: 300 * time.Second, Max: 600 * time.Second},
+			{Min: 4500 * time.Second, Max: 5500 * time.Second},
+			{Min: 80000 * time.Second, Max: 90000 * time.Second},
+		}},
+		Dialect: Dialect{UseEHLO: true, SendQuit: true, HeloName: "mail.local"},
+	}
+}
+
+// Darkmailer: 7.21% of botnet spam, 1 sample, RFC-compliant MX walking,
+// fire-and-forget.
+func Darkmailer() Family {
+	return Family{
+		Name:            "Darkmailer",
+		BotnetSpamShare: 7.21,
+		Samples:         1,
+		Behavior:        nolist.BehaviorRFCCompliant,
+		Dialect:         Dialect{UseEHLO: true, SendQuit: false, HeloName: "dm.local"},
+	}
+}
+
+// DarkmailerV3: 2.58% of botnet spam, 1 sample, same behaviour as
+// Darkmailer.
+func DarkmailerV3() Family {
+	return Family{
+		Name:            "Darkmailer(v3)",
+		BotnetSpamShare: 2.58,
+		Samples:         1,
+		Behavior:        nolist.BehaviorRFCCompliant,
+		Dialect:         Dialect{UseEHLO: true, SendQuit: true, HeloName: "dm3.local"},
+	}
+}
+
+// Families returns the Table I families in row order.
+func Families() []Family {
+	return []Family{Cutwail(), Kelihos(), Darkmailer(), DarkmailerV3()}
+}
+
+// ByName returns the named family, or an error.
+func ByName(name string) (Family, error) {
+	for _, f := range Families() {
+		if f.Name == name {
+			return f, nil
+		}
+	}
+	return Family{}, fmt.Errorf("botnet: unknown family %q", name)
+}
+
+// TotalBotnetShare sums the families' botnet-spam shares (Table I's
+// 93.02%).
+func TotalBotnetShare() float64 {
+	total := 0.0
+	for _, f := range Families() {
+		total += f.BotnetSpamShare
+	}
+	return total
+}
+
+// BotnetShareOfGlobalSpam is the fraction of worldwide spam sent from
+// botnets in 2014 per the Symantec report the paper cites.
+const BotnetShareOfGlobalSpam = 0.76
+
+// TotalGlobalShare is the families' share of ALL spam (Table I's 70.69%).
+func TotalGlobalShare() float64 {
+	return TotalBotnetShare() * BotnetShareOfGlobalSpam
+}
+
+// Campaign is one spam job: a message for a list of recipients at a
+// target domain.
+type Campaign struct {
+	// Domain is the target mail domain.
+	Domain string
+	// Sender is the envelope sender the bot uses.
+	Sender string
+	// Recipients are the target mailboxes.
+	Recipients []string
+	// Data is the spam payload.
+	Data []byte
+}
+
+// Attempt is one observed delivery attempt by a bot.
+type Attempt struct {
+	// At is the virtual time of the attempt.
+	At time.Time
+	// Offset is the time since the first attempt for this recipient.
+	Offset time.Duration
+	// Try is the attempt number for this recipient (1 = first).
+	Try int
+	// Recipient is the target mailbox.
+	Recipient string
+	// Host is the MX host that produced the outcome ("" if resolution
+	// failed).
+	Host string
+	// Contacted lists every MX host dialed during this attempt in
+	// order, including hosts that refused the connection — the
+	// connection-log view the paper's Section IV-B classification is
+	// built from.
+	Contacted []string
+	// Outcome classifies the result.
+	Outcome smtpclient.Outcome
+	// Refused reports a TCP-level connection refusal (the nolisting
+	// signature), as opposed to an SMTP-level failure.
+	Refused bool
+}
+
+// Env is the environment a bot runs in.
+type Env struct {
+	// Net is the simulated Internet.
+	Net *netsim.Network
+	// Resolver answers the bot's MX lookups (in the lab this points at
+	// the forged DNS).
+	Resolver *dnsresolver.Resolver
+	// Sched drives the bot's retry timers.
+	Sched *simtime.Scheduler
+	// SourceIP is the infected machine's address.
+	SourceIP string
+	// Seed makes the bot's jitter deterministic.
+	Seed int64
+}
+
+// Bot is one running malware sample.
+type Bot struct {
+	family Family
+	env    Env
+	dialer *smtpclient.SimDialer
+	rng    *rand.Rand
+
+	mu       sync.Mutex
+	attempts []Attempt
+}
+
+// New creates a bot of the given family.
+func New(family Family, env Env) (*Bot, error) {
+	if env.Net == nil || env.Resolver == nil || env.Sched == nil {
+		return nil, errors.New("botnet: Net, Resolver and Sched are required")
+	}
+	if env.SourceIP == "" {
+		env.SourceIP = "203.0.113.200"
+	}
+	return &Bot{
+		family: family,
+		env:    env,
+		dialer: &smtpclient.SimDialer{Net: env.Net, LocalIP: env.SourceIP},
+		rng:    rand.New(rand.NewSource(env.Seed)),
+	}, nil
+}
+
+// Family returns the bot's behavioural profile.
+func (b *Bot) Family() Family { return b.family }
+
+// SourceIP returns the bot's client address.
+func (b *Bot) SourceIP() string { return b.env.SourceIP }
+
+// Attempts returns a copy of the bot's delivery-attempt log.
+func (b *Bot) Attempts() []Attempt {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]Attempt(nil), b.attempts...)
+}
+
+// Delivered counts recipients whose message was delivered.
+func (b *Bot) Delivered() int {
+	n := 0
+	for _, a := range b.Attempts() {
+		if a.Outcome == smtpclient.Delivered {
+			n++
+		}
+	}
+	return n
+}
+
+// ContactedHosts returns the ordered MX host names the bot dialed
+// (with repeats, including refused connections), the input to
+// nolist.ClassifyBehavior.
+func (b *Bot) ContactedHosts() []string {
+	var hosts []string
+	for _, a := range b.Attempts() {
+		hosts = append(hosts, a.Contacted...)
+	}
+	return hosts
+}
+
+// Launch schedules the campaign: every recipient's first delivery attempt
+// fires immediately; retries (if the family supports them) are scheduled
+// through the bot's environment. The caller drives env.Sched.
+func (b *Bot) Launch(c Campaign) {
+	for _, rcpt := range c.Recipients {
+		rcpt := rcpt
+		b.env.Sched.After(0, b.family.Name+" first attempt", func() {
+			b.attempt(c, rcpt, 1, b.env.Sched.Clock().Now())
+		})
+	}
+}
+
+// attempt performs try number `try` for one recipient and schedules the
+// next retry if the family's schedule has one.
+func (b *Bot) attempt(c Campaign, rcpt string, try int, firstAt time.Time) {
+	now := b.env.Sched.Clock().Now()
+	contacted, host, outcome, refused := b.deliverOnce(c, rcpt)
+	b.mu.Lock()
+	b.attempts = append(b.attempts, Attempt{
+		At:        now,
+		Offset:    now.Sub(firstAt),
+		Try:       try,
+		Recipient: rcpt,
+		Host:      host,
+		Contacted: contacted,
+		Outcome:   outcome,
+		Refused:   refused,
+	})
+	b.mu.Unlock()
+
+	if outcome == smtpclient.Delivered || outcome == smtpclient.PermanentFailure {
+		return
+	}
+	offset, ok := b.family.Retry.Offset(try, b.rng)
+	if !ok {
+		return // fire-and-forget, or retries exhausted
+	}
+	at := firstAt.Add(offset)
+	if at.Before(now) {
+		at = now
+	}
+	b.env.Sched.At(at, b.family.Name+" retry", func() {
+		b.attempt(c, rcpt, try+1, firstAt)
+	})
+}
+
+// deliverOnce resolves the target's MX records and attempts delivery
+// according to the family's MX-selection behaviour. It returns every host
+// dialed (the connection log) plus the host and classification of the
+// final outcome.
+func (b *Bot) deliverOnce(c Campaign, rcpt string) (contacted []string, host string, outcome smtpclient.Outcome, refused bool) {
+	hosts, err := b.env.Resolver.LookupMX(c.Domain)
+	if err != nil || len(hosts) == 0 {
+		return nil, "", smtpclient.Unreachable, false
+	}
+
+	targets := b.selectTargets(hosts)
+	var lastHost string
+	var lastOutcome = smtpclient.Unreachable
+	var lastRefused bool
+	for _, t := range targets {
+		if len(t.Addrs) == 0 {
+			continue
+		}
+		lastHost = t.Host
+		contacted = append(contacted, t.Host)
+		out, wasRefused := b.attemptHost(t.Addrs[0], c, rcpt)
+		lastOutcome, lastRefused = out, wasRefused
+		if out == smtpclient.Delivered || out == smtpclient.PermanentFailure || out == smtpclient.TransientFailure {
+			return contacted, t.Host, out, wasRefused
+		}
+		// Unreachable: walk on (only multi-target behaviours get here
+		// with more targets to try).
+	}
+	return contacted, lastHost, lastOutcome, lastRefused
+}
+
+// selectTargets applies the family's MX-selection behaviour to the
+// priority-sorted host list.
+func (b *Bot) selectTargets(hosts []dnsresolver.MXHost) []dnsresolver.MXHost {
+	switch b.family.Behavior {
+	case nolist.BehaviorPrimaryOnly:
+		return hosts[:1]
+	case nolist.BehaviorSecondaryOnly:
+		return hosts[len(hosts)-1:]
+	case nolist.BehaviorRFCCompliant:
+		return hosts
+	case nolist.BehaviorAllMX:
+		shuffled := append([]dnsresolver.MXHost(nil), hosts...)
+		b.rng.Shuffle(len(shuffled), func(i, j int) {
+			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+		})
+		return shuffled
+	default:
+		return hosts[:1]
+	}
+}
+
+// attemptHost runs one SMTP transaction with the family's dialect.
+func (b *Bot) attemptHost(addr string, c Campaign, rcpt string) (smtpclient.Outcome, bool) {
+	conn, err := b.dialer.Dial(net.JoinHostPort(addr, smtpclient.SMTPPort))
+	if err != nil {
+		return smtpclient.Unreachable, errors.Is(err, netsim.ErrConnRefused)
+	}
+	client, err := smtpclient.NewClient(conn)
+	if err != nil {
+		return classifyClientErr(err), false
+	}
+	defer client.Close()
+
+	if b.family.Dialect.UseEHLO {
+		err = client.Hello(b.family.Dialect.HeloName)
+	} else {
+		err = client.Helo(b.family.Dialect.HeloName)
+	}
+	if err != nil {
+		return classifyClientErr(err), false
+	}
+	if err := client.Mail(c.Sender); err != nil {
+		return classifyClientErr(err), false
+	}
+	if err := client.Rcpt(rcpt); err != nil {
+		return classifyClientErr(err), false
+	}
+	if err := client.Data(c.Data); err != nil {
+		return classifyClientErr(err), false
+	}
+	if b.family.Dialect.SendQuit {
+		client.Quit()
+	}
+	return smtpclient.Delivered, false
+}
+
+func classifyClientErr(err error) smtpclient.Outcome {
+	var smtpErr *smtpclient.Error
+	if errors.As(err, &smtpErr) {
+		if smtpErr.Temporary() {
+			return smtpclient.TransientFailure
+		}
+		return smtpclient.PermanentFailure
+	}
+	return smtpclient.Unreachable
+}
+
+// SpamPayload builds a representative spam message body.
+func SpamPayload(family, campaignID string) []byte {
+	return []byte(fmt.Sprintf(
+		"From: promo <promo@deals.example>\r\n"+
+			"Subject: You have won (campaign %s)\r\n"+
+			"X-Mailer: %s\r\n"+
+			"\r\n"+
+			"Click http://deals.example/claim?c=%s now!\r\n",
+		campaignID, family, campaignID))
+}

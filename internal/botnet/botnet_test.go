@@ -1,0 +1,389 @@
+package botnet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dnsresolver"
+	"repro/internal/dnsserver"
+	"repro/internal/netsim"
+	"repro/internal/nolist"
+	"repro/internal/simtime"
+	"repro/internal/smtpclient"
+)
+
+// TestTableIShares pins Table I's numbers.
+func TestTableIShares(t *testing.T) {
+	want := map[string]struct {
+		share   float64
+		samples int
+	}{
+		"Cutwail":        {46.90, 3},
+		"Kelihos":        {36.33, 6},
+		"Darkmailer":     {7.21, 1},
+		"Darkmailer(v3)": {2.58, 1},
+	}
+	for _, f := range Families() {
+		w := want[f.Name]
+		if f.BotnetSpamShare != w.share || f.Samples != w.samples {
+			t.Errorf("%s = (%.2f%%, %d samples), want (%.2f%%, %d)",
+				f.Name, f.BotnetSpamShare, f.Samples, w.share, w.samples)
+		}
+	}
+	if got := TotalBotnetShare(); math.Abs(got-93.02) > 0.001 {
+		t.Errorf("total botnet share = %.2f, want 93.02", got)
+	}
+	// 93.02% of the 76% of spam that came from botnets ≈ 70.69% of all
+	// spam (the paper's "over 70% of the global spam").
+	if got := TotalGlobalShare(); math.Abs(got-70.69) > 0.3 {
+		t.Errorf("global share = %.2f, want ≈70.69", got)
+	}
+	totalSamples := 0
+	for _, f := range Families() {
+		totalSamples += f.Samples
+	}
+	if totalSamples != 11 {
+		t.Errorf("total samples = %d, want 11", totalSamples)
+	}
+}
+
+func TestFamilyBehaviors(t *testing.T) {
+	want := map[string]nolist.Behavior{
+		"Cutwail":        nolist.BehaviorSecondaryOnly,
+		"Kelihos":        nolist.BehaviorPrimaryOnly,
+		"Darkmailer":     nolist.BehaviorRFCCompliant,
+		"Darkmailer(v3)": nolist.BehaviorRFCCompliant,
+	}
+	for _, f := range Families() {
+		if f.Behavior != want[f.Name] {
+			t.Errorf("%s behavior = %v, want %v", f.Name, f.Behavior, want[f.Name])
+		}
+	}
+}
+
+func TestRetryPolicies(t *testing.T) {
+	for _, f := range Families() {
+		wantRetry := f.Name == "Kelihos"
+		if got := !f.Retry.FireAndForget(); got != wantRetry {
+			t.Errorf("%s retries = %v, want %v", f.Name, got, wantRetry)
+		}
+	}
+}
+
+func TestKelihosRetryOffsets(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	k := Kelihos()
+	bounds := []RetryPeak{
+		{300 * time.Second, 600 * time.Second},
+		{4500 * time.Second, 5500 * time.Second},
+		{80000 * time.Second, 90000 * time.Second},
+	}
+	for trial := 0; trial < 100; trial++ {
+		for n := 1; n <= 3; n++ {
+			off, ok := k.Retry.Offset(n, rng)
+			if !ok {
+				t.Fatalf("retry %d: exhausted early", n)
+			}
+			if off < bounds[n-1].Min || off >= bounds[n-1].Max {
+				t.Fatalf("retry %d offset %v outside peak [%v, %v)", n, off, bounds[n-1].Min, bounds[n-1].Max)
+			}
+		}
+	}
+	if _, ok := k.Retry.Offset(4, rng); ok {
+		t.Fatal("fourth retry should not exist")
+	}
+	if _, ok := k.Retry.Offset(0, rng); ok {
+		t.Fatal("retry 0 should not exist")
+	}
+}
+
+func TestRetryOffsetDegeneratePeak(t *testing.T) {
+	r := RetrySchedule{Peaks: []RetryPeak{{Min: time.Minute, Max: time.Minute}}}
+	off, ok := r.Offset(1, rand.New(rand.NewSource(1)))
+	if !ok || off != time.Minute {
+		t.Fatalf("offset = %v, %v", off, ok)
+	}
+}
+
+func TestByName(t *testing.T) {
+	f, err := ByName("Kelihos")
+	if err != nil || f.Behavior != nolist.BehaviorPrimaryOnly {
+		t.Fatalf("ByName = %+v, %v", f, err)
+	}
+	if _, err := ByName("Zeus"); err == nil {
+		t.Fatal("ByName accepted unknown family")
+	}
+}
+
+// labEnv builds the contained environment: a defended domain plus a bot
+// runtime, all in virtual time.
+type labEnv struct {
+	net      *netsim.Network
+	dns      *dnsserver.Server
+	clock    *simtime.Sim
+	sched    *simtime.Scheduler
+	resolver *dnsresolver.Resolver
+	domain   *core.Domain
+}
+
+func newLabEnv(t *testing.T, defense core.Defense) *labEnv {
+	t.Helper()
+	e := &labEnv{
+		net:   netsim.New(),
+		dns:   dnsserver.New(),
+		clock: simtime.NewSim(simtime.Epoch),
+	}
+	e.sched = simtime.NewScheduler(e.clock)
+	e.resolver = dnsresolver.New(dnsresolver.Direct(e.dns), e.clock)
+	e.resolver.DisableCache = true
+	d, err := core.New(core.Config{
+		Domain:      "victim.example",
+		PrimaryIP:   "10.0.0.1",
+		SecondaryIP: "10.0.0.2",
+		Defense:     defense,
+	}, core.Deps{Net: e.net, DNS: e.dns, Clock: e.clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+	e.domain = d
+	return e
+}
+
+func (e *labEnv) runBot(t *testing.T, f Family) *Bot {
+	t.Helper()
+	bot, err := New(f, Env{
+		Net: e.net, Resolver: e.resolver, Sched: e.sched,
+		SourceIP: "203.0.113.50", Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bot.Launch(Campaign{
+		Domain:     "victim.example",
+		Sender:     "winner@lottery.example",
+		Recipients: []string{"user1@victim.example", "user2@victim.example"},
+		Data:       SpamPayload(f.Name, "c1"),
+	})
+	e.sched.Run()
+	return bot
+}
+
+// TestTableIIMatrix reproduces the paper's Table II: which defense stops
+// which family.
+func TestTableIIMatrix(t *testing.T) {
+	cases := []struct {
+		family               func() Family
+		greylistingEffective bool
+		nolistingEffective   bool
+	}{
+		{Cutwail, true, false},
+		{Kelihos, false, true},
+		{Darkmailer, true, false},
+		{DarkmailerV3, true, false},
+	}
+	for _, tc := range cases {
+		f := tc.family()
+		t.Run(f.Name+"/greylisting", func(t *testing.T) {
+			e := newLabEnv(t, core.DefenseGreylisting)
+			bot := e.runBot(t, f)
+			blocked := bot.Delivered() == 0
+			if blocked != tc.greylistingEffective {
+				t.Fatalf("greylisting blocked=%v, want %v (delivered %d, attempts %d)",
+					blocked, tc.greylistingEffective, bot.Delivered(), len(bot.Attempts()))
+			}
+		})
+		t.Run(f.Name+"/nolisting", func(t *testing.T) {
+			e := newLabEnv(t, core.DefenseNolisting)
+			bot := e.runBot(t, f)
+			blocked := bot.Delivered() == 0
+			if blocked != tc.nolistingEffective {
+				t.Fatalf("nolisting blocked=%v, want %v (delivered %d)",
+					blocked, tc.nolistingEffective, bot.Delivered())
+			}
+		})
+	}
+}
+
+func TestBothDefensesStopEverything(t *testing.T) {
+	// Section VI: "using both techniques together is a very effective
+	// way to protect against the majority of spam."
+	for _, f := range Families() {
+		e := newLabEnv(t, core.DefenseBoth)
+		bot := e.runBot(t, f)
+		if bot.Delivered() != 0 {
+			t.Errorf("%s delivered %d messages through both defenses", f.Name, bot.Delivered())
+		}
+	}
+}
+
+func TestNoDefenseEveryoneDelivers(t *testing.T) {
+	for _, f := range Families() {
+		e := newLabEnv(t, core.DefenseNone)
+		bot := e.runBot(t, f)
+		if bot.Delivered() != 2 {
+			t.Errorf("%s delivered %d of 2 without defenses", f.Name, bot.Delivered())
+		}
+	}
+}
+
+func TestKelihosRefusedByNolisting(t *testing.T) {
+	e := newLabEnv(t, core.DefenseNolisting)
+	bot := e.runBot(t, Kelihos())
+	attempts := bot.Attempts()
+	if len(attempts) == 0 {
+		t.Fatal("no attempts recorded")
+	}
+	for _, a := range attempts {
+		if !a.Refused {
+			t.Fatalf("attempt %+v not refused — Kelihos must only hit the dead primary", a)
+		}
+		if a.Host != e.domain.PrimaryHost() {
+			t.Fatalf("attempt contacted %s, want primary only", a.Host)
+		}
+	}
+}
+
+func TestBehaviorClassificationFromLogs(t *testing.T) {
+	// Closing the loop with Section IV-B: the behaviour inferred from
+	// the bots' contact logs matches each family's ground truth. The
+	// observation must happen under NOLISTING: with a healthy primary,
+	// an RFC-compliant walker stops at the first server and is
+	// indistinguishable from a primary-only bot — it is exactly the
+	// dead primary that makes compliant fallthrough observable.
+	for _, f := range Families() {
+		e := newLabEnv(t, core.DefenseNolisting)
+		bot := e.runBot(t, f)
+		got := nolist.ClassifyBehavior(e.domain.MXHosts(), bot.ContactedHosts())
+		want := f.Behavior
+		if got != want {
+			t.Errorf("%s classified as %v, want %v (contacted %v)",
+				f.Name, got, want, bot.ContactedHosts())
+		}
+	}
+}
+
+func TestCompliantWalkerLooksPrimaryOnlyWithHealthyPrimary(t *testing.T) {
+	// The ambiguity itself, documented: without nolisting the walker
+	// never reveals its fallthrough logic.
+	e := newLabEnv(t, core.DefenseNone)
+	bot := e.runBot(t, Darkmailer())
+	got := nolist.ClassifyBehavior(e.domain.MXHosts(), bot.ContactedHosts())
+	if got != nolist.BehaviorPrimaryOnly {
+		t.Fatalf("classification = %v, want primary-only ambiguity", got)
+	}
+}
+
+func TestKelihosDefeatsGreylistingOnFirstRetry(t *testing.T) {
+	e := newLabEnv(t, core.DefenseGreylisting)
+	bot := e.runBot(t, Kelihos())
+	if bot.Delivered() != 2 {
+		t.Fatalf("delivered = %d, want 2", bot.Delivered())
+	}
+	// With the default 300 s threshold, the first retry peak (300-600 s)
+	// already clears it: exactly 2 attempts per recipient.
+	for _, a := range bot.Attempts() {
+		if a.Outcome == smtpclient.Delivered && (a.Try != 2 || a.Offset < 300*time.Second || a.Offset >= 600*time.Second) {
+			t.Fatalf("delivered attempt = %+v, want second try inside first peak", a)
+		}
+	}
+}
+
+func TestKelihosRetriesAreDeterministicPerSeed(t *testing.T) {
+	run := func() []Attempt {
+		e := newLabEnv(t, core.DefenseGreylisting)
+		return e.runBot(t, Kelihos()).Attempts()
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Offset != b[i].Offset || a[i].Try != b[i].Try {
+			t.Fatalf("attempt %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestBotValidation(t *testing.T) {
+	if _, err := New(Cutwail(), Env{}); err == nil {
+		t.Fatal("New accepted empty env")
+	}
+}
+
+func TestSpamPayloadMentionsFamilyAndCampaign(t *testing.T) {
+	p := string(SpamPayload("Kelihos", "xyz"))
+	if !contains(p, "Kelihos") || !contains(p, "xyz") {
+		t.Fatalf("payload = %q", p)
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestBotAccessors(t *testing.T) {
+	e := newLabEnv(t, core.DefenseNone)
+	bot, err := New(Cutwail(), Env{
+		Net: e.net, Resolver: e.resolver, Sched: e.sched, SourceIP: "203.0.113.7", Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bot.Family().Name != "Cutwail" {
+		t.Errorf("Family = %v", bot.Family().Name)
+	}
+	if bot.SourceIP() != "203.0.113.7" {
+		t.Errorf("SourceIP = %v", bot.SourceIP())
+	}
+	// Default source IP when none given.
+	bot2, err := New(Cutwail(), Env{Net: e.net, Resolver: e.resolver, Sched: e.sched})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bot2.SourceIP() == "" {
+		t.Error("default SourceIP empty")
+	}
+}
+
+func TestAllMXBehaviorShuffles(t *testing.T) {
+	// An all-MX bot contacts every server; against a healthy domain the
+	// FIRST contacted host should vary across seeds (random order).
+	firstHosts := map[string]bool{}
+	for seed := int64(0); seed < 10; seed++ {
+		e := newLabEnv(t, core.DefenseNone)
+		f := Cutwail()
+		f.Behavior = nolist.BehaviorAllMX
+		bot, err := New(f, Env{
+			Net: e.net, Resolver: e.resolver, Sched: e.sched,
+			SourceIP: "203.0.113.60", Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bot.Launch(Campaign{
+			Domain: "victim.example", Sender: "x@s.example",
+			Recipients: []string{"u@victim.example"}, Data: SpamPayload("x", "1"),
+		})
+		e.sched.Run()
+		attempts := bot.Attempts()
+		if len(attempts) == 0 || len(attempts[0].Contacted) == 0 {
+			t.Fatal("no contacts recorded")
+		}
+		firstHosts[attempts[0].Contacted[0]] = true
+		if bot.Delivered() != 1 {
+			t.Fatalf("seed %d: delivered %d", seed, bot.Delivered())
+		}
+	}
+	if len(firstHosts) < 2 {
+		t.Fatalf("all-MX order never varied across seeds: %v", firstHosts)
+	}
+}

@@ -1,0 +1,216 @@
+// Package dialect fingerprints SMTP senders from their protocol
+// behaviour — the direction the paper builds on (Stringhini et al.'s
+// B@bel, USENIX Security 2012, showed that "details about the protocol
+// can ... be used to fingerprint botnets and tell them apart from benign
+// MTA agents", and the paper's Section VIII asks AV vendors to start
+// reporting exactly these behavioural traits).
+//
+// The input is the smtpserver.SessionTrace the server records for every
+// session; the output is a scored verdict with human-readable signals.
+// The features are the classic bot tells:
+//
+//   - plain HELO instead of EHLO (modern MTAs are ESMTP),
+//   - no QUIT — the connection is simply dropped,
+//   - a HELO name that is not a plausible FQDN (bare "localhost",
+//     unbracketed IP literals, single labels),
+//   - protocol errors (out-of-order or malformed commands),
+//   - unknown verbs.
+//
+// Scores are heuristic, designed for ranking and thresholding rather
+// than proof; Aggregate combines multiple sessions from one client the
+// way a mail server actually observes senders over time.
+package dialect
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"strings"
+
+	"repro/internal/smtpserver"
+)
+
+// Signal is one observed bot tell, with its score contribution.
+type Signal struct {
+	// Name is a stable identifier ("no-quit", "helo-not-ehlo", ...).
+	Name string
+	// Detail explains the observation.
+	Detail string
+	// Weight is the score contribution in [0, 1].
+	Weight float64
+}
+
+// Verdict is the fingerprint of one session (or one client, when
+// aggregated).
+type Verdict struct {
+	// Score is the bot-likelihood in [0, 1].
+	Score float64
+	// Signals lists the contributing observations, strongest first.
+	Signals []Signal
+}
+
+// Suspicious applies the default decision threshold.
+func (v Verdict) Suspicious() bool { return v.Score >= 0.5 }
+
+// String implements fmt.Stringer.
+func (v Verdict) String() string {
+	names := make([]string, len(v.Signals))
+	for i, s := range v.Signals {
+		names[i] = s.Name
+	}
+	return fmt.Sprintf("score %.2f [%s]", v.Score, strings.Join(names, " "))
+}
+
+// Feature weights. They sum to > 1 deliberately; the score saturates.
+const (
+	weightNoQuit      = 0.30
+	weightHeloNotEhlo = 0.25
+	weightBadHeloName = 0.25
+	weightProtoErrors = 0.20
+	weightUnknownVerb = 0.20
+	weightNoHelo      = 0.35
+)
+
+// Analyze fingerprints a single session trace.
+func Analyze(tr *smtpserver.SessionTrace) Verdict {
+	var v Verdict
+	add := func(name, detail string, weight float64) {
+		v.Signals = append(v.Signals, Signal{Name: name, Detail: detail, Weight: weight})
+		v.Score += weight
+	}
+
+	greeted := false
+	for _, verb := range tr.Verbs {
+		if verb == "HELO" || verb == "EHLO" {
+			greeted = true
+			break
+		}
+	}
+	switch {
+	case !greeted:
+		add("no-helo", "session never greeted with HELO/EHLO", weightNoHelo)
+	case !tr.UsedEHLO:
+		add("helo-not-ehlo", "client used legacy HELO; modern MTAs speak ESMTP", weightHeloNotEhlo)
+	}
+
+	if !tr.SentQuit && len(tr.Verbs) > 0 {
+		add("no-quit", "connection dropped without QUIT", weightNoQuit)
+	}
+	if greeted && !PlausibleHeloName(tr.HeloName) {
+		add("bad-helo-name", fmt.Sprintf("implausible HELO name %q", tr.HeloName), weightBadHeloName)
+	}
+	if tr.ProtocolErrors > 0 {
+		add("protocol-errors", fmt.Sprintf("%d syntax/sequencing errors", tr.ProtocolErrors), weightProtoErrors)
+	}
+	for _, verb := range tr.Verbs {
+		if verb == "?" {
+			add("unknown-verbs", "unparsable command lines", weightUnknownVerb)
+			break
+		}
+	}
+
+	if v.Score > 1 {
+		v.Score = 1
+	}
+	sort.SliceStable(v.Signals, func(i, j int) bool { return v.Signals[i].Weight > v.Signals[j].Weight })
+	return v
+}
+
+// PlausibleHeloName reports whether a HELO argument looks like something
+// a legitimate MTA would announce: a multi-label domain name or a
+// bracketed address literal (RFC 5321 §4.1.3).
+func PlausibleHeloName(name string) bool {
+	if name == "" {
+		return false
+	}
+	if strings.HasPrefix(name, "[") && strings.HasSuffix(name, "]") {
+		return net.ParseIP(strings.Trim(name, "[]")) != nil
+	}
+	if net.ParseIP(name) != nil {
+		return false // bare IP without brackets: non-compliant
+	}
+	lower := strings.ToLower(name)
+	if lower == "localhost" || strings.HasSuffix(lower, ".localdomain") || lower == "localhost.localdomain" {
+		return false
+	}
+	labels := strings.Split(lower, ".")
+	if len(labels) < 2 {
+		return false // single label: not an FQDN
+	}
+	for _, l := range labels {
+		if l == "" || len(l) > 63 {
+			return false
+		}
+		for _, c := range l {
+			if !(c >= 'a' && c <= 'z' || c >= '0' && c <= '9' || c == '-' || c == '_') {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Aggregate combines several sessions from the same client into one
+// verdict: the mean score, with each distinct signal reported once (at
+// its maximum observed weight).
+func Aggregate(traces []*smtpserver.SessionTrace) Verdict {
+	if len(traces) == 0 {
+		return Verdict{}
+	}
+	best := make(map[string]Signal)
+	total := 0.0
+	for _, tr := range traces {
+		v := Analyze(tr)
+		total += v.Score
+		for _, s := range v.Signals {
+			if cur, ok := best[s.Name]; !ok || s.Weight > cur.Weight {
+				best[s.Name] = s
+			}
+		}
+	}
+	out := Verdict{Score: total / float64(len(traces))}
+	for _, s := range best {
+		out.Signals = append(out.Signals, s)
+	}
+	sort.SliceStable(out.Signals, func(i, j int) bool {
+		if out.Signals[i].Weight != out.Signals[j].Weight {
+			return out.Signals[i].Weight > out.Signals[j].Weight
+		}
+		return out.Signals[i].Name < out.Signals[j].Name
+	})
+	return out
+}
+
+// Collector accumulates session traces per client IP; plug its Observe
+// method into smtpserver.Hooks.OnSessionEnd.
+type Collector struct {
+	byClient map[string][]*smtpserver.SessionTrace
+}
+
+// NewCollector returns an empty Collector.
+//
+// Collector is NOT safe for concurrent use; wrap Observe with a mutex
+// when the server handles parallel sessions.
+func NewCollector() *Collector {
+	return &Collector{byClient: make(map[string][]*smtpserver.SessionTrace)}
+}
+
+// Observe records one finished session.
+func (c *Collector) Observe(tr *smtpserver.SessionTrace) {
+	c.byClient[tr.ClientIP] = append(c.byClient[tr.ClientIP], tr)
+}
+
+// Clients returns the observed client IPs, sorted.
+func (c *Collector) Clients() []string {
+	out := make([]string, 0, len(c.byClient))
+	for ip := range c.byClient {
+		out = append(out, ip)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// VerdictFor aggregates the verdict for one client.
+func (c *Collector) VerdictFor(clientIP string) Verdict {
+	return Aggregate(c.byClient[clientIP])
+}

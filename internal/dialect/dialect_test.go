@@ -1,0 +1,195 @@
+package dialect
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/botnet"
+	"repro/internal/dnsmsg"
+	"repro/internal/dnsresolver"
+	"repro/internal/dnsserver"
+	"repro/internal/netsim"
+	"repro/internal/simtime"
+	"repro/internal/smtpclient"
+	"repro/internal/smtpserver"
+)
+
+func TestPlausibleHeloName(t *testing.T) {
+	good := []string{"mail.example.org", "mx1.foo.net", "[192.0.2.1]", "a-b.c_d.example"}
+	for _, name := range good {
+		if !PlausibleHeloName(name) {
+			t.Errorf("PlausibleHeloName(%q) = false", name)
+		}
+	}
+	bad := []string{"", "localhost", "LOCALHOST", "localhost.localdomain", "mail",
+		"192.0.2.1", "ex ample.org", "a..b", "[not-an-ip]"}
+	for _, name := range bad {
+		if PlausibleHeloName(name) {
+			t.Errorf("PlausibleHeloName(%q) = true", name)
+		}
+	}
+}
+
+func TestAnalyzeCleanMTATrace(t *testing.T) {
+	tr := &smtpserver.SessionTrace{
+		ClientIP: "192.0.2.1",
+		HeloName: "mail.benign.example",
+		UsedEHLO: true,
+		SentQuit: true,
+		Verbs:    []string{"EHLO", "MAIL", "RCPT", "DATA", "QUIT"},
+	}
+	v := Analyze(tr)
+	if v.Score != 0 || len(v.Signals) != 0 {
+		t.Fatalf("clean trace verdict = %+v", v)
+	}
+	if v.Suspicious() {
+		t.Fatal("clean trace suspicious")
+	}
+}
+
+func TestAnalyzeBotTrace(t *testing.T) {
+	tr := &smtpserver.SessionTrace{
+		ClientIP:       "203.0.113.9",
+		HeloName:       "localhost",
+		UsedEHLO:       false,
+		SentQuit:       false,
+		Verbs:          []string{"HELO", "MAIL", "RCPT", "DATA"},
+		ProtocolErrors: 1,
+	}
+	v := Analyze(tr)
+	if !v.Suspicious() {
+		t.Fatalf("bot trace not suspicious: %+v", v)
+	}
+	names := map[string]bool{}
+	for _, s := range v.Signals {
+		names[s.Name] = true
+	}
+	for _, want := range []string{"helo-not-ehlo", "no-quit", "bad-helo-name", "protocol-errors"} {
+		if !names[want] {
+			t.Errorf("missing signal %q in %v", want, v.Signals)
+		}
+	}
+	// Signals sorted by weight descending.
+	for i := 1; i < len(v.Signals); i++ {
+		if v.Signals[i].Weight > v.Signals[i-1].Weight {
+			t.Fatalf("signals not sorted: %v", v.Signals)
+		}
+	}
+	if v.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestAnalyzeNoGreeting(t *testing.T) {
+	tr := &smtpserver.SessionTrace{Verbs: []string{"MAIL", "?"}, ProtocolErrors: 2}
+	v := Analyze(tr)
+	names := map[string]bool{}
+	for _, s := range v.Signals {
+		names[s.Name] = true
+	}
+	if !names["no-helo"] || !names["unknown-verbs"] {
+		t.Fatalf("signals = %v", v.Signals)
+	}
+	if v.Score > 1 {
+		t.Fatalf("score %v not saturated at 1", v.Score)
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	clean := &smtpserver.SessionTrace{HeloName: "mail.x.example", UsedEHLO: true, SentQuit: true, Verbs: []string{"EHLO", "QUIT"}}
+	dirty := &smtpserver.SessionTrace{HeloName: "localhost", Verbs: []string{"HELO", "MAIL"}}
+	v := Aggregate([]*smtpserver.SessionTrace{clean, dirty})
+	if v.Score <= 0 || v.Score >= 1 {
+		t.Fatalf("aggregate score = %v", v.Score)
+	}
+	if got := Aggregate(nil); got.Score != 0 {
+		t.Fatalf("empty aggregate = %+v", got)
+	}
+}
+
+// TestEndToEndFingerprinting runs real bot models and a benign client
+// against a trace-collecting server and verifies the fingerprints
+// separate them — the B@bel result in miniature.
+func TestEndToEndFingerprinting(t *testing.T) {
+	network := netsim.New()
+	clock := simtime.NewSim(simtime.Epoch)
+	sched := simtime.NewScheduler(clock)
+
+	zone := dnsserver.NewZone("victim.example")
+	zone.MustAdd(dnsmsg.RR{Name: "victim.example", Type: dnsmsg.TypeMX, TTL: 300,
+		Data: dnsmsg.MX{Preference: 0, Host: "mx.victim.example"}})
+	zone.MustAdd(dnsmsg.RR{Name: "mx.victim.example", Type: dnsmsg.TypeA, TTL: 300,
+		Data: dnsmsg.MustIPv4("10.0.0.1")})
+	dns := dnsserver.New()
+	dns.AddZone(zone)
+	resolver := dnsresolver.New(dnsresolver.Direct(dns), clock)
+
+	collector := NewCollector()
+	var mu sync.Mutex
+	srv := smtpserver.New(smtpserver.Config{
+		Hostname: "mx.victim.example",
+		Clock:    clock,
+		Hooks: smtpserver.Hooks{
+			OnSessionEnd: func(tr *smtpserver.SessionTrace) {
+				mu.Lock()
+				defer mu.Unlock()
+				collector.Observe(tr)
+			},
+		},
+	})
+	l, err := network.Listen("10.0.0.1:25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	defer srv.Close()
+
+	// A benign sender via the compliant client path.
+	dialer := &smtpclient.SimDialer{Net: network, LocalIP: "192.0.2.10"}
+	r := smtpclient.DeliverMX(resolver, dialer, "victim.example", smtpclient.Message{
+		HeloName: "mail.benign.example",
+		From:     "alice@benign.example",
+		To:       []string{"bob@victim.example"},
+		Data:     []byte("Subject: hi\r\n\r\nhello\r\n"),
+	})
+	if r.Outcome != smtpclient.Delivered {
+		t.Fatalf("benign delivery = %+v", r)
+	}
+
+	// A Cutwail-style bot: HELO "localhost", no QUIT.
+	bot, err := botnet.New(botnet.Cutwail(), botnet.Env{
+		Net: network, Resolver: resolver, Sched: sched,
+		SourceIP: "203.0.113.66", Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bot.Launch(botnet.Campaign{
+		Domain: "victim.example", Sender: "x@spam.example",
+		Recipients: []string{"bob@victim.example"},
+		Data:       botnet.SpamPayload("Cutwail", "fp"),
+	})
+	sched.Run()
+
+	// Sessions end asynchronously after the client closes; close the
+	// server to drain them before reading the collector.
+	srv.Close()
+
+	mu.Lock()
+	defer mu.Unlock()
+	clients := collector.Clients()
+	if len(clients) != 2 {
+		t.Fatalf("clients = %v", clients)
+	}
+	benign := collector.VerdictFor("192.0.2.10")
+	spam := collector.VerdictFor("203.0.113.66")
+	if benign.Suspicious() {
+		t.Fatalf("benign client flagged: %v", benign)
+	}
+	if !spam.Suspicious() {
+		t.Fatalf("bot not flagged: %v", spam)
+	}
+	if spam.Score <= benign.Score {
+		t.Fatalf("scores do not separate: bot %.2f vs benign %.2f", spam.Score, benign.Score)
+	}
+}

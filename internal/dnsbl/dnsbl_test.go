@@ -1,0 +1,148 @@
+package dnsbl
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/dnsresolver"
+	"repro/internal/dnsserver"
+	"repro/internal/simtime"
+)
+
+func TestReverseIPv4(t *testing.T) {
+	got, err := ReverseIPv4("203.0.113.9")
+	if err != nil || got != "9.113.0.203" {
+		t.Fatalf("ReverseIPv4 = %q, %v", got, err)
+	}
+	for _, bad := range []string{"", "1.2.3", "a.b.c.d", "300.1.1.1"} {
+		if _, err := ReverseIPv4(bad); err == nil {
+			t.Errorf("ReverseIPv4(%q) succeeded", bad)
+		}
+	}
+}
+
+func newBL(t *testing.T) (*List, *dnsresolver.Resolver, *simtime.Sim) {
+	t.Helper()
+	dns := dnsserver.New()
+	clock := simtime.NewSim(simtime.Epoch)
+	bl := New("bl.example", dns, clock)
+	res := dnsresolver.New(dnsresolver.Direct(dns), clock)
+	res.DisableCache = true
+	return bl, res, clock
+}
+
+func TestAddLookupRemove(t *testing.T) {
+	bl, res, _ := newBL(t)
+	const ip = "203.0.113.9"
+
+	if listed, err := Lookup(res, "bl.example", ip); err != nil || listed {
+		t.Fatalf("fresh lookup = %v, %v", listed, err)
+	}
+	if err := bl.Add(ip); err != nil {
+		t.Fatal(err)
+	}
+	if !bl.Contains(ip) || bl.Size() != 1 {
+		t.Fatalf("Contains/Size after Add: %v, %d", bl.Contains(ip), bl.Size())
+	}
+	listed, err := Lookup(res, "bl.example", ip)
+	if err != nil || !listed {
+		t.Fatalf("lookup after Add = %v, %v", listed, err)
+	}
+	// Double-add is idempotent.
+	if err := bl.Add(ip); err != nil {
+		t.Fatal(err)
+	}
+	if bl.Size() != 1 {
+		t.Fatalf("Size after double Add = %d", bl.Size())
+	}
+	if err := bl.Remove(ip); err != nil {
+		t.Fatal(err)
+	}
+	if listed, _ := Lookup(res, "bl.example", ip); listed {
+		t.Fatal("still listed after Remove")
+	}
+	// Unrelated addresses are never listed.
+	if listed, _ := Lookup(res, "bl.example", "198.51.100.1"); listed {
+		t.Fatal("unlisted address resolved")
+	}
+	if err := bl.Add("garbage"); err == nil {
+		t.Fatal("Add(garbage) succeeded")
+	}
+	if err := bl.Remove("garbage"); err == nil {
+		t.Fatal("Remove(garbage) succeeded")
+	}
+}
+
+func TestTrapLatency(t *testing.T) {
+	bl, _, clock := newBL(t)
+	sched := simtime.NewScheduler(clock)
+	trap := NewTrap(bl, sched, 10*time.Minute)
+
+	trap.Report("203.0.113.9")
+	trap.Report("203.0.113.9") // duplicate ignored
+	if !trap.Reported("203.0.113.9") {
+		t.Fatal("Reported = false")
+	}
+	sched.RunFor(5 * time.Minute)
+	if bl.Contains("203.0.113.9") {
+		t.Fatal("listed before the feed latency elapsed")
+	}
+	sched.RunFor(6 * time.Minute)
+	if !bl.Contains("203.0.113.9") {
+		t.Fatal("not listed after the feed latency")
+	}
+	if bl.Size() != 1 {
+		t.Fatalf("size = %d (duplicate report must not double-list)", bl.Size())
+	}
+}
+
+// TestSynergyFastFeedBlocksKelihos verifies the paper's Section II claim
+// end to end: with a blacklist feed faster than the bot's retry, the
+// greylisting delay converts Kelihos' spam into a permanent block.
+func TestSynergyFastFeedBlocksKelihos(t *testing.T) {
+	const recipients = 5
+	res, err := Synergy(60*time.Second, recipients, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeliveredGreylistOnly != recipients {
+		t.Fatalf("baseline delivered %d/%d — Kelihos must beat greylisting alone",
+			res.DeliveredGreylistOnly, recipients)
+	}
+	if res.DeliveredWithDNSBL != 0 {
+		t.Fatalf("with a 60s feed, %d messages still delivered", res.DeliveredWithDNSBL)
+	}
+	if !res.ListedBeforeRetry {
+		t.Fatal("bot not listed before its retry")
+	}
+}
+
+// TestSynergySlowFeedLosesTheRace: a feed slower than the bot's retry
+// window lets the spam through — the synergy only works with fast feeds.
+func TestSynergySlowFeedLosesTheRace(t *testing.T) {
+	const recipients = 5
+	// Kelihos' first retry falls in 300-600s; a 2h feed is far too slow.
+	res, err := Synergy(2*time.Hour, recipients, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeliveredWithDNSBL != recipients {
+		t.Fatalf("slow feed should lose: delivered %d/%d", res.DeliveredWithDNSBL, recipients)
+	}
+	if res.ListedBeforeRetry {
+		t.Fatal("slow feed cannot list before the retry")
+	}
+}
+
+func TestSynergyBoundaryFeed(t *testing.T) {
+	// A 300s feed races the first retry (uniform in 300-600s): the
+	// listing lands at exactly 300s, before any retry can arrive, so
+	// everything is blocked.
+	res, err := Synergy(300*time.Second, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeliveredWithDNSBL != 0 {
+		t.Fatalf("boundary feed: delivered %d", res.DeliveredWithDNSBL)
+	}
+}

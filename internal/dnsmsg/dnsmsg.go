@@ -1,0 +1,837 @@
+// Package dnsmsg implements the DNS wire format (RFC 1035): message
+// packing and unpacking with name compression, the record types the
+// reproduction needs (A, AAAA, NS, CNAME, SOA, PTR, MX, TXT) and the ANY
+// pseudo-type used by the paper's "DNS Records (ANY)" scan dataset.
+//
+// The package is deliberately self-contained and symmetric: every message
+// packed by Pack round-trips through Unpack, a property the test suite
+// checks exhaustively, because both our authoritative server and our stub
+// resolver are built on it.
+package dnsmsg
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Type is a DNS RR type.
+type Type uint16
+
+// Record types used in this reproduction.
+const (
+	TypeA     Type = 1
+	TypeNS    Type = 2
+	TypeCNAME Type = 5
+	TypeSOA   Type = 6
+	TypePTR   Type = 12
+	TypeMX    Type = 15
+	TypeTXT   Type = 16
+	TypeAAAA  Type = 28
+	// TypeANY is the query pseudo-type matching every record; the
+	// scans.io dataset the paper uses was collected with ANY queries.
+	TypeANY Type = 255
+)
+
+// String implements fmt.Stringer.
+func (t Type) String() string {
+	switch t {
+	case TypeA:
+		return "A"
+	case TypeNS:
+		return "NS"
+	case TypeCNAME:
+		return "CNAME"
+	case TypeSOA:
+		return "SOA"
+	case TypePTR:
+		return "PTR"
+	case TypeMX:
+		return "MX"
+	case TypeTXT:
+		return "TXT"
+	case TypeAAAA:
+		return "AAAA"
+	case TypeANY:
+		return "ANY"
+	default:
+		return fmt.Sprintf("TYPE%d", uint16(t))
+	}
+}
+
+// Class is a DNS class.
+type Class uint16
+
+// Classes.
+const (
+	ClassINET Class = 1
+	ClassANY  Class = 255
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case ClassINET:
+		return "IN"
+	case ClassANY:
+		return "ANY"
+	default:
+		return fmt.Sprintf("CLASS%d", uint16(c))
+	}
+}
+
+// RCode is a DNS response code.
+type RCode uint8
+
+// Response codes.
+const (
+	RCodeSuccess        RCode = 0 // NOERROR
+	RCodeFormatError    RCode = 1 // FORMERR
+	RCodeServerFailure  RCode = 2 // SERVFAIL
+	RCodeNameError      RCode = 3 // NXDOMAIN
+	RCodeNotImplemented RCode = 4 // NOTIMP
+	RCodeRefused        RCode = 5 // REFUSED
+)
+
+// String implements fmt.Stringer.
+func (r RCode) String() string {
+	switch r {
+	case RCodeSuccess:
+		return "NOERROR"
+	case RCodeFormatError:
+		return "FORMERR"
+	case RCodeServerFailure:
+		return "SERVFAIL"
+	case RCodeNameError:
+		return "NXDOMAIN"
+	case RCodeNotImplemented:
+		return "NOTIMP"
+	case RCodeRefused:
+		return "REFUSED"
+	default:
+		return fmt.Sprintf("RCODE%d", uint8(r))
+	}
+}
+
+// OpCode is a DNS operation code. Only standard queries are used here.
+type OpCode uint8
+
+// OpQuery is the standard-query opcode.
+const OpQuery OpCode = 0
+
+// Errors returned by the codec.
+var (
+	ErrTruncated     = errors.New("dnsmsg: message truncated")
+	ErrNameTooLong   = errors.New("dnsmsg: domain name exceeds 255 octets")
+	ErrLabelTooLong  = errors.New("dnsmsg: label exceeds 63 octets")
+	ErrEmptyLabel    = errors.New("dnsmsg: empty label")
+	ErrPointerLoop   = errors.New("dnsmsg: compression pointer loop")
+	ErrBadLabelByte  = errors.New("dnsmsg: label contains '.' or NUL")
+	ErrTrailingBytes = errors.New("dnsmsg: trailing bytes after message")
+	ErrBadRData      = errors.New("dnsmsg: malformed rdata")
+)
+
+// Header is the fixed 12-octet DNS message header, with the flag word
+// broken out into named fields.
+type Header struct {
+	ID                 uint16
+	Response           bool // QR
+	OpCode             OpCode
+	Authoritative      bool // AA
+	Truncated          bool // TC
+	RecursionDesired   bool // RD
+	RecursionAvailable bool // RA
+	RCode              RCode
+}
+
+// Question is a DNS question section entry.
+type Question struct {
+	Name  string
+	Type  Type
+	Class Class
+}
+
+// String implements fmt.Stringer.
+func (q Question) String() string {
+	return fmt.Sprintf("%s %s %s", q.Name, q.Class, q.Type)
+}
+
+// RR is a resource record. Data holds the typed record data; for record
+// types this package does not model, Data is a Raw.
+type RR struct {
+	Name  string
+	Type  Type
+	Class Class
+	TTL   uint32
+	Data  RData
+}
+
+// String implements fmt.Stringer.
+func (rr RR) String() string {
+	return fmt.Sprintf("%s %d %s %s %s", rr.Name, rr.TTL, rr.Class, rr.Type, rr.Data)
+}
+
+// RData is the typed payload of a resource record.
+type RData interface {
+	fmt.Stringer
+	// pack appends the wire encoding of the rdata (without the
+	// RDLENGTH prefix) to b, using cmp for name compression.
+	pack(b []byte, cmp map[string]uint16) ([]byte, error)
+}
+
+// A is an IPv4 address record.
+type A struct {
+	IP [4]byte
+}
+
+// String implements fmt.Stringer.
+func (a A) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", a.IP[0], a.IP[1], a.IP[2], a.IP[3])
+}
+
+func (a A) pack(b []byte, _ map[string]uint16) ([]byte, error) {
+	return append(b, a.IP[:]...), nil
+}
+
+// ParseIPv4 converts dotted-quad text into an A record payload.
+func ParseIPv4(s string) (A, error) {
+	var a A
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return a, fmt.Errorf("dnsmsg: %q is not a dotted quad", s)
+	}
+	for i, p := range parts {
+		if p == "" || len(p) > 3 {
+			return a, fmt.Errorf("dnsmsg: %q is not a dotted quad", s)
+		}
+		v := 0
+		for _, c := range p {
+			if c < '0' || c > '9' {
+				return a, fmt.Errorf("dnsmsg: %q is not a dotted quad", s)
+			}
+			v = v*10 + int(c-'0')
+		}
+		if v > 255 {
+			return a, fmt.Errorf("dnsmsg: octet %q out of range in %q", p, s)
+		}
+		a.IP[i] = byte(v)
+	}
+	return a, nil
+}
+
+// MustIPv4 is ParseIPv4 that panics on malformed input; for literals in
+// tests and fixtures.
+func MustIPv4(s string) A {
+	a, err := ParseIPv4(s)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// AAAA is an IPv6 address record.
+type AAAA struct {
+	IP [16]byte
+}
+
+// String implements fmt.Stringer.
+func (a AAAA) String() string {
+	var sb strings.Builder
+	for i := 0; i < 16; i += 2 {
+		if i > 0 {
+			sb.WriteByte(':')
+		}
+		fmt.Fprintf(&sb, "%x", uint16(a.IP[i])<<8|uint16(a.IP[i+1]))
+	}
+	return sb.String()
+}
+
+func (a AAAA) pack(b []byte, _ map[string]uint16) ([]byte, error) {
+	return append(b, a.IP[:]...), nil
+}
+
+// MX is a mail-exchanger record: the heart of both nolisting (publish a
+// dead primary) and the bot MX-selection behaviours of Section IV-B.
+type MX struct {
+	// Preference orders MX records; lower values are higher priority
+	// (RFC 5321 §5.1).
+	Preference uint16
+	// Host is the domain name of the mail exchanger.
+	Host string
+}
+
+// String implements fmt.Stringer.
+func (m MX) String() string { return fmt.Sprintf("%d %s", m.Preference, m.Host) }
+
+func (m MX) pack(b []byte, cmp map[string]uint16) ([]byte, error) {
+	b = append(b, byte(m.Preference>>8), byte(m.Preference))
+	return packName(b, m.Host, cmp)
+}
+
+// NS is a name-server record.
+type NS struct {
+	Host string
+}
+
+// String implements fmt.Stringer.
+func (n NS) String() string { return n.Host }
+
+func (n NS) pack(b []byte, cmp map[string]uint16) ([]byte, error) {
+	return packName(b, n.Host, cmp)
+}
+
+// CNAME is a canonical-name record.
+type CNAME struct {
+	Target string
+}
+
+// String implements fmt.Stringer.
+func (c CNAME) String() string { return c.Target }
+
+func (c CNAME) pack(b []byte, cmp map[string]uint16) ([]byte, error) {
+	return packName(b, c.Target, cmp)
+}
+
+// PTR is a pointer record (reverse DNS, used by the scan dataset).
+type PTR struct {
+	Target string
+}
+
+// String implements fmt.Stringer.
+func (p PTR) String() string { return p.Target }
+
+func (p PTR) pack(b []byte, cmp map[string]uint16) ([]byte, error) {
+	return packName(b, p.Target, cmp)
+}
+
+// TXT is a text record; each string is at most 255 octets on the wire.
+type TXT struct {
+	Strings []string
+}
+
+// String implements fmt.Stringer.
+func (t TXT) String() string {
+	quoted := make([]string, len(t.Strings))
+	for i, s := range t.Strings {
+		quoted[i] = fmt.Sprintf("%q", s)
+	}
+	return strings.Join(quoted, " ")
+}
+
+func (t TXT) pack(b []byte, _ map[string]uint16) ([]byte, error) {
+	for _, s := range t.Strings {
+		if len(s) > 255 {
+			return nil, fmt.Errorf("dnsmsg: TXT string of %d octets: %w", len(s), ErrBadRData)
+		}
+		b = append(b, byte(len(s)))
+		b = append(b, s...)
+	}
+	return b, nil
+}
+
+// SOA is a start-of-authority record.
+type SOA struct {
+	MName   string
+	RName   string
+	Serial  uint32
+	Refresh uint32
+	Retry   uint32
+	Expire  uint32
+	Minimum uint32
+}
+
+// String implements fmt.Stringer.
+func (s SOA) String() string {
+	return fmt.Sprintf("%s %s %d %d %d %d %d",
+		s.MName, s.RName, s.Serial, s.Refresh, s.Retry, s.Expire, s.Minimum)
+}
+
+func (s SOA) pack(b []byte, cmp map[string]uint16) ([]byte, error) {
+	var err error
+	if b, err = packName(b, s.MName, cmp); err != nil {
+		return nil, err
+	}
+	if b, err = packName(b, s.RName, cmp); err != nil {
+		return nil, err
+	}
+	for _, v := range []uint32{s.Serial, s.Refresh, s.Retry, s.Expire, s.Minimum} {
+		b = append(b, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+	}
+	return b, nil
+}
+
+// Raw carries the rdata of record types this package does not model.
+type Raw struct {
+	Bytes []byte
+}
+
+// String implements fmt.Stringer.
+func (r Raw) String() string { return fmt.Sprintf("\\# %d %x", len(r.Bytes), r.Bytes) }
+
+func (r Raw) pack(b []byte, _ map[string]uint16) ([]byte, error) {
+	return append(b, r.Bytes...), nil
+}
+
+// Interface compliance.
+var (
+	_ RData = A{}
+	_ RData = AAAA{}
+	_ RData = MX{}
+	_ RData = NS{}
+	_ RData = CNAME{}
+	_ RData = PTR{}
+	_ RData = TXT{}
+	_ RData = SOA{}
+	_ RData = Raw{}
+)
+
+// Message is a complete DNS message.
+type Message struct {
+	Header     Header
+	Questions  []Question
+	Answers    []RR
+	Authority  []RR
+	Additional []RR
+}
+
+// NewQuery returns a standard recursive query for (name, type).
+func NewQuery(id uint16, name string, t Type) *Message {
+	return &Message{
+		Header:    Header{ID: id, RecursionDesired: true},
+		Questions: []Question{{Name: CanonicalName(name), Type: t, Class: ClassINET}},
+	}
+}
+
+// Reply returns a response skeleton for m: same ID, question echoed,
+// QR set, RD copied.
+func (m *Message) Reply() *Message {
+	r := &Message{
+		Header: Header{
+			ID:               m.Header.ID,
+			Response:         true,
+			OpCode:           m.Header.OpCode,
+			RecursionDesired: m.Header.RecursionDesired,
+		},
+	}
+	r.Questions = append(r.Questions, m.Questions...)
+	return r
+}
+
+// CanonicalName lower-cases a domain name and strips one trailing dot, so
+// that "SMTP.Foo.NET." and "smtp.foo.net" compare equal. DNS names are
+// case-insensitive (RFC 1035 §2.3.3).
+func CanonicalName(name string) string {
+	name = strings.TrimSuffix(name, ".")
+	return strings.ToLower(name)
+}
+
+// flag word bit positions
+const (
+	flagQR = 1 << 15
+	flagAA = 1 << 10
+	flagTC = 1 << 9
+	flagRD = 1 << 8
+	flagRA = 1 << 7
+)
+
+// Pack encodes the message into wire format.
+func (m *Message) Pack() ([]byte, error) {
+	b := make([]byte, 0, 512)
+	var flags uint16
+	if m.Header.Response {
+		flags |= flagQR
+	}
+	flags |= uint16(m.Header.OpCode&0xF) << 11
+	if m.Header.Authoritative {
+		flags |= flagAA
+	}
+	if m.Header.Truncated {
+		flags |= flagTC
+	}
+	if m.Header.RecursionDesired {
+		flags |= flagRD
+	}
+	if m.Header.RecursionAvailable {
+		flags |= flagRA
+	}
+	flags |= uint16(m.Header.RCode & 0xF)
+
+	for _, v := range []uint16{
+		m.Header.ID, flags,
+		uint16(len(m.Questions)), uint16(len(m.Answers)),
+		uint16(len(m.Authority)), uint16(len(m.Additional)),
+	} {
+		b = append(b, byte(v>>8), byte(v))
+	}
+
+	cmp := make(map[string]uint16)
+	var err error
+	for _, q := range m.Questions {
+		if b, err = packName(b, q.Name, cmp); err != nil {
+			return nil, fmt.Errorf("dnsmsg: packing question %q: %w", q.Name, err)
+		}
+		b = append(b, byte(q.Type>>8), byte(q.Type), byte(q.Class>>8), byte(q.Class))
+	}
+	for _, section := range [][]RR{m.Answers, m.Authority, m.Additional} {
+		for _, rr := range section {
+			if b, err = packRR(b, rr, cmp); err != nil {
+				return nil, fmt.Errorf("dnsmsg: packing RR %q: %w", rr.Name, err)
+			}
+		}
+	}
+	return b, nil
+}
+
+func packRR(b []byte, rr RR, cmp map[string]uint16) ([]byte, error) {
+	var err error
+	if b, err = packName(b, rr.Name, cmp); err != nil {
+		return nil, err
+	}
+	b = append(b,
+		byte(rr.Type>>8), byte(rr.Type),
+		byte(rr.Class>>8), byte(rr.Class),
+		byte(rr.TTL>>24), byte(rr.TTL>>16), byte(rr.TTL>>8), byte(rr.TTL))
+	// Reserve RDLENGTH and backfill after packing the rdata.
+	lenAt := len(b)
+	b = append(b, 0, 0)
+	if rr.Data == nil {
+		return nil, fmt.Errorf("nil rdata: %w", ErrBadRData)
+	}
+	if b, err = rr.Data.pack(b, cmp); err != nil {
+		return nil, err
+	}
+	rdlen := len(b) - lenAt - 2
+	if rdlen > 0xFFFF {
+		return nil, fmt.Errorf("rdata of %d octets: %w", rdlen, ErrBadRData)
+	}
+	b[lenAt] = byte(rdlen >> 8)
+	b[lenAt+1] = byte(rdlen)
+	return b, nil
+}
+
+// packName appends the wire form of a domain name, registering and reusing
+// compression pointers for every suffix seen so far.
+func packName(b []byte, name string, cmp map[string]uint16) ([]byte, error) {
+	name = CanonicalName(name)
+	if name == "" {
+		return append(b, 0), nil // root
+	}
+	if len(name) > 254 {
+		return nil, ErrNameTooLong
+	}
+	labels := strings.Split(name, ".")
+	for i := range labels {
+		if labels[i] == "" {
+			return nil, ErrEmptyLabel
+		}
+		if len(labels[i]) > 63 {
+			return nil, ErrLabelTooLong
+		}
+	}
+	for i := range labels {
+		suffix := strings.Join(labels[i:], ".")
+		if off, ok := cmp[suffix]; ok {
+			return append(b, 0xC0|byte(off>>8), byte(off)), nil
+		}
+		if len(b) < 0x4000 {
+			cmp[suffix] = uint16(len(b))
+		}
+		b = append(b, byte(len(labels[i])))
+		b = append(b, labels[i]...)
+	}
+	return append(b, 0), nil
+}
+
+// Unpack decodes a wire-format message. It rejects trailing garbage.
+func Unpack(data []byte) (*Message, error) {
+	d := &decoder{data: data}
+	var m Message
+	id, err := d.uint16()
+	if err != nil {
+		return nil, err
+	}
+	flags, err := d.uint16()
+	if err != nil {
+		return nil, err
+	}
+	m.Header = Header{
+		ID:                 id,
+		Response:           flags&flagQR != 0,
+		OpCode:             OpCode(flags >> 11 & 0xF),
+		Authoritative:      flags&flagAA != 0,
+		Truncated:          flags&flagTC != 0,
+		RecursionDesired:   flags&flagRD != 0,
+		RecursionAvailable: flags&flagRA != 0,
+		RCode:              RCode(flags & 0xF),
+	}
+	var counts [4]uint16
+	for i := range counts {
+		if counts[i], err = d.uint16(); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < int(counts[0]); i++ {
+		q, err := d.question()
+		if err != nil {
+			return nil, fmt.Errorf("dnsmsg: question %d: %w", i, err)
+		}
+		m.Questions = append(m.Questions, q)
+	}
+	sections := []struct {
+		dst *[]RR
+		n   uint16
+	}{
+		{&m.Answers, counts[1]},
+		{&m.Authority, counts[2]},
+		{&m.Additional, counts[3]},
+	}
+	for _, sec := range sections {
+		s, n := sec.dst, sec.n
+		for i := 0; i < int(n); i++ {
+			rr, err := d.rr()
+			if err != nil {
+				return nil, fmt.Errorf("dnsmsg: RR %d: %w", i, err)
+			}
+			*s = append(*s, rr)
+		}
+	}
+	if d.off != len(d.data) {
+		return nil, ErrTrailingBytes
+	}
+	return &m, nil
+}
+
+type decoder struct {
+	data []byte
+	off  int
+}
+
+func (d *decoder) uint16() (uint16, error) {
+	if d.off+2 > len(d.data) {
+		return 0, ErrTruncated
+	}
+	v := uint16(d.data[d.off])<<8 | uint16(d.data[d.off+1])
+	d.off += 2
+	return v, nil
+}
+
+func (d *decoder) uint32() (uint32, error) {
+	hi, err := d.uint16()
+	if err != nil {
+		return 0, err
+	}
+	lo, err := d.uint16()
+	if err != nil {
+		return 0, err
+	}
+	return uint32(hi)<<16 | uint32(lo), nil
+}
+
+func (d *decoder) bytes(n int) ([]byte, error) {
+	if n < 0 || d.off+n > len(d.data) {
+		return nil, ErrTruncated
+	}
+	b := d.data[d.off : d.off+n]
+	d.off += n
+	return b, nil
+}
+
+func (d *decoder) question() (Question, error) {
+	name, err := d.name()
+	if err != nil {
+		return Question{}, err
+	}
+	t, err := d.uint16()
+	if err != nil {
+		return Question{}, err
+	}
+	c, err := d.uint16()
+	if err != nil {
+		return Question{}, err
+	}
+	return Question{Name: name, Type: Type(t), Class: Class(c)}, nil
+}
+
+func (d *decoder) rr() (RR, error) {
+	name, err := d.name()
+	if err != nil {
+		return RR{}, err
+	}
+	t, err := d.uint16()
+	if err != nil {
+		return RR{}, err
+	}
+	c, err := d.uint16()
+	if err != nil {
+		return RR{}, err
+	}
+	ttl, err := d.uint32()
+	if err != nil {
+		return RR{}, err
+	}
+	rdlen, err := d.uint16()
+	if err != nil {
+		return RR{}, err
+	}
+	end := d.off + int(rdlen)
+	if end > len(d.data) {
+		return RR{}, ErrTruncated
+	}
+	rr := RR{Name: name, Type: Type(t), Class: Class(c), TTL: ttl}
+	if rr.Data, err = d.rdata(Type(t), end); err != nil {
+		return RR{}, err
+	}
+	if d.off != end {
+		return RR{}, fmt.Errorf("rdata length mismatch: %w", ErrBadRData)
+	}
+	return rr, nil
+}
+
+func (d *decoder) rdata(t Type, end int) (RData, error) {
+	switch t {
+	case TypeA:
+		b, err := d.bytes(4)
+		if err != nil {
+			return nil, err
+		}
+		var a A
+		copy(a.IP[:], b)
+		return a, nil
+	case TypeAAAA:
+		b, err := d.bytes(16)
+		if err != nil {
+			return nil, err
+		}
+		var a AAAA
+		copy(a.IP[:], b)
+		return a, nil
+	case TypeMX:
+		pref, err := d.uint16()
+		if err != nil {
+			return nil, err
+		}
+		host, err := d.name()
+		if err != nil {
+			return nil, err
+		}
+		return MX{Preference: pref, Host: host}, nil
+	case TypeNS:
+		host, err := d.name()
+		if err != nil {
+			return nil, err
+		}
+		return NS{Host: host}, nil
+	case TypeCNAME:
+		target, err := d.name()
+		if err != nil {
+			return nil, err
+		}
+		return CNAME{Target: target}, nil
+	case TypePTR:
+		target, err := d.name()
+		if err != nil {
+			return nil, err
+		}
+		return PTR{Target: target}, nil
+	case TypeTXT:
+		var txt TXT
+		for d.off < end {
+			n, err := d.bytes(1)
+			if err != nil {
+				return nil, err
+			}
+			s, err := d.bytes(int(n[0]))
+			if err != nil {
+				return nil, err
+			}
+			txt.Strings = append(txt.Strings, string(s))
+		}
+		return txt, nil
+	case TypeSOA:
+		var s SOA
+		var err error
+		if s.MName, err = d.name(); err != nil {
+			return nil, err
+		}
+		if s.RName, err = d.name(); err != nil {
+			return nil, err
+		}
+		for _, p := range []*uint32{&s.Serial, &s.Refresh, &s.Retry, &s.Expire, &s.Minimum} {
+			if *p, err = d.uint32(); err != nil {
+				return nil, err
+			}
+		}
+		return s, nil
+	default:
+		b, err := d.bytes(end - d.off)
+		if err != nil {
+			return nil, err
+		}
+		return Raw{Bytes: append([]byte(nil), b...)}, nil
+	}
+}
+
+// name decodes a possibly-compressed domain name starting at the current
+// offset and leaves the offset just past it.
+func (d *decoder) name() (string, error) {
+	var sb strings.Builder
+	off := d.off
+	jumped := false
+	jumps := 0
+	for {
+		if off >= len(d.data) {
+			return "", ErrTruncated
+		}
+		b := d.data[off]
+		switch {
+		case b == 0:
+			if !jumped {
+				d.off = off + 1
+			}
+			return CanonicalName(sb.String()), nil
+		case b&0xC0 == 0xC0:
+			if off+1 >= len(d.data) {
+				return "", ErrTruncated
+			}
+			ptr := int(b&0x3F)<<8 | int(d.data[off+1])
+			if !jumped {
+				d.off = off + 2
+			}
+			jumped = true
+			jumps++
+			if jumps > 64 {
+				return "", ErrPointerLoop
+			}
+			if ptr >= off {
+				// Forward (or self) pointers can only loop.
+				return "", ErrPointerLoop
+			}
+			off = ptr
+		case b&0xC0 != 0:
+			return "", fmt.Errorf("reserved label type %#x: %w", b&0xC0, ErrBadRData)
+		default:
+			n := int(b)
+			if off+1+n > len(d.data) {
+				return "", ErrTruncated
+			}
+			if sb.Len() > 0 {
+				sb.WriteByte('.')
+			}
+			if sb.Len()+n > 254 {
+				return "", ErrNameTooLong
+			}
+			label := d.data[off+1 : off+1+n]
+			// The wire format technically allows any byte inside a
+			// label, but this codec's text form separates labels with
+			// dots, so a label containing '.' (or NUL) cannot round-
+			// trip; reject it rather than decode ambiguously.
+			for _, c := range label {
+				if c == '.' || c == 0 {
+					return "", fmt.Errorf("label byte %#x: %w", c, ErrBadLabelByte)
+				}
+			}
+			sb.Write(label)
+			off += 1 + n
+		}
+	}
+}

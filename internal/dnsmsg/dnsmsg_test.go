@@ -1,0 +1,405 @@
+package dnsmsg
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sampleMessage() *Message {
+	return &Message{
+		Header: Header{
+			ID:                 0xBEEF,
+			Response:           true,
+			Authoritative:      true,
+			RecursionDesired:   true,
+			RecursionAvailable: true,
+			RCode:              RCodeSuccess,
+		},
+		Questions: []Question{{Name: "foo.net", Type: TypeMX, Class: ClassINET}},
+		Answers: []RR{
+			{Name: "foo.net", Type: TypeMX, Class: ClassINET, TTL: 300,
+				Data: MX{Preference: 0, Host: "smtp.foo.net"}},
+			{Name: "foo.net", Type: TypeMX, Class: ClassINET, TTL: 300,
+				Data: MX{Preference: 15, Host: "smtp1.foo.net"}},
+		},
+		Additional: []RR{
+			{Name: "smtp.foo.net", Type: TypeA, Class: ClassINET, TTL: 300,
+				Data: MustIPv4("1.2.3.4")},
+		},
+	}
+}
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	m := sampleMessage()
+	wire, err := m.Pack()
+	if err != nil {
+		t.Fatalf("Pack: %v", err)
+	}
+	got, err := Unpack(wire)
+	if err != nil {
+		t.Fatalf("Unpack: %v", err)
+	}
+	if !reflect.DeepEqual(got, m) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, m)
+	}
+}
+
+func TestCompressionShrinksMessage(t *testing.T) {
+	m := sampleMessage()
+	wire, err := m.Pack()
+	if err != nil {
+		t.Fatalf("Pack: %v", err)
+	}
+	// "foo.net" appears 4 times; with compression the message must be
+	// far smaller than the uncompressed sum. A loose but meaningful
+	// bound: every name after the first occurrence costs 2 bytes
+	// (pointer) instead of 9 ("\x03foo\x03net\x00").
+	if len(wire) > 110 {
+		t.Fatalf("compressed message is %d bytes, expected <= 110", len(wire))
+	}
+	// And compression pointers must round-trip (already covered above,
+	// but assert the names specifically).
+	got, _ := Unpack(wire)
+	if got.Answers[1].Data.(MX).Host != "smtp1.foo.net" {
+		t.Fatalf("compressed MX host = %q", got.Answers[1].Data.(MX).Host)
+	}
+}
+
+func TestRDataRoundTrip(t *testing.T) {
+	cases := []struct {
+		name string
+		rr   RR
+	}{
+		{"A", RR{Name: "a.example", Type: TypeA, Class: ClassINET, TTL: 60, Data: MustIPv4("203.0.113.7")}},
+		{"AAAA", RR{Name: "a.example", Type: TypeAAAA, Class: ClassINET, TTL: 60, Data: AAAA{IP: [16]byte{0x20, 0x01, 0x0d, 0xb8, 15: 1}}}},
+		{"MX", RR{Name: "a.example", Type: TypeMX, Class: ClassINET, TTL: 60, Data: MX{Preference: 10, Host: "mx.a.example"}}},
+		{"NS", RR{Name: "a.example", Type: TypeNS, Class: ClassINET, TTL: 60, Data: NS{Host: "ns1.a.example"}}},
+		{"CNAME", RR{Name: "www.a.example", Type: TypeCNAME, Class: ClassINET, TTL: 60, Data: CNAME{Target: "a.example"}}},
+		{"PTR", RR{Name: "7.113.0.203.in-addr.arpa", Type: TypePTR, Class: ClassINET, TTL: 60, Data: PTR{Target: "a.example"}}},
+		{"TXT", RR{Name: "a.example", Type: TypeTXT, Class: ClassINET, TTL: 60, Data: TXT{Strings: []string{"v=spf1 -all", "second"}}}},
+		{"SOA", RR{Name: "a.example", Type: TypeSOA, Class: ClassINET, TTL: 60, Data: SOA{
+			MName: "ns1.a.example", RName: "hostmaster.a.example",
+			Serial: 2015022801, Refresh: 7200, Retry: 3600, Expire: 1209600, Minimum: 300}}},
+		{"Raw", RR{Name: "a.example", Type: Type(99), Class: ClassINET, TTL: 60, Data: Raw{Bytes: []byte{1, 2, 3}}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := &Message{Header: Header{ID: 1, Response: true}, Answers: []RR{tc.rr}}
+			wire, err := m.Pack()
+			if err != nil {
+				t.Fatalf("Pack: %v", err)
+			}
+			got, err := Unpack(wire)
+			if err != nil {
+				t.Fatalf("Unpack: %v", err)
+			}
+			if !reflect.DeepEqual(got.Answers[0], tc.rr) {
+				t.Fatalf("round trip:\n got %+v\nwant %+v", got.Answers[0], tc.rr)
+			}
+		})
+	}
+}
+
+func TestNewQueryShape(t *testing.T) {
+	q := NewQuery(42, "Foo.NET.", TypeANY)
+	if q.Header.ID != 42 || q.Header.Response || !q.Header.RecursionDesired {
+		t.Fatalf("query header = %+v", q.Header)
+	}
+	if len(q.Questions) != 1 {
+		t.Fatalf("questions = %d, want 1", len(q.Questions))
+	}
+	if got := q.Questions[0].Name; got != "foo.net" {
+		t.Fatalf("question name = %q, want canonicalized %q", got, "foo.net")
+	}
+}
+
+func TestReplyEchoesQuestion(t *testing.T) {
+	q := NewQuery(7, "foo.net", TypeMX)
+	r := q.Reply()
+	if !r.Header.Response || r.Header.ID != 7 {
+		t.Fatalf("reply header = %+v", r.Header)
+	}
+	if !reflect.DeepEqual(r.Questions, q.Questions) {
+		t.Fatalf("reply questions = %+v", r.Questions)
+	}
+	if !r.Header.RecursionDesired {
+		t.Fatal("reply did not copy RD")
+	}
+}
+
+func TestCanonicalName(t *testing.T) {
+	cases := map[string]string{
+		"FOO.NET":       "foo.net",
+		"foo.net.":      "foo.net",
+		"Smtp.Foo.NET.": "smtp.foo.net",
+		"":              "",
+		".":             "",
+	}
+	for in, want := range cases {
+		if got := CanonicalName(in); got != want {
+			t.Errorf("CanonicalName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestParseIPv4(t *testing.T) {
+	good := map[string][4]byte{
+		"0.0.0.0":         {0, 0, 0, 0},
+		"255.255.255.255": {255, 255, 255, 255},
+		"10.20.30.40":     {10, 20, 30, 40},
+	}
+	for in, want := range good {
+		a, err := ParseIPv4(in)
+		if err != nil {
+			t.Errorf("ParseIPv4(%q): %v", in, err)
+			continue
+		}
+		if a.IP != want {
+			t.Errorf("ParseIPv4(%q) = %v, want %v", in, a.IP, want)
+		}
+		if a.String() != in {
+			t.Errorf("A(%q).String() = %q", in, a.String())
+		}
+	}
+	bad := []string{"", "1.2.3", "1.2.3.4.5", "256.1.1.1", "a.b.c.d", "1..2.3", "1.2.3.4444"}
+	for _, in := range bad {
+		if _, err := ParseIPv4(in); err == nil {
+			t.Errorf("ParseIPv4(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestMustIPv4PanicsOnBadInput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustIPv4 did not panic")
+		}
+	}()
+	MustIPv4("not-an-ip")
+}
+
+func TestPackRejectsBadNames(t *testing.T) {
+	long := strings.Repeat("a", 64) + ".example"
+	cases := []struct {
+		name string
+		want error
+	}{
+		{long, ErrLabelTooLong},
+		{strings.Repeat("abcdefg.", 40), ErrNameTooLong},
+		{"foo..bar", ErrEmptyLabel},
+	}
+	for _, tc := range cases {
+		m := NewQuery(1, tc.name, TypeA)
+		if _, err := m.Pack(); !errors.Is(err, tc.want) {
+			t.Errorf("Pack(%q) error = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestUnpackRejectsTruncation(t *testing.T) {
+	wire, err := sampleMessage().Pack()
+	if err != nil {
+		t.Fatalf("Pack: %v", err)
+	}
+	for i := 1; i < len(wire); i++ {
+		if _, err := Unpack(wire[:i]); err == nil {
+			t.Fatalf("Unpack accepted %d-byte truncation", i)
+		}
+	}
+}
+
+func TestUnpackRejectsTrailingBytes(t *testing.T) {
+	wire, _ := sampleMessage().Pack()
+	wire = append(wire, 0x00)
+	if _, err := Unpack(wire); !errors.Is(err, ErrTrailingBytes) {
+		t.Fatalf("Unpack with trailing byte = %v, want ErrTrailingBytes", err)
+	}
+}
+
+func TestUnpackRejectsPointerLoops(t *testing.T) {
+	// Header claiming one question, then a name that is a pointer to
+	// itself at offset 12.
+	wire := []byte{
+		0, 1, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0,
+		0xC0, 12, // pointer to itself
+		0, 1, 0, 1,
+	}
+	if _, err := Unpack(wire); !errors.Is(err, ErrPointerLoop) {
+		t.Fatalf("self-pointer = %v, want ErrPointerLoop", err)
+	}
+}
+
+func TestUnpackRejectsReservedLabelType(t *testing.T) {
+	wire := []byte{
+		0, 1, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0,
+		0x80, 1, // reserved 10-prefix label
+		0, 1, 0, 1,
+	}
+	if _, err := Unpack(wire); err == nil {
+		t.Fatal("reserved label type accepted")
+	}
+}
+
+func TestTXTStringTooLong(t *testing.T) {
+	m := &Message{
+		Header: Header{ID: 1},
+		Answers: []RR{{Name: "a.example", Type: TypeTXT, Class: ClassINET,
+			Data: TXT{Strings: []string{strings.Repeat("x", 256)}}}},
+	}
+	if _, err := m.Pack(); !errors.Is(err, ErrBadRData) {
+		t.Fatalf("Pack long TXT = %v, want ErrBadRData", err)
+	}
+}
+
+func TestNilRDataRejected(t *testing.T) {
+	m := &Message{Header: Header{ID: 1}, Answers: []RR{{Name: "a.example", Type: TypeA, Class: ClassINET}}}
+	if _, err := m.Pack(); !errors.Is(err, ErrBadRData) {
+		t.Fatalf("Pack nil rdata = %v, want ErrBadRData", err)
+	}
+}
+
+func TestTypeClassRCodeStrings(t *testing.T) {
+	if TypeMX.String() != "MX" || TypeANY.String() != "ANY" || Type(77).String() != "TYPE77" {
+		t.Error("Type.String mismatch")
+	}
+	if ClassINET.String() != "IN" || Class(9).String() != "CLASS9" {
+		t.Error("Class.String mismatch")
+	}
+	if RCodeNameError.String() != "NXDOMAIN" || RCode(15).String() != "RCODE15" {
+		t.Error("RCode.String mismatch")
+	}
+	rr := RR{Name: "foo.net", Type: TypeMX, Class: ClassINET, TTL: 300, Data: MX{Preference: 5, Host: "mx.foo.net"}}
+	if got := rr.String(); got != "foo.net 300 IN MX 5 mx.foo.net" {
+		t.Errorf("RR.String = %q", got)
+	}
+}
+
+// randomName builds a valid random domain name from a constrained alphabet.
+func randomName(r *rand.Rand) string {
+	labels := 1 + r.Intn(4)
+	parts := make([]string, labels)
+	const alpha = "abcdefghijklmnopqrstuvwxyz0123456789-"
+	for i := range parts {
+		n := 1 + r.Intn(12)
+		var sb strings.Builder
+		for j := 0; j < n; j++ {
+			sb.WriteByte(alpha[r.Intn(len(alpha)-1)]) // avoid '-' heavy names; still valid anyway
+		}
+		parts[i] = sb.String()
+	}
+	return strings.Join(parts, ".")
+}
+
+// Property: any message assembled from random valid names and supported
+// rdata types round-trips exactly.
+func TestRoundTripProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	f := func(id uint16, seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		m := &Message{Header: Header{ID: id, Response: rr.Intn(2) == 0, RCode: RCode(rr.Intn(6))}}
+		m.Questions = append(m.Questions, Question{Name: randomName(rr), Type: TypeMX, Class: ClassINET})
+		n := rr.Intn(6)
+		for i := 0; i < n; i++ {
+			name := randomName(rr)
+			switch rr.Intn(4) {
+			case 0:
+				m.Answers = append(m.Answers, RR{Name: name, Type: TypeA, Class: ClassINET, TTL: uint32(rr.Intn(86400)),
+					Data: A{IP: [4]byte{byte(rr.Intn(256)), byte(rr.Intn(256)), byte(rr.Intn(256)), byte(rr.Intn(256))}}})
+			case 1:
+				m.Answers = append(m.Answers, RR{Name: name, Type: TypeMX, Class: ClassINET, TTL: uint32(rr.Intn(86400)),
+					Data: MX{Preference: uint16(rr.Intn(100)), Host: randomName(rr)}})
+			case 2:
+				m.Answers = append(m.Answers, RR{Name: name, Type: TypeCNAME, Class: ClassINET, TTL: uint32(rr.Intn(86400)),
+					Data: CNAME{Target: randomName(rr)}})
+			case 3:
+				m.Answers = append(m.Answers, RR{Name: name, Type: TypeTXT, Class: ClassINET, TTL: uint32(rr.Intn(86400)),
+					Data: TXT{Strings: []string{randomName(rr)}}})
+			}
+		}
+		wire, err := m.Pack()
+		if err != nil {
+			return false
+		}
+		got, err := Unpack(wire)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(got, m)
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: r}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Unpack never panics on arbitrary input (fuzz-like).
+func TestUnpackNeverPanics(t *testing.T) {
+	f := func(data []byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		Unpack(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllStringers(t *testing.T) {
+	cases := map[string]string{
+		(Question{Name: "foo.net", Type: TypeMX, Class: ClassINET}).String():                           "foo.net IN MX",
+		(MX{Preference: 5, Host: "mx.x"}).String():                                                     "5 mx.x",
+		(NS{Host: "ns.x"}).String():                                                                    "ns.x",
+		(CNAME{Target: "t.x"}).String():                                                                "t.x",
+		(PTR{Target: "p.x"}).String():                                                                  "p.x",
+		(TXT{Strings: []string{"a", "b c"}}).String():                                                  `"a" "b c"`,
+		(SOA{MName: "m", RName: "r", Serial: 1, Refresh: 2, Retry: 3, Expire: 4, Minimum: 5}).String(): "m r 1 2 3 4 5",
+		(Raw{Bytes: []byte{0xAB}}).String():                                                            `\# 1 ab`,
+		(AAAA{IP: [16]byte{0x20, 0x01, 0x0d, 0xb8, 15: 1}}).String():                                   "2001:db8:0:0:0:0:0:1",
+	}
+	for got, want := range cases {
+		if got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+	// Type/Class/RCode coverage for every named constant.
+	for typ, want := range map[Type]string{
+		TypeA: "A", TypeNS: "NS", TypeCNAME: "CNAME", TypeSOA: "SOA",
+		TypePTR: "PTR", TypeMX: "MX", TypeTXT: "TXT", TypeAAAA: "AAAA", TypeANY: "ANY",
+	} {
+		if typ.String() != want {
+			t.Errorf("Type %d = %q, want %q", typ, typ.String(), want)
+		}
+	}
+	for rc, want := range map[RCode]string{
+		RCodeSuccess: "NOERROR", RCodeFormatError: "FORMERR", RCodeServerFailure: "SERVFAIL",
+		RCodeNameError: "NXDOMAIN", RCodeNotImplemented: "NOTIMP", RCodeRefused: "REFUSED",
+	} {
+		if rc.String() != want {
+			t.Errorf("RCode %d = %q, want %q", rc, rc.String(), want)
+		}
+	}
+	if ClassANY.String() != "ANY" {
+		t.Error("ClassANY")
+	}
+}
+
+func TestUnpackRejectsDottedLabel(t *testing.T) {
+	// A wire label containing a literal '.' cannot round-trip through
+	// the dotted text form and must be rejected (fuzz regression).
+	wire := []byte{
+		0, 1, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0,
+		3, '.', '0', '0', 3, '0', '0', '0', 0,
+		0, 1, 0, 1,
+	}
+	if _, err := Unpack(wire); !errors.Is(err, ErrBadLabelByte) {
+		t.Fatalf("err = %v, want ErrBadLabelByte", err)
+	}
+}

@@ -1,0 +1,323 @@
+package dnsresolver
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/dnsmsg"
+	"repro/internal/dnsserver"
+	"repro/internal/simtime"
+)
+
+// buildServer creates an authoritative server for foo.net with a nolisting
+// MX layout (primary pref 0, secondary pref 15) plus assorted fixtures.
+func buildServer(t *testing.T) *dnsserver.Server {
+	t.Helper()
+	z := dnsserver.NewZone("foo.net")
+	z.MustAdd(dnsmsg.RR{Name: "foo.net", Type: dnsmsg.TypeMX, TTL: 300, Data: dnsmsg.MX{Preference: 15, Host: "smtp1.foo.net"}})
+	z.MustAdd(dnsmsg.RR{Name: "foo.net", Type: dnsmsg.TypeMX, TTL: 300, Data: dnsmsg.MX{Preference: 0, Host: "smtp.foo.net"}})
+	z.MustAdd(dnsmsg.RR{Name: "smtp.foo.net", Type: dnsmsg.TypeA, TTL: 300, Data: dnsmsg.MustIPv4("1.2.3.4")})
+	z.MustAdd(dnsmsg.RR{Name: "smtp1.foo.net", Type: dnsmsg.TypeA, TTL: 300, Data: dnsmsg.MustIPv4("1.2.3.5")})
+	z.MustAdd(dnsmsg.RR{Name: "www.foo.net", Type: dnsmsg.TypeCNAME, TTL: 300, Data: dnsmsg.CNAME{Target: "web.foo.net"}})
+	z.MustAdd(dnsmsg.RR{Name: "web.foo.net", Type: dnsmsg.TypeA, TTL: 300, Data: dnsmsg.MustIPv4("1.2.3.6")})
+
+	// Domain with A but no MX: implicit-MX case.
+	z2 := dnsserver.NewZone("implicit.example")
+	z2.MustAdd(dnsmsg.RR{Name: "implicit.example", Type: dnsmsg.TypeA, TTL: 300, Data: dnsmsg.MustIPv4("7.7.7.7")})
+
+	// Domain whose MX target never resolves: misconfiguration.
+	z3 := dnsserver.NewZone("broken.example")
+	z3.MustAdd(dnsmsg.RR{Name: "broken.example", Type: dnsmsg.TypeMX, TTL: 300, Data: dnsmsg.MX{Preference: 10, Host: "ghost.broken.example"}})
+
+	s := dnsserver.New()
+	s.AddZone(z)
+	s.AddZone(z2)
+	s.AddZone(z3)
+	return s
+}
+
+func newResolver(t *testing.T) (*Resolver, *dnsserver.Server, *simtime.Sim) {
+	t.Helper()
+	srv := buildServer(t)
+	clock := simtime.NewSim(simtime.Epoch)
+	return New(Direct(srv), clock), srv, clock
+}
+
+func TestLookupA(t *testing.T) {
+	r, _, _ := newResolver(t)
+	addrs, err := r.LookupA("smtp.foo.net")
+	if err != nil {
+		t.Fatalf("LookupA: %v", err)
+	}
+	if len(addrs) != 1 || addrs[0] != "1.2.3.4" {
+		t.Fatalf("addrs = %v", addrs)
+	}
+}
+
+func TestLookupAChasesCNAME(t *testing.T) {
+	r, _, _ := newResolver(t)
+	addrs, err := r.LookupA("www.foo.net")
+	if err != nil {
+		t.Fatalf("LookupA: %v", err)
+	}
+	if len(addrs) != 1 || addrs[0] != "1.2.3.6" {
+		t.Fatalf("addrs = %v", addrs)
+	}
+}
+
+func TestLookupANXDomain(t *testing.T) {
+	r, _, _ := newResolver(t)
+	_, err := r.LookupA("missing.foo.net")
+	if !errors.Is(err, ErrNXDomain) {
+		t.Fatalf("err = %v, want ErrNXDomain", err)
+	}
+}
+
+func TestLookupMXSortedByPreference(t *testing.T) {
+	r, _, _ := newResolver(t)
+	hosts, err := r.LookupMX("foo.net")
+	if err != nil {
+		t.Fatalf("LookupMX: %v", err)
+	}
+	if len(hosts) != 2 {
+		t.Fatalf("hosts = %v", hosts)
+	}
+	if hosts[0].Host != "smtp.foo.net" || hosts[0].Preference != 0 {
+		t.Fatalf("primary = %+v, want smtp.foo.net pref 0", hosts[0])
+	}
+	if hosts[1].Host != "smtp1.foo.net" || hosts[1].Preference != 15 {
+		t.Fatalf("secondary = %+v", hosts[1])
+	}
+	if hosts[0].Addrs[0] != "1.2.3.4" || hosts[1].Addrs[0] != "1.2.3.5" {
+		t.Fatalf("glue addrs = %v / %v", hosts[0].Addrs, hosts[1].Addrs)
+	}
+	if hosts[0].Implicit || hosts[1].Implicit {
+		t.Fatal("explicit MX flagged implicit")
+	}
+}
+
+func TestLookupMXWithoutGlueReResolves(t *testing.T) {
+	// The paper's "parallel scanner": when the MX reply has no glue,
+	// each exchanger needs its own A lookup.
+	r, srv, _ := newResolver(t)
+	srv.Zone("foo.net").SetNoGlue(true)
+	hosts, err := r.LookupMX("foo.net")
+	if err != nil {
+		t.Fatalf("LookupMX: %v", err)
+	}
+	if hosts[0].Addrs[0] != "1.2.3.4" || hosts[1].Addrs[0] != "1.2.3.5" {
+		t.Fatalf("re-resolved addrs = %v / %v", hosts[0].Addrs, hosts[1].Addrs)
+	}
+	// Glue-less resolution costs extra queries: 1 MX + 2 A.
+	queries, _ := r.Stats()
+	if queries != 3 {
+		t.Fatalf("queries = %d, want 3 (MX + 2×A)", queries)
+	}
+}
+
+func TestLookupMXImplicit(t *testing.T) {
+	r, _, _ := newResolver(t)
+	hosts, err := r.LookupMX("implicit.example")
+	if err != nil {
+		t.Fatalf("LookupMX: %v", err)
+	}
+	if len(hosts) != 1 || !hosts[0].Implicit {
+		t.Fatalf("hosts = %+v, want one implicit MX", hosts)
+	}
+	if hosts[0].Preference != 0 || hosts[0].Host != "implicit.example" || hosts[0].Addrs[0] != "7.7.7.7" {
+		t.Fatalf("implicit MX = %+v", hosts[0])
+	}
+}
+
+func TestLookupMXUnresolvableTarget(t *testing.T) {
+	r, _, _ := newResolver(t)
+	hosts, err := r.LookupMX("broken.example")
+	if !errors.Is(err, ErrUnresolvableMX) {
+		t.Fatalf("err = %v, want ErrUnresolvableMX", err)
+	}
+	if len(hosts) != 1 || len(hosts[0].Addrs) != 0 {
+		t.Fatalf("hosts = %+v", hosts)
+	}
+}
+
+func TestLookupMXNXDomain(t *testing.T) {
+	r, _, _ := newResolver(t)
+	if _, err := r.LookupMX("unknown.example.zone"); err == nil {
+		t.Fatal("LookupMX for unknown zone succeeded")
+	}
+}
+
+func TestCacheHitWithinTTL(t *testing.T) {
+	r, _, clock := newResolver(t)
+	if _, err := r.LookupA("smtp.foo.net"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.LookupA("smtp.foo.net"); err != nil {
+		t.Fatal(err)
+	}
+	queries, hits := r.Stats()
+	if queries != 1 || hits != 1 {
+		t.Fatalf("stats = (%d queries, %d hits), want (1, 1)", queries, hits)
+	}
+	// Past the 300 s TTL the cache entry expires.
+	clock.Advance(301 * time.Second)
+	if _, err := r.LookupA("smtp.foo.net"); err != nil {
+		t.Fatal(err)
+	}
+	queries, _ = r.Stats()
+	if queries != 2 {
+		t.Fatalf("queries after TTL expiry = %d, want 2", queries)
+	}
+}
+
+func TestDisableCache(t *testing.T) {
+	r, _, _ := newResolver(t)
+	r.DisableCache = true
+	r.LookupA("smtp.foo.net")
+	r.LookupA("smtp.foo.net")
+	queries, hits := r.Stats()
+	if queries != 2 || hits != 0 {
+		t.Fatalf("stats = (%d, %d), want (2, 0)", queries, hits)
+	}
+}
+
+func TestFlushCache(t *testing.T) {
+	r, _, _ := newResolver(t)
+	r.LookupA("smtp.foo.net")
+	r.FlushCache()
+	r.LookupA("smtp.foo.net")
+	queries, hits := r.Stats()
+	if queries != 2 || hits != 0 {
+		t.Fatalf("stats after flush = (%d, %d), want (2, 0)", queries, hits)
+	}
+}
+
+func TestUDPTransportEndToEnd(t *testing.T) {
+	srv := buildServer(t)
+	addr, err := srv.ListenAndServeUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("ListenAndServeUDP: %v", err)
+	}
+	defer srv.Close()
+
+	r := New(UDP(addr.String(), 2*time.Second), simtime.Real{})
+	hosts, err := r.LookupMX("foo.net")
+	if err != nil {
+		t.Fatalf("LookupMX over UDP: %v", err)
+	}
+	if len(hosts) != 2 || hosts[0].Host != "smtp.foo.net" {
+		t.Fatalf("hosts = %+v", hosts)
+	}
+}
+
+func TestTransportErrorPropagates(t *testing.T) {
+	boom := errors.New("boom")
+	r := New(TransportFunc(func(*dnsmsg.Message) (*dnsmsg.Message, error) { return nil, boom }), simtime.Real{})
+	if _, err := r.LookupA("x.example"); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want transport error", err)
+	}
+}
+
+func TestServFailSurfaced(t *testing.T) {
+	r := New(TransportFunc(func(q *dnsmsg.Message) (*dnsmsg.Message, error) {
+		resp := q.Reply()
+		resp.Header.RCode = dnsmsg.RCodeServerFailure
+		return resp, nil
+	}), simtime.Real{})
+	if _, err := r.LookupA("x.example"); !errors.Is(err, ErrServFail) {
+		t.Fatalf("err = %v, want ErrServFail", err)
+	}
+}
+
+func TestEqualPreferenceDeterministicOrder(t *testing.T) {
+	srv := dnsserver.New()
+	z := dnsserver.NewZone("eq.example")
+	z.MustAdd(dnsmsg.RR{Name: "eq.example", Type: dnsmsg.TypeMX, TTL: 60, Data: dnsmsg.MX{Preference: 10, Host: "mxb.eq.example"}})
+	z.MustAdd(dnsmsg.RR{Name: "eq.example", Type: dnsmsg.TypeMX, TTL: 60, Data: dnsmsg.MX{Preference: 10, Host: "mxa.eq.example"}})
+	z.MustAdd(dnsmsg.RR{Name: "mxa.eq.example", Type: dnsmsg.TypeA, TTL: 60, Data: dnsmsg.MustIPv4("2.2.2.1")})
+	z.MustAdd(dnsmsg.RR{Name: "mxb.eq.example", Type: dnsmsg.TypeA, TTL: 60, Data: dnsmsg.MustIPv4("2.2.2.2")})
+	srv.AddZone(z)
+	r := New(Direct(srv), simtime.Real{})
+	hosts, err := r.LookupMX("eq.example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hosts[0].Host != "mxa.eq.example" || hosts[1].Host != "mxb.eq.example" {
+		t.Fatalf("equal-pref order = %v, want host-name tiebreak", hosts)
+	}
+}
+
+func TestFailoverTransport(t *testing.T) {
+	srv := buildServer(t)
+	boom := errors.New("primary resolver down")
+	failing := TransportFunc(func(*dnsmsg.Message) (*dnsmsg.Message, error) { return nil, boom })
+
+	r := New(Failover(failing, Direct(srv)), simtime.Real{})
+	addrs, err := r.LookupA("smtp.foo.net")
+	if err != nil {
+		t.Fatalf("LookupA through failover: %v", err)
+	}
+	if len(addrs) != 1 || addrs[0] != "1.2.3.4" {
+		t.Fatalf("addrs = %v", addrs)
+	}
+
+	// All transports down: the last error is surfaced.
+	r2 := New(Failover(failing, failing), simtime.Real{})
+	if _, err := r2.LookupA("smtp.foo.net"); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped transport error", err)
+	}
+
+	// No transports configured.
+	r3 := New(Failover(), simtime.Real{})
+	if _, err := r3.LookupA("smtp.foo.net"); err == nil {
+		t.Fatal("empty failover succeeded")
+	}
+
+	// NXDOMAIN is an answer, not a failure: it must NOT trigger failover.
+	calls := 0
+	counting := TransportFunc(func(q *dnsmsg.Message) (*dnsmsg.Message, error) {
+		calls++
+		resp := q.Reply()
+		resp.Header.RCode = dnsmsg.RCodeNameError
+		return resp, nil
+	})
+	r4 := New(Failover(counting, Direct(srv)), simtime.Real{})
+	if _, err := r4.LookupA("smtp.foo.net"); !errors.Is(err, ErrNXDomain) {
+		t.Fatalf("err = %v, want NXDOMAIN from first transport", err)
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d", calls)
+	}
+}
+
+func TestNegativeCaching(t *testing.T) {
+	r, _, clock := newResolver(t)
+	r.NegativeTTL = 300 * time.Second
+
+	if _, err := r.LookupA("ghost.foo.net"); !errors.Is(err, ErrNXDomain) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := r.LookupA("ghost.foo.net"); !errors.Is(err, ErrNXDomain) {
+		t.Fatalf("cached err = %v", err)
+	}
+	queries, hits := r.Stats()
+	if queries != 1 || hits != 1 {
+		t.Fatalf("stats = (%d, %d), want NXDOMAIN served from cache", queries, hits)
+	}
+	// The negative entry expires.
+	clock.Advance(301 * time.Second)
+	r.LookupA("ghost.foo.net")
+	queries, _ = r.Stats()
+	if queries != 2 {
+		t.Fatalf("queries after expiry = %d", queries)
+	}
+	// Without NegativeTTL, every miss hits the server.
+	r2, _, _ := newResolver(t)
+	r2.LookupA("ghost.foo.net")
+	r2.LookupA("ghost.foo.net")
+	q2, h2 := r2.Stats()
+	if q2 != 2 || h2 != 0 {
+		t.Fatalf("default stats = (%d, %d), want no negative caching", q2, h2)
+	}
+}

@@ -1,0 +1,416 @@
+// Package dnsserver implements a small authoritative DNS server over the
+// dnsmsg wire format. It plays two roles in the reproduction:
+//
+//   - In the contained lab (Section III of the paper), it is the forged DNS
+//     the malware models talk to: every MX query is answered with records
+//     pointing at the instrumented mail server, exactly as the authors
+//     intercepted MX requests from the infected VM.
+//   - In the adoption study (Section IV-A), it serves the synthetic
+//     Internet's zones to the zmap-style scanner, including the
+//     misconfiguration modes the paper encountered (missing MX glue that
+//     forces a second lookup, unresolvable MX records).
+//
+// The server answers from in-memory zones, supports exact-name matching with
+// CNAME chasing inside a zone, the ANY pseudo-query, and MX glue in the
+// additional section. It serves real UDP (datagram) and TCP (two-octet
+// length-prefixed) transports and an in-process Handle path for simulations.
+package dnsserver
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/dnsmsg"
+)
+
+// Zone holds the records of a single origin (e.g. "foo.net"). A Zone is
+// safe for concurrent use.
+type Zone struct {
+	origin string
+
+	mu      sync.RWMutex
+	records map[string][]dnsmsg.RR // canonical owner name -> RRs
+	// noGlue suppresses additional-section A records for MX targets,
+	// modelling the paper's "MX records that were not properly
+	// resolved" that forced their parallel scanner to re-resolve.
+	noGlue bool
+}
+
+// NewZone returns an empty zone for origin.
+func NewZone(origin string) *Zone {
+	return &Zone{
+		origin:  dnsmsg.CanonicalName(origin),
+		records: make(map[string][]dnsmsg.RR),
+	}
+}
+
+// Origin returns the zone origin (canonical form).
+func (z *Zone) Origin() string { return z.origin }
+
+// SetNoGlue controls whether MX answers include the exchangers' A records
+// in the additional section. Glue is included by default.
+func (z *Zone) SetNoGlue(noGlue bool) {
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	z.noGlue = noGlue
+}
+
+// Add inserts a record. The owner name must be within the zone.
+func (z *Zone) Add(rr dnsmsg.RR) error {
+	name := dnsmsg.CanonicalName(rr.Name)
+	if !nameInZone(name, z.origin) {
+		return fmt.Errorf("dnsserver: %q is not in zone %q", rr.Name, z.origin)
+	}
+	rr.Name = name
+	if rr.Class == 0 {
+		rr.Class = dnsmsg.ClassINET
+	}
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	z.records[name] = append(z.records[name], rr)
+	return nil
+}
+
+// MustAdd is Add that panics on error; for fixtures.
+func (z *Zone) MustAdd(rr dnsmsg.RR) {
+	if err := z.Add(rr); err != nil {
+		panic(err)
+	}
+}
+
+// Remove deletes all records of the given type at name. Type ANY removes
+// every record at the name.
+func (z *Zone) Remove(name string, t dnsmsg.Type) {
+	name = dnsmsg.CanonicalName(name)
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	if t == dnsmsg.TypeANY {
+		delete(z.records, name)
+		return
+	}
+	var kept []dnsmsg.RR
+	for _, rr := range z.records[name] {
+		if rr.Type != t {
+			kept = append(kept, rr)
+		}
+	}
+	if len(kept) == 0 {
+		delete(z.records, name)
+	} else {
+		z.records[name] = kept
+	}
+}
+
+// Lookup returns the records of type t at name (ANY returns all), and
+// whether the name exists at all (to distinguish NODATA from NXDOMAIN).
+func (z *Zone) Lookup(name string, t dnsmsg.Type) (rrs []dnsmsg.RR, nameExists bool) {
+	name = dnsmsg.CanonicalName(name)
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	all, ok := z.records[name]
+	if !ok {
+		return nil, false
+	}
+	for _, rr := range all {
+		if t == dnsmsg.TypeANY || rr.Type == t {
+			rrs = append(rrs, rr)
+		}
+	}
+	return rrs, true
+}
+
+// Names returns every owner name in the zone, sorted; used by the scan
+// dataset builder.
+func (z *Zone) Names() []string {
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	names := make([]string, 0, len(z.records))
+	for n := range z.records {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func nameInZone(name, origin string) bool {
+	if origin == "" {
+		return true // root zone holds everything
+	}
+	return name == origin || strings.HasSuffix(name, "."+origin)
+}
+
+// Server is an authoritative server over a set of zones.
+type Server struct {
+	mu    sync.RWMutex
+	zones map[string]*Zone
+
+	// OnQuery, when non-nil, observes every question handled. The lab
+	// uses it to record which MX lookups each malware model performs.
+	// It must be set before serving begins.
+	OnQuery func(q dnsmsg.Question)
+
+	wg      sync.WaitGroup
+	closeMu sync.Mutex
+	closers []io.Closer
+	closed  bool
+}
+
+// New returns a Server with no zones.
+func New() *Server {
+	return &Server{zones: make(map[string]*Zone)}
+}
+
+// AddZone registers (or replaces) a zone.
+func (s *Server) AddZone(z *Zone) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.zones[z.Origin()] = z
+}
+
+// RemoveZone drops the zone with the given origin.
+func (s *Server) RemoveZone(origin string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.zones, dnsmsg.CanonicalName(origin))
+}
+
+// Zone returns the zone with the given origin, or nil.
+func (s *Server) Zone(origin string) *Zone {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.zones[dnsmsg.CanonicalName(origin)]
+}
+
+// findZone returns the longest-suffix zone containing name.
+func (s *Server) findZone(name string) *Zone {
+	name = dnsmsg.CanonicalName(name)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for candidate := name; ; {
+		if z, ok := s.zones[candidate]; ok {
+			return z
+		}
+		dot := strings.IndexByte(candidate, '.')
+		if dot < 0 {
+			break
+		}
+		candidate = candidate[dot+1:]
+	}
+	if z, ok := s.zones[""]; ok {
+		return z
+	}
+	return nil
+}
+
+const maxCNAMEChain = 8
+
+// Handle answers a single query message. It never returns nil.
+func (s *Server) Handle(q *dnsmsg.Message) *dnsmsg.Message {
+	resp := q.Reply()
+	if q.Header.OpCode != dnsmsg.OpQuery || len(q.Questions) != 1 {
+		resp.Header.RCode = dnsmsg.RCodeNotImplemented
+		return resp
+	}
+	question := q.Questions[0]
+	if s.OnQuery != nil {
+		s.OnQuery(question)
+	}
+	if question.Class != dnsmsg.ClassINET && question.Class != dnsmsg.ClassANY {
+		resp.Header.RCode = dnsmsg.RCodeNotImplemented
+		return resp
+	}
+	zone := s.findZone(question.Name)
+	if zone == nil {
+		resp.Header.RCode = dnsmsg.RCodeRefused
+		return resp
+	}
+	resp.Header.Authoritative = true
+
+	name := dnsmsg.CanonicalName(question.Name)
+	exists := false
+	for i := 0; i < maxCNAMEChain; i++ {
+		rrs, ok := zone.Lookup(name, question.Type)
+		exists = exists || ok
+		if len(rrs) > 0 {
+			resp.Answers = append(resp.Answers, rrs...)
+			break
+		}
+		// Chase a CNAME if present (and the query wasn't for CNAME).
+		if question.Type == dnsmsg.TypeCNAME {
+			break
+		}
+		cnames, _ := zone.Lookup(name, dnsmsg.TypeCNAME)
+		if len(cnames) == 0 {
+			break
+		}
+		resp.Answers = append(resp.Answers, cnames[0])
+		name = cnames[0].Data.(dnsmsg.CNAME).Target
+	}
+
+	if len(resp.Answers) == 0 && !exists {
+		resp.Header.RCode = dnsmsg.RCodeNameError
+		return resp
+	}
+	s.addGlue(zone, resp)
+	return resp
+}
+
+// addGlue appends A records for MX exchangers to the additional section,
+// unless the answering zone is configured glue-less.
+func (s *Server) addGlue(zone *Zone, resp *dnsmsg.Message) {
+	zone.mu.RLock()
+	noGlue := zone.noGlue
+	zone.mu.RUnlock()
+	if noGlue {
+		return
+	}
+	seen := make(map[string]bool)
+	for _, rr := range resp.Answers {
+		mx, ok := rr.Data.(dnsmsg.MX)
+		if !ok || seen[mx.Host] {
+			continue
+		}
+		seen[mx.Host] = true
+		gz := s.findZone(mx.Host)
+		if gz == nil {
+			continue
+		}
+		if as, _ := gz.Lookup(mx.Host, dnsmsg.TypeA); len(as) > 0 {
+			resp.Additional = append(resp.Additional, as...)
+		}
+	}
+}
+
+// Exchange is the wire-level entry point used by the in-process transport:
+// unpack, handle, pack.
+func (s *Server) Exchange(query []byte) ([]byte, error) {
+	q, err := dnsmsg.Unpack(query)
+	if err != nil {
+		return nil, fmt.Errorf("dnsserver: bad query: %w", err)
+	}
+	return s.Handle(q).Pack()
+}
+
+// ServePacket answers queries arriving on pc (UDP) until pc is closed. It
+// runs in the calling goroutine; use Go-style `go srv.ServePacket(pc)` or
+// ListenAndServeUDP.
+func (s *Server) ServePacket(pc net.PacketConn) error {
+	buf := make([]byte, 4096)
+	for {
+		n, addr, err := pc.ReadFrom(buf)
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return fmt.Errorf("dnsserver: read: %w", err)
+		}
+		resp, err := s.Exchange(buf[:n])
+		if err != nil {
+			continue // drop malformed packets, like real servers
+		}
+		if _, err := pc.WriteTo(resp, addr); err != nil && errors.Is(err, net.ErrClosed) {
+			return nil
+		}
+	}
+}
+
+// ListenAndServeUDP binds a UDP socket on addr and serves it in a tracked
+// goroutine until Close. It returns the bound address (useful with ":0").
+func (s *Server) ListenAndServeUDP(addr string) (net.Addr, error) {
+	pc, err := net.ListenPacket("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dnsserver: %w", err)
+	}
+	if !s.track(pc) {
+		pc.Close()
+		return nil, errors.New("dnsserver: server closed")
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.ServePacket(pc)
+	}()
+	return pc.LocalAddr(), nil
+}
+
+// ServeTCP answers length-prefixed queries on l until l is closed.
+func (s *Server) ServeTCP(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return fmt.Errorf("dnsserver: accept: %w", err)
+		}
+		if !s.track(conn) {
+			conn.Close()
+			return nil
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveTCPConn(conn)
+		}()
+	}
+}
+
+func (s *Server) serveTCPConn(conn net.Conn) {
+	defer conn.Close()
+	for {
+		var lenbuf [2]byte
+		if _, err := io.ReadFull(conn, lenbuf[:]); err != nil {
+			return
+		}
+		n := int(lenbuf[0])<<8 | int(lenbuf[1])
+		query := make([]byte, n)
+		if _, err := io.ReadFull(conn, query); err != nil {
+			return
+		}
+		resp, err := s.Exchange(query)
+		if err != nil {
+			return
+		}
+		out := make([]byte, 2+len(resp))
+		out[0] = byte(len(resp) >> 8)
+		out[1] = byte(len(resp))
+		copy(out[2:], resp)
+		if _, err := conn.Write(out); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) track(c io.Closer) bool {
+	s.closeMu.Lock()
+	defer s.closeMu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.closers = append(s.closers, c)
+	return true
+}
+
+// Close shuts down every transport started through the server and waits for
+// their goroutines to drain.
+func (s *Server) Close() error {
+	s.closeMu.Lock()
+	if s.closed {
+		s.closeMu.Unlock()
+		return nil
+	}
+	s.closed = true
+	closers := s.closers
+	s.closers = nil
+	s.closeMu.Unlock()
+	for _, c := range closers {
+		c.Close()
+	}
+	s.wg.Wait()
+	return nil
+}

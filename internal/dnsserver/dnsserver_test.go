@@ -1,0 +1,341 @@
+package dnsserver
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dnsmsg"
+)
+
+func testZone(t *testing.T) *Zone {
+	t.Helper()
+	z := NewZone("foo.net")
+	z.MustAdd(dnsmsg.RR{Name: "foo.net", Type: dnsmsg.TypeMX, TTL: 300, Data: dnsmsg.MX{Preference: 0, Host: "smtp.foo.net"}})
+	z.MustAdd(dnsmsg.RR{Name: "foo.net", Type: dnsmsg.TypeMX, TTL: 300, Data: dnsmsg.MX{Preference: 15, Host: "smtp1.foo.net"}})
+	z.MustAdd(dnsmsg.RR{Name: "smtp.foo.net", Type: dnsmsg.TypeA, TTL: 300, Data: dnsmsg.MustIPv4("1.2.3.4")})
+	z.MustAdd(dnsmsg.RR{Name: "smtp1.foo.net", Type: dnsmsg.TypeA, TTL: 300, Data: dnsmsg.MustIPv4("1.2.3.5")})
+	z.MustAdd(dnsmsg.RR{Name: "www.foo.net", Type: dnsmsg.TypeCNAME, TTL: 300, Data: dnsmsg.CNAME{Target: "web.foo.net"}})
+	z.MustAdd(dnsmsg.RR{Name: "web.foo.net", Type: dnsmsg.TypeA, TTL: 300, Data: dnsmsg.MustIPv4("1.2.3.6")})
+	return z
+}
+
+func testServer(t *testing.T) *Server {
+	t.Helper()
+	s := New()
+	s.AddZone(testZone(t))
+	return s
+}
+
+func TestHandleMXWithGlue(t *testing.T) {
+	s := testServer(t)
+	resp := s.Handle(dnsmsg.NewQuery(1, "foo.net", dnsmsg.TypeMX))
+	if resp.Header.RCode != dnsmsg.RCodeSuccess {
+		t.Fatalf("rcode = %v", resp.Header.RCode)
+	}
+	if !resp.Header.Authoritative {
+		t.Fatal("response not authoritative")
+	}
+	if len(resp.Answers) != 2 {
+		t.Fatalf("answers = %d, want 2", len(resp.Answers))
+	}
+	if len(resp.Additional) != 2 {
+		t.Fatalf("additional (glue) = %d, want 2", len(resp.Additional))
+	}
+}
+
+func TestHandleMXWithoutGlue(t *testing.T) {
+	// The paper's dataset contained MX answers without resolved
+	// addresses, forcing a second lookup; SetNoGlue models that.
+	s := testServer(t)
+	s.Zone("foo.net").SetNoGlue(true)
+	resp := s.Handle(dnsmsg.NewQuery(1, "foo.net", dnsmsg.TypeMX))
+	if len(resp.Answers) != 2 {
+		t.Fatalf("answers = %d, want 2", len(resp.Answers))
+	}
+	if len(resp.Additional) != 0 {
+		t.Fatalf("additional = %d, want 0 with glue disabled", len(resp.Additional))
+	}
+}
+
+func TestHandleA(t *testing.T) {
+	s := testServer(t)
+	resp := s.Handle(dnsmsg.NewQuery(2, "smtp.foo.net", dnsmsg.TypeA))
+	if len(resp.Answers) != 1 {
+		t.Fatalf("answers = %d, want 1", len(resp.Answers))
+	}
+	if got := resp.Answers[0].Data.(dnsmsg.A).String(); got != "1.2.3.4" {
+		t.Fatalf("A = %s", got)
+	}
+}
+
+func TestHandleNXDomain(t *testing.T) {
+	s := testServer(t)
+	resp := s.Handle(dnsmsg.NewQuery(3, "nope.foo.net", dnsmsg.TypeA))
+	if resp.Header.RCode != dnsmsg.RCodeNameError {
+		t.Fatalf("rcode = %v, want NXDOMAIN", resp.Header.RCode)
+	}
+}
+
+func TestHandleNoDataIsNotNXDomain(t *testing.T) {
+	s := testServer(t)
+	resp := s.Handle(dnsmsg.NewQuery(4, "smtp.foo.net", dnsmsg.TypeMX))
+	if resp.Header.RCode != dnsmsg.RCodeSuccess {
+		t.Fatalf("rcode = %v, want NOERROR (NODATA)", resp.Header.RCode)
+	}
+	if len(resp.Answers) != 0 {
+		t.Fatalf("answers = %d, want 0", len(resp.Answers))
+	}
+}
+
+func TestHandleOutsideZonesRefused(t *testing.T) {
+	s := testServer(t)
+	resp := s.Handle(dnsmsg.NewQuery(5, "bar.org", dnsmsg.TypeA))
+	if resp.Header.RCode != dnsmsg.RCodeRefused {
+		t.Fatalf("rcode = %v, want REFUSED", resp.Header.RCode)
+	}
+}
+
+func TestHandleCNAMEChase(t *testing.T) {
+	s := testServer(t)
+	resp := s.Handle(dnsmsg.NewQuery(6, "www.foo.net", dnsmsg.TypeA))
+	if len(resp.Answers) != 2 {
+		t.Fatalf("answers = %d, want CNAME + A", len(resp.Answers))
+	}
+	if _, ok := resp.Answers[0].Data.(dnsmsg.CNAME); !ok {
+		t.Fatalf("first answer = %T, want CNAME", resp.Answers[0].Data)
+	}
+	if got := resp.Answers[1].Data.(dnsmsg.A).String(); got != "1.2.3.6" {
+		t.Fatalf("chased A = %s", got)
+	}
+}
+
+func TestHandleCNAMELoopTerminates(t *testing.T) {
+	z := NewZone("loop.test")
+	z.MustAdd(dnsmsg.RR{Name: "a.loop.test", Type: dnsmsg.TypeCNAME, Data: dnsmsg.CNAME{Target: "b.loop.test"}})
+	z.MustAdd(dnsmsg.RR{Name: "b.loop.test", Type: dnsmsg.TypeCNAME, Data: dnsmsg.CNAME{Target: "a.loop.test"}})
+	s := New()
+	s.AddZone(z)
+	done := make(chan *dnsmsg.Message, 1)
+	go func() { done <- s.Handle(dnsmsg.NewQuery(7, "a.loop.test", dnsmsg.TypeA)) }()
+	select {
+	case resp := <-done:
+		if len(resp.Answers) > 2*maxCNAMEChain {
+			t.Fatalf("loop produced %d answers", len(resp.Answers))
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("CNAME loop did not terminate")
+	}
+}
+
+func TestHandleANY(t *testing.T) {
+	s := testServer(t)
+	resp := s.Handle(dnsmsg.NewQuery(8, "foo.net", dnsmsg.TypeANY))
+	if len(resp.Answers) != 2 {
+		t.Fatalf("ANY answers = %d, want 2 MX", len(resp.Answers))
+	}
+}
+
+func TestHandleRejectsMultiQuestion(t *testing.T) {
+	s := testServer(t)
+	q := dnsmsg.NewQuery(9, "foo.net", dnsmsg.TypeA)
+	q.Questions = append(q.Questions, q.Questions[0])
+	resp := s.Handle(q)
+	if resp.Header.RCode != dnsmsg.RCodeNotImplemented {
+		t.Fatalf("rcode = %v, want NOTIMP", resp.Header.RCode)
+	}
+}
+
+func TestOnQueryObserver(t *testing.T) {
+	s := testServer(t)
+	var mu sync.Mutex
+	var seen []dnsmsg.Question
+	s.OnQuery = func(q dnsmsg.Question) {
+		mu.Lock()
+		defer mu.Unlock()
+		seen = append(seen, q)
+	}
+	s.Handle(dnsmsg.NewQuery(1, "foo.net", dnsmsg.TypeMX))
+	s.Handle(dnsmsg.NewQuery(2, "smtp.foo.net", dnsmsg.TypeA))
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != 2 || seen[0].Type != dnsmsg.TypeMX || seen[1].Type != dnsmsg.TypeA {
+		t.Fatalf("observed queries = %v", seen)
+	}
+}
+
+func TestZoneAddRejectsForeignName(t *testing.T) {
+	z := NewZone("foo.net")
+	err := z.Add(dnsmsg.RR{Name: "bar.org", Type: dnsmsg.TypeA, Data: dnsmsg.MustIPv4("9.9.9.9")})
+	if err == nil {
+		t.Fatal("Add accepted a name outside the zone")
+	}
+}
+
+func TestZoneRemove(t *testing.T) {
+	z := testZone(t)
+	z.Remove("foo.net", dnsmsg.TypeMX)
+	if rrs, exists := z.Lookup("foo.net", dnsmsg.TypeMX); len(rrs) != 0 || exists {
+		t.Fatalf("after Remove: rrs=%v exists=%v", rrs, exists)
+	}
+	// Removing one type keeps others.
+	z.MustAdd(dnsmsg.RR{Name: "multi.foo.net", Type: dnsmsg.TypeA, Data: dnsmsg.MustIPv4("1.1.1.1")})
+	z.MustAdd(dnsmsg.RR{Name: "multi.foo.net", Type: dnsmsg.TypeTXT, Data: dnsmsg.TXT{Strings: []string{"x"}}})
+	z.Remove("multi.foo.net", dnsmsg.TypeTXT)
+	if rrs, exists := z.Lookup("multi.foo.net", dnsmsg.TypeA); len(rrs) != 1 || !exists {
+		t.Fatalf("A record lost on selective remove: rrs=%v exists=%v", rrs, exists)
+	}
+	// ANY removes everything.
+	z.Remove("multi.foo.net", dnsmsg.TypeANY)
+	if _, exists := z.Lookup("multi.foo.net", dnsmsg.TypeA); exists {
+		t.Fatal("name still exists after Remove ANY")
+	}
+}
+
+func TestZoneNamesSorted(t *testing.T) {
+	z := testZone(t)
+	names := z.Names()
+	if len(names) != 5 {
+		t.Fatalf("names = %v", names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("names not sorted: %v", names)
+		}
+	}
+}
+
+func TestRootZoneCatchesAll(t *testing.T) {
+	s := New()
+	root := NewZone("")
+	root.MustAdd(dnsmsg.RR{Name: "anything.example", Type: dnsmsg.TypeA, Data: dnsmsg.MustIPv4("8.8.8.8")})
+	s.AddZone(root)
+	resp := s.Handle(dnsmsg.NewQuery(1, "anything.example", dnsmsg.TypeA))
+	if len(resp.Answers) != 1 {
+		t.Fatalf("root zone answers = %d", len(resp.Answers))
+	}
+}
+
+func TestRemoveZone(t *testing.T) {
+	s := testServer(t)
+	s.RemoveZone("foo.net")
+	resp := s.Handle(dnsmsg.NewQuery(1, "foo.net", dnsmsg.TypeMX))
+	if resp.Header.RCode != dnsmsg.RCodeRefused {
+		t.Fatalf("rcode after RemoveZone = %v", resp.Header.RCode)
+	}
+}
+
+func TestExchangeWire(t *testing.T) {
+	s := testServer(t)
+	q, err := dnsmsg.NewQuery(77, "foo.net", dnsmsg.TypeMX).Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	respWire, err := s.Exchange(q)
+	if err != nil {
+		t.Fatalf("Exchange: %v", err)
+	}
+	resp, err := dnsmsg.Unpack(respWire)
+	if err != nil {
+		t.Fatalf("Unpack: %v", err)
+	}
+	if resp.Header.ID != 77 || len(resp.Answers) != 2 {
+		t.Fatalf("resp = %+v", resp)
+	}
+	if _, err := s.Exchange([]byte{1, 2, 3}); err == nil {
+		t.Fatal("Exchange accepted garbage")
+	}
+}
+
+func TestServeUDPRealSocket(t *testing.T) {
+	s := testServer(t)
+	addr, err := s.ListenAndServeUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("ListenAndServeUDP: %v", err)
+	}
+	defer s.Close()
+
+	conn, err := net.Dial("udp", addr.String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(2 * time.Second))
+	q, _ := dnsmsg.NewQuery(5, "smtp.foo.net", dnsmsg.TypeA).Pack()
+	if _, err := conn.Write(q); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	buf := make([]byte, 4096)
+	n, err := conn.Read(buf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	resp, err := dnsmsg.Unpack(buf[:n])
+	if err != nil {
+		t.Fatalf("unpack: %v", err)
+	}
+	if len(resp.Answers) != 1 || resp.Answers[0].Data.(dnsmsg.A).String() != "1.2.3.4" {
+		t.Fatalf("UDP answer = %+v", resp.Answers)
+	}
+}
+
+func TestServeTCPLengthPrefixed(t *testing.T) {
+	s := testServer(t)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	go s.ServeTCP(l)
+	defer l.Close()
+	defer s.Close()
+
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(2 * time.Second))
+	q, _ := dnsmsg.NewQuery(6, "foo.net", dnsmsg.TypeMX).Pack()
+	framed := append([]byte{byte(len(q) >> 8), byte(len(q))}, q...)
+	if _, err := conn.Write(framed); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	lenbuf := make([]byte, 2)
+	if _, err := conn.Read(lenbuf); err != nil {
+		t.Fatalf("read len: %v", err)
+	}
+	n := int(lenbuf[0])<<8 | int(lenbuf[1])
+	respWire := make([]byte, n)
+	read := 0
+	for read < n {
+		m, err := conn.Read(respWire[read:])
+		if err != nil {
+			t.Fatalf("read body: %v", err)
+		}
+		read += m
+	}
+	resp, err := dnsmsg.Unpack(respWire)
+	if err != nil {
+		t.Fatalf("unpack: %v", err)
+	}
+	if len(resp.Answers) != 2 {
+		t.Fatalf("TCP answers = %d, want 2", len(resp.Answers))
+	}
+}
+
+func TestCloseIdempotentAndBlocksNewTransports(t *testing.T) {
+	s := testServer(t)
+	if _, err := s.ListenAndServeUDP("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ListenAndServeUDP("127.0.0.1:0"); err == nil {
+		t.Fatal("ListenAndServeUDP succeeded after Close")
+	}
+}

@@ -1,0 +1,60 @@
+package greylist_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/greylist"
+	"repro/internal/simtime"
+)
+
+// Example walks the canonical greylisting flow: first attempt deferred,
+// early retry deferred, patient retry accepted, later deliveries pass.
+func Example() {
+	clock := simtime.NewSim(simtime.Epoch)
+	g := greylist.New(greylist.DefaultPolicy(), clock) // Postgrey defaults: 300s threshold
+
+	t := greylist.Triplet{
+		ClientIP:  "203.0.113.9",
+		Sender:    "sender@remote.example",
+		Recipient: "user@local.example",
+	}
+
+	show := func(label string) {
+		v := g.Check(t)
+		fmt.Println(label, v.Decision, "-", v.Reason)
+	}
+	show("t=0s   ")
+	clock.Advance(100 * time.Second)
+	show("t=100s ")
+	clock.Advance(250 * time.Second)
+	show("t=350s ")
+	show("t=350s ")
+
+	// Output:
+	// t=0s    defer - first-seen
+	// t=100s  defer - too-soon
+	// t=350s  pass - retry-accepted
+	// t=350s  pass - known-triplet
+}
+
+// ExampleWhitelist shows the exemptions a deployment configures: big
+// provider networks and unprotected control addresses.
+func ExampleWhitelist() {
+	g := greylist.New(greylist.DefaultPolicy(), simtime.NewSim(simtime.Epoch))
+	g.Whitelist().AddCIDR("74.125.0.0/16") // a webmail provider's range
+	g.Whitelist().AddRecipient("postmaster@local.example")
+
+	provider := greylist.Triplet{ClientIP: "74.125.3.9", Sender: "a@gmail.example", Recipient: "user@local.example"}
+	control := greylist.Triplet{ClientIP: "203.0.113.9", Sender: "bot@spam.example", Recipient: "postmaster@local.example"}
+	stranger := greylist.Triplet{ClientIP: "203.0.113.9", Sender: "bot@spam.example", Recipient: "user@local.example"}
+
+	fmt.Println("provider:", g.Check(provider).Reason)
+	fmt.Println("control: ", g.Check(control).Reason)
+	fmt.Println("stranger:", g.Check(stranger).Reason)
+
+	// Output:
+	// provider: whitelisted
+	// control:  whitelisted
+	// stranger: first-seen
+}

@@ -1,0 +1,436 @@
+// Package greylist implements the greylisting policy engine — one half of
+// the paper's subject matter (Section II). The semantics follow Postgrey,
+// the implementation the paper tested against:
+//
+//   - Deliveries are keyed by the triplet (client IP, envelope sender,
+//     envelope recipient). The message content is deliberately NOT part of
+//     the key; Section V-A of the paper verifies this is why a later,
+//     different message between the same parties is whitelisted by the
+//     earlier one's retry.
+//   - The first attempt for an unknown triplet is deferred with a
+//     transient error (451 4.7.1 at the SMTP layer).
+//   - A retry after the threshold has elapsed — but within the retry
+//     window — passes and records the triplet for future deliveries.
+//   - A retry before the threshold is deferred again without resetting
+//     the first-seen time (Postgrey behaviour; the paper's 5 s vs 300 s
+//     comparison in Figure 3 depends on it).
+//   - After a configurable number of successful deliveries, the client IP
+//     (optionally its /24 network) is auto-whitelisted, skipping the
+//     triplet dance entirely.
+//
+// The package is transport-agnostic: the SMTP server calls Check at RCPT
+// time and maps the verdict to a reply. All time flows through a
+// simtime.Clock so thresholds of hours run in simulated instants.
+package greylist
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/simtime"
+)
+
+// Triplet identifies a delivery for greylisting purposes.
+type Triplet struct {
+	// ClientIP is the connecting client's IP address (no port).
+	ClientIP string
+	// Sender is the envelope reverse-path mailbox ("" for bounces).
+	Sender string
+	// Recipient is the envelope forward-path mailbox.
+	Recipient string
+}
+
+// String implements fmt.Stringer.
+func (t Triplet) String() string {
+	return fmt.Sprintf("(%s, %s, %s)", t.ClientIP, t.Sender, t.Recipient)
+}
+
+// key returns the storage key, collapsing the client address to its /24
+// network when subnet keying is enabled (Postgrey's --lookup-by-subnet,
+// which tolerates webmail farms rotating through nearby addresses —
+// the failure mode Table III documents).
+func (t Triplet) key(subnet bool) string {
+	ip := t.ClientIP
+	if subnet {
+		ip = SubnetOf(ip)
+	}
+	return ip + "\x00" + strings.ToLower(t.Sender) + "\x00" + strings.ToLower(t.Recipient)
+}
+
+// SubnetOf maps an IPv4 address to its /24 network ("a.b.c"). Non-IPv4
+// input is returned unchanged.
+func SubnetOf(ip string) string {
+	parsed := net.ParseIP(ip)
+	if v4 := parsed.To4(); v4 != nil {
+		return fmt.Sprintf("%d.%d.%d", v4[0], v4[1], v4[2])
+	}
+	return ip
+}
+
+// Policy configures a Greylister. The zero value is not useful; start from
+// DefaultPolicy.
+type Policy struct {
+	// Threshold is the minimum wait between the first attempt and an
+	// accepted retry (Postgrey --delay; default 300 s). The paper
+	// evaluates 5 s, 300 s and 21 600 s.
+	Threshold time.Duration
+	// RetryWindow is how long a deferred triplet stays valid awaiting
+	// its retry. A retry after the window is treated as a fresh first
+	// attempt (Postgrey --retry-window).
+	RetryWindow time.Duration
+	// PassLifetime is how long a passed triplet stays whitelisted
+	// after its last use (Postgrey --max-age).
+	PassLifetime time.Duration
+	// AutoWhitelistAfter is the number of successful deliveries after
+	// which the client address is whitelisted outright; 0 disables
+	// client auto-whitelisting (Postgrey --auto-whitelist-clients).
+	AutoWhitelistAfter int
+	// AutoWhitelistLifetime is how long an auto-whitelisted client
+	// stays exempt after its last delivery.
+	AutoWhitelistLifetime time.Duration
+	// SubnetKeying keys triplets and the auto-whitelist by the client's
+	// /24 network instead of the full address.
+	SubnetKeying bool
+}
+
+// DefaultPolicy returns Postgrey's defaults: 300 s delay, 2-day retry
+// window, 35-day pass lifetime, client auto-whitelist after 5 deliveries.
+func DefaultPolicy() Policy {
+	return Policy{
+		Threshold:             300 * time.Second,
+		RetryWindow:           48 * time.Hour,
+		PassLifetime:          35 * 24 * time.Hour,
+		AutoWhitelistAfter:    5,
+		AutoWhitelistLifetime: 35 * 24 * time.Hour,
+	}
+}
+
+// Decision is the outcome of a greylisting check.
+type Decision int
+
+// Decisions.
+const (
+	// Defer tells the server to reply with a transient error.
+	Defer Decision = iota + 1
+	// Pass tells the server to accept the delivery.
+	Pass
+)
+
+// String implements fmt.Stringer.
+func (d Decision) String() string {
+	switch d {
+	case Defer:
+		return "defer"
+	case Pass:
+		return "pass"
+	default:
+		return fmt.Sprintf("Decision(%d)", int(d))
+	}
+}
+
+// Reason explains a Verdict.
+type Reason int
+
+// Reasons.
+const (
+	// ReasonFirstSeen: unknown triplet, deferred and recorded.
+	ReasonFirstSeen Reason = iota + 1
+	// ReasonTooSoon: retry arrived before the threshold elapsed.
+	ReasonTooSoon
+	// ReasonRetryAccepted: retry arrived after the threshold; the
+	// triplet is now whitelisted.
+	ReasonRetryAccepted
+	// ReasonKnownTriplet: the triplet passed previously.
+	ReasonKnownTriplet
+	// ReasonWhitelisted: client, sender domain or recipient is on the
+	// static whitelist.
+	ReasonWhitelisted
+	// ReasonAutoWhitelisted: the client earned the auto-whitelist.
+	ReasonAutoWhitelisted
+	// ReasonWindowExpired: a retry arrived after the retry window;
+	// treated as a fresh first attempt (and deferred).
+	ReasonWindowExpired
+)
+
+// String implements fmt.Stringer.
+func (r Reason) String() string {
+	switch r {
+	case ReasonFirstSeen:
+		return "first-seen"
+	case ReasonTooSoon:
+		return "too-soon"
+	case ReasonRetryAccepted:
+		return "retry-accepted"
+	case ReasonKnownTriplet:
+		return "known-triplet"
+	case ReasonWhitelisted:
+		return "whitelisted"
+	case ReasonAutoWhitelisted:
+		return "auto-whitelisted"
+	case ReasonWindowExpired:
+		return "window-expired"
+	default:
+		return fmt.Sprintf("Reason(%d)", int(r))
+	}
+}
+
+// Verdict is the result of a Check.
+type Verdict struct {
+	Decision Decision
+	Reason   Reason
+	// WaitRemaining, on a deferral, is how long until a retry would be
+	// accepted.
+	WaitRemaining time.Duration
+	// Waited, on a retry-accepted pass, is how long the delivery was
+	// delayed by greylisting (now minus first-seen).
+	Waited time.Duration
+	// FirstSeen is when the triplet was first observed (zero for
+	// whitelist passes).
+	FirstSeen time.Time
+	// Attempts counts delivery attempts for this triplet including the
+	// current one (zero for whitelist passes).
+	Attempts int
+}
+
+// Stats are cumulative counters; read them with Greylister.Stats.
+type Stats struct {
+	Checks            uint64
+	DeferredNew       uint64 // first-seen deferrals
+	DeferredEarly     uint64 // retries before threshold
+	DeferredExpired   uint64 // retries after the retry window
+	PassedRetry       uint64 // retries accepted past threshold
+	PassedKnown       uint64 // already-whitelisted triplets
+	PassedWhitelist   uint64 // static whitelist hits
+	PassedAutoClient  uint64 // auto-whitelisted clients
+	TripletsRecorded  uint64
+	TripletsWhitelist uint64 // triplets promoted to passed
+}
+
+type pendingRecord struct {
+	firstSeen time.Time
+	lastSeen  time.Time
+	attempts  int
+}
+
+type passedRecord struct {
+	passedAt   time.Time
+	lastUsed   time.Time
+	deliveries int
+}
+
+type clientRecord struct {
+	deliveries int
+	lastUsed   time.Time
+}
+
+// Greylister is the policy engine. It is safe for concurrent use.
+type Greylister struct {
+	policy    Policy
+	clock     simtime.Clock
+	whitelist *Whitelist
+
+	mu      sync.Mutex
+	pending map[string]*pendingRecord
+	passed  map[string]*passedRecord
+	clients map[string]*clientRecord
+	stats   Stats
+}
+
+// New returns a Greylister with the given policy. A nil clock means the
+// real clock.
+func New(policy Policy, clock simtime.Clock) *Greylister {
+	if clock == nil {
+		clock = simtime.Real{}
+	}
+	return &Greylister{
+		policy:    policy,
+		clock:     clock,
+		whitelist: NewWhitelist(),
+		pending:   make(map[string]*pendingRecord),
+		passed:    make(map[string]*passedRecord),
+		clients:   make(map[string]*clientRecord),
+	}
+}
+
+// Policy returns the configured policy.
+func (g *Greylister) Policy() Policy { return g.policy }
+
+// Whitelist returns the static whitelist for configuration.
+func (g *Greylister) Whitelist() *Whitelist { return g.whitelist }
+
+// Stats returns a snapshot of the counters.
+func (g *Greylister) Stats() Stats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.stats
+}
+
+// Check runs the greylisting decision procedure for one delivery attempt
+// and updates state accordingly.
+func (g *Greylister) Check(t Triplet) Verdict {
+	now := g.clock.Now()
+
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.stats.Checks++
+
+	if g.whitelist.Match(t) {
+		g.stats.PassedWhitelist++
+		return Verdict{Decision: Pass, Reason: ReasonWhitelisted}
+	}
+
+	clientKey := t.ClientIP
+	if g.policy.SubnetKeying {
+		clientKey = SubnetOf(t.ClientIP)
+	}
+	if g.policy.AutoWhitelistAfter > 0 {
+		if c, ok := g.clients[clientKey]; ok {
+			if g.policy.AutoWhitelistLifetime > 0 && now.Sub(c.lastUsed) > g.policy.AutoWhitelistLifetime {
+				delete(g.clients, clientKey)
+			} else if c.deliveries >= g.policy.AutoWhitelistAfter {
+				c.lastUsed = now
+				g.stats.PassedAutoClient++
+				return Verdict{Decision: Pass, Reason: ReasonAutoWhitelisted}
+			}
+		}
+	}
+
+	key := t.key(g.policy.SubnetKeying)
+
+	if p, ok := g.passed[key]; ok {
+		if g.policy.PassLifetime > 0 && now.Sub(p.lastUsed) > g.policy.PassLifetime {
+			delete(g.passed, key)
+		} else {
+			p.lastUsed = now
+			p.deliveries++
+			g.creditClient(clientKey, now)
+			g.stats.PassedKnown++
+			return Verdict{Decision: Pass, Reason: ReasonKnownTriplet, FirstSeen: p.passedAt, Attempts: p.deliveries}
+		}
+	}
+
+	rec, known := g.pending[key]
+	if known && g.policy.RetryWindow > 0 && now.Sub(rec.firstSeen) > g.policy.RetryWindow {
+		// The retry came too late: start over.
+		g.stats.DeferredExpired++
+		rec.firstSeen = now
+		rec.lastSeen = now
+		rec.attempts = 1
+		return Verdict{
+			Decision:      Defer,
+			Reason:        ReasonWindowExpired,
+			WaitRemaining: g.policy.Threshold,
+			FirstSeen:     now,
+			Attempts:      1,
+		}
+	}
+
+	if !known {
+		g.pending[key] = &pendingRecord{firstSeen: now, lastSeen: now, attempts: 1}
+		g.stats.DeferredNew++
+		g.stats.TripletsRecorded++
+		return Verdict{
+			Decision:      Defer,
+			Reason:        ReasonFirstSeen,
+			WaitRemaining: g.policy.Threshold,
+			FirstSeen:     now,
+			Attempts:      1,
+		}
+	}
+
+	rec.attempts++
+	rec.lastSeen = now
+	elapsed := now.Sub(rec.firstSeen)
+	if elapsed < g.policy.Threshold {
+		g.stats.DeferredEarly++
+		return Verdict{
+			Decision:      Defer,
+			Reason:        ReasonTooSoon,
+			WaitRemaining: g.policy.Threshold - elapsed,
+			FirstSeen:     rec.firstSeen,
+			Attempts:      rec.attempts,
+		}
+	}
+
+	// Retry accepted: promote to passed.
+	delete(g.pending, key)
+	g.passed[key] = &passedRecord{passedAt: now, lastUsed: now, deliveries: 1}
+	g.creditClient(clientKey, now)
+	g.stats.PassedRetry++
+	g.stats.TripletsWhitelist++
+	return Verdict{
+		Decision:  Pass,
+		Reason:    ReasonRetryAccepted,
+		FirstSeen: rec.firstSeen,
+		Attempts:  rec.attempts,
+		Waited:    elapsed,
+	}
+}
+
+// creditClient counts a successful delivery toward the client
+// auto-whitelist. Callers hold g.mu.
+func (g *Greylister) creditClient(clientKey string, now time.Time) {
+	if g.policy.AutoWhitelistAfter <= 0 {
+		return
+	}
+	c, ok := g.clients[clientKey]
+	if !ok {
+		c = &clientRecord{}
+		g.clients[clientKey] = c
+	}
+	c.deliveries++
+	c.lastUsed = now
+}
+
+// GC removes expired pending and passed records and stale auto-whitelist
+// entries, returning how many were dropped. Deployments run this
+// periodically; experiments call it between phases.
+func (g *Greylister) GC() int {
+	now := g.clock.Now()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	dropped := 0
+	if g.policy.RetryWindow > 0 {
+		for k, rec := range g.pending {
+			if now.Sub(rec.firstSeen) > g.policy.RetryWindow {
+				delete(g.pending, k)
+				dropped++
+			}
+		}
+	}
+	if g.policy.PassLifetime > 0 {
+		for k, rec := range g.passed {
+			if now.Sub(rec.lastUsed) > g.policy.PassLifetime {
+				delete(g.passed, k)
+				dropped++
+			}
+		}
+	}
+	if g.policy.AutoWhitelistLifetime > 0 {
+		for k, rec := range g.clients {
+			if now.Sub(rec.lastUsed) > g.policy.AutoWhitelistLifetime {
+				delete(g.clients, k)
+				dropped++
+			}
+		}
+	}
+	return dropped
+}
+
+// PendingCount and PassedCount report table sizes (for monitoring and the
+// paper's "cost for the system ... disk space" discussion).
+func (g *Greylister) PendingCount() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.pending)
+}
+
+// PassedCount reports the number of whitelisted triplets.
+func (g *Greylister) PassedCount() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.passed)
+}

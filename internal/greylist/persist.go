@@ -1,0 +1,156 @@
+package greylist
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// snapshot is the serialized form of a Greylister's dynamic state. The
+// static whitelist is configuration, not state, and is not serialized.
+type snapshot struct {
+	Version int
+	Pending map[string]pendingSnap
+	Passed  map[string]passedSnap
+	Clients map[string]clientSnap
+	Stats   Stats
+}
+
+type pendingSnap struct {
+	FirstSeen time.Time
+	LastSeen  time.Time
+	Attempts  int
+}
+
+type passedSnap struct {
+	PassedAt   time.Time
+	LastUsed   time.Time
+	Deliveries int
+}
+
+type clientSnap struct {
+	Deliveries int
+	LastUsed   time.Time
+}
+
+const snapshotVersion = 1
+
+// Save writes the greylister's dynamic state (pending and passed triplets,
+// auto-whitelist counters, statistics) to w, so a daemon restart does not
+// reopen the greylisting window for in-flight retries.
+func (g *Greylister) Save(w io.Writer) error {
+	g.mu.Lock()
+	snap := snapshot{
+		Version: snapshotVersion,
+		Pending: make(map[string]pendingSnap, len(g.pending)),
+		Passed:  make(map[string]passedSnap, len(g.passed)),
+		Clients: make(map[string]clientSnap, len(g.clients)),
+		Stats:   g.stats,
+	}
+	for k, v := range g.pending {
+		snap.Pending[k] = pendingSnap{FirstSeen: v.firstSeen, LastSeen: v.lastSeen, Attempts: v.attempts}
+	}
+	for k, v := range g.passed {
+		snap.Passed[k] = passedSnap{PassedAt: v.passedAt, LastUsed: v.lastUsed, Deliveries: v.deliveries}
+	}
+	for k, v := range g.clients {
+		snap.Clients[k] = clientSnap{Deliveries: v.deliveries, LastUsed: v.lastUsed}
+	}
+	g.mu.Unlock()
+
+	if err := gob.NewEncoder(w).Encode(snap); err != nil {
+		return fmt.Errorf("greylist: save: %w", err)
+	}
+	return nil
+}
+
+// Load replaces the greylister's dynamic state with a snapshot written by
+// Save. The policy and whitelist are untouched.
+func (g *Greylister) Load(r io.Reader) error {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return fmt.Errorf("greylist: load: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return fmt.Errorf("greylist: load: unsupported snapshot version %d", snap.Version)
+	}
+	pending := make(map[string]*pendingRecord, len(snap.Pending))
+	for k, v := range snap.Pending {
+		pending[k] = &pendingRecord{firstSeen: v.FirstSeen, lastSeen: v.LastSeen, attempts: v.Attempts}
+	}
+	passed := make(map[string]*passedRecord, len(snap.Passed))
+	for k, v := range snap.Passed {
+		passed[k] = &passedRecord{passedAt: v.PassedAt, lastUsed: v.LastUsed, deliveries: v.Deliveries}
+	}
+	clients := make(map[string]*clientRecord, len(snap.Clients))
+	for k, v := range snap.Clients {
+		clients[k] = &clientRecord{deliveries: v.Deliveries, lastUsed: v.LastUsed}
+	}
+
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.pending = pending
+	g.passed = passed
+	g.clients = clients
+	g.stats = snap.Stats
+	return nil
+}
+
+// SaveFile atomically writes the state to path (write to a temp file in
+// the same directory, fsync, rename) so a crash mid-save never corrupts
+// the previous state.
+func (g *Greylister) SaveFile(path string) error {
+	return atomicSave(path, g.Save)
+}
+
+// LoadFile restores state written by SaveFile.
+func (g *Greylister) LoadFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("greylist: load: %w", err)
+	}
+	defer f.Close()
+	return g.Load(f)
+}
+
+// SaveFile atomically writes the sharded state to path.
+func (s *Sharded) SaveFile(path string) error {
+	return atomicSave(path, s.Save)
+}
+
+// LoadFile restores sharded state written by SaveFile.
+func (s *Sharded) LoadFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("greylist: load: %w", err)
+	}
+	defer f.Close()
+	return s.Load(f)
+}
+
+func atomicSave(path string, save func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("greylist: save: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := save(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("greylist: save: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("greylist: save: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("greylist: save: %w", err)
+	}
+	return nil
+}

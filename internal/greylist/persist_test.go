@@ -1,0 +1,135 @@
+package greylist
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/simtime"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	clock := simtime.NewSim(simtime.Epoch)
+	g := New(DefaultPolicy(), clock)
+
+	pendingT := Triplet{ClientIP: "203.0.113.9", Sender: "a@x.example", Recipient: "u@foo.net"}
+	passedT := Triplet{ClientIP: "203.0.113.10", Sender: "b@x.example", Recipient: "u@foo.net"}
+	g.Check(pendingT)
+	g.Check(passedT)
+	clock.Advance(301 * time.Second)
+	g.Check(passedT) // promote to passed
+
+	var buf bytes.Buffer
+	if err := g.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+
+	// A fresh greylister restored from the snapshot must honor both the
+	// pending record (retry passes, since >300s elapsed) and the passed
+	// record (immediate pass).
+	g2 := New(DefaultPolicy(), clock)
+	if err := g2.Load(&buf); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if v := g2.Check(passedT); v.Decision != Pass || v.Reason != ReasonKnownTriplet {
+		t.Fatalf("restored passed triplet = %+v", v)
+	}
+	if v := g2.Check(pendingT); v.Decision != Pass || v.Reason != ReasonRetryAccepted {
+		t.Fatalf("restored pending triplet = %+v (first-seen must survive restart)", v)
+	}
+	if got := g2.Stats().Checks; got == 0 {
+		t.Fatal("stats not restored")
+	}
+}
+
+func TestLoadGarbage(t *testing.T) {
+	g := New(DefaultPolicy(), simtime.NewSim(simtime.Epoch))
+	if err := g.Load(bytes.NewReader([]byte("not a gob"))); err == nil {
+		t.Fatal("Load accepted garbage")
+	}
+}
+
+func TestSaveLoadPreservesAutoWhitelist(t *testing.T) {
+	clock := simtime.NewSim(simtime.Epoch)
+	p := DefaultPolicy()
+	p.AutoWhitelistAfter = 1
+	g := New(p, clock)
+	tr := Triplet{ClientIP: "198.51.100.3", Sender: "m@b.example", Recipient: "a@foo.net"}
+	g.Check(tr)
+	clock.Advance(301 * time.Second)
+	g.Check(tr) // client now auto-whitelisted
+
+	var buf bytes.Buffer
+	if err := g.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2 := New(p, clock)
+	if err := g2.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	v := g2.Check(Triplet{ClientIP: "198.51.100.3", Sender: "m@b.example", Recipient: "fresh@foo.net"})
+	if v.Reason != ReasonAutoWhitelisted {
+		t.Fatalf("restored auto-whitelist = %+v", v)
+	}
+}
+
+func TestSaveFileLoadFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.db")
+
+	clock := simtime.NewSim(simtime.Epoch)
+	g := New(DefaultPolicy(), clock)
+	tr := Triplet{ClientIP: "203.0.113.4", Sender: "a@b.example", Recipient: "u@foo.net"}
+	g.Check(tr)
+	clock.Advance(301 * time.Second)
+	g.Check(tr)
+
+	if err := g.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	// No temp droppings left behind.
+	files, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 1 || files[0].Name() != "state.db" {
+		t.Fatalf("dir contents = %v", files)
+	}
+
+	g2 := New(DefaultPolicy(), clock)
+	if err := g2.LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if v := g2.Check(tr); v.Reason != ReasonKnownTriplet {
+		t.Fatalf("restored = %+v", v)
+	}
+	if err := g2.LoadFile(filepath.Join(dir, "missing.db")); err == nil {
+		t.Fatal("LoadFile on missing path succeeded")
+	}
+}
+
+func TestShardedSaveFileLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sharded.db")
+	clock := simtime.NewSim(simtime.Epoch)
+	s := NewSharded(4, DefaultPolicy(), clock)
+	tr := Triplet{ClientIP: "203.0.113.4", Sender: "a@b.example", Recipient: "u@foo.net"}
+	s.Check(tr)
+	clock.Advance(301 * time.Second)
+	s.Check(tr)
+	if err := s.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	s2 := NewSharded(4, DefaultPolicy(), clock)
+	if err := s2.LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if v := s2.Check(tr); v.Reason != ReasonKnownTriplet {
+		t.Fatalf("restored = %+v", v)
+	}
+	if err := s2.LoadFile(filepath.Join(dir, "nope.db")); err == nil {
+		t.Fatal("LoadFile on missing path succeeded")
+	}
+}

@@ -1,0 +1,193 @@
+package greylist
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/simtime"
+)
+
+func newSharded(n int) (*Sharded, *simtime.Sim) {
+	clock := simtime.NewSim(simtime.Epoch)
+	p := DefaultPolicy()
+	return NewSharded(n, p, clock), clock
+}
+
+func TestShardedBasicSemantics(t *testing.T) {
+	s, clock := newSharded(8)
+	tr := Triplet{ClientIP: "203.0.113.9", Sender: "a@b.example", Recipient: "u@foo.net"}
+	if v := s.Check(tr); v.Decision != Defer {
+		t.Fatalf("first = %+v", v)
+	}
+	clock.Advance(301 * time.Second)
+	if v := s.Check(tr); v.Decision != Pass || v.Reason != ReasonRetryAccepted {
+		t.Fatalf("retry = %+v", v)
+	}
+	if v := s.Check(tr); v.Reason != ReasonKnownTriplet {
+		t.Fatalf("known = %+v", v)
+	}
+}
+
+func TestShardedMatchesSingleForManyTriplets(t *testing.T) {
+	// The same triplet sequence must produce identical verdicts on a
+	// single engine and on any shard count.
+	type step struct {
+		tr      Triplet
+		advance time.Duration
+	}
+	var steps []step
+	for i := 0; i < 200; i++ {
+		steps = append(steps, step{
+			tr: Triplet{
+				ClientIP:  fmt.Sprintf("203.0.113.%d", i%40),
+				Sender:    fmt.Sprintf("s%d@x.example", i%17),
+				Recipient: fmt.Sprintf("u%d@foo.net", i%11),
+			},
+			advance: time.Duration(i%120) * time.Second,
+		})
+	}
+	run := func(check func(Triplet) Verdict, clock *simtime.Sim) []Verdict {
+		var out []Verdict
+		for _, st := range steps {
+			clock.Advance(st.advance)
+			out = append(out, check(st.tr))
+		}
+		return out
+	}
+
+	clock1 := simtime.NewSim(simtime.Epoch)
+	p := DefaultPolicy()
+	p.AutoWhitelistAfter = 0 // the one intentionally different behaviour
+	single := New(p, clock1)
+	want := run(single.Check, clock1)
+
+	for _, shards := range []int{1, 4, 16} {
+		clockN := simtime.NewSim(simtime.Epoch)
+		sharded := NewSharded(shards, p, clockN)
+		got := run(sharded.Check, clockN)
+		for i := range want {
+			if got[i].Decision != want[i].Decision || got[i].Reason != want[i].Reason {
+				t.Fatalf("%d shards, step %d: %+v != %+v", shards, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestShardedSharedWhitelist(t *testing.T) {
+	s, _ := newSharded(4)
+	s.Whitelist().AddRecipient("postmaster@foo.net")
+	for i := 0; i < 20; i++ {
+		tr := Triplet{ClientIP: fmt.Sprintf("10.0.0.%d", i), Sender: "x@y.example", Recipient: "postmaster@foo.net"}
+		if v := s.Check(tr); v.Reason != ReasonWhitelisted {
+			t.Fatalf("triplet %d = %+v", i, v)
+		}
+	}
+}
+
+func TestShardedStatsAggregate(t *testing.T) {
+	s, clock := newSharded(4)
+	for i := 0; i < 50; i++ {
+		tr := Triplet{ClientIP: "203.0.113.1", Sender: "a@b.example", Recipient: fmt.Sprintf("u%d@foo.net", i)}
+		s.Check(tr)
+	}
+	clock.Advance(301 * time.Second)
+	for i := 0; i < 50; i++ {
+		tr := Triplet{ClientIP: "203.0.113.1", Sender: "a@b.example", Recipient: fmt.Sprintf("u%d@foo.net", i)}
+		s.Check(tr)
+	}
+	st := s.Stats()
+	if st.Checks != 100 || st.DeferredNew != 50 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// With the default auto-whitelist (5 deliveries) the client earns
+	// exemption shard by shard; retries + auto passes must cover all 50.
+	if st.PassedRetry+st.PassedAutoClient != 50 {
+		t.Fatalf("passed = %d retry + %d auto, want 50 total", st.PassedRetry, st.PassedAutoClient)
+	}
+	if s.PassedCount()+s.PendingCount() > 100 {
+		t.Fatalf("tables too large: %d + %d", s.PassedCount(), s.PendingCount())
+	}
+}
+
+func TestShardedGC(t *testing.T) {
+	s, clock := newSharded(4)
+	for i := 0; i < 30; i++ {
+		s.Check(Triplet{ClientIP: fmt.Sprintf("10.0.%d.1", i), Sender: "a@b.example", Recipient: "u@foo.net"})
+	}
+	clock.Advance(50 * time.Hour)
+	if dropped := s.GC(); dropped != 30 {
+		t.Fatalf("GC dropped %d, want 30", dropped)
+	}
+	if s.PendingCount() != 0 {
+		t.Fatalf("pending = %d", s.PendingCount())
+	}
+}
+
+func TestShardedSaveLoad(t *testing.T) {
+	s, clock := newSharded(4)
+	tr := Triplet{ClientIP: "203.0.113.5", Sender: "a@b.example", Recipient: "u@foo.net"}
+	s.Check(tr)
+	clock.Advance(301 * time.Second)
+	s.Check(tr)
+
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := NewSharded(4, DefaultPolicy(), clock)
+	if err := s2.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if v := s2.Check(tr); v.Reason != ReasonKnownTriplet {
+		t.Fatalf("restored = %+v", v)
+	}
+
+	// Mismatched shard count is rejected.
+	var buf2 bytes.Buffer
+	if err := s.Save(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	s3 := NewSharded(8, DefaultPolicy(), clock)
+	if err := s3.Load(&buf2); err == nil {
+		t.Fatal("Load accepted mismatched shard count")
+	}
+	if err := s3.Load(bytes.NewReader([]byte("garbage"))); err == nil {
+		t.Fatal("Load accepted garbage")
+	}
+}
+
+func TestShardedMinimumOneShard(t *testing.T) {
+	s := NewSharded(0, DefaultPolicy(), simtime.NewSim(simtime.Epoch))
+	if s.Shards() != 1 {
+		t.Fatalf("shards = %d", s.Shards())
+	}
+	if s.Policy().Threshold != DefaultPolicy().Threshold {
+		t.Fatal("policy not propagated")
+	}
+}
+
+func TestShardedConcurrent(t *testing.T) {
+	s, _ := newSharded(8)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				s.Check(Triplet{
+					ClientIP:  fmt.Sprintf("10.%d.%d.1", w, i%50),
+					Sender:    "bulk@x.example",
+					Recipient: fmt.Sprintf("u%d@foo.net", i%20),
+				})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := s.Stats().Checks; got != 4000 {
+		t.Fatalf("checks = %d", got)
+	}
+}

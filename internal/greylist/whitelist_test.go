@@ -1,0 +1,114 @@
+package greylist
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/simtime"
+)
+
+func TestWhitelistIP(t *testing.T) {
+	w := NewWhitelist()
+	if err := w.AddIP("198.51.100.7"); err != nil {
+		t.Fatal(err)
+	}
+	if !w.Match(Triplet{ClientIP: "198.51.100.7", Sender: "a@b.example", Recipient: "c@d.example"}) {
+		t.Fatal("exact IP not matched")
+	}
+	if w.Match(Triplet{ClientIP: "198.51.100.8", Sender: "a@b.example", Recipient: "c@d.example"}) {
+		t.Fatal("wrong IP matched")
+	}
+	if err := w.AddIP("not-an-ip"); err == nil {
+		t.Fatal("AddIP accepted garbage")
+	}
+}
+
+func TestWhitelistCIDR(t *testing.T) {
+	w := NewWhitelist()
+	if err := w.AddCIDR("66.163.0.0/16"); err != nil {
+		t.Fatal(err)
+	}
+	if !w.Match(Triplet{ClientIP: "66.163.44.5"}) {
+		t.Fatal("in-range IP not matched")
+	}
+	if w.Match(Triplet{ClientIP: "66.164.0.1"}) {
+		t.Fatal("out-of-range IP matched")
+	}
+	if err := w.AddCIDR("garbage"); err == nil {
+		t.Fatal("AddCIDR accepted garbage")
+	}
+}
+
+func TestWhitelistSenderDomain(t *testing.T) {
+	w := NewWhitelist()
+	w.AddSenderDomain("gmail.com")
+	if !w.Match(Triplet{ClientIP: "1.2.3.4", Sender: "user@gmail.com"}) {
+		t.Fatal("sender domain not matched")
+	}
+	if !w.Match(Triplet{ClientIP: "1.2.3.4", Sender: "user@mx.Gmail.COM"}) {
+		t.Fatal("subdomain / case not matched")
+	}
+	if w.Match(Triplet{ClientIP: "1.2.3.4", Sender: "user@notgmail.com"}) {
+		t.Fatal("unrelated domain matched")
+	}
+	if w.Match(Triplet{ClientIP: "1.2.3.4", Sender: ""}) {
+		t.Fatal("null sender matched")
+	}
+}
+
+func TestWhitelistRecipient(t *testing.T) {
+	w := NewWhitelist()
+	w.AddRecipient("postmaster@foo.net")
+	if !w.Match(Triplet{ClientIP: "1.2.3.4", Sender: "bot@spam.example", Recipient: "Postmaster@foo.net"}) {
+		t.Fatal("recipient exemption not matched")
+	}
+	if w.Match(Triplet{ClientIP: "1.2.3.4", Sender: "bot@spam.example", Recipient: "user@foo.net"}) {
+		t.Fatal("protected recipient matched")
+	}
+}
+
+func TestWhitelistBypassesGreylisting(t *testing.T) {
+	// The paper's control experiment: postmaster is unprotected, so the
+	// same bot delivery that is greylisted for a user lands instantly
+	// for postmaster.
+	clock := simtime.NewSim(simtime.Epoch)
+	p := DefaultPolicy()
+	g := New(p, clock)
+	g.Whitelist().AddRecipient("postmaster@foo.net")
+
+	blocked := g.Check(Triplet{ClientIP: "203.0.113.9", Sender: "bot@spam.example", Recipient: "user@foo.net"})
+	if blocked.Decision != Defer {
+		t.Fatalf("protected recipient = %+v, want defer", blocked)
+	}
+	open := g.Check(Triplet{ClientIP: "203.0.113.9", Sender: "bot@spam.example", Recipient: "postmaster@foo.net"})
+	if open.Decision != Pass || open.Reason != ReasonWhitelisted {
+		t.Fatalf("control recipient = %+v, want pass/whitelisted", open)
+	}
+}
+
+func TestWhitelistSizes(t *testing.T) {
+	w := NewWhitelist()
+	w.AddIP("1.2.3.4")
+	w.AddCIDR("10.0.0.0/8")
+	w.AddSenderDomain("x.example")
+	w.AddRecipient("a@b.example")
+	ips, cidrs, doms, rcpts := w.Sizes()
+	if ips != 1 || cidrs != 1 || doms != 1 || rcpts != 1 {
+		t.Fatalf("sizes = %d %d %d %d", ips, cidrs, doms, rcpts)
+	}
+}
+
+func TestWhitelistedClientNeverDelayed(t *testing.T) {
+	clock := simtime.NewSim(simtime.Epoch)
+	g := New(DefaultPolicy(), clock)
+	if err := g.Whitelist().AddCIDR("74.125.0.0/16"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		v := g.Check(Triplet{ClientIP: "74.125.1.1", Sender: "u@gmail.example", Recipient: "v@foo.net"})
+		if v.Decision != Pass {
+			t.Fatalf("attempt %d = %+v, want pass", i, v)
+		}
+		clock.Advance(time.Second)
+	}
+}

@@ -1,0 +1,189 @@
+package lab
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/botnet"
+	"repro/internal/core"
+	"repro/internal/dnsmsg"
+	"repro/internal/dnsresolver"
+	"repro/internal/smtpclient"
+)
+
+// Failure-injection tests: the experiments must behave sensibly when the
+// infrastructure itself misbehaves — servers going down mid-campaign,
+// DNS flaking out — because the paper's scanners and labs had to survive
+// exactly that (transient outages are the reason for the two-scan rule).
+
+func TestSecondaryOutageMidRetrySequence(t *testing.T) {
+	// Kelihos vs greylisting, but the live server goes down between the
+	// first attempt and the first retry, and comes back before the
+	// second retry. The bot's schedule is offset-anchored, so the
+	// second retry (≈5000s) still lands, still beats the 300s
+	// threshold, and the message is delivered.
+	l, err := New(Config{Defense: core.DefenseGreylisting})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	bot, err := botnet.New(botnet.Kelihos(), botnet.Env{
+		Net: l.Net, Resolver: l.Resolver, Sched: l.Sched,
+		SourceIP: "203.0.113.77", Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bot.Launch(botnet.Campaign{
+		Domain: TargetDomain, Sender: "x@spam.example",
+		Recipients: []string{"u@" + TargetDomain},
+		Data:       botnet.SpamPayload("Kelihos", "outage"),
+	})
+
+	// Run the first attempt, then take the primary (the greylisting
+	// server in this config) down across the first retry window.
+	l.Sched.RunFor(10 * time.Second)
+	l.Net.SetHostDown("10.0.0.1", true)
+	l.Sched.RunFor(1000 * time.Second) // covers the 300-600s peak
+	l.Net.SetHostDown("10.0.0.1", false)
+	l.Sched.Run()
+
+	attempts := bot.Attempts()
+	// Initial (greylisted) + retry during the outage (unreachable) +
+	// second retry at ~5000s, which clears the 300s threshold and
+	// delivers — ending the sequence at 3 attempts.
+	if len(attempts) != 3 {
+		t.Fatalf("attempts = %d, want 3", len(attempts))
+	}
+	if attempts[0].Outcome != smtpclient.TransientFailure {
+		t.Fatalf("first attempt = %v, want greylisted", attempts[0].Outcome)
+	}
+	if attempts[1].Outcome != smtpclient.Unreachable {
+		t.Fatalf("retry during outage = %v, want unreachable", attempts[1].Outcome)
+	}
+	if attempts[2].Outcome != smtpclient.Delivered {
+		t.Fatalf("post-recovery retry = %v, want delivered", attempts[2].Outcome)
+	}
+	if bot.Delivered() != 1 {
+		t.Fatalf("delivered = %d", bot.Delivered())
+	}
+}
+
+func TestPermanentOutageBlocksEveryone(t *testing.T) {
+	l, err := New(Config{Defense: core.DefenseNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	l.Net.SetHostDown("10.0.0.1", true)
+	l.Net.SetHostDown("10.0.0.2", true)
+
+	res, err := l.RunSample(botnet.Darkmailer(), 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != 0 {
+		t.Fatalf("delivered %d through a fully-down domain", res.Delivered)
+	}
+	for _, a := range res.Attempts {
+		if a.Outcome != smtpclient.Unreachable {
+			t.Fatalf("attempt = %+v, want unreachable", a)
+		}
+	}
+}
+
+// flakyTransport fails the first n exchanges, then delegates.
+type flakyTransport struct {
+	inner dnsresolver.Transport
+	fails int
+}
+
+var errDNSDown = errors.New("injected DNS failure")
+
+func (f *flakyTransport) Exchange(q *dnsmsg.Message) (*dnsmsg.Message, error) {
+	if f.fails > 0 {
+		f.fails--
+		return nil, errDNSDown
+	}
+	return f.inner.Exchange(q)
+}
+
+func TestFlakyDNSDuringCampaign(t *testing.T) {
+	// The bot's first MX lookup fails outright; a retrying family
+	// recovers on its next attempt once DNS is back.
+	l, err := New(Config{Defense: core.DefenseNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	flaky := &flakyTransport{inner: dnsresolver.Direct(l.DNS), fails: 1}
+	resolver := dnsresolver.New(flaky, l.Clock)
+	resolver.DisableCache = true
+
+	bot, err := botnet.New(botnet.Kelihos(), botnet.Env{
+		Net: l.Net, Resolver: resolver, Sched: l.Sched,
+		SourceIP: "203.0.113.88", Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bot.Launch(botnet.Campaign{
+		Domain: TargetDomain, Sender: "x@spam.example",
+		Recipients: []string{"u@" + TargetDomain},
+		Data:       botnet.SpamPayload("Kelihos", "flaky"),
+	})
+	l.Sched.Run()
+
+	attempts := bot.Attempts()
+	if len(attempts) < 2 {
+		t.Fatalf("attempts = %d, want a retry after the DNS failure", len(attempts))
+	}
+	if attempts[0].Host != "" || attempts[0].Outcome != smtpclient.Unreachable {
+		t.Fatalf("first attempt = %+v, want DNS-failed unreachable", attempts[0])
+	}
+	if bot.Delivered() != 1 {
+		t.Fatalf("delivered = %d after DNS recovery", bot.Delivered())
+	}
+}
+
+func TestFireAndForgetLosesMessageToTransientOutage(t *testing.T) {
+	// The flip side: a fire-and-forget family that happens to hit a
+	// transient outage loses the message forever, even with NO defense
+	// deployed — volume-over-reliability in action.
+	l, err := New(Config{Defense: core.DefenseNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	l.Net.SetHostDown("10.0.0.1", true)
+	l.Net.SetHostDown("10.0.0.2", true)
+
+	bot, err := botnet.New(botnet.Cutwail(), botnet.Env{
+		Net: l.Net, Resolver: l.Resolver, Sched: l.Sched,
+		SourceIP: "203.0.113.99", Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bot.Launch(botnet.Campaign{
+		Domain: TargetDomain, Sender: "x@spam.example",
+		Recipients: []string{"u@" + TargetDomain},
+		Data:       botnet.SpamPayload("Cutwail", "outage"),
+	})
+	l.Sched.RunFor(time.Minute)
+
+	// Servers come back — but Cutwail never retries.
+	l.Net.SetHostDown("10.0.0.1", false)
+	l.Net.SetHostDown("10.0.0.2", false)
+	l.Sched.Run()
+
+	if got := len(bot.Attempts()); got != 1 {
+		t.Fatalf("attempts = %d, want 1 (fire and forget)", got)
+	}
+	if bot.Delivered() != 0 {
+		t.Fatal("fire-and-forget delivered through an outage?")
+	}
+}

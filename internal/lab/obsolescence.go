@@ -1,0 +1,166 @@
+package lab
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/botnet"
+	"repro/internal/core"
+	"repro/internal/nolist"
+)
+
+// The paper's "Results Validity" section asks the question its snapshot
+// cannot answer: "The effectiveness of these two techniques can change in
+// the future and it is important to know when they will become obsolete."
+// This file implements that projection as an experiment.
+//
+// An "evolved" bot is one that has adopted BOTH counter-countermeasures:
+// RFC-compliant MX walking (beats nolisting) and greylisting-compatible
+// retransmission (beats greylisting). The paper observes that in 2015 the
+// top families each mastered one but not both. Obsolescence sweeps the
+// fraction of spam volume sent by evolved bots and measures, by running
+// the actual simulations, how much spam each defense still blocks.
+
+// EvolvedFamily returns the hypothetical future bot: Darkmailer's MX
+// walking plus Kelihos' retry ladder.
+func EvolvedFamily() botnet.Family {
+	evolved := botnet.Kelihos()
+	evolved.Name = "Evolved"
+	evolved.BotnetSpamShare = 0
+	evolved.Behavior = nolist.BehaviorRFCCompliant
+	return evolved
+}
+
+// ObsolescencePoint is one sweep sample.
+type ObsolescencePoint struct {
+	// EvolvedShare is the fraction of spam volume from evolved bots.
+	EvolvedShare float64
+	// BlockedByDefense maps each defense to the fraction of total spam
+	// volume it blocks at this evolution level (relative to the Table I
+	// families' 93.02% botnet-spam coverage, normalized to 1.0).
+	BlockedByDefense map[core.Defense]float64
+}
+
+// Obsolescence runs the sweep: for each requested evolved share, the 2015
+// family mix shrinks proportionally and the evolved bot takes the rest.
+// Per-family blocked/passed outcomes come from live lab runs (with the
+// given campaign size), not assumptions.
+func Obsolescence(evolvedShares []float64, recipients int) ([]ObsolescencePoint, error) {
+	defenses := []core.Defense{
+		core.DefenseNone, core.DefenseNolisting, core.DefenseGreylisting, core.DefenseBoth,
+	}
+
+	// Measure each family (current four + evolved) once per defense.
+	families := append(botnet.Families(), EvolvedFamily())
+	blocked := make(map[string]map[core.Defense]bool, len(families))
+	for _, f := range families {
+		blocked[f.Name] = make(map[core.Defense]bool, len(defenses))
+		for _, d := range defenses {
+			// Kelihos' longest retry peak is ~25h; the default
+			// thresholds are all far below it, so one threshold per
+			// defense suffices.
+			l, err := New(Config{Defense: d, Threshold: 300 * time.Second})
+			if err != nil {
+				return nil, err
+			}
+			res, err := l.RunSample(f, 1, recipients)
+			l.Close()
+			if err != nil {
+				return nil, err
+			}
+			blocked[f.Name][d] = res.Blocked()
+		}
+	}
+
+	// Normalize the 2015 volume mix to 1.0.
+	current := botnet.Families()
+	totalShare := botnet.TotalBotnetShare()
+
+	out := make([]ObsolescencePoint, 0, len(evolvedShares))
+	for _, evolved := range evolvedShares {
+		if evolved < 0 {
+			evolved = 0
+		}
+		if evolved > 1 {
+			evolved = 1
+		}
+		point := ObsolescencePoint{
+			EvolvedShare:     evolved,
+			BlockedByDefense: make(map[core.Defense]float64, len(defenses)),
+		}
+		for _, d := range defenses {
+			sum := 0.0
+			for _, f := range current {
+				weight := (1 - evolved) * f.BotnetSpamShare / totalShare
+				if blocked[f.Name][d] {
+					sum += weight
+				}
+			}
+			if blocked["Evolved"][d] {
+				sum += evolved
+			}
+			point.BlockedByDefense[d] = sum
+		}
+		out = append(out, point)
+	}
+	return out, nil
+}
+
+// SwarmCost measures the system-side cost of greylisting that Section VI
+// mentions ("a cost for the system, for example in terms of disk space
+// and computation resources"): a botnet swarm of `bots` fire-and-forget
+// senders, each from its own address, spamming `recipients` mailboxes,
+// leaves one pending-triplet record per (bot, recipient) pair in the
+// greylist store until the retry window expires them.
+type SwarmCostResult struct {
+	// PendingRecords is the store size right after the campaign.
+	PendingRecords int
+	// Checks is the number of policy decisions the engine made.
+	Checks uint64
+	// DroppedByGC is how many records the expiry GC reclaims after the
+	// retry window.
+	DroppedByGC int
+}
+
+// SwarmCost runs the swarm against a greylisting-only lab.
+func SwarmCost(bots, recipients int) (*SwarmCostResult, error) {
+	l, err := New(Config{Defense: core.DefenseGreylisting})
+	if err != nil {
+		return nil, err
+	}
+	defer l.Close()
+
+	for b := 0; b < bots; b++ {
+		bot, err := botnet.New(botnet.Cutwail(), botnet.Env{
+			Net:      l.Net,
+			Resolver: l.Resolver,
+			Sched:    l.Sched,
+			SourceIP: fmt.Sprintf("203.%d.%d.%d", (b>>16)&255, (b>>8)&255, b&255),
+			Seed:     int64(b),
+		})
+		if err != nil {
+			return nil, err
+		}
+		rcpts := make([]string, recipients)
+		for i := range rcpts {
+			rcpts[i] = fmt.Sprintf("user%d@%s", i, TargetDomain)
+		}
+		bot.Launch(botnet.Campaign{
+			Domain:     TargetDomain,
+			Sender:     fmt.Sprintf("bot%d@swarm.example", b),
+			Recipients: rcpts,
+			Data:       botnet.SpamPayload("Cutwail", "swarm"),
+		})
+	}
+	l.Sched.Run()
+
+	g := l.Domain.Greylister()
+	res := &SwarmCostResult{
+		PendingRecords: g.PendingCount(),
+		Checks:         g.Stats().Checks,
+	}
+	// Jump past the retry window and collect.
+	l.Clock.Advance(g.Policy().RetryWindow + time.Hour)
+	res.DroppedByGC = g.GC()
+	return res, nil
+}

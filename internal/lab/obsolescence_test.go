@@ -1,0 +1,109 @@
+package lab
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/nolist"
+)
+
+func TestEvolvedFamilyBeatsBothDefenses(t *testing.T) {
+	f := EvolvedFamily()
+	if f.Behavior != nolist.BehaviorRFCCompliant || f.Retry.FireAndForget() {
+		t.Fatalf("evolved family misconfigured: %+v", f)
+	}
+	for _, d := range []core.Defense{core.DefenseNolisting, core.DefenseGreylisting, core.DefenseBoth} {
+		l, err := New(Config{Defense: d})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := l.RunSample(f, 1, 3)
+		l.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Blocked() {
+			t.Errorf("evolved family blocked by %v — it must defeat every defense", d)
+		}
+	}
+}
+
+func TestObsolescenceSweep(t *testing.T) {
+	points, err := Obsolescence([]float64{0, 0.25, 0.5, 1}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("points = %d", len(points))
+	}
+
+	// At zero evolution we recover the paper's 2015 picture (volumes
+	// normalized to the 93.02% the families cover):
+	// both ≈ 1.0, greylisting ≈ 56.69/93.02, nolisting ≈ 36.33/93.02.
+	p0 := points[0]
+	approx := func(got, want float64) bool { return math.Abs(got-want) < 0.01 }
+	if !approx(p0.BlockedByDefense[core.DefenseBoth], 1.0) {
+		t.Errorf("2015 both = %v, want 1.0", p0.BlockedByDefense[core.DefenseBoth])
+	}
+	if !approx(p0.BlockedByDefense[core.DefenseGreylisting], 56.69/93.02) {
+		t.Errorf("2015 greylisting = %v", p0.BlockedByDefense[core.DefenseGreylisting])
+	}
+	if !approx(p0.BlockedByDefense[core.DefenseNolisting], 36.33/93.02) {
+		t.Errorf("2015 nolisting = %v", p0.BlockedByDefense[core.DefenseNolisting])
+	}
+	if p0.BlockedByDefense[core.DefenseNone] != 0 {
+		t.Errorf("no defense blocks nothing, got %v", p0.BlockedByDefense[core.DefenseNone])
+	}
+
+	// Effectiveness decays monotonically with evolution and hits zero
+	// at full adoption — the obsolescence point.
+	for _, d := range []core.Defense{core.DefenseNolisting, core.DefenseGreylisting, core.DefenseBoth} {
+		prev := math.Inf(1)
+		for _, p := range points {
+			got := p.BlockedByDefense[d]
+			if got > prev+1e-9 {
+				t.Errorf("%v: effectiveness increased with evolution (%v -> %v)", d, prev, got)
+			}
+			prev = got
+		}
+		if final := points[len(points)-1].BlockedByDefense[d]; final != 0 {
+			t.Errorf("%v: still blocks %v at full evolution", d, final)
+		}
+	}
+
+	// Halfway: the combined defense blocks exactly the un-evolved half.
+	if got := points[2].BlockedByDefense[core.DefenseBoth]; !approx(got, 0.5) {
+		t.Errorf("both at 50%% evolution = %v, want 0.5", got)
+	}
+}
+
+func TestObsolescenceClampsShares(t *testing.T) {
+	points, err := Obsolescence([]float64{-0.5, 1.5}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if points[0].EvolvedShare != 0 || points[1].EvolvedShare != 1 {
+		t.Fatalf("shares = %v, %v", points[0].EvolvedShare, points[1].EvolvedShare)
+	}
+}
+
+func TestSwarmCost(t *testing.T) {
+	const bots, recipients = 20, 5
+	res, err := SwarmCost(bots, recipients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One pending record per (bot, recipient) pair.
+	if res.PendingRecords != bots*recipients {
+		t.Fatalf("pending = %d, want %d", res.PendingRecords, bots*recipients)
+	}
+	if res.Checks < uint64(bots*recipients) {
+		t.Fatalf("checks = %d", res.Checks)
+	}
+	// The GC reclaims everything after the retry window: the cost is
+	// bounded, which is why the paper calls it acceptable.
+	if res.DroppedByGC != bots*recipients {
+		t.Fatalf("GC dropped %d, want %d", res.DroppedByGC, bots*recipients)
+	}
+}

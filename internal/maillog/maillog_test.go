@@ -1,0 +1,292 @@
+package maillog
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func generateDefault(t *testing.T) ([]Entry, Summary) {
+	t.Helper()
+	cfg := DefaultGeneratorConfig(1)
+	cfg.Days = 30 // a month is plenty for the tests
+	cfg.MessagesPerDay = 120
+	entries, summary, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return entries, summary
+}
+
+func TestEntryRoundTrip(t *testing.T) {
+	e := Entry{
+		Time:   time.Date(2015, 2, 3, 4, 5, 6, 0, time.UTC),
+		Key:    "m00000042",
+		Action: ActionDeferred,
+	}
+	line := e.String()
+	if line != "2015-02-03T04:05:06Z m00000042 deferred" {
+		t.Fatalf("line = %q", line)
+	}
+	got, err := ParseEntry(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Time.Equal(e.Time) || got.Key != e.Key || got.Action != e.Action {
+		t.Fatalf("round trip = %+v", got)
+	}
+}
+
+func TestParseEntryErrors(t *testing.T) {
+	for _, line := range []string{
+		"",
+		"only two fields",
+		"notatime key deferred",
+		"2015-02-03T04:05:06Z key exploded",
+		"2015-02-03T04:05:06Z key deferred extra",
+	} {
+		if _, err := ParseEntry(line); err == nil {
+			t.Errorf("ParseEntry(%q) succeeded", line)
+		}
+	}
+}
+
+func TestWriteReadLog(t *testing.T) {
+	entries, _ := generateDefault(t)
+	var buf bytes.Buffer
+	if err := WriteLog(&buf, entries[:500]); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadLog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 500 {
+		t.Fatalf("read %d entries", len(got))
+	}
+	for i := range got {
+		if got[i] != entries[i] {
+			t.Fatalf("entry %d: %+v != %+v", i, got[i], entries[i])
+		}
+	}
+}
+
+func TestReadLogSkipsBlankAndRejectsGarbage(t *testing.T) {
+	got, err := ReadLog(strings.NewReader("\n2015-02-03T04:05:06Z k passed\n\n"))
+	if err != nil || len(got) != 1 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+	if _, err := ReadLog(strings.NewReader("garbage line\n")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, _, err := Generate(GeneratorConfig{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+	cfg := DefaultGeneratorConfig(1)
+	cfg.WeightStandardMTA = 0
+	cfg.WeightSlowCustom = 0
+	cfg.WeightMultiIP = 0
+	cfg.WeightFireForget = 0
+	cfg.WeightRetryingBot = 0
+	if _, _, err := Generate(cfg); err == nil {
+		t.Fatal("zero weights accepted")
+	}
+}
+
+func TestGenerateSummary(t *testing.T) {
+	entries, summary := generateDefault(t)
+	if summary.Messages != 30*120 {
+		t.Fatalf("messages = %d", summary.Messages)
+	}
+	if summary.Entries != len(entries) {
+		t.Fatalf("entries = %d vs %d", summary.Entries, len(entries))
+	}
+	if summary.Delivered+summary.Lost != summary.Messages {
+		t.Fatalf("delivered %d + lost %d != %d", summary.Delivered, summary.Lost, summary.Messages)
+	}
+	// Fire-and-forget senders (≈9%) never deliver.
+	lostFrac := float64(summary.Lost) / float64(summary.Messages)
+	if lostFrac < 0.05 || lostFrac > 0.15 {
+		t.Fatalf("lost fraction = %.3f, want ≈0.09", lostFrac)
+	}
+	total := 0
+	for _, n := range summary.PerClass {
+		total += n
+	}
+	if total != summary.Messages {
+		t.Fatalf("class counts sum to %d", total)
+	}
+}
+
+func TestEntriesAreTimeOrdered(t *testing.T) {
+	entries, _ := generateDefault(t)
+	for i := 1; i < len(entries); i++ {
+		if entries[i].Time.Before(entries[i-1].Time) {
+			t.Fatalf("entries out of order at %d: %v then %v", i, entries[i-1].Time, entries[i].Time)
+		}
+	}
+}
+
+func TestEpisodes(t *testing.T) {
+	base := time.Date(2015, 1, 1, 0, 0, 0, 0, time.UTC)
+	entries := []Entry{
+		{base, "a", ActionDeferred},
+		{base.Add(10 * time.Minute), "a", ActionPassed},
+		{base.Add(time.Minute), "b", ActionDeferred},
+		{base, "c", ActionPassed}, // whitelisted straight through
+	}
+	eps := Episodes(entries)
+	if len(eps) != 3 {
+		t.Fatalf("episodes = %d", len(eps))
+	}
+	byKey := map[string]Episode{}
+	for _, ep := range eps {
+		byKey[ep.Key] = ep
+	}
+	a := byKey["a"]
+	if !a.Delivered || a.Delay() != 10*time.Minute || a.Attempts != 2 {
+		t.Fatalf("a = %+v", a)
+	}
+	if byKey["b"].Delivered {
+		t.Fatal("b delivered")
+	}
+	if byKey["b"].Delay() != 0 {
+		t.Fatal("undelivered delay != 0")
+	}
+	c := byKey["c"]
+	if !c.Delivered || c.Attempts != 1 {
+		t.Fatalf("c = %+v", c)
+	}
+	// c was never deferred so it is not part of Figure 5's population.
+	delays := DeliveryDelays(entries)
+	if len(delays) != 1 || delays[0] != 10*time.Minute {
+		t.Fatalf("delays = %v", delays)
+	}
+}
+
+// TestFig5Shape pins the qualitative Figure 5 findings: the CDF rises
+// slowly — about half the greylisted mail needs ~10 minutes or more
+// despite the 300 s threshold — and a real tail stretches past 50
+// minutes.
+func TestFig5Shape(t *testing.T) {
+	entries, _ := generateDefault(t)
+	cdf := Fig5CDF(entries)
+	if cdf.N() < 1000 {
+		t.Fatalf("only %d delivered greylisted messages", cdf.N())
+	}
+	// Nothing beats the threshold.
+	if cdf.Min() < 300 {
+		t.Fatalf("min delay %.0f s below the 300 s threshold", cdf.Min())
+	}
+	// "only half of the messages get delivered in less than 10
+	// minutes": P(≤10 min) must be near 0.5, definitely below 0.75.
+	p10 := cdf.P(600)
+	if p10 < 0.3 || p10 > 0.75 {
+		t.Fatalf("P(delay <= 10min) = %.3f, want roughly one half", p10)
+	}
+	// "some messages are delivered with over 50 minutes of delay".
+	p50 := 1 - cdf.P(50*60)
+	if p50 < 0.03 {
+		t.Fatalf("P(delay > 50min) = %.3f, want a visible tail", p50)
+	}
+	// "and some even beyond that".
+	if cdf.Max() <= 60*60 {
+		t.Fatalf("max delay = %.0f s, want beyond an hour", cdf.Max())
+	}
+}
+
+func TestFig5FasterThanMalwareCDF(t *testing.T) {
+	// Section V-B: the benign CDF "increases much slower than the curve
+	// we observed for malware" — Kelihos masses its retries right at
+	// 300-600 s, while the benign mix needs minutes to tens of minutes.
+	entries, _ := generateDefault(t)
+	benign := Fig5CDF(entries)
+	// P(benign <= 600 s) is mid-range; Kelihos' was 1.0 by 600 s.
+	if benign.P(600) > 0.9 {
+		t.Fatalf("benign CDF at 600s = %.3f — as fast as malware, shape lost", benign.P(600))
+	}
+}
+
+func TestLostFraction(t *testing.T) {
+	entries, summary := generateDefault(t)
+	got := LostFraction(entries)
+	want := float64(summary.Lost) / float64(summary.Messages)
+	if diff := got - want; diff > 0.001 || diff < -0.001 {
+		t.Fatalf("LostFraction = %.4f, summary says %.4f", got, want)
+	}
+	if LostFraction(nil) != 0 {
+		t.Fatal("LostFraction(nil) != 0")
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	cfg := DefaultGeneratorConfig(42)
+	cfg.Days = 5
+	cfg.MessagesPerDay = 50
+	a, _, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("entry %d differs", i)
+		}
+	}
+}
+
+func TestSenderClassStrings(t *testing.T) {
+	for c := ClassStandardMTA; c <= ClassRetryingBot; c++ {
+		if s := c.String(); s == "" || strings.HasPrefix(s, "SenderClass(") {
+			t.Errorf("class %d string = %q", c, s)
+		}
+	}
+	if ActionDeferred.String() != "deferred" || ActionPassed.String() != "passed" {
+		t.Error("Action strings")
+	}
+}
+
+// Property: for any generator seed, the analyzer invariants hold — every
+// delivered episode's delay is >= the threshold minus jitter (in fact >=
+// threshold, since the engine enforces it), attempts are >= 1, and
+// delivered+lost episodes partition the messages.
+func TestGeneratorAnalyzerInvariantsProperty(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		cfg := DefaultGeneratorConfig(seed)
+		cfg.Days = 3
+		cfg.MessagesPerDay = 80
+		entries, summary, err := Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eps := Episodes(entries)
+		if len(eps) != summary.Messages {
+			t.Fatalf("seed %d: %d episodes for %d messages", seed, len(eps), summary.Messages)
+		}
+		delivered := 0
+		for _, ep := range eps {
+			if ep.Attempts < 1 {
+				t.Fatalf("seed %d: episode with %d attempts", seed, ep.Attempts)
+			}
+			if ep.Delivered {
+				delivered++
+				if ep.Attempts > 1 && ep.Delay() < cfg.Threshold {
+					t.Fatalf("seed %d: delay %v below threshold %v", seed, ep.Delay(), cfg.Threshold)
+				}
+			}
+		}
+		if delivered != summary.Delivered {
+			t.Fatalf("seed %d: delivered %d vs summary %d", seed, delivered, summary.Delivered)
+		}
+	}
+}

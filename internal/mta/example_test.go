@@ -1,0 +1,29 @@
+package mta_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/mta"
+)
+
+// Example shows the greylisting-induced delay for each Table IV MTA at
+// the Postgrey default threshold: the delay is the MTA's first retry.
+func Example() {
+	for _, s := range mta.All() {
+		delay, ok := s.DeliveryDelay(300 * time.Second)
+		if !ok {
+			fmt.Printf("%-9s bounces\n", s.Name)
+			continue
+		}
+		fmt.Printf("%-9s delivers after %v\n", s.Name, delay)
+	}
+
+	// Output:
+	// sendmail  delivers after 10m0s
+	// exim      delivers after 15m0s
+	// postfix   delivers after 5m0s
+	// qmail     delivers after 6m40s
+	// courier   delivers after 5m0s
+	// exchange  delivers after 15m0s
+}

@@ -1,0 +1,246 @@
+// Package mta models the retransmission behaviour of the popular Mail
+// Transfer Agents from Table IV of the paper — sendmail, exim, postfix,
+// qmail, courier and exchange — and provides the retry-queue engine that
+// plays any such schedule against a greylisting policy.
+//
+// A Schedule describes WHEN an MTA retries a temporarily-failed delivery
+// (offsets from the initial attempt) and for how long it keeps trying
+// before bouncing the message (the "max queue time"). The paper notes
+// that "Exchange was the only MTA not RFC-822 compliant with respect to
+// the time-to-live" (2 days instead of the recommended 4-5).
+package mta
+
+import (
+	"fmt"
+	"time"
+)
+
+// Schedule is an MTA retransmission policy. Exactly one continuation mode
+// (Step, Growth or Quadratic) may be set; Retries lists explicit initial
+// retry offsets used before the continuation takes over.
+type Schedule struct {
+	// Name identifies the MTA.
+	Name string
+	// Retries are explicit retry offsets from the initial attempt
+	// (which always happens at offset 0).
+	Retries []time.Duration
+	// Step, when positive, continues the schedule arithmetically: each
+	// subsequent retry Step after the previous one.
+	Step time.Duration
+	// Growth, when > 1, continues the schedule geometrically: the next
+	// retry offset is the previous offset times Growth (exim's ×1.5).
+	Growth float64
+	// Quadratic, when positive, generates the whole schedule as
+	// offset(n) = Quadratic × n² (qmail's 400 s × n²); Retries must be
+	// empty in this mode.
+	Quadratic time.Duration
+	// MaxQueueTime is how long the message stays queued before the MTA
+	// gives up and bounces (Table IV's "MAX QUEUE TIME").
+	MaxQueueTime time.Duration
+}
+
+// Validate checks the schedule is well-formed.
+func (s Schedule) Validate() error {
+	modes := 0
+	if s.Step > 0 {
+		modes++
+	}
+	if s.Growth > 1 {
+		modes++
+	}
+	if s.Quadratic > 0 {
+		modes++
+	}
+	if modes > 1 {
+		return fmt.Errorf("mta: %s: more than one continuation mode", s.Name)
+	}
+	if s.Quadratic > 0 && len(s.Retries) > 0 {
+		return fmt.Errorf("mta: %s: quadratic mode excludes explicit retries", s.Name)
+	}
+	if s.MaxQueueTime <= 0 {
+		return fmt.Errorf("mta: %s: max queue time required", s.Name)
+	}
+	for i := 1; i < len(s.Retries); i++ {
+		if s.Retries[i] <= s.Retries[i-1] {
+			return fmt.Errorf("mta: %s: retries not increasing at %d", s.Name, i)
+		}
+	}
+	return nil
+}
+
+// AttemptTimes returns the offsets of every delivery attempt (the initial
+// one at 0 plus retries) up to min(horizon, MaxQueueTime). A zero horizon
+// means MaxQueueTime.
+func (s Schedule) AttemptTimes(horizon time.Duration) []time.Duration {
+	limit := s.MaxQueueTime
+	if horizon > 0 && horizon < limit {
+		limit = horizon
+	}
+	out := []time.Duration{0}
+
+	if s.Quadratic > 0 {
+		for n := 1; ; n++ {
+			t := s.Quadratic * time.Duration(n*n)
+			if t > limit {
+				break
+			}
+			out = append(out, t)
+		}
+		return out
+	}
+
+	last := time.Duration(0)
+	for _, r := range s.Retries {
+		if r > limit {
+			return out
+		}
+		out = append(out, r)
+		last = r
+	}
+	switch {
+	case s.Step > 0:
+		for t := last + s.Step; t <= limit; t += s.Step {
+			out = append(out, t)
+		}
+	case s.Growth > 1:
+		for t := last; ; {
+			next := time.Duration(float64(t) * s.Growth)
+			if next <= t || next > limit {
+				break
+			}
+			out = append(out, next)
+			t = next
+		}
+	}
+	return out
+}
+
+// Table IV's schedules. The minute lists in the paper are encoded either
+// explicitly or via their generating rule.
+
+// Sendmail retries every 10 minutes for up to 5 days.
+func Sendmail() Schedule {
+	return Schedule{Name: "sendmail", Step: 10 * time.Minute, MaxQueueTime: 5 * 24 * time.Hour}
+}
+
+// Exim retries every 15 minutes for the first 2 hours, then multiplies
+// the interval by 1.5 (15, 30, …, 120, 180, 270, 405, 607.5 …), for up
+// to 4 days.
+func Exim() Schedule {
+	var retries []time.Duration
+	for m := 15; m <= 120; m += 15 {
+		retries = append(retries, time.Duration(m)*time.Minute)
+	}
+	return Schedule{Name: "exim", Retries: retries, Growth: 1.5, MaxQueueTime: 4 * 24 * time.Hour}
+}
+
+// Postfix retries at 5, 10, 15, 20, 25, 30, 45 minutes and then every 15
+// minutes, for up to 5 days.
+func Postfix() Schedule {
+	return Schedule{
+		Name: "postfix",
+		Retries: []time.Duration{
+			5 * time.Minute, 10 * time.Minute, 15 * time.Minute, 20 * time.Minute,
+			25 * time.Minute, 30 * time.Minute, 45 * time.Minute,
+		},
+		Step:         15 * time.Minute,
+		MaxQueueTime: 5 * 24 * time.Hour,
+	}
+}
+
+// Qmail retries quadratically at 400·n² seconds (6.6, 26.6, 60, 106.6,
+// 166.6, 240, … minutes), for up to 7 days.
+func Qmail() Schedule {
+	return Schedule{Name: "qmail", Quadratic: 400 * time.Second, MaxQueueTime: 7 * 24 * time.Hour}
+}
+
+// Courier retries in bursts of three attempts 5 minutes apart, with the
+// burst start times at 5, 30, 70, 140, 270, 400, 530, 660 minutes
+// (Table IV), continuing every 130 minutes, for up to 7 days.
+func Courier() Schedule {
+	starts := []int{5, 30, 70, 140, 270, 400, 530, 660}
+	var retries []time.Duration
+	for _, s := range starts {
+		for k := 0; k < 3; k++ {
+			retries = append(retries, time.Duration(s+5*k)*time.Minute)
+		}
+	}
+	return Schedule{Name: "courier", Retries: retries, Step: 130 * time.Minute, MaxQueueTime: 7 * 24 * time.Hour}
+}
+
+// Exchange retries every 15 minutes but keeps the message for only 2
+// days — the paper singles it out as the one non-RFC-822-compliant
+// time-to-live.
+func Exchange() Schedule {
+	return Schedule{Name: "exchange", Step: 15 * time.Minute, MaxQueueTime: 2 * 24 * time.Hour}
+}
+
+// All returns the Table IV schedules in the paper's row order.
+func All() []Schedule {
+	return []Schedule{Sendmail(), Exim(), Postfix(), Qmail(), Courier(), Exchange()}
+}
+
+// ByName returns the named schedule, or an error.
+func ByName(name string) (Schedule, error) {
+	for _, s := range All() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Schedule{}, fmt.Errorf("mta: unknown MTA %q", name)
+}
+
+// Result is the outcome of playing a schedule against an acceptance
+// predicate.
+type Result struct {
+	// Delivered reports whether some attempt was accepted.
+	Delivered bool
+	// DeliveredAt is the offset of the accepted attempt.
+	DeliveredAt time.Duration
+	// Attempts counts delivery attempts made (including the accepted
+	// one).
+	Attempts int
+	// AttemptTimes are the offsets of all attempts made.
+	AttemptTimes []time.Duration
+	// GaveUp reports that the queue lifetime expired with no
+	// acceptance — the message bounced.
+	GaveUp bool
+}
+
+// Run plays the schedule against accept: attempts happen at the schedule's
+// offsets and stop at the first accepted one. This is how Figure 5's
+// benign-delay distribution arises: the delivery delay of a greylisted
+// message is the first schedule offset at or past the threshold.
+func (s Schedule) Run(accept func(elapsed time.Duration) bool) Result {
+	var res Result
+	for _, t := range s.AttemptTimes(0) {
+		res.Attempts++
+		res.AttemptTimes = append(res.AttemptTimes, t)
+		if accept(t) {
+			res.Delivered = true
+			res.DeliveredAt = t
+			return res
+		}
+	}
+	res.GaveUp = true
+	return res
+}
+
+// RunGreylisted plays the schedule against an ideal greylisting policy
+// with the given threshold: the first attempt registers the triplet and
+// every attempt at offset >= threshold (within the retry window, assumed
+// unbounded here) is accepted.
+func (s Schedule) RunGreylisted(threshold time.Duration) Result {
+	return s.Run(func(elapsed time.Duration) bool { return elapsed >= threshold && elapsed > 0 })
+}
+
+// DeliveryDelay returns the delay greylisting with the given threshold
+// inflicts on this MTA, and whether the message is delivered at all
+// before the queue expires.
+func (s Schedule) DeliveryDelay(threshold time.Duration) (time.Duration, bool) {
+	res := s.RunGreylisted(threshold)
+	if !res.Delivered {
+		return 0, false
+	}
+	return res.DeliveredAt, true
+}

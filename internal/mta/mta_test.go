@@ -1,0 +1,232 @@
+package mta
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func minutes(ms ...float64) []time.Duration {
+	out := make([]time.Duration, len(ms))
+	for i, m := range ms {
+		out[i] = time.Duration(m * float64(time.Minute))
+	}
+	return out
+}
+
+func TestAllSchedulesValid(t *testing.T) {
+	all := All()
+	if len(all) != 6 {
+		t.Fatalf("All() = %d schedules, want the 6 of Table IV", len(all))
+	}
+	for _, s := range all {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	s, err := ByName("qmail")
+	if err != nil || s.Name != "qmail" {
+		t.Fatalf("ByName = %+v, %v", s, err)
+	}
+	if _, err := ByName("notanmta"); err == nil {
+		t.Fatal("ByName accepted unknown MTA")
+	}
+}
+
+func TestValidateRejectsBadSchedules(t *testing.T) {
+	bad := []Schedule{
+		{Name: "two-modes", Step: time.Minute, Growth: 1.5, MaxQueueTime: time.Hour},
+		{Name: "quad-plus-retries", Quadratic: time.Second, Retries: minutes(5), MaxQueueTime: time.Hour},
+		{Name: "no-queue-time", Step: time.Minute},
+		{Name: "non-increasing", Retries: minutes(10, 5), MaxQueueTime: time.Hour},
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted bad schedule", s.Name)
+		}
+	}
+}
+
+// TestTableIVFirstTenHours checks the paper's Table IV rows verbatim over
+// the 10-hour horizon the table covers.
+func TestTableIVFirstTenHours(t *testing.T) {
+	horizon := 10 * time.Hour
+	cases := []struct {
+		schedule Schedule
+		want     []time.Duration // retry offsets, excluding the initial attempt
+		maxQueue time.Duration
+	}{
+		{Sendmail(), minutes(10, 20, 30, 40, 50, 60, 70, 80, 90, 100, 110, 120, 130, 140, 150,
+			160, 170, 180, 190, 200, 210, 220, 230, 240, 250, 260, 270, 280, 290, 300,
+			310, 320, 330, 340, 350, 360, 370, 380, 390, 400, 410, 420, 430, 440, 450,
+			460, 470, 480, 490, 500, 510, 520, 530, 540, 550, 560, 570, 580, 590, 600),
+			5 * 24 * time.Hour},
+		{Exim(), minutes(15, 30, 45, 60, 75, 90, 105, 120, 180, 270, 405), 4 * 24 * time.Hour},
+		{Postfix(), minutes(5, 10, 15, 20, 25, 30, 45, 60, 75, 90, 105, 120, 135, 150, 165,
+			180, 195, 210, 225, 240, 255, 270, 285, 300, 315, 330, 345, 360, 375, 390,
+			405, 420, 435, 450, 465, 480, 495, 510, 525, 540, 555, 570, 585, 600),
+			5 * 24 * time.Hour},
+		{Qmail(), minutes(400.0/60, 1600.0/60, 3600.0/60, 6400.0/60, 10000.0/60,
+			14400.0/60, 19600.0/60, 25600.0/60, 32400.0/60), 7 * 24 * time.Hour},
+		{Courier(), minutes(5, 10, 15, 30, 35, 40, 70, 75, 80, 140, 145, 150,
+			270, 275, 280, 400, 405, 410, 530, 535, 540), 7 * 24 * time.Hour},
+		{Exchange(), minutes(15, 30, 45, 60, 75, 90, 105, 120, 135, 150, 165, 180, 195, 210,
+			225, 240, 255, 270, 285, 300, 315, 330, 345, 360, 375, 390, 405, 420, 435,
+			450, 465, 480, 495, 510, 525, 540, 555, 570, 585, 600), 2 * 24 * time.Hour},
+	}
+	for _, tc := range cases {
+		t.Run(tc.schedule.Name, func(t *testing.T) {
+			got := tc.schedule.AttemptTimes(horizon)
+			if got[0] != 0 {
+				t.Fatalf("first attempt at %v, want 0", got[0])
+			}
+			retries := got[1:]
+			if len(retries) != len(tc.want) {
+				t.Fatalf("%d retries in 10h, want %d\n got: %v", len(retries), len(tc.want), retries)
+			}
+			for i := range tc.want {
+				if retries[i] != tc.want[i] {
+					t.Fatalf("retry %d = %v, want %v", i, retries[i], tc.want[i])
+				}
+			}
+			if tc.schedule.MaxQueueTime != tc.maxQueue {
+				t.Fatalf("max queue = %v, want %v", tc.schedule.MaxQueueTime, tc.maxQueue)
+			}
+		})
+	}
+}
+
+func TestEximGeometricContinuation(t *testing.T) {
+	// Past 10 hours the ×1.5 growth continues: 607.5 min.
+	times := Exim().AttemptTimes(11 * time.Hour)
+	last := times[len(times)-1]
+	want := time.Duration(607.5 * float64(time.Minute))
+	if last != want {
+		t.Fatalf("last attempt = %v, want %v", last, want)
+	}
+}
+
+func TestAttemptTimesCappedByMaxQueue(t *testing.T) {
+	s := Exchange() // 2-day queue
+	times := s.AttemptTimes(0)
+	last := times[len(times)-1]
+	if last > s.MaxQueueTime {
+		t.Fatalf("attempt at %v beyond queue lifetime %v", last, s.MaxQueueTime)
+	}
+	// 2 days / 15 min = 192 retries + initial.
+	if len(times) != 193 {
+		t.Fatalf("attempts = %d, want 193", len(times))
+	}
+}
+
+func TestRunGreylistedTypicalThreshold(t *testing.T) {
+	// With the Postgrey default of 300 s, every Table IV MTA delivers
+	// on its first retry.
+	for _, s := range All() {
+		res := s.RunGreylisted(300 * time.Second)
+		if !res.Delivered {
+			t.Errorf("%s: not delivered at 300s threshold", s.Name)
+			continue
+		}
+		if res.Attempts != 2 {
+			t.Errorf("%s: %d attempts, want 2 (initial + first retry)", s.Name, res.Attempts)
+		}
+		first := s.AttemptTimes(0)[1]
+		if res.DeliveredAt != first {
+			t.Errorf("%s: delivered at %v, want first retry %v", s.Name, res.DeliveredAt, first)
+		}
+	}
+}
+
+func TestRunGreylistedDelays300s(t *testing.T) {
+	// The greylisting-induced delay at a 300 s threshold is the MTA's
+	// first retry offset: 10 min for sendmail, 15 for exim, 5 for
+	// postfix, 6:40 for qmail, 5 for courier, 15 for exchange.
+	want := map[string]time.Duration{
+		"sendmail": 10 * time.Minute,
+		"exim":     15 * time.Minute,
+		"postfix":  5 * time.Minute,
+		"qmail":    400 * time.Second,
+		"courier":  5 * time.Minute,
+		"exchange": 15 * time.Minute,
+	}
+	for _, s := range All() {
+		delay, ok := s.DeliveryDelay(300 * time.Second)
+		if !ok || delay != want[s.Name] {
+			t.Errorf("%s: delay = %v (%v), want %v", s.Name, delay, ok, want[s.Name])
+		}
+	}
+}
+
+func TestRunGreylistedSixHourThreshold(t *testing.T) {
+	// All six MTAs outlast a 6-hour threshold (their queues live 2-7
+	// days), unlike aol.com and qq.com in Table III.
+	for _, s := range All() {
+		res := s.RunGreylisted(6 * time.Hour)
+		if !res.Delivered {
+			t.Errorf("%s: gave up before 6h threshold", s.Name)
+			continue
+		}
+		if res.DeliveredAt < 6*time.Hour {
+			t.Errorf("%s: delivered at %v, before the threshold", s.Name, res.DeliveredAt)
+		}
+	}
+}
+
+func TestExchangeBouncesPastQueueLifetime(t *testing.T) {
+	// A threshold beyond the MTA's queue lifetime bounces the message:
+	// exchange keeps mail only 2 days.
+	res := Exchange().RunGreylisted(3 * 24 * time.Hour)
+	if res.Delivered || !res.GaveUp {
+		t.Fatalf("result = %+v, want gave up", res)
+	}
+	// qmail (7 days) survives the same threshold.
+	if res := Qmail().RunGreylisted(3 * 24 * time.Hour); !res.Delivered {
+		t.Fatalf("qmail result = %+v, want delivered", res)
+	}
+}
+
+func TestRunStopsAtFirstAcceptance(t *testing.T) {
+	calls := 0
+	res := Postfix().Run(func(elapsed time.Duration) bool {
+		calls++
+		return elapsed >= 12*time.Minute
+	})
+	if !res.Delivered || res.DeliveredAt != 15*time.Minute {
+		t.Fatalf("result = %+v", res)
+	}
+	if calls != res.Attempts {
+		t.Fatalf("calls = %d, attempts = %d", calls, res.Attempts)
+	}
+	if len(res.AttemptTimes) != res.Attempts {
+		t.Fatalf("attempt times = %v", res.AttemptTimes)
+	}
+}
+
+// Property: for any threshold below the queue lifetime, the delivery
+// delay is >= the threshold and attempts are strictly increasing in time.
+func TestScheduleDeliveryProperty(t *testing.T) {
+	f := func(thresholdMin uint16, which uint8) bool {
+		s := All()[int(which)%6]
+		threshold := time.Duration(thresholdMin%2000) * time.Minute // < 2 days min queue... 2000min=33h
+		res := s.RunGreylisted(threshold)
+		if !res.Delivered {
+			return threshold > s.MaxQueueTime
+		}
+		if res.DeliveredAt < threshold {
+			return false
+		}
+		for i := 1; i < len(res.AttemptTimes); i++ {
+			if res.AttemptTimes[i] <= res.AttemptTimes[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,235 @@
+// Package mtaqueue implements a real (if small) queueing MTA on top of
+// the SMTP client: submitted messages enter a queue, delivery is
+// attempted over actual SMTP connections, transient failures (greylisting
+// deferrals, unreachable hosts) are retried on the MTA's retransmission
+// schedule, permanent failures and queue-lifetime expiry bounce.
+//
+// Where package mta models Table IV's schedules *analytically*, this
+// package executes them against live servers — so the reproduction can
+// cross-validate the two: the delay the analytic model predicts for a
+// greylisted sendmail is exactly the delay a queueing sendmail measures
+// against a real greylisting server (see the tests).
+package mtaqueue
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/dnsresolver"
+	"repro/internal/mta"
+	"repro/internal/simtime"
+	"repro/internal/smtpclient"
+)
+
+// Status is a queued message's lifecycle state.
+type Status int
+
+// Statuses.
+const (
+	// StatusQueued: awaiting (re)delivery.
+	StatusQueued Status = iota + 1
+	// StatusDelivered: accepted by the destination.
+	StatusDelivered
+	// StatusBounced: permanently failed or queue lifetime expired.
+	StatusBounced
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case StatusQueued:
+		return "queued"
+	case StatusDelivered:
+		return "delivered"
+	case StatusBounced:
+		return "bounced"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// BounceReason explains a bounce.
+type BounceReason int
+
+// Bounce reasons.
+const (
+	// BounceNone: the message did not bounce.
+	BounceNone BounceReason = iota
+	// BouncePermanent: the destination rejected with a 5xx.
+	BouncePermanent
+	// BounceExpired: the queue lifetime ran out (Table IV's MAX QUEUE
+	// TIME column; the fate of Exchange mail behind multi-day
+	// greylisting thresholds).
+	BounceExpired
+)
+
+// QueuedMessage is the queue's view of one submission.
+type QueuedMessage struct {
+	ID          int
+	Domain      string
+	Status      Status
+	Bounce      BounceReason
+	EnqueuedAt  time.Time
+	Attempts    int
+	DeliveredAt time.Time
+	// Delay is DeliveredAt - EnqueuedAt for delivered messages.
+	Delay time.Duration
+	// LastError is the most recent failure.
+	LastError error
+}
+
+// Config assembles an MTA.
+type Config struct {
+	// Name labels the MTA in logs.
+	Name string
+	// Schedule is the retransmission policy (one of mta.All() or a
+	// custom one).
+	Schedule mta.Schedule
+	// HeloName is announced to destination servers.
+	HeloName string
+	// Resolver resolves destination MX records.
+	Resolver *dnsresolver.Resolver
+	// Dialer opens the SMTP connections.
+	Dialer smtpclient.Dialer
+	// Sched drives the retry timers (virtual time).
+	Sched *simtime.Scheduler
+}
+
+// MTA is a queueing mail transfer agent.
+type MTA struct {
+	cfg     Config
+	offsets []time.Duration
+
+	mu     sync.Mutex
+	nextID int
+	queue  map[int]*queueEntry
+}
+
+type queueEntry struct {
+	msg    smtpclient.Message
+	record QueuedMessage
+}
+
+// New validates the configuration and returns an MTA.
+func New(cfg Config) (*MTA, error) {
+	if cfg.Resolver == nil || cfg.Dialer == nil || cfg.Sched == nil {
+		return nil, errors.New("mtaqueue: Resolver, Dialer and Sched are required")
+	}
+	if err := cfg.Schedule.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.HeloName == "" {
+		cfg.HeloName = "mta.local"
+	}
+	if cfg.Name == "" {
+		cfg.Name = cfg.Schedule.Name
+	}
+	return &MTA{
+		cfg:     cfg,
+		offsets: cfg.Schedule.AttemptTimes(0),
+		queue:   make(map[int]*queueEntry),
+	}, nil
+}
+
+// Submit enqueues a message for the recipient domain and schedules its
+// first delivery attempt immediately. It returns the queue ID.
+func (m *MTA) Submit(domain string, msg smtpclient.Message) int {
+	if msg.HeloName == "" {
+		msg.HeloName = m.cfg.HeloName
+	}
+	now := m.cfg.Sched.Clock().Now()
+	m.mu.Lock()
+	m.nextID++
+	id := m.nextID
+	m.queue[id] = &queueEntry{
+		msg: msg,
+		record: QueuedMessage{
+			ID: id, Domain: domain, Status: StatusQueued, EnqueuedAt: now,
+		},
+	}
+	m.mu.Unlock()
+	m.cfg.Sched.After(0, m.cfg.Name+" first attempt", func() { m.attempt(id, 0) })
+	return id
+}
+
+// attempt performs delivery attempt index k for message id.
+func (m *MTA) attempt(id, k int) {
+	m.mu.Lock()
+	entry, ok := m.queue[id]
+	if !ok || entry.record.Status != StatusQueued {
+		m.mu.Unlock()
+		return
+	}
+	msg := entry.msg
+	domain := entry.record.Domain
+	entry.record.Attempts++
+	m.mu.Unlock()
+
+	receipt := smtpclient.DeliverMX(m.cfg.Resolver, m.cfg.Dialer, domain, msg)
+	now := m.cfg.Sched.Clock().Now()
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch receipt.Outcome {
+	case smtpclient.Delivered:
+		entry.record.Status = StatusDelivered
+		entry.record.DeliveredAt = now
+		entry.record.Delay = now.Sub(entry.record.EnqueuedAt)
+		entry.record.LastError = nil
+	case smtpclient.PermanentFailure:
+		entry.record.Status = StatusBounced
+		entry.record.Bounce = BouncePermanent
+		entry.record.LastError = receipt.LastError
+	default: // transient or unreachable: retry per schedule
+		entry.record.LastError = receipt.LastError
+		next := k + 1
+		if next >= len(m.offsets) {
+			entry.record.Status = StatusBounced
+			entry.record.Bounce = BounceExpired
+			return
+		}
+		at := entry.record.EnqueuedAt.Add(m.offsets[next])
+		m.cfg.Sched.At(at, m.cfg.Name+" retry", func() { m.attempt(id, next) })
+	}
+}
+
+// Message returns the current record for a queue ID.
+func (m *MTA) Message(id int) (QueuedMessage, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	entry, ok := m.queue[id]
+	if !ok {
+		return QueuedMessage{}, false
+	}
+	return entry.record, true
+}
+
+// Messages returns all records, in submission order.
+func (m *MTA) Messages() []QueuedMessage {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]QueuedMessage, 0, len(m.queue))
+	for id := 1; id <= m.nextID; id++ {
+		if e, ok := m.queue[id]; ok {
+			out = append(out, e.record)
+		}
+	}
+	return out
+}
+
+// Summary counts messages by status.
+func (m *MTA) Summary() (queued, delivered, bounced int) {
+	for _, r := range m.Messages() {
+		switch r.Status {
+		case StatusQueued:
+			queued++
+		case StatusDelivered:
+			delivered++
+		case StatusBounced:
+			bounced++
+		}
+	}
+	return queued, delivered, bounced
+}

@@ -1,0 +1,242 @@
+package mtaqueue
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dnsresolver"
+	"repro/internal/dnsserver"
+	"repro/internal/greylist"
+	"repro/internal/mta"
+	"repro/internal/netsim"
+	"repro/internal/simtime"
+	"repro/internal/smtpclient"
+)
+
+// world wires a defended destination domain and an MTA environment.
+type world struct {
+	net      *netsim.Network
+	dns      *dnsserver.Server
+	clock    *simtime.Sim
+	sched    *simtime.Scheduler
+	resolver *dnsresolver.Resolver
+	domain   *core.Domain
+}
+
+func newWorld(t *testing.T, defense core.Defense, threshold time.Duration) *world {
+	t.Helper()
+	w := &world{
+		net:   netsim.New(),
+		dns:   dnsserver.New(),
+		clock: simtime.NewSim(simtime.Epoch),
+	}
+	w.sched = simtime.NewScheduler(w.clock)
+	w.resolver = dnsresolver.New(dnsresolver.Direct(w.dns), w.clock)
+	w.resolver.DisableCache = true
+
+	policy := greylist.DefaultPolicy()
+	if threshold > 0 {
+		policy.Threshold = threshold
+	}
+	// The expiry tests outlast Postgrey's 2-day retry window; widen it
+	// so the only lifetime in play is the MTA's own queue time.
+	policy.RetryWindow = 30 * 24 * time.Hour
+	d, err := core.New(core.Config{
+		Domain:         "dest.example",
+		PrimaryIP:      "10.0.0.1",
+		SecondaryIP:    "10.0.0.2",
+		Defense:        defense,
+		GreylistPolicy: policy,
+	}, core.Deps{Net: w.net, DNS: w.dns, Clock: w.clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+	w.domain = d
+	return w
+}
+
+func (w *world) newMTA(t *testing.T, schedule mta.Schedule) *MTA {
+	t.Helper()
+	m, err := New(Config{
+		Schedule: schedule,
+		HeloName: "mta.sender.example",
+		Resolver: w.resolver,
+		Dialer:   &smtpclient.SimDialer{Net: w.net, LocalIP: "192.0.2.50"},
+		Sched:    w.sched,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func testMsg(i int) smtpclient.Message {
+	return smtpclient.Message{
+		From: fmt.Sprintf("alice%d@sender.example", i),
+		To:   []string{fmt.Sprintf("user%d@dest.example", i)},
+		Data: []byte("Subject: q\r\n\r\nqueued mail\r\n"),
+	}
+}
+
+func TestImmediateDeliveryWithoutDefense(t *testing.T) {
+	w := newWorld(t, core.DefenseNone, 0)
+	m := w.newMTA(t, mta.Postfix())
+	id := m.Submit("dest.example", testMsg(1))
+	w.sched.Run()
+
+	rec, ok := m.Message(id)
+	if !ok || rec.Status != StatusDelivered {
+		t.Fatalf("record = %+v", rec)
+	}
+	if rec.Attempts != 1 || rec.Delay != 0 {
+		t.Fatalf("record = %+v, want first-attempt delivery", rec)
+	}
+	if len(w.domain.Inbox()) != 1 {
+		t.Fatalf("inbox = %d", len(w.domain.Inbox()))
+	}
+}
+
+// TestLiveDelaysMatchAnalyticModel is the cross-validation: for every
+// Table IV schedule, the delay measured by the real queueing MTA against
+// a real greylisting server equals the analytic prediction.
+func TestLiveDelaysMatchAnalyticModel(t *testing.T) {
+	for _, schedule := range mta.All() {
+		schedule := schedule
+		t.Run(schedule.Name, func(t *testing.T) {
+			w := newWorld(t, core.DefenseGreylisting, 300*time.Second)
+			m := w.newMTA(t, schedule)
+			id := m.Submit("dest.example", testMsg(1))
+			w.sched.Run()
+
+			rec, _ := m.Message(id)
+			if rec.Status != StatusDelivered {
+				t.Fatalf("record = %+v", rec)
+			}
+			want, ok := schedule.DeliveryDelay(300 * time.Second)
+			if !ok {
+				t.Fatal("analytic model says undeliverable")
+			}
+			if rec.Delay != want {
+				t.Fatalf("live delay %v != analytic %v", rec.Delay, want)
+			}
+			if rec.Attempts != 2 {
+				t.Fatalf("attempts = %d, want 2", rec.Attempts)
+			}
+		})
+	}
+}
+
+func TestPermanentFailureBouncesImmediately(t *testing.T) {
+	w := newWorld(t, core.DefenseNone, 0)
+	m := w.newMTA(t, mta.Postfix())
+	msg := testMsg(1)
+	msg.To = []string{"user@other-domain.example"} // relay denied -> 550
+	id := m.Submit("dest.example", msg)
+	w.sched.Run()
+
+	rec, _ := m.Message(id)
+	if rec.Status != StatusBounced || rec.Bounce != BouncePermanent {
+		t.Fatalf("record = %+v", rec)
+	}
+	if rec.Attempts != 1 {
+		t.Fatalf("attempts = %d (no retries after 5xx)", rec.Attempts)
+	}
+}
+
+func TestQueueLifetimeExpiry(t *testing.T) {
+	// Exchange keeps mail 2 days; a 3-day greylisting threshold
+	// guarantees a bounce (Table IV + the paper's threshold analysis).
+	w := newWorld(t, core.DefenseGreylisting, 3*24*time.Hour)
+	m := w.newMTA(t, mta.Exchange())
+	id := m.Submit("dest.example", testMsg(1))
+	w.sched.Run()
+
+	rec, _ := m.Message(id)
+	if rec.Status != StatusBounced || rec.Bounce != BounceExpired {
+		t.Fatalf("record = %+v", rec)
+	}
+	// 2 days / 15 min = 192 retries + the initial attempt.
+	if rec.Attempts != 193 {
+		t.Fatalf("attempts = %d, want 193", rec.Attempts)
+	}
+	if len(w.domain.Inbox()) != 0 {
+		t.Fatal("expired message delivered")
+	}
+}
+
+func TestOutageRecovery(t *testing.T) {
+	w := newWorld(t, core.DefenseNone, 0)
+	m := w.newMTA(t, mta.Sendmail())
+	// Take both MX hosts down before the first attempt.
+	w.net.SetHostDown("10.0.0.1", true)
+	w.net.SetHostDown("10.0.0.2", true)
+	id := m.Submit("dest.example", testMsg(1))
+	w.sched.RunFor(25 * time.Minute) // initial + 2 failed retries
+
+	rec, _ := m.Message(id)
+	if rec.Status != StatusQueued || rec.Attempts < 2 {
+		t.Fatalf("mid-outage record = %+v", rec)
+	}
+	w.net.SetHostDown("10.0.0.1", false)
+	w.net.SetHostDown("10.0.0.2", false)
+	w.sched.Run()
+
+	rec, _ = m.Message(id)
+	if rec.Status != StatusDelivered {
+		t.Fatalf("post-recovery record = %+v", rec)
+	}
+	if rec.Delay < 25*time.Minute {
+		t.Fatalf("delay = %v, should reflect the outage", rec.Delay)
+	}
+}
+
+func TestManyMessagesSummary(t *testing.T) {
+	w := newWorld(t, core.DefenseGreylisting, 300*time.Second)
+	m := w.newMTA(t, mta.Postfix())
+	const n = 20
+	for i := 0; i < n; i++ {
+		m.Submit("dest.example", testMsg(i))
+	}
+	w.sched.Run()
+	queued, delivered, bounced := m.Summary()
+	if queued != 0 || delivered != n || bounced != 0 {
+		t.Fatalf("summary = (%d, %d, %d)", queued, delivered, bounced)
+	}
+	if got := len(m.Messages()); got != n {
+		t.Fatalf("messages = %d", got)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+	w := newWorld(t, core.DefenseNone, 0)
+	bad := mta.Schedule{Name: "broken"} // no queue time
+	if _, err := New(Config{
+		Schedule: bad,
+		Resolver: w.resolver,
+		Dialer:   &smtpclient.SimDialer{Net: w.net, LocalIP: "192.0.2.50"},
+		Sched:    w.sched,
+	}); err == nil {
+		t.Fatal("invalid schedule accepted")
+	}
+}
+
+func TestUnknownMessageID(t *testing.T) {
+	w := newWorld(t, core.DefenseNone, 0)
+	m := w.newMTA(t, mta.Postfix())
+	if _, ok := m.Message(42); ok {
+		t.Fatal("unknown ID found")
+	}
+}
+
+func TestStatusStrings(t *testing.T) {
+	if StatusQueued.String() != "queued" || StatusDelivered.String() != "delivered" ||
+		StatusBounced.String() != "bounced" || Status(9).String() == "" {
+		t.Fatal("Status strings")
+	}
+}

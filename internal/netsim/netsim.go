@@ -1,0 +1,230 @@
+// Package netsim provides an in-memory Internet for the experiments: hosts
+// identified by IPv4 addresses, TCP-like listeners bound to ip:port, and
+// dialing between them. Connections are synchronous net.Pipe pairs wrapped
+// so that net.Conn.RemoteAddr reports the dialer's simulated IP — which is
+// what the greylisting triplet and the SMTP server's logging key on.
+//
+// The simulation models the failure modes the paper's measurements depend
+// on: a host with no listener on a port refuses connections (this is how a
+// nolisted primary MX behaves: valid A record, port 25 closed), and a host
+// marked down is unreachable (a malfunctioning server, indistinguishable
+// from nolisting in scan data — exactly the ambiguity Section IV-A's
+// two-scan methodology resolves).
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Sentinel errors mirroring the failure modes of real TCP dialing.
+var (
+	// ErrConnRefused reports that the target host exists but nothing
+	// listens on the port (RST in real TCP).
+	ErrConnRefused = errors.New("netsim: connection refused")
+	// ErrHostUnreachable reports that the target host is down.
+	ErrHostUnreachable = errors.New("netsim: host unreachable")
+	// ErrListenerClosed reports Accept on a closed listener.
+	ErrListenerClosed = errors.New("netsim: listener closed")
+	// ErrAddrInUse reports a second Listen on an already-bound address.
+	ErrAddrInUse = errors.New("netsim: address already in use")
+)
+
+// Network is the in-memory Internet. The zero value is not usable; create
+// one with New. All methods are safe for concurrent use.
+type Network struct {
+	mu        sync.Mutex
+	listeners map[string]*Listener
+	down      map[string]bool
+	dials     uint64
+	refused   uint64
+}
+
+// New returns an empty Network.
+func New() *Network {
+	return &Network{
+		listeners: make(map[string]*Listener),
+		down:      make(map[string]bool),
+	}
+}
+
+// Listen binds a listener to addr ("ip:port"). It fails if the address is
+// already bound.
+func (n *Network) Listen(address string) (*Listener, error) {
+	host, _, err := net.SplitHostPort(address)
+	if err != nil {
+		return nil, fmt.Errorf("netsim: listen %q: %w", address, err)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.listeners[address]; ok {
+		return nil, fmt.Errorf("netsim: listen %q: %w", address, ErrAddrInUse)
+	}
+	l := &Listener{
+		net:    n,
+		addr:   Addr(address),
+		host:   host,
+		accept: make(chan net.Conn),
+		done:   make(chan struct{}),
+	}
+	n.listeners[address] = l
+	return l, nil
+}
+
+// Dial opens a connection from laddr (the caller's simulated "ip:port",
+// typically with an ephemeral port) to raddr. It fails with
+// ErrHostUnreachable if the target host is down and ErrConnRefused if no
+// listener is bound to raddr.
+func (n *Network) Dial(laddr, raddr string) (net.Conn, error) {
+	rhost, _, err := net.SplitHostPort(raddr)
+	if err != nil {
+		return nil, fmt.Errorf("netsim: dial %q: %w", raddr, err)
+	}
+	n.mu.Lock()
+	n.dials++
+	if n.down[rhost] {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("netsim: dial %s: %w", raddr, ErrHostUnreachable)
+	}
+	l, ok := n.listeners[raddr]
+	if !ok {
+		n.refused++
+		n.mu.Unlock()
+		return nil, fmt.Errorf("netsim: dial %s: %w", raddr, ErrConnRefused)
+	}
+	n.mu.Unlock()
+
+	cc, sc := net.Pipe()
+	client := &conn{Conn: cc, local: Addr(laddr), remote: Addr(raddr)}
+	server := &conn{Conn: sc, local: Addr(raddr), remote: Addr(laddr)}
+	select {
+	case l.accept <- server:
+		return client, nil
+	case <-l.done:
+		cc.Close()
+		sc.Close()
+		return nil, fmt.Errorf("netsim: dial %s: %w", raddr, ErrConnRefused)
+	}
+}
+
+// SetHostDown marks every port of the host with the given IP unreachable
+// (down=true) or reachable again (down=false). Listeners stay bound; a host
+// coming back up resumes accepting.
+func (n *Network) SetHostDown(ip string, isDown bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if isDown {
+		n.down[ip] = true
+	} else {
+		delete(n.down, ip)
+	}
+}
+
+// HostDown reports whether the host is currently marked down.
+func (n *Network) HostDown(ip string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.down[ip]
+}
+
+// Listening reports whether any listener is bound to addr and its host is
+// up. This is the primitive behind the SMTP banner-grab scanner: a SYN to
+// port 25 succeeds exactly when Listening is true.
+func (n *Network) Listening(addr string) bool {
+	host, _, err := net.SplitHostPort(addr)
+	if err != nil {
+		return false
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.down[host] {
+		return false
+	}
+	_, ok := n.listeners[addr]
+	return ok
+}
+
+// Stats reports the total number of dial attempts and how many were refused.
+func (n *Network) Stats() (dials, refused uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.dials, n.refused
+}
+
+func (n *Network) unbind(addr string, l *Listener) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.listeners[addr] == l {
+		delete(n.listeners, addr)
+	}
+}
+
+// Listener implements net.Listener over the simulated network.
+type Listener struct {
+	net    *Network
+	addr   Addr
+	host   string
+	accept chan net.Conn
+
+	closeOnce sync.Once
+	done      chan struct{}
+}
+
+var _ net.Listener = (*Listener)(nil)
+
+// Accept implements net.Listener.
+func (l *Listener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.accept:
+		return c, nil
+	case <-l.done:
+		return nil, ErrListenerClosed
+	}
+}
+
+// Close implements net.Listener. Closing unbinds the address; subsequent
+// dials are refused.
+func (l *Listener) Close() error {
+	l.closeOnce.Do(func() {
+		close(l.done)
+		l.net.unbind(string(l.addr), l)
+	})
+	return nil
+}
+
+// Addr implements net.Listener.
+func (l *Listener) Addr() net.Addr { return l.addr }
+
+// Addr is a simulated network address ("ip:port").
+type Addr string
+
+var _ net.Addr = Addr("")
+
+// Network implements net.Addr.
+func (Addr) Network() string { return "sim" }
+
+// String implements net.Addr.
+func (a Addr) String() string { return string(a) }
+
+// Host returns the IP part of the address, or "" if malformed.
+func (a Addr) Host() string {
+	h, _, err := net.SplitHostPort(string(a))
+	if err != nil {
+		return ""
+	}
+	return h
+}
+
+// conn wraps a net.Pipe endpoint with simulated addresses.
+type conn struct {
+	net.Conn
+	local, remote Addr
+}
+
+// LocalAddr implements net.Conn.
+func (c *conn) LocalAddr() net.Addr { return c.local }
+
+// RemoteAddr implements net.Conn.
+func (c *conn) RemoteAddr() net.Addr { return c.remote }

@@ -1,0 +1,262 @@
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+)
+
+func TestDialAndEcho(t *testing.T) {
+	n := New()
+	l, err := n.Listen("10.0.0.1:25")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer l.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c, err := l.Accept()
+		if err != nil {
+			t.Errorf("Accept: %v", err)
+			return
+		}
+		defer c.Close()
+		io.Copy(c, c) // echo
+	}()
+
+	c, err := n.Dial("192.168.1.5:40000", "10.0.0.1:25")
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	msg := "HELO example.org\r\n"
+	go func() {
+		c.Write([]byte(msg))
+	}()
+	buf := make([]byte, len(msg))
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatalf("ReadFull: %v", err)
+	}
+	if string(buf) != msg {
+		t.Fatalf("echo = %q, want %q", buf, msg)
+	}
+	c.Close()
+	wg.Wait()
+}
+
+func TestDialRefusedWhenNoListener(t *testing.T) {
+	n := New()
+	_, err := n.Dial("192.168.1.5:40000", "10.0.0.1:25")
+	if !errors.Is(err, ErrConnRefused) {
+		t.Fatalf("Dial error = %v, want ErrConnRefused", err)
+	}
+}
+
+func TestDialRefusedOnWrongPort(t *testing.T) {
+	// A nolisted primary MX: the host exists (listener on another port)
+	// but port 25 is closed.
+	n := New()
+	l, err := n.Listen("10.0.0.1:80")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer l.Close()
+	_, err = n.Dial("192.168.1.5:40000", "10.0.0.1:25")
+	if !errors.Is(err, ErrConnRefused) {
+		t.Fatalf("Dial to closed port = %v, want ErrConnRefused", err)
+	}
+}
+
+func TestHostDownUnreachable(t *testing.T) {
+	n := New()
+	l, err := n.Listen("10.0.0.1:25")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer l.Close()
+	n.SetHostDown("10.0.0.1", true)
+	if !n.HostDown("10.0.0.1") {
+		t.Fatal("HostDown = false after SetHostDown(true)")
+	}
+	_, err = n.Dial("192.168.1.5:40000", "10.0.0.1:25")
+	if !errors.Is(err, ErrHostUnreachable) {
+		t.Fatalf("Dial to down host = %v, want ErrHostUnreachable", err)
+	}
+	// Recovery: the listener is still bound.
+	n.SetHostDown("10.0.0.1", false)
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			c.Close()
+		}
+	}()
+	c, err := n.Dial("192.168.1.5:40001", "10.0.0.1:25")
+	if err != nil {
+		t.Fatalf("Dial after recovery: %v", err)
+	}
+	c.Close()
+}
+
+func TestListenDuplicateAddr(t *testing.T) {
+	n := New()
+	l, err := n.Listen("10.0.0.1:25")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer l.Close()
+	if _, err := n.Listen("10.0.0.1:25"); !errors.Is(err, ErrAddrInUse) {
+		t.Fatalf("second Listen = %v, want ErrAddrInUse", err)
+	}
+}
+
+func TestListenBadAddress(t *testing.T) {
+	n := New()
+	if _, err := n.Listen("not-an-address"); err == nil {
+		t.Fatal("Listen on malformed address succeeded")
+	}
+	if _, err := n.Dial("1.2.3.4:1", "not-an-address"); err == nil {
+		t.Fatal("Dial to malformed address succeeded")
+	}
+}
+
+func TestCloseUnbindsAndRefuses(t *testing.T) {
+	n := New()
+	l, err := n.Listen("10.0.0.1:25")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	l.Close()
+	if _, err := n.Dial("192.168.1.5:40000", "10.0.0.1:25"); !errors.Is(err, ErrConnRefused) {
+		t.Fatalf("Dial after Close = %v, want ErrConnRefused", err)
+	}
+	if _, err := l.Accept(); !errors.Is(err, ErrListenerClosed) {
+		t.Fatalf("Accept after Close = %v, want ErrListenerClosed", err)
+	}
+	// Close is idempotent and the address can be rebound.
+	l.Close()
+	l2, err := n.Listen("10.0.0.1:25")
+	if err != nil {
+		t.Fatalf("re-Listen after Close: %v", err)
+	}
+	l2.Close()
+}
+
+func TestConnAddrs(t *testing.T) {
+	n := New()
+	l, err := n.Listen("10.0.0.1:25")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer l.Close()
+	srvConn := make(chan struct {
+		local, remote string
+	}, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		srvConn <- struct{ local, remote string }{c.LocalAddr().String(), c.RemoteAddr().String()}
+		c.Close()
+	}()
+	c, err := n.Dial("192.168.1.5:40000", "10.0.0.1:25")
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	if got := c.LocalAddr().String(); got != "192.168.1.5:40000" {
+		t.Errorf("client LocalAddr = %q", got)
+	}
+	if got := c.RemoteAddr().String(); got != "10.0.0.1:25" {
+		t.Errorf("client RemoteAddr = %q", got)
+	}
+	s := <-srvConn
+	if s.local != "10.0.0.1:25" || s.remote != "192.168.1.5:40000" {
+		t.Errorf("server addrs = %+v", s)
+	}
+	if got := Addr("10.0.0.1:25").Host(); got != "10.0.0.1" {
+		t.Errorf("Addr.Host = %q", got)
+	}
+	if got := Addr("garbage").Host(); got != "" {
+		t.Errorf("Addr.Host on garbage = %q, want empty", got)
+	}
+}
+
+func TestListeningProbe(t *testing.T) {
+	n := New()
+	if n.Listening("10.0.0.1:25") {
+		t.Fatal("Listening true with no listener")
+	}
+	l, _ := n.Listen("10.0.0.1:25")
+	if !n.Listening("10.0.0.1:25") {
+		t.Fatal("Listening false with bound listener")
+	}
+	n.SetHostDown("10.0.0.1", true)
+	if n.Listening("10.0.0.1:25") {
+		t.Fatal("Listening true while host down")
+	}
+	n.SetHostDown("10.0.0.1", false)
+	l.Close()
+	if n.Listening("10.0.0.1:25") {
+		t.Fatal("Listening true after Close")
+	}
+	if n.Listening("garbage") {
+		t.Fatal("Listening true for malformed address")
+	}
+}
+
+func TestStatsCountRefusals(t *testing.T) {
+	n := New()
+	for i := 0; i < 3; i++ {
+		n.Dial("1.1.1.1:1", "2.2.2.2:25")
+	}
+	dials, refused := n.Stats()
+	if dials != 3 || refused != 3 {
+		t.Fatalf("Stats = (%d, %d), want (3, 3)", dials, refused)
+	}
+}
+
+func TestConcurrentDials(t *testing.T) {
+	n := New()
+	l, err := n.Listen("10.0.0.1:25")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer l.Close()
+	const workers = 32
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < workers; i++ {
+			c, err := l.Accept()
+			if err != nil {
+				t.Errorf("Accept: %v", err)
+				return
+			}
+			c.Write([]byte("220\r\n"))
+			c.Close()
+		}
+	}()
+	var cwg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		cwg.Add(1)
+		go func(i int) {
+			defer cwg.Done()
+			c, err := n.Dial(fmt.Sprintf("192.168.0.%d:5000", i+1), "10.0.0.1:25")
+			if err != nil {
+				t.Errorf("Dial %d: %v", i, err)
+				return
+			}
+			buf := make([]byte, 5)
+			io.ReadFull(c, buf)
+			c.Close()
+		}(i)
+	}
+	cwg.Wait()
+	wg.Wait()
+}

@@ -1,0 +1,36 @@
+package nolist_test
+
+import (
+	"fmt"
+
+	"repro/internal/nolist"
+)
+
+// Example builds the Figure 1 nolisting deployment and classifies two
+// senders from their connection logs.
+func Example() {
+	dep := nolist.Deployment{
+		Domain:   "foo.net",
+		DeadHost: "smtp.foo.net", DeadIP: "1.2.3.4", // port 25 closed
+		LiveHost: "smtp1.foo.net", LiveIP: "1.2.3.5",
+	}
+	zone, err := dep.Zone()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("zone origin:", zone.Origin())
+
+	mxs := []string{"smtp.foo.net", "smtp1.foo.net"}
+	kelihosLog := []string{"smtp.foo.net", "smtp.foo.net"}    // hammers the dead primary
+	compliantLog := []string{"smtp.foo.net", "smtp1.foo.net"} // walks to the secondary
+	fmt.Println("kelihos-like: ", nolist.ClassifyBehavior(mxs, kelihosLog))
+	fmt.Println("compliant MTA:", nolist.ClassifyBehavior(mxs, compliantLog))
+	fmt.Println("nolisting stops kelihos-like senders:",
+		nolist.ClassifyBehavior(mxs, kelihosLog).DefeatedByNolisting())
+
+	// Output:
+	// zone origin: foo.net
+	// kelihos-like:  primary-only
+	// compliant MTA: rfc-compliant
+	// nolisting stops kelihos-like senders: true
+}

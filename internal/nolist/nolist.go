@@ -1,0 +1,325 @@
+// Package nolist implements nolisting — the other half of the paper's
+// subject matter — plus the two classifiers the paper's measurements are
+// built on:
+//
+//   - Deployment describes a nolisting DNS configuration: a primary MX
+//     record pointing to a host with a valid A record but no SMTP listener
+//     and a fully functioning secondary MX (Section II, Figure 1).
+//   - ClassifyDomain / FinalCategory implement the three-step scan
+//     pipeline of Section IV-A that sorts every domain into the Figure 2
+//     categories (one MX, multiple MX without nolisting, nolisting, DNS
+//     misconfiguration), including the two-scans-two-months-apart rule
+//     that separates real nolisting from transient primary failures.
+//   - ClassifyBehavior implements Section IV-B's taxonomy of spam-bot MX
+//     selection (RFC compliant, primary only, secondary only, all MX),
+//     inferred from the servers a sender actually contacted.
+package nolist
+
+import (
+	"fmt"
+
+	"repro/internal/dnsmsg"
+	"repro/internal/dnsserver"
+)
+
+// Deployment is a nolisting DNS configuration for one domain.
+type Deployment struct {
+	// Domain is the protected domain.
+	Domain string
+	// DeadHost/DeadIP are the primary MX: the A record must resolve
+	// (the paper: "the common suggestion is to use a real machine that
+	// has port 25 closed") but nothing listens on port 25.
+	DeadHost string
+	DeadIP   string
+	// LiveHost/LiveIP are the working secondary MX.
+	LiveHost string
+	LiveIP   string
+	// PrimaryPref/SecondaryPref are the MX preference values; the
+	// defaults 0 and 15 mirror Figure 1. Lower preference = higher
+	// priority.
+	PrimaryPref   uint16
+	SecondaryPref uint16
+	// TTL applies to all records; 0 means 300.
+	TTL uint32
+}
+
+// Validate checks the deployment is well-formed.
+func (d Deployment) Validate() error {
+	if d.Domain == "" {
+		return fmt.Errorf("nolist: empty domain")
+	}
+	if d.DeadHost == "" || d.LiveHost == "" {
+		return fmt.Errorf("nolist: %s: both MX hosts required", d.Domain)
+	}
+	if _, err := dnsmsg.ParseIPv4(d.DeadIP); err != nil {
+		return fmt.Errorf("nolist: %s: dead host IP: %w", d.Domain, err)
+	}
+	if _, err := dnsmsg.ParseIPv4(d.LiveIP); err != nil {
+		return fmt.Errorf("nolist: %s: live host IP: %w", d.Domain, err)
+	}
+	if pp, sp := d.prefs(); pp >= sp {
+		return fmt.Errorf("nolist: %s: primary preference %d must be lower than secondary %d",
+			d.Domain, pp, sp)
+	}
+	return nil
+}
+
+func (d Deployment) prefs() (primary, secondary uint16) {
+	primary, secondary = d.PrimaryPref, d.SecondaryPref
+	if primary == 0 && secondary == 0 {
+		secondary = 15
+	}
+	return primary, secondary
+}
+
+// Zone builds the authoritative zone implementing the deployment.
+func (d Deployment) Zone() (*dnsserver.Zone, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	ttl := d.TTL
+	if ttl == 0 {
+		ttl = 300
+	}
+	pp, sp := d.prefs()
+	z := dnsserver.NewZone(d.Domain)
+	records := []dnsmsg.RR{
+		{Name: d.Domain, Type: dnsmsg.TypeMX, TTL: ttl, Data: dnsmsg.MX{Preference: pp, Host: d.DeadHost}},
+		{Name: d.Domain, Type: dnsmsg.TypeMX, TTL: ttl, Data: dnsmsg.MX{Preference: sp, Host: d.LiveHost}},
+		{Name: d.DeadHost, Type: dnsmsg.TypeA, TTL: ttl, Data: dnsmsg.MustIPv4(d.DeadIP)},
+		{Name: d.LiveHost, Type: dnsmsg.TypeA, TTL: ttl, Data: dnsmsg.MustIPv4(d.LiveIP)},
+	}
+	for _, rr := range records {
+		if err := z.Add(rr); err != nil {
+			return nil, err
+		}
+	}
+	return z, nil
+}
+
+// Category is a Figure 2 domain classification.
+type Category int
+
+// Categories, in Figure 2's order.
+const (
+	// CatOneMX: the domain publishes a single (resolvable) MX record.
+	CatOneMX Category = iota + 1
+	// CatMultiMX: multiple MX records, primary reachable — no
+	// nolisting.
+	CatMultiMX
+	// CatNolisting: primary consistently unreachable on port 25 while a
+	// lower-priority server accepts connections.
+	CatNolisting
+	// CatMisconfigured: no MX record resolves to an address at all.
+	CatMisconfigured
+)
+
+// String implements fmt.Stringer.
+func (c Category) String() string {
+	switch c {
+	case CatOneMX:
+		return "one-mx"
+	case CatMultiMX:
+		return "multi-mx-no-nolisting"
+	case CatNolisting:
+		return "nolisting"
+	case CatMisconfigured:
+		return "dns-misconfigured"
+	default:
+		return fmt.Sprintf("Category(%d)", int(c))
+	}
+}
+
+// MXObservation is one MX record as seen by a scan: whether its target
+// resolved (DNS dataset) and whether its address accepted a connection on
+// port 25 (SMTP banner-grab dataset).
+type MXObservation struct {
+	Host      string
+	Pref      uint16
+	Resolved  bool
+	Listening bool
+}
+
+// DomainObservation is everything one scan learned about a domain. MXs
+// must be sorted by preference ascending (highest priority first);
+// Normalize enforces this.
+type DomainObservation struct {
+	Domain string
+	MXs    []MXObservation
+}
+
+// Normalize sorts the MX observations by preference (stable on host name).
+func (o *DomainObservation) Normalize() {
+	mxs := o.MXs
+	for i := 1; i < len(mxs); i++ {
+		for j := i; j > 0 && less(mxs[j], mxs[j-1]); j-- {
+			mxs[j], mxs[j-1] = mxs[j-1], mxs[j]
+		}
+	}
+}
+
+func less(a, b MXObservation) bool {
+	if a.Pref != b.Pref {
+		return a.Pref < b.Pref
+	}
+	return a.Host < b.Host
+}
+
+// ClassifyDomain applies the single-scan part of the Section IV-A
+// pipeline. A domain is a nolisting *candidate* when its highest-priority
+// resolved MX is not listening while some lower-priority one is; a single
+// scan cannot distinguish that from a transiently down primary.
+func ClassifyDomain(o DomainObservation) Category {
+	o.Normalize()
+	var resolved []MXObservation
+	for _, mx := range o.MXs {
+		if mx.Resolved {
+			resolved = append(resolved, mx)
+		}
+	}
+	switch {
+	case len(resolved) == 0:
+		return CatMisconfigured
+	case len(resolved) == 1:
+		return CatOneMX
+	}
+	primary := resolved[0]
+	if primary.Listening {
+		return CatMultiMX
+	}
+	for _, mx := range resolved[1:] {
+		if mx.Listening {
+			return CatNolisting // candidate; confirm with FinalCategory
+		}
+	}
+	return CatMultiMX // everything down: outage, not nolisting
+}
+
+// FinalCategory combines two scans taken far apart (the paper used
+// February 28 and April 25, 2015): a domain counts as nolisting only if
+// the primary was dead and a secondary alive in BOTH scans — "if one
+// domain had the primary email server operational in at least one of the
+// two datasets, we concluded that it was not using nolisting".
+func FinalCategory(first, second DomainObservation) Category {
+	c1, c2 := ClassifyDomain(first), ClassifyDomain(second)
+	switch {
+	case c1 == CatNolisting && c2 == CatNolisting:
+		return CatNolisting
+	case c1 == CatMisconfigured && c2 == CatMisconfigured:
+		return CatMisconfigured
+	case c1 == CatMisconfigured:
+		return c2WithoutNolisting(c2)
+	case c2 == CatMisconfigured:
+		return c2WithoutNolisting(c1)
+	case c1 == CatOneMX || c2 == CatOneMX:
+		return CatOneMX
+	default:
+		// Any disagreement about nolisting means the primary worked at
+		// least once: not nolisting.
+		return CatMultiMX
+	}
+}
+
+func c2WithoutNolisting(c Category) Category {
+	if c == CatNolisting {
+		// Only one scan supports it; not confirmed.
+		return CatMultiMX
+	}
+	return c
+}
+
+// Behavior is Section IV-B's taxonomy of how a sender chooses among a
+// domain's MX servers.
+type Behavior int
+
+// Behaviors.
+const (
+	// BehaviorRFCCompliant: contacts servers in priority order until
+	// one accepts (Darkmailer in the paper's experiments).
+	BehaviorRFCCompliant Behavior = iota + 1
+	// BehaviorPrimaryOnly: only ever contacts the highest-priority
+	// server (Kelihos) — the sender nolisting defeats.
+	BehaviorPrimaryOnly
+	// BehaviorSecondaryOnly: skips the primary entirely and contacts
+	// the lowest-priority server (Cutwail) — the rumored "natural
+	// reaction of malware writers to nolisting".
+	BehaviorSecondaryOnly
+	// BehaviorAllMX: contacts every server in random or systematic
+	// (non-priority) order.
+	BehaviorAllMX
+	// BehaviorUnknown: the observations fit no category (e.g. the
+	// sender contacted nothing).
+	BehaviorUnknown
+)
+
+// String implements fmt.Stringer.
+func (b Behavior) String() string {
+	switch b {
+	case BehaviorRFCCompliant:
+		return "rfc-compliant"
+	case BehaviorPrimaryOnly:
+		return "primary-only"
+	case BehaviorSecondaryOnly:
+		return "secondary-only"
+	case BehaviorAllMX:
+		return "all-mx"
+	case BehaviorUnknown:
+		return "unknown"
+	default:
+		return fmt.Sprintf("Behavior(%d)", int(b))
+	}
+}
+
+// DefeatedByNolisting reports whether a sender with this behavior fails to
+// deliver against a nolisted domain (it never reaches the live secondary).
+func (b Behavior) DefeatedByNolisting() bool { return b == BehaviorPrimaryOnly }
+
+// ClassifyBehavior infers a sender's Behavior from the MX host list of the
+// target domain (sorted by priority, highest first) and the ordered
+// sequence of hosts the sender contacted, as recorded by the lab's DNS and
+// connection logs.
+func ClassifyBehavior(mxHosts []string, contacted []string) Behavior {
+	if len(mxHosts) == 0 || len(contacted) == 0 {
+		return BehaviorUnknown
+	}
+	distinct := make([]string, 0, len(contacted))
+	seen := make(map[string]bool)
+	known := make(map[string]bool, len(mxHosts))
+	for _, h := range mxHosts {
+		known[h] = true
+	}
+	for _, h := range contacted {
+		if !known[h] {
+			return BehaviorUnknown // contacted something off the MX list
+		}
+		if !seen[h] {
+			seen[h] = true
+			distinct = append(distinct, h)
+		}
+	}
+
+	primary := mxHosts[0]
+	lowest := mxHosts[len(mxHosts)-1]
+	switch {
+	case len(distinct) == 1 && distinct[0] == primary:
+		return BehaviorPrimaryOnly
+	case len(distinct) == 1 && distinct[0] == lowest:
+		return BehaviorSecondaryOnly
+	case len(distinct) == 1:
+		return BehaviorAllMX // a single middle server: arbitrary choice
+	}
+
+	// Multiple servers contacted: compliant if the first contacts follow
+	// priority order as a prefix of the MX list.
+	inOrder := true
+	for i, h := range distinct {
+		if i >= len(mxHosts) || mxHosts[i] != h {
+			inOrder = false
+			break
+		}
+	}
+	if inOrder {
+		return BehaviorRFCCompliant
+	}
+	return BehaviorAllMX
+}

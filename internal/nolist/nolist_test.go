@@ -1,0 +1,245 @@
+package nolist
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dnsmsg"
+)
+
+func validDeployment() Deployment {
+	return Deployment{
+		Domain:   "foo.net",
+		DeadHost: "smtp.foo.net", DeadIP: "1.2.3.4",
+		LiveHost: "smtp1.foo.net", LiveIP: "1.2.3.5",
+	}
+}
+
+func TestDeploymentValidate(t *testing.T) {
+	if err := validDeployment().Validate(); err != nil {
+		t.Fatalf("valid deployment rejected: %v", err)
+	}
+	cases := []struct {
+		mutate func(*Deployment)
+		name   string
+	}{
+		{func(d *Deployment) { d.Domain = "" }, "empty domain"},
+		{func(d *Deployment) { d.DeadHost = "" }, "no dead host"},
+		{func(d *Deployment) { d.LiveHost = "" }, "no live host"},
+		{func(d *Deployment) { d.DeadIP = "bogus" }, "bad dead IP"},
+		{func(d *Deployment) { d.LiveIP = "999.1.1.1" }, "bad live IP"},
+		{func(d *Deployment) { d.PrimaryPref = 20; d.SecondaryPref = 10 }, "inverted prefs"},
+		{func(d *Deployment) { d.PrimaryPref = 10; d.SecondaryPref = 10 }, "equal prefs"},
+	}
+	for _, tc := range cases {
+		d := validDeployment()
+		tc.mutate(&d)
+		if err := d.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted bad deployment", tc.name)
+		}
+	}
+}
+
+func TestDeploymentZone(t *testing.T) {
+	z, err := validDeployment().Zone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mxs, exists := z.Lookup("foo.net", dnsmsg.TypeMX)
+	if !exists || len(mxs) != 2 {
+		t.Fatalf("MX records = %v", mxs)
+	}
+	prefs := map[uint16]string{}
+	for _, rr := range mxs {
+		mx := rr.Data.(dnsmsg.MX)
+		prefs[mx.Preference] = mx.Host
+	}
+	if prefs[0] != "smtp.foo.net" || prefs[15] != "smtp1.foo.net" {
+		t.Fatalf("MX layout = %v, want Figure 1's 0/15 split", prefs)
+	}
+	// Both hosts have A records: the "real machine with port 25 closed".
+	for _, host := range []string{"smtp.foo.net", "smtp1.foo.net"} {
+		if as, _ := z.Lookup(host, dnsmsg.TypeA); len(as) != 1 {
+			t.Fatalf("A for %s = %v", host, as)
+		}
+	}
+	bad := validDeployment()
+	bad.DeadIP = "zzz"
+	if _, err := bad.Zone(); err == nil {
+		t.Fatal("Zone built from invalid deployment")
+	}
+}
+
+func obs(domain string, mxs ...MXObservation) DomainObservation {
+	return DomainObservation{Domain: domain, MXs: mxs}
+}
+
+func TestClassifyDomain(t *testing.T) {
+	cases := []struct {
+		name string
+		o    DomainObservation
+		want Category
+	}{
+		{"one MX up", obs("a", MXObservation{Host: "m1", Pref: 10, Resolved: true, Listening: true}), CatOneMX},
+		{"one MX down", obs("a", MXObservation{Host: "m1", Pref: 10, Resolved: true}), CatOneMX},
+		{"none resolved", obs("a", MXObservation{Host: "m1", Pref: 10}), CatMisconfigured},
+		{"no MX at all", obs("a"), CatMisconfigured},
+		{"multi primary up", obs("a",
+			MXObservation{Host: "m1", Pref: 0, Resolved: true, Listening: true},
+			MXObservation{Host: "m2", Pref: 15, Resolved: true, Listening: true}), CatMultiMX},
+		{"nolisting candidate", obs("a",
+			MXObservation{Host: "dead", Pref: 0, Resolved: true, Listening: false},
+			MXObservation{Host: "live", Pref: 15, Resolved: true, Listening: true}), CatNolisting},
+		{"all down outage", obs("a",
+			MXObservation{Host: "m1", Pref: 0, Resolved: true},
+			MXObservation{Host: "m2", Pref: 15, Resolved: true}), CatMultiMX},
+		{"unresolved primary ignored", obs("a",
+			MXObservation{Host: "ghost", Pref: 0, Resolved: false},
+			MXObservation{Host: "m2", Pref: 15, Resolved: true, Listening: true}), CatOneMX},
+		{"three-tier nolisting", obs("a",
+			MXObservation{Host: "dead", Pref: 0, Resolved: true, Listening: false},
+			MXObservation{Host: "mid", Pref: 10, Resolved: true, Listening: false},
+			MXObservation{Host: "live", Pref: 20, Resolved: true, Listening: true}), CatNolisting},
+	}
+	for _, tc := range cases {
+		if got := ClassifyDomain(tc.o); got != tc.want {
+			t.Errorf("%s: ClassifyDomain = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestClassifyDomainUnsortedInput(t *testing.T) {
+	// Records arrive in DNS answer order, not priority order; the
+	// classifier must sort.
+	o := obs("a",
+		MXObservation{Host: "live", Pref: 15, Resolved: true, Listening: true},
+		MXObservation{Host: "dead", Pref: 0, Resolved: true, Listening: false})
+	if got := ClassifyDomain(o); got != CatNolisting {
+		t.Fatalf("ClassifyDomain(unsorted) = %v, want nolisting", got)
+	}
+}
+
+func TestFinalCategoryTwoScanRule(t *testing.T) {
+	nolisting := obs("a",
+		MXObservation{Host: "dead", Pref: 0, Resolved: true, Listening: false},
+		MXObservation{Host: "live", Pref: 15, Resolved: true, Listening: true})
+	primaryUp := obs("a",
+		MXObservation{Host: "dead", Pref: 0, Resolved: true, Listening: true},
+		MXObservation{Host: "live", Pref: 15, Resolved: true, Listening: true})
+	misconf := obs("a", MXObservation{Host: "ghost", Pref: 0})
+	oneMX := obs("a", MXObservation{Host: "m1", Pref: 10, Resolved: true, Listening: true})
+
+	cases := []struct {
+		name   string
+		s1, s2 DomainObservation
+		want   Category
+	}{
+		{"confirmed nolisting", nolisting, nolisting, CatNolisting},
+		{"transient outage scan1", nolisting, primaryUp, CatMultiMX},
+		{"transient outage scan2", primaryUp, nolisting, CatMultiMX},
+		{"healthy both", primaryUp, primaryUp, CatMultiMX},
+		{"misconf both", misconf, misconf, CatMisconfigured},
+		{"misconf once then healthy", misconf, primaryUp, CatMultiMX},
+		{"misconf once then nolisting-candidate", misconf, nolisting, CatMultiMX},
+		{"one MX", oneMX, oneMX, CatOneMX},
+	}
+	for _, tc := range cases {
+		if got := FinalCategory(tc.s1, tc.s2); got != tc.want {
+			t.Errorf("%s: FinalCategory = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestCategoryStrings(t *testing.T) {
+	for c := CatOneMX; c <= CatMisconfigured; c++ {
+		if s := c.String(); s == "" || strings.HasPrefix(s, "Category(") {
+			t.Errorf("Category(%d).String() = %q", c, s)
+		}
+	}
+}
+
+func TestClassifyBehavior(t *testing.T) {
+	mxs := []string{"mx0", "mx1", "mx2"} // priority order
+	cases := []struct {
+		name      string
+		contacted []string
+		want      Behavior
+	}{
+		{"primary only", []string{"mx0", "mx0", "mx0"}, BehaviorPrimaryOnly},
+		{"secondary only", []string{"mx2"}, BehaviorSecondaryOnly},
+		{"rfc compliant", []string{"mx0", "mx1", "mx2"}, BehaviorRFCCompliant},
+		{"rfc compliant prefix", []string{"mx0", "mx1"}, BehaviorRFCCompliant},
+		{"all mx random", []string{"mx1", "mx0", "mx2"}, BehaviorAllMX},
+		{"middle only", []string{"mx1"}, BehaviorAllMX},
+		{"reverse order", []string{"mx2", "mx1", "mx0"}, BehaviorAllMX},
+		{"nothing contacted", nil, BehaviorUnknown},
+		{"off-list host", []string{"elsewhere"}, BehaviorUnknown},
+	}
+	for _, tc := range cases {
+		if got := ClassifyBehavior(mxs, tc.contacted); got != tc.want {
+			t.Errorf("%s: ClassifyBehavior = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestClassifyBehaviorTwoMX(t *testing.T) {
+	// With exactly two MX hosts (the common nolisting layout), the
+	// paper's four categories reduce cleanly.
+	mxs := []string{"primary", "secondary"}
+	if got := ClassifyBehavior(mxs, []string{"primary"}); got != BehaviorPrimaryOnly {
+		t.Errorf("primary-only = %v", got)
+	}
+	if got := ClassifyBehavior(mxs, []string{"secondary"}); got != BehaviorSecondaryOnly {
+		t.Errorf("secondary-only = %v", got)
+	}
+	if got := ClassifyBehavior(mxs, []string{"primary", "secondary"}); got != BehaviorRFCCompliant {
+		t.Errorf("compliant = %v", got)
+	}
+	if got := ClassifyBehavior(mxs, []string{"secondary", "primary"}); got != BehaviorAllMX {
+		t.Errorf("reverse = %v", got)
+	}
+}
+
+func TestDefeatedByNolisting(t *testing.T) {
+	if !BehaviorPrimaryOnly.DefeatedByNolisting() {
+		t.Error("primary-only must be defeated by nolisting (the Kelihos result)")
+	}
+	for _, b := range []Behavior{BehaviorSecondaryOnly, BehaviorRFCCompliant, BehaviorAllMX} {
+		if b.DefeatedByNolisting() {
+			t.Errorf("%v wrongly defeated by nolisting", b)
+		}
+	}
+}
+
+func TestBehaviorStrings(t *testing.T) {
+	for b := BehaviorRFCCompliant; b <= BehaviorUnknown; b++ {
+		if s := b.String(); s == "" || strings.HasPrefix(s, "Behavior(") {
+			t.Errorf("Behavior(%d).String() = %q", b, s)
+		}
+	}
+}
+
+// Property: classification is invariant under permutation of the MX
+// observation order (the scanner sees records in arbitrary DNS order).
+func TestClassifyDomainOrderInvariant(t *testing.T) {
+	f := func(seed uint8) bool {
+		mxs := []MXObservation{
+			{Host: "a", Pref: 0, Resolved: true, Listening: seed&1 != 0},
+			{Host: "b", Pref: 10, Resolved: seed&2 != 0, Listening: seed&4 != 0},
+			{Host: "c", Pref: 20, Resolved: true, Listening: seed&8 != 0},
+		}
+		want := ClassifyDomain(obs("d", mxs[0], mxs[1], mxs[2]))
+		perms := [][]int{{0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0}}
+		for _, p := range perms {
+			got := ClassifyDomain(obs("d", mxs[p[0]], mxs[p[1]], mxs[p[2]]))
+			if got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

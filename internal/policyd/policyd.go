@@ -1,0 +1,231 @@
+// Package policyd implements the Postfix SMTP access policy delegation
+// protocol — the interface through which the real Postgrey plugs into
+// the real Postfix (and the deployment shape of the server the paper
+// instrumented: "Postfix (and Postgrey for the greylisting tests)").
+//
+// Protocol (postfix.org/SMTPD_POLICY_README.html): the MTA sends one
+// request as "name=value" lines terminated by an empty line; the policy
+// server answers "action=<decision>" plus an empty line. Connections are
+// reused for many requests. The attributes this server reads are
+// protocol_state, client_address, sender and recipient; the decisions it
+// emits are:
+//
+//	DUNNO                     — no objection (pass to the next rule)
+//	DEFER_IF_PERMIT <reason>  — the greylisting deferral
+//	PREPEND <header>          — on first-pass deliveries, a tracing
+//	                            header like Postgrey's X-Greylist
+//
+// With this package, cmd/greylistd can front an actual Postfix:
+//
+//	smtpd_recipient_restrictions = check_policy_service inet:127.0.0.1:10023
+package policyd
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+
+	"repro/internal/greylist"
+)
+
+// Request is one policy request's attributes (names lower-cased).
+type Request map[string]string
+
+// Attribute accessors for the fields greylisting needs.
+func (r Request) ClientAddress() string { return r["client_address"] }
+
+// Sender returns the envelope sender attribute.
+func (r Request) Sender() string { return r["sender"] }
+
+// Recipient returns the envelope recipient attribute.
+func (r Request) Recipient() string { return r["recipient"] }
+
+// ProtocolState returns the SMTP state (RCPT, DATA, ...).
+func (r Request) ProtocolState() string { return strings.ToUpper(r["protocol_state"]) }
+
+// ParseRequest reads one request (up to the blank line). io.EOF on a
+// clean end-of-stream before any attribute.
+func ParseRequest(br *bufio.Reader) (Request, error) {
+	req := make(Request)
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			if errors.Is(err, io.EOF) && len(req) == 0 && line == "" {
+				return nil, io.EOF
+			}
+			return nil, fmt.Errorf("policyd: read: %w", err)
+		}
+		line = strings.TrimRight(line, "\r\n")
+		if line == "" {
+			if len(req) == 0 {
+				continue // tolerate stray blank lines between requests
+			}
+			return req, nil
+		}
+		name, value, ok := strings.Cut(line, "=")
+		if !ok {
+			return nil, fmt.Errorf("policyd: malformed attribute line %q", line)
+		}
+		req[strings.ToLower(strings.TrimSpace(name))] = strings.TrimSpace(value)
+	}
+}
+
+// Response is the action the policy server returns.
+type Response struct {
+	Action string
+}
+
+// Write emits the response in wire form.
+func (r Response) Write(w io.Writer) error {
+	_, err := fmt.Fprintf(w, "action=%s\n\n", r.Action)
+	return err
+}
+
+// Server answers policy requests with greylisting decisions.
+type Server struct {
+	checker greylist.Checker
+	// PrependHeader, when true, answers first-accepted retries with a
+	// PREPEND action adding a Postgrey-style tracing header instead of
+	// plain DUNNO.
+	PrependHeader bool
+
+	mu        sync.Mutex
+	wg        sync.WaitGroup
+	closed    bool
+	listeners []net.Listener
+	conns     map[net.Conn]struct{}
+	requests  uint64
+}
+
+// New returns a policy server over the given greylisting engine
+// (either a *greylist.Greylister or a *greylist.Sharded).
+func New(checker greylist.Checker) *Server {
+	return &Server{checker: checker, conns: make(map[net.Conn]struct{})}
+}
+
+// Requests reports how many policy requests have been served.
+func (s *Server) Requests() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.requests
+}
+
+// Serve accepts policy connections on l until it is closed.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("policyd: server closed")
+	}
+	s.listeners = append(s.listeners, l)
+	s.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return fmt.Errorf("policyd: accept: %w", err)
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// Close stops listeners and drains connection goroutines.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ls := s.listeners
+	s.listeners = nil
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, l := range ls {
+		l.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	for {
+		req, err := ParseRequest(br)
+		if err != nil {
+			return // EOF or garbage: drop the connection, like Postgrey
+		}
+		s.mu.Lock()
+		s.requests++
+		s.mu.Unlock()
+		resp := s.Decide(req)
+		if err := resp.Write(bw); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// Decide maps one policy request to an action. Exposed for testing and
+// for embedding in other servers.
+func (s *Server) Decide(req Request) Response {
+	// Postgrey only acts at RCPT time; everything else passes.
+	if st := req.ProtocolState(); st != "" && st != "RCPT" {
+		return Response{Action: "DUNNO"}
+	}
+	if req.ClientAddress() == "" || req.Recipient() == "" {
+		return Response{Action: "DUNNO"}
+	}
+	v := s.checker.Check(greylist.Triplet{
+		ClientIP:  req.ClientAddress(),
+		Sender:    req.Sender(),
+		Recipient: req.Recipient(),
+	})
+	switch v.Decision {
+	case greylist.Pass:
+		if s.PrependHeader && v.Reason == greylist.ReasonRetryAccepted {
+			return Response{Action: fmt.Sprintf(
+				"PREPEND X-Greylist: delayed %d seconds by greynolist policy server",
+				int(v.Waited.Seconds()))}
+		}
+		return Response{Action: "DUNNO"}
+	default:
+		return Response{Action: fmt.Sprintf(
+			"DEFER_IF_PERMIT Greylisted, please try again in %d seconds",
+			int(v.WaitRemaining.Seconds()))}
+	}
+}

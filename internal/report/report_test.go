@@ -1,0 +1,181 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+// fastOpts keeps the report tests quick.
+func fastOpts() Options {
+	return Options{
+		Seed:              1,
+		ScanDomains:       2000,
+		Recipients:        10,
+		LogDays:           20,
+		LogMessagesPerDay: 60,
+	}
+}
+
+func TestTable1Content(t *testing.T) {
+	out := Table1()
+	for _, want := range []string{"Cutwail", "46.90%", "Kelihos", "36.33%", "Darkmailer(v3)", "93.02%", "70.69%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table1 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig2Content(t *testing.T) {
+	out, res, err := Fig2(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil {
+		t.Fatal("no study result")
+	}
+	for _, want := range []string{"Using nolisting", "One MX record", "Alexa", "top-15"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig2 missing %q", want)
+		}
+	}
+}
+
+func TestTable2Content(t *testing.T) {
+	out, rows, err := Table2(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 11 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, want := range []string{"Cutwail:", "Kelihos:", "sample1", "GREYLISTING", "NOLISTING"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table2 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig3Content(t *testing.T) {
+	out, err := Fig3(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "5s") || !strings.Contains(out, "5m0s") {
+		t.Errorf("Fig3 missing thresholds:\n%s", out)
+	}
+	if !strings.Contains(out, "coincide") {
+		t.Errorf("Fig3 missing interpretation note")
+	}
+}
+
+func TestFig4Content(t *testing.T) {
+	out, err := Fig4(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"21600s", "failed", "delivered", "peak"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig4 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig5Content(t *testing.T) {
+	out, err := Fig5(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"300s", "P(delay <= 10 min)", "median"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig5 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable3Content(t *testing.T) {
+	out := Table3()
+	for _, want := range []string{"gmail.com", "aol.com", "gave up", "qq.com", "india.com", "ATTEMPTS"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table3 missing %q:\n%s", want, out)
+		}
+	}
+	// The two giving-up providers appear with "no".
+	if strings.Count(out, "gave up") != 2 {
+		t.Errorf("Table3 should show exactly 2 give-ups:\n%s", out)
+	}
+}
+
+func TestTable4Content(t *testing.T) {
+	out := Table4()
+	for _, want := range []string{"sendmail", "exim", "postfix", "qmail", "courier", "exchange", "MAX QUEUE"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table4 missing %q:\n%s", want, out)
+		}
+	}
+	// Table IV's max queue days.
+	for _, want := range []string{"5", "4", "7", "2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table4 missing queue-days %q", want)
+		}
+	}
+}
+
+func TestControlContent(t *testing.T) {
+	out, err := Control()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "single spam task confirmed") {
+		t.Errorf("Control output:\n%s", out)
+	}
+}
+
+func TestRunDispatch(t *testing.T) {
+	opts := fastOpts()
+	for _, name := range Experiments {
+		out, err := Run(name, opts)
+		if err != nil {
+			t.Errorf("Run(%s): %v", name, err)
+			continue
+		}
+		if len(out) == 0 {
+			t.Errorf("Run(%s): empty output", name)
+		}
+	}
+	if _, err := Run("fig99", opts); err == nil {
+		t.Error("Run accepted unknown experiment")
+	}
+}
+
+func TestAllConcatenates(t *testing.T) {
+	out, err := All(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range Experiments {
+		if !strings.Contains(out, "==== "+name) {
+			t.Errorf("All missing section %q", name)
+		}
+	}
+}
+
+func TestCSVExports(t *testing.T) {
+	opts := fastOpts()
+	for _, name := range CSVExperiments {
+		data, err := CSV(name, opts)
+		if err != nil {
+			t.Errorf("CSV(%s): %v", name, err)
+			continue
+		}
+		lines := strings.Split(strings.TrimSpace(data), "\n")
+		if len(lines) < 10 {
+			t.Errorf("CSV(%s): only %d lines", name, len(lines))
+		}
+		if !strings.Contains(lines[0], ",") {
+			t.Errorf("CSV(%s): header = %q", name, lines[0])
+		}
+	}
+	if _, err := CSV("table1", opts); err == nil {
+		t.Error("CSV accepted a non-figure experiment")
+	}
+}

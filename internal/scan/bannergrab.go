@@ -1,0 +1,90 @@
+package scan
+
+import (
+	"sort"
+	"sync"
+)
+
+// SMTPDataset is the reproduction of the paper's "Daily Full IPv4 SMTP
+// Banner Grab" scans.io dataset: the set of addresses that answered a
+// SYN on port 25 at scan time. The paper's pipeline first collects this
+// dataset with zmap and then JOINS the DNS observations against it —
+// classification never touches the live network. BannerGrab builds the
+// same artifact from the synthetic population.
+type SMTPDataset struct {
+	listening map[string]bool
+}
+
+// Listening reports whether ip answered on port 25 during the grab.
+func (d *SMTPDataset) Listening(ip string) bool { return d.listening[ip] }
+
+// Size reports how many addresses were responsive.
+func (d *SMTPDataset) Size() int { return len(d.listening) }
+
+// Addresses returns the responsive addresses, sorted (for export).
+func (d *SMTPDataset) Addresses() []string {
+	out := make([]string, 0, len(d.listening))
+	for ip := range d.listening {
+		out = append(out, ip)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// BannerGrab probes port 25 of every MX address in the population with
+// the given number of concurrent workers and returns the snapshot. The
+// snapshot reflects the failure state at grab time — run it inside a
+// BeginScan/EndScan window.
+func BannerGrab(p *Population, workers int) *SMTPDataset {
+	if workers < 1 {
+		workers = 1
+	}
+	var targets []string
+	seen := make(map[string]bool)
+	for _, s := range p.Specs {
+		for _, ip := range []string{s.PrimaryIP, s.SecondaryIP} {
+			if ip != "" && !seen[ip] {
+				seen[ip] = true
+				targets = append(targets, ip)
+			}
+		}
+	}
+
+	ds := &SMTPDataset{listening: make(map[string]bool, len(targets))}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	work := make(chan string)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ip := range work {
+				if p.Net.Listening(ip + ":25") {
+					mu.Lock()
+					ds.listening[ip] = true
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for _, ip := range targets {
+		work <- ip
+	}
+	close(work)
+	wg.Wait()
+	return ds
+}
+
+// UseDataset switches the scanner from live port probes to dataset
+// joins, matching the paper's offline methodology. Passing nil reverts
+// to live probing.
+func (s *Scanner) UseDataset(ds *SMTPDataset) { s.dataset = ds }
+
+// listening is the scanner's liveness primitive: a dataset join when one
+// is loaded, a live probe otherwise.
+func (s *Scanner) listening(ip string) bool {
+	if s.dataset != nil {
+		return s.dataset.Listening(ip)
+	}
+	return s.net.Listening(ip + ":25")
+}

@@ -1,0 +1,129 @@
+package scan
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/nolist"
+	"repro/internal/simtime"
+)
+
+func TestBannerGrabMatchesLiveState(t *testing.T) {
+	cfg := DefaultConfig(800, 11)
+	cfg.TransientFailure = 0
+	p := generate(t, cfg)
+	ds := BannerGrab(p, 8)
+
+	for _, s := range p.Specs {
+		for _, ip := range []string{s.PrimaryIP, s.SecondaryIP} {
+			if ip == "" {
+				continue
+			}
+			live := p.Net.Listening(ip + ":25")
+			if got := ds.Listening(ip); got != live {
+				t.Fatalf("%s (%s): dataset %v, live %v", s.Name, ip, got, live)
+			}
+		}
+	}
+	if ds.Size() == 0 {
+		t.Fatal("empty dataset")
+	}
+	addrs := ds.Addresses()
+	if len(addrs) != ds.Size() {
+		t.Fatalf("addresses = %d, size = %d", len(addrs), ds.Size())
+	}
+	for i := 1; i < len(addrs); i++ {
+		if addrs[i-1] >= addrs[i] {
+			t.Fatal("addresses not sorted")
+		}
+	}
+}
+
+func TestBannerGrabSnapshotsFailureState(t *testing.T) {
+	// The dataset is a snapshot: hosts downed after the grab stay
+	// "listening" in the dataset even though the live network changed —
+	// exactly how an offline scans.io dataset behaves.
+	cfg := DefaultConfig(200, 12)
+	cfg.TransientFailure = 0
+	p := generate(t, cfg)
+	var victim string
+	for _, s := range p.Specs {
+		if s.TrueCategory == nolist.CatOneMX {
+			victim = s.PrimaryIP
+			break
+		}
+	}
+	if victim == "" {
+		t.Fatal("no one-MX domain in population")
+	}
+	ds := BannerGrab(p, 4)
+	if !ds.Listening(victim) {
+		t.Fatal("victim not in dataset")
+	}
+	p.Net.SetHostDown(victim, true)
+	defer p.Net.SetHostDown(victim, false)
+	if !ds.Listening(victim) {
+		t.Fatal("dataset mutated by live network change")
+	}
+	if p.Net.Listening(victim + ":25") {
+		t.Fatal("live network should see the host down")
+	}
+}
+
+func TestScannerDatasetJoinMatchesLiveScan(t *testing.T) {
+	cfg := DefaultConfig(400, 13)
+	cfg.TransientFailure = 0
+	p := generate(t, cfg)
+	clock := simtime.NewSim(simtime.Epoch)
+
+	live := NewScanner(p, clock)
+	liveObs := live.ScanAll(p)
+
+	joined := NewScanner(p, clock)
+	joined.UseDataset(BannerGrab(p, 8))
+	joinedObs := joined.ScanAll(p)
+
+	for i := range liveObs {
+		c1 := nolist.ClassifyDomain(liveObs[i])
+		c2 := nolist.ClassifyDomain(joinedObs[i])
+		if c1 != c2 {
+			t.Fatalf("%s: live %v vs dataset %v", p.Specs[i].Name, c1, c2)
+		}
+	}
+	// Reverting to live probing works.
+	joined.UseDataset(nil)
+	obs := joined.ScanDomain(p.Specs[0].Name)
+	if nolist.ClassifyDomain(obs) != p.Specs[0].TrueCategory {
+		t.Fatal("scanner broken after dataset removal")
+	}
+}
+
+func TestBannerGrabWorkerCountClamped(t *testing.T) {
+	p := generate(t, DefaultConfig(50, 14))
+	ds := BannerGrab(p, 0) // clamped to 1 worker
+	if ds.Size() == 0 {
+		t.Fatal("empty dataset with clamped workers")
+	}
+}
+
+func TestRunStudyStillReproducesWithDatasets(t *testing.T) {
+	// RunStudy now goes through the dataset-join path; the headline
+	// numbers must be unchanged.
+	clock := simtime.NewSim(simtime.Epoch)
+	cfg := DefaultConfig(2000, 15)
+	cfg.TransientFailure = 0
+	p := generate(t, cfg)
+	res := RunStudy(p, clock, 56*24*time.Hour)
+	if res.Misclassified != 0 {
+		t.Fatalf("misclassified = %d", res.Misclassified)
+	}
+	trueNolisting := 0
+	for _, s := range p.Specs {
+		if s.TrueCategory == nolist.CatNolisting {
+			trueNolisting++
+		}
+	}
+	if got := res.Counts[nolist.CatNolisting]; got != trueNolisting {
+		t.Fatalf("nolisting = %d, want %d", got, trueNolisting)
+	}
+}

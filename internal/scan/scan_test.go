@@ -1,0 +1,242 @@
+package scan
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/nolist"
+	"repro/internal/simtime"
+)
+
+const testPopulation = 3000
+
+func generate(t *testing.T, cfg Config) *Population {
+	t.Helper()
+	p, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestGenerateMixtureMatchesFigure2(t *testing.T) {
+	p := generate(t, DefaultConfig(testPopulation, 1))
+	counts := map[nolist.Category]int{}
+	for _, s := range p.Specs {
+		counts[s.TrueCategory]++
+	}
+	n := float64(len(p.Specs))
+	if len(p.Specs) != testPopulation {
+		t.Fatalf("population = %d", len(p.Specs))
+	}
+	for cat, frac := range map[nolist.Category]float64{
+		nolist.CatOneMX:         Fig2OneMX,
+		nolist.CatMultiMX:       Fig2MultiMX,
+		nolist.CatMisconfigured: Fig2Misconfigured,
+		nolist.CatNolisting:     Fig2Nolisting,
+	} {
+		got := float64(counts[cat]) / n
+		if math.Abs(got-frac) > 0.002 {
+			t.Errorf("%v: ground truth fraction %.4f, want ≈%.4f", cat, got, frac)
+		}
+	}
+}
+
+func TestGenerateRejectsEmptyPopulation(t *testing.T) {
+	if _, err := Generate(Config{Domains: 0}); err == nil {
+		t.Fatal("Generate accepted zero domains")
+	}
+}
+
+func TestNolistingDomainsHaveDeadPrimary(t *testing.T) {
+	p := generate(t, DefaultConfig(500, 2))
+	for _, s := range p.Specs {
+		switch s.TrueCategory {
+		case nolist.CatNolisting:
+			if p.Net.Listening(s.PrimaryIP + ":25") {
+				t.Fatalf("%s: nolisted primary %s is listening", s.Name, s.PrimaryIP)
+			}
+			if !p.Net.Listening(s.SecondaryIP + ":25") {
+				t.Fatalf("%s: nolisted secondary %s not listening", s.Name, s.SecondaryIP)
+			}
+		case nolist.CatOneMX:
+			if !p.Net.Listening(s.PrimaryIP + ":25") {
+				t.Fatalf("%s: one-MX server %s not listening", s.Name, s.PrimaryIP)
+			}
+		}
+	}
+}
+
+func TestScanDomainObservations(t *testing.T) {
+	p := generate(t, DefaultConfig(300, 3))
+	scanner := NewScanner(p, simtime.NewSim(simtime.Epoch))
+	for _, s := range p.Specs[:100] {
+		obs := scanner.ScanDomain(s.Name)
+		got := nolist.ClassifyDomain(obs)
+		if got != s.TrueCategory {
+			t.Errorf("%s: single-scan class %v, truth %v (obs %+v)", s.Name, got, s.TrueCategory, obs.MXs)
+		}
+	}
+}
+
+func TestScannerReResolvesGluelessAnswers(t *testing.T) {
+	cfg := DefaultConfig(300, 4)
+	cfg.NoGlueFrac = 1.0 // every answer needs the parallel scanner
+	cfg.TransientFailure = 0
+	p := generate(t, cfg)
+	scanner := NewScanner(p, simtime.NewSim(simtime.Epoch))
+	scanner.ScanAll(p)
+	if scanner.ReResolutions == 0 {
+		t.Fatal("no re-resolutions despite glue-less population")
+	}
+}
+
+func TestRunStudyReproducesFigure2(t *testing.T) {
+	clock := simtime.NewSim(simtime.Epoch)
+	p := generate(t, DefaultConfig(testPopulation, 5))
+	res := RunStudy(p, clock, 56*24*time.Hour) // Feb 28 → Apr 25
+
+	for cat, want := range map[nolist.Category]float64{
+		nolist.CatOneMX:         Fig2OneMX,
+		nolist.CatMultiMX:       Fig2MultiMX,
+		nolist.CatMisconfigured: Fig2Misconfigured,
+		nolist.CatNolisting:     Fig2Nolisting,
+	} {
+		got := res.Fractions[cat]
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("%v: measured %.4f, want ≈%.4f", cat, got, want)
+		}
+	}
+	// With 1% transient failures the classifier should still be almost
+	// perfect thanks to the two-scan rule.
+	if frac := float64(res.Misclassified) / float64(testPopulation); frac > 0.005 {
+		t.Errorf("misclassified %.4f of domains", frac)
+	}
+}
+
+func TestTwoScanRuleFiltersTransients(t *testing.T) {
+	cfg := DefaultConfig(2000, 6)
+	cfg.TransientFailure = 0.05 // noisy scans
+	clock := simtime.NewSim(simtime.Epoch)
+	p := generate(t, cfg)
+	res := RunStudy(p, clock, 56*24*time.Hour)
+
+	trueNolisting := 0
+	for _, s := range p.Specs {
+		if s.TrueCategory == nolist.CatNolisting {
+			trueNolisting++
+		}
+	}
+	// A single scan overcounts: transiently-down primaries of multi-MX
+	// domains look like nolisting. The two-scan rule removes almost all
+	// of them; what remains is the p² residue of primaries down in BOTH
+	// scans — which the paper itself concedes is "in practice
+	// equivalent to nolisting".
+	if res.SingleScanNolisting <= trueNolisting {
+		t.Fatalf("single scan found %d candidates, expected more than the %d true ones",
+			res.SingleScanNolisting, trueNolisting)
+	}
+	got := res.Counts[nolist.CatNolisting]
+	if got < trueNolisting {
+		t.Fatalf("two-scan count = %d, below the %d true nolisting domains", got, trueNolisting)
+	}
+	if got >= res.SingleScanNolisting {
+		t.Fatalf("two-scan count %d did not improve on single-scan %d", got, res.SingleScanNolisting)
+	}
+	// The residual false positives are bounded by ≈ p²·multiMX ≈ 2.3
+	// expected here; allow generous slack.
+	if got-trueNolisting > 10 {
+		t.Fatalf("two-scan rule left %d false positives", got-trueNolisting)
+	}
+	if res.ChangeBetweenScans <= 0 {
+		t.Fatal("expected some single-scan churn with 5% transient failures")
+	}
+}
+
+func TestNoTransientsPerfectClassification(t *testing.T) {
+	cfg := DefaultConfig(1000, 7)
+	cfg.TransientFailure = 0
+	clock := simtime.NewSim(simtime.Epoch)
+	p := generate(t, cfg)
+	res := RunStudy(p, clock, time.Hour)
+	if res.Misclassified != 0 {
+		t.Fatalf("misclassified = %d with a noiseless population", res.Misclassified)
+	}
+	if res.ChangeBetweenScans != 0 {
+		t.Fatalf("scan churn = %v with no transient failures", res.ChangeBetweenScans)
+	}
+}
+
+func TestAlexaCrossCheck(t *testing.T) {
+	// With a population big enough for ≥5 nolisting domains, the
+	// planted ranks reproduce the paper's "one in the top-15, two in
+	// the top-500, two more in the top-1000".
+	clock := simtime.NewSim(simtime.Epoch)
+	cfg := DefaultConfig(3000, 8)
+	cfg.TransientFailure = 0
+	p := generate(t, cfg)
+	res := RunStudy(p, clock, time.Hour)
+	if res.NolistingInTop15 != 1 {
+		t.Errorf("top-15 nolisting = %d, want 1", res.NolistingInTop15)
+	}
+	if res.NolistingInTop500 != 3 {
+		t.Errorf("top-500 nolisting = %d, want 3 (1 + 2)", res.NolistingInTop500)
+	}
+	if res.NolistingInTop1000 != 5 {
+		t.Errorf("top-1000 nolisting = %d, want 5 (1 + 2 + 2)", res.NolistingInTop1000)
+	}
+}
+
+func TestRenderPie(t *testing.T) {
+	clock := simtime.NewSim(simtime.Epoch)
+	p := generate(t, DefaultConfig(500, 9))
+	res := RunStudy(p, clock, time.Hour)
+	out := res.RenderPie()
+	for _, want := range []string{"One MX record", "Using nolisting", "DNS misconf.", "%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("pie rendering missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestApportionExact(t *testing.T) {
+	counts := apportion(100, []float64{0.5, 0.25, 0.25})
+	if counts[0] != 50 || counts[1] != 25 || counts[2] != 25 {
+		t.Fatalf("counts = %v", counts)
+	}
+	total := 0
+	for _, c := range apportion(997, []float64{0.4773, 0.4597, 0.0052, 0.0578}) {
+		total += c
+	}
+	if total != 997 {
+		t.Fatalf("apportion total = %d", total)
+	}
+}
+
+func TestIPAllocatorUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 2000; i++ {
+		for slot := 0; slot < 2; slot++ {
+			a := ip(i, slot)
+			if seen[a] {
+				t.Fatalf("duplicate IP %s", a)
+			}
+			seen[a] = true
+		}
+	}
+}
+
+func TestDatasetSizeCounters(t *testing.T) {
+	clock := simtime.NewSim(simtime.Epoch)
+	cfg := DefaultConfig(200, 10)
+	p := generate(t, cfg)
+	res := RunStudy(p, clock, time.Hour)
+	if res.EmailServers == 0 || res.ResolvedIPs == 0 {
+		t.Fatalf("dataset counters empty: %+v", res)
+	}
+	if res.ResolvedIPs > res.EmailServers {
+		t.Fatalf("resolved %d > servers %d", res.ResolvedIPs, res.EmailServers)
+	}
+}

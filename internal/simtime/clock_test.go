@@ -1,0 +1,176 @@
+package simtime
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSimNowStartsAtEpoch(t *testing.T) {
+	c := NewSim(Epoch)
+	if got := c.Now(); !got.Equal(Epoch) {
+		t.Fatalf("Now() = %v, want %v", got, Epoch)
+	}
+}
+
+func TestSimAdvance(t *testing.T) {
+	c := NewSim(Epoch)
+	c.Advance(90 * time.Second)
+	want := Epoch.Add(90 * time.Second)
+	if got := c.Now(); !got.Equal(want) {
+		t.Fatalf("Now() after Advance = %v, want %v", got, want)
+	}
+}
+
+func TestSimAdvanceToBackwardsIsNoop(t *testing.T) {
+	c := NewSim(Epoch)
+	c.Advance(time.Hour)
+	c.AdvanceTo(Epoch) // in the past
+	want := Epoch.Add(time.Hour)
+	if got := c.Now(); !got.Equal(want) {
+		t.Fatalf("Now() = %v, want %v (backwards AdvanceTo must not rewind)", got, want)
+	}
+}
+
+func TestSimAdvanceNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Advance(-1) did not panic")
+		}
+	}()
+	NewSim(Epoch).Advance(-time.Second)
+}
+
+func TestSimAfterFiresInOrder(t *testing.T) {
+	c := NewSim(Epoch)
+	ch1 := c.After(10 * time.Second)
+	ch2 := c.After(5 * time.Second)
+	c.Advance(20 * time.Second)
+
+	t1 := <-ch1
+	t2 := <-ch2
+	if want := Epoch.Add(10 * time.Second); !t1.Equal(want) {
+		t.Errorf("timer1 fired at %v, want %v", t1, want)
+	}
+	if want := Epoch.Add(5 * time.Second); !t2.Equal(want) {
+		t.Errorf("timer2 fired at %v, want %v", t2, want)
+	}
+}
+
+func TestSimAfterNonPositiveFiresImmediately(t *testing.T) {
+	c := NewSim(Epoch)
+	select {
+	case got := <-c.After(0):
+		if !got.Equal(Epoch) {
+			t.Fatalf("After(0) delivered %v, want %v", got, Epoch)
+		}
+	default:
+		t.Fatal("After(0) did not fire immediately")
+	}
+}
+
+func TestSimAfterNotFiredBeforeDeadline(t *testing.T) {
+	c := NewSim(Epoch)
+	ch := c.After(10 * time.Second)
+	c.Advance(9 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("timer fired before its deadline")
+	default:
+	}
+	if got := c.PendingTimers(); got != 1 {
+		t.Fatalf("PendingTimers = %d, want 1", got)
+	}
+}
+
+func TestSimSleepBlocksUntilAdvance(t *testing.T) {
+	c := NewSim(Epoch)
+	var wg sync.WaitGroup
+	done := make(chan time.Time, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c.Sleep(time.Minute)
+		done <- c.Now()
+	}()
+
+	// Wait for the sleeper to register its timer.
+	for c.PendingTimers() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	c.Advance(2 * time.Minute)
+	wg.Wait()
+	woke := <-done
+	if want := Epoch.Add(2 * time.Minute); !woke.Equal(want) {
+		t.Fatalf("sleeper observed %v, want %v", woke, want)
+	}
+}
+
+func TestSimNextTimer(t *testing.T) {
+	c := NewSim(Epoch)
+	if _, ok := c.NextTimer(); ok {
+		t.Fatal("NextTimer reported a pending timer on a fresh clock")
+	}
+	c.After(30 * time.Second)
+	c.After(10 * time.Second)
+	next, ok := c.NextTimer()
+	if !ok {
+		t.Fatal("NextTimer found no timer after two After calls")
+	}
+	if want := Epoch.Add(10 * time.Second); !next.Equal(want) {
+		t.Fatalf("NextTimer = %v, want %v", next, want)
+	}
+}
+
+func TestRealClockMonotone(t *testing.T) {
+	var c Real
+	a := c.Now()
+	c.Sleep(time.Millisecond)
+	b := c.Now()
+	if b.Before(a) {
+		t.Fatalf("real clock went backwards: %v then %v", a, b)
+	}
+	select {
+	case <-c.After(0):
+	case <-time.After(time.Second):
+		t.Fatal("Real.After(0) did not fire within 1s")
+	}
+}
+
+// Property: after any sequence of positive advances, Now equals the start
+// plus the sum, and timers never fire early.
+func TestSimAdvanceAccumulates(t *testing.T) {
+	f := func(steps []uint16) bool {
+		c := NewSim(Epoch)
+		var total time.Duration
+		for _, s := range steps {
+			d := time.Duration(s) * time.Millisecond
+			c.Advance(d)
+			total += d
+		}
+		return c.Now().Equal(Epoch.Add(total))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a timer set for duration d fires exactly at start+d regardless of
+// how the advance that crosses it is chunked.
+func TestSimTimerFiresAtDeadline(t *testing.T) {
+	f := func(d uint16, chunks []uint8) bool {
+		c := NewSim(Epoch)
+		dur := time.Duration(d)*time.Millisecond + time.Millisecond
+		ch := c.After(dur)
+		for _, chunk := range chunks {
+			c.Advance(time.Duration(chunk) * time.Millisecond)
+		}
+		c.Advance(dur) // guarantee we cross the deadline
+		got := <-ch
+		return got.Equal(Epoch.Add(dur))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,150 @@
+package simtime
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Scheduler is a discrete-event executor over a Sim clock. Events are
+// callbacks pinned to virtual instants; Run pops them in time order,
+// advances the clock to each event's instant (firing any Sleep/After
+// waiters on the way) and executes the callback synchronously.
+//
+// Event callbacks may schedule further events, which is how the bot and MTA
+// models express retry loops: an attempt handler computes the next attempt
+// time and schedules itself again.
+type Scheduler struct {
+	clock *Sim
+
+	mu     sync.Mutex
+	events eventHeap
+	seq    uint64
+	count  uint64
+}
+
+// NewScheduler returns a Scheduler driving clock.
+func NewScheduler(clock *Sim) *Scheduler {
+	return &Scheduler{clock: clock}
+}
+
+// Clock returns the virtual clock the scheduler drives.
+func (s *Scheduler) Clock() *Sim { return s.clock }
+
+// At schedules fn to run at instant t. The name labels the event for
+// debugging; it carries no semantics. Scheduling in the past is clamped to
+// the current instant (the event runs at the next Run step).
+func (s *Scheduler) At(t time.Time, name string, fn func()) {
+	if fn == nil {
+		panic("simtime: Scheduler.At with nil callback")
+	}
+	now := s.clock.Now()
+	if t.Before(now) {
+		t = now
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	heap.Push(&s.events, &event{when: t, seq: s.seq, name: name, fn: fn})
+}
+
+// After schedules fn to run d after the current virtual instant.
+func (s *Scheduler) After(d time.Duration, name string, fn func()) {
+	s.At(s.clock.Now().Add(d), name, fn)
+}
+
+// Len reports the number of pending events.
+func (s *Scheduler) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.events)
+}
+
+// Executed reports how many events have run since the scheduler was created.
+func (s *Scheduler) Executed() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.count
+}
+
+// Run executes events in time order until none remain, returning the number
+// executed. It is the main loop of every virtual-time experiment.
+func (s *Scheduler) Run() int {
+	return s.RunUntil(time.Time{})
+}
+
+// RunUntil executes events in time order until none remain or until the next
+// event would run after deadline. A zero deadline means no limit. The clock
+// is left at the last executed event's instant (or advanced to deadline when
+// one is given and reached).
+func (s *Scheduler) RunUntil(deadline time.Time) int {
+	n := 0
+	for {
+		ev := s.pop(deadline)
+		if ev == nil {
+			break
+		}
+		s.clock.AdvanceTo(ev.when)
+		ev.fn()
+		n++
+	}
+	if !deadline.IsZero() && s.clock.Now().Before(deadline) {
+		s.clock.AdvanceTo(deadline)
+	}
+	return n
+}
+
+// RunFor is RunUntil(now + d).
+func (s *Scheduler) RunFor(d time.Duration) int {
+	return s.RunUntil(s.clock.Now().Add(d))
+}
+
+func (s *Scheduler) pop(deadline time.Time) *event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.events) == 0 {
+		return nil
+	}
+	if !deadline.IsZero() && s.events[0].when.After(deadline) {
+		return nil
+	}
+	ev := heap.Pop(&s.events).(*event)
+	s.count++
+	return ev
+}
+
+type event struct {
+	when time.Time
+	seq  uint64
+	name string
+	fn   func()
+}
+
+func (e *event) String() string {
+	return fmt.Sprintf("event(%q @ %s)", e.name, e.when.Format(time.RFC3339))
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if !h[i].when.Equal(h[j].when) {
+		return h[i].when.Before(h[j].when)
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}

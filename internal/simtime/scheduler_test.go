@@ -1,0 +1,167 @@
+package simtime
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSchedulerRunsInTimeOrder(t *testing.T) {
+	c := NewSim(Epoch)
+	s := NewScheduler(c)
+	var order []string
+	s.At(Epoch.Add(30*time.Second), "c", func() { order = append(order, "c") })
+	s.At(Epoch.Add(10*time.Second), "a", func() { order = append(order, "a") })
+	s.At(Epoch.Add(20*time.Second), "b", func() { order = append(order, "b") })
+
+	if n := s.Run(); n != 3 {
+		t.Fatalf("Run executed %d events, want 3", n)
+	}
+	want := []string{"a", "b", "c"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("execution order = %v, want %v", order, want)
+		}
+	}
+	if got := c.Now(); !got.Equal(Epoch.Add(30 * time.Second)) {
+		t.Fatalf("clock after Run = %v, want %v", got, Epoch.Add(30*time.Second))
+	}
+}
+
+func TestSchedulerSameInstantFIFO(t *testing.T) {
+	c := NewSim(Epoch)
+	s := NewScheduler(c)
+	at := Epoch.Add(time.Second)
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		s.At(at, "tie", func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("same-instant order = %v, want FIFO", order)
+		}
+	}
+}
+
+func TestSchedulerEventsScheduleEvents(t *testing.T) {
+	c := NewSim(Epoch)
+	s := NewScheduler(c)
+	var times []time.Duration
+	var step func()
+	step = func() {
+		elapsed := c.Now().Sub(Epoch)
+		times = append(times, elapsed)
+		if elapsed < 5*time.Minute {
+			s.After(time.Minute, "retry", step)
+		}
+	}
+	s.After(time.Minute, "retry", step)
+	s.Run()
+
+	if len(times) != 5 {
+		t.Fatalf("got %d retries, want 5: %v", len(times), times)
+	}
+	for i, d := range times {
+		if want := time.Duration(i+1) * time.Minute; d != want {
+			t.Fatalf("retry %d at %v, want %v", i, d, want)
+		}
+	}
+}
+
+func TestSchedulerRunUntilStopsAtDeadline(t *testing.T) {
+	c := NewSim(Epoch)
+	s := NewScheduler(c)
+	ran := 0
+	for i := 1; i <= 10; i++ {
+		s.At(Epoch.Add(time.Duration(i)*time.Hour), "hourly", func() { ran++ })
+	}
+	deadline := Epoch.Add(3*time.Hour + 30*time.Minute)
+	s.RunUntil(deadline)
+	if ran != 3 {
+		t.Fatalf("RunUntil executed %d events, want 3", ran)
+	}
+	if got := c.Now(); !got.Equal(deadline) {
+		t.Fatalf("clock = %v, want advanced to deadline %v", got, deadline)
+	}
+	if got := s.Len(); got != 7 {
+		t.Fatalf("pending events = %d, want 7", got)
+	}
+	// Resuming executes the rest.
+	s.Run()
+	if ran != 10 {
+		t.Fatalf("after resume executed %d total, want 10", ran)
+	}
+}
+
+func TestSchedulerRunForRelativeWindow(t *testing.T) {
+	c := NewSim(Epoch)
+	s := NewScheduler(c)
+	ran := 0
+	s.After(10*time.Minute, "late", func() { ran++ })
+	s.RunFor(5 * time.Minute)
+	if ran != 0 {
+		t.Fatal("event outside window ran")
+	}
+	s.RunFor(6 * time.Minute)
+	if ran != 1 {
+		t.Fatal("event inside second window did not run")
+	}
+}
+
+func TestSchedulerPastEventClamped(t *testing.T) {
+	c := NewSim(Epoch)
+	s := NewScheduler(c)
+	c.Advance(time.Hour)
+	var at time.Time
+	s.At(Epoch, "stale", func() { at = c.Now() })
+	s.Run()
+	if !at.Equal(Epoch.Add(time.Hour)) {
+		t.Fatalf("past event ran at %v, want clamped to %v", at, Epoch.Add(time.Hour))
+	}
+}
+
+func TestSchedulerNilCallbackPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At(nil) did not panic")
+		}
+	}()
+	NewScheduler(NewSim(Epoch)).At(Epoch, "nil", nil)
+}
+
+func TestSchedulerExecutedCounter(t *testing.T) {
+	s := NewScheduler(NewSim(Epoch))
+	for i := 0; i < 4; i++ {
+		s.After(time.Duration(i)*time.Second, "n", func() {})
+	}
+	s.Run()
+	if got := s.Executed(); got != 4 {
+		t.Fatalf("Executed = %d, want 4", got)
+	}
+}
+
+func TestSchedulerTimersInterleaveWithEvents(t *testing.T) {
+	// A goroutine sleeping on the clock must wake when the scheduler
+	// advances across its deadline, even mid-run.
+	c := NewSim(Epoch)
+	s := NewScheduler(c)
+	woke := make(chan time.Time, 1)
+	go func() {
+		c.Sleep(30 * time.Second)
+		woke <- c.Now()
+	}()
+	for c.PendingTimers() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	s.At(Epoch.Add(time.Minute), "after-sleeper", func() {})
+	s.Run()
+	select {
+	case w := <-woke:
+		if w.Before(Epoch.Add(30 * time.Second)) {
+			t.Fatalf("sleeper woke early at %v", w)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("sleeper never woke")
+	}
+}

@@ -1,0 +1,122 @@
+package smtpclient
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/smtpproto"
+)
+
+func batchMessages(n int) []Message {
+	msgs := make([]Message, n)
+	for i := range msgs {
+		msgs[i] = Message{
+			HeloName: "sender.example",
+			From:     fmt.Sprintf("alice%d@sender.example", i),
+			To:       []string{fmt.Sprintf("user%d@foo.net", i)},
+			Data:     []byte(fmt.Sprintf("Subject: batch %d\r\n\r\nbody\r\n", i)),
+		}
+	}
+	return msgs
+}
+
+func TestDeliverBatchSingleConnection(t *testing.T) {
+	w := buildWorld(t, []string{"10.0.0.1"}, nil)
+	srv := w.startMX(t, "10.0.0.1", nil)
+	dialer := &SimDialer{Net: w.net, LocalIP: "192.0.2.10"}
+
+	receipts := DeliverBatch(w.resolver, dialer, "foo.net", batchMessages(5))
+	for _, r := range receipts {
+		if r.Outcome != Delivered {
+			t.Fatalf("message %d = %+v", r.Index, r)
+		}
+		if r.Host != "smtp.foo.net" {
+			t.Fatalf("message %d host = %q", r.Index, r.Host)
+		}
+	}
+	if w.inboxSize() != 5 {
+		t.Fatalf("inbox = %d", w.inboxSize())
+	}
+	// The whole batch used ONE connection — that is the point.
+	if got := srv.Stats().Connections; got != 1 {
+		t.Fatalf("connections = %d, want 1", got)
+	}
+}
+
+func TestDeliverBatchMixedOutcomes(t *testing.T) {
+	hook := func(ip, sender, rcpt string) *smtpproto.Reply {
+		switch rcpt {
+		case "user1@foo.net":
+			r := smtpproto.NewReply(451, "4.7.1", "Greylisted")
+			return &r
+		case "user3@foo.net":
+			r := smtpproto.NewReply(550, "5.1.1", "No such user")
+			return &r
+		}
+		return nil
+	}
+	w := buildWorld(t, []string{"10.0.0.1"}, nil)
+	w.startMX(t, "10.0.0.1", hook)
+	dialer := &SimDialer{Net: w.net, LocalIP: "192.0.2.10"}
+
+	receipts := DeliverBatch(w.resolver, dialer, "foo.net", batchMessages(5))
+	want := []Outcome{Delivered, TransientFailure, Delivered, PermanentFailure, Delivered}
+	for i, r := range receipts {
+		if r.Outcome != want[i] {
+			t.Fatalf("message %d = %v, want %v (receipts %+v)", i, r.Outcome, want[i], receipts)
+		}
+	}
+	// Deferred/rejected messages must not poison the rest of the batch.
+	if w.inboxSize() != 3 {
+		t.Fatalf("inbox = %d", w.inboxSize())
+	}
+}
+
+func TestDeliverBatchEmpty(t *testing.T) {
+	w := buildWorld(t, []string{"10.0.0.1"}, nil)
+	dialer := &SimDialer{Net: w.net, LocalIP: "192.0.2.10"}
+	if got := DeliverBatch(w.resolver, dialer, "foo.net", nil); len(got) != 0 {
+		t.Fatalf("receipts = %v", got)
+	}
+}
+
+func TestDeliverBatchUnknownDomain(t *testing.T) {
+	w := buildWorld(t, []string{"10.0.0.1"}, nil)
+	dialer := &SimDialer{Net: w.net, LocalIP: "192.0.2.10"}
+	receipts := DeliverBatch(w.resolver, dialer, "nope.example", batchMessages(2))
+	for _, r := range receipts {
+		if r.Outcome != Unreachable || r.LastError == nil {
+			t.Fatalf("receipt = %+v", r)
+		}
+	}
+}
+
+func TestDeliverBatchAllDown(t *testing.T) {
+	w := buildWorld(t, []string{"10.0.0.1"}, nil)
+	// Nothing listening.
+	dialer := &SimDialer{Net: w.net, LocalIP: "192.0.2.10"}
+	receipts := DeliverBatch(w.resolver, dialer, "foo.net", batchMessages(2))
+	for _, r := range receipts {
+		if r.Outcome != Unreachable {
+			t.Fatalf("receipt = %+v", r)
+		}
+	}
+}
+
+func TestDeliverBatchWalksToSecondary(t *testing.T) {
+	// Nolisting layout: the batch walks past the dead primary once and
+	// then delivers everything via the secondary on one connection.
+	w := buildWorld(t, []string{"10.0.0.1", "10.0.0.2"}, nil)
+	srv := w.startMX(t, "10.0.0.2", nil)
+	dialer := &SimDialer{Net: w.net, LocalIP: "192.0.2.10"}
+
+	receipts := DeliverBatch(w.resolver, dialer, "foo.net", batchMessages(4))
+	for _, r := range receipts {
+		if r.Outcome != Delivered || r.Host != "smtp1.foo.net" {
+			t.Fatalf("receipt = %+v", r)
+		}
+	}
+	if got := srv.Stats().Connections; got != 1 {
+		t.Fatalf("connections = %d, want 1", got)
+	}
+}

@@ -1,0 +1,57 @@
+package smtpproto
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+// FuzzParseReply: the reply parser must never panic and must only accept
+// replies whose re-rendering it would parse identically.
+func FuzzParseReply(f *testing.F) {
+	f.Add("250 OK\r\n")
+	f.Add("451 4.7.1 Greylisted\r\n")
+	f.Add("250-a\r\n250-b\r\n250 c\r\n")
+	f.Add("xyz\r\n")
+	f.Add("")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		r, err := ParseReply(bufio.NewReader(strings.NewReader(input)))
+		if err != nil {
+			return
+		}
+		r2, err := ParseReply(bufio.NewReader(strings.NewReader(r.String())))
+		if err != nil {
+			t.Fatalf("re-parse of %q failed: %v", r.String(), err)
+		}
+		if r2.Code != r.Code || r2.Enhanced != r.Enhanced {
+			t.Fatalf("unstable: %+v vs %+v", r, r2)
+		}
+	})
+}
+
+// FuzzParseMailArg: path parsing must never panic, and accepted
+// mailboxes must round-trip through the client's MAIL FROM rendering.
+func FuzzParseMailArg(f *testing.F) {
+	f.Add("FROM:<a@b.example>")
+	f.Add("FROM:<>")
+	f.Add("FROM:<@r.example:u@d.example> SIZE=100")
+	f.Add("junk")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		mailbox, _, err := ParseMailArg(input)
+		if err != nil {
+			return
+		}
+		if mailbox == "" {
+			return // null path
+		}
+		again, _, err := ParseMailArg("FROM:<" + mailbox + ">")
+		if err != nil {
+			t.Fatalf("accepted mailbox %q does not re-parse: %v", mailbox, err)
+		}
+		if again != mailbox {
+			t.Fatalf("mailbox unstable: %q vs %q", mailbox, again)
+		}
+	})
+}

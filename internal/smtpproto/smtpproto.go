@@ -1,0 +1,477 @@
+// Package smtpproto implements the protocol grammar shared by the SMTP
+// server and client: command parsing, reply formatting (including
+// multi-line replies and RFC 2034 enhanced status codes), reverse/forward
+// path parsing per RFC 5321, and transparent dot-stuffing for the DATA
+// phase.
+//
+// Greylisting lives entirely inside this grammar: a greylisted delivery is
+// nothing more than a 451 reply with enhanced code 4.7.1 at RCPT time, and
+// whether a sender retries after it is precisely what separates a
+// compliant MTA from a fire-and-forget spam bot (Section II of the paper).
+package smtpproto
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Protocol limits from RFC 5321 §4.5.3.1.
+const (
+	// MaxCommandLine is the maximum total command line length including
+	// CRLF.
+	MaxCommandLine = 512
+	// MaxTextLine is the maximum message text line length including
+	// CRLF.
+	MaxTextLine = 1000
+	// MaxPathLength is the maximum reverse/forward path length.
+	MaxPathLength = 256
+)
+
+// Errors returned by the parsers.
+var (
+	ErrLineTooLong   = errors.New("smtpproto: line too long")
+	ErrBadSyntax     = errors.New("smtpproto: bad syntax")
+	ErrBadPath       = errors.New("smtpproto: malformed path")
+	ErrMessageTooBig = errors.New("smtpproto: message exceeds size limit")
+)
+
+// SMTP command verbs.
+const (
+	VerbHELO = "HELO"
+	VerbEHLO = "EHLO"
+	VerbMAIL = "MAIL"
+	VerbRCPT = "RCPT"
+	VerbDATA = "DATA"
+	VerbRSET = "RSET"
+	VerbNOOP = "NOOP"
+	VerbQUIT = "QUIT"
+	VerbVRFY = "VRFY"
+	VerbHELP = "HELP"
+)
+
+// Command is a parsed SMTP command line.
+type Command struct {
+	// Verb is the upper-cased command verb.
+	Verb string
+	// Arg is the raw argument text following the verb, trimmed.
+	Arg string
+}
+
+// String implements fmt.Stringer.
+func (c Command) String() string {
+	if c.Arg == "" {
+		return c.Verb
+	}
+	return c.Verb + " " + c.Arg
+}
+
+// ParseCommand parses one SMTP command line (without CRLF).
+func ParseCommand(line string) (Command, error) {
+	line = strings.TrimRight(line, " ")
+	if line == "" {
+		return Command{}, fmt.Errorf("%w: empty command", ErrBadSyntax)
+	}
+	verb := line
+	arg := ""
+	if i := strings.IndexByte(line, ' '); i >= 0 {
+		verb, arg = line[:i], strings.TrimSpace(line[i+1:])
+	}
+	for _, r := range verb {
+		if !(r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z') {
+			return Command{}, fmt.Errorf("%w: verb %q", ErrBadSyntax, verb)
+		}
+	}
+	return Command{Verb: strings.ToUpper(verb), Arg: arg}, nil
+}
+
+// ReadCommandLine reads one CRLF-terminated command line from br, enforcing
+// MaxCommandLine. Bare LF is tolerated (robustness principle), since real
+// bots are sloppy about line endings — one of the SMTP "dialect" signals
+// from Stringhini et al. the paper builds on.
+func ReadCommandLine(br *bufio.Reader) (string, error) {
+	line, err := readLine(br, MaxCommandLine)
+	if err != nil {
+		return "", err
+	}
+	return line, nil
+}
+
+func readLine(br *bufio.Reader, limit int) (string, error) {
+	var sb strings.Builder
+	for {
+		b, err := br.ReadByte()
+		if err != nil {
+			return "", err
+		}
+		if b == '\n' {
+			s := sb.String()
+			s = strings.TrimSuffix(s, "\r")
+			return s, nil
+		}
+		if sb.Len() >= limit {
+			// Drain the rest of the oversized line before reporting,
+			// so the session can resynchronize.
+			for {
+				b, err := br.ReadByte()
+				if err != nil || b == '\n' {
+					break
+				}
+			}
+			return "", ErrLineTooLong
+		}
+		sb.WriteByte(b)
+	}
+}
+
+// Reply is an SMTP reply: a three-digit code, an optional RFC 2034
+// enhanced status code, and one or more text lines.
+type Reply struct {
+	Code     int
+	Enhanced string // e.g. "4.7.1"; empty to omit
+	Lines    []string
+}
+
+// NewReply builds a single-line reply.
+func NewReply(code int, enhanced, text string) Reply {
+	return Reply{Code: code, Enhanced: enhanced, Lines: []string{text}}
+}
+
+// Positive reports a 2xx code.
+func (r Reply) Positive() bool { return r.Code >= 200 && r.Code < 300 }
+
+// Intermediate reports a 3xx code (e.g. 354 after DATA).
+func (r Reply) Intermediate() bool { return r.Code >= 300 && r.Code < 400 }
+
+// Transient reports a 4xx code — the class greylisting uses, telling a
+// compliant client to retry later.
+func (r Reply) Transient() bool { return r.Code >= 400 && r.Code < 500 }
+
+// Permanent reports a 5xx code.
+func (r Reply) Permanent() bool { return r.Code >= 500 && r.Code < 600 }
+
+// String renders the reply in wire format (with CRLFs).
+func (r Reply) String() string {
+	lines := r.Lines
+	if len(lines) == 0 {
+		lines = []string{""}
+	}
+	var sb strings.Builder
+	for i, line := range lines {
+		sep := " "
+		if i < len(lines)-1 {
+			sep = "-"
+		}
+		text := line
+		if r.Enhanced != "" {
+			text = r.Enhanced + " " + line
+		}
+		text = strings.TrimRight(text, " ")
+		if text == "" && sep == " " {
+			fmt.Fprintf(&sb, "%03d\r\n", r.Code)
+			continue
+		}
+		fmt.Fprintf(&sb, "%03d%s%s\r\n", r.Code, sep, text)
+	}
+	return sb.String()
+}
+
+// WriteTo writes the wire form of the reply to w.
+func (r Reply) WriteTo(w io.Writer) (int64, error) {
+	n, err := io.WriteString(w, r.String())
+	return int64(n), err
+}
+
+// ParseReply parses a complete (possibly multi-line) reply from br.
+func ParseReply(br *bufio.Reader) (Reply, error) {
+	var reply Reply
+	for {
+		line, err := readLine(br, MaxTextLine)
+		if err != nil {
+			return Reply{}, err
+		}
+		if len(line) < 3 {
+			return Reply{}, fmt.Errorf("%w: short reply line %q", ErrBadSyntax, line)
+		}
+		code := 0
+		for _, c := range line[:3] {
+			if c < '0' || c > '9' {
+				return Reply{}, fmt.Errorf("%w: reply code %q", ErrBadSyntax, line[:3])
+			}
+			code = code*10 + int(c-'0')
+		}
+		if reply.Code != 0 && code != reply.Code {
+			return Reply{}, fmt.Errorf("%w: inconsistent codes %d and %d", ErrBadSyntax, reply.Code, code)
+		}
+		reply.Code = code
+		more := false
+		rest := ""
+		switch {
+		case len(line) == 3:
+		case line[3] == '-':
+			more = true
+			rest = line[4:]
+		case line[3] == ' ':
+			rest = line[4:]
+		default:
+			return Reply{}, fmt.Errorf("%w: separator in %q", ErrBadSyntax, line)
+		}
+		if reply.Enhanced == "" {
+			if enh, remainder, ok := splitEnhanced(code, rest); ok {
+				reply.Enhanced = enh
+				rest = remainder
+			}
+		} else if enh, remainder, ok := splitEnhanced(code, rest); ok && enh == reply.Enhanced {
+			rest = remainder
+		}
+		reply.Lines = append(reply.Lines, rest)
+		if !more {
+			return reply, nil
+		}
+	}
+}
+
+// splitEnhanced recognizes a leading RFC 2034 enhanced status code whose
+// class digit agrees with the reply code class.
+func splitEnhanced(code int, s string) (enhanced, rest string, ok bool) {
+	fields := strings.SplitN(s, " ", 2)
+	cand := fields[0]
+	parts := strings.Split(cand, ".")
+	if len(parts) != 3 {
+		return "", s, false
+	}
+	for _, p := range parts {
+		if p == "" || len(p) > 3 {
+			return "", s, false
+		}
+		for _, c := range p {
+			if c < '0' || c > '9' {
+				return "", s, false
+			}
+		}
+	}
+	if int(cand[0]-'0') != code/100 {
+		return "", s, false
+	}
+	if len(fields) == 2 {
+		return cand, fields[1], true
+	}
+	return cand, "", true
+}
+
+// ParseMailArg parses the argument of MAIL ("FROM:<path> [params]"),
+// returning the reverse-path mailbox (empty for the null sender "<>") and
+// any ESMTP parameters.
+func ParseMailArg(arg string) (mailbox string, params map[string]string, err error) {
+	return parsePathArg(arg, "FROM")
+}
+
+// ParseRcptArg parses the argument of RCPT ("TO:<path> [params]").
+func ParseRcptArg(arg string) (mailbox string, params map[string]string, err error) {
+	mailbox, params, err = parsePathArg(arg, "TO")
+	if err == nil && mailbox == "" {
+		return "", nil, fmt.Errorf("%w: empty forward-path", ErrBadPath)
+	}
+	return mailbox, params, err
+}
+
+func parsePathArg(arg, keyword string) (string, map[string]string, error) {
+	rest, ok := cutPrefixFold(arg, keyword+":")
+	if !ok {
+		return "", nil, fmt.Errorf("%w: expected %s:", ErrBadSyntax, keyword)
+	}
+	rest = strings.TrimLeft(rest, " ")
+	if len(rest) == 0 || rest[0] != '<' {
+		return "", nil, fmt.Errorf("%w: path must be angle-bracketed", ErrBadPath)
+	}
+	end := strings.IndexByte(rest, '>')
+	if end < 0 {
+		return "", nil, fmt.Errorf("%w: unterminated path", ErrBadPath)
+	}
+	path := rest[1:end]
+	mailbox, err := parsePath(path)
+	if err != nil {
+		return "", nil, err
+	}
+	params, err := parseESMTPParams(strings.TrimSpace(rest[end+1:]))
+	if err != nil {
+		return "", nil, err
+	}
+	return mailbox, params, nil
+}
+
+func cutPrefixFold(s, prefix string) (string, bool) {
+	if len(s) < len(prefix) || !strings.EqualFold(s[:len(prefix)], prefix) {
+		return s, false
+	}
+	return s[len(prefix):], true
+}
+
+// parsePath handles the inside of <...>: optional source route
+// ("@a,@b:user@dom") which RFC 5321 says receivers MUST accept and ignore,
+// then the mailbox.
+func parsePath(path string) (string, error) {
+	if path == "" {
+		return "", nil // null reverse-path
+	}
+	if len(path) > MaxPathLength {
+		return "", fmt.Errorf("%w: %d octets", ErrBadPath, len(path))
+	}
+	if path[0] == '@' {
+		colon := strings.IndexByte(path, ':')
+		if colon < 0 {
+			return "", fmt.Errorf("%w: source route without colon", ErrBadPath)
+		}
+		path = path[colon+1:]
+	}
+	return parseMailbox(path)
+}
+
+func parseMailbox(mbox string) (string, error) {
+	at := strings.LastIndexByte(mbox, '@')
+	if at <= 0 || at == len(mbox)-1 {
+		return "", fmt.Errorf("%w: mailbox %q", ErrBadPath, mbox)
+	}
+	local, domain := mbox[:at], mbox[at+1:]
+	if strings.ContainsAny(local, " \t<>") {
+		return "", fmt.Errorf("%w: local part %q", ErrBadPath, local)
+	}
+	for _, label := range strings.Split(domain, ".") {
+		if label == "" {
+			return "", fmt.Errorf("%w: domain %q", ErrBadPath, domain)
+		}
+		for _, c := range label {
+			if !(c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '-' || c == '_' || c == '[' || c == ']' || c == ':') {
+				return "", fmt.Errorf("%w: domain %q", ErrBadPath, domain)
+			}
+		}
+	}
+	return mbox, nil
+}
+
+func parseESMTPParams(s string) (map[string]string, error) {
+	if s == "" {
+		return nil, nil
+	}
+	params := make(map[string]string)
+	for _, field := range strings.Fields(s) {
+		k, v, _ := strings.Cut(field, "=")
+		if k == "" {
+			return nil, fmt.Errorf("%w: parameter %q", ErrBadSyntax, field)
+		}
+		params[strings.ToUpper(k)] = v
+	}
+	return params, nil
+}
+
+// DomainOf returns the domain part of a mailbox, lower-cased, or "".
+func DomainOf(mailbox string) string {
+	at := strings.LastIndexByte(mailbox, '@')
+	if at < 0 {
+		return ""
+	}
+	return strings.ToLower(mailbox[at+1:])
+}
+
+// DotReader reads a DATA payload from br up to the terminating ".",
+// transparently removing dot-stuffing and enforcing maxSize (0 = no
+// limit). After it returns io.EOF, the terminator has been consumed.
+type DotReader struct {
+	br      *bufio.Reader
+	maxSize int
+	read    int
+	buf     []byte
+	done    bool
+	tooBig  bool
+}
+
+// NewDotReader returns a DotReader over br.
+func NewDotReader(br *bufio.Reader, maxSize int) *DotReader {
+	return &DotReader{br: br, maxSize: maxSize}
+}
+
+// TooBig reports whether the payload exceeded the size limit. The reader
+// consumes the whole payload either way so the session can continue.
+func (d *DotReader) TooBig() bool { return d.tooBig }
+
+// Read implements io.Reader.
+func (d *DotReader) Read(p []byte) (int, error) {
+	for len(d.buf) == 0 {
+		if d.done {
+			return 0, io.EOF
+		}
+		line, err := readLine(d.br, MaxTextLine)
+		if err != nil {
+			if errors.Is(err, ErrLineTooLong) {
+				// Keep the oversized line's tail out of the message but
+				// keep reading; mark as oversized.
+				d.tooBig = true
+				continue
+			}
+			if errors.Is(err, io.EOF) {
+				// Stream ended before the ".": the message is incomplete.
+				return 0, io.ErrUnexpectedEOF
+			}
+			return 0, err
+		}
+		if line == "." {
+			d.done = true
+			return 0, io.EOF
+		}
+		line = strings.TrimPrefix(line, ".") // unstuff
+		d.read += len(line) + 2
+		if d.maxSize > 0 && d.read > d.maxSize {
+			d.tooBig = true
+			continue // drain to terminator without buffering
+		}
+		d.buf = append(d.buf, line...)
+		d.buf = append(d.buf, '\r', '\n')
+	}
+	n := copy(p, d.buf)
+	d.buf = d.buf[n:]
+	return n, nil
+}
+
+// ReadAll drains the DotReader and returns the payload.
+func (d *DotReader) ReadAll() ([]byte, error) {
+	data, err := io.ReadAll(d)
+	if err != nil {
+		return nil, err
+	}
+	if d.tooBig {
+		return data, ErrMessageTooBig
+	}
+	return data, nil
+}
+
+// WriteDotStuffed writes data to w with dot-stuffing applied and the final
+// "CRLF.CRLF" terminator appended. The data is normalized to CRLF line
+// endings.
+func WriteDotStuffed(w io.Writer, data []byte) error {
+	bw := bufio.NewWriter(w)
+	lines := strings.Split(strings.ReplaceAll(string(data), "\r\n", "\n"), "\n")
+	// A trailing newline produces one empty trailing element; drop it so
+	// we don't emit a spurious blank line before the terminator.
+	if n := len(lines); n > 0 && lines[n-1] == "" {
+		lines = lines[:n-1]
+	}
+	for _, line := range lines {
+		if strings.HasPrefix(line, ".") {
+			if err := bw.WriteByte('.'); err != nil {
+				return err
+			}
+		}
+		if _, err := bw.WriteString(line); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString("\r\n"); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString(".\r\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

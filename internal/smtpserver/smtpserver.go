@@ -1,0 +1,569 @@
+// Package smtpserver implements an RFC 5321 SMTP server with pluggable
+// policy hooks. It is the reproduction's stand-in for the Postfix server
+// the paper instrumented: the greylisting engine plugs into the RCPT hook
+// (exactly where Postgrey sits as a Postfix policy service), and the lab
+// harness uses the message hook to log every delivery with its virtual
+// timestamp.
+//
+// The server implements the full command repertoire a compliant or
+// non-compliant client may throw at it — HELO/EHLO, MAIL, RCPT, DATA,
+// RSET, NOOP, VRFY, HELP, QUIT — with strict state-machine enforcement,
+// size and recipient limits, and multi-error disconnection.
+package smtpserver
+
+import (
+	"bufio"
+	"crypto/tls"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/simtime"
+	"repro/internal/smtpproto"
+)
+
+// Envelope is one accepted (or attempted) message delivery.
+type Envelope struct {
+	// ClientIP is the connecting client's address without port.
+	ClientIP string
+	// Helo is the argument of the client's HELO/EHLO.
+	Helo string
+	// Sender is the envelope reverse-path ("" for bounces).
+	Sender string
+	// Recipients are the accepted forward-paths.
+	Recipients []string
+	// Data is the message content (headers + body, CRLF lines).
+	Data []byte
+	// ReceivedAt is the server clock time at acceptance.
+	ReceivedAt time.Time
+}
+
+// Hooks are the policy extension points. Any nil hook defaults to
+// acceptance. A hook returning a non-nil Reply short-circuits with that
+// reply; for OnRcpt a transient reply is how greylisting defers a
+// delivery.
+type Hooks struct {
+	// OnConnect runs before the banner; a non-nil reply (e.g. 554)
+	// is sent and, if not 2xx, the connection is closed.
+	OnConnect func(clientIP string) *smtpproto.Reply
+	// OnHelo runs at HELO/EHLO.
+	OnHelo func(clientIP, helo string) *smtpproto.Reply
+	// OnMail runs at MAIL FROM.
+	OnMail func(clientIP, sender string) *smtpproto.Reply
+	// OnRcpt runs at RCPT TO — the greylisting decision point.
+	OnRcpt func(clientIP, sender, recipient string) *smtpproto.Reply
+	// OnMessage runs after the DATA payload is received; returning nil
+	// accepts the message.
+	OnMessage func(env *Envelope) *smtpproto.Reply
+	// OnSessionEnd runs after a session terminates (QUIT, disconnect or
+	// forced close), receiving the session's protocol trace. The
+	// dialect package fingerprints senders from these traces.
+	OnSessionEnd func(trace *SessionTrace)
+}
+
+// SessionTrace is the protocol-level record of one SMTP session — the
+// raw material for SMTP "dialect" fingerprinting in the spirit of
+// Stringhini et al.'s B@bel, which the paper builds on: bots betray
+// themselves through HELO instead of EHLO, missing QUIT, bogus HELO
+// names and out-of-order commands.
+type SessionTrace struct {
+	// ClientIP is the peer address.
+	ClientIP string
+	// HeloName is the argument of the last HELO/EHLO ("" if none).
+	HeloName string
+	// UsedEHLO reports whether the client ever sent EHLO.
+	UsedEHLO bool
+	// SentQuit reports a polite QUIT before disconnect.
+	SentQuit bool
+	// Verbs is the sequence of command verbs received (upper-cased;
+	// unparsable lines recorded as "?").
+	Verbs []string
+	// ProtocolErrors counts syntax and sequencing errors.
+	ProtocolErrors int
+	// MessagesSent counts accepted DATA transactions.
+	MessagesSent int
+	// StartedAt and EndedAt bound the session in server-clock time.
+	StartedAt, EndedAt time.Time
+}
+
+// Config configures a Server.
+type Config struct {
+	// Hostname is announced in the banner and HELO replies.
+	Hostname string
+	// Clock stamps envelopes; nil means the real clock.
+	Clock simtime.Clock
+	// MaxMessageSize bounds the DATA payload; 0 means 10 MiB.
+	MaxMessageSize int
+	// MaxRecipients bounds RCPTs per envelope; 0 means 100.
+	MaxRecipients int
+	// MaxErrors disconnects clients after this many consecutive
+	// protocol errors; 0 means 10.
+	MaxErrors int
+	// TLS, when non-nil, enables STARTTLS (RFC 3207): EHLO announces
+	// the capability and the STARTTLS verb upgrades the session.
+	TLS *tls.Config
+	// StampReceived prepends an RFC 5321 trace ("Received:") header to
+	// every accepted message, as real MTAs must (§4.4). Off by default
+	// so protocol tests see payloads byte-exact.
+	StampReceived bool
+	// ReadTimeout bounds how long the server waits for the next
+	// command line (and for DATA payload progress). Zero disables the
+	// timeout — virtual-time simulations rely on that, since their
+	// wall-clock gaps are microseconds. Real deployments (greylistd)
+	// should set it; RFC 5321 §4.5.3.2 suggests 5 minutes.
+	ReadTimeout time.Duration
+	// Hooks are the policy callbacks.
+	Hooks Hooks
+}
+
+// Stats are cumulative server counters.
+type Stats struct {
+	Connections        uint64
+	MessagesAccepted   uint64
+	MessagesRejected   uint64
+	RecipientsDeferred uint64
+	ProtocolErrors     uint64
+}
+
+// Server is an SMTP server. Create with New.
+type Server struct {
+	cfg Config
+
+	mu        sync.Mutex
+	stats     Stats
+	closed    bool
+	conns     map[net.Conn]struct{}
+	wg        sync.WaitGroup
+	listeners []net.Listener
+}
+
+// New returns a Server with the given configuration.
+func New(cfg Config) *Server {
+	if cfg.Hostname == "" {
+		cfg.Hostname = "mail.invalid"
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = simtime.Real{}
+	}
+	if cfg.MaxMessageSize == 0 {
+		cfg.MaxMessageSize = 10 << 20
+	}
+	if cfg.MaxRecipients == 0 {
+		cfg.MaxRecipients = 100
+	}
+	if cfg.MaxErrors == 0 {
+		cfg.MaxErrors = 10
+	}
+	return &Server{cfg: cfg, conns: make(map[net.Conn]struct{})}
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Serve accepts connections on l until l is closed or the server is
+// closed. Each connection is handled in a tracked goroutine.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("smtpserver: server closed")
+	}
+	s.listeners = append(s.listeners, l)
+	s.mu.Unlock()
+
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			// netsim returns its own closed error; treat any accept
+			// error after Close as clean shutdown.
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return fmt.Errorf("smtpserver: accept: %w", err)
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.stats.Connections++
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// Close stops every listener passed to Serve, closes active connections
+// and waits for session goroutines to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	listeners := s.listeners
+	s.listeners = nil
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, l := range listeners {
+		l.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+// session state machine states
+type sessionState int
+
+const (
+	stateConnected sessionState = iota + 1
+	stateGreeted                // after HELO/EHLO
+	stateMail                   // after MAIL FROM
+	stateRcpt                   // after at least one RCPT TO
+)
+
+type session struct {
+	srv      *Server
+	conn     net.Conn
+	br       *bufio.Reader
+	bw       *bufio.Writer
+	clientIP string
+
+	state  sessionState
+	helo   string
+	sender string
+	// senderSet distinguishes MAIL FROM:<> (bounce) from no MAIL yet.
+	senderSet  bool
+	recipients []string
+	errors     int
+	trace      SessionTrace
+	tlsActive  bool
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	clientIP := conn.RemoteAddr().String()
+	if host, _, err := net.SplitHostPort(clientIP); err == nil {
+		clientIP = host
+	}
+	sess := &session{
+		srv:      s,
+		conn:     conn,
+		br:       bufio.NewReader(conn),
+		bw:       bufio.NewWriter(conn),
+		clientIP: clientIP,
+		state:    stateConnected,
+		trace:    SessionTrace{ClientIP: clientIP, StartedAt: s.cfg.Clock.Now()},
+	}
+	sess.run()
+	if hook := s.cfg.Hooks.OnSessionEnd; hook != nil {
+		sess.trace.EndedAt = s.cfg.Clock.Now()
+		hook(&sess.trace)
+	}
+}
+
+func (sess *session) reply(r smtpproto.Reply) bool {
+	if _, err := sess.bw.WriteString(r.String()); err != nil {
+		return false
+	}
+	return sess.bw.Flush() == nil
+}
+
+func (sess *session) run() {
+	s := sess.srv
+	if hook := s.cfg.Hooks.OnConnect; hook != nil {
+		if r := hook(sess.clientIP); r != nil {
+			sess.reply(*r)
+			if !r.Positive() {
+				return
+			}
+		} else if !sess.reply(smtpproto.NewReply(220, "", s.cfg.Hostname+" ESMTP ready")) {
+			return
+		}
+	} else if !sess.reply(smtpproto.NewReply(220, "", s.cfg.Hostname+" ESMTP ready")) {
+		return
+	}
+
+	for {
+		sess.armReadTimeout()
+		line, err := smtpproto.ReadCommandLine(sess.br)
+		if err != nil {
+			if errors.Is(err, smtpproto.ErrLineTooLong) {
+				if !sess.protocolError(smtpproto.NewReply(500, "5.5.2", "Line too long")) {
+					return
+				}
+				continue
+			}
+			return // client went away
+		}
+		cmd, err := smtpproto.ParseCommand(line)
+		if err != nil {
+			sess.trace.Verbs = append(sess.trace.Verbs, "?")
+			if !sess.protocolError(smtpproto.NewReply(500, "5.5.2", "Unrecognized command")) {
+				return
+			}
+			continue
+		}
+		sess.trace.Verbs = append(sess.trace.Verbs, cmd.Verb)
+		if !sess.dispatch(cmd) {
+			return
+		}
+	}
+}
+
+// protocolError replies r, counts the error and reports whether the
+// session should continue.
+func (sess *session) protocolError(r smtpproto.Reply) bool {
+	sess.srv.mu.Lock()
+	sess.srv.stats.ProtocolErrors++
+	sess.srv.mu.Unlock()
+	sess.errors++
+	sess.trace.ProtocolErrors++
+	if sess.errors >= sess.srv.cfg.MaxErrors {
+		sess.reply(smtpproto.NewReply(421, "4.7.0", "Too many errors, closing connection"))
+		return false
+	}
+	return sess.reply(r)
+}
+
+// dispatch handles one command; the return value reports whether the
+// session continues.
+func (sess *session) dispatch(cmd smtpproto.Command) bool {
+	switch cmd.Verb {
+	case smtpproto.VerbHELO:
+		return sess.handleHelo(cmd.Arg, false)
+	case smtpproto.VerbEHLO:
+		return sess.handleHelo(cmd.Arg, true)
+	case smtpproto.VerbMAIL:
+		return sess.handleMail(cmd.Arg)
+	case smtpproto.VerbRCPT:
+		return sess.handleRcpt(cmd.Arg)
+	case smtpproto.VerbDATA:
+		return sess.handleData()
+	case smtpproto.VerbRSET:
+		sess.resetEnvelope()
+		if sess.state != stateConnected {
+			sess.state = stateGreeted
+		}
+		return sess.reply(smtpproto.NewReply(250, "2.0.0", "OK"))
+	case smtpproto.VerbNOOP:
+		return sess.reply(smtpproto.NewReply(250, "2.0.0", "OK"))
+	case "STARTTLS":
+		return sess.handleStartTLS()
+	case smtpproto.VerbQUIT:
+		sess.trace.SentQuit = true
+		sess.reply(smtpproto.NewReply(221, "2.0.0", sess.srv.cfg.Hostname+" closing connection"))
+		return false
+	case smtpproto.VerbVRFY:
+		// RFC 5321 allows a noncommittal answer; disclosing users
+		// aids spammers.
+		return sess.reply(smtpproto.NewReply(252, "2.1.5", "Cannot VRFY user, send some mail and find out"))
+	case smtpproto.VerbHELP:
+		return sess.reply(smtpproto.Reply{Code: 214, Lines: []string{
+			"Commands: HELO EHLO MAIL RCPT DATA RSET NOOP QUIT VRFY HELP",
+		}})
+	default:
+		return sess.protocolError(smtpproto.NewReply(500, "5.5.2", "Command not recognized"))
+	}
+}
+
+func (sess *session) handleHelo(arg string, extended bool) bool {
+	if arg == "" {
+		return sess.protocolError(smtpproto.NewReply(501, "5.5.4", "Hostname required"))
+	}
+	sess.trace.HeloName = arg
+	if extended {
+		sess.trace.UsedEHLO = true
+	}
+	if hook := sess.srv.cfg.Hooks.OnHelo; hook != nil {
+		if r := hook(sess.clientIP, arg); r != nil {
+			ok := sess.reply(*r)
+			if r.Positive() {
+				sess.helo = arg
+				sess.state = stateGreeted
+				sess.resetEnvelope()
+			}
+			return ok
+		}
+	}
+	sess.helo = arg
+	sess.state = stateGreeted
+	sess.resetEnvelope()
+	if !extended {
+		return sess.reply(smtpproto.NewReply(250, "", sess.srv.cfg.Hostname+" Hello "+arg))
+	}
+	lines := []string{
+		sess.srv.cfg.Hostname + " Hello " + arg,
+		"PIPELINING",
+		"SIZE " + strconv.Itoa(sess.srv.cfg.MaxMessageSize),
+		"8BITMIME",
+		"ENHANCEDSTATUSCODES",
+	}
+	if sess.srv.cfg.TLS != nil && !sess.tlsActive {
+		lines = append(lines, "STARTTLS")
+	}
+	return sess.reply(smtpproto.Reply{Code: 250, Lines: lines})
+}
+
+func (sess *session) handleMail(arg string) bool {
+	if sess.state == stateConnected {
+		return sess.protocolError(smtpproto.NewReply(503, "5.5.1", "Send HELO/EHLO first"))
+	}
+	if sess.state != stateGreeted {
+		return sess.protocolError(smtpproto.NewReply(503, "5.5.1", "Nested MAIL command"))
+	}
+	sender, params, err := smtpproto.ParseMailArg(arg)
+	if err != nil {
+		return sess.protocolError(smtpproto.NewReply(501, "5.5.4", "Bad sender address syntax"))
+	}
+	if size, ok := params["SIZE"]; ok {
+		if n, err := strconv.Atoi(size); err == nil && n > sess.srv.cfg.MaxMessageSize {
+			return sess.reply(smtpproto.NewReply(552, "5.3.4", "Message size exceeds limit"))
+		}
+	}
+	if hook := sess.srv.cfg.Hooks.OnMail; hook != nil {
+		if r := hook(sess.clientIP, sender); r != nil {
+			return sess.reply(*r)
+		}
+	}
+	sess.sender = sender
+	sess.senderSet = true
+	sess.state = stateMail
+	return sess.reply(smtpproto.NewReply(250, "2.1.0", "Sender OK"))
+}
+
+func (sess *session) handleRcpt(arg string) bool {
+	if sess.state != stateMail && sess.state != stateRcpt {
+		return sess.protocolError(smtpproto.NewReply(503, "5.5.1", "Need MAIL before RCPT"))
+	}
+	rcpt, _, err := smtpproto.ParseRcptArg(arg)
+	if err != nil {
+		return sess.protocolError(smtpproto.NewReply(501, "5.5.4", "Bad recipient address syntax"))
+	}
+	if len(sess.recipients) >= sess.srv.cfg.MaxRecipients {
+		return sess.reply(smtpproto.NewReply(452, "4.5.3", "Too many recipients"))
+	}
+	if hook := sess.srv.cfg.Hooks.OnRcpt; hook != nil {
+		if r := hook(sess.clientIP, sess.sender, rcpt); r != nil {
+			if r.Transient() {
+				sess.srv.mu.Lock()
+				sess.srv.stats.RecipientsDeferred++
+				sess.srv.mu.Unlock()
+			}
+			return sess.reply(*r)
+		}
+	}
+	sess.recipients = append(sess.recipients, rcpt)
+	sess.state = stateRcpt
+	return sess.reply(smtpproto.NewReply(250, "2.1.5", "Recipient OK"))
+}
+
+func (sess *session) handleData() bool {
+	if sess.state != stateRcpt {
+		if sess.state == stateMail {
+			return sess.protocolError(smtpproto.NewReply(503, "5.5.1", "Need RCPT before DATA"))
+		}
+		return sess.protocolError(smtpproto.NewReply(503, "5.5.1", "Need MAIL and RCPT before DATA"))
+	}
+	if !sess.reply(smtpproto.NewReply(354, "", "Start mail input; end with <CRLF>.<CRLF>")) {
+		return false
+	}
+	sess.armReadTimeout()
+	dr := smtpproto.NewDotReader(sess.br, sess.srv.cfg.MaxMessageSize)
+	data, err := dr.ReadAll()
+	if err != nil {
+		if errors.Is(err, smtpproto.ErrMessageTooBig) {
+			sess.srv.mu.Lock()
+			sess.srv.stats.MessagesRejected++
+			sess.srv.mu.Unlock()
+			sess.resetEnvelope()
+			sess.state = stateGreeted
+			return sess.reply(smtpproto.NewReply(552, "5.3.4", "Message exceeds size limit"))
+		}
+		return false // stream broken mid-DATA
+	}
+
+	receivedAt := sess.srv.cfg.Clock.Now()
+	if sess.srv.cfg.StampReceived {
+		with := "SMTP"
+		if sess.tlsActive {
+			with = "ESMTPS"
+		}
+		stamp := fmt.Sprintf("Received: from %s (%s) by %s with %s; %s\r\n",
+			sess.helo, sess.clientIP, sess.srv.cfg.Hostname, with,
+			receivedAt.UTC().Format("Mon, 02 Jan 2006 15:04:05 -0700"))
+		data = append([]byte(stamp), data...)
+	}
+	env := &Envelope{
+		ClientIP:   sess.clientIP,
+		Helo:       sess.helo,
+		Sender:     sess.sender,
+		Recipients: append([]string(nil), sess.recipients...),
+		Data:       data,
+		ReceivedAt: receivedAt,
+	}
+	var verdict *smtpproto.Reply
+	if hook := sess.srv.cfg.Hooks.OnMessage; hook != nil {
+		verdict = hook(env)
+	}
+	sess.resetEnvelope()
+	sess.state = stateGreeted
+	if verdict != nil {
+		sess.srv.mu.Lock()
+		if verdict.Positive() {
+			sess.srv.stats.MessagesAccepted++
+			sess.trace.MessagesSent++
+		} else {
+			sess.srv.stats.MessagesRejected++
+		}
+		sess.srv.mu.Unlock()
+		return sess.reply(*verdict)
+	}
+	sess.srv.mu.Lock()
+	sess.srv.stats.MessagesAccepted++
+	sess.srv.mu.Unlock()
+	sess.trace.MessagesSent++
+	return sess.reply(smtpproto.NewReply(250, "2.0.0", "OK: message accepted for delivery"))
+}
+
+// armReadTimeout refreshes the connection's read deadline when the
+// server has one configured.
+func (sess *session) armReadTimeout() {
+	if t := sess.srv.cfg.ReadTimeout; t > 0 {
+		sess.conn.SetReadDeadline(time.Now().Add(t))
+	}
+}
+
+func (sess *session) resetEnvelope() {
+	sess.sender = ""
+	sess.senderSet = false
+	sess.recipients = nil
+}

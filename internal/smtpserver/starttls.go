@@ -1,0 +1,95 @@
+package smtpserver
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/tls"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"fmt"
+	"math/big"
+	"net"
+	"time"
+
+	"repro/internal/smtpproto"
+)
+
+// STARTTLS support (RFC 3207). The scans.io dataset the paper's adoption
+// study is built on is literally the "Daily Full IPv4 SMTP Banner Grab
+// and StartTLS" scan, so the server side of STARTTLS belongs in a
+// faithful reproduction. When Config.TLS is set, EHLO announces the
+// STARTTLS keyword and the STARTTLS verb upgrades the connection;
+// per the RFC, the SMTP session state is reset to its initial state
+// after the handshake and the client must greet again.
+
+// handleStartTLS processes the STARTTLS verb.
+func (sess *session) handleStartTLS() bool {
+	if sess.srv.cfg.TLS == nil {
+		return sess.protocolError(smtpproto.NewReply(502, "5.5.1", "TLS not available"))
+	}
+	if sess.tlsActive {
+		return sess.protocolError(smtpproto.NewReply(503, "5.5.1", "TLS already active"))
+	}
+	if sess.state == stateConnected {
+		return sess.protocolError(smtpproto.NewReply(503, "5.5.1", "Send EHLO first"))
+	}
+	if !sess.reply(smtpproto.NewReply(220, "2.0.0", "Ready to start TLS")) {
+		return false
+	}
+	tlsConn := tls.Server(sess.conn, sess.srv.cfg.TLS)
+	if err := tlsConn.Handshake(); err != nil {
+		return false // handshake failed; drop the connection
+	}
+	sess.conn = tlsConn
+	sess.br.Reset(tlsConn)
+	sess.bw.Reset(tlsConn)
+	sess.tlsActive = true
+	// RFC 3207 §4.2: the server MUST discard any knowledge obtained
+	// from the client prior to the TLS negotiation.
+	sess.state = stateConnected
+	sess.helo = ""
+	sess.resetEnvelope()
+	return true
+}
+
+// SelfSignedCert builds an ephemeral ECDSA certificate for the given
+// hosts — enough for greylistd to offer opportunistic TLS out of the box
+// (real deployments should pass their own certificate).
+func SelfSignedCert(hosts ...string) (tls.Certificate, error) {
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return tls.Certificate{}, fmt.Errorf("smtpserver: generating key: %w", err)
+	}
+	serial, err := rand.Int(rand.Reader, new(big.Int).Lsh(big.NewInt(1), 128))
+	if err != nil {
+		return tls.Certificate{}, fmt.Errorf("smtpserver: serial: %w", err)
+	}
+	tmpl := x509.Certificate{
+		SerialNumber: serial,
+		Subject:      pkix.Name{CommonName: firstOr(hosts, "smtp.invalid")},
+		NotBefore:    time.Now().Add(-time.Hour),
+		NotAfter:     time.Now().Add(365 * 24 * time.Hour),
+		KeyUsage:     x509.KeyUsageKeyEncipherment | x509.KeyUsageDigitalSignature,
+		ExtKeyUsage:  []x509.ExtKeyUsage{x509.ExtKeyUsageServerAuth},
+	}
+	for _, h := range hosts {
+		if ip := net.ParseIP(h); ip != nil {
+			tmpl.IPAddresses = append(tmpl.IPAddresses, ip)
+		} else {
+			tmpl.DNSNames = append(tmpl.DNSNames, h)
+		}
+	}
+	der, err := x509.CreateCertificate(rand.Reader, &tmpl, &tmpl, &key.PublicKey, key)
+	if err != nil {
+		return tls.Certificate{}, fmt.Errorf("smtpserver: creating certificate: %w", err)
+	}
+	return tls.Certificate{Certificate: [][]byte{der}, PrivateKey: key}, nil
+}
+
+func firstOr(hosts []string, fallback string) string {
+	if len(hosts) > 0 {
+		return hosts[0]
+	}
+	return fallback
+}

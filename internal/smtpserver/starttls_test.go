@@ -1,0 +1,251 @@
+package smtpserver
+
+import (
+	"crypto/tls"
+	"errors"
+	"net"
+	netsmtp "net/smtp"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/smtpclient"
+	"repro/internal/smtpproto"
+)
+
+func tlsServerConfig(t *testing.T) *tls.Config {
+	t.Helper()
+	cert, err := SelfSignedCert("mx.tls.test", "127.0.0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &tls.Config{Certificates: []tls.Certificate{cert}}
+}
+
+// startTLSEnv runs a TLS-capable server on netsim and returns a connected
+// client plus the inbox.
+func startTLSEnv(t *testing.T) (*smtpclient.Client, *[]*Envelope, *sync.Mutex) {
+	t.Helper()
+	n := netsim.New()
+	l, err := n.Listen("10.0.0.1:25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var inbox []*Envelope
+	srv := New(Config{
+		Hostname: "mx.tls.test",
+		TLS:      tlsServerConfig(t),
+		Hooks: Hooks{OnMessage: func(e *Envelope) *smtpproto.Reply {
+			mu.Lock()
+			defer mu.Unlock()
+			inbox = append(inbox, e)
+			return nil
+		}},
+	})
+	go srv.Serve(l)
+	t.Cleanup(func() { srv.Close() })
+
+	dialer := &smtpclient.SimDialer{Net: n, LocalIP: "192.0.2.33"}
+	c, err := smtpclient.Dial(dialer, "10.0.0.1:25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, &inbox, &mu
+}
+
+func TestStartTLSAnnouncedOnlyWhenConfigured(t *testing.T) {
+	c, _, _ := startTLSEnv(t)
+	defer c.Close()
+	if err := c.Hello("client.example"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Extensions["STARTTLS"]; !ok {
+		t.Fatalf("STARTTLS missing from %v", c.Extensions)
+	}
+
+	// And a server without TLS config does not announce it.
+	n := netsim.New()
+	l, _ := n.Listen("10.0.0.2:25")
+	srv := New(Config{Hostname: "plain.test"})
+	go srv.Serve(l)
+	defer srv.Close()
+	dialer := &smtpclient.SimDialer{Net: n, LocalIP: "192.0.2.34"}
+	c2, err := smtpclient.Dial(dialer, "10.0.0.2:25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if err := c2.Hello("client.example"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c2.Extensions["STARTTLS"]; ok {
+		t.Fatal("STARTTLS announced without TLS config")
+	}
+}
+
+func TestStartTLSFullTransaction(t *testing.T) {
+	c, inbox, mu := startTLSEnv(t)
+	defer c.Close()
+	if err := c.Hello("client.example"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.StartTLS(&tls.Config{InsecureSkipVerify: true}); err != nil {
+		t.Fatalf("StartTLS: %v", err)
+	}
+	if !c.TLSActive() {
+		t.Fatal("TLSActive = false after upgrade")
+	}
+	// RFC 3207: state reset — greet again, then deliver.
+	if err := c.Hello("client.example"); err != nil {
+		t.Fatalf("post-TLS EHLO: %v", err)
+	}
+	if _, ok := c.Extensions["STARTTLS"]; ok {
+		t.Fatal("STARTTLS still announced inside TLS session")
+	}
+	if err := c.Mail("a@b.example"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Rcpt("u@mx.tls.test"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Data([]byte("Subject: tls\r\n\r\nencrypted hop\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	c.Quit()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(*inbox) != 1 || !strings.Contains(string((*inbox)[0].Data), "encrypted hop") {
+		t.Fatalf("inbox = %v", *inbox)
+	}
+}
+
+func TestStartTLSStateResetEnforced(t *testing.T) {
+	c, _, _ := startTLSEnv(t)
+	defer c.Close()
+	if err := c.Hello("client.example"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.StartTLS(&tls.Config{InsecureSkipVerify: true}); err != nil {
+		t.Fatal(err)
+	}
+	// MAIL without re-greeting must be rejected with 503.
+	err := c.Mail("a@b.example")
+	var smtpErr *smtpclient.Error
+	if err == nil || !errorsAs(err, &smtpErr) || smtpErr.Reply.Code != 503 {
+		t.Fatalf("MAIL after TLS without EHLO = %v, want 503", err)
+	}
+}
+
+func TestStartTLSRejectedWithoutConfigOrState(t *testing.T) {
+	// No TLS config: 502.
+	n := netsim.New()
+	l, _ := n.Listen("10.0.0.3:25")
+	srv := New(Config{Hostname: "plain.test"})
+	go srv.Serve(l)
+	defer srv.Close()
+	dialer := &smtpclient.SimDialer{Net: n, LocalIP: "192.0.2.35"}
+	c, err := smtpclient.Dial(dialer, "10.0.0.3:25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Hello("x.example"); err != nil {
+		t.Fatal(err)
+	}
+	err = c.StartTLS(&tls.Config{InsecureSkipVerify: true})
+	var smtpErr *smtpclient.Error
+	if err == nil || !errorsAs(err, &smtpErr) || smtpErr.Reply.Code != 502 {
+		t.Fatalf("STARTTLS without config = %v, want 502", err)
+	}
+
+	// Before EHLO: 503.
+	c2, _, _ := startTLSEnv(t)
+	defer c2.Close()
+	err = c2.StartTLS(&tls.Config{InsecureSkipVerify: true})
+	if err == nil || !errorsAs(err, &smtpErr) || smtpErr.Reply.Code != 503 {
+		t.Fatalf("STARTTLS before EHLO = %v, want 503", err)
+	}
+}
+
+func TestStartTLSDoubleUpgradeRejected(t *testing.T) {
+	c, _, _ := startTLSEnv(t)
+	defer c.Close()
+	if err := c.Hello("x.example"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.StartTLS(&tls.Config{InsecureSkipVerify: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Hello("x.example"); err != nil {
+		t.Fatal(err)
+	}
+	err := c.StartTLS(&tls.Config{InsecureSkipVerify: true})
+	var smtpErr *smtpclient.Error
+	if err == nil || !errorsAs(err, &smtpErr) || smtpErr.Reply.Code != 503 {
+		t.Fatalf("second STARTTLS = %v, want 503", err)
+	}
+}
+
+func TestStartTLSWithStdlibClient(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(Config{Hostname: "mx.tls.test", TLS: tlsServerConfig(t)})
+	go srv.Serve(l)
+	defer srv.Close()
+
+	c, err := netsmtp.Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Hello("client.example"); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := c.Extension("STARTTLS"); !ok {
+		t.Fatal("stdlib client does not see STARTTLS")
+	}
+	if err := c.StartTLS(&tls.Config{InsecureSkipVerify: true}); err != nil {
+		t.Fatalf("stdlib StartTLS: %v", err)
+	}
+	if err := c.Mail("a@b.example"); err != nil {
+		t.Fatalf("stdlib MAIL over TLS: %v", err)
+	}
+	if err := c.Rcpt("u@mx.tls.test"); err != nil {
+		t.Fatalf("stdlib RCPT over TLS: %v", err)
+	}
+	w, err := c.Data()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte("Subject: s\r\n\r\nstdlib over TLS\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Quit(); err != nil {
+		t.Fatal(err)
+	}
+	if srv.Stats().MessagesAccepted != 1 {
+		t.Fatalf("stats = %+v", srv.Stats())
+	}
+}
+
+func TestSelfSignedCertHosts(t *testing.T) {
+	cert, err := SelfSignedCert("mx.example", "192.0.2.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cert.Certificate) != 1 {
+		t.Fatal("no certificate")
+	}
+	if _, err := SelfSignedCert(); err != nil {
+		t.Fatalf("no-host cert: %v", err)
+	}
+}
+
+func errorsAs(err error, target any) bool { return errors.As(err, target) }

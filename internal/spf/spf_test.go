@@ -1,0 +1,180 @@
+package spf
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dnsmsg"
+	"repro/internal/dnsresolver"
+	"repro/internal/dnsserver"
+	"repro/internal/simtime"
+)
+
+// buildChecker publishes the given TXT strings (plus supporting records)
+// and returns a Checker.
+func buildChecker(t *testing.T) *Checker {
+	t.Helper()
+	dns := dnsserver.New()
+
+	z := dnsserver.NewZone("sender.example")
+	z.MustAdd(dnsmsg.RR{Name: "sender.example", Type: dnsmsg.TypeTXT, TTL: 300,
+		Data: Record("ip4:192.0.2.0/24", "mx", "-all")})
+	z.MustAdd(dnsmsg.RR{Name: "sender.example", Type: dnsmsg.TypeMX, TTL: 300,
+		Data: dnsmsg.MX{Preference: 10, Host: "mail.sender.example"}})
+	z.MustAdd(dnsmsg.RR{Name: "mail.sender.example", Type: dnsmsg.TypeA, TTL: 300,
+		Data: dnsmsg.MustIPv4("198.51.100.25")})
+	dns.AddZone(z)
+
+	soft := dnsserver.NewZone("soft.example")
+	soft.MustAdd(dnsmsg.RR{Name: "soft.example", Type: dnsmsg.TypeTXT, TTL: 300,
+		Data: Record("a", "~all")})
+	soft.MustAdd(dnsmsg.RR{Name: "soft.example", Type: dnsmsg.TypeA, TTL: 300,
+		Data: dnsmsg.MustIPv4("203.0.113.77")})
+	dns.AddZone(soft)
+
+	inc := dnsserver.NewZone("newsletter.example")
+	inc.MustAdd(dnsmsg.RR{Name: "newsletter.example", Type: dnsmsg.TypeTXT, TTL: 300,
+		Data: Record("include:sender.example", "-all")})
+	dns.AddZone(inc)
+
+	// A record-less domain and one with a broken record.
+	empty := dnsserver.NewZone("norecord.example")
+	empty.MustAdd(dnsmsg.RR{Name: "norecord.example", Type: dnsmsg.TypeA, TTL: 300,
+		Data: dnsmsg.MustIPv4("203.0.113.1")})
+	dns.AddZone(empty)
+
+	dup := dnsserver.NewZone("dup.example")
+	dup.MustAdd(dnsmsg.RR{Name: "dup.example", Type: dnsmsg.TypeTXT, TTL: 300, Data: Record("-all")})
+	dup.MustAdd(dnsmsg.RR{Name: "dup.example", Type: dnsmsg.TypeTXT, TTL: 300, Data: Record("+all")})
+	dns.AddZone(dup)
+
+	weird := dnsserver.NewZone("weird.example")
+	weird.MustAdd(dnsmsg.RR{Name: "weird.example", Type: dnsmsg.TypeTXT, TTL: 300,
+		Data: Record("ptr", "-all")})
+	dns.AddZone(weird)
+
+	loop := dnsserver.NewZone("loop.example")
+	loop.MustAdd(dnsmsg.RR{Name: "loop.example", Type: dnsmsg.TypeTXT, TTL: 300,
+		Data: Record("include:loop.example")})
+	dns.AddZone(loop)
+
+	r := dnsresolver.New(dnsresolver.Direct(dns), simtime.NewSim(simtime.Epoch))
+	return New(r)
+}
+
+func TestCheckResults(t *testing.T) {
+	c := buildChecker(t)
+	cases := []struct {
+		name     string
+		ip       string
+		mailFrom string
+		want     Result
+	}{
+		{"ip4 cidr pass", "192.0.2.55", "user@sender.example", ResultPass},
+		{"mx pass", "198.51.100.25", "user@sender.example", ResultPass},
+		{"fail", "203.0.113.9", "user@sender.example", ResultFail},
+		{"a pass", "203.0.113.77", "user@soft.example", ResultPass},
+		{"softfail", "203.0.113.78", "user@soft.example", ResultSoftFail},
+		{"include pass", "192.0.2.10", "user@newsletter.example", ResultPass},
+		{"include fail", "203.0.113.9", "user@newsletter.example", ResultFail},
+		{"no record", "192.0.2.1", "user@norecord.example", ResultNone},
+		{"nxdomain none", "192.0.2.1", "user@ghost.sender.example", ResultNone},
+		{"refused temperror", "192.0.2.1", "user@ghost.example", ResultTempError},
+		{"duplicate records", "192.0.2.1", "user@dup.example", ResultPermError},
+		{"unsupported mechanism", "192.0.2.1", "user@weird.example", ResultPermError},
+		{"include loop", "192.0.2.1", "user@loop.example", ResultPermError},
+	}
+	for _, tc := range cases {
+		got, _ := c.Check(tc.ip, tc.mailFrom, "client.example")
+		if got != tc.want {
+			t.Errorf("%s: Check = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestCheckNullSenderUsesHelo(t *testing.T) {
+	c := buildChecker(t)
+	got, _ := c.Check("192.0.2.5", "", "sender.example")
+	if got != ResultPass {
+		t.Fatalf("HELO fallback = %v, want pass", got)
+	}
+	if got, _ := c.Check("192.0.2.5", "", ""); got != ResultNone {
+		t.Fatalf("no identity = %v, want none", got)
+	}
+}
+
+func TestCheckBadClientIP(t *testing.T) {
+	c := buildChecker(t)
+	if got, _ := c.Check("not-an-ip", "user@sender.example", ""); got != ResultPermError {
+		t.Fatalf("bad IP = %v", got)
+	}
+}
+
+func TestNeutralWhenNoMechanismMatches(t *testing.T) {
+	dns := dnsserver.New()
+	z := dnsserver.NewZone("open.example")
+	z.MustAdd(dnsmsg.RR{Name: "open.example", Type: dnsmsg.TypeTXT, TTL: 300,
+		Data: Record("ip4:192.0.2.1")}) // no trailing all
+	dns.AddZone(z)
+	c := New(dnsresolver.New(dnsresolver.Direct(dns), simtime.NewSim(simtime.Epoch)))
+	got, _ := c.Check("203.0.113.1", "u@open.example", "")
+	if got != ResultNeutral {
+		t.Fatalf("fallthrough = %v, want neutral", got)
+	}
+}
+
+func TestExplicitQualifiers(t *testing.T) {
+	dns := dnsserver.New()
+	z := dnsserver.NewZone("q.example")
+	z.MustAdd(dnsmsg.RR{Name: "q.example", Type: dnsmsg.TypeTXT, TTL: 300,
+		Data: Record("?ip4:10.0.0.1", "+ip4:10.0.0.2", "~ip4:10.0.0.3", "-all")})
+	dns.AddZone(z)
+	c := New(dnsresolver.New(dnsresolver.Direct(dns), simtime.NewSim(simtime.Epoch)))
+	for ip, want := range map[string]Result{
+		"10.0.0.1": ResultNeutral,
+		"10.0.0.2": ResultPass,
+		"10.0.0.3": ResultSoftFail,
+		"10.0.0.4": ResultFail,
+	} {
+		if got, _ := c.Check(ip, "u@q.example", ""); got != want {
+			t.Errorf("%s = %v, want %v", ip, got, want)
+		}
+	}
+}
+
+func TestDNSMechanismLimit(t *testing.T) {
+	// A record with 11 mx mechanisms exceeds the RFC's 10-lookup cap.
+	terms := make([]string, 0, 12)
+	for i := 0; i < 11; i++ {
+		terms = append(terms, "mx:hop"+strings.Repeat("x", i)+".example")
+	}
+	terms = append(terms, "-all")
+	dns := dnsserver.New()
+	z := dnsserver.NewZone("many.example")
+	z.MustAdd(dnsmsg.RR{Name: "many.example", Type: dnsmsg.TypeTXT, TTL: 300, Data: Record(terms...)})
+	dns.AddZone(z)
+	c := New(dnsresolver.New(dnsresolver.Direct(dns), simtime.NewSim(simtime.Epoch)))
+	got, _ := c.Check("192.0.2.1", "u@many.example", "")
+	if got != ResultTempError && got != ResultPermError {
+		t.Fatalf("limit breach = %v, want an error result", got)
+	}
+}
+
+func TestRecordBuilder(t *testing.T) {
+	txt := Record("mx", "-all")
+	if len(txt.Strings) != 1 || txt.Strings[0] != "v=spf1 mx -all" {
+		t.Fatalf("Record = %v", txt.Strings)
+	}
+}
+
+func TestUnknownModifierIgnored(t *testing.T) {
+	dns := dnsserver.New()
+	z := dnsserver.NewZone("mod.example")
+	z.MustAdd(dnsmsg.RR{Name: "mod.example", Type: dnsmsg.TypeTXT, TTL: 300,
+		Data: dnsmsg.TXT{Strings: []string{"v=spf1 unknown=thing ip4:10.1.1.1 -all"}}})
+	dns.AddZone(z)
+	c := New(dnsresolver.New(dnsresolver.Direct(dns), simtime.NewSim(simtime.Epoch)))
+	if got, _ := c.Check("10.1.1.1", "u@mod.example", ""); got != ResultPass {
+		t.Fatalf("with modifier = %v, want pass", got)
+	}
+}

@@ -1,0 +1,324 @@
+// Package stats provides the small statistical toolkit the experiments
+// need: empirical CDFs (Figures 3 and 5 are delivery-delay CDFs),
+// histograms (Figure 4 is a retransmission-delay histogram/timeline),
+// percentiles, and ASCII rendering of tables and plots so every cmd/
+// binary can print paper-style output.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// CDF is an empirical cumulative distribution over float64 samples.
+// The zero value is an empty distribution.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds a CDF from values (copied, then sorted).
+func NewCDF(values []float64) CDF {
+	s := append([]float64(nil), values...)
+	sort.Float64s(s)
+	return CDF{sorted: s}
+}
+
+// NewDurationCDF builds a CDF over durations, in seconds.
+func NewDurationCDF(ds []time.Duration) CDF {
+	vals := make([]float64, len(ds))
+	for i, d := range ds {
+		vals[i] = d.Seconds()
+	}
+	return NewCDF(vals)
+}
+
+// N returns the sample count.
+func (c CDF) N() int { return len(c.sorted) }
+
+// P returns the empirical P(X <= x), i.e. the fraction of samples at or
+// below x. Empty distributions return 0.
+func (c CDF) P(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	idx := sort.SearchFloat64s(c.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(idx) / float64(len(c.sorted))
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1) using the nearest-rank
+// method. Empty distributions return NaN.
+func (c CDF) Quantile(q float64) float64 {
+	n := len(c.sorted)
+	if n == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return c.sorted[0]
+	}
+	if q >= 1 {
+		return c.sorted[n-1]
+	}
+	rank := int(math.Ceil(q*float64(n))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return c.sorted[rank]
+}
+
+// Min returns the smallest sample (NaN when empty).
+func (c CDF) Min() float64 {
+	if len(c.sorted) == 0 {
+		return math.NaN()
+	}
+	return c.sorted[0]
+}
+
+// Max returns the largest sample (NaN when empty).
+func (c CDF) Max() float64 {
+	if len(c.sorted) == 0 {
+		return math.NaN()
+	}
+	return c.sorted[len(c.sorted)-1]
+}
+
+// Mean returns the arithmetic mean (NaN when empty).
+func (c CDF) Mean() float64 {
+	if len(c.sorted) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, v := range c.sorted {
+		sum += v
+	}
+	return sum / float64(len(c.sorted))
+}
+
+// Median is Quantile(0.5).
+func (c CDF) Median() float64 { return c.Quantile(0.5) }
+
+// Point is one (x, P(X<=x)) pair of a CDF curve.
+type Point struct {
+	X float64
+	P float64
+}
+
+// Points samples the curve at n evenly spaced x positions between Min and
+// Max (inclusive), for export or plotting.
+func (c CDF) Points(n int) []Point {
+	if len(c.sorted) == 0 || n <= 0 {
+		return nil
+	}
+	if n == 1 {
+		return []Point{{X: c.Max(), P: 1}}
+	}
+	lo, hi := c.Min(), c.Max()
+	pts := make([]Point, n)
+	for i := 0; i < n; i++ {
+		x := lo + (hi-lo)*float64(i)/float64(n-1)
+		pts[i] = Point{X: x, P: c.P(x)}
+	}
+	return pts
+}
+
+// Histogram counts samples into equal-width buckets over [min, max);
+// samples outside the range go into underflow/overflow counters.
+type Histogram struct {
+	min, max  float64
+	counts    []uint64
+	underflow uint64
+	overflow  uint64
+	total     uint64
+}
+
+// NewHistogram builds a histogram with n buckets over [min, max). It
+// panics on a malformed range or non-positive bucket count, which are
+// programming errors.
+func NewHistogram(min, max float64, n int) *Histogram {
+	if n <= 0 || !(min < max) {
+		panic(fmt.Sprintf("stats: bad histogram spec [%v,%v) x%d", min, max, n))
+	}
+	return &Histogram{min: min, max: max, counts: make([]uint64, n)}
+}
+
+// Observe adds one sample.
+func (h *Histogram) Observe(x float64) {
+	h.total++
+	switch {
+	case x < h.min:
+		h.underflow++
+	case x >= h.max:
+		h.overflow++
+	default:
+		i := int(float64(len(h.counts)) * (x - h.min) / (h.max - h.min))
+		if i >= len(h.counts) {
+			i = len(h.counts) - 1
+		}
+		h.counts[i]++
+	}
+}
+
+// Total returns the number of observed samples including out-of-range.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// Counts returns a copy of the per-bucket counts.
+func (h *Histogram) Counts() []uint64 { return append([]uint64(nil), h.counts...) }
+
+// OutOfRange returns the underflow and overflow counts.
+func (h *Histogram) OutOfRange() (under, over uint64) { return h.underflow, h.overflow }
+
+// BucketBounds returns the [lo, hi) bounds of bucket i.
+func (h *Histogram) BucketBounds(i int) (lo, hi float64) {
+	w := (h.max - h.min) / float64(len(h.counts))
+	return h.min + w*float64(i), h.min + w*float64(i+1)
+}
+
+// Peaks returns the indices of local maxima whose count is at least
+// minCount, in descending count order. Figure 4's analysis ("we can
+// clearly identify a number of peaks") uses this.
+func (h *Histogram) Peaks(minCount uint64) []int {
+	var peaks []int
+	for i, c := range h.counts {
+		if c < minCount {
+			continue
+		}
+		left := uint64(0)
+		if i > 0 {
+			left = h.counts[i-1]
+		}
+		right := uint64(0)
+		if i < len(h.counts)-1 {
+			right = h.counts[i+1]
+		}
+		if c >= left && c >= right && (c > left || c > right || (i == 0 && c > right) || (i == len(h.counts)-1 && c > left)) {
+			peaks = append(peaks, i)
+		}
+	}
+	sort.Slice(peaks, func(a, b int) bool { return h.counts[peaks[a]] > h.counts[peaks[b]] })
+	return peaks
+}
+
+// Table is a simple aligned ASCII table.
+type Table struct {
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(headers ...string) *Table {
+	return &Table{headers: headers}
+}
+
+// AddRow appends a row; short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.headers))
+	copy(row, cells)
+	t.rows = append(t.rows, row)
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(cell)
+			sb.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+		}
+		sb.WriteString("\n")
+	}
+	writeRow(t.headers)
+	sep := make([]string, len(t.headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+// RenderCDF draws an ASCII CDF plot of the given width and height with
+// axis labels in the given unit.
+func RenderCDF(c CDF, width, height int, unit string) string {
+	if c.N() == 0 {
+		return "(empty distribution)\n"
+	}
+	if width < 10 {
+		width = 10
+	}
+	if height < 4 {
+		height = 4
+	}
+	lo, hi := c.Min(), c.Max()
+	if hi == lo {
+		hi = lo + 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for col := 0; col < width; col++ {
+		x := lo + (hi-lo)*float64(col)/float64(width-1)
+		p := c.P(x)
+		row := int(math.Round(p * float64(height-1)))
+		grid[height-1-row][col] = '*'
+	}
+	var sb strings.Builder
+	for i, line := range grid {
+		p := 1.0 - float64(i)/float64(height-1)
+		fmt.Fprintf(&sb, "%5.2f |%s\n", p, string(line))
+	}
+	sb.WriteString("      +" + strings.Repeat("-", width) + "\n")
+	left := fmt.Sprintf("%.0f", lo)
+	right := fmt.Sprintf("%.0f %s", hi, unit)
+	pad := width - len(left) - len(right)
+	if pad < 1 {
+		pad = 1
+	}
+	sb.WriteString("       " + left + strings.Repeat(" ", pad) + right + "\n")
+	return sb.String()
+}
+
+// FormatDuration renders a duration as the paper's tables do: "min:sec"
+// (Table III uses e.g. "6:02" for 6 minutes 2 seconds).
+func FormatDuration(d time.Duration) string {
+	total := int(d.Round(time.Second).Seconds())
+	return fmt.Sprintf("%d:%02d", total/60, total%60)
+}
+
+// Mean computes the arithmetic mean of values (NaN when empty).
+func Mean(values []float64) float64 { return NewCDF(values).Mean() }
+
+// Stddev computes the population standard deviation (NaN when empty).
+func Stddev(values []float64) float64 {
+	if len(values) == 0 {
+		return math.NaN()
+	}
+	m := Mean(values)
+	sum := 0.0
+	for _, v := range values {
+		d := v - m
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(values)))
+}

@@ -1,0 +1,293 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCDFBasics(t *testing.T) {
+	c := NewCDF([]float64{3, 1, 2, 4, 5})
+	if c.N() != 5 {
+		t.Fatalf("N = %d", c.N())
+	}
+	if got := c.Min(); got != 1 {
+		t.Errorf("Min = %v", got)
+	}
+	if got := c.Max(); got != 5 {
+		t.Errorf("Max = %v", got)
+	}
+	if got := c.Mean(); got != 3 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := c.Median(); got != 3 {
+		t.Errorf("Median = %v", got)
+	}
+}
+
+func TestCDFP(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4})
+	cases := map[float64]float64{
+		0.5: 0, 1: 0.25, 1.5: 0.25, 2: 0.5, 4: 1, 99: 1,
+	}
+	for x, want := range cases {
+		if got := c.P(x); math.Abs(got-want) > 1e-12 {
+			t.Errorf("P(%v) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestCDFQuantile(t *testing.T) {
+	c := NewCDF([]float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100})
+	cases := map[float64]float64{0: 10, 0.1: 10, 0.5: 50, 0.9: 90, 1: 100}
+	for q, want := range cases {
+		if got := c.Quantile(q); got != want {
+			t.Errorf("Quantile(%v) = %v, want %v", q, got, want)
+		}
+	}
+}
+
+func TestCDFEmpty(t *testing.T) {
+	var c CDF
+	if c.P(1) != 0 {
+		t.Error("P on empty != 0")
+	}
+	if !math.IsNaN(c.Quantile(0.5)) || !math.IsNaN(c.Min()) || !math.IsNaN(c.Mean()) {
+		t.Error("empty CDF statistics should be NaN")
+	}
+	if c.Points(5) != nil {
+		t.Error("Points on empty != nil")
+	}
+}
+
+func TestCDFDurations(t *testing.T) {
+	c := NewDurationCDF([]time.Duration{time.Minute, 2 * time.Minute})
+	if c.Min() != 60 || c.Max() != 120 {
+		t.Fatalf("duration CDF = [%v, %v]", c.Min(), c.Max())
+	}
+}
+
+func TestCDFPoints(t *testing.T) {
+	c := NewCDF([]float64{0, 10})
+	pts := c.Points(11)
+	if len(pts) != 11 {
+		t.Fatalf("len = %d", len(pts))
+	}
+	if pts[0].X != 0 || pts[10].X != 10 {
+		t.Fatalf("endpoints = %v, %v", pts[0], pts[10])
+	}
+	if pts[10].P != 1 {
+		t.Fatalf("P at max = %v", pts[10].P)
+	}
+	// Monotone non-decreasing.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].P < pts[i-1].P {
+			t.Fatalf("CDF not monotone at %d: %v", i, pts)
+		}
+	}
+	if got := c.Points(1); len(got) != 1 || got[0].P != 1 {
+		t.Fatalf("Points(1) = %v", got)
+	}
+}
+
+// Property: P is monotone and bounded in [0,1] for arbitrary data.
+func TestCDFMonotoneProperty(t *testing.T) {
+	f := func(values []float64, probes []float64) bool {
+		clean := values[:0]
+		for _, v := range values {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				clean = append(clean, v)
+			}
+		}
+		c := NewCDF(clean)
+		sort.Float64s(probes)
+		prev := -1.0
+		for _, x := range probes {
+			if math.IsNaN(x) {
+				continue
+			}
+			p := c.P(x)
+			if p < 0 || p > 1 || p < prev {
+				return false
+			}
+			prev = p
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 100, 10)
+	for _, x := range []float64{5, 15, 15, 95, -1, 100, 150} {
+		h.Observe(x)
+	}
+	counts := h.Counts()
+	if counts[0] != 1 || counts[1] != 2 || counts[9] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+	under, over := h.OutOfRange()
+	if under != 1 || over != 2 {
+		t.Fatalf("out of range = %d, %d", under, over)
+	}
+	if h.Total() != 7 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	lo, hi := h.BucketBounds(1)
+	if lo != 10 || hi != 20 {
+		t.Fatalf("bucket bounds = [%v, %v)", lo, hi)
+	}
+}
+
+func TestHistogramPanicsOnBadSpec(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewHistogram(10, 0, 5) },
+		func() { NewHistogram(0, 10, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad histogram spec did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestHistogramPeaks(t *testing.T) {
+	h := NewHistogram(0, 100, 10)
+	// Peaks at buckets 2 (count 5) and 7 (count 9).
+	for i := 0; i < 5; i++ {
+		h.Observe(25)
+	}
+	for i := 0; i < 9; i++ {
+		h.Observe(75)
+	}
+	h.Observe(45) // low bump
+	peaks := h.Peaks(2)
+	if len(peaks) != 2 || peaks[0] != 7 || peaks[1] != 2 {
+		t.Fatalf("peaks = %v, want [7 2]", peaks)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := NewTable("PROVIDER", "ATTEMPTS", "DELIVERED")
+	tbl.AddRow("gmail.com", "9", "yes")
+	tbl.AddRow("aol.com", "5") // short row padded
+	out := tbl.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "PROVIDER") || !strings.Contains(lines[2], "gmail.com") {
+		t.Fatalf("table:\n%s", out)
+	}
+	// Columns aligned: header and row start of column 2 match.
+	hIdx := strings.Index(lines[0], "ATTEMPTS")
+	rIdx := strings.Index(lines[2], "9")
+	if hIdx != rIdx {
+		t.Fatalf("misaligned table:\n%s", out)
+	}
+	if tbl.NumRows() != 2 {
+		t.Fatalf("NumRows = %d", tbl.NumRows())
+	}
+}
+
+func TestRenderCDF(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	out := RenderCDF(c, 40, 8, "s")
+	if !strings.Contains(out, "*") || !strings.Contains(out, "10 s") {
+		t.Fatalf("plot:\n%s", out)
+	}
+	if got := RenderCDF(CDF{}, 40, 8, "s"); !strings.Contains(got, "empty") {
+		t.Fatalf("empty plot = %q", got)
+	}
+	// Degenerate single-value distribution must not divide by zero.
+	if out := RenderCDF(NewCDF([]float64{5}), 20, 4, "s"); out == "" {
+		t.Fatal("degenerate plot empty")
+	}
+}
+
+func TestFormatDuration(t *testing.T) {
+	cases := map[time.Duration]string{
+		6*time.Minute + 2*time.Second:    "6:02",
+		29*time.Minute + 2*time.Second:   "29:02",
+		434*time.Minute + 46*time.Second: "434:46",
+		0:                                "0:00",
+	}
+	for d, want := range cases {
+		if got := FormatDuration(d); got != want {
+			t.Errorf("FormatDuration(%v) = %q, want %q", d, got, want)
+		}
+	}
+}
+
+func TestMeanStddev(t *testing.T) {
+	if got := Mean([]float64{2, 4, 6}); got != 4 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := Stddev([]float64{2, 2, 2}); got != 0 {
+		t.Errorf("Stddev of constant = %v", got)
+	}
+	if got := Stddev([]float64{0, 10}); got != 5 {
+		t.Errorf("Stddev = %v", got)
+	}
+	if !math.IsNaN(Stddev(nil)) {
+		t.Error("Stddev(nil) not NaN")
+	}
+}
+
+// Property: the empirical CDF and quantile function are consistent:
+// P(Quantile(q)) >= q for all q, and Quantile(P(x)) <= x for in-range x.
+func TestQuantileCDFConsistencyProperty(t *testing.T) {
+	f := func(raw []float64, qRaw uint16) bool {
+		var values []float64
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				values = append(values, v)
+			}
+		}
+		if len(values) == 0 {
+			return true
+		}
+		c := NewCDF(values)
+		q := float64(qRaw) / math.MaxUint16
+		x := c.Quantile(q)
+		if c.P(x) < q-1e-12 {
+			return false
+		}
+		// And Quantile is monotone in q.
+		return c.Quantile(q/2) <= x
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: histogram counts always sum to Total.
+func TestHistogramConservationProperty(t *testing.T) {
+	f := func(samples []float64) bool {
+		h := NewHistogram(0, 100, 7)
+		for _, s := range samples {
+			if math.IsNaN(s) {
+				continue
+			}
+			h.Observe(s)
+		}
+		var sum uint64
+		for _, c := range h.Counts() {
+			sum += c
+		}
+		under, over := h.OutOfRange()
+		return sum+under+over == h.Total()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,284 @@
+// Package webmail models the retry behaviour of the top-10 webmail
+// providers exactly as the paper measured it in Table III: the authors
+// created an account at each provider, sent a message to a server
+// greylisted with an excessive 6-hour threshold, and recorded every
+// delivery attempt, whether consecutive attempts came from the same IP
+// address, and whether the message eventually got through.
+//
+// The per-provider attempt schedules below are the paper's measured
+// delay columns, encoded verbatim (hotmail's "every 4 minutes" and
+// yandex's "every 15:30" runs are generated from their arithmetic rule).
+// Two behaviours matter for greylisting:
+//
+//   - Give-up time: aol.com stops after ~31 minutes and qq.com after
+//     ~205, so both lose mail at a 6-hour threshold — the paper's
+//     headline warning about large thresholds.
+//   - IP pools: half the providers rotate among several addresses. The
+//     pool model here shows each address once and then settles on the
+//     first ("the same IP was reused in different connections"), which
+//     reproduces the paper's observation that all multi-IP providers
+//     still delivered eventually.
+package webmail
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/greylist"
+	"repro/internal/simtime"
+)
+
+// Provider is one webmail service's measured sending behaviour.
+type Provider struct {
+	// Name is the provider's domain ("gmail.com").
+	Name string
+	// PoolSize is the number of distinct client IPs observed; 1 means
+	// the provider always retried from the same address (Table III's
+	// SAME IP column).
+	PoolSize int
+	// RetryDelays are the offsets of the retry attempts after the
+	// initial one (Table III's DELAYS column).
+	RetryDelays []time.Duration
+}
+
+// SameIP reports Table III's SAME IP column.
+func (p Provider) SameIP() bool { return p.PoolSize <= 1 }
+
+// AttemptTimes returns all attempt offsets: the initial attempt at 0
+// followed by the retry delays.
+func (p Provider) AttemptTimes() []time.Duration {
+	out := make([]time.Duration, 0, len(p.RetryDelays)+1)
+	out = append(out, 0)
+	out = append(out, p.RetryDelays...)
+	return out
+}
+
+// Attempts returns the total attempt count (Table III's ATTEMPTS column).
+func (p Provider) Attempts() int { return len(p.RetryDelays) + 1 }
+
+// GiveUpAfter returns the offset of the last attempt — how long the
+// provider keeps trying before silently dropping the message.
+func (p Provider) GiveUpAfter() time.Duration {
+	if len(p.RetryDelays) == 0 {
+		return 0
+	}
+	return p.RetryDelays[len(p.RetryDelays)-1]
+}
+
+// IPForAttempt maps an attempt index to a client IP from the provider's
+// pool, given the pool's base addresses. The model: the first PoolSize
+// attempts each use a fresh address (that is how the paper counted the
+// pool), later attempts reuse the first.
+func (p Provider) IPForAttempt(i int, pool []string) string {
+	if len(pool) == 0 {
+		return ""
+	}
+	if i < len(pool) {
+		return pool[i]
+	}
+	return pool[0]
+}
+
+// DefaultPool synthesizes pool addresses for the provider: PoolSize
+// addresses under 198.18.x.0/24 (benchmark address space), one subnet per
+// provider index so different providers never share a greylisting key.
+func (p Provider) DefaultPool(index int) []string {
+	n := p.PoolSize
+	if n < 1 {
+		n = 1
+	}
+	pool := make([]string, n)
+	for i := range pool {
+		pool[i] = fmt.Sprintf("198.18.%d.%d", index+1, i+10)
+	}
+	return pool
+}
+
+// mmss builds a duration from Table III's "minutes:seconds" notation.
+func mmss(m, s int) time.Duration {
+	return time.Duration(m)*time.Minute + time.Duration(s)*time.Second
+}
+
+// Gmail returns gmail.com: 7 IPs, 9 attempts over ~7.2 hours.
+func Gmail() Provider {
+	return Provider{Name: "gmail.com", PoolSize: 7, RetryDelays: []time.Duration{
+		mmss(6, 2), mmss(29, 2), mmss(56, 36), mmss(98, 44),
+		mmss(162, 3), mmss(229, 44), mmss(309, 5), mmss(434, 46),
+	}}
+}
+
+// YahooCoUK returns yahoo.co.uk: single IP, 9 attempts, roughly doubling
+// intervals.
+func YahooCoUK() Provider {
+	return Provider{Name: "yahoo.co.uk", PoolSize: 1, RetryDelays: []time.Duration{
+		mmss(2, 7), mmss(5, 39), mmss(12, 58), mmss(27, 16),
+		mmss(55, 13), mmss(109, 35), mmss(216, 47), mmss(430, 36),
+	}}
+}
+
+// Hotmail returns hotmail.com: single IP, 94 attempts — seven quick ones,
+// then every 4 minutes past the 6-hour mark.
+func Hotmail() Provider {
+	delays := []time.Duration{
+		mmss(1, 1), mmss(2, 3), mmss(3, 4), mmss(5, 6),
+		mmss(8, 7), mmss(12, 8), mmss(16, 10),
+	}
+	// "... every 4 minutes ..., 362:11": 86 more attempts take the
+	// count to the measured 94.
+	for k := 1; k <= 86; k++ {
+		delays = append(delays, mmss(16, 10)+time.Duration(k)*4*time.Minute)
+	}
+	return Provider{Name: "hotmail.com", PoolSize: 1, RetryDelays: delays}
+}
+
+// QQ returns qq.com: 2 IPs, 12 attempts, giving up after ~3.4 hours —
+// one of the two providers that lose mail at a 6-hour threshold.
+func QQ() Provider {
+	return Provider{Name: "qq.com", PoolSize: 2, RetryDelays: []time.Duration{
+		mmss(5, 5), mmss(5, 11), mmss(5, 17), mmss(6, 19),
+		mmss(8, 22), mmss(12, 25), mmss(20, 29), mmss(52, 31),
+		mmss(84, 35), mmss(144, 42), mmss(204, 56),
+	}}
+}
+
+// MailRu returns mail.ru: 7 IPs, 13 attempts over ~6.2 hours.
+func MailRu() Provider {
+	return Provider{Name: "mail.ru", PoolSize: 7, RetryDelays: []time.Duration{
+		mmss(1, 18), mmss(19, 15), mmss(49, 14), mmss(79, 49),
+		mmss(113, 20), mmss(154, 18), mmss(187, 53), mmss(235, 20),
+		mmss(271, 3), mmss(305, 50), mmss(340, 38), mmss(373, 45),
+	}}
+}
+
+// Yandex returns yandex.com: single IP, 28 attempts — seven quick ones,
+// then a fixed ~15.5-minute cadence to 369:21.
+func Yandex() Provider {
+	delays := []time.Duration{
+		mmss(1, 5), mmss(2, 58), mmss(6, 53), mmss(14, 55),
+		mmss(30, 28), mmss(45, 41), mmss(61, 1),
+	}
+	// "...every 15:30 minutes..., 369:21": 20 steps of 15:25 land
+	// exactly on the measured final attempt.
+	for k := 1; k <= 20; k++ {
+		delays = append(delays, mmss(61, 1)+time.Duration(k)*mmss(15, 25))
+	}
+	return Provider{Name: "yandex.com", PoolSize: 1, RetryDelays: delays}
+}
+
+// MailCom returns mail.com: 2 IPs, 10 attempts over ~6.3 hours.
+func MailCom() Provider {
+	return Provider{Name: "mail.com", PoolSize: 2, RetryDelays: []time.Duration{
+		mmss(5, 2), mmss(12, 37), mmss(23, 59), mmss(41, 3),
+		mmss(66, 38), mmss(105, 1), mmss(162, 35), mmss(248, 56), mmss(378, 28),
+	}}
+}
+
+// GMX returns gmx.com: 3 IPs, 10 attempts over ~6.3 hours.
+func GMX() Provider {
+	return Provider{Name: "gmx.com", PoolSize: 3, RetryDelays: []time.Duration{
+		mmss(5, 1), mmss(12, 33), mmss(23, 50), mmss(40, 46),
+		mmss(66, 9), mmss(104, 14), mmss(161, 22), mmss(247, 4), mmss(375, 36),
+	}}
+}
+
+// AOL returns aol.com: single IP, 5 attempts — and then it gives up
+// after only ~31 minutes, violating RFC-822's 4-5 day guidance. The
+// paper calls this out as "quite surprising".
+func AOL() Provider {
+	return Provider{Name: "aol.com", PoolSize: 1, RetryDelays: []time.Duration{
+		mmss(5, 32), mmss(11, 32), mmss(21, 32), mmss(31, 32),
+	}}
+}
+
+// India returns india.com: single IP, 10 attempts on a regular cadence
+// past 7 hours.
+func India() Provider {
+	return Provider{Name: "india.com", PoolSize: 1, RetryDelays: []time.Duration{
+		mmss(6, 21), mmss(16, 21), mmss(36, 21), mmss(76, 21),
+		mmss(146, 22), mmss(216, 21), mmss(286, 21), mmss(356, 21), mmss(426, 21),
+	}}
+}
+
+// Top10 returns the providers in Table III's row order.
+func Top10() []Provider {
+	return []Provider{
+		Gmail(), YahooCoUK(), Hotmail(), QQ(), MailRu(),
+		Yandex(), MailCom(), GMX(), AOL(), India(),
+	}
+}
+
+// ByName returns the named provider, or an error.
+func ByName(name string) (Provider, error) {
+	for _, p := range Top10() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Provider{}, fmt.Errorf("webmail: unknown provider %q", name)
+}
+
+// Result is the outcome of a simulated delivery through greylisting.
+type Result struct {
+	Provider string
+	// SameIP mirrors Table III's column.
+	SameIP bool
+	// UniqueIPs is the number of distinct client addresses used.
+	UniqueIPs int
+	// AttemptsMade counts attempts until delivery or give-up.
+	AttemptsMade int
+	// Delivered reports whether the message got through.
+	Delivered bool
+	// DeliveredAt is the delay of the successful attempt.
+	DeliveredAt time.Duration
+	// AttemptTimes are the offsets of attempts actually made.
+	AttemptTimes []time.Duration
+}
+
+// Simulate plays the provider's schedule against a real greylisting
+// engine with the given threshold (full-IP keying, as in the paper's
+// experiment), reproducing one Table III row. The pool is synthesized
+// with DefaultPool(index).
+func Simulate(p Provider, index int, threshold time.Duration) Result {
+	clock := simtime.NewSim(simtime.Epoch)
+	policy := greylist.Policy{
+		Threshold:   threshold,
+		RetryWindow: 14 * 24 * time.Hour,
+	}
+	g := greylist.New(policy, clock)
+	pool := p.DefaultPool(index)
+
+	res := Result{Provider: p.Name, SameIP: p.SameIP()}
+	seen := make(map[string]bool)
+	sender := "tester@" + p.Name
+	recipient := "probe@dept.example"
+
+	start := clock.Now()
+	for i, at := range p.AttemptTimes() {
+		clock.AdvanceTo(start.Add(at))
+		ip := p.IPForAttempt(i, pool)
+		if !seen[ip] {
+			seen[ip] = true
+		}
+		res.AttemptsMade++
+		res.AttemptTimes = append(res.AttemptTimes, at)
+		v := g.Check(greylist.Triplet{ClientIP: ip, Sender: sender, Recipient: recipient})
+		if v.Decision == greylist.Pass {
+			res.Delivered = true
+			res.DeliveredAt = at
+			break
+		}
+	}
+	res.UniqueIPs = len(seen)
+	return res
+}
+
+// SimulateAll runs Simulate for every Table III provider at the paper's
+// 6-hour threshold.
+func SimulateAll(threshold time.Duration) []Result {
+	providers := Top10()
+	out := make([]Result, len(providers))
+	for i, p := range providers {
+		out[i] = Simulate(p, i, threshold)
+	}
+	return out
+}

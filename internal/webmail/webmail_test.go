@@ -1,0 +1,222 @@
+package webmail
+
+import (
+	"testing"
+	"time"
+)
+
+// TestTableIIIAttemptCounts pins the ATTEMPTS column of Table III.
+func TestTableIIIAttemptCounts(t *testing.T) {
+	want := map[string]int{
+		"gmail.com":   9,
+		"yahoo.co.uk": 9,
+		"hotmail.com": 94,
+		"qq.com":      12,
+		"mail.ru":     13,
+		"yandex.com":  28,
+		"mail.com":    10,
+		"gmx.com":     10,
+		"aol.com":     5,
+		"india.com":   10,
+	}
+	for _, p := range Top10() {
+		if got := p.Attempts(); got != want[p.Name] {
+			t.Errorf("%s: attempts = %d, want %d", p.Name, got, want[p.Name])
+		}
+	}
+}
+
+// TestTableIIISameIPColumn pins the SAME IP column.
+func TestTableIIISameIPColumn(t *testing.T) {
+	same := map[string]bool{
+		"gmail.com": false, "yahoo.co.uk": true, "hotmail.com": true,
+		"qq.com": false, "mail.ru": false, "yandex.com": true,
+		"mail.com": false, "gmx.com": false, "aol.com": true, "india.com": true,
+	}
+	pools := map[string]int{
+		"gmail.com": 7, "qq.com": 2, "mail.ru": 7, "mail.com": 2, "gmx.com": 3,
+	}
+	for _, p := range Top10() {
+		if got := p.SameIP(); got != same[p.Name] {
+			t.Errorf("%s: SameIP = %v, want %v", p.Name, got, same[p.Name])
+		}
+		if wantPool, ok := pools[p.Name]; ok && p.PoolSize != wantPool {
+			t.Errorf("%s: pool = %d, want %d", p.Name, p.PoolSize, wantPool)
+		}
+	}
+}
+
+// TestTableIIIDeliveredColumn is the paper's core finding: at a 6-hour
+// threshold, aol.com and qq.com lose the message ("two of them abandoned
+// the task earlier"), everyone else delivers.
+func TestTableIIIDeliveredColumn(t *testing.T) {
+	results := SimulateAll(6 * time.Hour)
+	if len(results) != 10 {
+		t.Fatalf("results = %d", len(results))
+	}
+	failures := map[string]bool{}
+	for _, r := range results {
+		if !r.Delivered {
+			failures[r.Provider] = true
+		}
+	}
+	if len(failures) != 2 || !failures["aol.com"] || !failures["qq.com"] {
+		t.Fatalf("failed providers = %v, want exactly {aol.com, qq.com}", failures)
+	}
+}
+
+func TestDeliveryPastThreshold(t *testing.T) {
+	for i, p := range Top10() {
+		r := Simulate(p, i, 6*time.Hour)
+		if !r.Delivered {
+			continue
+		}
+		if r.DeliveredAt < 6*time.Hour {
+			t.Errorf("%s: delivered at %v, before the 6h threshold", p.Name, r.DeliveredAt)
+		}
+	}
+}
+
+func TestAOLGivesUpAfterHalfHour(t *testing.T) {
+	aol := AOL()
+	if got := aol.GiveUpAfter(); got != 31*time.Minute+32*time.Second {
+		t.Fatalf("AOL give-up = %v", got)
+	}
+	// At a 30-minute threshold AOL squeaks through on its last attempt…
+	r := Simulate(aol, 0, 30*time.Minute)
+	if !r.Delivered || r.DeliveredAt != 31*time.Minute+32*time.Second {
+		t.Fatalf("AOL at 30m threshold = %+v", r)
+	}
+	// …and at 32 minutes it loses the message.
+	if r := Simulate(aol, 0, 32*time.Minute); r.Delivered {
+		t.Fatalf("AOL at 32m threshold delivered: %+v", r)
+	}
+}
+
+func TestLowThresholdEveryoneDelivers(t *testing.T) {
+	// At the 300 s default every provider delivers. Same-IP providers
+	// deliver fast (first retry at or past 5 minutes); multi-IP
+	// providers pay extra because fresh addresses restart the clock —
+	// the very cost Section VI warns deployments about.
+	providers := Top10()
+	for i, r := range SimulateAll(300 * time.Second) {
+		if !r.Delivered {
+			t.Errorf("%s: not delivered at 300s", r.Provider)
+			continue
+		}
+		if providers[i].SameIP() && r.DeliveredAt > time.Hour {
+			t.Errorf("%s (same IP): delivered only after %v at a 300s threshold", r.Provider, r.DeliveredAt)
+		}
+	}
+}
+
+func TestMultiIPProvidersStillDeliver(t *testing.T) {
+	// Table III's observation: multi-IP providers were "able to
+	// eventually deliver the message because the same IP was reused in
+	// different connections" — except qq.com which gave up too early.
+	for i, p := range Top10() {
+		if p.SameIP() || p.Name == "qq.com" {
+			continue
+		}
+		r := Simulate(p, i, 6*time.Hour)
+		if !r.Delivered {
+			t.Errorf("%s (pool %d): not delivered", p.Name, p.PoolSize)
+		}
+		if r.UniqueIPs != p.PoolSize {
+			t.Errorf("%s: unique IPs = %d, want %d", p.Name, r.UniqueIPs, p.PoolSize)
+		}
+	}
+}
+
+func TestMultiIPDelaysDelivery(t *testing.T) {
+	// Because retries from fresh addresses restart the greylisting
+	// clock, a multi-IP provider delivers later than a same-IP provider
+	// with the same schedule would.
+	gmail := Gmail()
+	same := gmail
+	same.PoolSize = 1
+	multi := Simulate(gmail, 0, 2*time.Hour)
+	single := Simulate(same, 0, 2*time.Hour)
+	if !multi.Delivered || !single.Delivered {
+		t.Fatalf("multi = %+v single = %+v", multi, single)
+	}
+	if multi.DeliveredAt < single.DeliveredAt {
+		t.Fatalf("multi-IP delivered earlier (%v) than same-IP (%v)", multi.DeliveredAt, single.DeliveredAt)
+	}
+}
+
+func TestAttemptTimesStartAtZeroAndIncrease(t *testing.T) {
+	for _, p := range Top10() {
+		times := p.AttemptTimes()
+		if times[0] != 0 {
+			t.Errorf("%s: first attempt at %v", p.Name, times[0])
+		}
+		for i := 1; i < len(times); i++ {
+			if times[i] <= times[i-1] {
+				t.Errorf("%s: attempts not increasing at %d (%v then %v)", p.Name, i, times[i-1], times[i])
+			}
+		}
+	}
+}
+
+func TestHotmailCadence(t *testing.T) {
+	h := Hotmail()
+	delays := h.RetryDelays
+	// After the seventh retry the cadence is exactly 4 minutes.
+	for i := 7; i < len(delays); i++ {
+		if got := delays[i] - delays[i-1]; got != 4*time.Minute {
+			t.Fatalf("hotmail gap %d = %v, want 4m", i, got)
+		}
+	}
+	if last := h.GiveUpAfter(); last <= 6*time.Hour {
+		t.Fatalf("hotmail last attempt %v must outlast the 6h threshold", last)
+	}
+}
+
+func TestYandexFinalAttemptMatchesPaper(t *testing.T) {
+	y := Yandex()
+	want := 369*time.Minute + 21*time.Second
+	if got := y.GiveUpAfter(); got != want {
+		t.Fatalf("yandex last attempt = %v, want %v", got, want)
+	}
+}
+
+func TestByName(t *testing.T) {
+	p, err := ByName("gmail.com")
+	if err != nil || p.PoolSize != 7 {
+		t.Fatalf("ByName = %+v, %v", p, err)
+	}
+	if _, err := ByName("hooli.xyz"); err == nil {
+		t.Fatal("ByName accepted unknown provider")
+	}
+}
+
+func TestIPForAttemptPoolModel(t *testing.T) {
+	p := Provider{Name: "x", PoolSize: 3}
+	pool := p.DefaultPool(0)
+	if len(pool) != 3 {
+		t.Fatalf("pool = %v", pool)
+	}
+	// First cycle: fresh addresses; afterwards: sticks to the first.
+	if p.IPForAttempt(0, pool) != pool[0] || p.IPForAttempt(2, pool) != pool[2] {
+		t.Fatal("first cycle not distinct")
+	}
+	if p.IPForAttempt(3, pool) != pool[0] || p.IPForAttempt(9, pool) != pool[0] {
+		t.Fatal("later attempts must reuse the first address")
+	}
+	if p.IPForAttempt(0, nil) != "" {
+		t.Fatal("empty pool should yield empty IP")
+	}
+}
+
+func TestDefaultPoolsDisjointAcrossProviders(t *testing.T) {
+	seen := make(map[string]string)
+	for i, p := range Top10() {
+		for _, ip := range p.DefaultPool(i) {
+			if owner, dup := seen[ip]; dup {
+				t.Fatalf("IP %s shared by %s and %s", ip, owner, p.Name)
+			}
+			seen[ip] = p.Name
+		}
+	}
+}

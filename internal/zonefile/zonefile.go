@@ -1,0 +1,326 @@
+// Package zonefile reads and writes a practical subset of the RFC 1035
+// master file format, so nolisting deployments built with this library
+// can be exported to — and loaded from — the zone files a real DNS
+// operator works with.
+//
+// Supported: $ORIGIN and $TTL directives, comments (;), the @ owner
+// shorthand, relative and absolute owner names, optional TTL and class
+// fields in either order, and the record types the reproduction models
+// (A, AAAA, NS, CNAME, PTR, MX, TXT, SOA). Unsupported (rejected, never
+// silently mangled): multi-line parentheses records, $INCLUDE, \#
+// generic rdata.
+package zonefile
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/dnsmsg"
+	"repro/internal/dnsserver"
+)
+
+// DefaultTTL applies when a file sets no $TTL and a record has none.
+const DefaultTTL = 300
+
+// Parse reads a master file into a zone. The origin argument seeds
+// $ORIGIN; a $ORIGIN directive in the file overrides it. An empty origin
+// with no directive is an error.
+func Parse(r io.Reader, origin string) (*dnsserver.Zone, error) {
+	p := &parser{
+		origin: dnsmsg.CanonicalName(origin),
+		ttl:    DefaultTTL,
+	}
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		if err := p.line(sc.Text()); err != nil {
+			return nil, fmt.Errorf("zonefile: line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("zonefile: %w", err)
+	}
+	if p.zone == nil {
+		if p.origin == "" {
+			return nil, fmt.Errorf("zonefile: no origin (pass one or use $ORIGIN)")
+		}
+		p.zone = dnsserver.NewZone(p.origin)
+	}
+	return p.zone, nil
+}
+
+type parser struct {
+	origin    string
+	ttl       uint32
+	lastOwner string
+	zone      *dnsserver.Zone
+}
+
+func (p *parser) ensureZone() error {
+	if p.zone != nil {
+		return nil
+	}
+	if p.origin == "" {
+		return fmt.Errorf("record before any origin is known")
+	}
+	p.zone = dnsserver.NewZone(p.origin)
+	return nil
+}
+
+func (p *parser) line(raw string) error {
+	line := raw
+	if i := strings.IndexByte(line, ';'); i >= 0 {
+		// Comments — naive strip is fine because we reject quoted
+		// semicolons only in TXT, handled below via token check.
+		if !strings.Contains(line[:i], `"`) {
+			line = line[:i]
+		}
+	}
+	if strings.TrimSpace(line) == "" {
+		return nil
+	}
+	if strings.ContainsAny(line, "()") {
+		return fmt.Errorf("multi-line records (parentheses) are not supported")
+	}
+
+	// Directives.
+	fields := strings.Fields(line)
+	switch strings.ToUpper(fields[0]) {
+	case "$ORIGIN":
+		if len(fields) != 2 {
+			return fmt.Errorf("$ORIGIN wants one argument")
+		}
+		p.origin = dnsmsg.CanonicalName(fields[1])
+		return nil
+	case "$TTL":
+		if len(fields) != 2 {
+			return fmt.Errorf("$TTL wants one argument")
+		}
+		v, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return fmt.Errorf("$TTL: %w", err)
+		}
+		p.ttl = uint32(v)
+		return nil
+	case "$INCLUDE":
+		return fmt.Errorf("$INCLUDE is not supported")
+	}
+
+	if err := p.ensureZone(); err != nil {
+		return err
+	}
+
+	// Owner: absent (leading whitespace) repeats the previous owner.
+	var owner string
+	rest := fields
+	if line[0] == ' ' || line[0] == '\t' {
+		if p.lastOwner == "" {
+			return fmt.Errorf("record with no owner and no previous owner")
+		}
+		owner = p.lastOwner
+	} else {
+		owner = p.absolute(fields[0])
+		rest = fields[1:]
+	}
+	p.lastOwner = owner
+
+	// Optional TTL and class, in either order.
+	ttl := p.ttl
+	class := dnsmsg.ClassINET
+	for len(rest) > 0 {
+		tok := strings.ToUpper(rest[0])
+		if v, err := strconv.ParseUint(tok, 10, 32); err == nil {
+			ttl = uint32(v)
+			rest = rest[1:]
+			continue
+		}
+		if tok == "IN" {
+			rest = rest[1:]
+			continue
+		}
+		break
+	}
+	if len(rest) == 0 {
+		return fmt.Errorf("missing record type")
+	}
+	typ := strings.ToUpper(rest[0])
+	rdata := rest[1:]
+
+	rr := dnsmsg.RR{Name: owner, Class: class, TTL: ttl}
+	switch typ {
+	case "A":
+		if len(rdata) != 1 {
+			return fmt.Errorf("A wants one address")
+		}
+		a, err := dnsmsg.ParseIPv4(rdata[0])
+		if err != nil {
+			return err
+		}
+		rr.Type, rr.Data = dnsmsg.TypeA, a
+	case "MX":
+		if len(rdata) != 2 {
+			return fmt.Errorf("MX wants preference and host")
+		}
+		pref, err := strconv.ParseUint(rdata[0], 10, 16)
+		if err != nil {
+			return fmt.Errorf("MX preference: %w", err)
+		}
+		rr.Type = dnsmsg.TypeMX
+		rr.Data = dnsmsg.MX{Preference: uint16(pref), Host: p.absolute(rdata[1])}
+	case "NS":
+		if len(rdata) != 1 {
+			return fmt.Errorf("NS wants one host")
+		}
+		rr.Type, rr.Data = dnsmsg.TypeNS, dnsmsg.NS{Host: p.absolute(rdata[0])}
+	case "CNAME":
+		if len(rdata) != 1 {
+			return fmt.Errorf("CNAME wants one target")
+		}
+		rr.Type, rr.Data = dnsmsg.TypeCNAME, dnsmsg.CNAME{Target: p.absolute(rdata[0])}
+	case "PTR":
+		if len(rdata) != 1 {
+			return fmt.Errorf("PTR wants one target")
+		}
+		rr.Type, rr.Data = dnsmsg.TypePTR, dnsmsg.PTR{Target: p.absolute(rdata[0])}
+	case "TXT":
+		strs, err := parseTXT(strings.Join(rdata, " "))
+		if err != nil {
+			return err
+		}
+		rr.Type, rr.Data = dnsmsg.TypeTXT, dnsmsg.TXT{Strings: strs}
+	case "SOA":
+		if len(rdata) != 7 {
+			return fmt.Errorf("SOA wants mname rname serial refresh retry expire minimum")
+		}
+		var nums [5]uint32
+		for i, f := range rdata[2:] {
+			v, err := strconv.ParseUint(f, 10, 32)
+			if err != nil {
+				return fmt.Errorf("SOA field %d: %w", i+3, err)
+			}
+			nums[i] = uint32(v)
+		}
+		rr.Type = dnsmsg.TypeSOA
+		rr.Data = dnsmsg.SOA{
+			MName: p.absolute(rdata[0]), RName: p.absolute(rdata[1]),
+			Serial: nums[0], Refresh: nums[1], Retry: nums[2], Expire: nums[3], Minimum: nums[4],
+		}
+	case "AAAA":
+		if len(rdata) != 1 {
+			return fmt.Errorf("AAAA wants one address")
+		}
+		ip := net.ParseIP(rdata[0])
+		if ip == nil || ip.To4() != nil {
+			return fmt.Errorf("AAAA: %q is not an IPv6 address", rdata[0])
+		}
+		var aaaa dnsmsg.AAAA
+		copy(aaaa.IP[:], ip.To16())
+		rr.Type, rr.Data = dnsmsg.TypeAAAA, aaaa
+	default:
+		return fmt.Errorf("unsupported record type %q", typ)
+	}
+	return p.zone.Add(rr)
+}
+
+// absolute resolves an owner/target token against the origin: "@" is the
+// origin, names ending in "." are absolute, everything else is relative.
+func (p *parser) absolute(name string) string {
+	if name == "@" {
+		return p.origin
+	}
+	if strings.HasSuffix(name, ".") {
+		return dnsmsg.CanonicalName(name)
+	}
+	if p.origin == "" {
+		return dnsmsg.CanonicalName(name)
+	}
+	return dnsmsg.CanonicalName(name + "." + p.origin)
+}
+
+// parseTXT handles quoted strings ("a b" "c") and bare tokens.
+func parseTXT(s string) ([]string, error) {
+	var out []string
+	s = strings.TrimSpace(s)
+	for len(s) > 0 {
+		if s[0] == '"' {
+			end := strings.IndexByte(s[1:], '"')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated TXT string")
+			}
+			out = append(out, s[1:1+end])
+			s = strings.TrimSpace(s[end+2:])
+			continue
+		}
+		sp := strings.IndexAny(s, " \t")
+		if sp < 0 {
+			out = append(out, s)
+			break
+		}
+		out = append(out, s[:sp])
+		s = strings.TrimSpace(s[sp:])
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty TXT rdata")
+	}
+	return out, nil
+}
+
+// Format writes the zone as a master file, records grouped by owner and
+// sorted for stable output. Round trip: Parse(Format(z)) yields an
+// equivalent zone.
+func Format(w io.Writer, zone *dnsserver.Zone) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "$ORIGIN %s.\n$TTL %d\n", zone.Origin(), DefaultTTL)
+	for _, name := range zone.Names() {
+		rrs, _ := zone.Lookup(name, dnsmsg.TypeANY)
+		sort.SliceStable(rrs, func(i, j int) bool { return rrs[i].Type < rrs[j].Type })
+		for _, rr := range rrs {
+			owner := name
+			if owner == zone.Origin() {
+				owner = "@"
+			} else {
+				owner = strings.TrimSuffix(owner, "."+zone.Origin())
+			}
+			data, err := formatRData(rr)
+			if err != nil {
+				return fmt.Errorf("zonefile: %s: %w", name, err)
+			}
+			fmt.Fprintf(bw, "%s\t%d\tIN\t%s\t%s\n", owner, rr.TTL, rr.Type, data)
+		}
+	}
+	return bw.Flush()
+}
+
+func formatRData(rr dnsmsg.RR) (string, error) {
+	switch d := rr.Data.(type) {
+	case dnsmsg.A:
+		return d.String(), nil
+	case dnsmsg.AAAA:
+		return d.String(), nil
+	case dnsmsg.MX:
+		return fmt.Sprintf("%d %s.", d.Preference, d.Host), nil
+	case dnsmsg.NS:
+		return d.Host + ".", nil
+	case dnsmsg.CNAME:
+		return d.Target + ".", nil
+	case dnsmsg.PTR:
+		return d.Target + ".", nil
+	case dnsmsg.TXT:
+		parts := make([]string, len(d.Strings))
+		for i, s := range d.Strings {
+			parts[i] = `"` + s + `"`
+		}
+		return strings.Join(parts, " "), nil
+	case dnsmsg.SOA:
+		return fmt.Sprintf("%s. %s. %d %d %d %d %d",
+			d.MName, d.RName, d.Serial, d.Refresh, d.Retry, d.Expire, d.Minimum), nil
+	default:
+		return "", fmt.Errorf("type %s has no text form", rr.Type)
+	}
+}

@@ -1,0 +1,231 @@
+package zonefile
+
+import (
+	"bytes"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/dnsmsg"
+	"repro/internal/dnsserver"
+	"repro/internal/nolist"
+)
+
+const sampleZone = `
+; the Figure 1 nolisting layout
+$ORIGIN foo.net.
+$TTL 600
+@	IN	SOA	ns1 hostmaster 2015022801 7200 3600 1209600 300
+@	IN	NS	ns1
+@	300	IN	MX	0 smtp
+@	300	IN	MX	15 smtp1.foo.net.
+smtp	IN	A	1.2.3.4
+smtp1	IN	A	1.2.3.5
+ns1	IN	A	1.2.3.6
+www	IN	CNAME	@
+txt	IN	TXT	"v=spf1 -all" "second string"
+`
+
+func parseSample(t *testing.T) *dnsserver.Zone {
+	t.Helper()
+	z, err := Parse(strings.NewReader(sampleZone), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return z
+}
+
+func TestParseBasics(t *testing.T) {
+	z := parseSample(t)
+	if z.Origin() != "foo.net" {
+		t.Fatalf("origin = %q", z.Origin())
+	}
+	mxs, ok := z.Lookup("foo.net", dnsmsg.TypeMX)
+	if !ok || len(mxs) != 2 {
+		t.Fatalf("MX = %v", mxs)
+	}
+	hosts := map[uint16]string{}
+	for _, rr := range mxs {
+		mx := rr.Data.(dnsmsg.MX)
+		hosts[mx.Preference] = mx.Host
+		if rr.TTL != 300 {
+			t.Errorf("MX TTL = %d, want explicit 300", rr.TTL)
+		}
+	}
+	if hosts[0] != "smtp.foo.net" || hosts[15] != "smtp1.foo.net" {
+		t.Fatalf("MX hosts = %v (relative and absolute names must both resolve)", hosts)
+	}
+	as, _ := z.Lookup("smtp.foo.net", dnsmsg.TypeA)
+	if len(as) != 1 || as[0].Data.(dnsmsg.A).String() != "1.2.3.4" {
+		t.Fatalf("A = %v", as)
+	}
+	if as[0].TTL != 600 {
+		t.Fatalf("A TTL = %d, want $TTL 600", as[0].TTL)
+	}
+	cn, _ := z.Lookup("www.foo.net", dnsmsg.TypeCNAME)
+	if len(cn) != 1 || cn[0].Data.(dnsmsg.CNAME).Target != "foo.net" {
+		t.Fatalf("CNAME = %v (@ must resolve to origin)", cn)
+	}
+	txt, _ := z.Lookup("txt.foo.net", dnsmsg.TypeTXT)
+	want := []string{"v=spf1 -all", "second string"}
+	if len(txt) != 1 || !reflect.DeepEqual(txt[0].Data.(dnsmsg.TXT).Strings, want) {
+		t.Fatalf("TXT = %v", txt)
+	}
+	soa, _ := z.Lookup("foo.net", dnsmsg.TypeSOA)
+	if len(soa) != 1 || soa[0].Data.(dnsmsg.SOA).Serial != 2015022801 {
+		t.Fatalf("SOA = %v", soa)
+	}
+}
+
+func TestParseOriginArgument(t *testing.T) {
+	z, err := Parse(strings.NewReader("@ IN A 9.9.9.9\n"), "bar.org")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if as, _ := z.Lookup("bar.org", dnsmsg.TypeA); len(as) != 1 {
+		t.Fatalf("A = %v", as)
+	}
+}
+
+func TestParseRepeatedOwner(t *testing.T) {
+	src := "$ORIGIN x.example.\nhost IN A 1.1.1.1\n\tIN A 1.1.1.2\n"
+	z, err := Parse(strings.NewReader(src), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	as, _ := z.Lookup("host.x.example", dnsmsg.TypeA)
+	if len(as) != 2 {
+		t.Fatalf("A records = %v (blank owner must repeat previous)", as)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"no origin":        "host IN A 1.1.1.1\n",
+		"bad A":            "$ORIGIN x.\nh IN A not-an-ip\n",
+		"bad MX pref":      "$ORIGIN x.\nh IN MX abc mail\n",
+		"short MX":         "$ORIGIN x.\nh IN MX 10\n",
+		"unknown type":     "$ORIGIN x.\nh IN FROB data\n",
+		"missing type":     "$ORIGIN x.\nh 300 IN\n",
+		"parens":           "$ORIGIN x.\nh IN SOA a b ( 1 2 3 4 5 )\n",
+		"$INCLUDE":         "$INCLUDE other.zone\n",
+		"bad $TTL":         "$TTL soon\n",
+		"bad $ORIGIN":      "$ORIGIN\n",
+		"unterminated TXT": "$ORIGIN x.\nh IN TXT \"open\n",
+		"short SOA":        "$ORIGIN x.\nh IN SOA a b 1 2 3\n",
+		"leading blank":    "$ORIGIN x.\n\tIN A 1.1.1.1\n",
+	}
+	for name, src := range cases {
+		if _, err := Parse(strings.NewReader(src), ""); err == nil {
+			t.Errorf("%s: accepted %q", name, src)
+		}
+	}
+}
+
+func TestFormatParseRoundTrip(t *testing.T) {
+	z := parseSample(t)
+	var buf bytes.Buffer
+	if err := Format(&buf, z); err != nil {
+		t.Fatal(err)
+	}
+	z2, err := Parse(bytes.NewReader(buf.Bytes()), "")
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, buf.String())
+	}
+	if z2.Origin() != z.Origin() {
+		t.Fatalf("origin %q vs %q", z2.Origin(), z.Origin())
+	}
+	names1, names2 := z.Names(), z2.Names()
+	if !reflect.DeepEqual(names1, names2) {
+		t.Fatalf("names %v vs %v", names1, names2)
+	}
+	for _, name := range names1 {
+		a, _ := z.Lookup(name, dnsmsg.TypeANY)
+		b, _ := z2.Lookup(name, dnsmsg.TypeANY)
+		if len(a) != len(b) {
+			t.Fatalf("%s: %d vs %d records", name, len(a), len(b))
+		}
+		// Compare as rendered strings, order-insensitively; TTLs may
+		// differ only where the file's $TTL applied (we formatted with
+		// explicit TTLs, so they must match exactly).
+		sa, sb := renderAll(a), renderAll(b)
+		if !reflect.DeepEqual(sa, sb) {
+			t.Fatalf("%s:\n%v\nvs\n%v", name, sa, sb)
+		}
+	}
+}
+
+func renderAll(rrs []dnsmsg.RR) []string {
+	out := make([]string, len(rrs))
+	for i, rr := range rrs {
+		out[i] = rr.String()
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestNolistingDeploymentExport(t *testing.T) {
+	// The practical workflow: build a nolisting deployment with the
+	// library, export it as a zone file an operator can load into BIND.
+	dep := nolist.Deployment{
+		Domain:   "corp.example",
+		DeadHost: "mx1.corp.example", DeadIP: "198.51.100.1",
+		LiveHost: "mx2.corp.example", LiveIP: "198.51.100.2",
+	}
+	zone, err := dep.Zone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Format(&buf, zone); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{"$ORIGIN corp.example.", "MX\t0 mx1.corp.example.", "MX\t15 mx2.corp.example.", "198.51.100.1"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("export missing %q:\n%s", want, text)
+		}
+	}
+	// And it round-trips into a servable zone.
+	z2, err := Parse(&buf, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mxs, _ := z2.Lookup("corp.example", dnsmsg.TypeMX)
+	if len(mxs) != 2 {
+		t.Fatalf("MX = %v", mxs)
+	}
+}
+
+func TestParseAAAA(t *testing.T) {
+	z, err := Parse(strings.NewReader("$ORIGIN x.example.\nh IN AAAA 2001:db8::1\n"), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rrs, _ := z.Lookup("h.x.example", dnsmsg.TypeAAAA)
+	if len(rrs) != 1 {
+		t.Fatalf("AAAA = %v", rrs)
+	}
+	if got := rrs[0].Data.(dnsmsg.AAAA).String(); got != "2001:db8:0:0:0:0:0:1" {
+		t.Fatalf("AAAA = %q", got)
+	}
+	// Round trip through Format.
+	var buf bytes.Buffer
+	if err := Format(&buf, z); err != nil {
+		t.Fatal(err)
+	}
+	z2, err := Parse(&buf, "")
+	if err != nil {
+		t.Fatalf("re-parse: %v", err)
+	}
+	if rrs2, _ := z2.Lookup("h.x.example", dnsmsg.TypeAAAA); len(rrs2) != 1 {
+		t.Fatalf("AAAA lost in round trip")
+	}
+	// IPv4 or garbage in an AAAA is rejected.
+	for _, bad := range []string{"1.2.3.4", "zz::1", ""} {
+		if _, err := Parse(strings.NewReader("$ORIGIN x.\nh IN AAAA "+bad+"\n"), ""); err == nil {
+			t.Errorf("AAAA %q accepted", bad)
+		}
+	}
+}
