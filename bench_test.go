@@ -262,9 +262,9 @@ func BenchmarkAblationSubnetKeying(b *testing.B) {
 	b.Run("subnet-24", func(b *testing.B) { run(b, true) })
 }
 
-// BenchmarkGreylistCheck measures the policy engine's hot path.
-func BenchmarkGreylistCheck(b *testing.B) {
-	g := greylist.New(greylist.DefaultPolicy(), simtime.NewSim(simtime.Epoch))
+// benchTriplets builds the benchmark working set: 1024 triplets from one
+// client, 26 distinct recipients.
+func benchTriplets() []greylist.Triplet {
 	triplets := make([]greylist.Triplet, 1024)
 	for i := range triplets {
 		triplets[i] = greylist.Triplet{
@@ -273,49 +273,170 @@ func BenchmarkGreylistCheck(b *testing.B) {
 			Recipient: "user" + string(rune('a'+i%26)) + "@dept.example",
 		}
 	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		g.Check(triplets[i%len(triplets)])
+	return triplets
+}
+
+// promoteAll drives every triplet through first-seen and an accepted
+// retry so the engine holds them all as passed — the warmed serving
+// state where nearly every production check lands.
+func promoteAll(b *testing.B, g greylist.Checker, clock *simtime.Sim, triplets []greylist.Triplet) {
+	b.Helper()
+	for _, t := range triplets {
+		g.Check(t)
+	}
+	clock.Advance(301 * time.Second)
+	for _, t := range triplets {
+		if v := g.Check(t); v.Decision != greylist.Pass {
+			b.Fatalf("promotion failed: %+v", v)
+		}
 	}
 }
 
-// BenchmarkGreylistCheckParallel measures contention on the shared store,
-// comparing the single-lock engine against sharded variants
-// (the DESIGN.md store-sharding ablation).
+// BenchmarkGreylistCheck measures the policy engine's decision paths with
+// allocation reporting: the write-locked pending path, the read-locked
+// known-passed fast path (the production steady state — must be
+// 0 allocs/op), and the auto-whitelisted client path.
+func BenchmarkGreylistCheck(b *testing.B) {
+	b.Run("pending", func(b *testing.B) {
+		g := greylist.New(greylist.DefaultPolicy(), simtime.NewSim(simtime.Epoch))
+		triplets := benchTriplets()
+		for _, t := range triplets {
+			g.Check(t) // records exist; every timed check is a too-soon retry
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			g.Check(triplets[i%len(triplets)])
+		}
+	})
+	b.Run("known-passed", func(b *testing.B) {
+		clock := simtime.NewSim(simtime.Epoch)
+		p := greylist.DefaultPolicy()
+		p.AutoWhitelistAfter = 0 // isolate the passed-triplet path
+		g := greylist.New(p, clock)
+		triplets := benchTriplets()
+		promoteAll(b, g, clock, triplets)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			g.Check(triplets[i%len(triplets)])
+		}
+	})
+	b.Run("auto-whitelisted", func(b *testing.B) {
+		clock := simtime.NewSim(simtime.Epoch)
+		g := greylist.New(greylist.DefaultPolicy(), clock)
+		triplets := benchTriplets()
+		promoteAll(b, g, clock, triplets) // >5 deliveries: client auto-whitelisted
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			g.Check(triplets[i%len(triplets)])
+		}
+	})
+}
+
+// BenchmarkGreylistCheckParallel measures concurrent checks against a
+// warmed store (every triplet passed), comparing the single RWMutex
+// engine against sharded variants (the DESIGN.md store-sharding
+// ablation).
 func BenchmarkGreylistCheckParallel(b *testing.B) {
-	bench := func(b *testing.B, check func(greylist.Triplet) greylist.Verdict) {
+	bench := func(b *testing.B, g greylist.Checker, clock *simtime.Sim) {
+		triplets := benchTriplets()
+		promoteAll(b, g, clock, triplets)
+		b.ReportAllocs()
+		b.ResetTimer()
 		b.RunParallel(func(pb *testing.PB) {
 			i := 0
 			for pb.Next() {
-				check(greylist.Triplet{
-					ClientIP:  "203.0.113.9",
-					Sender:    "bulk@sender.example",
-					Recipient: "user" + string(rune('a'+i%26)) + "@dept.example",
-				})
+				g.Check(triplets[i%len(triplets)])
 				i++
 			}
 		})
 	}
 	b.Run("single-lock", func(b *testing.B) {
-		g := greylist.New(greylist.DefaultPolicy(), simtime.NewSim(simtime.Epoch))
-		bench(b, g.Check)
+		clock := simtime.NewSim(simtime.Epoch)
+		bench(b, greylist.New(greylist.DefaultPolicy(), clock), clock)
 	})
 	for _, shards := range []int{4, 16} {
 		b.Run(fmt.Sprintf("sharded-%d", shards), func(b *testing.B) {
-			g := greylist.NewSharded(shards, greylist.DefaultPolicy(), simtime.NewSim(simtime.Epoch))
-			bench(b, g.Check)
+			clock := simtime.NewSim(simtime.Epoch)
+			bench(b, greylist.NewSharded(shards, greylist.DefaultPolicy(), clock), clock)
+		})
+	}
+}
+
+// BenchmarkGreylistCheckBatch measures the batch API on a pipelined-style
+// burst of 32 known-passed triplets, one locking round-trip per batch.
+// ns/op is per batch (divide by 32 for per-check cost); the out slice is
+// reused so the steady state allocates nothing.
+func BenchmarkGreylistCheckBatch(b *testing.B) {
+	const batch = 32
+	bench := func(b *testing.B, g greylist.BatchChecker, clock *simtime.Sim) {
+		triplets := benchTriplets()[:batch]
+		promoteAll(b, g, clock, triplets)
+		out := make([]greylist.Verdict, 0, batch)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			out = g.CheckBatch(triplets, out)
+		}
+		if out[0].Decision != greylist.Pass {
+			b.Fatalf("batch verdict: %+v", out[0])
+		}
+	}
+	b.Run("single-lock", func(b *testing.B) {
+		clock := simtime.NewSim(simtime.Epoch)
+		bench(b, greylist.New(greylist.DefaultPolicy(), clock), clock)
+	})
+	b.Run("sharded-16", func(b *testing.B) {
+		clock := simtime.NewSim(simtime.Epoch)
+		bench(b, greylist.NewSharded(16, greylist.DefaultPolicy(), clock), clock)
+	})
+}
+
+// BenchmarkScanStudyWorkers runs the Fig 2 two-scan study serially and
+// with the parallel domain scanner; the outputs are byte-identical, only
+// wall-clock differs.
+func BenchmarkScanStudyWorkers(b *testing.B) {
+	for _, workers := range []int{1, 0} {
+		name := fmt.Sprintf("workers-%d", workers)
+		if workers == 0 {
+			name = "workers-gomaxprocs"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pop, err := scan.Generate(scan.DefaultConfig(3000, 1))
+				if err != nil {
+					b.Fatal(err)
+				}
+				clock := simtime.NewSim(simtime.Epoch)
+				res := scan.RunStudyWorkers(pop, clock, 56*24*time.Hour, workers)
+				if res.EmailServers == 0 {
+					b.Fatal("empty study")
+				}
+			}
 		})
 	}
 }
 
 // BenchmarkEndToEndReport regenerates every artifact back to back — the
-// "full reproduction" cost.
+// "full reproduction" cost — serially and on the experiment worker pool
+// (byte-identical output either way).
 func BenchmarkEndToEndReport(b *testing.B) {
-	opts := benchOpts()
-	for i := 0; i < b.N; i++ {
-		if _, err := report.All(opts); err != nil {
-			b.Fatal(err)
+	for _, workers := range []int{1, 0} {
+		name := "serial"
+		if workers == 0 {
+			name = "parallel"
 		}
+		b.Run(name, func(b *testing.B) {
+			opts := benchOpts()
+			opts.Workers = workers
+			for i := 0; i < b.N; i++ {
+				if _, err := report.All(opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -21,13 +21,19 @@
 // The package is transport-agnostic: the SMTP server calls Check at RCPT
 // time and maps the verdict to a reply. All time flows through a
 // simtime.Clock so thresholds of hours run in simulated instants.
+//
+// The decision path is built for serving load: on a warmed-up server the
+// overwhelming majority of checks hit an already-passed triplet or an
+// auto-whitelisted client, so Check runs that case allocation-free under
+// a read lock (stack-built keys, atomic counter updates) and only takes
+// the exclusive lock when it must mutate the tables. CheckBatch amortizes
+// even the read lock across a pipelined run of RCPTs.
 package greylist
 
 import (
 	"fmt"
-	"net"
-	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/simtime"
@@ -46,28 +52,6 @@ type Triplet struct {
 // String implements fmt.Stringer.
 func (t Triplet) String() string {
 	return fmt.Sprintf("(%s, %s, %s)", t.ClientIP, t.Sender, t.Recipient)
-}
-
-// key returns the storage key, collapsing the client address to its /24
-// network when subnet keying is enabled (Postgrey's --lookup-by-subnet,
-// which tolerates webmail farms rotating through nearby addresses —
-// the failure mode Table III documents).
-func (t Triplet) key(subnet bool) string {
-	ip := t.ClientIP
-	if subnet {
-		ip = SubnetOf(ip)
-	}
-	return ip + "\x00" + strings.ToLower(t.Sender) + "\x00" + strings.ToLower(t.Recipient)
-}
-
-// SubnetOf maps an IPv4 address to its /24 network ("a.b.c"). Non-IPv4
-// input is returned unchanged.
-func SubnetOf(ip string) string {
-	parsed := net.ParseIP(ip)
-	if v4 := parsed.To4(); v4 != nil {
-		return fmt.Sprintf("%d.%d.%d", v4[0], v4[1], v4[2])
-	}
-	return ip
 }
 
 // Policy configures a Greylister. The zero value is not useful; start from
@@ -209,21 +193,72 @@ type Stats struct {
 	TripletsWhitelist uint64 // triplets promoted to passed
 }
 
+// counters are the live Stats, kept as atomics so the read-locked fast
+// path (and concurrent fast-path checks racing each other) can count
+// without the exclusive lock.
+type counters struct {
+	checks            atomic.Uint64
+	deferredNew       atomic.Uint64
+	deferredEarly     atomic.Uint64
+	deferredExpired   atomic.Uint64
+	passedRetry       atomic.Uint64
+	passedKnown       atomic.Uint64
+	passedWhitelist   atomic.Uint64
+	passedAutoClient  atomic.Uint64
+	tripletsRecorded  atomic.Uint64
+	tripletsWhitelist atomic.Uint64
+}
+
+func (c *counters) snapshot() Stats {
+	return Stats{
+		Checks:            c.checks.Load(),
+		DeferredNew:       c.deferredNew.Load(),
+		DeferredEarly:     c.deferredEarly.Load(),
+		DeferredExpired:   c.deferredExpired.Load(),
+		PassedRetry:       c.passedRetry.Load(),
+		PassedKnown:       c.passedKnown.Load(),
+		PassedWhitelist:   c.passedWhitelist.Load(),
+		PassedAutoClient:  c.passedAutoClient.Load(),
+		TripletsRecorded:  c.tripletsRecorded.Load(),
+		TripletsWhitelist: c.tripletsWhitelist.Load(),
+	}
+}
+
+func (c *counters) restore(s Stats) {
+	c.checks.Store(s.Checks)
+	c.deferredNew.Store(s.DeferredNew)
+	c.deferredEarly.Store(s.DeferredEarly)
+	c.deferredExpired.Store(s.DeferredExpired)
+	c.passedRetry.Store(s.PassedRetry)
+	c.passedKnown.Store(s.PassedKnown)
+	c.passedWhitelist.Store(s.PassedWhitelist)
+	c.passedAutoClient.Store(s.PassedAutoClient)
+	c.tripletsRecorded.Store(s.TripletsRecorded)
+	c.tripletsWhitelist.Store(s.TripletsWhitelist)
+}
+
+// pendingRecord tracks a deferred triplet. Only touched under the write
+// lock (deferrals always mutate state).
 type pendingRecord struct {
 	firstSeen time.Time
 	lastSeen  time.Time
 	attempts  int
 }
 
+// passedRecord tracks a whitelisted triplet. passedAt is immutable after
+// creation; lastUsed/deliveries are atomics (unix nanoseconds / count)
+// so read-locked hits can refresh them concurrently.
 type passedRecord struct {
 	passedAt   time.Time
-	lastUsed   time.Time
-	deliveries int
+	lastUsed   atomic.Int64
+	deliveries atomic.Int64
 }
 
+// clientRecord tracks a client's auto-whitelist credit; fields are
+// atomics for the same reason as passedRecord.
 type clientRecord struct {
-	deliveries int
-	lastUsed   time.Time
+	deliveries atomic.Int64
+	lastUsed   atomic.Int64
 }
 
 // Greylister is the policy engine. It is safe for concurrent use.
@@ -232,11 +267,12 @@ type Greylister struct {
 	clock     simtime.Clock
 	whitelist *Whitelist
 
-	mu      sync.Mutex
+	stats counters
+
+	mu      sync.RWMutex
 	pending map[string]*pendingRecord
 	passed  map[string]*passedRecord
 	clients map[string]*clientRecord
-	stats   Stats
 }
 
 // New returns a Greylister with the given policy. A nil clock means the
@@ -262,60 +298,123 @@ func (g *Greylister) Policy() Policy { return g.policy }
 func (g *Greylister) Whitelist() *Whitelist { return g.whitelist }
 
 // Stats returns a snapshot of the counters.
-func (g *Greylister) Stats() Stats {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.stats
-}
+func (g *Greylister) Stats() Stats { return g.stats.snapshot() }
 
 // Check runs the greylisting decision procedure for one delivery attempt
 // and updates state accordingly.
+//
+// The common serving-path cases — static whitelist, auto-whitelisted
+// client, already-passed triplet — complete without allocating and
+// without the exclusive lock.
 func (g *Greylister) Check(t Triplet) Verdict {
 	now := g.clock.Now()
+	g.stats.checks.Add(1)
 
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	g.stats.Checks++
-
+	// The static whitelist has its own lock; matching it before (and
+	// outside) the store lock keeps configured exemptions off the
+	// store's critical section entirely.
 	if g.whitelist.Match(t) {
-		g.stats.PassedWhitelist++
+		g.stats.passedWhitelist.Add(1)
 		return Verdict{Decision: Pass, Reason: ReasonWhitelisted}
 	}
 
-	clientKey := t.ClientIP
-	if g.policy.SubnetKeying {
-		clientKey = SubnetOf(t.ClientIP)
+	var ckBuf, kBuf [keyBufCap]byte
+	clientKey := appendClientKey(ckBuf[:0], t.ClientIP, g.policy.SubnetKeying)
+	key := t.appendKey(kBuf[:0], clientKey)
+
+	g.mu.RLock()
+	v, ok := g.fastPath(clientKey, key, now)
+	g.mu.RUnlock()
+	if ok {
+		return v
 	}
+
+	g.mu.Lock()
+	v = g.checkSlow(clientKey, key, now)
+	g.mu.Unlock()
+	return v
+}
+
+// fastPath attempts the read-only decision: an auto-whitelisted client or
+// a known-passed triplet. It runs under the read lock and mutates nothing
+// but atomic fields. The second return value reports whether the verdict
+// is final; false sends the caller to the write-locked slow path (unknown
+// triplet, expired record to delete, or a client record to create).
+func (g *Greylister) fastPath(clientKey, key []byte, now time.Time) (Verdict, bool) {
+	nowNs := now.UnixNano()
 	if g.policy.AutoWhitelistAfter > 0 {
-		if c, ok := g.clients[clientKey]; ok {
-			if g.policy.AutoWhitelistLifetime > 0 && now.Sub(c.lastUsed) > g.policy.AutoWhitelistLifetime {
-				delete(g.clients, clientKey)
-			} else if c.deliveries >= g.policy.AutoWhitelistAfter {
-				c.lastUsed = now
-				g.stats.PassedAutoClient++
+		if c, ok := g.clients[string(clientKey)]; ok {
+			if g.policy.AutoWhitelistLifetime > 0 && nowNs-c.lastUsed.Load() > int64(g.policy.AutoWhitelistLifetime) {
+				return Verdict{}, false // stale: slow path deletes it
+			}
+			if int(c.deliveries.Load()) >= g.policy.AutoWhitelistAfter {
+				c.lastUsed.Store(nowNs)
+				g.stats.passedAutoClient.Add(1)
+				return Verdict{Decision: Pass, Reason: ReasonAutoWhitelisted}, true
+			}
+		}
+	}
+
+	p, ok := g.passed[string(key)]
+	if !ok {
+		return Verdict{}, false
+	}
+	if g.policy.PassLifetime > 0 && nowNs-p.lastUsed.Load() > int64(g.policy.PassLifetime) {
+		return Verdict{}, false // expired: slow path deletes it
+	}
+	var c *clientRecord
+	if g.policy.AutoWhitelistAfter > 0 {
+		if c, ok = g.clients[string(clientKey)]; !ok {
+			// First credit for this client allocates its record:
+			// that's the slow path's job.
+			return Verdict{}, false
+		}
+	}
+	p.lastUsed.Store(nowNs)
+	n := p.deliveries.Add(1)
+	if c != nil {
+		c.deliveries.Add(1)
+		c.lastUsed.Store(nowNs)
+	}
+	g.stats.passedKnown.Add(1)
+	return Verdict{Decision: Pass, Reason: ReasonKnownTriplet, FirstSeen: p.passedAt, Attempts: int(n)}, true
+}
+
+// checkSlow is the write-locked decision procedure. Callers hold g.mu
+// exclusively. It re-runs the whole check (state may have changed between
+// the read and write lock) and performs every mutation the fast path
+// cannot: record creation, promotion, expiry deletion.
+func (g *Greylister) checkSlow(clientKey, key []byte, now time.Time) Verdict {
+	nowNs := now.UnixNano()
+
+	if g.policy.AutoWhitelistAfter > 0 {
+		if c, ok := g.clients[string(clientKey)]; ok {
+			if g.policy.AutoWhitelistLifetime > 0 && nowNs-c.lastUsed.Load() > int64(g.policy.AutoWhitelistLifetime) {
+				delete(g.clients, string(clientKey))
+			} else if int(c.deliveries.Load()) >= g.policy.AutoWhitelistAfter {
+				c.lastUsed.Store(nowNs)
+				g.stats.passedAutoClient.Add(1)
 				return Verdict{Decision: Pass, Reason: ReasonAutoWhitelisted}
 			}
 		}
 	}
 
-	key := t.key(g.policy.SubnetKeying)
-
-	if p, ok := g.passed[key]; ok {
-		if g.policy.PassLifetime > 0 && now.Sub(p.lastUsed) > g.policy.PassLifetime {
-			delete(g.passed, key)
+	if p, ok := g.passed[string(key)]; ok {
+		if g.policy.PassLifetime > 0 && nowNs-p.lastUsed.Load() > int64(g.policy.PassLifetime) {
+			delete(g.passed, string(key))
 		} else {
-			p.lastUsed = now
-			p.deliveries++
-			g.creditClient(clientKey, now)
-			g.stats.PassedKnown++
-			return Verdict{Decision: Pass, Reason: ReasonKnownTriplet, FirstSeen: p.passedAt, Attempts: p.deliveries}
+			p.lastUsed.Store(nowNs)
+			n := p.deliveries.Add(1)
+			g.creditClient(clientKey, nowNs)
+			g.stats.passedKnown.Add(1)
+			return Verdict{Decision: Pass, Reason: ReasonKnownTriplet, FirstSeen: p.passedAt, Attempts: int(n)}
 		}
 	}
 
-	rec, known := g.pending[key]
+	rec, known := g.pending[string(key)]
 	if known && g.policy.RetryWindow > 0 && now.Sub(rec.firstSeen) > g.policy.RetryWindow {
 		// The retry came too late: start over.
-		g.stats.DeferredExpired++
+		g.stats.deferredExpired.Add(1)
 		rec.firstSeen = now
 		rec.lastSeen = now
 		rec.attempts = 1
@@ -329,9 +428,9 @@ func (g *Greylister) Check(t Triplet) Verdict {
 	}
 
 	if !known {
-		g.pending[key] = &pendingRecord{firstSeen: now, lastSeen: now, attempts: 1}
-		g.stats.DeferredNew++
-		g.stats.TripletsRecorded++
+		g.pending[string(key)] = &pendingRecord{firstSeen: now, lastSeen: now, attempts: 1}
+		g.stats.deferredNew.Add(1)
+		g.stats.tripletsRecorded.Add(1)
 		return Verdict{
 			Decision:      Defer,
 			Reason:        ReasonFirstSeen,
@@ -345,7 +444,7 @@ func (g *Greylister) Check(t Triplet) Verdict {
 	rec.lastSeen = now
 	elapsed := now.Sub(rec.firstSeen)
 	if elapsed < g.policy.Threshold {
-		g.stats.DeferredEarly++
+		g.stats.deferredEarly.Add(1)
 		return Verdict{
 			Decision:      Defer,
 			Reason:        ReasonTooSoon,
@@ -356,11 +455,14 @@ func (g *Greylister) Check(t Triplet) Verdict {
 	}
 
 	// Retry accepted: promote to passed.
-	delete(g.pending, key)
-	g.passed[key] = &passedRecord{passedAt: now, lastUsed: now, deliveries: 1}
-	g.creditClient(clientKey, now)
-	g.stats.PassedRetry++
-	g.stats.TripletsWhitelist++
+	delete(g.pending, string(key))
+	p := &passedRecord{passedAt: now}
+	p.lastUsed.Store(nowNs)
+	p.deliveries.Store(1)
+	g.passed[string(key)] = p
+	g.creditClient(clientKey, nowNs)
+	g.stats.passedRetry.Add(1)
+	g.stats.tripletsWhitelist.Add(1)
 	return Verdict{
 		Decision:  Pass,
 		Reason:    ReasonRetryAccepted,
@@ -370,19 +472,78 @@ func (g *Greylister) Check(t Triplet) Verdict {
 	}
 }
 
+// CheckBatch decides a run of delivery attempts (e.g. a pipelined burst
+// of RCPTs) sharing one timestamp and one trip through the store's
+// locks: a single read-lock pass decides every fast-path attempt, and
+// only the misses take the exclusive lock, once, together.
+//
+// The result slice is out when it has sufficient capacity (letting
+// callers reuse one slice across batches), a fresh allocation otherwise.
+// Verdicts are positionally matched to ts. Semantics are identical to
+// calling Check on each triplet in order at the same instant.
+func (g *Greylister) CheckBatch(ts []Triplet, out []Verdict) []Verdict {
+	out = verdictSlice(out, len(ts))
+	if len(ts) == 0 {
+		return out
+	}
+	now := g.clock.Now()
+	g.stats.checks.Add(uint64(len(ts)))
+
+	var ckBuf, kBuf [keyBufCap]byte
+	var miss []int
+
+	g.mu.RLock()
+	for i, t := range ts {
+		if g.whitelist.Match(t) {
+			g.stats.passedWhitelist.Add(1)
+			out[i] = Verdict{Decision: Pass, Reason: ReasonWhitelisted}
+			continue
+		}
+		clientKey := appendClientKey(ckBuf[:0], t.ClientIP, g.policy.SubnetKeying)
+		key := t.appendKey(kBuf[:0], clientKey)
+		if v, ok := g.fastPath(clientKey, key, now); ok {
+			out[i] = v
+		} else {
+			miss = append(miss, i)
+		}
+	}
+	g.mu.RUnlock()
+
+	if len(miss) == 0 {
+		return out
+	}
+	g.mu.Lock()
+	for _, i := range miss {
+		clientKey := appendClientKey(ckBuf[:0], ts[i].ClientIP, g.policy.SubnetKeying)
+		key := ts[i].appendKey(kBuf[:0], clientKey)
+		out[i] = g.checkSlow(clientKey, key, now)
+	}
+	g.mu.Unlock()
+	return out
+}
+
+// verdictSlice returns out resized to n, reusing its backing array when
+// possible. Every element is overwritten by the caller.
+func verdictSlice(out []Verdict, n int) []Verdict {
+	if cap(out) < n {
+		return make([]Verdict, n)
+	}
+	return out[:n]
+}
+
 // creditClient counts a successful delivery toward the client
-// auto-whitelist. Callers hold g.mu.
-func (g *Greylister) creditClient(clientKey string, now time.Time) {
+// auto-whitelist. Callers hold g.mu exclusively.
+func (g *Greylister) creditClient(clientKey []byte, nowNs int64) {
 	if g.policy.AutoWhitelistAfter <= 0 {
 		return
 	}
-	c, ok := g.clients[clientKey]
+	c, ok := g.clients[string(clientKey)]
 	if !ok {
 		c = &clientRecord{}
-		g.clients[clientKey] = c
+		g.clients[string(clientKey)] = c
 	}
-	c.deliveries++
-	c.lastUsed = now
+	c.deliveries.Add(1)
+	c.lastUsed.Store(nowNs)
 }
 
 // GC removes expired pending and passed records and stale auto-whitelist
@@ -390,6 +551,7 @@ func (g *Greylister) creditClient(clientKey string, now time.Time) {
 // periodically; experiments call it between phases.
 func (g *Greylister) GC() int {
 	now := g.clock.Now()
+	nowNs := now.UnixNano()
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	dropped := 0
@@ -403,7 +565,7 @@ func (g *Greylister) GC() int {
 	}
 	if g.policy.PassLifetime > 0 {
 		for k, rec := range g.passed {
-			if now.Sub(rec.lastUsed) > g.policy.PassLifetime {
+			if nowNs-rec.lastUsed.Load() > int64(g.policy.PassLifetime) {
 				delete(g.passed, k)
 				dropped++
 			}
@@ -411,7 +573,7 @@ func (g *Greylister) GC() int {
 	}
 	if g.policy.AutoWhitelistLifetime > 0 {
 		for k, rec := range g.clients {
-			if now.Sub(rec.lastUsed) > g.policy.AutoWhitelistLifetime {
+			if nowNs-rec.lastUsed.Load() > int64(g.policy.AutoWhitelistLifetime) {
 				delete(g.clients, k)
 				dropped++
 			}
@@ -423,14 +585,14 @@ func (g *Greylister) GC() int {
 // PendingCount and PassedCount report table sizes (for monitoring and the
 // paper's "cost for the system ... disk space" discussion).
 func (g *Greylister) PendingCount() int {
-	g.mu.Lock()
-	defer g.mu.Unlock()
+	g.mu.RLock()
+	defer g.mu.RUnlock()
 	return len(g.pending)
 }
 
 // PassedCount reports the number of whitelisted triplets.
 func (g *Greylister) PassedCount() int {
-	g.mu.Lock()
-	defer g.mu.Unlock()
+	g.mu.RLock()
+	defer g.mu.RUnlock()
 	return len(g.passed)
 }

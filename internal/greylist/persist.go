@@ -48,16 +48,23 @@ func (g *Greylister) Save(w io.Writer) error {
 		Pending: make(map[string]pendingSnap, len(g.pending)),
 		Passed:  make(map[string]passedSnap, len(g.passed)),
 		Clients: make(map[string]clientSnap, len(g.clients)),
-		Stats:   g.stats,
+		Stats:   g.stats.snapshot(),
 	}
 	for k, v := range g.pending {
 		snap.Pending[k] = pendingSnap{FirstSeen: v.firstSeen, LastSeen: v.lastSeen, Attempts: v.attempts}
 	}
 	for k, v := range g.passed {
-		snap.Passed[k] = passedSnap{PassedAt: v.passedAt, LastUsed: v.lastUsed, Deliveries: v.deliveries}
+		snap.Passed[k] = passedSnap{
+			PassedAt:   v.passedAt,
+			LastUsed:   time.Unix(0, v.lastUsed.Load()).UTC(),
+			Deliveries: int(v.deliveries.Load()),
+		}
 	}
 	for k, v := range g.clients {
-		snap.Clients[k] = clientSnap{Deliveries: v.deliveries, LastUsed: v.lastUsed}
+		snap.Clients[k] = clientSnap{
+			Deliveries: int(v.deliveries.Load()),
+			LastUsed:   time.Unix(0, v.lastUsed.Load()).UTC(),
+		}
 	}
 	g.mu.Unlock()
 
@@ -83,11 +90,17 @@ func (g *Greylister) Load(r io.Reader) error {
 	}
 	passed := make(map[string]*passedRecord, len(snap.Passed))
 	for k, v := range snap.Passed {
-		passed[k] = &passedRecord{passedAt: v.PassedAt, lastUsed: v.LastUsed, deliveries: v.Deliveries}
+		p := &passedRecord{passedAt: v.PassedAt}
+		p.lastUsed.Store(v.LastUsed.UnixNano())
+		p.deliveries.Store(int64(v.Deliveries))
+		passed[k] = p
 	}
 	clients := make(map[string]*clientRecord, len(snap.Clients))
 	for k, v := range snap.Clients {
-		clients[k] = &clientRecord{deliveries: v.Deliveries, lastUsed: v.LastUsed}
+		c := &clientRecord{}
+		c.deliveries.Store(int64(v.Deliveries))
+		c.lastUsed.Store(v.LastUsed.UnixNano())
+		clients[k] = c
 	}
 
 	g.mu.Lock()
@@ -95,7 +108,7 @@ func (g *Greylister) Load(r io.Reader) error {
 	g.pending = pending
 	g.passed = passed
 	g.clients = clients
-	g.stats = snap.Stats
+	g.stats.restore(snap.Stats)
 	return nil
 }
 

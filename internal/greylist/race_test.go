@@ -1,0 +1,140 @@
+package greylist
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/simtime"
+)
+
+// TestConcurrentSharded hammers a Sharded engine from many goroutines —
+// Check, CheckBatch, GC, Save, Stats, counts — while another advances the
+// sim clock, locking in the RWMutex fast path and the atomic record
+// fields under the race detector (go test -race ./internal/greylist/...
+// is part of the tier-1 recipe).
+func TestConcurrentSharded(t *testing.T) {
+	clock := simtime.NewSim(simtime.Epoch)
+	p := DefaultPolicy()
+	p.AutoWhitelistAfter = 3
+	s := NewSharded(4, p, clock)
+	s.Whitelist().AddRecipient("postmaster@foo.net")
+
+	const (
+		workers = 8
+		iters   = 400
+	)
+	var wg sync.WaitGroup
+
+	// Clock advancer: pushes time forward so checks cross the threshold,
+	// promote to passed, and exercise the read-locked known-passed path.
+	stop := make(chan struct{})
+	advanced := make(chan struct{})
+	go func() {
+		defer close(advanced)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				clock.Advance(90 * time.Second)
+			}
+		}
+	}()
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var out []Verdict
+			batch := make([]Triplet, 0, 4)
+			for i := 0; i < iters; i++ {
+				tr := Triplet{
+					ClientIP:  fmt.Sprintf("203.0.113.%d", i%32),
+					Sender:    fmt.Sprintf("s%d@x.example", i%16),
+					Recipient: fmt.Sprintf("u%d@foo.net", w%4),
+				}
+				switch i % 8 {
+				case 0:
+					batch = append(batch[:0], tr,
+						Triplet{ClientIP: tr.ClientIP, Sender: tr.Sender, Recipient: "postmaster@foo.net"},
+						Triplet{ClientIP: "2001:db8::1", Sender: "v6@x.example", Recipient: "u@foo.net"})
+					out = s.CheckBatch(batch, out)
+					for j, v := range out {
+						if v.Decision != Defer && v.Decision != Pass {
+							t.Errorf("batch[%d]: zero verdict %+v", j, v)
+						}
+					}
+				case 3:
+					s.GC()
+				case 5:
+					var buf bytes.Buffer
+					if err := s.Save(&buf); err != nil {
+						t.Errorf("Save: %v", err)
+					}
+				case 7:
+					_ = s.Stats()
+					_ = s.PendingCount()
+					_ = s.PassedCount()
+				default:
+					if v := s.Check(tr); v.Decision != Defer && v.Decision != Pass {
+						t.Errorf("check: zero verdict %+v", v)
+					}
+				}
+			}
+		}(w)
+	}
+
+	wg.Wait()
+	close(stop)
+	<-advanced
+	if st := s.Stats(); st.Checks == 0 {
+		t.Fatal("no checks counted")
+	}
+}
+
+// TestConcurrentGreylisterFastPath drives a single Greylister to the
+// known-passed and auto-whitelisted states, then hits it from many
+// goroutines at once: every hit should take the read-locked fast path
+// concurrently and agree on the verdict.
+func TestConcurrentGreylisterFastPath(t *testing.T) {
+	clock := simtime.NewSim(simtime.Epoch)
+	p := DefaultPolicy()
+	p.AutoWhitelistAfter = 2
+	g := New(p, clock)
+
+	tr := Triplet{ClientIP: "198.51.100.7", Sender: "a@x.example", Recipient: "u@foo.net"}
+	g.Check(tr)
+	clock.Advance(301 * time.Second)
+	if v := g.Check(tr); v.Reason != ReasonRetryAccepted {
+		t.Fatalf("setup: %+v", v)
+	}
+
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				v := g.Check(tr)
+				if v.Decision != Pass {
+					t.Errorf("fast path deferred: %+v", v)
+					return
+				}
+				if v.Reason != ReasonKnownTriplet && v.Reason != ReasonAutoWhitelisted {
+					t.Errorf("unexpected reason: %+v", v)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	st := g.Stats()
+	if got := st.PassedKnown + st.PassedAutoClient; got < workers*500 {
+		t.Fatalf("passed counters = %d, want >= %d", got, workers*500)
+	}
+}

@@ -3,7 +3,6 @@ package greylist
 import (
 	"bufio"
 	"fmt"
-	"hash/fnv"
 	"io"
 
 	"repro/internal/simtime"
@@ -49,15 +48,66 @@ func (s *Sharded) Whitelist() *Whitelist { return s.whitelist }
 // Policy returns the shared policy.
 func (s *Sharded) Policy() Policy { return s.shards[0].policy }
 
-func (s *Sharded) shardFor(t Triplet) *Greylister {
-	h := fnv.New32a()
-	io.WriteString(h, t.key(s.shards[0].policy.SubnetKeying))
-	return s.shards[h.Sum32()%uint32(len(s.shards))]
+// shardIndex picks the shard by FNV-1a over the canonical key bytes,
+// built in a stack buffer — no hasher object, no intermediate string.
+// The hash equals hash/fnv over t.key(...), so shard assignment (and
+// therefore on-disk sharded snapshots) is unchanged from the string-based
+// implementation.
+func (s *Sharded) shardIndex(t Triplet) int {
+	var ckBuf, kBuf [keyBufCap]byte
+	clientKey := appendClientKey(ckBuf[:0], t.ClientIP, s.shards[0].policy.SubnetKeying)
+	key := t.appendKey(kBuf[:0], clientKey)
+	return int(fnv1a(key) % uint32(len(s.shards)))
 }
 
 // Check runs the greylisting decision on the triplet's shard.
 func (s *Sharded) Check(t Triplet) Verdict {
-	return s.shardFor(t).Check(t)
+	return s.shards[s.shardIndex(t)].Check(t)
+}
+
+// CheckBatch decides a run of attempts, grouping them by shard so each
+// shard's locks are taken once per batch instead of once per triplet.
+// Verdicts are positionally matched to ts; semantics are identical to
+// calling Check on each triplet in order. The result reuses out when it
+// has sufficient capacity.
+func (s *Sharded) CheckBatch(ts []Triplet, out []Verdict) []Verdict {
+	out = verdictSlice(out, len(ts))
+	if len(ts) == 0 {
+		return out
+	}
+	if len(ts) == 1 {
+		out[0] = s.Check(ts[0])
+		return out
+	}
+
+	// Group positions by shard. A batch is a pipelined burst from one
+	// client — small — so two stack-friendly slices beat a map.
+	idx := make([]int, len(ts))
+	for i, t := range ts {
+		idx[i] = s.shardIndex(t)
+	}
+	var (
+		group []Triplet
+		pos   []int
+		sub   []Verdict
+	)
+	for sh := range s.shards {
+		group, pos = group[:0], pos[:0]
+		for i, want := range idx {
+			if want == sh {
+				group = append(group, ts[i])
+				pos = append(pos, i)
+			}
+		}
+		if len(group) == 0 {
+			continue
+		}
+		sub = s.shards[sh].CheckBatch(group, sub)
+		for j, i := range pos {
+			out[i] = sub[j]
+		}
+	}
+	return out
 }
 
 // GC collects every shard, returning the total dropped.
@@ -154,11 +204,29 @@ var (
 	_ Checker = (*Sharded)(nil)
 )
 
+// BatchChecker is implemented by engines that can amortize locking over a
+// run of attempts (a pipelined RCPT burst, a drained policy-request
+// queue). Both Greylister and Sharded implement it; callers holding only
+// a Checker can type-assert and fall back to per-triplet Check.
+type BatchChecker interface {
+	Checker
+	// CheckBatch decides every triplet in ts, writing verdicts
+	// positionally. It reuses out when cap(out) >= len(ts) and returns
+	// the verdict slice. Semantics match calling Check on each triplet
+	// in order.
+	CheckBatch(ts []Triplet, out []Verdict) []Verdict
+}
+
+var (
+	_ BatchChecker = (*Greylister)(nil)
+	_ BatchChecker = (*Sharded)(nil)
+)
+
 // Engine is the full surface shared by Greylister and Sharded; servers
 // that want to accept either (e.g. core.Domain with configurable
 // sharding) program against it.
 type Engine interface {
-	Checker
+	BatchChecker
 	Policy() Policy
 	Stats() Stats
 	PendingCount() int

@@ -78,21 +78,31 @@ func (w *Whitelist) AddRecipient(mailbox string) {
 }
 
 // Match reports whether the triplet is exempt from greylisting.
+//
+// Match sits on the Check hot path, so each category is skipped — along
+// with whatever parsing or lowercasing it would need — when it is empty;
+// the common deployment with no exemptions configured does no work at all
+// beyond the lock.
 func (w *Whitelist) Match(t Triplet) bool {
 	w.mu.RLock()
 	defer w.mu.RUnlock()
-	if w.recipients[strings.ToLower(t.Recipient)] {
+	if len(w.recipients) > 0 && w.recipients[strings.ToLower(t.Recipient)] {
 		return true
 	}
-	if w.ips[t.ClientIP] {
+	if len(w.ips) > 0 && w.ips[t.ClientIP] {
 		return true
 	}
-	if ip := net.ParseIP(t.ClientIP); ip != nil {
-		for _, n := range w.cidrs {
-			if n.Contains(ip) {
-				return true
+	if len(w.cidrs) > 0 {
+		if ip := net.ParseIP(t.ClientIP); ip != nil {
+			for _, n := range w.cidrs {
+				if n.Contains(ip) {
+					return true
+				}
 			}
 		}
+	}
+	if len(w.senderDomains) == 0 {
+		return false
 	}
 	if d := smtpproto.DomainOf(t.Sender); d != "" {
 		for d != "" {

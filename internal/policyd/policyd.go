@@ -182,22 +182,78 @@ func (s *Server) serveConn(conn net.Conn) {
 	defer conn.Close()
 	br := bufio.NewReader(conn)
 	bw := bufio.NewWriter(conn)
+	var (
+		reqs  []Request
+		resps []Response
+	)
 	for {
 		req, err := ParseRequest(br)
 		if err != nil {
 			return // EOF or garbage: drop the connection, like Postgrey
 		}
+		// An MTA under load writes requests back-to-back without waiting
+		// for each answer; drain every complete request already buffered
+		// and decide them as one batch, amortizing the engine's locks.
+		reqs = append(reqs[:0], req)
+		for len(reqs) < maxRequestBatch && bufferedRequest(br) {
+			next, err := ParseRequest(br)
+			if err != nil {
+				return
+			}
+			reqs = append(reqs, next)
+		}
 		s.mu.Lock()
-		s.requests++
+		s.requests += uint64(len(reqs))
 		s.mu.Unlock()
-		resp := s.Decide(req)
-		if err := resp.Write(bw); err != nil {
-			return
+		resps = s.DecideBatch(reqs, resps)
+		for _, resp := range resps {
+			if err := resp.Write(bw); err != nil {
+				return
+			}
 		}
 		if err := bw.Flush(); err != nil {
 			return
 		}
 	}
+}
+
+// maxRequestBatch bounds how many buffered policy requests are decided
+// per batch, so one slow engine pass can't starve the reply stream.
+const maxRequestBatch = 64
+
+// bufferedRequest reports whether br already holds at least one complete
+// request — one or more attribute lines followed by a blank line — so
+// ParseRequest is guaranteed not to block. Leading blank lines (which
+// ParseRequest skips) do not count as completion.
+func bufferedRequest(br *bufio.Reader) bool {
+	n := br.Buffered()
+	if n == 0 {
+		return false
+	}
+	buf, err := br.Peek(n)
+	if err != nil {
+		return false
+	}
+	sawAttr := false
+	start := 0
+	for i, b := range buf {
+		if b != '\n' {
+			continue
+		}
+		line := buf[start:i]
+		if len(line) > 0 && line[len(line)-1] == '\r' {
+			line = line[:len(line)-1]
+		}
+		if len(line) == 0 {
+			if sawAttr {
+				return true
+			}
+		} else {
+			sawAttr = true
+		}
+		start = i + 1
+	}
+	return false
 }
 
 // Decide maps one policy request to an action. Exposed for testing and
@@ -210,11 +266,61 @@ func (s *Server) Decide(req Request) Response {
 	if req.ClientAddress() == "" || req.Recipient() == "" {
 		return Response{Action: "DUNNO"}
 	}
-	v := s.checker.Check(greylist.Triplet{
+	return s.actionFor(s.checker.Check(triplet(req)))
+}
+
+// DecideBatch maps a run of policy requests to actions, answering
+// positionally. When the engine supports batch checking the greylistable
+// requests share one CheckBatch call; semantics match calling Decide on
+// each request in order. The result reuses out when it has capacity.
+func (s *Server) DecideBatch(reqs []Request, out []Response) []Response {
+	if cap(out) < len(reqs) {
+		out = make([]Response, len(reqs))
+	} else {
+		out = out[:len(reqs)]
+	}
+	bc, ok := s.checker.(greylist.BatchChecker)
+	if !ok || len(reqs) == 1 {
+		for i, req := range reqs {
+			out[i] = s.Decide(req)
+		}
+		return out
+	}
+	var (
+		ts  []greylist.Triplet
+		pos []int
+	)
+	for i, req := range reqs {
+		if st := req.ProtocolState(); st != "" && st != "RCPT" {
+			out[i] = Response{Action: "DUNNO"}
+			continue
+		}
+		if req.ClientAddress() == "" || req.Recipient() == "" {
+			out[i] = Response{Action: "DUNNO"}
+			continue
+		}
+		ts = append(ts, triplet(req))
+		pos = append(pos, i)
+	}
+	if len(ts) == 0 {
+		return out
+	}
+	for j, v := range bc.CheckBatch(ts, nil) {
+		out[pos[j]] = s.actionFor(v)
+	}
+	return out
+}
+
+func triplet(req Request) greylist.Triplet {
+	return greylist.Triplet{
 		ClientIP:  req.ClientAddress(),
 		Sender:    req.Sender(),
 		Recipient: req.Recipient(),
-	})
+	}
+}
+
+// actionFor maps a greylisting verdict to the wire action.
+func (s *Server) actionFor(v greylist.Verdict) Response {
 	switch v.Decision {
 	case greylist.Pass:
 		if s.PrependHeader && v.Reason == greylist.ReasonRetryAccepted {

@@ -1,0 +1,93 @@
+package report
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestParallelMatchesGoldenResults regenerates every experiment at the
+// committed defaults with the worker pool enabled and asserts the output
+// is byte-identical to the results/*.txt files in the repository — the
+// determinism guarantee the parallel pipeline promises. A mismatch means
+// either a behavioural change (recommit results/ deliberately) or a
+// determinism bug in the fan-out (fix the fan-out).
+func TestParallelMatchesGoldenResults(t *testing.T) {
+	resultsDir := filepath.Join("..", "..", "results")
+	if _, err := os.Stat(resultsDir); err != nil {
+		t.Skipf("no committed results directory: %v", err)
+	}
+
+	opts := Defaults()
+	opts.Workers = 0 // one worker per core — parallelism on
+	outs, err := RunMany(Experiments, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, name := range Experiments {
+		golden, err := os.ReadFile(filepath.Join(resultsDir, name+".txt"))
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if string(golden) != outs[i] {
+			t.Errorf("%s: parallel output differs from committed results/%s.txt (first divergence at byte %d)",
+				name, name, firstDiff(string(golden), outs[i]))
+		}
+	}
+
+	// All must assemble exactly these renderings, in paper order.
+	all, err := All(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	for i, name := range Experiments {
+		sb.WriteString("==== " + name + " " + strings.Repeat("=", 60-len(name)) + "\n\n")
+		sb.WriteString(outs[i])
+		sb.WriteString("\n")
+	}
+	if all != sb.String() {
+		t.Errorf("All differs from the per-experiment concatenation (first divergence at byte %d)",
+			firstDiff(sb.String(), all))
+	}
+}
+
+// TestRunManySerialParallelIdentical checks worker count never changes
+// output, at test scale (cheaper than the golden run, catches fan-out
+// nondeterminism even if results/ drifts).
+func TestRunManySerialParallelIdentical(t *testing.T) {
+	serial := fastOpts()
+	serial.Workers = 1
+	parallel := fastOpts()
+	parallel.Workers = 4
+
+	s, err := RunMany(Experiments, serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := RunMany(Experiments, parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, name := range Experiments {
+		if s[i] != p[i] {
+			t.Errorf("%s: serial and 4-worker outputs differ (first divergence at byte %d)",
+				name, firstDiff(s[i], p[i]))
+		}
+	}
+}
+
+func firstDiff(a, b string) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}

@@ -19,8 +19,11 @@ package report
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/botnet"
@@ -48,6 +51,13 @@ type Options struct {
 	// LogDays and LogMessagesPerDay size the Fig 5 deployment.
 	LogDays           int
 	LogMessagesPerDay int
+	// Workers bounds the worker pools that fan experiments (RunMany,
+	// All) and the Fig 2 domain scan out across cores: 0 means
+	// GOMAXPROCS, 1 forces serial execution. Output is byte-identical
+	// at any worker count — experiments seed their own rngs and
+	// virtual clocks independently, and results are assembled in
+	// request order.
+	Workers int
 }
 
 // Defaults returns laptop-scale options (seconds per experiment).
@@ -81,7 +91,7 @@ func Fig2(opts Options) (string, *scan.StudyResult, error) {
 		return "", nil, err
 	}
 	clock := simtime.NewSim(simtime.Epoch)
-	res := scan.RunStudy(pop, clock, 56*24*time.Hour)
+	res := scan.RunStudyWorkers(pop, clock, 56*24*time.Hour, opts.Workers)
 
 	var sb strings.Builder
 	sb.WriteString(res.RenderPie())
@@ -352,16 +362,66 @@ func Run(name string, opts Options) (string, error) {
 	}
 }
 
-// All runs every experiment in paper order, concatenated.
-func All(opts Options) (string, error) {
-	var sb strings.Builder
-	for _, name := range Experiments {
-		out, err := Run(name, opts)
-		if err != nil {
-			return "", fmt.Errorf("report: %s: %w", name, err)
+// RunMany executes the named experiments concurrently on a worker pool
+// bounded by opts.Workers (0 = GOMAXPROCS, 1 = serial) and returns their
+// renderings in the order requested. Output is deterministic: every
+// experiment builds its own rng and virtual clock from opts, shares no
+// mutable state with its siblings, and writes its result at its own
+// index. The first error (in request order) wins.
+func RunMany(names []string, opts Options) ([]string, error) {
+	outs := make([]string, len(names))
+	errs := make([]error, len(names))
+	workers := opts.Workers
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(names) {
+		workers = len(names)
+	}
+	if workers <= 1 {
+		for i, name := range names {
+			outs[i], errs[i] = Run(name, opts)
 		}
+	} else {
+		var (
+			next atomic.Int64
+			wg   sync.WaitGroup
+		)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(names) {
+						return
+					}
+					outs[i], errs[i] = Run(names[i], opts)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("report: %s: %w", names[i], err)
+		}
+	}
+	return outs, nil
+}
+
+// All runs every experiment in paper order, concatenated. Experiments
+// run on the RunMany worker pool; the rendering is byte-identical to the
+// serial loop at any opts.Workers.
+func All(opts Options) (string, error) {
+	outs, err := RunMany(Experiments, opts)
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	for i, name := range Experiments {
 		sb.WriteString("==== " + name + " " + strings.Repeat("=", 60-len(name)) + "\n\n")
-		sb.WriteString(out)
+		sb.WriteString(outs[i])
 		sb.WriteString("\n")
 	}
 	return sb.String(), nil

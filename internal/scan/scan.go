@@ -24,6 +24,9 @@ package scan
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/dnsmsg"
@@ -381,6 +384,50 @@ func (s *Scanner) ScanAll(p *Population) []nolist.DomainObservation {
 	return out
 }
 
+// scanAllParallel observes every domain using a bounded worker pool.
+// Each worker gets its own Scanner (own resolver, no shared cache locks)
+// over the same population; workers claim domains from an atomic cursor.
+// The output is deterministic and identical to ScanAll: observation i
+// depends only on domain i and the population's (fixed) failure state,
+// results land at their domain's index, and the per-worker ReResolutions
+// counts are summed into s — an order-independent total.
+func (s *Scanner) scanAllParallel(p *Population, clock simtime.Clock, workers int) []nolist.DomainObservation {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(p.Specs) {
+		workers = len(p.Specs)
+	}
+	if workers <= 1 {
+		return s.ScanAll(p)
+	}
+	out := make([]nolist.DomainObservation, len(p.Specs))
+	var (
+		next atomic.Int64
+		wg   sync.WaitGroup
+		reRe atomic.Int64
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ws := NewScanner(p, clock)
+			ws.dataset = s.dataset
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(p.Specs) {
+					break
+				}
+				out[i] = ws.ScanDomain(p.Specs[i].Name)
+			}
+			reRe.Add(int64(ws.ReResolutions))
+		}()
+	}
+	wg.Wait()
+	s.ReResolutions += int(reRe.Load())
+	return out
+}
+
 // StudyResult is the Figure 2 reproduction output.
 type StudyResult struct {
 	// Counts and Fractions per final category.
@@ -410,8 +457,19 @@ type StudyResult struct {
 
 // RunStudy executes the full Section IV-A methodology on the population:
 // scan, wait `gap` (the paper waited two months), scan again, classify
-// with the two-scan rule, cross-check Alexa.
+// with the two-scan rule, cross-check Alexa. Domains are scanned by a
+// worker pool sized to GOMAXPROCS; see RunStudyWorkers for the
+// determinism guarantee.
 func RunStudy(p *Population, clock *simtime.Sim, gap time.Duration) *StudyResult {
+	return RunStudyWorkers(p, clock, gap, 0)
+}
+
+// RunStudyWorkers is RunStudy with an explicit scan-worker count:
+// 0 means GOMAXPROCS, 1 forces the serial scanner. Any worker count
+// produces byte-identical results — each domain's observation depends
+// only on that domain and the scan's fixed failure state, so only
+// wall-clock time varies.
+func RunStudyWorkers(p *Population, clock *simtime.Sim, gap time.Duration, workers int) *StudyResult {
 	scanner := NewScanner(p, clock)
 
 	// Each scan round mirrors the paper's methodology: collect the SMTP
@@ -420,14 +478,14 @@ func RunStudy(p *Population, clock *simtime.Sim, gap time.Duration) *StudyResult
 	const grabWorkers = 16
 	p.BeginScan()
 	scanner.UseDataset(BannerGrab(p, grabWorkers))
-	first := scanner.ScanAll(p)
+	first := scanner.scanAllParallel(p, clock, workers)
 	p.EndScan()
 
 	clock.Advance(gap)
 
 	p.BeginScan()
 	scanner.UseDataset(BannerGrab(p, grabWorkers))
-	second := scanner.ScanAll(p)
+	second := scanner.scanAllParallel(p, clock, workers)
 	p.EndScan()
 
 	res := &StudyResult{

@@ -55,6 +55,16 @@ type Hooks struct {
 	OnMail func(clientIP, sender string) *smtpproto.Reply
 	// OnRcpt runs at RCPT TO — the greylisting decision point.
 	OnRcpt func(clientIP, sender, recipient string) *smtpproto.Reply
+	// OnRcptBatch, when set, decides a pipelined burst of RCPT commands
+	// in one call (RFC 2920 clients send MAIL and every RCPT in a
+	// single write; a batch-capable policy engine amortizes its locking
+	// across the burst). Replies are positional: replies[i] answers
+	// recipients[i], nil meaning accept; a short or nil slice accepts
+	// the unmatched tail. When both hooks are set the batch hook
+	// handles pipelined runs and OnRcpt handles lone RCPTs; when only
+	// OnRcptBatch is set it also receives lone RCPTs as length-1
+	// batches.
+	OnRcptBatch func(clientIP, sender string, recipients []string) []*smtpproto.Reply
 	// OnMessage runs after the DATA payload is received; returning nil
 	// accepts the message.
 	OnMessage func(env *Envelope) *smtpproto.Reply
@@ -102,6 +112,10 @@ type Config struct {
 	// MaxErrors disconnects clients after this many consecutive
 	// protocol errors; 0 means 10.
 	MaxErrors int
+	// MaxRcptBatch bounds how many pipelined RCPT commands are drained
+	// into one OnRcptBatch call; 0 means 64. Only consulted when
+	// Hooks.OnRcptBatch is set.
+	MaxRcptBatch int
 	// TLS, when non-nil, enables STARTTLS (RFC 3207): EHLO announces
 	// the capability and the STARTTLS verb upgrades the session.
 	TLS *tls.Config
@@ -156,6 +170,9 @@ func New(cfg Config) *Server {
 	}
 	if cfg.MaxErrors == 0 {
 		cfg.MaxErrors = 10
+	}
+	if cfg.MaxRcptBatch == 0 {
+		cfg.MaxRcptBatch = 64
 	}
 	return &Server{cfg: cfg, conns: make(map[net.Conn]struct{})}
 }
@@ -365,7 +382,7 @@ func (sess *session) dispatch(cmd smtpproto.Command) bool {
 	case smtpproto.VerbMAIL:
 		return sess.handleMail(cmd.Arg)
 	case smtpproto.VerbRCPT:
-		return sess.handleRcpt(cmd.Arg)
+		return sess.handleRcptPipeline(cmd.Arg)
 	case smtpproto.VerbDATA:
 		return sess.handleData()
 	case smtpproto.VerbRSET:
@@ -471,19 +488,142 @@ func (sess *session) handleRcpt(arg string) bool {
 	if len(sess.recipients) >= sess.srv.cfg.MaxRecipients {
 		return sess.reply(smtpproto.NewReply(452, "4.5.3", "Too many recipients"))
 	}
-	if hook := sess.srv.cfg.Hooks.OnRcpt; hook != nil {
-		if r := hook(sess.clientIP, sess.sender, rcpt); r != nil {
-			if r.Transient() {
-				sess.srv.mu.Lock()
-				sess.srv.stats.RecipientsDeferred++
-				sess.srv.mu.Unlock()
-			}
-			return sess.reply(*r)
+	if r := sess.rcptVerdict(rcpt); r != nil {
+		if r.Transient() {
+			sess.srv.mu.Lock()
+			sess.srv.stats.RecipientsDeferred++
+			sess.srv.mu.Unlock()
 		}
+		return sess.reply(*r)
 	}
 	sess.recipients = append(sess.recipients, rcpt)
 	sess.state = stateRcpt
 	return sess.reply(smtpproto.NewReply(250, "2.1.5", "Recipient OK"))
+}
+
+// rcptVerdict runs the policy hook for one recipient: OnRcpt when set,
+// otherwise OnRcptBatch as a length-1 batch, so an engine wired only for
+// batching still vets lone RCPTs.
+func (sess *session) rcptVerdict(rcpt string) *smtpproto.Reply {
+	if hook := sess.srv.cfg.Hooks.OnRcpt; hook != nil {
+		return hook(sess.clientIP, sess.sender, rcpt)
+	}
+	if hook := sess.srv.cfg.Hooks.OnRcptBatch; hook != nil {
+		if rs := hook(sess.clientIP, sess.sender, []string{rcpt}); len(rs) > 0 {
+			return rs[0]
+		}
+	}
+	return nil
+}
+
+// handleRcptPipeline handles a RCPT command, and — when a batch hook is
+// configured — drains any further RCPT commands a pipelining client
+// (RFC 2920) has already sent, deciding the whole burst with one
+// OnRcptBatch call and one flush. Any irregularity (bad state, a parse
+// error, the recipient cap, no pipelined data) falls back to the serial
+// per-command path, byte-identical to handling each RCPT alone.
+func (sess *session) handleRcptPipeline(arg string) bool {
+	if sess.srv.cfg.Hooks.OnRcptBatch == nil ||
+		(sess.state != stateMail && sess.state != stateRcpt) {
+		return sess.handleRcpt(arg)
+	}
+	args := sess.drainPipelinedRcpts(arg)
+	if len(args) == 1 {
+		return sess.handleRcpt(arg)
+	}
+
+	rcpts := make([]string, len(args))
+	for i, a := range args {
+		r, _, err := smtpproto.ParseRcptArg(a)
+		if err != nil {
+			return sess.serialRcpts(args)
+		}
+		rcpts[i] = r
+	}
+	if len(sess.recipients)+len(rcpts) > sess.srv.cfg.MaxRecipients {
+		return sess.serialRcpts(args)
+	}
+
+	replies := sess.srv.cfg.Hooks.OnRcptBatch(sess.clientIP, sess.sender, rcpts)
+	deferred := 0
+	for i, rcpt := range rcpts {
+		var r *smtpproto.Reply
+		if i < len(replies) {
+			r = replies[i]
+		}
+		if r == nil {
+			sess.recipients = append(sess.recipients, rcpt)
+			sess.state = stateRcpt
+			r = &okRcptReply
+		} else if r.Transient() {
+			deferred++
+		}
+		if _, err := sess.bw.WriteString(r.String()); err != nil {
+			return false
+		}
+	}
+	if deferred > 0 {
+		sess.srv.mu.Lock()
+		sess.srv.stats.RecipientsDeferred += uint64(deferred)
+		sess.srv.mu.Unlock()
+	}
+	return sess.bw.Flush() == nil
+}
+
+var okRcptReply = smtpproto.NewReply(250, "2.1.5", "Recipient OK")
+
+// serialRcpts replays already-drained RCPT commands through the serial
+// handler, preserving per-command error semantics exactly.
+func (sess *session) serialRcpts(args []string) bool {
+	for _, a := range args {
+		if !sess.handleRcpt(a) {
+			return false
+		}
+	}
+	return true
+}
+
+// drainPipelinedRcpts returns arg plus the arguments of any complete
+// RCPT command lines already sitting in the read buffer, consuming them.
+// It never blocks: only fully-buffered lines are taken, and the first
+// non-RCPT or unparsable line stops the drain (the main loop reads it
+// normally). Drained verbs are recorded in the session trace just as the
+// main loop would.
+func (sess *session) drainPipelinedRcpts(arg string) []string {
+	args := []string{arg}
+	max := sess.srv.cfg.MaxRcptBatch
+	for len(args) < max {
+		n := sess.br.Buffered()
+		if n == 0 {
+			break
+		}
+		buf, err := sess.br.Peek(n)
+		if err != nil {
+			break
+		}
+		nl := -1
+		for i, b := range buf {
+			if b == '\n' {
+				nl = i
+				break
+			}
+		}
+		if nl < 0 || nl >= smtpproto.MaxCommandLine {
+			break
+		}
+		line := string(buf[:nl])
+		if len(line) > 0 && line[len(line)-1] == '\r' {
+			line = line[:len(line)-1]
+		}
+		cmd, err := smtpproto.ParseCommand(line)
+		if err != nil || cmd.Verb != smtpproto.VerbRCPT {
+			break
+		}
+		sess.br.Discard(nl + 1)
+		sess.trace.Verbs = append(sess.trace.Verbs, cmd.Verb)
+		args = append(args, cmd.Arg)
+	}
+	return args
 }
 
 func (sess *session) handleData() bool {
