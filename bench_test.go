@@ -22,6 +22,7 @@ import (
 	"repro/internal/greylist"
 	"repro/internal/lab"
 	"repro/internal/maillog"
+	"repro/internal/metrics"
 	"repro/internal/mta"
 	"repro/internal/mtaqueue"
 	"repro/internal/nolist"
@@ -314,6 +315,22 @@ func BenchmarkGreylistCheck(b *testing.B) {
 		p := greylist.DefaultPolicy()
 		p.AutoWhitelistAfter = 0 // isolate the passed-triplet path
 		g := greylist.New(p, clock)
+		triplets := benchTriplets()
+		promoteAll(b, g, clock, triplets)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			g.Check(triplets[i%len(triplets)])
+		}
+	})
+	b.Run("known-passed-instrumented", func(b *testing.B) {
+		// Same path with the metrics registry attached: the latency
+		// histogram observation must keep the fast path at 0 allocs/op.
+		clock := simtime.NewSim(simtime.Epoch)
+		p := greylist.DefaultPolicy()
+		p.AutoWhitelistAfter = 0
+		g := greylist.New(p, clock)
+		g.Register(metrics.NewRegistry())
 		triplets := benchTriplets()
 		promoteAll(b, g, clock, triplets)
 		b.ReportAllocs()

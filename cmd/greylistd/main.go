@@ -9,8 +9,12 @@
 //	greylistd [-listen :2525] [-hostname mx.example.org]
 //	          [-threshold 300s] [-retry-window 48h] [-max-age 840h]
 //	          [-auto-whitelist 5] [-subnet] [-state greylist.db]
-//	          [-shards 1] [-rcpt-batch 64]
+//	          [-shards 1] [-rcpt-batch 64] [-admin-addr 127.0.0.1:9925]
 //	          [-whitelist-ip CIDR]... [-unprotect postmaster@dom]...
+//
+// With -admin-addr, an HTTP listener exposes Prometheus metrics on
+// /metrics and live profiling on /debug/pprof/ (see DESIGN.md,
+// "Observability").
 package main
 
 import (
@@ -26,6 +30,7 @@ import (
 
 	"repro/internal/dialect"
 	"repro/internal/greylist"
+	"repro/internal/metrics"
 	"repro/internal/policyd"
 	"repro/internal/simtime"
 	"repro/internal/smtpproto"
@@ -66,6 +71,7 @@ func run() error {
 		tlsCert     = flag.String("tls-cert", "", "TLS certificate file for STARTTLS (with -tls-key)")
 		tlsKey      = flag.String("tls-key", "", "TLS key file for STARTTLS")
 		tlsSelf     = flag.Bool("tls-self-signed", false, "enable STARTTLS with an ephemeral self-signed certificate")
+		adminAddr   = flag.String("admin-addr", "", "serve Prometheus /metrics and /debug/pprof on this address (e.g. 127.0.0.1:9925)")
 	)
 	var whitelistCIDRs, unprotect stringList
 	flag.Var(&whitelistCIDRs, "whitelist-ip", "client CIDR to exempt (repeatable)")
@@ -89,6 +95,7 @@ func run() error {
 		PendingCount() int
 		PassedCount() int
 		Stats() greylist.Stats
+		Register(*metrics.Registry)
 	}
 	var g engine
 	if *shards > 1 {
@@ -206,6 +213,23 @@ func run() error {
 			pl.Addr(), pl.Addr())
 	}
 
+	var admin *metrics.AdminServer
+	if *adminAddr != "" {
+		reg := metrics.NewRegistry()
+		metrics.RegisterProcess(reg)
+		g.Register(reg)
+		srv.Register(reg)
+		if policySrv != nil {
+			policySrv.Register(reg)
+		}
+		admin, err = metrics.ServeAdmin(*adminAddr, reg)
+		if err != nil {
+			return fmt.Errorf("admin listener: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "admin endpoint on http://%s/metrics (pprof at /debug/pprof/)\n",
+			admin.Addr())
+	}
+
 	gcStop := make(chan struct{})
 	go func() {
 		ticker := time.NewTicker(*gcEvery)
@@ -235,6 +259,9 @@ func run() error {
 	srv.Close()
 	if policySrv != nil {
 		policySrv.Close()
+	}
+	if admin != nil {
+		admin.Close()
 	}
 
 	if *state != "" {

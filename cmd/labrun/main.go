@@ -7,6 +7,13 @@
 //	labrun -table2                         # the full 11-sample matrix
 //	labrun -family Kelihos -defense greylisting -threshold 21600s
 //	labrun -family Cutwail -defense nolisting -recipients 10
+//	labrun -family Kelihos -metrics -      # dump the run's metrics
+//
+// -metrics writes the lab's final metrics snapshot (greylist verdict
+// counters, SMTP command/reply counters, DNS query counters) in
+// Prometheus text format to the given file, or stdout for "-". Single-
+// family runs only; -table2 builds one lab per sample and has no single
+// snapshot to dump.
 package main
 
 import (
@@ -35,6 +42,7 @@ func run() error {
 		defense    = flag.String("defense", "greylisting", "defense: none, nolisting, greylisting, both")
 		threshold  = flag.Duration("threshold", 300*time.Second, "greylisting threshold")
 		recipients = flag.Int("recipients", 10, "campaign size")
+		metricsOut = flag.String("metrics", "", "write the final metrics snapshot to this file ('-' = stdout); single-family runs only")
 	)
 	flag.Parse()
 
@@ -88,5 +96,32 @@ func run() error {
 		tbl.AddRow(stats.FormatDuration(a.Offset), fmt.Sprintf("%d", a.Try), a.Recipient, a.Host, outcome)
 	}
 	fmt.Print(tbl.String())
+
+	if *metricsOut != "" {
+		if err := dumpMetrics(l, *metricsOut); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// dumpMetrics writes the lab's metrics registry in Prometheus text
+// format to path ("-" = stdout).
+func dumpMetrics(l *lab.Lab, path string) error {
+	if path == "-" {
+		return l.Metrics.WriteText(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := l.Metrics.WriteText(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote metrics snapshot to %s\n", path)
 	return nil
 }

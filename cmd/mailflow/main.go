@@ -8,6 +8,11 @@
 //
 //	mailflow -exp table3|table4|fig5|sweep [-threshold 6h] [-seed 1]
 //	         [-days 120] [-rate 200] [-log out.log]
+//	         [-admin-addr 127.0.0.1:9926]
+//
+// With -admin-addr, an HTTP listener exposes process metrics on /metrics
+// and live profiling on /debug/pprof/ for the duration of the run —
+// useful for profiling long fig5 generations and threshold sweeps.
 package main
 
 import (
@@ -17,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/maillog"
+	"repro/internal/metrics"
 	"repro/internal/mta"
 	"repro/internal/report"
 	"repro/internal/stats"
@@ -38,8 +44,21 @@ func run() error {
 		days      = flag.Int("days", 120, "fig5 deployment length")
 		rate      = flag.Int("rate", 200, "fig5 messages per day")
 		logOut    = flag.String("log", "", "fig5: also write the raw synthetic log here")
+		adminAddr = flag.String("admin-addr", "", "serve /metrics and /debug/pprof on this address for the duration of the run")
 	)
 	flag.Parse()
+
+	if *adminAddr != "" {
+		reg := metrics.NewRegistry()
+		metrics.RegisterProcess(reg)
+		admin, err := metrics.ServeAdmin(*adminAddr, reg)
+		if err != nil {
+			return fmt.Errorf("admin listener: %w", err)
+		}
+		defer admin.Close()
+		fmt.Fprintf(os.Stderr, "admin endpoint on http://%s/metrics (pprof at /debug/pprof/)\n",
+			admin.Addr())
+	}
 
 	switch *exp {
 	case "table3":

@@ -6,7 +6,11 @@
 //
 //	reproduce [-exp all|table1|fig2|table2|fig3|fig4|fig5|table3|table4|control]
 //	          [-out results] [-seed 1] [-domains 20000] [-recipients 50]
-//	          [-days 120] [-rate 200] [-workers 0]
+//	          [-days 120] [-rate 200] [-workers 0] [-metrics metrics.prom]
+//
+// -metrics writes a final process-metrics snapshot (uptime, heap, GC,
+// goroutines) in Prometheus text format after the experiments finish —
+// a cheap record of what a full reproduction run cost.
 package main
 
 import (
@@ -16,6 +20,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"repro/internal/metrics"
 	"repro/internal/report"
 )
 
@@ -37,8 +42,15 @@ func run() error {
 		rate       = flag.Int("rate", 200, "greylisted messages per day for fig5")
 		csv        = flag.Bool("csv", false, "also export figure data points as CSV into -out")
 		workers    = flag.Int("workers", 0, "experiment/scan worker pool size: 0 = one per core, 1 = serial; output is byte-identical at any setting")
+		metricsOut = flag.String("metrics", "", "write a final process-metrics snapshot to this file ('-' = stdout)")
 	)
 	flag.Parse()
+
+	var procReg *metrics.Registry
+	if *metricsOut != "" {
+		procReg = metrics.NewRegistry()
+		metrics.RegisterProcess(procReg)
+	}
 
 	opts := report.Options{
 		Seed:              *seed,
@@ -88,6 +100,23 @@ func run() error {
 			}
 			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 		}
+	}
+	if procReg != nil {
+		if *metricsOut == "-" {
+			return procReg.WriteText(os.Stdout)
+		}
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			return err
+		}
+		if err := procReg.WriteText(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *metricsOut)
 	}
 	return nil
 }

@@ -32,6 +32,7 @@ import (
 	"repro/internal/dnsmsg"
 	"repro/internal/dnsserver"
 	"repro/internal/greylist"
+	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/nolist"
 	"repro/internal/simtime"
@@ -412,6 +413,20 @@ func (d *Domain) Rejections() []Rejection {
 
 // Greylister exposes the greylisting engine (nil when disabled).
 func (d *Domain) Greylister() greylist.Engine { return d.greylister }
+
+// Register exports the domain's observability surface into reg: the
+// greylisting engine (when the defense includes greylisting) and each MX
+// host's SMTP server, labelled host="mx1.domain" etc. The shared DNS
+// server in Deps is not registered here — it serves many domains, so the
+// owner of the registry decides whether to include it.
+func (d *Domain) Register(reg *metrics.Registry) {
+	if d.greylister != nil {
+		d.greylister.Register(reg)
+	}
+	for _, srv := range d.servers {
+		srv.Register(reg, "host", srv.Hostname())
+	}
+}
 
 // Config returns the domain's configuration.
 func (d *Domain) Config() Config { return d.cfg }

@@ -24,6 +24,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/dnsmsg"
 )
@@ -154,6 +155,8 @@ type Server struct {
 	// It must be set before serving begins.
 	OnQuery func(q dnsmsg.Question)
 
+	inst atomic.Pointer[instruments]
+
 	wg      sync.WaitGroup
 	closeMu sync.Mutex
 	closers []io.Closer
@@ -211,12 +214,24 @@ const maxCNAMEChain = 8
 
 // Handle answers a single query message. It never returns nil.
 func (s *Server) Handle(q *dnsmsg.Message) *dnsmsg.Message {
+	if inst := s.inst.Load(); inst != nil {
+		resp := s.handle(q)
+		inst.countResponse(resp.Header.RCode)
+		return resp
+	}
+	return s.handle(q)
+}
+
+func (s *Server) handle(q *dnsmsg.Message) *dnsmsg.Message {
 	resp := q.Reply()
 	if q.Header.OpCode != dnsmsg.OpQuery || len(q.Questions) != 1 {
 		resp.Header.RCode = dnsmsg.RCodeNotImplemented
 		return resp
 	}
 	question := q.Questions[0]
+	if inst := s.inst.Load(); inst != nil {
+		inst.countQuery(question.Type)
+	}
 	if s.OnQuery != nil {
 		s.OnQuery(question)
 	}

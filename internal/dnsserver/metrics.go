@@ -1,0 +1,82 @@
+package dnsserver
+
+import (
+	"repro/internal/dnsmsg"
+	"repro/internal/metrics"
+)
+
+// instruments holds the per-query metric handles; nil until Register is
+// called, so uninstrumented servers pay one atomic load per Handle.
+type instruments struct {
+	// queries maps qtype -> counter, built once at Register and read-only
+	// afterwards. Types outside the repertoire land in other.
+	queries map[dnsmsg.Type]*metrics.Counter
+	other   *metrics.Counter
+
+	rcNoError  *metrics.Counter
+	rcNXDomain *metrics.Counter
+	rcRefused  *metrics.Counter
+	rcNotImpl  *metrics.Counter
+}
+
+// queryTypes is the qtype repertoire exported with a pre-registered
+// counter each, so dashboards see every series (at 0) from the first
+// scrape. Label values come from dnsmsg.Type.String().
+var queryTypes = []dnsmsg.Type{
+	dnsmsg.TypeA, dnsmsg.TypeNS, dnsmsg.TypeCNAME, dnsmsg.TypeSOA,
+	dnsmsg.TypePTR, dnsmsg.TypeMX, dnsmsg.TypeTXT, dnsmsg.TypeAAAA,
+	dnsmsg.TypeANY,
+}
+
+// Register exports the DNS server's counters into reg:
+//
+//	dns_queries_total{qtype}    questions handled by query type
+//	dns_responses_total{rcode}  responses by rcode
+//	                            (noerror|nxdomain|refused|notimpl)
+//
+// The NXDOMAIN rate the adoption study cares about (names probed by the
+// zmap-style scanner that do not exist) is
+// dns_responses_total{rcode="nxdomain"} / sum(dns_queries_total).
+func (s *Server) Register(reg *metrics.Registry) {
+	inst := &instruments{
+		queries: make(map[dnsmsg.Type]*metrics.Counter, len(queryTypes)),
+		other: reg.Counter("dns_queries_total",
+			"DNS questions handled by query type.", "qtype", "other"),
+		rcNoError: reg.Counter("dns_responses_total",
+			"DNS responses by rcode.", "rcode", "noerror"),
+		rcNXDomain: reg.Counter("dns_responses_total",
+			"DNS responses by rcode.", "rcode", "nxdomain"),
+		rcRefused: reg.Counter("dns_responses_total",
+			"DNS responses by rcode.", "rcode", "refused"),
+		rcNotImpl: reg.Counter("dns_responses_total",
+			"DNS responses by rcode.", "rcode", "notimpl"),
+	}
+	for _, t := range queryTypes {
+		inst.queries[t] = reg.Counter("dns_queries_total",
+			"DNS questions handled by query type.", "qtype", t.String())
+	}
+	s.inst.Store(inst)
+}
+
+// countQuery attributes one question to its qtype counter.
+func (inst *instruments) countQuery(t dnsmsg.Type) {
+	if c, ok := inst.queries[t]; ok {
+		c.Inc()
+		return
+	}
+	inst.other.Inc()
+}
+
+// countResponse attributes one answer to its rcode counter.
+func (inst *instruments) countResponse(rcode dnsmsg.RCode) {
+	switch rcode {
+	case dnsmsg.RCodeSuccess:
+		inst.rcNoError.Inc()
+	case dnsmsg.RCodeNameError:
+		inst.rcNXDomain.Inc()
+	case dnsmsg.RCodeRefused:
+		inst.rcRefused.Inc()
+	case dnsmsg.RCodeNotImplemented:
+		inst.rcNotImpl.Inc()
+	}
+}

@@ -191,6 +191,25 @@ type Stats struct {
 	PassedAutoClient  uint64 // auto-whitelisted clients
 	TripletsRecorded  uint64
 	TripletsWhitelist uint64 // triplets promoted to passed
+	GCSweeps          uint64 // GC invocations
+	GCDropped         uint64 // records dropped by GC
+}
+
+// add accumulates o into s; Sharded aggregation and snapshot resharding
+// both sum per-shard stats through it.
+func (s *Stats) add(o Stats) {
+	s.Checks += o.Checks
+	s.DeferredNew += o.DeferredNew
+	s.DeferredEarly += o.DeferredEarly
+	s.DeferredExpired += o.DeferredExpired
+	s.PassedRetry += o.PassedRetry
+	s.PassedKnown += o.PassedKnown
+	s.PassedWhitelist += o.PassedWhitelist
+	s.PassedAutoClient += o.PassedAutoClient
+	s.TripletsRecorded += o.TripletsRecorded
+	s.TripletsWhitelist += o.TripletsWhitelist
+	s.GCSweeps += o.GCSweeps
+	s.GCDropped += o.GCDropped
 }
 
 // counters are the live Stats, kept as atomics so the read-locked fast
@@ -207,6 +226,8 @@ type counters struct {
 	passedAutoClient  atomic.Uint64
 	tripletsRecorded  atomic.Uint64
 	tripletsWhitelist atomic.Uint64
+	gcSweeps          atomic.Uint64
+	gcDropped         atomic.Uint64
 }
 
 func (c *counters) snapshot() Stats {
@@ -221,6 +242,8 @@ func (c *counters) snapshot() Stats {
 		PassedAutoClient:  c.passedAutoClient.Load(),
 		TripletsRecorded:  c.tripletsRecorded.Load(),
 		TripletsWhitelist: c.tripletsWhitelist.Load(),
+		GCSweeps:          c.gcSweeps.Load(),
+		GCDropped:         c.gcDropped.Load(),
 	}
 }
 
@@ -235,6 +258,8 @@ func (c *counters) restore(s Stats) {
 	c.passedAutoClient.Store(s.PassedAutoClient)
 	c.tripletsRecorded.Store(s.TripletsRecorded)
 	c.tripletsWhitelist.Store(s.TripletsWhitelist)
+	c.gcSweeps.Store(s.GCSweeps)
+	c.gcDropped.Store(s.GCDropped)
 }
 
 // pendingRecord tracks a deferred triplet. Only touched under the write
@@ -268,6 +293,10 @@ type Greylister struct {
 	whitelist *Whitelist
 
 	stats counters
+	// inst holds the optional metrics instrumentation (latency and batch
+	// histograms) installed by Register. Nil until then, so unregistered
+	// engines pay only one atomic pointer load per check.
+	inst atomic.Pointer[instruments]
 
 	mu      sync.RWMutex
 	pending map[string]*pendingRecord
@@ -305,8 +334,20 @@ func (g *Greylister) Stats() Stats { return g.stats.snapshot() }
 //
 // The common serving-path cases — static whitelist, auto-whitelisted
 // client, already-passed triplet — complete without allocating and
-// without the exclusive lock.
+// without the exclusive lock. With metrics registered, the wall-clock
+// decision latency lands in the greylist_check_seconds histogram —
+// still allocation-free.
 func (g *Greylister) Check(t Triplet) Verdict {
+	if inst := g.inst.Load(); inst != nil {
+		start := time.Now()
+		v := g.check(t)
+		inst.checkSeconds.ObserveDuration(time.Since(start))
+		return v
+	}
+	return g.check(t)
+}
+
+func (g *Greylister) check(t Triplet) Verdict {
 	now := g.clock.Now()
 	g.stats.checks.Add(1)
 
@@ -482,6 +523,17 @@ func (g *Greylister) checkSlow(clientKey, key []byte, now time.Time) Verdict {
 // Verdicts are positionally matched to ts. Semantics are identical to
 // calling Check on each triplet in order at the same instant.
 func (g *Greylister) CheckBatch(ts []Triplet, out []Verdict) []Verdict {
+	if inst := g.inst.Load(); inst != nil {
+		start := time.Now()
+		out = g.checkBatch(ts, out)
+		inst.batchSeconds.ObserveDuration(time.Since(start))
+		inst.batchSize.Observe(float64(len(ts)))
+		return out
+	}
+	return g.checkBatch(ts, out)
+}
+
+func (g *Greylister) checkBatch(ts []Triplet, out []Verdict) []Verdict {
 	out = verdictSlice(out, len(ts))
 	if len(ts) == 0 {
 		return out
@@ -579,6 +631,8 @@ func (g *Greylister) GC() int {
 			}
 		}
 	}
+	g.stats.gcSweeps.Add(1)
+	g.stats.gcDropped.Add(uint64(dropped))
 	return dropped
 }
 
@@ -595,4 +649,11 @@ func (g *Greylister) PassedCount() int {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
 	return len(g.passed)
+}
+
+// ClientCount reports the number of auto-whitelist client records.
+func (g *Greylister) ClientCount() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.clients)
 }

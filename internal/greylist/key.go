@@ -112,3 +112,16 @@ func fnv1a(b []byte) uint32 {
 	}
 	return h
 }
+
+// fnv1aString is fnv1a over a string's bytes without conversion; used
+// when resharding snapshots, where the canonical key is already a map
+// key string.
+func fnv1aString(s string) uint32 {
+	const offset, prime = 2166136261, 16777619
+	h := uint32(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= prime
+	}
+	return h
+}

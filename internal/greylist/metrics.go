@@ -1,0 +1,120 @@
+package greylist
+
+import (
+	"repro/internal/metrics"
+)
+
+// instruments holds the optional latency/batch histograms installed by
+// Register. The hot path reaches them through one atomic pointer load;
+// a nil pointer (no registry attached) costs exactly that load.
+type instruments struct {
+	checkSeconds *metrics.Histogram
+	batchSeconds *metrics.Histogram
+	batchSize    *metrics.Histogram
+	saveSeconds  *metrics.Histogram
+	loadSeconds  *metrics.Histogram
+}
+
+func newInstruments(reg *metrics.Registry) *instruments {
+	return &instruments{
+		checkSeconds: reg.Histogram("greylist_check_seconds",
+			"Wall-clock latency of one greylisting check.", nil),
+		batchSeconds: reg.Histogram("greylist_batch_seconds",
+			"Wall-clock latency of one CheckBatch call.", nil),
+		batchSize: reg.Histogram("greylist_batch_size",
+			"Triplets decided per CheckBatch call.", metrics.DefSizeBuckets),
+		saveSeconds: reg.Histogram("greylist_snapshot_save_seconds",
+			"Wall-clock duration of state snapshot saves.", nil),
+		loadSeconds: reg.Histogram("greylist_snapshot_load_seconds",
+			"Wall-clock duration of state snapshot loads.", nil),
+	}
+}
+
+// verdict reason label -> Stats accessor; the exposition mirrors the
+// engine's own atomic counters, so greylist_verdicts_total can never
+// disagree with Greylister.Stats (and a lab campaign's Table I/II
+// verdict counts come from the same registers a daemon exports).
+var reasonMirrors = []struct {
+	reason string
+	value  func(Stats) uint64
+}{
+	{"first-seen", func(s Stats) uint64 { return s.DeferredNew }},
+	{"too-soon", func(s Stats) uint64 { return s.DeferredEarly }},
+	{"window-expired", func(s Stats) uint64 { return s.DeferredExpired }},
+	{"retry-accepted", func(s Stats) uint64 { return s.PassedRetry }},
+	{"known-triplet", func(s Stats) uint64 { return s.PassedKnown }},
+	{"whitelisted", func(s Stats) uint64 { return s.PassedWhitelist }},
+	{"auto-whitelisted", func(s Stats) uint64 { return s.PassedAutoClient }},
+}
+
+// registerMirror exports the cumulative Stats counters through stats
+// (Greylister.Stats or the shard-summing Sharded.Stats).
+func registerMirror(reg *metrics.Registry, stats func() Stats) {
+	reg.CounterFunc("greylist_checks_total",
+		"Greylisting checks performed.",
+		func() uint64 { return stats().Checks })
+	for _, m := range reasonMirrors {
+		m := m
+		reg.CounterFunc("greylist_verdicts_total",
+			"Greylisting verdicts by reason.",
+			func() uint64 { return m.value(stats()) },
+			"reason", m.reason)
+	}
+	reg.CounterFunc("greylist_triplets_recorded_total",
+		"New triplets recorded as pending.",
+		func() uint64 { return stats().TripletsRecorded })
+	reg.CounterFunc("greylist_triplets_whitelisted_total",
+		"Triplets promoted to the passed table.",
+		func() uint64 { return stats().TripletsWhitelist })
+	reg.CounterFunc("greylist_gc_sweeps_total",
+		"GC sweeps over the state tables.",
+		func() uint64 { return stats().GCSweeps })
+	reg.CounterFunc("greylist_gc_dropped_total",
+		"Expired records dropped by GC.",
+		func() uint64 { return stats().GCDropped })
+}
+
+// Register exports the engine's counters, table-size gauges, and latency
+// histograms into reg under the greylist_* namespace. Counters mirror
+// the engine's existing atomics (no double counting); histograms are
+// observed on the hot path without allocating, preserving the
+// known-passed Check at 0 allocs/op.
+func (g *Greylister) Register(reg *metrics.Registry) {
+	registerMirror(reg, g.Stats)
+	reg.GaugeFunc("greylist_pending_triplets",
+		"Deferred triplets awaiting their retry.",
+		func() float64 { return float64(g.PendingCount()) })
+	reg.GaugeFunc("greylist_passed_triplets",
+		"Whitelisted (passed) triplets.",
+		func() float64 { return float64(g.PassedCount()) })
+	reg.GaugeFunc("greylist_autowl_clients",
+		"Auto-whitelist client records.",
+		func() float64 { return float64(g.ClientCount()) })
+	reg.GaugeFunc("greylist_shards",
+		"Store shards in the engine.",
+		func() float64 { return 1 })
+	g.inst.Store(newInstruments(reg))
+}
+
+// Register exports the sharded engine's aggregate counters and gauges;
+// every shard shares one set of histograms, so per-check latencies land
+// in a single greylist_check_seconds series regardless of shard count.
+func (s *Sharded) Register(reg *metrics.Registry) {
+	registerMirror(reg, s.Stats)
+	reg.GaugeFunc("greylist_pending_triplets",
+		"Deferred triplets awaiting their retry.",
+		func() float64 { return float64(s.PendingCount()) })
+	reg.GaugeFunc("greylist_passed_triplets",
+		"Whitelisted (passed) triplets.",
+		func() float64 { return float64(s.PassedCount()) })
+	reg.GaugeFunc("greylist_autowl_clients",
+		"Auto-whitelist client records (summed across shards).",
+		func() float64 { return float64(s.ClientCount()) })
+	reg.GaugeFunc("greylist_shards",
+		"Store shards in the engine.",
+		func() float64 { return float64(len(s.shards)) })
+	inst := newInstruments(reg)
+	for _, g := range s.shards {
+		g.inst.Store(inst)
+	}
+}

@@ -41,8 +41,16 @@ const snapshotVersion = 1
 // Save writes the greylister's dynamic state (pending and passed triplets,
 // auto-whitelist counters, statistics) to w, so a daemon restart does not
 // reopen the greylisting window for in-flight retries.
+//
+// Save only reads: pending records are immutable under the read lock
+// (every mutation happens in checkSlow under the exclusive lock) and the
+// mutable fields of passed/client records are atomics. It therefore
+// holds g.mu as a *reader*, so a periodic snapshot of a large table no
+// longer stalls the known-passed fast path the way the previous
+// exclusive-lock implementation did.
 func (g *Greylister) Save(w io.Writer) error {
-	g.mu.Lock()
+	start := time.Now()
+	g.mu.RLock()
 	snap := snapshot{
 		Version: snapshotVersion,
 		Pending: make(map[string]pendingSnap, len(g.pending)),
@@ -66,24 +74,32 @@ func (g *Greylister) Save(w io.Writer) error {
 			LastUsed:   time.Unix(0, v.lastUsed.Load()).UTC(),
 		}
 	}
-	g.mu.Unlock()
+	g.mu.RUnlock()
 
 	if err := gob.NewEncoder(w).Encode(snap); err != nil {
 		return fmt.Errorf("greylist: save: %w", err)
 	}
+	if inst := g.inst.Load(); inst != nil {
+		inst.saveSeconds.ObserveDuration(time.Since(start))
+	}
 	return nil
 }
 
-// Load replaces the greylister's dynamic state with a snapshot written by
-// Save. The policy and whitelist are untouched.
-func (g *Greylister) Load(r io.Reader) error {
+// decodeSnapshot reads and validates one serialized snapshot.
+func decodeSnapshot(r io.Reader) (*snapshot, error) {
 	var snap snapshot
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
-		return fmt.Errorf("greylist: load: %w", err)
+		return nil, fmt.Errorf("greylist: load: %w", err)
 	}
 	if snap.Version != snapshotVersion {
-		return fmt.Errorf("greylist: load: unsupported snapshot version %d", snap.Version)
+		return nil, fmt.Errorf("greylist: load: unsupported snapshot version %d", snap.Version)
 	}
+	return &snap, nil
+}
+
+// restoreSnapshot replaces the engine's dynamic state with the decoded
+// snapshot's.
+func (g *Greylister) restoreSnapshot(snap *snapshot) {
 	pending := make(map[string]*pendingRecord, len(snap.Pending))
 	for k, v := range snap.Pending {
 		pending[k] = &pendingRecord{firstSeen: v.FirstSeen, lastSeen: v.LastSeen, attempts: v.Attempts}
@@ -109,6 +125,20 @@ func (g *Greylister) Load(r io.Reader) error {
 	g.passed = passed
 	g.clients = clients
 	g.stats.restore(snap.Stats)
+}
+
+// Load replaces the greylister's dynamic state with a snapshot written by
+// Save. The policy and whitelist are untouched.
+func (g *Greylister) Load(r io.Reader) error {
+	start := time.Now()
+	snap, err := decodeSnapshot(r)
+	if err != nil {
+		return err
+	}
+	g.restoreSnapshot(snap)
+	if inst := g.inst.Load(); inst != nil {
+		inst.loadSeconds.ObserveDuration(time.Since(start))
+	}
 	return nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/metrics"
 	"repro/internal/simtime"
 )
 
@@ -123,17 +124,7 @@ func (s *Sharded) GC() int {
 func (s *Sharded) Stats() Stats {
 	var total Stats
 	for _, g := range s.shards {
-		st := g.Stats()
-		total.Checks += st.Checks
-		total.DeferredNew += st.DeferredNew
-		total.DeferredEarly += st.DeferredEarly
-		total.DeferredExpired += st.DeferredExpired
-		total.PassedRetry += st.PassedRetry
-		total.PassedKnown += st.PassedKnown
-		total.PassedWhitelist += st.PassedWhitelist
-		total.PassedAutoClient += st.PassedAutoClient
-		total.TripletsRecorded += st.TripletsRecorded
-		total.TripletsWhitelist += st.TripletsWhitelist
+		total.add(g.Stats())
 	}
 	return total
 }
@@ -156,6 +147,17 @@ func (s *Sharded) PassedCount() int {
 	return n
 }
 
+// ClientCount sums the auto-whitelist tables. A client whose deliveries
+// landed in several shards is counted once per shard, matching the
+// engine's per-shard auto-whitelist semantics.
+func (s *Sharded) ClientCount() int {
+	n := 0
+	for _, g := range s.shards {
+		n += g.ClientCount()
+	}
+	return n
+}
+
 // Save serializes every shard (shard count first).
 func (s *Sharded) Save(w io.Writer) error {
 	if _, err := fmt.Fprintf(w, "shards %d\n", len(s.shards)); err != nil {
@@ -169,7 +171,13 @@ func (s *Sharded) Save(w io.Writer) error {
 	return nil
 }
 
-// Load restores state written by Save. The shard count must match.
+// Load restores state written by Save. A snapshot written with the same
+// shard count restores shard-for-shard; a snapshot written with a
+// *different* shard count is resharded: every record is redistributed by
+// the same key hash shardIndex uses, so a triplet saved under -shards 4
+// is found again under -shards 16 (previously this case was rejected;
+// loading and misplacing records is never possible because the key hash,
+// not the stream position, decides placement).
 func (s *Sharded) Load(r io.Reader) error {
 	// Buffer exactly once: gob.NewDecoder wraps non-ByteReader streams
 	// in its own bufio.Reader, which over-reads past the end of one
@@ -180,15 +188,95 @@ func (s *Sharded) Load(r io.Reader) error {
 	if _, err := fmt.Fscanf(br, "shards %d\n", &n); err != nil {
 		return fmt.Errorf("greylist: load sharded: %w", err)
 	}
-	if n != len(s.shards) {
-		return fmt.Errorf("greylist: load sharded: snapshot has %d shards, engine has %d", n, len(s.shards))
+	if n < 1 {
+		return fmt.Errorf("greylist: load sharded: invalid shard count %d", n)
 	}
-	for _, g := range s.shards {
-		if err := g.Load(br); err != nil {
-			return err
+	if n == len(s.shards) {
+		for _, g := range s.shards {
+			if err := g.Load(br); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return s.reshardLoad(br, n)
+}
+
+// reshardLoad decodes the n source-shard snapshots and redistributes
+// their records across this engine's shards.
+//
+// Triplet-keyed records (pending, passed) reshard exactly: a key lived
+// in source shard fnv1a(key)%n and moves to fnv1a(key)%len(s.shards);
+// keys are unique across source shards, so no merging is needed.
+//
+// Client auto-whitelist records have no exact mapping — deliveries
+// accumulate in the shard of each *triplet*, so one client may hold
+// partial counts in several source shards, and its future triplets hash
+// to target shards we cannot predict. The records are merged (summed
+// deliveries, newest last-use) and replicated to every target shard:
+// a client that had earned the auto-whitelist anywhere keeps it
+// everywhere, which errs toward accepting mail rather than re-greylisting
+// known senders after an operator changes -shards.
+//
+// Cumulative Stats are summed into shard 0 (the aggregate Sharded.Stats
+// reads identically either way).
+func (s *Sharded) reshardLoad(br *bufio.Reader, n int) error {
+	type tables struct {
+		pending map[string]pendingSnap
+		passed  map[string]passedSnap
+	}
+	dst := make([]tables, len(s.shards))
+	for i := range dst {
+		dst[i] = tables{
+			pending: make(map[string]pendingSnap),
+			passed:  make(map[string]passedSnap),
 		}
 	}
+	clients := make(map[string]clientSnap)
+	var totals Stats
+
+	for i := 0; i < n; i++ {
+		snap, err := decodeSnapshot(br)
+		if err != nil {
+			return fmt.Errorf("greylist: load sharded: source shard %d: %w", i, err)
+		}
+		for k, v := range snap.Pending {
+			dst[s.shardIndexKey(k)].pending[k] = v
+		}
+		for k, v := range snap.Passed {
+			dst[s.shardIndexKey(k)].passed[k] = v
+		}
+		for k, v := range snap.Clients {
+			merged := clients[k]
+			merged.Deliveries += v.Deliveries
+			if v.LastUsed.After(merged.LastUsed) {
+				merged.LastUsed = v.LastUsed
+			}
+			clients[k] = merged
+		}
+		totals.add(snap.Stats)
+	}
+
+	for i, g := range s.shards {
+		snap := snapshot{
+			Version: snapshotVersion,
+			Pending: dst[i].pending,
+			Passed:  dst[i].passed,
+			Clients: clients,
+		}
+		if i == 0 {
+			snap.Stats = totals
+		}
+		g.restoreSnapshot(&snap)
+	}
 	return nil
+}
+
+// shardIndexKey places an already-canonical record key (the map key the
+// snapshot stores) on its shard, with the same hash shardIndex computes
+// from a Triplet.
+func (s *Sharded) shardIndexKey(key string) int {
+	return int(fnv1aString(key) % uint32(len(s.shards)))
 }
 
 // Checker is the interface shared by Greylister and Sharded; servers and
@@ -231,8 +319,12 @@ type Engine interface {
 	Stats() Stats
 	PendingCount() int
 	PassedCount() int
+	ClientCount() int
 	Save(io.Writer) error
 	Load(io.Reader) error
+	// Register exports the engine's counters, gauges and latency
+	// histograms into reg (see metrics.go for the name catalogue).
+	Register(*metrics.Registry)
 }
 
 var (

@@ -146,17 +146,24 @@ func TestShardedSaveLoad(t *testing.T) {
 		t.Fatalf("restored = %+v", v)
 	}
 
-	// Mismatched shard count is rejected.
+	// A snapshot written with a different shard count reshards on load:
+	// the passed triplet must be found on its new shard, not misplaced.
 	var buf2 bytes.Buffer
 	if err := s.Save(&buf2); err != nil {
 		t.Fatal(err)
 	}
 	s3 := NewSharded(8, DefaultPolicy(), clock)
-	if err := s3.Load(&buf2); err == nil {
-		t.Fatal("Load accepted mismatched shard count")
+	if err := s3.Load(&buf2); err != nil {
+		t.Fatalf("Load across shard counts: %v", err)
+	}
+	if v := s3.Check(tr); v.Reason != ReasonKnownTriplet {
+		t.Fatalf("resharded restore = %+v", v)
 	}
 	if err := s3.Load(bytes.NewReader([]byte("garbage"))); err == nil {
 		t.Fatal("Load accepted garbage")
+	}
+	if err := s3.Load(bytes.NewReader([]byte("shards 0\n"))); err == nil {
+		t.Fatal("Load accepted a zero shard count")
 	}
 }
 

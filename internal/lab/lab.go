@@ -28,6 +28,7 @@ import (
 	"repro/internal/dnsresolver"
 	"repro/internal/dnsserver"
 	"repro/internal/greylist"
+	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/nolist"
 	"repro/internal/simtime"
@@ -46,6 +47,10 @@ type Lab struct {
 	Sched    *simtime.Scheduler
 	Resolver *dnsresolver.Resolver
 	Domain   *core.Domain
+	// Metrics collects the victim's observability surface (greylist
+	// engine, MX SMTP servers, intercepted DNS): labrun dumps it after a
+	// run so an experiment's counters can be inspected post-hoc.
+	Metrics *metrics.Registry
 }
 
 // Config tunes a lab instance.
@@ -89,6 +94,9 @@ func New(cfg Config) (*Lab, error) {
 		return nil, fmt.Errorf("lab: %w", err)
 	}
 	l.Domain = domain
+	l.Metrics = metrics.NewRegistry()
+	l.Domain.Register(l.Metrics)
+	l.DNS.Register(l.Metrics)
 	return l, nil
 }
 

@@ -1,0 +1,105 @@
+package metrics
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"time"
+)
+
+// NewAdminMux builds the admin endpoint surface: the registry exposition
+// on /metrics, runtime profiling under /debug/pprof/ (mounted explicitly
+// so importing this package never touches http.DefaultServeMux), and a
+// trivial /healthz. Daemons serve it on a loopback or ops-network
+// address via ServeAdmin.
+func NewAdminMux(reg *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "admin endpoints: /metrics /healthz /debug/pprof/")
+	})
+	return mux
+}
+
+// AdminServer is a running admin HTTP listener.
+type AdminServer struct {
+	srv *http.Server
+	l   net.Listener
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (a *AdminServer) Addr() net.Addr { return a.l.Addr() }
+
+// Close stops the listener. In-flight scrapes are abandoned; the admin
+// surface is diagnostics, not data.
+func (a *AdminServer) Close() error { return a.srv.Close() }
+
+// ServeAdmin binds addr and serves the admin mux for reg in a background
+// goroutine until Close. Read/write timeouts are set so a stalled
+// scraper cannot pin a connection (the same failure mode the policyd
+// idle timeout guards against on the policy port).
+func ServeAdmin(addr string, reg *Registry) (*AdminServer, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("metrics: admin listen: %w", err)
+	}
+	srv := &http.Server{
+		Handler:           NewAdminMux(reg),
+		ReadHeaderTimeout: 10 * time.Second,
+		// No global WriteTimeout: pprof profile/trace endpoints stream
+		// for their ?seconds= duration by design.
+		IdleTimeout: 2 * time.Minute,
+	}
+	go srv.Serve(l)
+	return &AdminServer{srv: srv, l: l}, nil
+}
+
+// RegisterProcess adds process-level runtime metrics (uptime,
+// goroutines, heap) to reg. Memory stats are read per scrape, which is
+// cheap at human scrape intervals.
+func RegisterProcess(reg *Registry) {
+	start := time.Now()
+	reg.GaugeFunc("process_uptime_seconds",
+		"Seconds since the process registered its metrics.",
+		func() float64 { return time.Since(start).Seconds() })
+	reg.GaugeFunc("go_goroutines",
+		"Number of live goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	reg.GaugeFunc("go_heap_alloc_bytes",
+		"Bytes of allocated heap objects.",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.HeapAlloc)
+		})
+	reg.GaugeFunc("go_sys_bytes",
+		"Total bytes of memory obtained from the OS.",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.Sys)
+		})
+	reg.CounterFunc("go_gc_cycles_total",
+		"Completed GC cycles.",
+		func() uint64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return uint64(ms.NumGC)
+		})
+}

@@ -1,0 +1,77 @@
+package metrics
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestAdminServer(t *testing.T) {
+	reg := NewRegistry()
+	RegisterProcess(reg)
+	reg.Counter("admin_test_total", "T.").Add(3)
+
+	srv, err := ServeAdmin("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatalf("ServeAdmin: %v", err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr().String()
+
+	code, body := get(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", code)
+	}
+	for _, want := range []string{"admin_test_total 3\n", "go_goroutines", "process_uptime_seconds"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// pprof index and a non-blocking profile must be reachable.
+	if code, body := get(t, base+"/debug/pprof/"); code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ status=%d", code)
+	}
+	if code, _ := get(t, base+"/debug/pprof/goroutine?debug=1"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/goroutine status=%d", code)
+	}
+
+	if code, body := get(t, base+"/healthz"); code != http.StatusOK || body != "ok\n" {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+	if code, _ := get(t, base+"/nope"); code != http.StatusNotFound {
+		t.Errorf("unknown path status = %d, want 404", code)
+	}
+}
+
+func TestMetricsContentType(t *testing.T) {
+	reg := NewRegistry()
+	srv, err := ServeAdmin("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatalf("ServeAdmin: %v", err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr().String() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("Content-Type = %q, want text exposition version 0.0.4", ct)
+	}
+}

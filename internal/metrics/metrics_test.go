@@ -1,0 +1,245 @@
+package metrics
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func expose(t *testing.T, r *Registry) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	return buf.String()
+}
+
+func TestCounterGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("mail_things_total", "Things that happened.")
+	c.Add(41)
+	c.Inc()
+	g := r.Gauge("mail_depth", "Current depth.")
+	g.Set(7)
+	g.Dec()
+	r.CounterFunc("mail_mirror_total", "Mirrored counter.", func() uint64 { return 9 })
+	r.GaugeFunc("mail_temp", "Mirrored gauge.", func() float64 { return 1.5 })
+
+	out := expose(t, r)
+	for _, want := range []string{
+		"# HELP mail_things_total Things that happened.\n",
+		"# TYPE mail_things_total counter\n",
+		"mail_things_total 42\n",
+		"# TYPE mail_depth gauge\n",
+		"mail_depth 6\n",
+		"mail_mirror_total 9\n",
+		"mail_temp 1.5\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLabeledSeries(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("verdicts_total", "Verdicts.", "reason", "first-seen").Add(3)
+	r.Counter("verdicts_total", "Verdicts.", "reason", "too-soon").Add(5)
+	// Same name+labels returns the same handle.
+	r.Counter("verdicts_total", "Verdicts.", "reason", "first-seen").Inc()
+
+	out := expose(t, r)
+	if !strings.Contains(out, `verdicts_total{reason="first-seen"} 4`+"\n") {
+		t.Errorf("missing first-seen series:\n%s", out)
+	}
+	if !strings.Contains(out, `verdicts_total{reason="too-soon"} 5`+"\n") {
+		t.Errorf("missing too-soon series:\n%s", out)
+	}
+	if strings.Count(out, "# TYPE verdicts_total counter") != 1 {
+		t.Errorf("TYPE line must appear exactly once:\n%s", out)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("odd_total", "Help with \\ and\nnewline.", "k", "a\"b\\c\nd").Inc()
+	out := expose(t, r)
+	if !strings.Contains(out, `# HELP odd_total Help with \\ and\nnewline.`+"\n") {
+		t.Errorf("help not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, `odd_total{k="a\"b\\c\nd"} 1`+"\n") {
+		t.Errorf("label value not escaped:\n%s", out)
+	}
+}
+
+func TestHistogramExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "Latency.", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	out := expose(t, r)
+	for _, want := range []string{
+		"# TYPE lat_seconds histogram\n",
+		`lat_seconds_bucket{le="0.01"} 1` + "\n",
+		`lat_seconds_bucket{le="0.1"} 3` + "\n",
+		`lat_seconds_bucket{le="1"} 4` + "\n",
+		`lat_seconds_bucket{le="+Inf"} 5` + "\n",
+		"lat_seconds_count 5\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if h.Count() != 5 {
+		t.Errorf("Count = %d, want 5", h.Count())
+	}
+	if want := 0.005 + 0.05 + 0.05 + 0.5 + 5; h.Sum() != want {
+		t.Errorf("Sum = %v, want %v", h.Sum(), want)
+	}
+	h.ObserveDuration(50 * time.Millisecond)
+	if h.Count() != 6 {
+		t.Errorf("ObserveDuration did not count")
+	}
+}
+
+func TestHistogramLabelsMergeLE(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("sz", "Sizes.", []float64{1, 10}, "queue", "out")
+	h.Observe(3)
+	out := expose(t, r)
+	if !strings.Contains(out, `sz_bucket{queue="out",le="10"} 1`+"\n") {
+		t.Errorf("le not merged into labelset:\n%s", out)
+	}
+	if !strings.Contains(out, `sz_sum{queue="out"} 3`+"\n") {
+		t.Errorf("sum missing labels:\n%s", out)
+	}
+}
+
+// TestExpositionWellFormed validates the whole rendering line-by-line
+// against the text-format grammar subset we emit: comment lines, then
+// `name[{labels}] value` samples, no blank lines, trailing newline.
+func TestExpositionWellFormed(t *testing.T) {
+	r := NewRegistry()
+	RegisterProcess(r)
+	r.Counter("a_total", "A.", "x", "1").Inc()
+	r.Histogram("b_seconds", "B.", nil).Observe(0.2)
+	r.Gauge("c", "C.").Set(-3)
+
+	out := expose(t, r)
+	if !strings.HasSuffix(out, "\n") {
+		t.Fatal("exposition must end with a newline")
+	}
+	sc := bufio.NewScanner(strings.NewReader(out))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			t.Fatalf("blank line in exposition")
+		}
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("unknown comment line %q", line)
+		}
+		// sample: metric value
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("sample line without value: %q", line)
+		}
+		val := line[sp+1:]
+		if val != "+Inf" && val != "-Inf" && val != "NaN" {
+			if _, err := strconv.ParseFloat(val, 64); err != nil {
+				t.Fatalf("unparsable value %q in line %q", val, line)
+			}
+		}
+		metric := line[:sp]
+		if i := strings.IndexByte(metric, '{'); i >= 0 {
+			if !strings.HasSuffix(metric, "}") {
+				t.Fatalf("unterminated labelset in %q", line)
+			}
+			name := metric[:i]
+			if name == "" {
+				t.Fatalf("empty metric name in %q", line)
+			}
+		}
+	}
+}
+
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "H.", []float64{0.5})
+	c := r.Counter("c_total", "C.")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(float64(i%2) * 0.7)
+				r.Counter("dyn_total", "D.", "w", strconv.Itoa(w)).Inc()
+				if i%100 == 0 {
+					var buf bytes.Buffer
+					if err := r.WriteText(&buf); err != nil {
+						t.Errorf("WriteText: %v", err)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Errorf("counter = %d, want 8000", c.Value())
+	}
+	if h.Count() != 8000 {
+		t.Errorf("histogram count = %d, want 8000", h.Count())
+	}
+}
+
+func TestKindConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", "X.")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("x", "X.")
+}
+
+func TestCounterFuncReplacement(t *testing.T) {
+	r := NewRegistry()
+	r.CounterFunc("m_total", "M.", func() uint64 { return 1 })
+	r.CounterFunc("m_total", "M.", func() uint64 { return 2 })
+	if out := expose(t, r); !strings.Contains(out, "m_total 2\n") {
+		t.Errorf("newest CounterFunc must win:\n%s", out)
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram("bench_seconds", "B.", nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i%100) * 0.0001)
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("bench_total", "B.")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+	_ = fmt.Sprint(c.Value())
+}

@@ -1,0 +1,58 @@
+package mtaqueue
+
+import "repro/internal/metrics"
+
+// instruments holds the delivery-path metric handles; nil until Register
+// is called.
+type instruments struct {
+	submitted      *metrics.Counter
+	delivered      *metrics.Counter
+	bounced        *metrics.Counter
+	retries        *metrics.Counter
+	backoffSeconds *metrics.Histogram
+}
+
+// backoffBuckets spans MTA retransmission schedules: Table IV's retry
+// intervals run from minutes (qmail's 400s-class steps) to many hours
+// (Exchange's last attempts), so the latency buckets top out at 4 days.
+var backoffBuckets = []float64{
+	60, 300, 900, 1800, 3600, 2 * 3600, 4 * 3600, 8 * 3600,
+	24 * 3600, 2 * 24 * 3600, 4 * 24 * 3600,
+}
+
+// Register exports the queue's counters into reg, labelled with the
+// MTA's name so several queues (one per modelled MTA) share a registry:
+//
+//	mtaqueue_messages_submitted_total{mta}  submissions
+//	mtaqueue_messages_delivered_total{mta}  accepted deliveries
+//	mtaqueue_messages_bounced_total{mta}    permanent failures + expiries
+//	mtaqueue_retries_total{mta}             retry attempts scheduled
+//	mtaqueue_backoff_seconds{mta}           scheduled retry backoff (from
+//	                                        enqueue to the retry attempt)
+//	mtaqueue_depth{mta}                     messages currently queued
+//
+// The backoff histogram runs on the *virtual* clock: it records the
+// schedule's own delays (Table IV), not wall time.
+func (m *MTA) Register(reg *metrics.Registry) {
+	name := m.cfg.Name
+	reg.GaugeFunc("mtaqueue_depth",
+		"Messages currently queued awaiting (re)delivery.",
+		func() float64 {
+			queued, _, _ := m.Summary()
+			return float64(queued)
+		}, "mta", name)
+	inst := &instruments{
+		submitted: reg.Counter("mtaqueue_messages_submitted_total",
+			"Messages submitted to the queue.", "mta", name),
+		delivered: reg.Counter("mtaqueue_messages_delivered_total",
+			"Messages accepted by the destination.", "mta", name),
+		bounced: reg.Counter("mtaqueue_messages_bounced_total",
+			"Messages permanently failed or expired from the queue.", "mta", name),
+		retries: reg.Counter("mtaqueue_retries_total",
+			"Retry attempts scheduled after transient failures.", "mta", name),
+		backoffSeconds: reg.Histogram("mtaqueue_backoff_seconds",
+			"Scheduled backoff from enqueue to each retry attempt (virtual time).",
+			backoffBuckets, "mta", name),
+	}
+	m.inst.Store(inst)
+}

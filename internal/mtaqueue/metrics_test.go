@@ -1,0 +1,42 @@
+package mtaqueue
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/mta"
+)
+
+// TestMetricsCountDeliveryLifecycle submits against a greylisting
+// destination: one deferral, one retry, one delivery — each visible in
+// the exported counters, labelled with the MTA's name.
+func TestMetricsCountDeliveryLifecycle(t *testing.T) {
+	w := newWorld(t, core.DefenseGreylisting, 300*time.Second)
+	m := w.newMTA(t, mta.Postfix())
+	reg := metrics.NewRegistry()
+	m.Register(reg)
+
+	m.Submit("dest.example", testMsg(1))
+	w.sched.Run()
+
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`mtaqueue_messages_submitted_total{mta="postfix"} 1` + "\n",
+		`mtaqueue_messages_delivered_total{mta="postfix"} 1` + "\n",
+		`mtaqueue_messages_bounced_total{mta="postfix"} 0` + "\n",
+		`mtaqueue_retries_total{mta="postfix"} 1` + "\n",
+		`mtaqueue_backoff_seconds_count{mta="postfix"} 1` + "\n",
+		`mtaqueue_depth{mta="postfix"} 0` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}

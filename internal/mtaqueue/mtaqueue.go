@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/dnsresolver"
@@ -102,6 +103,8 @@ type MTA struct {
 	cfg     Config
 	offsets []time.Duration
 
+	inst atomic.Pointer[instruments]
+
 	mu     sync.Mutex
 	nextID int
 	queue  map[int]*queueEntry
@@ -150,6 +153,9 @@ func (m *MTA) Submit(domain string, msg smtpclient.Message) int {
 		},
 	}
 	m.mu.Unlock()
+	if inst := m.inst.Load(); inst != nil {
+		inst.submitted.Inc()
+	}
 	m.cfg.Sched.After(0, m.cfg.Name+" first attempt", func() { m.attempt(id, 0) })
 	return id
 }
@@ -170,6 +176,7 @@ func (m *MTA) attempt(id, k int) {
 	receipt := smtpclient.DeliverMX(m.cfg.Resolver, m.cfg.Dialer, domain, msg)
 	now := m.cfg.Sched.Clock().Now()
 
+	inst := m.inst.Load()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	switch receipt.Outcome {
@@ -178,19 +185,32 @@ func (m *MTA) attempt(id, k int) {
 		entry.record.DeliveredAt = now
 		entry.record.Delay = now.Sub(entry.record.EnqueuedAt)
 		entry.record.LastError = nil
+		if inst != nil {
+			inst.delivered.Inc()
+		}
 	case smtpclient.PermanentFailure:
 		entry.record.Status = StatusBounced
 		entry.record.Bounce = BouncePermanent
 		entry.record.LastError = receipt.LastError
+		if inst != nil {
+			inst.bounced.Inc()
+		}
 	default: // transient or unreachable: retry per schedule
 		entry.record.LastError = receipt.LastError
 		next := k + 1
 		if next >= len(m.offsets) {
 			entry.record.Status = StatusBounced
 			entry.record.Bounce = BounceExpired
+			if inst != nil {
+				inst.bounced.Inc()
+			}
 			return
 		}
 		at := entry.record.EnqueuedAt.Add(m.offsets[next])
+		if inst != nil {
+			inst.retries.Inc()
+			inst.backoffSeconds.Observe(m.offsets[next].Seconds())
+		}
 		m.cfg.Sched.At(at, m.cfg.Name+" retry", func() { m.attempt(id, next) })
 	}
 }

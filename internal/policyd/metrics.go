@@ -1,0 +1,56 @@
+package policyd
+
+import "repro/internal/metrics"
+
+// instruments holds the hot-path metric handles. The pointer lives in
+// Server.inst and is nil until Register is called, so an uninstrumented
+// server pays one atomic load per touch point and nothing else.
+type instruments struct {
+	connections   *metrics.Counter
+	timeouts      *metrics.Counter
+	actDunno      *metrics.Counter
+	actDefer      *metrics.Counter
+	actPrepend    *metrics.Counter
+	batchSize     *metrics.Histogram
+	decideSeconds *metrics.Histogram
+}
+
+// Register exports the policy server's counters into reg:
+//
+//	policyd_requests_total          requests served (mirror of Requests())
+//	policyd_connections_total       connections accepted
+//	policyd_conn_timeouts_total     connections dropped by the idle deadline
+//	policyd_responses_total{action} responses by action (dunno|defer|prepend)
+//	policyd_open_connections        currently-open connections
+//	policyd_batch_size              requests decided per batch
+//	policyd_decide_seconds          decision latency per batch
+func (s *Server) Register(reg *metrics.Registry) {
+	reg.CounterFunc("policyd_requests_total",
+		"Policy requests served.",
+		func() uint64 { return s.Requests() })
+	reg.GaugeFunc("policyd_open_connections",
+		"Currently open policy connections.",
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(len(s.conns))
+		})
+	inst := &instruments{
+		connections: reg.Counter("policyd_connections_total",
+			"Policy connections accepted."),
+		timeouts: reg.Counter("policyd_conn_timeouts_total",
+			"Policy connections dropped by the idle deadline."),
+		actDunno: reg.Counter("policyd_responses_total",
+			"Policy responses by action.", "action", "dunno"),
+		actDefer: reg.Counter("policyd_responses_total",
+			"Policy responses by action.", "action", "defer"),
+		actPrepend: reg.Counter("policyd_responses_total",
+			"Policy responses by action.", "action", "prepend"),
+		batchSize: reg.Histogram("policyd_batch_size",
+			"Policy requests decided per batch.", metrics.DefSizeBuckets),
+		decideSeconds: reg.Histogram("policyd_decide_seconds",
+			"Decision latency per batch of policy requests.",
+			metrics.DefLatencyBuckets),
+	}
+	s.inst.Store(inst)
+}

@@ -28,6 +28,8 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/greylist"
 )
@@ -85,6 +87,14 @@ func (r Response) Write(w io.Writer) error {
 	return err
 }
 
+// DefaultIdleTimeout bounds how long a policy connection may sit idle
+// between requests (and how long one response write may stall) before
+// the server drops it. Postfix reconnects transparently when a policy
+// connection goes away, and its own client-side limits
+// (smtpd_policy_service_timeout and friends) sit well under this, so
+// five minutes only ever reaps peers that are truly gone.
+const DefaultIdleTimeout = 5 * time.Minute
+
 // Server answers policy requests with greylisting decisions.
 type Server struct {
 	checker greylist.Checker
@@ -92,6 +102,11 @@ type Server struct {
 	// PREPEND action adding a Postgrey-style tracing header instead of
 	// plain DUNNO.
 	PrependHeader bool
+	// IdleTimeout overrides DefaultIdleTimeout; negative disables
+	// deadlines entirely. Set before Serve.
+	IdleTimeout time.Duration
+
+	inst atomic.Pointer[instruments]
 
 	mu        sync.Mutex
 	wg        sync.WaitGroup
@@ -180,6 +195,13 @@ func (s *Server) Close() error {
 
 func (s *Server) serveConn(conn net.Conn) {
 	defer conn.Close()
+	if inst := s.inst.Load(); inst != nil {
+		inst.connections.Inc()
+	}
+	timeout := s.IdleTimeout
+	if timeout == 0 {
+		timeout = DefaultIdleTimeout
+	}
 	br := bufio.NewReader(conn)
 	bw := bufio.NewWriter(conn)
 	var (
@@ -187,9 +209,20 @@ func (s *Server) serveConn(conn net.Conn) {
 		resps []Response
 	)
 	for {
+		// Arm the idle deadline before blocking for the next request: a
+		// peer that wedges mid-request (or vanishes without FIN) must not
+		// pin this goroutine and its connection slot forever.
+		if timeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(timeout))
+		}
 		req, err := ParseRequest(br)
 		if err != nil {
-			return // EOF or garbage: drop the connection, like Postgrey
+			if isTimeout(err) {
+				if inst := s.inst.Load(); inst != nil {
+					inst.timeouts.Inc()
+				}
+			}
+			return // EOF, timeout or garbage: drop the connection, like Postgrey
 		}
 		// An MTA under load writes requests back-to-back without waiting
 		// for each answer; drain every complete request already buffered
@@ -206,15 +239,31 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.requests += uint64(len(reqs))
 		s.mu.Unlock()
 		resps = s.DecideBatch(reqs, resps)
+		// A write deadline too: Response.Write buffers, but Flush pushes
+		// bytes to a peer whose receive window may be closed.
+		if timeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(timeout))
+		}
 		for _, resp := range resps {
 			if err := resp.Write(bw); err != nil {
 				return
 			}
 		}
 		if err := bw.Flush(); err != nil {
+			if isTimeout(err) {
+				if inst := s.inst.Load(); inst != nil {
+					inst.timeouts.Inc()
+				}
+			}
 			return
 		}
 	}
+}
+
+// isTimeout reports whether err (possibly wrapped) is a deadline expiry.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
 }
 
 // maxRequestBatch bounds how many buffered policy requests are decided
@@ -261,10 +310,10 @@ func bufferedRequest(br *bufio.Reader) bool {
 func (s *Server) Decide(req Request) Response {
 	// Postgrey only acts at RCPT time; everything else passes.
 	if st := req.ProtocolState(); st != "" && st != "RCPT" {
-		return Response{Action: "DUNNO"}
+		return s.dunno()
 	}
 	if req.ClientAddress() == "" || req.Recipient() == "" {
-		return Response{Action: "DUNNO"}
+		return s.dunno()
 	}
 	return s.actionFor(s.checker.Check(triplet(req)))
 }
@@ -274,6 +323,11 @@ func (s *Server) Decide(req Request) Response {
 // requests share one CheckBatch call; semantics match calling Decide on
 // each request in order. The result reuses out when it has capacity.
 func (s *Server) DecideBatch(reqs []Request, out []Response) []Response {
+	if inst := s.inst.Load(); inst != nil {
+		inst.batchSize.Observe(float64(len(reqs)))
+		start := time.Now()
+		defer func() { inst.decideSeconds.ObserveDuration(time.Since(start)) }()
+	}
 	if cap(out) < len(reqs) {
 		out = make([]Response, len(reqs))
 	} else {
@@ -292,11 +346,11 @@ func (s *Server) DecideBatch(reqs []Request, out []Response) []Response {
 	)
 	for i, req := range reqs {
 		if st := req.ProtocolState(); st != "" && st != "RCPT" {
-			out[i] = Response{Action: "DUNNO"}
+			out[i] = s.dunno()
 			continue
 		}
 		if req.ClientAddress() == "" || req.Recipient() == "" {
-			out[i] = Response{Action: "DUNNO"}
+			out[i] = s.dunno()
 			continue
 		}
 		ts = append(ts, triplet(req))
@@ -319,17 +373,31 @@ func triplet(req Request) greylist.Triplet {
 	}
 }
 
+// dunno returns the pass-through action, counting it when instrumented.
+func (s *Server) dunno() Response {
+	if inst := s.inst.Load(); inst != nil {
+		inst.actDunno.Inc()
+	}
+	return Response{Action: "DUNNO"}
+}
+
 // actionFor maps a greylisting verdict to the wire action.
 func (s *Server) actionFor(v greylist.Verdict) Response {
 	switch v.Decision {
 	case greylist.Pass:
 		if s.PrependHeader && v.Reason == greylist.ReasonRetryAccepted {
+			if inst := s.inst.Load(); inst != nil {
+				inst.actPrepend.Inc()
+			}
 			return Response{Action: fmt.Sprintf(
 				"PREPEND X-Greylist: delayed %d seconds by greynolist policy server",
 				int(v.Waited.Seconds()))}
 		}
-		return Response{Action: "DUNNO"}
+		return s.dunno()
 	default:
+		if inst := s.inst.Load(); inst != nil {
+			inst.actDefer.Inc()
+		}
 		return Response{Action: fmt.Sprintf(
 			"DEFER_IF_PERMIT Greylisted, please try again in %d seconds",
 			int(v.WaitRemaining.Seconds()))}

@@ -1,0 +1,141 @@
+package policyd
+
+import (
+	"bufio"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// TestIdleTimeoutDropsStalledConn is the regression test for the missing
+// connection deadlines: a peer that connects and then goes silent used to
+// pin its serveConn goroutine forever. With the idle deadline armed, the
+// server must drop the connection on its own.
+func TestIdleTimeoutDropsStalledConn(t *testing.T) {
+	s, _ := newPolicyServer(300 * time.Second)
+	s.IdleTimeout = 50 * time.Millisecond
+	reg := metrics.NewRegistry()
+	s.Register(reg)
+
+	client, server := net.Pipe() // supports deadlines; the client never writes
+	defer client.Close()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.serveConn(server)
+	}()
+
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("serveConn still blocked on a stalled peer after 5s")
+	}
+
+	// The drop is visible to the peer (read returns an error, so Postfix
+	// would reconnect) and counted.
+	client.SetReadDeadline(time.Now().Add(time.Second))
+	if _, err := client.Read(make([]byte, 1)); err == nil {
+		t.Fatal("connection still open after idle timeout")
+	}
+	if got := expositionContains(t, reg, "policyd_conn_timeouts_total 1\n"); !got {
+		t.Fatal("timeout not counted in policyd_conn_timeouts_total")
+	}
+}
+
+// TestIdleTimeoutStallMidRequest covers the nastier stall: the peer sends
+// half a request (no terminating blank line) and wedges.
+func TestIdleTimeoutStallMidRequest(t *testing.T) {
+	s, _ := newPolicyServer(300 * time.Second)
+	s.IdleTimeout = 50 * time.Millisecond
+
+	client, server := net.Pipe()
+	defer client.Close()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.serveConn(server)
+	}()
+	if _, err := client.Write([]byte("protocol_state=RCPT\nclient_address=1.2.3.4\n")); err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("serveConn still blocked on a half-written request after 5s")
+	}
+}
+
+// TestIdleTimeoutDisabled pins the opt-out: a negative IdleTimeout arms
+// no deadline, and a slow-but-alive peer is served normally.
+func TestIdleTimeoutDisabled(t *testing.T) {
+	s, _ := newPolicyServer(300 * time.Second)
+	s.IdleTimeout = -1
+
+	client, server := net.Pipe()
+	defer client.Close()
+	go s.serveConn(server)
+
+	time.Sleep(20 * time.Millisecond) // longer than any accidental default-0 deadline
+	client.SetDeadline(time.Now().Add(5 * time.Second))
+	req := "protocol_state=RCPT\nclient_address=203.0.113.4\nsender=a@b.example\nrecipient=u@foo.net\n\n"
+	if _, err := client.Write([]byte(req)); err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(client)
+	line, err := br.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(line, "action=DEFER_IF_PERMIT") {
+		t.Fatalf("answer = %q", line)
+	}
+}
+
+func expositionContains(t *testing.T, reg *metrics.Registry, want string) bool {
+	t.Helper()
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return strings.Contains(sb.String(), want)
+}
+
+// TestPolicydMetrics pins the exported policyd metric names and the
+// action counters' agreement with the decisions actually returned.
+func TestPolicydMetrics(t *testing.T) {
+	s, clock := newPolicyServer(300 * time.Second)
+	s.PrependHeader = true
+	reg := metrics.NewRegistry()
+	s.Register(reg)
+
+	req := rcptRequest("203.0.113.9", "a@b.example", "u@foo.net")
+	s.DecideBatch([]Request{req, {"protocol_state": "DATA"}}, nil) // defer + dunno
+	clock.Advance(301 * time.Second)
+	s.Decide(req) // prepend
+
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`policyd_responses_total{action="defer"} 1` + "\n",
+		`policyd_responses_total{action="dunno"} 1` + "\n",
+		`policyd_responses_total{action="prepend"} 1` + "\n",
+		"policyd_batch_size_count 1\n",
+		"policyd_decide_seconds_count 1\n",
+		"# TYPE policyd_requests_total counter",
+		"# TYPE policyd_open_connections gauge",
+		"# TYPE policyd_connections_total counter",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}

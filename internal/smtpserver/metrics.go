@@ -1,0 +1,133 @@
+package smtpserver
+
+import (
+	"repro/internal/metrics"
+	"repro/internal/smtpproto"
+)
+
+// instruments holds the hot-path metric handles, nil until Register is
+// called: an uninstrumented server pays one atomic pointer load per
+// touch point and nothing else.
+type instruments struct {
+	// commands maps verb -> counter; built once at Register and read-only
+	// afterwards, so sessions index it without locking. Unknown verbs
+	// (including unparsable lines) land in other.
+	commands map[string]*metrics.Counter
+	other    *metrics.Counter
+
+	reply2xx *metrics.Counter
+	reply3xx *metrics.Counter
+	reply4xx *metrics.Counter
+	reply5xx *metrics.Counter
+
+	rcptBatchSize  *metrics.Histogram
+	sessionSeconds *metrics.Histogram
+}
+
+// sessionVerbs is the command repertoire exported with a pre-registered
+// counter each, so every series exists (at 0) from the first scrape.
+var sessionVerbs = []string{
+	smtpproto.VerbHELO, smtpproto.VerbEHLO, smtpproto.VerbMAIL,
+	smtpproto.VerbRCPT, smtpproto.VerbDATA, smtpproto.VerbRSET,
+	smtpproto.VerbNOOP, smtpproto.VerbQUIT, smtpproto.VerbVRFY,
+	smtpproto.VerbHELP, "STARTTLS",
+}
+
+// Register exports the SMTP server's counters into reg:
+//
+//	smtp_connections_total          sessions accepted (mirror of Stats)
+//	smtp_open_sessions              sessions currently being served
+//	smtp_commands_total{verb}       commands by verb ("other" = unknown)
+//	smtp_replies_total{class}       replies by first digit (2xx..5xx)
+//	smtp_messages_accepted_total    accepted DATA transactions (mirror)
+//	smtp_messages_rejected_total    rejected DATA transactions (mirror)
+//	smtp_recipients_deferred_total  greylist-deferred recipients (mirror)
+//	smtp_protocol_errors_total      syntax/sequencing errors (mirror)
+//	smtp_rcpt_batch_size            RCPTs decided per pipelined batch
+//	smtp_session_seconds            wall-clock session duration
+//
+// The mirrors read the same mutex-guarded Stats the Stats() method
+// snapshots, so exposition can never disagree with Stats().
+//
+// labelPairs, when given, are base labels stamped on every series — a
+// domain with several MX hosts registers each server with a
+// distinguishing "host" label so the mirrors don't clobber each other.
+func (s *Server) Register(reg *metrics.Registry, labelPairs ...string) {
+	lbl := func(extra ...string) []string {
+		return append(append([]string(nil), labelPairs...), extra...)
+	}
+	stat := func(pick func(Stats) uint64) func() uint64 {
+		return func() uint64 { return pick(s.Stats()) }
+	}
+	reg.CounterFunc("smtp_connections_total",
+		"SMTP sessions accepted.",
+		stat(func(st Stats) uint64 { return st.Connections }), labelPairs...)
+	reg.CounterFunc("smtp_messages_accepted_total",
+		"Messages accepted at DATA.",
+		stat(func(st Stats) uint64 { return st.MessagesAccepted }), labelPairs...)
+	reg.CounterFunc("smtp_messages_rejected_total",
+		"Messages rejected at DATA.",
+		stat(func(st Stats) uint64 { return st.MessagesRejected }), labelPairs...)
+	reg.CounterFunc("smtp_recipients_deferred_total",
+		"Recipients deferred by the RCPT policy hook (greylisting).",
+		stat(func(st Stats) uint64 { return st.RecipientsDeferred }), labelPairs...)
+	reg.CounterFunc("smtp_protocol_errors_total",
+		"SMTP syntax and sequencing errors.",
+		stat(func(st Stats) uint64 { return st.ProtocolErrors }), labelPairs...)
+	reg.GaugeFunc("smtp_open_sessions",
+		"SMTP sessions currently being served.",
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(len(s.conns))
+		}, labelPairs...)
+
+	inst := &instruments{
+		commands: make(map[string]*metrics.Counter, len(sessionVerbs)),
+		other: reg.Counter("smtp_commands_total",
+			"SMTP commands received by verb.", lbl("verb", "other")...),
+		reply2xx: reg.Counter("smtp_replies_total",
+			"SMTP replies sent by class.", lbl("class", "2xx")...),
+		reply3xx: reg.Counter("smtp_replies_total",
+			"SMTP replies sent by class.", lbl("class", "3xx")...),
+		reply4xx: reg.Counter("smtp_replies_total",
+			"SMTP replies sent by class.", lbl("class", "4xx")...),
+		reply5xx: reg.Counter("smtp_replies_total",
+			"SMTP replies sent by class.", lbl("class", "5xx")...),
+		rcptBatchSize: reg.Histogram("smtp_rcpt_batch_size",
+			"RCPT commands decided per pipelined batch.",
+			metrics.DefSizeBuckets, labelPairs...),
+		sessionSeconds: reg.Histogram("smtp_session_seconds",
+			"Wall-clock SMTP session duration.", metrics.DefLatencyBuckets,
+			labelPairs...),
+	}
+	for _, verb := range sessionVerbs {
+		inst.commands[verb] = reg.Counter("smtp_commands_total",
+			"SMTP commands received by verb.", lbl("verb", verb)...)
+	}
+	s.inst.Store(inst)
+}
+
+// countCommand attributes one received command (or "?" for an
+// unparsable line) to its verb counter.
+func (inst *instruments) countCommand(verb string) {
+	if c, ok := inst.commands[verb]; ok {
+		c.Inc()
+		return
+	}
+	inst.other.Inc()
+}
+
+// countReply attributes one sent reply to its class counter.
+func (inst *instruments) countReply(code int) {
+	switch code / 100 {
+	case 2:
+		inst.reply2xx.Inc()
+	case 3:
+		inst.reply3xx.Inc()
+	case 4:
+		inst.reply4xx.Inc()
+	case 5:
+		inst.reply5xx.Inc()
+	}
+}

@@ -1,0 +1,61 @@
+package smtpserver
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+// TestMetricsMirrorSession drives one full SMTP session and checks the
+// exported counters: command verbs, reply classes, and the Stats mirrors.
+func TestMetricsMirrorSession(t *testing.T) {
+	env := startServer(t, Config{})
+	reg := metrics.NewRegistry()
+	env.server.Register(reg)
+
+	env.script(t, "10.0.0.9", []string{
+		"EHLO client.example",
+		"MAIL FROM:<a@b.example>",
+		"RCPT TO:<u@foo.net>",
+		"DATA",
+		"Subject: hi\r\n\r\nbody\r\n.",
+		"BOGUS",
+		"QUIT",
+	})
+	env.server.Close()
+
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"smtp_connections_total 1\n",
+		`smtp_commands_total{verb="EHLO"} 1` + "\n",
+		`smtp_commands_total{verb="MAIL"} 1` + "\n",
+		`smtp_commands_total{verb="RCPT"} 1` + "\n",
+		`smtp_commands_total{verb="DATA"} 1` + "\n",
+		`smtp_commands_total{verb="QUIT"} 1` + "\n",
+		`smtp_commands_total{verb="other"} 1` + "\n", // BOGUS
+		"smtp_messages_accepted_total 1\n",
+		"smtp_protocol_errors_total 1\n",
+		"smtp_open_sessions 0\n",
+		"smtp_session_seconds_count 1\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Reply classes: banner+EHLO+MAIL+RCPT+accept+QUIT are 2xx, DATA's
+	// 354 is 3xx, BOGUS's 500 is 5xx.
+	for _, want := range []string{
+		`smtp_replies_total{class="2xx"} 6` + "\n",
+		`smtp_replies_total{class="3xx"} 1` + "\n",
+		`smtp_replies_total{class="5xx"} 1` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"net"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/simtime"
@@ -146,6 +147,8 @@ type Stats struct {
 type Server struct {
 	cfg Config
 
+	inst atomic.Pointer[instruments]
+
 	mu        sync.Mutex
 	stats     Stats
 	closed    bool
@@ -176,6 +179,9 @@ func New(cfg Config) *Server {
 	}
 	return &Server{cfg: cfg, conns: make(map[net.Conn]struct{})}
 }
+
+// Hostname returns the announced hostname.
+func (s *Server) Hostname() string { return s.cfg.Hostname }
 
 // Stats returns a snapshot of the counters.
 func (s *Server) Stats() Stats {
@@ -300,6 +306,10 @@ func (s *Server) serveConn(conn net.Conn) {
 		state:    stateConnected,
 		trace:    SessionTrace{ClientIP: clientIP, StartedAt: s.cfg.Clock.Now()},
 	}
+	if inst := s.inst.Load(); inst != nil {
+		start := time.Now()
+		defer func() { inst.sessionSeconds.ObserveDuration(time.Since(start)) }()
+	}
 	sess.run()
 	if hook := s.cfg.Hooks.OnSessionEnd; hook != nil {
 		sess.trace.EndedAt = s.cfg.Clock.Now()
@@ -308,6 +318,9 @@ func (s *Server) serveConn(conn net.Conn) {
 }
 
 func (sess *session) reply(r smtpproto.Reply) bool {
+	if inst := sess.srv.inst.Load(); inst != nil {
+		inst.countReply(r.Code)
+	}
 	if _, err := sess.bw.WriteString(r.String()); err != nil {
 		return false
 	}
@@ -344,12 +357,18 @@ func (sess *session) run() {
 		cmd, err := smtpproto.ParseCommand(line)
 		if err != nil {
 			sess.trace.Verbs = append(sess.trace.Verbs, "?")
+			if inst := s.inst.Load(); inst != nil {
+				inst.other.Inc()
+			}
 			if !sess.protocolError(smtpproto.NewReply(500, "5.5.2", "Unrecognized command")) {
 				return
 			}
 			continue
 		}
 		sess.trace.Verbs = append(sess.trace.Verbs, cmd.Verb)
+		if inst := s.inst.Load(); inst != nil {
+			inst.countCommand(cmd.Verb)
+		}
 		if !sess.dispatch(cmd) {
 			return
 		}
@@ -544,6 +563,10 @@ func (sess *session) handleRcptPipeline(arg string) bool {
 		return sess.serialRcpts(args)
 	}
 
+	inst := sess.srv.inst.Load()
+	if inst != nil {
+		inst.rcptBatchSize.Observe(float64(len(rcpts)))
+	}
 	replies := sess.srv.cfg.Hooks.OnRcptBatch(sess.clientIP, sess.sender, rcpts)
 	deferred := 0
 	for i, rcpt := range rcpts {
@@ -557,6 +580,11 @@ func (sess *session) handleRcptPipeline(arg string) bool {
 			r = &okRcptReply
 		} else if r.Transient() {
 			deferred++
+		}
+		if inst != nil {
+			// These replies bypass sess.reply (one flush per batch), so
+			// the class counters are fed here too.
+			inst.countReply(r.Code)
 		}
 		if _, err := sess.bw.WriteString(r.String()); err != nil {
 			return false
@@ -621,6 +649,9 @@ func (sess *session) drainPipelinedRcpts(arg string) []string {
 		}
 		sess.br.Discard(nl + 1)
 		sess.trace.Verbs = append(sess.trace.Verbs, cmd.Verb)
+		if inst := sess.srv.inst.Load(); inst != nil {
+			inst.countCommand(cmd.Verb)
+		}
 		args = append(args, cmd.Arg)
 	}
 	return args
