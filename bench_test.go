@@ -436,6 +436,46 @@ func BenchmarkScanStudyWorkers(b *testing.B) {
 	}
 }
 
+// BenchmarkRunStudy100k runs the two-scan adoption study on a
+// paper-scale 100k-domain population with allocation reporting — the
+// headline number for the streaming scan pipeline (BENCH_scan.json
+// tracks B/op and allocs/op against the pre-streaming implementation).
+func BenchmarkRunStudy100k(b *testing.B) {
+	pop, err := scan.Generate(scan.DefaultConfig(100000, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clock := simtime.NewSim(simtime.Epoch)
+		res := scan.RunStudyWorkers(pop, clock, 56*24*time.Hour, 0)
+		if res.EmailServers == 0 {
+			b.Fatal("empty study")
+		}
+	}
+}
+
+// BenchmarkScanDomain measures one domain observation on the glue-present
+// dataset-join path; the steady state must stay at 0 allocs/op (asserted
+// by TestScanDomainZeroAlloc).
+func BenchmarkScanDomain(b *testing.B) {
+	cfg := scan.DefaultConfig(2000, 1)
+	cfg.NoGlueFrac = 0
+	cfg.TransientFailure = 0
+	pop, err := scan.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := scan.NewScanner(pop, nil)
+	s.UseDataset(scan.BannerGrab(pop, 4))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ScanDomain(pop.Specs[i%len(pop.Specs)].Name)
+	}
+}
+
 // BenchmarkEndToEndReport regenerates every artifact back to back — the
 // "full reproduction" cost — serially and on the experiment worker pool
 // (byte-identical output either way).

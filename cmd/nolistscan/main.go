@@ -6,8 +6,8 @@
 //
 // Usage:
 //
-//	nolistscan [-domains 20000] [-seed 1] [-transient 0.01]
-//	           [-noglue 0.2] [-gap 1344h] [-truth]
+//	nolistscan [-domains 20000] [-seed 1] [-workers 0] [-transient 0.01]
+//	           [-noglue 0.2] [-gap 1344h] [-truth] [-metrics FILE]
 package main
 
 import (
@@ -16,6 +16,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/nolist"
 	"repro/internal/scan"
 	"repro/internal/simtime"
@@ -36,6 +37,8 @@ func run() error {
 		noglue    = flag.Float64("noglue", 0.2, "fraction of MX answers without glue")
 		gap       = flag.Duration("gap", 56*24*time.Hour, "time between the two scans")
 		truth     = flag.Bool("truth", false, "also print the ground-truth mixture")
+		workers   = flag.Int("workers", 0, "scan worker count (0 = GOMAXPROCS, 1 = serial); any count gives identical results")
+		metricsTo = flag.String("metrics", "", "write the scan metrics snapshot to this file ('-' = stdout)")
 	)
 	flag.Parse()
 
@@ -47,8 +50,13 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	var reg *metrics.Registry
+	if *metricsTo != "" {
+		reg = metrics.NewRegistry()
+		pop.Register(reg)
+	}
 	clock := simtime.NewSim(simtime.Epoch)
-	res := scan.RunStudy(pop, clock, *gap)
+	res := scan.RunStudyWorkers(pop, clock, *gap, *workers)
 
 	fmt.Print(res.RenderPie())
 	fmt.Printf("\nemail servers: %d, resolved addresses: %d, re-resolutions: %d\n",
@@ -71,5 +79,32 @@ func run() error {
 			fmt.Printf("  %-22s %d\n", c, counts[c])
 		}
 	}
+
+	if *metricsTo != "" {
+		if err := dumpMetrics(reg, *metricsTo); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// dumpMetrics writes the registry in Prometheus text format to path
+// ("-" = stdout).
+func dumpMetrics(reg *metrics.Registry, path string) error {
+	if path == "-" {
+		return reg.WriteText(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WriteText(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote metrics snapshot to %s\n", path)
 	return nil
 }

@@ -38,8 +38,9 @@ type Zone struct {
 	records map[string][]dnsmsg.RR // canonical owner name -> RRs
 	// noGlue suppresses additional-section A records for MX targets,
 	// modelling the paper's "MX records that were not properly
-	// resolved" that forced their parallel scanner to re-resolve.
-	noGlue bool
+	// resolved" that forced their parallel scanner to re-resolve. It is
+	// atomic so the answer path reads it without touching the zone lock.
+	noGlue atomic.Bool
 }
 
 // NewZone returns an empty zone for origin.
@@ -56,9 +57,7 @@ func (z *Zone) Origin() string { return z.origin }
 // SetNoGlue controls whether MX answers include the exchangers' A records
 // in the additional section. Glue is included by default.
 func (z *Zone) SetNoGlue(noGlue bool) {
-	z.mu.Lock()
-	defer z.mu.Unlock()
-	z.noGlue = noGlue
+	z.noGlue.Store(noGlue)
 }
 
 // Add inserts a record. The owner name must be within the zone.
@@ -110,19 +109,28 @@ func (z *Zone) Remove(name string, t dnsmsg.Type) {
 // Lookup returns the records of type t at name (ANY returns all), and
 // whether the name exists at all (to distinguish NODATA from NXDOMAIN).
 func (z *Zone) Lookup(name string, t dnsmsg.Type) (rrs []dnsmsg.RR, nameExists bool) {
+	return z.LookupAppend(nil, name, t)
+}
+
+// LookupAppend appends the records of type t at name (ANY appends all) to
+// dst and reports whether the name exists at all (to distinguish NODATA
+// from NXDOMAIN). It is the allocation-free form of Lookup for callers
+// that reuse a response buffer, such as the adoption scanner's in-process
+// query path.
+func (z *Zone) LookupAppend(dst []dnsmsg.RR, name string, t dnsmsg.Type) (rrs []dnsmsg.RR, nameExists bool) {
 	name = dnsmsg.CanonicalName(name)
 	z.mu.RLock()
 	defer z.mu.RUnlock()
 	all, ok := z.records[name]
 	if !ok {
-		return nil, false
+		return dst, false
 	}
 	for _, rr := range all {
 		if t == dnsmsg.TypeANY || rr.Type == t {
-			rrs = append(rrs, rr)
+			dst = append(dst, rr)
 		}
 	}
-	return rrs, true
+	return dst, true
 }
 
 // Names returns every owner name in the zone, sorted; used by the scan
@@ -147,8 +155,16 @@ func nameInZone(name, origin string) bool {
 
 // Server is an authoritative server over a set of zones.
 type Server struct {
-	mu    sync.RWMutex
-	zones map[string]*Zone
+	// zones holds canonical origin -> *Zone behind an atomic pointer
+	// with copy-on-write updates, giving zone lookups a contention-free,
+	// allocation-free read path: a paper-scale scan issues one findZone
+	// per query (plus one per glue target) from every scan worker
+	// concurrently, and a process-wide RWMutex — even read-locked —
+	// serializes those lookups on one cache line. Writers copy the map
+	// under zmu; batch inserts with AddZones to build populations in
+	// O(n) rather than one copy per zone.
+	zmu   sync.Mutex
+	zones atomic.Pointer[map[string]*Zone]
 
 	// OnQuery, when non-nil, observes every question handled. The lab
 	// uses it to record which MX lookups each malware model performs.
@@ -165,37 +181,57 @@ type Server struct {
 
 // New returns a Server with no zones.
 func New() *Server {
-	return &Server{zones: make(map[string]*Zone)}
+	s := &Server{}
+	zones := make(map[string]*Zone)
+	s.zones.Store(&zones)
+	return s
 }
 
 // AddZone registers (or replaces) a zone.
 func (s *Server) AddZone(z *Zone) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.zones[z.Origin()] = z
+	s.AddZones(z)
+}
+
+// AddZones registers (or replaces) zones in one copy-on-write step; use
+// it over per-zone AddZone when loading a whole population.
+func (s *Server) AddZones(zs ...*Zone) {
+	s.zmu.Lock()
+	defer s.zmu.Unlock()
+	old := *s.zones.Load()
+	zones := make(map[string]*Zone, len(old)+len(zs))
+	for k, v := range old {
+		zones[k] = v
+	}
+	for _, z := range zs {
+		zones[z.Origin()] = z
+	}
+	s.zones.Store(&zones)
 }
 
 // RemoveZone drops the zone with the given origin.
 func (s *Server) RemoveZone(origin string) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	delete(s.zones, dnsmsg.CanonicalName(origin))
+	s.zmu.Lock()
+	defer s.zmu.Unlock()
+	old := *s.zones.Load()
+	zones := make(map[string]*Zone, len(old))
+	for k, v := range old {
+		zones[k] = v
+	}
+	delete(zones, dnsmsg.CanonicalName(origin))
+	s.zones.Store(&zones)
 }
 
 // Zone returns the zone with the given origin, or nil.
 func (s *Server) Zone(origin string) *Zone {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.zones[dnsmsg.CanonicalName(origin)]
+	return (*s.zones.Load())[dnsmsg.CanonicalName(origin)]
 }
 
 // findZone returns the longest-suffix zone containing name.
 func (s *Server) findZone(name string) *Zone {
 	name = dnsmsg.CanonicalName(name)
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	zones := *s.zones.Load()
 	for candidate := name; ; {
-		if z, ok := s.zones[candidate]; ok {
+		if z, ok := zones[candidate]; ok {
 			return z
 		}
 		dot := strings.IndexByte(candidate, '.')
@@ -204,29 +240,45 @@ func (s *Server) findZone(name string) *Zone {
 		}
 		candidate = candidate[dot+1:]
 	}
-	if z, ok := s.zones[""]; ok {
-		return z
-	}
-	return nil
+	return zones[""]
 }
 
 const maxCNAMEChain = 8
 
 // Handle answers a single query message. It never returns nil.
 func (s *Server) Handle(q *dnsmsg.Message) *dnsmsg.Message {
-	if inst := s.inst.Load(); inst != nil {
-		resp := s.handle(q)
-		inst.countResponse(resp.Header.RCode)
-		return resp
-	}
-	return s.handle(q)
+	resp := &dnsmsg.Message{}
+	s.HandleReuse(q, resp)
+	return resp
 }
 
-func (s *Server) handle(q *dnsmsg.Message) *dnsmsg.Message {
-	resp := q.Reply()
+// HandleReuse answers q into resp, truncating and reusing resp's section
+// slices. It is the zero-allocation form of Handle for in-process callers
+// on hot paths (the adoption scanner issues millions of queries per scan
+// round through it): once resp's slices have grown to the largest answer,
+// steady-state queries allocate nothing. Record data appended to resp is
+// shared with the zone's stored records and must not be mutated.
+func (s *Server) HandleReuse(q, resp *dnsmsg.Message) {
+	s.handleInto(q, resp)
+	if inst := s.inst.Load(); inst != nil {
+		inst.countResponse(resp.Header.RCode)
+	}
+}
+
+func (s *Server) handleInto(q, resp *dnsmsg.Message) {
+	resp.Header = dnsmsg.Header{
+		ID:               q.Header.ID,
+		Response:         true,
+		OpCode:           q.Header.OpCode,
+		RecursionDesired: q.Header.RecursionDesired,
+	}
+	resp.Questions = append(resp.Questions[:0], q.Questions...)
+	resp.Answers = resp.Answers[:0]
+	resp.Authority = resp.Authority[:0]
+	resp.Additional = resp.Additional[:0]
 	if q.Header.OpCode != dnsmsg.OpQuery || len(q.Questions) != 1 {
 		resp.Header.RCode = dnsmsg.RCodeNotImplemented
-		return resp
+		return
 	}
 	question := q.Questions[0]
 	if inst := s.inst.Load(); inst != nil {
@@ -237,67 +289,74 @@ func (s *Server) handle(q *dnsmsg.Message) *dnsmsg.Message {
 	}
 	if question.Class != dnsmsg.ClassINET && question.Class != dnsmsg.ClassANY {
 		resp.Header.RCode = dnsmsg.RCodeNotImplemented
-		return resp
+		return
 	}
 	zone := s.findZone(question.Name)
 	if zone == nil {
 		resp.Header.RCode = dnsmsg.RCodeRefused
-		return resp
+		return
 	}
 	resp.Header.Authoritative = true
 
 	name := dnsmsg.CanonicalName(question.Name)
 	exists := false
 	for i := 0; i < maxCNAMEChain; i++ {
-		rrs, ok := zone.Lookup(name, question.Type)
+		var ok bool
+		n0 := len(resp.Answers)
+		resp.Answers, ok = zone.LookupAppend(resp.Answers, name, question.Type)
 		exists = exists || ok
-		if len(rrs) > 0 {
-			resp.Answers = append(resp.Answers, rrs...)
+		if len(resp.Answers) > n0 {
 			break
 		}
 		// Chase a CNAME if present (and the query wasn't for CNAME).
 		if question.Type == dnsmsg.TypeCNAME {
 			break
 		}
-		cnames, _ := zone.Lookup(name, dnsmsg.TypeCNAME)
-		if len(cnames) == 0 {
+		resp.Answers, _ = zone.LookupAppend(resp.Answers, name, dnsmsg.TypeCNAME)
+		if len(resp.Answers) == n0 {
 			break
 		}
-		resp.Answers = append(resp.Answers, cnames[0])
-		name = cnames[0].Data.(dnsmsg.CNAME).Target
+		resp.Answers = resp.Answers[:n0+1] // follow only the first CNAME
+		name = resp.Answers[n0].Data.(dnsmsg.CNAME).Target
 	}
 
 	if len(resp.Answers) == 0 && !exists {
 		resp.Header.RCode = dnsmsg.RCodeNameError
-		return resp
+		return
 	}
 	s.addGlue(zone, resp)
-	return resp
 }
 
 // addGlue appends A records for MX exchangers to the additional section,
-// unless the answering zone is configured glue-less.
+// unless the answering zone is configured glue-less. Duplicate exchanger
+// hosts are skipped by a linear scan over the answers already written —
+// answer sections are a handful of records, so this beats building a set
+// (and keeps HandleReuse allocation-free).
 func (s *Server) addGlue(zone *Zone, resp *dnsmsg.Message) {
-	zone.mu.RLock()
-	noGlue := zone.noGlue
-	zone.mu.RUnlock()
-	if noGlue {
+	if zone.noGlue.Load() {
 		return
 	}
-	seen := make(map[string]bool)
-	for _, rr := range resp.Answers {
+	answers := resp.Answers
+	for i, rr := range answers {
 		mx, ok := rr.Data.(dnsmsg.MX)
-		if !ok || seen[mx.Host] {
+		if !ok {
 			continue
 		}
-		seen[mx.Host] = true
+		dup := false
+		for _, prev := range answers[:i] {
+			if pmx, ok := prev.Data.(dnsmsg.MX); ok && pmx.Host == mx.Host {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
 		gz := s.findZone(mx.Host)
 		if gz == nil {
 			continue
 		}
-		if as, _ := gz.Lookup(mx.Host, dnsmsg.TypeA); len(as) > 0 {
-			resp.Additional = append(resp.Additional, as...)
-		}
+		resp.Additional, _ = gz.LookupAppend(resp.Additional, mx.Host, dnsmsg.TypeA)
 	}
 }
 

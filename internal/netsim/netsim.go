@@ -10,6 +10,13 @@
 // marked down is unreachable (a malfunctioning server, indistinguishable
 // from nolisting in scan data — exactly the ambiguity Section IV-A's
 // two-scan methodology resolves).
+//
+// State is sharded by host hash (mirroring greylist.Sharded): every
+// listener and down-flag of one host lives in the shard of that host, so
+// the banner-grab workers and the parallel domain scanners of a
+// paper-scale adoption study probe different hosts without contending on
+// a process-wide lock. Dial/refusal counters are atomics, so Stats reads
+// never contend with dials either.
 package netsim
 
 import (
@@ -17,6 +24,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 )
 
 // Sentinel errors mirroring the failure modes of real TCP dialing.
@@ -32,22 +40,71 @@ var (
 	ErrAddrInUse = errors.New("netsim: address already in use")
 )
 
+// shardCount is the number of host-hash shards. A power of two well above
+// typical GOMAXPROCS keeps the probability of two busy workers colliding
+// on one shard's lock low while the per-Network footprint stays small.
+const shardCount = 64
+
+// shard holds the listeners and down-flags of the hosts that hash to it.
+// Read-mostly operations (Dial, Listening, HostDown) take the read lock.
+type shard struct {
+	mu        sync.RWMutex
+	listeners map[string]*Listener // "ip:port" -> listener
+	down      map[string]bool      // "ip" -> host marked down
+}
+
 // Network is the in-memory Internet. The zero value is not usable; create
 // one with New. All methods are safe for concurrent use.
 type Network struct {
-	mu        sync.Mutex
-	listeners map[string]*Listener
-	down      map[string]bool
-	dials     uint64
-	refused   uint64
+	shards  [shardCount]shard
+	dials   atomic.Uint64
+	refused atomic.Uint64
 }
 
 // New returns an empty Network.
 func New() *Network {
-	return &Network{
-		listeners: make(map[string]*Listener),
-		down:      make(map[string]bool),
+	n := &Network{}
+	for i := range n.shards {
+		n.shards[i].listeners = make(map[string]*Listener)
+		n.shards[i].down = make(map[string]bool)
 	}
+	return n
+}
+
+// shardOf picks the shard owning host by FNV-1a hash — the same function
+// the greylist engine shards by, inlined so no hasher is constructed.
+func (n *Network) shardOf(host string) *shard {
+	const offset, prime = 2166136261, 16777619
+	h := uint32(offset)
+	for i := 0; i < len(host); i++ {
+		h ^= uint32(host[i])
+		h *= prime
+	}
+	return &n.shards[h%shardCount]
+}
+
+// shardOfBytes is shardOf over a byte slice, so probe paths holding a
+// scratch buffer never convert it to a string.
+func (n *Network) shardOfBytes(host []byte) *shard {
+	const offset, prime = 2166136261, 16777619
+	h := uint32(offset)
+	for _, c := range host {
+		h ^= uint32(c)
+		h *= prime
+	}
+	return &n.shards[h%shardCount]
+}
+
+// splitHost returns the IP part of "ip:port" without allocating, or ""
+// for a malformed address. The simulation only ever uses plain
+// "ipv4:port" forms, so scanning for the last colon is exact.
+func splitHost(addr string) string {
+	for i := len(addr) - 1; i >= 0; i-- {
+		if addr[i] == ':' {
+			return addr[:i]
+		}
+	}
+	return ""
 }
 
 // Listen binds a listener to addr ("ip:port"). It fails if the address is
@@ -57,9 +114,10 @@ func (n *Network) Listen(address string) (*Listener, error) {
 	if err != nil {
 		return nil, fmt.Errorf("netsim: listen %q: %w", address, err)
 	}
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if _, ok := n.listeners[address]; ok {
+	sh := n.shardOf(host)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.listeners[address]; ok {
 		return nil, fmt.Errorf("netsim: listen %q: %w", address, ErrAddrInUse)
 	}
 	l := &Listener{
@@ -69,7 +127,7 @@ func (n *Network) Listen(address string) (*Listener, error) {
 		accept: make(chan net.Conn),
 		done:   make(chan struct{}),
 	}
-	n.listeners[address] = l
+	sh.listeners[address] = l
 	return l, nil
 }
 
@@ -82,19 +140,19 @@ func (n *Network) Dial(laddr, raddr string) (net.Conn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("netsim: dial %q: %w", raddr, err)
 	}
-	n.mu.Lock()
-	n.dials++
-	if n.down[rhost] {
-		n.mu.Unlock()
+	n.dials.Add(1)
+	sh := n.shardOf(rhost)
+	sh.mu.RLock()
+	if sh.down[rhost] {
+		sh.mu.RUnlock()
 		return nil, fmt.Errorf("netsim: dial %s: %w", raddr, ErrHostUnreachable)
 	}
-	l, ok := n.listeners[raddr]
+	l, ok := sh.listeners[raddr]
+	sh.mu.RUnlock()
 	if !ok {
-		n.refused++
-		n.mu.Unlock()
+		n.refused.Add(1)
 		return nil, fmt.Errorf("netsim: dial %s: %w", raddr, ErrConnRefused)
 	}
-	n.mu.Unlock()
 
 	cc, sc := net.Pipe()
 	client := &conn{Conn: cc, local: Addr(laddr), remote: Addr(raddr)}
@@ -113,51 +171,79 @@ func (n *Network) Dial(laddr, raddr string) (net.Conn, error) {
 // (down=true) or reachable again (down=false). Listeners stay bound; a host
 // coming back up resumes accepting.
 func (n *Network) SetHostDown(ip string, isDown bool) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	sh := n.shardOf(ip)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	if isDown {
-		n.down[ip] = true
+		sh.down[ip] = true
 	} else {
-		delete(n.down, ip)
+		delete(sh.down, ip)
 	}
 }
 
 // HostDown reports whether the host is currently marked down.
 func (n *Network) HostDown(ip string) bool {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.down[ip]
+	sh := n.shardOf(ip)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.down[ip]
 }
 
 // Listening reports whether any listener is bound to addr and its host is
 // up. This is the primitive behind the SMTP banner-grab scanner: a SYN to
 // port 25 succeeds exactly when Listening is true.
 func (n *Network) Listening(addr string) bool {
-	host, _, err := net.SplitHostPort(addr)
-	if err != nil {
+	host := splitHost(addr)
+	if host == "" {
 		return false
 	}
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if n.down[host] {
+	sh := n.shardOf(host)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if sh.down[host] {
 		return false
 	}
-	_, ok := n.listeners[addr]
+	_, ok := sh.listeners[addr]
 	return ok
 }
 
-// Stats reports the total number of dial attempts and how many were refused.
+// ListeningAddr is Listening over a byte-slice address, for probe loops
+// that build "ip:port" in a reused scratch buffer: the map lookups use
+// the m[string(b)] form, so a paper-scale banner grab probes without
+// allocating a string per target.
+func (n *Network) ListeningAddr(addr []byte) bool {
+	hostLen := -1
+	for i := len(addr) - 1; i >= 0; i-- {
+		if addr[i] == ':' {
+			hostLen = i
+			break
+		}
+	}
+	if hostLen <= 0 {
+		return false
+	}
+	sh := n.shardOfBytes(addr[:hostLen])
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if sh.down[string(addr[:hostLen])] {
+		return false
+	}
+	_, ok := sh.listeners[string(addr)]
+	return ok
+}
+
+// Stats reports the total number of dial attempts and how many were
+// refused. The counters are atomics; reading them never blocks dialers.
 func (n *Network) Stats() (dials, refused uint64) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.dials, n.refused
+	return n.dials.Load(), n.refused.Load()
 }
 
 func (n *Network) unbind(addr string, l *Listener) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if n.listeners[addr] == l {
-		delete(n.listeners, addr)
+	sh := n.shardOf(l.host)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.listeners[addr] == l {
+		delete(sh.listeners, addr)
 	}
 }
 

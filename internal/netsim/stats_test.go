@@ -1,0 +1,74 @@
+package netsim
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+// TestStatsAtomicUnderConcurrentDials hammers Dial from many goroutines
+// while Stats is read concurrently: the atomic counters must never tear,
+// go backwards, or lose a dial, and the final totals must be exact.
+func TestStatsAtomicUnderConcurrentDials(t *testing.T) {
+	n := New()
+	if _, err := n.Listen("10.0.0.1:25"); err != nil {
+		t.Fatal(err)
+	}
+	const (
+		goroutines = 8
+		perG       = 500
+	)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Concurrent reader: the counters are independent atomics (a reader
+	// can see refusals from dials newer than its dials load), but each
+	// must be monotonic and never torn.
+	var reader sync.WaitGroup
+	reader.Add(1)
+	go func() {
+		defer reader.Done()
+		var lastDials, lastRefused uint64
+		for {
+			dials, refused := n.Stats()
+			if dials < lastDials || refused < lastRefused {
+				t.Errorf("counters went backwards: %d/%d after %d/%d",
+					dials, refused, lastDials, lastRefused)
+				return
+			}
+			lastDials, lastRefused = dials, refused
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				// Alternate a refused target with nothing listening and
+				// a probe of the bound one (Listening doesn't dial).
+				_, err := n.Dial("10.9.9.9:1000", "10.0.0.2:25")
+				if !errors.Is(err, ErrConnRefused) {
+					t.Errorf("dial dead target: %v", err)
+					return
+				}
+				if !n.Listening("10.0.0.1:25") {
+					t.Error("bound listener not seen")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	reader.Wait()
+
+	dials, refused := n.Stats()
+	want := uint64(goroutines * perG)
+	if dials != want || refused != want {
+		t.Errorf("Stats() = %d dials, %d refused; want %d of each", dials, refused, want)
+	}
+}

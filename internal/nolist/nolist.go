@@ -169,30 +169,38 @@ func less(a, b MXObservation) bool {
 // pipeline. A domain is a nolisting *candidate* when its highest-priority
 // resolved MX is not listening while some lower-priority one is; a single
 // scan cannot distinguish that from a transiently down primary.
+//
+// The classifier allocates nothing (it sorts o.MXs in place and walks it
+// once), so the streaming scan pipeline can classify every domain as it
+// is scanned without retaining observations.
 func ClassifyDomain(o DomainObservation) Category {
 	o.Normalize()
-	var resolved []MXObservation
+	nResolved := 0
+	primaryListening := false
+	lowerListening := false
 	for _, mx := range o.MXs {
-		if mx.Resolved {
-			resolved = append(resolved, mx)
+		if !mx.Resolved {
+			continue
+		}
+		nResolved++
+		if nResolved == 1 {
+			primaryListening = mx.Listening
+		} else if mx.Listening {
+			lowerListening = true
 		}
 	}
 	switch {
-	case len(resolved) == 0:
+	case nResolved == 0:
 		return CatMisconfigured
-	case len(resolved) == 1:
+	case nResolved == 1:
 		return CatOneMX
-	}
-	primary := resolved[0]
-	if primary.Listening {
+	case primaryListening:
 		return CatMultiMX
+	case lowerListening:
+		return CatNolisting // candidate; confirm with FinalCategory
+	default:
+		return CatMultiMX // everything down: outage, not nolisting
 	}
-	for _, mx := range resolved[1:] {
-		if mx.Listening {
-			return CatNolisting // candidate; confirm with FinalCategory
-		}
-	}
-	return CatMultiMX // everything down: outage, not nolisting
 }
 
 // FinalCategory combines two scans taken far apart (the paper used
@@ -201,7 +209,14 @@ func ClassifyDomain(o DomainObservation) Category {
 // domain had the primary email server operational in at least one of the
 // two datasets, we concluded that it was not using nolisting".
 func FinalCategory(first, second DomainObservation) Category {
-	c1, c2 := ClassifyDomain(first), ClassifyDomain(second)
+	return FinalFromCategories(ClassifyDomain(first), ClassifyDomain(second))
+}
+
+// FinalFromCategories is the two-scan rule over already-computed
+// single-scan categories. The streaming scan pipeline classifies each
+// domain as it is scanned and joins the two scans' category records here
+// — the full observations never need to be retained.
+func FinalFromCategories(c1, c2 Category) Category {
 	switch {
 	case c1 == CatNolisting && c2 == CatNolisting:
 		return CatNolisting

@@ -1,0 +1,49 @@
+package scan
+
+import (
+	"testing"
+)
+
+// TestScanDomainZeroAlloc asserts the tentpole property: once the
+// scanner's scratch buffers have warmed up, scanning a glue-present
+// domain against a banner-grab dataset allocates nothing.
+func TestScanDomainZeroAlloc(t *testing.T) {
+	cfg := DefaultConfig(2000, 1)
+	cfg.NoGlueFrac = 0 // glue-present path
+	cfg.TransientFailure = 0
+	pop, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewScanner(pop, nil)
+	s.UseDataset(BannerGrab(pop, 4))
+	i := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.ScanDomain(pop.Specs[i%len(pop.Specs)].Name)
+		i++
+	})
+	if allocs != 0 {
+		t.Errorf("ScanDomain allocates %.1f times per call on the glue-present path, want 0", allocs)
+	}
+}
+
+// TestScanVerdictZeroAllocLiveProbe covers the other join mode: live
+// port probes through the scratch address buffer instead of a dataset.
+func TestScanVerdictZeroAllocLiveProbe(t *testing.T) {
+	cfg := DefaultConfig(2000, 1)
+	cfg.NoGlueFrac = 0
+	cfg.TransientFailure = 0
+	pop, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewScanner(pop, nil)
+	i := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.ScanVerdict(pop.Specs[i%len(pop.Specs)].Name)
+		i++
+	})
+	if allocs != 0 {
+		t.Errorf("ScanVerdict allocates %.1f times per call with live probes, want 0", allocs)
+	}
+}

@@ -2,7 +2,11 @@ package scan
 
 import (
 	"sort"
+	"strconv"
 	"sync"
+	"sync/atomic"
+
+	"repro/internal/dnsmsg"
 )
 
 // SMTPDataset is the reproduction of the paper's "Daily Full IPv4 SMTP
@@ -11,67 +15,139 @@ import (
 // dataset with zmap and then JOINS the DNS observations against it —
 // classification never touches the live network. BannerGrab builds the
 // same artifact from the synthetic population.
+//
+// Addresses are keyed by their packed IPv4 value so that the scan hot
+// path joins against the dataset without building an address string.
 type SMTPDataset struct {
-	listening map[string]bool
+	listening map[uint32]bool
 }
 
-// Listening reports whether ip answered on port 25 during the grab.
-func (d *SMTPDataset) Listening(ip string) bool { return d.listening[ip] }
+// parseIPv4Key parses a dotted-quad string into the packed big-endian
+// key without allocating (dnsmsg.ParseIPv4 splits into substrings).
+func parseIPv4Key(s string) (uint32, bool) {
+	var key uint32
+	octet, digits, dots := 0, 0, 0
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case c >= '0' && c <= '9':
+			octet = octet*10 + int(c-'0')
+			digits++
+			if digits > 3 || octet > 255 {
+				return 0, false
+			}
+		case c == '.':
+			if digits == 0 || dots == 3 {
+				return 0, false
+			}
+			key = key<<8 | uint32(octet)
+			octet, digits = 0, 0
+			dots++
+		default:
+			return 0, false
+		}
+	}
+	if digits == 0 || dots != 3 {
+		return 0, false
+	}
+	return key<<8 | uint32(octet), true
+}
+
+// ipKey packs an A record's address into the dataset key.
+func ipKey(a dnsmsg.A) uint32 {
+	return uint32(a.IP[0])<<24 | uint32(a.IP[1])<<16 | uint32(a.IP[2])<<8 | uint32(a.IP[3])
+}
+
+// Listening reports whether ip (dotted quad) answered on port 25 during
+// the grab.
+func (d *SMTPDataset) Listening(ip string) bool {
+	key, ok := parseIPv4Key(ip)
+	return ok && d.listening[key]
+}
+
+// ListeningA is Listening keyed directly by an A record — the scan hot
+// path's join, free of any string conversion.
+func (d *SMTPDataset) ListeningA(a dnsmsg.A) bool { return d.listening[ipKey(a)] }
 
 // Size reports how many addresses were responsive.
 func (d *SMTPDataset) Size() int { return len(d.listening) }
 
-// Addresses returns the responsive addresses, sorted (for export).
+// Addresses returns the responsive addresses as dotted quads, sorted
+// (for export).
 func (d *SMTPDataset) Addresses() []string {
 	out := make([]string, 0, len(d.listening))
-	for ip := range d.listening {
-		out = append(out, ip)
+	var buf [15]byte
+	for key := range d.listening {
+		b := strconv.AppendUint(buf[:0], uint64(key>>24), 10)
+		b = append(b, '.')
+		b = strconv.AppendUint(b, uint64(key>>16&255), 10)
+		b = append(b, '.')
+		b = strconv.AppendUint(b, uint64(key>>8&255), 10)
+		b = append(b, '.')
+		b = strconv.AppendUint(b, uint64(key&255), 10)
+		out = append(out, string(b))
 	}
 	sort.Strings(out)
 	return out
 }
 
+// grabChunk is how many consecutive targets a grab worker claims per
+// atomic-cursor fetch.
+const grabChunk = 256
+
 // BannerGrab probes port 25 of every MX address in the population with
 // the given number of concurrent workers and returns the snapshot. The
 // snapshot reflects the failure state at grab time — run it inside a
-// BeginScan/EndScan window.
+// BeginScan/EndScan window. The target list is precomputed at Generate;
+// workers claim index ranges from an atomic cursor, probe through a
+// reused address buffer (no per-target strings), and record results
+// lock-free at the target's index.
 func BannerGrab(p *Population, workers int) *SMTPDataset {
+	targets := p.targets
 	if workers < 1 {
 		workers = 1
 	}
-	var targets []string
-	seen := make(map[string]bool)
-	for _, s := range p.Specs {
-		for _, ip := range []string{s.PrimaryIP, s.SecondaryIP} {
-			if ip != "" && !seen[ip] {
-				seen[ip] = true
-				targets = append(targets, ip)
-			}
-		}
+	if workers > len(targets) {
+		workers = len(targets)
 	}
-
-	ds := &SMTPDataset{listening: make(map[string]bool, len(targets))}
-	var mu sync.Mutex
+	results := make([]bool, len(targets))
+	var cursor atomic.Int64
 	var wg sync.WaitGroup
-	work := make(chan string)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for ip := range work {
-				if p.Net.Listening(ip + ":25") {
-					mu.Lock()
-					ds.listening[ip] = true
-					mu.Unlock()
+			var buf []byte
+			for {
+				start := int(cursor.Add(grabChunk)) - grabChunk
+				if start >= len(targets) {
+					break
+				}
+				end := start + grabChunk
+				if end > len(targets) {
+					end = len(targets)
+				}
+				for i := start; i < end; i++ {
+					buf = append(buf[:0], targets[i]...)
+					buf = append(buf, ":25"...)
+					results[i] = p.Net.ListeningAddr(buf)
 				}
 			}
 		}()
 	}
-	for _, ip := range targets {
-		work <- ip
-	}
-	close(work)
 	wg.Wait()
+
+	ds := &SMTPDataset{listening: make(map[uint32]bool, len(targets))}
+	responsive := 0
+	for i, up := range results {
+		if up {
+			ds.listening[p.targetKeys[i]] = true
+			responsive++
+		}
+	}
+	if inst := p.inst.Load(); inst != nil {
+		inst.grabProbes.Add(uint64(len(targets)))
+		inst.grabResponsive.Add(uint64(responsive))
+	}
 	return ds
 }
 
@@ -80,11 +156,22 @@ func BannerGrab(p *Population, workers int) *SMTPDataset {
 // to live probing.
 func (s *Scanner) UseDataset(ds *SMTPDataset) { s.dataset = ds }
 
-// listening is the scanner's liveness primitive: a dataset join when one
-// is loaded, a live probe otherwise.
-func (s *Scanner) listening(ip string) bool {
+// listeningA is the scanner's liveness primitive: a dataset join when
+// one is loaded, a live probe (through the scratch address buffer)
+// otherwise. Neither form allocates in steady state.
+func (s *Scanner) listeningA(a dnsmsg.A) bool {
 	if s.dataset != nil {
-		return s.dataset.Listening(ip)
+		return s.dataset.ListeningA(a)
 	}
-	return s.net.Listening(ip + ":25")
+	b := s.addrBuf[:0]
+	b = strconv.AppendUint(b, uint64(a.IP[0]), 10)
+	b = append(b, '.')
+	b = strconv.AppendUint(b, uint64(a.IP[1]), 10)
+	b = append(b, '.')
+	b = strconv.AppendUint(b, uint64(a.IP[2]), 10)
+	b = append(b, '.')
+	b = strconv.AppendUint(b, uint64(a.IP[3]), 10)
+	b = append(b, ":25"...)
+	s.addrBuf = b
+	return s.net.ListeningAddr(b)
 }

@@ -1,0 +1,33 @@
+package scan
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/simtime"
+)
+
+// TestStudyResultGolden pins the full StudyResult rendering for a fixed
+// seed to the bytes produced by the pre-streaming implementation
+// (testdata/golden_study.txt), across the serial scanner, the default
+// GOMAXPROCS pool and an oversubscribed 32-worker pool. Any drift —
+// classification, counter totals, formatting — fails byte-for-byte.
+func TestStudyResultGolden(t *testing.T) {
+	want, err := os.ReadFile("testdata/golden_study.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 0, 32} {
+		pop, err := Generate(DefaultConfig(3000, 5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		clock := simtime.NewSim(simtime.Epoch)
+		res := RunStudyWorkers(pop, clock, 56*24*time.Hour, workers)
+		if got := res.RenderFull(); got != string(want) {
+			t.Errorf("workers=%d: study result drifted from golden:\ngot:\n%s\nwant:\n%s",
+				workers, got, want)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package scan
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+// TestConcurrentGrabAndScan drives banner grabs and parallel domain
+// scans concurrently against the failure-state toggles — the access
+// pattern of a paper-scale study round — under the race detector. It
+// exercises the sharded netsim read path, the lock-free dnsserver zone
+// lookups, and the atomic dial counters all at once.
+func TestConcurrentGrabAndScan(t *testing.T) {
+	pop, err := Generate(DefaultConfig(600, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var workers sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Failure-state churn: repeated scan windows flipping hosts down/up.
+	var churn sync.WaitGroup
+	churn.Add(1)
+	go func() {
+		defer churn.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			pop.BeginScan()
+			pop.EndScan()
+		}
+	}()
+
+	// Concurrent banner grabs.
+	for g := 0; g < 2; g++ {
+		workers.Add(1)
+		go func() {
+			defer workers.Done()
+			for i := 0; i < 20; i++ {
+				ds := BannerGrab(pop, 8)
+				if ds.Size() == 0 {
+					t.Error("banner grab found no listeners")
+					return
+				}
+			}
+		}()
+	}
+
+	// Concurrent parallel scans (verdict pipeline and observation path).
+	for g := 0; g < 2; g++ {
+		workers.Add(1)
+		go func() {
+			defer workers.Done()
+			out := make([]Verdict, len(pop.Specs))
+			for i := 0; i < 10; i++ {
+				scanVerdicts(pop, nil, 8, out)
+			}
+		}()
+	}
+	workers.Add(1)
+	go func() {
+		defer workers.Done()
+		s := NewScanner(pop, simtime.NewSim(simtime.Epoch))
+		for i := 0; i < 3; i++ {
+			s.ScanAll(pop)
+		}
+	}()
+
+	workers.Wait()
+	close(stop)
+	churn.Wait()
+}

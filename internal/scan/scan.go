@@ -25,12 +25,13 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/dnsmsg"
-	"repro/internal/dnsresolver"
 	"repro/internal/dnsserver"
 	"repro/internal/netsim"
 	"repro/internal/nolist"
@@ -103,6 +104,15 @@ type Population struct {
 	Net     *netsim.Network
 	rng     *rand.Rand
 	downNow []string // primaries marked down for the current scan
+
+	// targets and targetKeys are the banner-grab target list — every MX
+	// address in the population, precomputed once at Generate so each
+	// scan round's grab doesn't rebuild it (addresses are unique by
+	// construction; see ip).
+	targets    []string
+	targetKeys []uint32
+
+	inst atomic.Pointer[instruments]
 }
 
 // Generate builds the population: one DNS zone and zero or more SMTP
@@ -136,16 +146,56 @@ func Generate(cfg Config) (*Population, error) {
 	}
 	p.rng.Shuffle(len(cats), func(i, j int) { cats[i], cats[j] = cats[j], cats[i] })
 
+	zones := make([]*dnsserver.Zone, 0, len(cats))
+	p.Specs = make([]DomainSpec, 0, len(cats))
 	for i, cat := range cats {
-		name := fmt.Sprintf("d%06d.example", i)
-		spec, err := p.buildDomain(i, name, cat)
+		spec, zone, err := p.buildDomain(i, domainName(i), cat)
 		if err != nil {
 			return nil, err
 		}
 		p.Specs = append(p.Specs, spec)
+		zones = append(zones, zone)
 	}
+	// One copy-on-write step instead of a map copy per zone.
+	p.DNS.AddZones(zones...)
 	p.assignAlexaRanks()
+	p.buildTargets()
 	return p, nil
+}
+
+// domainName derives the i-th domain's name ("d%06d.example") without
+// fmt — populations are generated by the hundreds of thousands.
+func domainName(i int) string {
+	var buf [24]byte
+	dst := append(buf[:0], 'd')
+	var digits [20]byte
+	s := strconv.AppendInt(digits[:0], int64(i), 10)
+	for pad := 6 - len(s); pad > 0; pad-- {
+		dst = append(dst, '0')
+	}
+	dst = append(dst, s...)
+	dst = append(dst, ".example"...)
+	return string(dst)
+}
+
+// buildTargets precomputes the banner-grab target list: every MX address
+// in the population, with its dataset key. Addresses are unique by
+// construction (ip allocates one per domain/slot), so no dedup set is
+// needed.
+func (p *Population) buildTargets() {
+	for _, s := range p.Specs {
+		for _, addr := range [2]string{s.PrimaryIP, s.SecondaryIP} {
+			if addr == "" {
+				continue
+			}
+			key, ok := parseIPv4Key(addr)
+			if !ok {
+				continue
+			}
+			p.targets = append(p.targets, addr)
+			p.targetKeys = append(p.targetKeys, key)
+		}
+	}
 }
 
 // apportion splits n into parts proportional to fracs (largest remainder).
@@ -180,10 +230,17 @@ func apportion(n int, fracs []float64) []int {
 // ip allocates a unique address for (domain index, host slot).
 func ip(index, slot int) string {
 	n := index*2 + slot
-	return fmt.Sprintf("10.%d.%d.%d", (n>>16)&255, (n>>8)&255, n&255)
+	var buf [15]byte
+	dst := append(buf[:0], '1', '0', '.')
+	dst = strconv.AppendUint(dst, uint64((n>>16)&255), 10)
+	dst = append(dst, '.')
+	dst = strconv.AppendUint(dst, uint64((n>>8)&255), 10)
+	dst = append(dst, '.')
+	dst = strconv.AppendUint(dst, uint64(n&255), 10)
+	return string(dst)
 }
 
-func (p *Population) buildDomain(index int, name string, cat nolist.Category) (DomainSpec, error) {
+func (p *Population) buildDomain(index int, name string, cat nolist.Category) (DomainSpec, *dnsserver.Zone, error) {
 	spec := DomainSpec{Name: name, TrueCategory: cat}
 	zone := dnsserver.NewZone(name)
 	if p.rng.Float64() < p.cfg.NoGlueFrac {
@@ -239,10 +296,9 @@ func (p *Population) buildDomain(index int, name string, cat nolist.Category) (D
 		err = addMX(10, "ghost."+name)
 	}
 	if err != nil {
-		return spec, fmt.Errorf("scan: building %s: %w", name, err)
+		return spec, nil, fmt.Errorf("scan: building %s: %w", name, err)
 	}
-	p.DNS.AddZone(zone)
-	return spec, nil
+	return spec, zone, nil
 }
 
 // assignAlexaRanks plants the paper's finding in the ground truth: of the
@@ -305,93 +361,190 @@ func (p *Population) EndScan() {
 	p.downNow = nil
 }
 
-// Scanner runs the three-step observation pipeline over a population.
+// Scanner runs the three-step observation pipeline over a population. It
+// queries the population's DNS in process through the server's reusable
+// response buffers (dnsserver.HandleReuse), so a steady-state ScanDomain
+// on the glue-present path allocates nothing. A Scanner is not safe for
+// concurrent use; the parallel study runner gives each worker its own.
 type Scanner struct {
-	resolver *dnsresolver.Resolver
-	net      *netsim.Network
-	dataset  *SMTPDataset
+	srv     *dnsserver.Server
+	net     *netsim.Network
+	dataset *SMTPDataset
 	// ReResolutions counts glue-less MX targets that needed a second
 	// lookup (the paper's parallel-scanner workload).
 	ReResolutions int
+
+	// Scratch state reused across calls: the query and response messages,
+	// the re-resolution response, the MX observation buffer that
+	// ScanDomain's result aliases, and the "ip:port" buffer for live
+	// probes.
+	q       dnsmsg.Message
+	resp    dnsmsg.Message
+	respA   dnsmsg.Message
+	mxBuf   []nolist.MXObservation
+	addrBuf []byte
 }
 
-// NewScanner builds a scanner over the population's DNS and network.
+// NewScanner builds a scanner over the population's DNS and network. The
+// clock parameter is unused (scans are cache-less, so nothing is
+// time-dependent) and kept for call-site compatibility.
 func NewScanner(p *Population, clock simtime.Clock) *Scanner {
-	r := dnsresolver.New(dnsresolver.Direct(p.DNS), clock)
-	r.DisableCache = true // scans must see live state
-	return &Scanner{resolver: r, net: p.Net}
+	_ = clock
+	return &Scanner{srv: p.DNS, net: p.Net}
+}
+
+// query answers (name, t) into the given scratch response and returns it,
+// or nil if the name did not resolve (any non-success RCode).
+func (s *Scanner) query(resp *dnsmsg.Message, name string, t dnsmsg.Type) *dnsmsg.Message {
+	s.q.Header = dnsmsg.Header{ID: 1, OpCode: dnsmsg.OpQuery, RecursionDesired: true}
+	s.q.Questions = append(s.q.Questions[:0], dnsmsg.Question{
+		Name: name, Type: t, Class: dnsmsg.ClassINET,
+	})
+	s.srv.HandleReuse(&s.q, resp)
+	if resp.Header.RCode != dnsmsg.RCodeSuccess {
+		return nil
+	}
+	return resp
 }
 
 // ScanDomain produces one domain's observation: its MX records, whether
-// each target resolved, and whether each resolved address answers on
-// port 25 (the banner-grab lookup).
+// each target resolved, and whether any of its addresses answers on
+// port 25 (the banner-grab lookup). The returned observation's MXs slice
+// aliases scanner-owned scratch and is valid only until the next call;
+// ScanAll clones it for callers that retain observations.
 func (s *Scanner) ScanDomain(name string) nolist.DomainObservation {
 	obs := nolist.DomainObservation{Domain: name}
-	resp, err := s.resolver.Query(name, dnsmsg.TypeMX)
-	if err != nil {
+	resp := s.query(&s.resp, name, dnsmsg.TypeMX)
+	if resp == nil {
 		return obs // unresolvable: no MX observations at all
 	}
-	glue := make(map[string]bool)
-	for _, rr := range resp.Additional {
-		if _, ok := rr.Data.(dnsmsg.A); ok {
-			glue[rr.Name] = true
-		}
-	}
+	s.mxBuf = s.mxBuf[:0]
 	for _, rr := range resp.Answers {
 		mx, ok := rr.Data.(dnsmsg.MX)
 		if !ok {
 			continue
 		}
 		mo := nolist.MXObservation{Host: mx.Host, Pref: mx.Preference}
-		var addrs []string
-		if glue[mx.Host] {
-			for _, arr := range resp.Additional {
-				if arr.Name == mx.Host {
-					if a, ok := arr.Data.(dnsmsg.A); ok {
-						addrs = append(addrs, a.String())
-					}
-				}
+		glue := false
+		for _, arr := range resp.Additional {
+			if arr.Name != mx.Host {
+				continue
 			}
-		} else {
+			a, ok := arr.Data.(dnsmsg.A)
+			if !ok {
+				continue
+			}
+			glue = true
+			mo.Resolved = true
+			if !mo.Listening && s.listeningA(a) {
+				mo.Listening = true
+			}
+		}
+		if !glue {
 			// The reply named the exchanger but carried no address:
 			// re-resolve, as the paper's parallel scanner did.
 			s.ReResolutions++
-			if got, err := s.resolver.LookupA(mx.Host); err == nil {
-				addrs = got
-			}
+			s.resolveA(mx.Host, &mo)
 		}
-		if len(addrs) > 0 {
-			mo.Resolved = true
-			for _, a := range addrs {
-				if s.listening(a) {
-					mo.Listening = true
-					break
-				}
-			}
-		}
-		obs.MXs = append(obs.MXs, mo)
+		s.mxBuf = append(s.mxBuf, mo)
 	}
+	obs.MXs = s.mxBuf
 	return obs
 }
 
+// resolveA resolves host to addresses with the same semantics as
+// dnsresolver.LookupA (CNAME chasing up to depth 8), recording into mo
+// whether anything resolved and whether any resolved address listens.
+func (s *Scanner) resolveA(host string, mo *nolist.MXObservation) {
+	name := dnsmsg.CanonicalName(host)
+	for depth := 0; depth < 8; depth++ {
+		resp := s.query(&s.respA, name, dnsmsg.TypeA)
+		if resp == nil {
+			return
+		}
+		next := ""
+		found := false
+		for _, rr := range resp.Answers {
+			switch data := rr.Data.(type) {
+			case dnsmsg.A:
+				if rr.Name == name || next != "" {
+					found = true
+					mo.Resolved = true
+					if !mo.Listening && s.listeningA(data) {
+						mo.Listening = true
+					}
+				}
+			case dnsmsg.CNAME:
+				if rr.Name == name {
+					next = data.Target
+				}
+			}
+		}
+		if found || next == "" {
+			return
+		}
+		name = next
+	}
+}
+
 // ScanAll observes every domain in the population under the current
-// failure state.
+// failure state. Unlike bare ScanDomain calls, the returned observations
+// are independently owned (MX slices are cloned out of the scratch
+// buffer).
 func (s *Scanner) ScanAll(p *Population) []nolist.DomainObservation {
 	out := make([]nolist.DomainObservation, len(p.Specs))
 	for i, spec := range p.Specs {
-		out[i] = s.ScanDomain(spec.Name)
+		obs := s.ScanDomain(spec.Name)
+		if len(obs.MXs) > 0 {
+			obs.MXs = append([]nolist.MXObservation(nil), obs.MXs...)
+		} else {
+			obs.MXs = nil
+		}
+		out[i] = obs
 	}
 	return out
 }
 
-// scanAllParallel observes every domain using a bounded worker pool.
-// Each worker gets its own Scanner (own resolver, no shared cache locks)
-// over the same population; workers claim domains from an atomic cursor.
-// The output is deterministic and identical to ScanAll: observation i
-// depends only on domain i and the population's (fixed) failure state,
-// results land at their domain's index, and the per-worker ReResolutions
-// counts are summed into s — an order-independent total.
-func (s *Scanner) scanAllParallel(p *Population, clock simtime.Clock, workers int) []nolist.DomainObservation {
+// Verdict is the compact per-domain record a scan round emits: the
+// single-scan category plus the MX and resolved-address counts the study
+// report needs. At eight bytes per domain, two full scan rounds of a
+// paper-scale population fit in a few megabytes where retained
+// DomainObservations needed gigabytes.
+type Verdict struct {
+	Cat      uint8
+	MXs      uint16
+	Resolved uint16
+}
+
+// Category returns the verdict's single-scan category.
+func (v Verdict) Category() nolist.Category { return nolist.Category(v.Cat) }
+
+// ScanVerdict scans one domain and classifies it on the spot, returning
+// the compact verdict record. Nothing of the observation is retained.
+func (s *Scanner) ScanVerdict(name string) Verdict {
+	obs := s.ScanDomain(name)
+	v := Verdict{Cat: uint8(nolist.ClassifyDomain(obs)), MXs: uint16(len(obs.MXs))}
+	for _, mx := range obs.MXs {
+		if mx.Resolved {
+			v.Resolved++
+		}
+	}
+	return v
+}
+
+// verdictChunk is how many consecutive domains a scan worker claims per
+// atomic-cursor fetch; large enough to keep cursor contention negligible,
+// small enough to balance tail latency.
+const verdictChunk = 64
+
+// scanVerdicts scans every domain into out[i] using the given number of
+// workers (0 means GOMAXPROCS, 1 forces serial) and returns the total
+// re-resolution count. Any worker count produces identical output:
+// verdict i depends only on domain i and the population's fixed failure
+// state, workers claim index ranges from an atomic cursor and write at
+// the domain's index, and the re-resolution total is an order-independent
+// sum.
+func scanVerdicts(p *Population, ds *SMTPDataset, workers int, out []Verdict) int {
 	if workers < 1 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -399,33 +552,42 @@ func (s *Scanner) scanAllParallel(p *Population, clock simtime.Clock, workers in
 		workers = len(p.Specs)
 	}
 	if workers <= 1 {
-		return s.ScanAll(p)
+		s := NewScanner(p, nil)
+		s.UseDataset(ds)
+		for i := range p.Specs {
+			out[i] = s.ScanVerdict(p.Specs[i].Name)
+		}
+		return s.ReResolutions
 	}
-	out := make([]nolist.DomainObservation, len(p.Specs))
 	var (
-		next atomic.Int64
-		wg   sync.WaitGroup
-		reRe atomic.Int64
+		cursor atomic.Int64
+		reRe   atomic.Int64
+		wg     sync.WaitGroup
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			ws := NewScanner(p, clock)
-			ws.dataset = s.dataset
+			ws := NewScanner(p, nil)
+			ws.UseDataset(ds)
 			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(p.Specs) {
+				start := int(cursor.Add(verdictChunk)) - verdictChunk
+				if start >= len(p.Specs) {
 					break
 				}
-				out[i] = ws.ScanDomain(p.Specs[i].Name)
+				end := start + verdictChunk
+				if end > len(p.Specs) {
+					end = len(p.Specs)
+				}
+				for i := start; i < end; i++ {
+					out[i] = ws.ScanVerdict(p.Specs[i].Name)
+				}
 			}
 			reRe.Add(int64(ws.ReResolutions))
 		}()
 	}
 	wg.Wait()
-	s.ReResolutions += int(reRe.Load())
-	return out
+	return int(reRe.Load())
 }
 
 // StudyResult is the Figure 2 reproduction output.
@@ -470,40 +632,52 @@ func RunStudy(p *Population, clock *simtime.Sim, gap time.Duration) *StudyResult
 // only on that domain and the scan's fixed failure state, so only
 // wall-clock time varies.
 func RunStudyWorkers(p *Population, clock *simtime.Sim, gap time.Duration, workers int) *StudyResult {
-	scanner := NewScanner(p, clock)
-
 	// Each scan round mirrors the paper's methodology: collect the SMTP
-	// banner-grab dataset first (concurrently, zmap-style), then join
-	// the DNS observations against that snapshot.
+	// banner-grab dataset first (concurrently, zmap-style), then join the
+	// DNS observations against that snapshot. Classification is fused into
+	// the scan: workers emit 8-byte Verdicts, so the two rounds retain
+	// O(domains) compact records instead of full observations.
 	const grabWorkers = 16
-	p.BeginScan()
-	scanner.UseDataset(BannerGrab(p, grabWorkers))
-	first := scanner.scanAllParallel(p, clock, workers)
-	p.EndScan()
+	n := len(p.Specs)
+	first := make([]Verdict, n)
+	second := make([]Verdict, n)
+	reRe := 0
 
+	runRound := func(out []Verdict) {
+		started := time.Now()
+		p.BeginScan()
+		ds := BannerGrab(p, grabWorkers)
+		reRe += scanVerdicts(p, ds, workers, out)
+		p.EndScan()
+		if inst := p.inst.Load(); inst != nil {
+			inst.rounds.Inc()
+			inst.domains.Add(uint64(n))
+			inst.roundSeconds.ObserveDuration(time.Since(started))
+		}
+	}
+
+	runRound(first)
 	clock.Advance(gap)
-
-	p.BeginScan()
-	scanner.UseDataset(BannerGrab(p, grabWorkers))
-	second := scanner.scanAllParallel(p, clock, workers)
-	p.EndScan()
+	runRound(second)
 
 	res := &StudyResult{
 		Counts:        make(map[nolist.Category]int),
 		Fractions:     make(map[nolist.Category]float64),
-		ReResolutions: scanner.ReResolutions,
+		ReResolutions: reRe,
+	}
+	if inst := p.inst.Load(); inst != nil {
+		inst.reResolutions.Add(uint64(reRe))
 	}
 	changed := 0
 	for i := range p.Specs {
-		c1 := nolist.ClassifyDomain(first[i])
-		c2 := nolist.ClassifyDomain(second[i])
+		c1, c2 := first[i].Category(), second[i].Category()
 		if c1 == nolist.CatNolisting {
 			res.SingleScanNolisting++
 		}
 		if c1 != c2 {
 			changed++
 		}
-		final := nolist.FinalCategory(first[i], second[i])
+		final := nolist.FinalFromCategories(c1, c2)
 		res.Counts[final]++
 		if final != p.Specs[i].TrueCategory {
 			res.Misclassified++
@@ -522,14 +696,9 @@ func RunStudyWorkers(p *Population, clock *simtime.Sim, gap time.Duration, worke
 				res.NolistingInTop1000++
 			}
 		}
-		for _, mx := range first[i].MXs {
-			res.EmailServers++
-			if mx.Resolved {
-				res.ResolvedIPs++
-			}
-		}
+		res.EmailServers += int(first[i].MXs)
+		res.ResolvedIPs += int(first[i].Resolved)
 	}
-	n := len(p.Specs)
 	if n > 0 {
 		res.ChangeBetweenScans = float64(changed) / float64(n)
 		for c, k := range res.Counts {
@@ -537,6 +706,23 @@ func RunStudyWorkers(p *Population, clock *simtime.Sim, gap time.Duration, worke
 		}
 	}
 	return res
+}
+
+// RenderFull renders every StudyResult field as text — the pie plus the
+// methodology and cross-check numbers. The golden byte-identity test
+// pins this rendering across scanner implementations and worker counts.
+func (r *StudyResult) RenderFull() string {
+	var sb strings.Builder
+	sb.WriteString(r.RenderPie())
+	fmt.Fprintf(&sb, "\nemail servers: %d, resolved addresses: %d, re-resolutions: %d\n",
+		r.EmailServers, r.ResolvedIPs, r.ReResolutions)
+	fmt.Fprintf(&sb, "single-scan nolisting candidates: %d; confirmed by two scans: %d\n",
+		r.SingleScanNolisting, r.Counts[nolist.CatNolisting])
+	fmt.Fprintf(&sb, "classification churn between scans: %.4f%%\n", 100*r.ChangeBetweenScans)
+	fmt.Fprintf(&sb, "misclassified vs ground truth: %d\n", r.Misclassified)
+	fmt.Fprintf(&sb, "Alexa: nolisting in top-15: %d, top-500: %d, top-1000: %d\n",
+		r.NolistingInTop15, r.NolistingInTop500, r.NolistingInTop1000)
+	return sb.String()
 }
 
 // RenderPie prints the Figure 2 proportions as text.
