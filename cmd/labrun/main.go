@@ -1,19 +1,25 @@
 // Command labrun executes the contained malware experiments of Sections
 // IV-B and V-A: run one family (or all) against a chosen defense and
-// print the per-attempt timeline — or the full Table II matrix.
+// print the per-attempt timeline — or the full Table II matrix on the
+// parallel spec runner.
 //
 // Usage:
 //
 //	labrun -table2                         # the full 11-sample matrix
+//	labrun -table2 -workers 8              # 22 labs on an 8-worker pool
 //	labrun -family Kelihos -defense greylisting -threshold 21600s
 //	labrun -family Cutwail -defense nolisting -recipients 10
 //	labrun -family Kelihos -metrics -      # dump the run's metrics
 //
-// -metrics writes the lab's final metrics snapshot (greylist verdict
-// counters, SMTP command/reply counters, DNS query counters) in
-// Prometheus text format to the given file, or stdout for "-". Single-
-// family runs only; -table2 builds one lab per sample and has no single
-// snapshot to dump.
+// -workers bounds the spec-runner pool for -table2 (0 = one per core,
+// 1 = serial); the rendered matrix is byte-identical at any setting.
+//
+// -metrics writes a final metrics snapshot in Prometheus text format to
+// the given file, or stdout for "-". Single-family runs dump the lab's
+// registry (greylist verdict counters, SMTP command/reply counters, DNS
+// query counters); -table2 runs dump the runner's registry (specs run,
+// labs in flight, per-spec virtual time, wall clock) — 22 labs have no
+// single victim snapshot.
 package main
 
 import (
@@ -25,6 +31,7 @@ import (
 	"repro/internal/botnet"
 	"repro/internal/core"
 	"repro/internal/lab"
+	"repro/internal/metrics"
 	"repro/internal/stats"
 )
 
@@ -42,18 +49,28 @@ func run() error {
 		defense    = flag.String("defense", "greylisting", "defense: none, nolisting, greylisting, both")
 		threshold  = flag.Duration("threshold", 300*time.Second, "greylisting threshold")
 		recipients = flag.Int("recipients", 10, "campaign size")
-		metricsOut = flag.String("metrics", "", "write the final metrics snapshot to this file ('-' = stdout); single-family runs only")
+		workers    = flag.Int("workers", 0, "spec-runner pool size for -table2: 0 = one per core, 1 = serial; output is byte-identical at any setting")
+		metricsOut = flag.String("metrics", "", "write the final metrics snapshot to this file ('-' = stdout)")
 	)
 	flag.Parse()
 
 	if *table2 {
-		rows, err := lab.RunTableII(*recipients)
+		runner := &lab.Runner{Workers: *workers}
+		var reg *metrics.Registry
+		if *metricsOut != "" {
+			reg = metrics.NewRegistry()
+			runner.Register(reg)
+		}
+		results, err := runner.Run(lab.TableIISpecs(*recipients))
 		if err != nil {
 			return err
 		}
 		fmt.Println("Table II: Effect of nolisting and greylisting on popular malware families")
 		fmt.Println()
-		fmt.Print(lab.RenderTableII(rows))
+		fmt.Print(lab.RenderTableII(lab.MatrixFromResults(results)))
+		if reg != nil {
+			return dumpMetrics(reg, *metricsOut)
+		}
 		return nil
 	}
 
@@ -86,7 +103,7 @@ func run() error {
 	}
 
 	fmt.Printf("%s vs %s (threshold %v): delivered %d/%d, inferred behavior %s\n\n",
-		f.Name, def, *threshold, res.Delivered, res.Recipients, res.Behavior)
+		f.Name, def, *threshold, res.Delivered, res.Spec.Recipients, res.Behavior)
 	tbl := stats.NewTable("OFFSET", "TRY", "RECIPIENT", "HOST", "OUTCOME")
 	for _, a := range res.Attempts {
 		outcome := a.Outcome.String()
@@ -98,24 +115,24 @@ func run() error {
 	fmt.Print(tbl.String())
 
 	if *metricsOut != "" {
-		if err := dumpMetrics(l, *metricsOut); err != nil {
+		if err := dumpMetrics(l.Metrics, *metricsOut); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// dumpMetrics writes the lab's metrics registry in Prometheus text
-// format to path ("-" = stdout).
-func dumpMetrics(l *lab.Lab, path string) error {
+// dumpMetrics writes a metrics registry in Prometheus text format to
+// path ("-" = stdout).
+func dumpMetrics(reg *metrics.Registry, path string) error {
 	if path == "-" {
-		return l.Metrics.WriteText(os.Stdout)
+		return reg.WriteText(os.Stdout)
 	}
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if err := l.Metrics.WriteText(f); err != nil {
+	if err := reg.WriteText(f); err != nil {
 		f.Close()
 		return err
 	}

@@ -8,6 +8,10 @@
 //	          [-out results] [-seed 1] [-domains 20000] [-recipients 50]
 //	          [-days 120] [-rate 200] [-workers 0] [-metrics metrics.prom]
 //
+// -workers fans per-experiment work — scan rounds and malware-lab
+// specs alike — out over a bounded pool (0 = one per core); every
+// setting produces byte-identical output.
+//
 // -metrics writes a final process-metrics snapshot (uptime, heap, GC,
 // goroutines) in Prometheus text format after the experiments finish —
 // a cheap record of what a full reproduction run cost.
@@ -41,7 +45,7 @@ func run() error {
 		days       = flag.Int("days", 120, "deployment log length in days for fig5")
 		rate       = flag.Int("rate", 200, "greylisted messages per day for fig5")
 		csv        = flag.Bool("csv", false, "also export figure data points as CSV into -out")
-		workers    = flag.Int("workers", 0, "experiment/scan worker pool size: 0 = one per core, 1 = serial; output is byte-identical at any setting")
+		workers    = flag.Int("workers", 0, "experiment/scan/lab worker pool size: 0 = one per core, 1 = serial; output is byte-identical at any setting")
 		metricsOut = flag.String("metrics", "", "write a final process-metrics snapshot to this file ('-' = stdout)")
 	)
 	flag.Parse()

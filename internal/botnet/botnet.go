@@ -29,6 +29,7 @@ import (
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/dnsresolver"
@@ -223,6 +224,86 @@ type Attempt struct {
 	Refused bool
 }
 
+// AttemptSink observes a bot's delivery attempts as they complete. The
+// paper's analyses divide into two shapes — Table II needs only
+// blocked/delivered aggregates, Figures 3-4 need the full per-attempt
+// event stream — and the sink is where that choice is made: aggregate
+// observers (Tally) fold each attempt into counters and drop it,
+// recording observers (Recorder) retain the stream. Sinks are invoked
+// synchronously from the scheduler goroutine driving the bot, in
+// virtual-time order.
+type AttemptSink interface {
+	ObserveAttempt(Attempt)
+}
+
+// Recorder is an AttemptSink that retains every attempt, for callers
+// that analyze the full event stream (timelines, CDFs, fingerprinting).
+// It is safe for concurrent use.
+type Recorder struct {
+	mu       sync.Mutex
+	attempts []Attempt
+}
+
+// ObserveAttempt implements AttemptSink.
+func (r *Recorder) ObserveAttempt(a Attempt) {
+	r.mu.Lock()
+	r.attempts = append(r.attempts, a)
+	r.mu.Unlock()
+}
+
+// Attempts returns a copy of the recorded attempt log.
+func (r *Recorder) Attempts() []Attempt {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Attempt(nil), r.attempts...)
+}
+
+// ContactedHosts returns the ordered MX host names across all recorded
+// attempts (with repeats, including refused connections), the input to
+// nolist.ClassifyBehavior.
+func (r *Recorder) ContactedHosts() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var hosts []string
+	for _, a := range r.attempts {
+		hosts = append(hosts, a.Contacted...)
+	}
+	return hosts
+}
+
+// Tally is an AttemptSink for callers that need aggregates only: it
+// counts attempts and retains the ordered contacted-host list (needed
+// for MX-behaviour classification — the host strings are shared with
+// the resolver's records, so this is far cheaper than retaining
+// Attempt structs). It is safe for concurrent use.
+type Tally struct {
+	mu        sync.Mutex
+	attempts  int
+	contacted []string
+}
+
+// ObserveAttempt implements AttemptSink.
+func (t *Tally) ObserveAttempt(a Attempt) {
+	t.mu.Lock()
+	t.attempts++
+	t.contacted = append(t.contacted, a.Contacted...)
+	t.mu.Unlock()
+}
+
+// Attempts returns the number of attempts observed.
+func (t *Tally) Attempts() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.attempts
+}
+
+// ContactedHosts returns a copy of the ordered contacted-host list.
+func (t *Tally) ContactedHosts() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]string(nil), t.contacted...)
+}
+
 // Env is the environment a bot runs in.
 type Env struct {
 	// Net is the simulated Internet.
@@ -236,6 +317,11 @@ type Env struct {
 	SourceIP string
 	// Seed makes the bot's jitter deterministic.
 	Seed int64
+	// Sink, when set, streams attempts to the caller instead of
+	// retaining them in the bot: Attempts and ContactedHosts return nil
+	// and the caller's sink is the only record. When nil the bot
+	// installs its own Recorder, preserving the retained-log API.
+	Sink AttemptSink
 }
 
 // Bot is one running malware sample.
@@ -245,8 +331,11 @@ type Bot struct {
 	dialer *smtpclient.SimDialer
 	rng    *rand.Rand
 
-	mu       sync.Mutex
-	attempts []Attempt
+	sink AttemptSink
+	rec  *Recorder // nil when env.Sink streams to an external observer
+	// delivered is maintained independently of the sink so aggregate
+	// callers never pay for a retained log.
+	delivered atomic.Int64
 }
 
 // New creates a bot of the given family.
@@ -257,12 +346,18 @@ func New(family Family, env Env) (*Bot, error) {
 	if env.SourceIP == "" {
 		env.SourceIP = "203.0.113.200"
 	}
-	return &Bot{
+	b := &Bot{
 		family: family,
 		env:    env,
 		dialer: &smtpclient.SimDialer{Net: env.Net, LocalIP: env.SourceIP},
 		rng:    rand.New(rand.NewSource(env.Seed)),
-	}, nil
+		sink:   env.Sink,
+	}
+	if b.sink == nil {
+		b.rec = &Recorder{}
+		b.sink = b.rec
+	}
+	return b, nil
 }
 
 // Family returns the bot's behavioural profile.
@@ -271,33 +366,30 @@ func (b *Bot) Family() Family { return b.family }
 // SourceIP returns the bot's client address.
 func (b *Bot) SourceIP() string { return b.env.SourceIP }
 
-// Attempts returns a copy of the bot's delivery-attempt log.
+// Attempts returns a copy of the bot's delivery-attempt log, or nil
+// when the bot streams to an external sink (the sink holds the only
+// record).
 func (b *Bot) Attempts() []Attempt {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return append([]Attempt(nil), b.attempts...)
+	if b.rec == nil {
+		return nil
+	}
+	return b.rec.Attempts()
 }
 
-// Delivered counts recipients whose message was delivered.
+// Delivered counts recipients whose message was delivered. It works in
+// both retained and streaming modes.
 func (b *Bot) Delivered() int {
-	n := 0
-	for _, a := range b.Attempts() {
-		if a.Outcome == smtpclient.Delivered {
-			n++
-		}
-	}
-	return n
+	return int(b.delivered.Load())
 }
 
 // ContactedHosts returns the ordered MX host names the bot dialed
 // (with repeats, including refused connections), the input to
-// nolist.ClassifyBehavior.
+// nolist.ClassifyBehavior — or nil when streaming to an external sink.
 func (b *Bot) ContactedHosts() []string {
-	var hosts []string
-	for _, a := range b.Attempts() {
-		hosts = append(hosts, a.Contacted...)
+	if b.rec == nil {
+		return nil
 	}
-	return hosts
+	return b.rec.ContactedHosts()
 }
 
 // Launch schedules the campaign: every recipient's first delivery attempt
@@ -317,8 +409,10 @@ func (b *Bot) Launch(c Campaign) {
 func (b *Bot) attempt(c Campaign, rcpt string, try int, firstAt time.Time) {
 	now := b.env.Sched.Clock().Now()
 	contacted, host, outcome, refused := b.deliverOnce(c, rcpt)
-	b.mu.Lock()
-	b.attempts = append(b.attempts, Attempt{
+	if outcome == smtpclient.Delivered {
+		b.delivered.Add(1)
+	}
+	b.sink.ObserveAttempt(Attempt{
 		At:        now,
 		Offset:    now.Sub(firstAt),
 		Try:       try,
@@ -328,7 +422,6 @@ func (b *Bot) attempt(c Campaign, rcpt string, try int, firstAt time.Time) {
 		Outcome:   outcome,
 		Refused:   refused,
 	})
-	b.mu.Unlock()
 
 	if outcome == smtpclient.Delivered || outcome == smtpclient.PermanentFailure {
 		return

@@ -1,0 +1,161 @@
+package botnet
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/smtpclient"
+)
+
+// countingSink records only what it is handed, to observe the stream
+// from outside the bot.
+type countingSink struct {
+	mu       sync.Mutex
+	attempts []Attempt
+}
+
+func (s *countingSink) ObserveAttempt(a Attempt) {
+	s.mu.Lock()
+	s.attempts = append(s.attempts, a)
+	s.mu.Unlock()
+}
+
+// TestExternalSinkStreams checks a bot with an external sink streams
+// every attempt and retains nothing itself, while aggregates still
+// work.
+func TestExternalSinkStreams(t *testing.T) {
+	e := newLabEnv(t, core.DefenseNone)
+	sink := &countingSink{}
+	bot, err := New(Kelihos(), Env{
+		Net: e.net, Resolver: e.resolver, Sched: e.sched,
+		SourceIP: "203.0.113.50", Seed: 42, Sink: sink,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bot.Launch(Campaign{
+		Domain:     "victim.example",
+		Sender:     "winner@lottery.example",
+		Recipients: []string{"user1@victim.example", "user2@victim.example"},
+		Data:       SpamPayload("Kelihos", "c1"),
+	})
+	e.sched.Run()
+
+	if bot.Attempts() != nil {
+		t.Errorf("streaming bot retained %d attempts", len(bot.Attempts()))
+	}
+	if bot.ContactedHosts() != nil {
+		t.Error("streaming bot retained contacted hosts")
+	}
+	if len(sink.attempts) == 0 {
+		t.Fatal("sink observed nothing")
+	}
+	if bot.Delivered() != 2 {
+		t.Errorf("delivered = %d, want 2 (no defenses)", bot.Delivered())
+	}
+	delivered := 0
+	for _, a := range sink.attempts {
+		if a.Outcome == smtpclient.Delivered {
+			delivered++
+		}
+	}
+	if delivered != bot.Delivered() {
+		t.Errorf("sink saw %d deliveries, bot counted %d", delivered, bot.Delivered())
+	}
+}
+
+// TestDefaultRecorderMatchesExternalSink runs the same campaign twice —
+// default retained mode vs external sink — and requires the identical
+// attempt stream.
+func TestDefaultRecorderMatchesExternalSink(t *testing.T) {
+	run := func(sink AttemptSink) (*Bot, []Attempt) {
+		e := newLabEnv(t, core.DefenseGreylisting)
+		bot, err := New(Kelihos(), Env{
+			Net: e.net, Resolver: e.resolver, Sched: e.sched,
+			SourceIP: "203.0.113.50", Seed: 42, Sink: sink,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bot.Launch(Campaign{
+			Domain:     "victim.example",
+			Sender:     "winner@lottery.example",
+			Recipients: []string{"user1@victim.example"},
+			Data:       SpamPayload("Kelihos", "c1"),
+		})
+		e.sched.Run()
+		return bot, bot.Attempts()
+	}
+
+	_, retained := run(nil)
+	external := &countingSink{}
+	streamBot, _ := run(external)
+	if len(retained) == 0 {
+		t.Fatal("no attempts retained")
+	}
+	if !reflect.DeepEqual(retained, external.attempts) {
+		t.Errorf("streams differ:\nretained: %+v\nstreamed: %+v", retained, external.attempts)
+	}
+	if streamBot.Delivered() == 0 {
+		t.Error("Kelihos must beat the 300s default threshold")
+	}
+}
+
+// TestTallyMatchesRecorder folds the same stream through both shipped
+// sinks and checks the aggregates agree.
+func TestTallyMatchesRecorder(t *testing.T) {
+	rec := &Recorder{}
+	tally := &Tally{}
+	stream := []Attempt{
+		{Try: 1, Recipient: "a", Contacted: []string{"mx1", "mx2"}},
+		{Try: 2, Recipient: "a", Contacted: []string{"mx1"}},
+		{Try: 1, Recipient: "b", Contacted: nil},
+	}
+	for _, a := range stream {
+		rec.ObserveAttempt(a)
+		tally.ObserveAttempt(a)
+	}
+	if got := tally.Attempts(); got != len(stream) {
+		t.Errorf("tally attempts = %d, want %d", got, len(stream))
+	}
+	if got := len(rec.Attempts()); got != len(stream) {
+		t.Errorf("recorder attempts = %d, want %d", got, len(stream))
+	}
+	if !reflect.DeepEqual(rec.ContactedHosts(), tally.ContactedHosts()) {
+		t.Errorf("contacted hosts differ: %v vs %v", rec.ContactedHosts(), tally.ContactedHosts())
+	}
+	if want := []string{"mx1", "mx2", "mx1"}; !reflect.DeepEqual(tally.ContactedHosts(), want) {
+		t.Errorf("contacted = %v, want %v", tally.ContactedHosts(), want)
+	}
+}
+
+// TestSinksConcurrent hammers both sinks from many goroutines; run
+// with -race (the tier-1 recipe includes this package).
+func TestSinksConcurrent(t *testing.T) {
+	rec := &Recorder{}
+	tally := &Tally{}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				a := Attempt{Try: i, Contacted: []string{"mx"}}
+				rec.ObserveAttempt(a)
+				tally.ObserveAttempt(a)
+				_ = rec.Attempts()
+				_ = tally.Attempts()
+				_ = tally.ContactedHosts()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := tally.Attempts(); got != 800 {
+		t.Errorf("tally = %d, want 800", got)
+	}
+	if got := len(rec.Attempts()); got != 800 {
+		t.Errorf("recorder = %d, want 800", got)
+	}
+}

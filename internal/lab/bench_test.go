@@ -1,0 +1,91 @@
+package lab
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/botnet"
+	"repro/internal/core"
+)
+
+// BenchmarkRunTableII measures the headline workload — the full Table II
+// matrix (22 fresh labs) — serial vs. on the worker pool. The recorded
+// serial/parallel pair is BENCH_lab.json's before/after: the serial
+// number matches the pre-runner implementation (same per-lab work, same
+// order), the parallel one is what the spec runner buys.
+func BenchmarkRunTableII(b *testing.B) {
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{"parallel", 0},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rows, err := RunTableIIWorkers(10, bc.workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(rows) != 11 {
+					b.Fatalf("rows = %d", len(rows))
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRunSample measures one fresh-lab sample run per family —
+// the unit of work every batch entry point multiplies.
+func BenchmarkRunSample(b *testing.B) {
+	for _, f := range botnet.Families() {
+		b.Run(f.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				l, err := New(Config{Defense: core.DefenseGreylisting})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := l.RunSample(f, 1, 10)
+				cerr := l.Close()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if cerr != nil {
+					b.Fatal(cerr)
+				}
+				if res.AttemptCount == 0 {
+					b.Fatal("no attempts")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRunSpecStreaming compares the two sink modes on a retry-heavy
+// Kelihos campaign: the streaming path must not pay for the retained
+// attempt log.
+func BenchmarkRunSpecStreaming(b *testing.B) {
+	for _, bc := range []struct {
+		name   string
+		record bool
+	}{
+		{"streaming", false},
+		{"recording", true},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			spec := KelihosCDFSpec(300*time.Second, 50)
+			spec.RecordAttempts = bc.record
+			r := Runner{Workers: 1}
+			for i := 0; i < b.N; i++ {
+				results, err := r.Run([]Spec{spec})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if results[0].Delivered == 0 {
+					b.Fatal("Kelihos must deliver at 300s")
+				}
+			}
+		})
+	}
+}

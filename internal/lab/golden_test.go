@@ -1,0 +1,48 @@
+package lab
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRunnerGoldenByteIdentity mirrors scan.TestStudyResultGolden: one
+// combined workload — the full Table II matrix plus the Figure 4
+// timeline spec — rendered at workers = 1, GOMAXPROCS and an
+// oversubscribed 32, asserting byte-identical output. Any scheduling
+// dependence in the runner (shared rng, cross-lab state, out-of-order
+// assembly) fails byte-for-byte.
+func TestRunnerGoldenByteIdentity(t *testing.T) {
+	render := func(workers int) string {
+		specs := TableIISpecs(5)
+		fig4 := KelihosCDFSpec(21600*time.Second, 10)
+		specs = append(specs, fig4)
+
+		r := Runner{Workers: workers}
+		results, err := r.Run(specs)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+
+		var sb strings.Builder
+		sb.WriteString(RenderTableII(MatrixFromResults(results[:len(results)-1])))
+		sb.WriteString("\n")
+		for _, a := range results[len(results)-1].Attempts {
+			fmt.Fprintf(&sb, "%.3f,%d,%v\n",
+				a.Offset.Seconds(), a.Try, a.Outcome.String())
+		}
+		return sb.String()
+	}
+
+	want := render(1)
+	if !strings.Contains(want, "Kelihos") || !strings.Contains(want, ",") {
+		t.Fatalf("implausible rendering:\n%s", want)
+	}
+	for _, workers := range []int{0, 32} {
+		if got := render(workers); got != want {
+			t.Errorf("workers=%d: output drifted from serial run:\ngot:\n%s\nwant:\n%s",
+				workers, got, want)
+		}
+	}
+}

@@ -30,7 +30,6 @@ import (
 	"repro/internal/greylist"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
-	"repro/internal/nolist"
 	"repro/internal/simtime"
 	"repro/internal/smtpclient"
 	"repro/internal/stats"
@@ -106,38 +105,15 @@ func (l *Lab) Close() error { return l.Domain.Close() }
 // RunSample executes one malware sample against the lab's victim: launch
 // a campaign with nRecipients targets and drive virtual time until every
 // scheduled attempt (including Kelihos' day-later retries) has fired.
-func (l *Lab) RunSample(family botnet.Family, sampleID, nRecipients int) (*SampleResult, error) {
-	bot, err := botnet.New(family, botnet.Env{
-		Net:      l.Net,
-		Resolver: l.Resolver,
-		Sched:    l.Sched,
-		SourceIP: fmt.Sprintf("203.0.113.%d", 10+sampleID),
-		Seed:     int64(sampleID)*1000 + int64(len(family.Name)),
+// It is the recording path — a thin wrapper over RunSpec that retains
+// the full attempt log; batch callers go through the Runner instead.
+func (l *Lab) RunSample(family botnet.Family, sampleID, nRecipients int) (*Result, error) {
+	return l.RunSpec(Spec{
+		Family:         family,
+		SampleID:       sampleID,
+		Recipients:     nRecipients,
+		RecordAttempts: true,
 	})
-	if err != nil {
-		return nil, err
-	}
-	recipients := make([]string, nRecipients)
-	for i := range recipients {
-		recipients[i] = fmt.Sprintf("user%d@%s", i, TargetDomain)
-	}
-	bot.Launch(botnet.Campaign{
-		Domain:     TargetDomain,
-		Sender:     fmt.Sprintf("sample%d@%s.bot.example", sampleID, hostLabel(family.Name)),
-		Recipients: recipients,
-		Data:       botnet.SpamPayload(family.Name, fmt.Sprintf("%s-%d", family.Name, sampleID)),
-	})
-	l.Sched.Run()
-
-	res := &SampleResult{
-		Family:     family,
-		SampleID:   sampleID,
-		Attempts:   bot.Attempts(),
-		Delivered:  bot.Delivered(),
-		Recipients: nRecipients,
-	}
-	res.Behavior = nolist.ClassifyBehavior(l.Domain.MXHosts(), bot.ContactedHosts())
-	return res, nil
 }
 
 // hostLabel turns a family name like "Darkmailer(v3)" into a valid DNS
@@ -158,20 +134,6 @@ func hostLabel(name string) string {
 	return string(sb)
 }
 
-// SampleResult is one sample's run outcome.
-type SampleResult struct {
-	Family     botnet.Family
-	SampleID   int
-	Recipients int
-	Attempts   []botnet.Attempt
-	Delivered  int
-	// Behavior is the MX-selection category inferred from the logs.
-	Behavior nolist.Behavior
-}
-
-// Blocked reports whether the defense stopped every delivery.
-func (r *SampleResult) Blocked() bool { return r.Delivered == 0 }
-
 // MatrixRow is one row of the Table II reproduction.
 type MatrixRow struct {
 	Family   string
@@ -183,39 +145,59 @@ type MatrixRow struct {
 	NolistingEffective   bool
 }
 
-// RunTableII runs every sample of every Table I family against both
-// defenses (greylisting at the Postgrey default, nolisting), one fresh
-// lab per run, reproducing Table II.
-func RunTableII(recipientsPerSample int) ([]MatrixRow, error) {
-	var rows []MatrixRow
+// TableIISpecs builds the Table II workload: every sample of every
+// Table I family against both defenses (greylisting at the Postgrey
+// default, then nolisting), in table row order. The specs stream
+// attempts — Table II needs only blocked/delivered booleans.
+func TableIISpecs(recipientsPerSample int) []Spec {
+	var specs []Spec
 	for _, family := range botnet.Families() {
 		for s := 1; s <= family.Samples; s++ {
-			grey, err := runOnce(Config{Defense: core.DefenseGreylisting}, family, s, recipientsPerSample)
-			if err != nil {
-				return nil, err
+			for _, d := range []core.Defense{core.DefenseGreylisting, core.DefenseNolisting} {
+				specs = append(specs, Spec{
+					Defense:    d,
+					Family:     family,
+					SampleID:   s,
+					Recipients: recipientsPerSample,
+				})
 			}
-			nol, err := runOnce(Config{Defense: core.DefenseNolisting}, family, s, recipientsPerSample)
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, MatrixRow{
-				Family:               family.Name,
-				SampleID:             s,
-				GreylistingEffective: grey.Blocked(),
-				NolistingEffective:   nol.Blocked(),
-			})
 		}
 	}
-	return rows, nil
+	return specs
 }
 
-func runOnce(cfg Config, family botnet.Family, sampleID, nRecipients int) (*SampleResult, error) {
-	l, err := New(cfg)
+// MatrixFromResults folds TableIISpecs results (greylisting/nolisting
+// pairs in request order) into Table II rows.
+func MatrixFromResults(results []Result) []MatrixRow {
+	rows := make([]MatrixRow, 0, len(results)/2)
+	for i := 0; i+1 < len(results); i += 2 {
+		grey, nol := &results[i], &results[i+1]
+		rows = append(rows, MatrixRow{
+			Family:               grey.Spec.Family.Name,
+			SampleID:             grey.Spec.SampleID,
+			GreylistingEffective: grey.Blocked(),
+			NolistingEffective:   nol.Blocked(),
+		})
+	}
+	return rows
+}
+
+// RunTableII reproduces Table II on a GOMAXPROCS-wide runner: 22 specs
+// (11 samples × 2 defenses), one fresh lab each, byte-identical output
+// at any worker count.
+func RunTableII(recipientsPerSample int) ([]MatrixRow, error) {
+	return RunTableIIWorkers(recipientsPerSample, 0)
+}
+
+// RunTableIIWorkers is RunTableII with an explicit worker count
+// (0 = GOMAXPROCS, 1 = serial).
+func RunTableIIWorkers(recipientsPerSample, workers int) ([]MatrixRow, error) {
+	r := Runner{Workers: workers}
+	results, err := r.Run(TableIISpecs(recipientsPerSample))
 	if err != nil {
 		return nil, err
 	}
-	defer l.Close()
-	return l.RunSample(family, sampleID, nRecipients)
+	return MatrixFromResults(results), nil
 }
 
 // RenderTableII formats matrix rows the way the paper prints Table II.
@@ -238,26 +220,56 @@ func RenderTableII(rows []MatrixRow) string {
 	return tbl.String()
 }
 
+// KelihosCDFSpec is the Figure 3 spec for one threshold: a Kelihos
+// sample against greylisting, attempt stream retained for the CDF.
+func KelihosCDFSpec(threshold time.Duration, nRecipients int) Spec {
+	return Spec{
+		Defense:        core.DefenseGreylisting,
+		Threshold:      threshold,
+		Family:         botnet.Kelihos(),
+		SampleID:       1,
+		Recipients:     nRecipients,
+		RecordAttempts: true,
+	}
+}
+
+// KelihosDeliveryCDFs reproduces Figure 3 as one runner workload: one
+// spec per threshold, fanned across workers (0 = GOMAXPROCS), CDFs of
+// the delivery delays returned in threshold order. Every spec derives
+// the same Kelihos seed, so the curves differ only through the
+// threshold — the paper's point that 5 s buys nothing over 300 s.
+func KelihosDeliveryCDFs(thresholds []time.Duration, nRecipients, workers int) ([]stats.CDF, []Result, error) {
+	specs := make([]Spec, len(thresholds))
+	for i, th := range thresholds {
+		specs[i] = KelihosCDFSpec(th, nRecipients)
+	}
+	r := Runner{Workers: workers}
+	results, err := r.Run(specs)
+	if err != nil {
+		return nil, nil, err
+	}
+	cdfs := make([]stats.CDF, len(results))
+	for i := range results {
+		var delays []time.Duration
+		for _, a := range results[i].Attempts {
+			if a.Outcome == smtpclient.Delivered {
+				delays = append(delays, a.Offset)
+			}
+		}
+		cdfs[i] = stats.NewDurationCDF(delays)
+	}
+	return cdfs, results, nil
+}
+
 // KelihosDeliveryCDF reproduces one Figure 3 curve: run a Kelihos sample
 // against greylisting with the given threshold and return the CDF of the
 // delivery delays of the messages that got through.
-func KelihosDeliveryCDF(threshold time.Duration, nRecipients int) (stats.CDF, *SampleResult, error) {
-	l, err := New(Config{Defense: core.DefenseGreylisting, Threshold: threshold})
+func KelihosDeliveryCDF(threshold time.Duration, nRecipients int) (stats.CDF, *Result, error) {
+	cdfs, results, err := KelihosDeliveryCDFs([]time.Duration{threshold}, nRecipients, 1)
 	if err != nil {
 		return stats.CDF{}, nil, err
 	}
-	defer l.Close()
-	res, err := l.RunSample(botnet.Kelihos(), 1, nRecipients)
-	if err != nil {
-		return stats.CDF{}, nil, err
-	}
-	var delays []time.Duration
-	for _, a := range res.Attempts {
-		if a.Outcome == smtpclient.Delivered {
-			delays = append(delays, a.Offset)
-		}
-	}
-	return stats.NewDurationCDF(delays), res, nil
+	return cdfs[0], &results[0], nil
 }
 
 // TimelinePoint is one Figure 4 data point.
@@ -274,19 +286,16 @@ type TimelinePoint struct {
 
 // KelihosTimeline reproduces Figure 4: every Kelihos delivery attempt
 // against a high-threshold greylisting deployment (the paper used
-// 21 600 s), flagged failed/delivered.
+// 21 600 s), flagged failed/delivered. It is a one-spec runner
+// workload — the same KelihosCDFSpec, read as a timeline.
 func KelihosTimeline(threshold time.Duration, nRecipients int) ([]TimelinePoint, error) {
-	l, err := New(Config{Defense: core.DefenseGreylisting, Threshold: threshold})
+	r := Runner{Workers: 1}
+	results, err := r.Run([]Spec{KelihosCDFSpec(threshold, nRecipients)})
 	if err != nil {
 		return nil, err
 	}
-	defer l.Close()
-	res, err := l.RunSample(botnet.Kelihos(), 1, nRecipients)
-	if err != nil {
-		return nil, err
-	}
-	points := make([]TimelinePoint, 0, len(res.Attempts))
-	for _, a := range res.Attempts {
+	points := make([]TimelinePoint, 0, len(results[0].Attempts))
+	for _, a := range results[0].Attempts {
 		points = append(points, TimelinePoint{
 			Offset:    a.Offset,
 			Try:       a.Try,
@@ -337,46 +346,48 @@ type ControlResult struct {
 	SamePayload bool
 }
 
+// ControlSpec builds the Section V-A control spec: a 21 600 s threshold,
+// an unprotected postmaster next to a protected user, and a one-hour
+// observation window (long enough for the first retry peak, far below
+// the 6 h threshold). The Inspect hook fills out from the victim's
+// mailboxes before the lab is torn down.
+func ControlSpec(out *ControlResult) Spec {
+	payload := botnet.SpamPayload("Kelihos", "control-task")
+	return Spec{
+		Defense:               core.DefenseGreylisting,
+		Threshold:             21600 * time.Second,
+		UnprotectedRecipients: []string{"postmaster"},
+		Family:                botnet.Kelihos(),
+		SampleID:              1,
+		Seed:                  1,
+		SourceIP:              "203.0.113.99",
+		Sender:                "bot@spam.example",
+		Payload:               payload,
+		RecipientAddrs:        []string{"victim@" + TargetDomain, "postmaster@" + TargetDomain},
+		Window:                time.Hour,
+		Inspect: func(l *Lab, _ *Result) error {
+			out.SamePayload = true
+			for _, del := range l.Domain.InboxTo("postmaster@" + TargetDomain) {
+				out.ControlDelivered++
+				if string(del.Data) != string(payload) {
+					out.SamePayload = false
+				}
+			}
+			out.ProtectedDelivered = len(l.Domain.InboxTo("victim@" + TargetDomain))
+			return nil
+		},
+	}
+}
+
 // RunControlExperiment reproduces Section V-A's check: with a 21 600 s
 // threshold and an unprotected postmaster, a fire-and-forget-ish spam
 // campaign lands immediately in the control mailbox while the protected
 // user's copy is deferred.
 func RunControlExperiment() (*ControlResult, error) {
-	l, err := New(Config{
-		Defense:               core.DefenseGreylisting,
-		Threshold:             21600 * time.Second,
-		UnprotectedRecipients: []string{"postmaster"},
-	})
-	if err != nil {
+	res := &ControlResult{}
+	r := Runner{Workers: 1}
+	if _, err := r.Run([]Spec{ControlSpec(res)}); err != nil {
 		return nil, err
 	}
-	defer l.Close()
-
-	bot, err := botnet.New(botnet.Kelihos(), botnet.Env{
-		Net: l.Net, Resolver: l.Resolver, Sched: l.Sched,
-		SourceIP: "203.0.113.99", Seed: 1,
-	})
-	if err != nil {
-		return nil, err
-	}
-	payload := botnet.SpamPayload("Kelihos", "control-task")
-	bot.Launch(botnet.Campaign{
-		Domain:     TargetDomain,
-		Sender:     "bot@spam.example",
-		Recipients: []string{"victim@" + TargetDomain, "postmaster@" + TargetDomain},
-		Data:       payload,
-	})
-	// Observe only the first hour: long enough for the first retry
-	// peak, far below the 6 h threshold.
-	l.Sched.RunFor(time.Hour)
-
-	res := &ControlResult{SamePayload: true}
-	for _, del := range l.Domain.InboxTo("postmaster@" + TargetDomain) {
-		res.ControlDelivered++
-		if string(del.Data) != string(payload) {
-			res.SamePayload = false
-		}
-	}
-	res.ProtectedDelivered = len(l.Domain.InboxTo("victim@" + TargetDomain))
 	return res, nil
 }

@@ -81,7 +81,7 @@ func TestFigure3ThresholdInsensitivity(t *testing.T) {
 	}
 	// Every delivery happens on the second try, inside the first retry
 	// peak, at both thresholds.
-	for _, res := range []*SampleResult{res5, res300} {
+	for _, res := range []*Result{res5, res300} {
 		for _, a := range res.Attempts {
 			if a.Try > 2 {
 				t.Fatalf("attempt beyond second try: %+v", a)

@@ -46,30 +46,46 @@ type ObsolescencePoint struct {
 // Per-family blocked/passed outcomes come from live lab runs (with the
 // given campaign size), not assumptions.
 func Obsolescence(evolvedShares []float64, recipients int) ([]ObsolescencePoint, error) {
+	return ObsolescenceWorkers(evolvedShares, recipients, 0)
+}
+
+// ObsolescenceWorkers is Obsolescence with an explicit runner worker
+// count (0 = GOMAXPROCS, 1 = serial). The 20 measurement runs
+// (5 families × 4 defenses) fan out across the pool.
+func ObsolescenceWorkers(evolvedShares []float64, recipients, workers int) ([]ObsolescencePoint, error) {
 	defenses := []core.Defense{
 		core.DefenseNone, core.DefenseNolisting, core.DefenseGreylisting, core.DefenseBoth,
 	}
 
 	// Measure each family (current four + evolved) once per defense.
+	// Kelihos' longest retry peak is ~25h; the default thresholds are
+	// all far below it, so one threshold per defense suffices.
 	families := append(botnet.Families(), EvolvedFamily())
-	blocked := make(map[string]map[core.Defense]bool, len(families))
+	specs := make([]Spec, 0, len(families)*len(defenses))
 	for _, f := range families {
-		blocked[f.Name] = make(map[core.Defense]bool, len(defenses))
 		for _, d := range defenses {
-			// Kelihos' longest retry peak is ~25h; the default
-			// thresholds are all far below it, so one threshold per
-			// defense suffices.
-			l, err := New(Config{Defense: d, Threshold: 300 * time.Second})
-			if err != nil {
-				return nil, err
-			}
-			res, err := l.RunSample(f, 1, recipients)
-			l.Close()
-			if err != nil {
-				return nil, err
-			}
-			blocked[f.Name][d] = res.Blocked()
+			specs = append(specs, Spec{
+				Defense:    d,
+				Threshold:  300 * time.Second,
+				Family:     f,
+				SampleID:   1,
+				Recipients: recipients,
+			})
 		}
+	}
+	r := Runner{Workers: workers}
+	results, err := r.Run(specs)
+	if err != nil {
+		return nil, err
+	}
+	blocked := make(map[string]map[core.Defense]bool, len(families))
+	for i := range results {
+		res := &results[i]
+		name := res.Spec.Family.Name
+		if blocked[name] == nil {
+			blocked[name] = make(map[core.Defense]bool, len(defenses))
+		}
+		blocked[name][res.Spec.Defense] = res.Blocked()
 	}
 
 	// Normalize the 2015 volume mix to 1.0.
@@ -123,12 +139,19 @@ type SwarmCostResult struct {
 }
 
 // SwarmCost runs the swarm against a greylisting-only lab.
-func SwarmCost(bots, recipients int) (*SwarmCostResult, error) {
+func SwarmCost(bots, recipients int) (res *SwarmCostResult, err error) {
 	l, err := New(Config{Defense: core.DefenseGreylisting})
 	if err != nil {
 		return nil, err
 	}
-	defer l.Close()
+	defer func() {
+		// Teardown failures matter here: a leaked MX listener would
+		// skew the next experiment's dial counters.
+		if cerr := l.Close(); err == nil && cerr != nil {
+			err = cerr
+			res = nil
+		}
+	}()
 
 	for b := 0; b < bots; b++ {
 		bot, err := botnet.New(botnet.Cutwail(), botnet.Env{
@@ -155,7 +178,7 @@ func SwarmCost(bots, recipients int) (*SwarmCostResult, error) {
 	l.Sched.Run()
 
 	g := l.Domain.Greylister()
-	res := &SwarmCostResult{
+	res = &SwarmCostResult{
 		PendingRecords: g.PendingCount(),
 		Checks:         g.Stats().Checks,
 	}

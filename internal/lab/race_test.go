@@ -1,0 +1,77 @@
+package lab
+
+import (
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/botnet"
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// TestRunnerConcurrencyRace drives many small specs through a small
+// worker pool while other goroutines hammer the metrics registry —
+// the production shape of a sweep with a live /metrics scrape. Run
+// with -race (the tier-1 recipe does).
+func TestRunnerConcurrencyRace(t *testing.T) {
+	reg := metrics.NewRegistry()
+	r := &Runner{Workers: 4}
+	r.Register(reg)
+
+	var specs []Spec
+	for i := 0; i < 8; i++ {
+		for _, f := range []botnet.Family{botnet.Cutwail(), botnet.Kelihos()} {
+			specs = append(specs, Spec{
+				Defense:    core.DefenseGreylisting,
+				Threshold:  time.Duration(1+i) * 100 * time.Second,
+				Family:     f,
+				SampleID:   i + 1,
+				Recipients: 2,
+			})
+		}
+	}
+
+	done := make(chan struct{})
+	var scrapers sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		scrapers.Add(1)
+		go func() {
+			defer scrapers.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				if err := reg.WriteText(io.Discard); err != nil {
+					t.Error(err)
+					return
+				}
+				inst := r.inst.Load()
+				_ = inst.specs.Value()
+				_ = inst.inflight.Value()
+				_ = inst.virtualSeconds.Sum()
+			}
+		}()
+	}
+
+	results, err := r.Run(specs)
+	close(done)
+	scrapers.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(specs) {
+		t.Fatalf("results = %d, want %d", len(results), len(specs))
+	}
+	for i := range results {
+		if results[i].AttemptCount == 0 {
+			t.Errorf("spec %d observed no attempts", i)
+		}
+	}
+	if got := r.inst.Load().specs.Value(); got != uint64(len(specs)) {
+		t.Errorf("lab_specs_total = %d, want %d", got, len(specs))
+	}
+}

@@ -1,0 +1,167 @@
+package lab
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Runner executes a slice of Specs across a bounded worker pool. Each
+// spec gets its own fresh Lab with an independent virtual clock, so
+// specs share no mutable state and any worker count produces identical
+// results; results are written at the spec's own index and returned in
+// request order — the same determinism argument as report.RunMany and
+// scan.RunStudyWorkers, pinned by the lab golden byte-identity test.
+//
+// The zero Runner is ready to use (GOMAXPROCS workers, no metrics).
+type Runner struct {
+	// Workers bounds the pool: 0 means GOMAXPROCS, 1 forces serial
+	// execution.
+	Workers int
+
+	inst atomic.Pointer[runnerInstruments]
+}
+
+// runnerInstruments holds the optional counters installed by Register,
+// reached through one atomic pointer load per spec (nil when no
+// registry is attached — the uninstrumented runner pays that load
+// only).
+type runnerInstruments struct {
+	specs          *metrics.Counter
+	inflight       *metrics.Gauge
+	virtualSeconds *metrics.Histogram
+	specWall       *metrics.Histogram
+	runWall        *metrics.Histogram
+}
+
+// labVirtualBuckets cover campaign virtual durations from
+// fire-and-forget (sub-second: one immediate attempt) through Kelihos'
+// 80 000-90 000 s third retry peak.
+var labVirtualBuckets = []float64{
+	1, 60, 300, 600, 3600, 7200, 21600, 43200, 86400, 120000, 200000,
+}
+
+// labWallBuckets cover per-spec and per-run wall clock from
+// sub-millisecond test campaigns to minutes-long sweeps.
+var labWallBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+	1, 2.5, 5, 10, 30, 60, 120, 300,
+}
+
+// Register exports the runner's counters into reg under the lab_*
+// namespace. Call it once before Run; instrumented runs observe one
+// counter, one gauge and two histograms per spec.
+func (r *Runner) Register(reg *metrics.Registry) {
+	r.inst.Store(&runnerInstruments{
+		specs: reg.Counter("lab_specs_total",
+			"Experiment specs executed by the lab runner."),
+		inflight: reg.Gauge("lab_labs_inflight",
+			"Lab instances currently running a spec."),
+		virtualSeconds: reg.Histogram("lab_spec_virtual_seconds",
+			"Virtual time advanced per spec (simulated campaign duration).",
+			labVirtualBuckets),
+		specWall: reg.Histogram("lab_spec_wall_seconds",
+			"Wall-clock duration of one spec (lab build, campaign, teardown).",
+			labWallBuckets),
+		runWall: reg.Histogram("lab_run_wall_seconds",
+			"Wall-clock duration of one Runner.Run call.",
+			labWallBuckets),
+	})
+}
+
+// Run executes the specs and returns their results in request order.
+// The first error (in request order) wins; the remaining specs still
+// run to completion so partial failures never leak labs.
+func (r *Runner) Run(specs []Spec) ([]Result, error) {
+	started := time.Now()
+	results := make([]Result, len(specs))
+	errs := make([]error, len(specs))
+
+	workers := r.Workers
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	if workers <= 1 {
+		for i := range specs {
+			results[i], errs[i] = r.runSpec(specs[i])
+		}
+	} else {
+		var (
+			next atomic.Int64
+			wg   sync.WaitGroup
+		)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(specs) {
+						return
+					}
+					results[i], errs[i] = r.runSpec(specs[i])
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	if inst := r.inst.Load(); inst != nil {
+		inst.runWall.ObserveDuration(time.Since(started))
+	}
+	for i, err := range errs {
+		if err != nil {
+			s := specs[i]
+			return nil, fmt.Errorf("lab: spec %d (%s sample %d vs %v): %w",
+				i, s.Family.Name, s.SampleID, s.Defense, err)
+		}
+	}
+	return results, nil
+}
+
+// runSpec builds a fresh lab, runs one spec in it, and tears the lab
+// down — propagating the teardown error (the old runOnce dropped it).
+func (r *Runner) runSpec(spec Spec) (Result, error) {
+	inst := r.inst.Load()
+	started := time.Now()
+	if inst != nil {
+		inst.inflight.Inc()
+	}
+	l, err := New(spec.labConfig())
+	if err != nil {
+		if inst != nil {
+			inst.inflight.Dec()
+		}
+		return Result{}, err
+	}
+	res, runErr := l.RunSpec(spec)
+	closeErr := l.Close()
+	if inst != nil {
+		inst.inflight.Dec()
+		inst.specs.Inc()
+		if res != nil {
+			inst.virtualSeconds.Observe(res.VirtualElapsed.Seconds())
+		}
+		inst.specWall.ObserveDuration(time.Since(started))
+	}
+	if runErr != nil {
+		return deref(res), runErr
+	}
+	if closeErr != nil {
+		return deref(res), closeErr
+	}
+	return deref(res), nil
+}
+
+func deref(r *Result) Result {
+	if r == nil {
+		return Result{}
+	}
+	return *r
+}

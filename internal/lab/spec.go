@@ -1,0 +1,207 @@
+package lab
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"time"
+
+	"repro/internal/botnet"
+	"repro/internal/core"
+	"repro/internal/nolist"
+)
+
+// Spec describes one contained-lab experiment run: the victim's
+// configuration (defense, threshold, exempt recipients) plus the
+// campaign thrown at it (family, sample, recipients, seed) and how to
+// observe it (window, attempt recording, inspection hook). Every
+// bespoke experiment — Table II cells, the Figure 3/4 Kelihos runs,
+// the Section V-A control — is a Spec; the Runner executes slices of
+// them across a worker pool, one fresh Lab with an independent virtual
+// clock per spec.
+type Spec struct {
+	// Defense selects the victim's protections.
+	Defense core.Defense
+	// Threshold is the greylisting threshold; 0 means the Postgrey
+	// default of 300 s.
+	Threshold time.Duration
+	// UnprotectedRecipients are local parts exempt from greylisting
+	// (the control addresses).
+	UnprotectedRecipients []string
+
+	// Family is the malware family to run.
+	Family botnet.Family
+	// SampleID numbers the binary within the family (1-based, as in
+	// Table II's sample rows).
+	SampleID int
+	// Recipients sizes the campaign: user0..userN-1@victim.example.
+	// Ignored when RecipientAddrs is set.
+	Recipients int
+	// RecipientAddrs overrides the generated recipient list (the
+	// control experiment mixes a protected user with the unprotected
+	// postmaster).
+	RecipientAddrs []string
+	// Seed drives the bot's jitter; 0 derives the deterministic
+	// per-(family, sample) seed with DeriveSeed.
+	Seed int64
+	// SourceIP is the infected machine's address; "" derives
+	// 203.0.113.(10+SampleID).
+	SourceIP string
+	// Sender is the envelope sender; "" derives
+	// sample<ID>@<family>.bot.example.
+	Sender string
+	// Payload is the spam body; nil derives botnet.SpamPayload.
+	Payload []byte
+
+	// Window bounds the observation: 0 drives virtual time until every
+	// scheduled attempt has fired (including Kelihos' day-later
+	// retries); a positive window stops after that much virtual time
+	// (the control experiment observes one hour).
+	Window time.Duration
+	// RecordAttempts retains the full per-attempt event stream in
+	// Result.Attempts (timeline/CDF callers). When false the bot
+	// streams attempts through an aggregating sink and the Result
+	// carries counts and the inferred behaviour only — Table II's 22
+	// cells retain nothing per sample.
+	RecordAttempts bool
+	// Inspect, when set, runs against the live Lab after the campaign
+	// (before teardown): the hook for assertions that need the
+	// victim's state, e.g. the control experiment's mailbox check.
+	Inspect func(*Lab, *Result) error
+}
+
+// DeriveSeed returns the deterministic bot seed for a (family, sample)
+// pair: FNV-1a over the family name folded with the sample ID. Every
+// family gets an independent stream — unlike the former
+// sampleID*1000+len(name) derivation, which handed identical seeds to
+// families whose names merely share a length (Cutwail and Kelihos).
+func DeriveSeed(family string, sampleID int) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(family))
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(sampleID))
+	h.Write(b[:])
+	return int64(h.Sum64())
+}
+
+// withDefaults fills a spec's derived fields.
+func (s Spec) withDefaults() Spec {
+	if s.Seed == 0 {
+		s.Seed = DeriveSeed(s.Family.Name, s.SampleID)
+	}
+	if s.SourceIP == "" {
+		s.SourceIP = fmt.Sprintf("203.0.113.%d", 10+s.SampleID)
+	}
+	if s.Sender == "" {
+		s.Sender = fmt.Sprintf("sample%d@%s.bot.example", s.SampleID, hostLabel(s.Family.Name))
+	}
+	if s.Payload == nil {
+		s.Payload = botnet.SpamPayload(s.Family.Name, fmt.Sprintf("%s-%d", s.Family.Name, s.SampleID))
+	}
+	if s.RecipientAddrs == nil {
+		addrs := make([]string, s.Recipients)
+		for i := range addrs {
+			addrs[i] = fmt.Sprintf("user%d@%s", i, TargetDomain)
+		}
+		s.RecipientAddrs = addrs
+	}
+	return s
+}
+
+// labConfig projects the spec's victim-side fields.
+func (s Spec) labConfig() Config {
+	return Config{
+		Defense:               s.Defense,
+		Threshold:             s.Threshold,
+		UnprotectedRecipients: s.UnprotectedRecipients,
+	}
+}
+
+// Result is one spec's run outcome.
+type Result struct {
+	// Spec is the executed spec with every derived field resolved
+	// (seed, source IP, sender, recipients), so a result is
+	// self-describing and replayable.
+	Spec Spec
+	// AttemptCount is the total number of delivery attempts observed,
+	// in both recording and streaming modes.
+	AttemptCount int
+	// Attempts is the full event stream; nil unless Spec.RecordAttempts.
+	Attempts []botnet.Attempt
+	// Delivered counts recipients whose message was delivered.
+	Delivered int
+	// Behavior is the MX-selection category inferred from the
+	// connection log.
+	Behavior nolist.Behavior
+	// VirtualElapsed is how far the lab's virtual clock advanced — the
+	// simulated duration of the campaign (Kelihos runs cover ~a day of
+	// virtual time in milliseconds of wall clock).
+	VirtualElapsed time.Duration
+}
+
+// Blocked reports whether the defense stopped every delivery.
+func (r *Result) Blocked() bool { return r.Delivered == 0 }
+
+// RunSpec executes the spec's campaign inside this lab. The spec's
+// victim-side fields (Defense, Threshold, UnprotectedRecipients) are
+// descriptive here — the receiver's configuration is what runs; the
+// Runner is the path that builds a fresh Lab from them per spec.
+func (l *Lab) RunSpec(spec Spec) (*Result, error) {
+	spec = spec.withDefaults()
+
+	var sink botnet.AttemptSink
+	var rec *botnet.Recorder
+	var tally *botnet.Tally
+	if spec.RecordAttempts {
+		rec = &botnet.Recorder{}
+		sink = rec
+	} else {
+		tally = &botnet.Tally{}
+		sink = tally
+	}
+	bot, err := botnet.New(spec.Family, botnet.Env{
+		Net:      l.Net,
+		Resolver: l.Resolver,
+		Sched:    l.Sched,
+		SourceIP: spec.SourceIP,
+		Seed:     spec.Seed,
+		Sink:     sink,
+	})
+	if err != nil {
+		return nil, err
+	}
+	bot.Launch(botnet.Campaign{
+		Domain:     TargetDomain,
+		Sender:     spec.Sender,
+		Recipients: spec.RecipientAddrs,
+		Data:       spec.Payload,
+	})
+	start := l.Clock.Now()
+	if spec.Window > 0 {
+		l.Sched.RunFor(spec.Window)
+	} else {
+		l.Sched.Run()
+	}
+
+	res := &Result{
+		Spec:           spec,
+		Delivered:      bot.Delivered(),
+		VirtualElapsed: l.Clock.Now().Sub(start),
+	}
+	var contacted []string
+	if rec != nil {
+		res.Attempts = rec.Attempts()
+		res.AttemptCount = len(res.Attempts)
+		contacted = rec.ContactedHosts()
+	} else {
+		res.AttemptCount = tally.Attempts()
+		contacted = tally.ContactedHosts()
+	}
+	res.Behavior = nolist.ClassifyBehavior(l.Domain.MXHosts(), contacted)
+	if spec.Inspect != nil {
+		if err := spec.Inspect(l, res); err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}

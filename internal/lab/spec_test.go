@@ -1,0 +1,271 @@
+package lab
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/botnet"
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// TestDeriveSeedPinned pins the per-(family, sample) seeds. These
+// values are load-bearing: every committed results/ rendering that
+// involves bot jitter (fig3, fig4) was generated with them, so an
+// accidental change to the derivation shows up here before it shows up
+// as golden-file drift.
+func TestDeriveSeedPinned(t *testing.T) {
+	want := map[string][2]int64{
+		"Cutwail":        {-4400068927071187643, -4400072225606072276},
+		"Kelihos":        {-5457686844359103329, -5457685744847475118},
+		"Darkmailer":     {-5806468692987313114, -5806469792498941325},
+		"Darkmailer(v3)": {2633038791469305044, 2633042090004189677},
+		"Evolved":        {-4526638535602946449, -4526637436091318238},
+	}
+	for family, seeds := range want {
+		for i, wantSeed := range seeds {
+			if got := DeriveSeed(family, i+1); got != wantSeed {
+				t.Errorf("DeriveSeed(%q, %d) = %d, want %d", family, i+1, got, wantSeed)
+			}
+		}
+	}
+}
+
+// TestDeriveSeedNoLengthCollision is the regression test for the old
+// sampleID*1000+len(name) derivation: Cutwail and Kelihos share a name
+// length and used to share every seed.
+func TestDeriveSeedNoLengthCollision(t *testing.T) {
+	if len("Cutwail") != len("Kelihos") {
+		t.Fatal("test premise broken: names no longer share a length")
+	}
+	for s := 1; s <= 6; s++ {
+		if DeriveSeed("Cutwail", s) == DeriveSeed("Kelihos", s) {
+			t.Errorf("sample %d: Cutwail and Kelihos derive the same seed", s)
+		}
+	}
+	// And samples within a family must differ too.
+	if DeriveSeed("Kelihos", 1) == DeriveSeed("Kelihos", 2) {
+		t.Error("Kelihos samples 1 and 2 derive the same seed")
+	}
+}
+
+// TestSpecDefaults checks withDefaults resolves every derived field and
+// that explicit fields survive.
+func TestSpecDefaults(t *testing.T) {
+	s := Spec{Family: botnet.Kelihos(), SampleID: 2, Recipients: 3}.withDefaults()
+	if s.Seed != DeriveSeed("Kelihos", 2) {
+		t.Errorf("seed = %d", s.Seed)
+	}
+	if s.SourceIP != "203.0.113.12" {
+		t.Errorf("source = %q", s.SourceIP)
+	}
+	if s.Sender != "sample2@kelihos.bot.example" {
+		t.Errorf("sender = %q", s.Sender)
+	}
+	if len(s.RecipientAddrs) != 3 || s.RecipientAddrs[0] != "user0@"+TargetDomain {
+		t.Errorf("recipients = %v", s.RecipientAddrs)
+	}
+	if len(s.Payload) == 0 {
+		t.Error("no payload derived")
+	}
+
+	explicit := Spec{
+		Family: botnet.Kelihos(), SampleID: 1,
+		Seed: 42, SourceIP: "203.0.113.250", Sender: "x@y.example",
+		RecipientAddrs: []string{"a@" + TargetDomain},
+		Payload:        []byte("body"),
+	}.withDefaults()
+	if explicit.Seed != 42 || explicit.SourceIP != "203.0.113.250" ||
+		explicit.Sender != "x@y.example" || len(explicit.RecipientAddrs) != 1 ||
+		string(explicit.Payload) != "body" {
+		t.Errorf("explicit fields overwritten: %+v", explicit)
+	}
+}
+
+// TestRunnerMatchesSerial runs the same spec slice serially and on an
+// oversubscribed pool and requires identical results — the runner's
+// core determinism contract.
+func TestRunnerMatchesSerial(t *testing.T) {
+	specs := TableIISpecs(3)
+	serial, err := (&Runner{Workers: 1}).Run(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := (&Runner{Workers: 16}).Run(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(specs) || len(parallel) != len(specs) {
+		t.Fatalf("result lengths %d/%d, want %d", len(serial), len(parallel), len(specs))
+	}
+	for i := range serial {
+		// Inspect is a func field; compare the data fields.
+		s, p := serial[i], parallel[i]
+		s.Spec.Inspect, p.Spec.Inspect = nil, nil
+		if !reflect.DeepEqual(s, p) {
+			t.Errorf("spec %d: serial and parallel results differ:\n%+v\n%+v", i, s, p)
+		}
+	}
+}
+
+// TestRunnerStreamingMatchesRecording runs one spec in both sink modes:
+// aggregates must agree, and only the recording run retains attempts.
+func TestRunnerStreamingMatchesRecording(t *testing.T) {
+	base := KelihosCDFSpec(300*time.Second, 5)
+	stream := base
+	stream.RecordAttempts = false
+	results, err := (&Runner{Workers: 1}).Run([]Spec{base, stream})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, agg := &results[0], &results[1]
+	if rec.Delivered != agg.Delivered || rec.AttemptCount != agg.AttemptCount ||
+		rec.Behavior != agg.Behavior || rec.VirtualElapsed != agg.VirtualElapsed {
+		t.Errorf("aggregate drift between sink modes:\n%+v\n%+v", rec, agg)
+	}
+	if len(rec.Attempts) == 0 || rec.AttemptCount != len(rec.Attempts) {
+		t.Errorf("recording run: %d attempts retained, count %d", len(rec.Attempts), rec.AttemptCount)
+	}
+	if agg.Attempts != nil {
+		t.Errorf("streaming run retained %d attempts", len(agg.Attempts))
+	}
+}
+
+// TestRunnerInspectError checks errors from the Inspect hook surface
+// with spec context, and that the failing spec's siblings still ran.
+func TestRunnerInspectError(t *testing.T) {
+	boom := errors.New("boom")
+	specs := []Spec{
+		{Family: botnet.Cutwail(), SampleID: 1, Recipients: 1},
+		{Family: botnet.Cutwail(), SampleID: 2, Recipients: 1,
+			Inspect: func(*Lab, *Result) error { return boom }},
+	}
+	_, err := (&Runner{Workers: 2}).Run(specs)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	if !strings.Contains(err.Error(), "Cutwail sample 2") {
+		t.Errorf("error lacks spec context: %v", err)
+	}
+}
+
+// TestSpecWindow bounds observation: a Kelihos run with a one-hour
+// window sees only the first retry peak, never the delivery at
+// 80 000-90 000 s.
+func TestSpecWindow(t *testing.T) {
+	spec := KelihosCDFSpec(21600*time.Second, 2)
+	spec.Window = time.Hour
+	results, err := (&Runner{Workers: 1}).Run([]Spec{spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := &results[0]
+	if res.Delivered != 0 {
+		t.Errorf("delivered %d inside a 1h window against a 6h threshold", res.Delivered)
+	}
+	// Initial attempt plus the 300-600 s retry per recipient.
+	if res.AttemptCount != 4 {
+		t.Errorf("attempts = %d, want 4 (2 recipients × initial+first retry)", res.AttemptCount)
+	}
+	if res.VirtualElapsed != time.Hour {
+		t.Errorf("virtual elapsed = %v, want the full window", res.VirtualElapsed)
+	}
+}
+
+// TestRunnerMetrics exercises the lab_* instruments end to end.
+func TestRunnerMetrics(t *testing.T) {
+	reg := metrics.NewRegistry()
+	r := &Runner{Workers: 4}
+	r.Register(reg)
+	specs := TableIISpecs(2)
+	if _, err := r.Run(specs); err != nil {
+		t.Fatal(err)
+	}
+	inst := r.inst.Load()
+	if got := inst.specs.Value(); got != uint64(len(specs)) {
+		t.Errorf("lab_specs_total = %d, want %d", got, len(specs))
+	}
+	if got := inst.inflight.Value(); got != 0 {
+		t.Errorf("lab_labs_inflight = %d after Run, want 0", got)
+	}
+	if got := inst.virtualSeconds.Count(); got != uint64(len(specs)) {
+		t.Errorf("lab_spec_virtual_seconds count = %d, want %d", got, len(specs))
+	}
+	if inst.virtualSeconds.Sum() <= 0 {
+		t.Error("no virtual time accounted")
+	}
+	if got := inst.runWall.Count(); got != 1 {
+		t.Errorf("lab_run_wall_seconds count = %d, want 1", got)
+	}
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"lab_specs_total", "lab_labs_inflight", "lab_spec_virtual_seconds",
+		"lab_spec_wall_seconds", "lab_run_wall_seconds",
+	} {
+		if !strings.Contains(sb.String(), name) {
+			t.Errorf("exposition lacks %s", name)
+		}
+	}
+}
+
+// TestRunnerSweep is the "sweep-ready" shape the runner exists for:
+// N thresholds × M families in one call, with per-cell outcomes.
+func TestRunnerSweep(t *testing.T) {
+	thresholds := []time.Duration{5 * time.Second, 300 * time.Second, 21600 * time.Second}
+	families := []botnet.Family{botnet.Cutwail(), botnet.Kelihos()}
+	var specs []Spec
+	for _, th := range thresholds {
+		for _, f := range families {
+			specs = append(specs, Spec{
+				Defense: core.DefenseGreylisting, Threshold: th,
+				Family: f, SampleID: 1, Recipients: 2,
+			})
+		}
+	}
+	results, err := (&Runner{}).Run(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range results {
+		res := &results[i]
+		blocked := res.Blocked()
+		kelihos := res.Spec.Family.Name == "Kelihos"
+		switch {
+		case !kelihos && !blocked:
+			t.Errorf("Cutwail passed greylisting at %v", res.Spec.Threshold)
+		case kelihos && blocked:
+			// Kelihos beats every threshold its last peak outlasts —
+			// all three here are below 80 000 s.
+			t.Errorf("Kelihos blocked at %v", res.Spec.Threshold)
+		}
+	}
+}
+
+// TestRunSampleStillRecords pins the compatibility contract of the
+// RunSample wrapper: full attempt log, derived spec fields resolved.
+func TestRunSampleStillRecords(t *testing.T) {
+	l, err := New(Config{Defense: core.DefenseGreylisting})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	res, err := l.RunSample(botnet.Cutwail(), 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Attempts) != 2 {
+		t.Errorf("attempts = %d, want one per recipient", len(res.Attempts))
+	}
+	if res.Spec.Seed != DeriveSeed("Cutwail", 1) {
+		t.Errorf("seed = %d", res.Spec.Seed)
+	}
+	if res.Spec.Recipients != 2 {
+		t.Errorf("recipients = %d", res.Spec.Recipients)
+	}
+}

@@ -52,11 +52,12 @@ type Options struct {
 	LogDays           int
 	LogMessagesPerDay int
 	// Workers bounds the worker pools that fan experiments (RunMany,
-	// All) and the Fig 2 domain scan out across cores: 0 means
-	// GOMAXPROCS, 1 forces serial execution. Output is byte-identical
-	// at any worker count — experiments seed their own rngs and
-	// virtual clocks independently, and results are assembled in
-	// request order.
+	// All), the Fig 2 domain scan, and the lab spec runner (Table 2's
+	// 22 labs, the Fig 3 threshold pair, the obsolescence sweep) out
+	// across cores: 0 means GOMAXPROCS, 1 forces serial execution.
+	// Output is byte-identical at any worker count — experiments seed
+	// their own rngs and virtual clocks independently, and results are
+	// assembled in request order.
 	Workers int
 }
 
@@ -110,9 +111,9 @@ func Fig2(opts Options) (string, *scan.StudyResult, error) {
 	return sb.String(), res, nil
 }
 
-// Table2 runs the 11-sample defense matrix.
+// Table2 runs the 11-sample defense matrix on the lab spec runner.
 func Table2(opts Options) (string, []lab.MatrixRow, error) {
-	rows, err := lab.RunTableII(opts.Recipients)
+	rows, err := lab.RunTableIIWorkers(opts.Recipients, opts.Workers)
 	if err != nil {
 		return "", nil, err
 	}
@@ -122,14 +123,17 @@ func Table2(opts Options) (string, []lab.MatrixRow, error) {
 	return out, rows, nil
 }
 
-// Fig3 runs the Kelihos delivery CDFs at 5 s and 300 s.
+// Fig3 runs the Kelihos delivery CDFs at 5 s and 300 s as one runner
+// workload (both threshold labs fan out across opts.Workers).
 func Fig3(opts Options) (string, error) {
+	thresholds := []time.Duration{5 * time.Second, 300 * time.Second}
+	cdfs, _, err := lab.KelihosDeliveryCDFs(thresholds, opts.Recipients, opts.Workers)
+	if err != nil {
+		return "", err
+	}
 	var sb strings.Builder
-	for _, threshold := range []time.Duration{5 * time.Second, 300 * time.Second} {
-		cdf, _, err := lab.KelihosDeliveryCDF(threshold, opts.Recipients)
-		if err != nil {
-			return "", err
-		}
+	for i, threshold := range thresholds {
+		cdf := cdfs[i]
 		fmt.Fprintf(&sb, "Figure 3: CDF of Kelihos spam delivery delay, greylisting threshold %v\n", threshold)
 		fmt.Fprintf(&sb, "(n=%d delivered; min %.0fs, median %.0fs, max %.0fs)\n",
 			cdf.N(), cdf.Min(), cdf.Median(), cdf.Max())
@@ -271,7 +275,7 @@ func Control() (string, error) {
 // blocked share decays as bots adopt both counter-countermeasures.
 func Obsolescence(opts Options) (string, error) {
 	shares := []float64{0, 0.1, 0.25, 0.5, 0.75, 1}
-	points, err := lab.Obsolescence(shares, opts.Recipients)
+	points, err := lab.ObsolescenceWorkers(shares, opts.Recipients, opts.Workers)
 	if err != nil {
 		return "", err
 	}
@@ -441,12 +445,13 @@ func CSV(name string, opts Options) (string, error) {
 	switch name {
 	case "fig3":
 		sb.WriteString("threshold_s,delay_s,probability\n")
-		for _, threshold := range []time.Duration{5 * time.Second, 300 * time.Second} {
-			cdf, _, err := lab.KelihosDeliveryCDF(threshold, opts.Recipients)
-			if err != nil {
-				return "", err
-			}
-			for _, pt := range cdf.Points(200) {
+		thresholds := []time.Duration{5 * time.Second, 300 * time.Second}
+		cdfs, _, err := lab.KelihosDeliveryCDFs(thresholds, opts.Recipients, opts.Workers)
+		if err != nil {
+			return "", err
+		}
+		for i, threshold := range thresholds {
+			for _, pt := range cdfs[i].Points(200) {
 				fmt.Fprintf(&sb, "%.0f,%.3f,%.6f\n", threshold.Seconds(), pt.X, pt.P)
 			}
 		}
