@@ -10,17 +10,23 @@
 //	          [-threshold 300s] [-retry-window 48h] [-max-age 840h]
 //	          [-auto-whitelist 5] [-subnet] [-state greylist.db]
 //	          [-shards 1] [-rcpt-batch 64] [-admin-addr 127.0.0.1:9925]
+//	          [-trace-ring 1024]
 //	          [-whitelist-ip CIDR]... [-unprotect postmaster@dom]...
 //
 // With -admin-addr, an HTTP listener exposes Prometheus metrics on
-// /metrics and live profiling on /debug/pprof/ (see DESIGN.md,
-// "Observability").
+// /metrics, live profiling on /debug/pprof/ and — when -trace-ring is
+// nonzero — the most recent finished session traces on /debug/traces
+// (filter with ?outcome=, ?defense=, ?min_attempts=; see DESIGN.md,
+// "Tracing"). Each trace follows one SMTP session verb by verb through
+// its greylist verdicts to the final outcome.
 package main
 
 import (
+	"context"
 	"crypto/tls"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"os"
 	"os/signal"
@@ -35,6 +41,7 @@ import (
 	"repro/internal/simtime"
 	"repro/internal/smtpproto"
 	"repro/internal/smtpserver"
+	"repro/internal/trace"
 )
 
 type stringList []string
@@ -72,6 +79,7 @@ func run() error {
 		tlsKey      = flag.String("tls-key", "", "TLS key file for STARTTLS")
 		tlsSelf     = flag.Bool("tls-self-signed", false, "enable STARTTLS with an ephemeral self-signed certificate")
 		adminAddr   = flag.String("admin-addr", "", "serve Prometheus /metrics and /debug/pprof on this address (e.g. 127.0.0.1:9925)")
+		traceRing   = flag.Int("trace-ring", 1024, "finished session traces kept for /debug/traces (0 = tracing off); needs -admin-addr")
 	)
 	var whitelistCIDRs, unprotect stringList
 	flag.Var(&whitelistCIDRs, "whitelist-ip", "client CIDR to exempt (repeatable)")
@@ -90,6 +98,7 @@ func run() error {
 	// high-connection-rate deployments.
 	type engine interface {
 		greylist.BatchChecker
+		greylist.TracedChecker
 		SaveFile(string) error
 		LoadFile(string) error
 		PendingCount() int
@@ -138,6 +147,12 @@ func run() error {
 		fmt.Fprintln(os.Stderr, "STARTTLS enabled with an ephemeral self-signed certificate")
 	}
 
+	// The trace ring only matters when /debug/traces can serve it.
+	var tracer *trace.Tracer
+	if *adminAddr != "" && *traceRing > 0 {
+		tracer = trace.New(*traceRing)
+	}
+
 	deferReply := func(v greylist.Verdict) *smtpproto.Reply {
 		if v.Decision == greylist.Pass {
 			return nil
@@ -153,9 +168,10 @@ func run() error {
 		StampReceived: true,
 		ReadTimeout:   5 * time.Minute, // RFC 5321 §4.5.3.2
 		MaxRcptBatch:  *rcptBatch,
+		Tracer:        tracer,
 		Hooks: smtpserver.Hooks{
-			OnRcpt: func(clientIP, sender, rcpt string) *smtpproto.Reply {
-				return deferReply(g.Check(greylist.Triplet{ClientIP: clientIP, Sender: sender, Recipient: rcpt}))
+			OnRcptTraced: func(tr *trace.Trace, clientIP, sender, rcpt string) *smtpproto.Reply {
+				return deferReply(g.CheckTraced(greylist.Triplet{ClientIP: clientIP, Sender: sender, Recipient: rcpt}, tr))
 			},
 			// Pipelined RCPT bursts take one trip through the engine's
 			// locks instead of one per recipient.
@@ -200,6 +216,7 @@ func run() error {
 	if *policyAddr != "" {
 		policySrv = policyd.New(g)
 		policySrv.PrependHeader = true
+		policySrv.SetTracer(tracer)
 		pl, err := net.Listen("tcp", *policyAddr)
 		if err != nil {
 			return err
@@ -222,12 +239,25 @@ func run() error {
 		if policySrv != nil {
 			policySrv.Register(reg)
 		}
-		admin, err = metrics.ServeAdmin(*adminAddr, reg)
+		var extra []metrics.Endpoint
+		if tracer != nil {
+			// /debug/traces serves the ring; the trailer appends the
+			// latency exemplars that link histogram buckets to trace IDs.
+			extra = append(extra, metrics.Endpoint{
+				Path:    "/debug/traces",
+				Handler: tracer.Handler(func(w io.Writer) { reg.WriteExemplars(w) }),
+			})
+		}
+		admin, err = metrics.ServeAdmin(*adminAddr, reg, extra...)
 		if err != nil {
 			return fmt.Errorf("admin listener: %w", err)
 		}
 		fmt.Fprintf(os.Stderr, "admin endpoint on http://%s/metrics (pprof at /debug/pprof/)\n",
 			admin.Addr())
+		if tracer != nil {
+			fmt.Fprintf(os.Stderr, "session traces on http://%s/debug/traces (ring of %d)\n",
+				admin.Addr(), *traceRing)
+		}
 	}
 
 	gcStop := make(chan struct{})
@@ -261,7 +291,11 @@ func run() error {
 		policySrv.Close()
 	}
 	if admin != nil {
-		admin.Close()
+		// Drain in-flight scrapes (a /debug/traces dump mid-shutdown
+		// should finish) instead of snapping the listener shut.
+		if err := admin.Shutdown(context.Background()); err != nil {
+			fmt.Fprintln(os.Stderr, "admin shutdown:", err)
+		}
 	}
 
 	if *state != "" {

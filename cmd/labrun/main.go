@@ -20,6 +20,14 @@
 // query counters); -table2 runs dump the runner's registry (specs run,
 // labs in flight, per-spec virtual time, wall clock) — 22 labs have no
 // single victim snapshot.
+//
+// -trace records every delivery attempt as an end-to-end trace (MX
+// walk, dials, server verbs, greylist verdict, retry scheduling,
+// outcome) and writes the finished traces as JSONL to the given file,
+// or stdout for "-". When snapshots share stdout with the report text,
+// the order is fixed — report, then metrics behind a "# == metrics
+// snapshot ==" marker line, then traces behind "# == trace snapshot
+// (jsonl) ==" — so piped output splits deterministically.
 package main
 
 import (
@@ -33,6 +41,7 @@ import (
 	"repro/internal/lab"
 	"repro/internal/metrics"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -51,25 +60,40 @@ func run() error {
 		recipients = flag.Int("recipients", 10, "campaign size")
 		workers    = flag.Int("workers", 0, "spec-runner pool size for -table2: 0 = one per core, 1 = serial; output is byte-identical at any setting")
 		metricsOut = flag.String("metrics", "", "write the final metrics snapshot to this file ('-' = stdout)")
+		traceOut   = flag.String("trace", "", "record every delivery attempt and write the finished traces as JSONL to this file ('-' = stdout)")
 	)
 	flag.Parse()
 
 	if *table2 {
+		specs := lab.TableIISpecs(*recipients)
 		runner := &lab.Runner{Workers: *workers}
 		var reg *metrics.Registry
 		if *metricsOut != "" {
 			reg = metrics.NewRegistry()
 			runner.Register(reg)
 		}
-		results, err := runner.Run(lab.TableIISpecs(*recipients))
+		var tracer *trace.Tracer
+		if *traceOut != "" {
+			tracer = trace.New(specAttemptBound(specs))
+			runner.Tracer = tracer
+		}
+		results, err := runner.Run(specs)
 		if err != nil {
 			return err
 		}
 		fmt.Println("Table II: Effect of nolisting and greylisting on popular malware families")
 		fmt.Println()
 		fmt.Print(lab.RenderTableII(lab.MatrixFromResults(results)))
+		// Snapshot order on stdout is fixed — report, metrics, traces —
+		// with one marker line before each snapshot, so piped output
+		// stays machine-separable.
 		if reg != nil {
-			return dumpMetrics(reg, *metricsOut)
+			if err := dumpMetrics(reg, *metricsOut); err != nil {
+				return err
+			}
+		}
+		if tracer != nil {
+			return dumpTraces(tracer, *traceOut)
 		}
 		return nil
 	}
@@ -92,12 +116,23 @@ func run() error {
 		return fmt.Errorf("unknown defense %q", *defense)
 	}
 
-	l, err := lab.New(lab.Config{Defense: def, Threshold: *threshold})
+	var tracer *trace.Tracer
+	if *traceOut != "" {
+		tracer = trace.New(*recipients * (1 + len(f.Retry.Peaks)))
+	}
+	l, err := lab.New(lab.Config{Defense: def, Threshold: *threshold, Tracer: tracer})
 	if err != nil {
 		return err
 	}
 	defer l.Close()
-	res, err := l.RunSample(f, 1, *recipients)
+	res, err := l.RunSpec(lab.Spec{
+		Defense:        def,
+		Threshold:      *threshold,
+		Family:         f,
+		SampleID:       1,
+		Recipients:     *recipients,
+		RecordAttempts: true,
+	})
 	if err != nil {
 		return err
 	}
@@ -119,13 +154,42 @@ func run() error {
 			return err
 		}
 	}
+	if tracer != nil {
+		if err := dumpTraces(tracer, *traceOut); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
+// specAttemptBound upper-bounds the attempts a spec list can generate
+// (each recipient costs at most 1 + retries attempts), sizing the trace
+// ring so it never wraps.
+func specAttemptBound(specs []lab.Spec) int {
+	n := 0
+	for _, s := range specs {
+		n += s.Recipients * (1 + len(s.Family.Retry.Peaks))
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Stdout snapshot markers: when -metrics - and/or -trace - share
+// stdout with the report text, each snapshot is preceded by one fixed
+// marker line (metrics first, traces last), so piped output splits
+// deterministically.
+const (
+	metricsMarker = "# == metrics snapshot =="
+	traceMarker   = "# == trace snapshot (jsonl) =="
+)
+
 // dumpMetrics writes a metrics registry in Prometheus text format to
-// path ("-" = stdout).
+// path ("-" = stdout, preceded by the metrics marker line).
 func dumpMetrics(reg *metrics.Registry, path string) error {
 	if path == "-" {
+		fmt.Println(metricsMarker)
 		return reg.WriteText(os.Stdout)
 	}
 	f, err := os.Create(path)
@@ -140,5 +204,27 @@ func dumpMetrics(reg *metrics.Registry, path string) error {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "wrote metrics snapshot to %s\n", path)
+	return nil
+}
+
+// dumpTraces writes the tracer's finished traces as deterministic JSONL
+// to path ("-" = stdout, preceded by the trace marker line).
+func dumpTraces(tracer *trace.Tracer, path string) error {
+	if path == "-" {
+		fmt.Println(traceMarker)
+		return tracer.WriteJSONL(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tracer.WriteJSONL(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote trace snapshot to %s\n", path)
 	return nil
 }

@@ -2,30 +2,47 @@
 // webmail retry study (Table III), the MTA schedule survey (Table IV) and
 // the deployment delay CDF (Figure 5). It can also sweep the greylisting
 // threshold to expose the spam-blocked vs. benign-delay trade-off behind
-// the paper's "use a very short threshold" recommendation.
+// the paper's "use a very short threshold" recommendation, or — with
+// -exp queue — run a live MTA retry queue against a greylisted victim
+// domain in virtual time instead of evaluating the schedule analytically.
 //
 // Usage:
 //
-//	mailflow -exp table3|table4|fig5|sweep [-threshold 6h] [-seed 1]
+//	mailflow -exp table3|table4|fig5|sweep|queue [-threshold 6h] [-seed 1]
 //	         [-days 120] [-rate 200] [-log out.log]
+//	         [-mta sendmail] [-messages 5] [-trace out.jsonl]
 //	         [-admin-addr 127.0.0.1:9926]
 //
 // With -admin-addr, an HTTP listener exposes process metrics on /metrics
 // and live profiling on /debug/pprof/ for the duration of the run —
-// useful for profiling long fig5 generations and threshold sweeps.
+// useful for profiling long fig5 generations and threshold sweeps. For
+// -exp queue it also serves the finished message traces on
+// /debug/traces.
+//
+// -trace (queue experiment only) records every queued message as an
+// end-to-end trace — enqueue, MX walk, dials, server verbs, greylist
+// verdict, retry scheduling, final outcome — and writes the finished
+// traces as JSONL to the given file, or stdout for "-" behind a
+// "# == trace snapshot (jsonl) ==" marker line after the report text.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
+	"repro/internal/core"
+	"repro/internal/lab"
 	"repro/internal/maillog"
 	"repro/internal/metrics"
 	"repro/internal/mta"
+	"repro/internal/mtaqueue"
 	"repro/internal/report"
+	"repro/internal/smtpclient"
 	"repro/internal/stats"
+	"repro/internal/trace"
 	"repro/internal/webmail"
 )
 
@@ -38,24 +55,46 @@ func main() {
 
 func run() error {
 	var (
-		exp       = flag.String("exp", "table3", "experiment: table3, table4, fig5, sweep")
-		threshold = flag.Duration("threshold", 6*time.Hour, "greylisting threshold for table3")
+		exp       = flag.String("exp", "table3", "experiment: table3, table4, fig5, sweep, queue")
+		threshold = flag.Duration("threshold", 6*time.Hour, "greylisting threshold for table3 and queue")
 		seed      = flag.Int64("seed", 1, "random seed")
 		days      = flag.Int("days", 120, "fig5 deployment length")
 		rate      = flag.Int("rate", 200, "fig5 messages per day")
 		logOut    = flag.String("log", "", "fig5: also write the raw synthetic log here")
+		mtaName   = flag.String("mta", "sendmail", "queue: MTA retry schedule to run (sendmail, exim, postfix, qmail, courier, exchange)")
+		messages  = flag.Int("messages", 5, "queue: benign messages to submit")
+		traceOut  = flag.String("trace", "", "queue: write every message's end-to-end trace as JSONL to this file ('-' = stdout)")
 		adminAddr = flag.String("admin-addr", "", "serve /metrics and /debug/pprof on this address for the duration of the run")
 	)
 	flag.Parse()
 
+	// The queue experiment is the one live (traced) path; the ring
+	// holds one trace per submitted message.
+	var tracer *trace.Tracer
+	if *exp == "queue" && (*traceOut != "" || *adminAddr != "") {
+		n := *messages
+		if n < 16 {
+			n = 16
+		}
+		tracer = trace.New(n)
+	}
+
 	if *adminAddr != "" {
 		reg := metrics.NewRegistry()
 		metrics.RegisterProcess(reg)
-		admin, err := metrics.ServeAdmin(*adminAddr, reg)
+		var extra []metrics.Endpoint
+		if tracer != nil {
+			extra = append(extra, metrics.Endpoint{Path: "/debug/traces", Handler: tracer.Handler()})
+		}
+		admin, err := metrics.ServeAdmin(*adminAddr, reg, extra...)
 		if err != nil {
 			return fmt.Errorf("admin listener: %w", err)
 		}
-		defer admin.Close()
+		defer func() {
+			if err := admin.Shutdown(context.Background()); err != nil {
+				fmt.Fprintln(os.Stderr, "admin shutdown:", err)
+			}
+		}()
 		fmt.Fprintf(os.Stderr, "admin endpoint on http://%s/metrics (pprof at /debug/pprof/)\n",
 			admin.Addr())
 	}
@@ -137,8 +176,77 @@ func run() error {
 		}
 		fmt.Print(tbl.String())
 
+	case "queue":
+		// A live run of Table IV's subject matter: a real retry queue
+		// delivering benign mail through a greylisted victim domain,
+		// with every message traced from enqueue to verdict.
+		sched, err := mta.ByName(*mtaName)
+		if err != nil {
+			return err
+		}
+		l, err := lab.New(lab.Config{Defense: core.DefenseGreylisting, Threshold: *threshold})
+		if err != nil {
+			return err
+		}
+		defer l.Close()
+		q, err := mtaqueue.New(mtaqueue.Config{
+			Schedule:  sched,
+			HeloName:  "mta.benign.example",
+			Resolver:  l.Resolver,
+			Dialer:    &smtpclient.SimDialer{Net: l.Net, LocalIP: "203.0.113.50"},
+			Sched:     l.Sched,
+			Tracer:    tracer,
+			TraceTags: trace.Tags{Defense: "greylisting", Threshold: *threshold},
+		})
+		if err != nil {
+			return err
+		}
+		for i := 0; i < *messages; i++ {
+			q.Submit(lab.TargetDomain, smtpclient.Message{
+				From: fmt.Sprintf("sender%d@benign.example", i),
+				To:   []string{fmt.Sprintf("user%d@%s", i, lab.TargetDomain)},
+				Data: []byte("Subject: hello\r\n\r\nbenign message\r\n"),
+			})
+		}
+		l.Sched.Run()
+		queued, delivered, bounced := q.Summary()
+		fmt.Printf("%s retry queue vs a %v greylisting threshold: %d delivered, %d bounced, %d still queued\n\n",
+			sched.Name, *threshold, delivered, bounced, queued)
+		tbl := stats.NewTable("MSG", "STATUS", "ATTEMPTS", "DELAY")
+		for _, m := range q.Messages() {
+			status := m.Status.String()
+			if m.Bounce == mtaqueue.BounceExpired {
+				status += " (queue lifetime expired)"
+			}
+			delay := "-"
+			if m.Status == mtaqueue.StatusDelivered {
+				delay = stats.FormatDuration(m.Delay)
+			}
+			tbl.AddRow(fmt.Sprintf("%d", m.ID), status, fmt.Sprintf("%d", m.Attempts), delay)
+		}
+		fmt.Print(tbl.String())
+
 	default:
 		return fmt.Errorf("unknown experiment %q", *exp)
+	}
+
+	if tracer != nil && *traceOut != "" {
+		if *traceOut == "-" {
+			fmt.Println("# == trace snapshot (jsonl) ==")
+			return tracer.WriteJSONL(os.Stdout)
+		}
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		if err := tracer.WriteJSONL(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote trace snapshot to %s\n", *traceOut)
 	}
 	return nil
 }

@@ -15,6 +15,12 @@
 // -metrics writes a final process-metrics snapshot (uptime, heap, GC,
 // goroutines) in Prometheus text format after the experiments finish —
 // a cheap record of what a full reproduction run cost.
+//
+// -trace records every table2 delivery attempt as an end-to-end trace
+// and writes the finished traces as JSONL. When -metrics - and -trace -
+// share stdout with the report text, the order is fixed — report,
+// "# == metrics snapshot ==", "# == trace snapshot (jsonl) ==" — so
+// piped output splits deterministically.
 package main
 
 import (
@@ -24,8 +30,10 @@ import (
 	"path/filepath"
 	"strings"
 
+	"repro/internal/lab"
 	"repro/internal/metrics"
 	"repro/internal/report"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -47,6 +55,7 @@ func run() error {
 		csv        = flag.Bool("csv", false, "also export figure data points as CSV into -out")
 		workers    = flag.Int("workers", 0, "experiment/scan/lab worker pool size: 0 = one per core, 1 = serial; output is byte-identical at any setting")
 		metricsOut = flag.String("metrics", "", "write a final process-metrics snapshot to this file ('-' = stdout)")
+		traceOut   = flag.String("trace", "", "trace every table2 delivery attempt and write finished traces as JSONL to this file ('-' = stdout)")
 	)
 	flag.Parse()
 
@@ -56,6 +65,20 @@ func run() error {
 		metrics.RegisterProcess(procReg)
 	}
 
+	var tracer *trace.Tracer
+	if *traceOut != "" {
+		// Upper-bound the Table 2 workload's attempt count so the ring
+		// never wraps: each recipient costs at most 1 + retries attempts.
+		capacity := 0
+		for _, s := range lab.TableIISpecs(*recipients) {
+			capacity += s.Recipients * (1 + len(s.Family.Retry.Peaks))
+		}
+		if capacity < 1 {
+			capacity = 1
+		}
+		tracer = trace.New(capacity)
+	}
+
 	opts := report.Options{
 		Seed:              *seed,
 		ScanDomains:       *domains,
@@ -63,6 +86,7 @@ func run() error {
 		LogDays:           *days,
 		LogMessagesPerDay: *rate,
 		Workers:           *workers,
+		Tracer:            tracer,
 	}
 
 	names := report.Experiments
@@ -105,22 +129,47 @@ func run() error {
 			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 		}
 	}
+	// Snapshot order on stdout is fixed — report text, then metrics,
+	// then traces — each behind one marker line, so piped output stays
+	// machine-separable.
 	if procReg != nil {
 		if *metricsOut == "-" {
-			return procReg.WriteText(os.Stdout)
+			fmt.Println("# == metrics snapshot ==")
+			if err := procReg.WriteText(os.Stdout); err != nil {
+				return err
+			}
+		} else {
+			f, err := os.Create(*metricsOut)
+			if err != nil {
+				return err
+			}
+			if err := procReg.WriteText(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *metricsOut)
 		}
-		f, err := os.Create(*metricsOut)
+	}
+	if tracer != nil {
+		if *traceOut == "-" {
+			fmt.Println("# == trace snapshot (jsonl) ==")
+			return tracer.WriteJSONL(os.Stdout)
+		}
+		f, err := os.Create(*traceOut)
 		if err != nil {
 			return err
 		}
-		if err := procReg.WriteText(f); err != nil {
+		if err := tracer.WriteJSONL(f); err != nil {
 			f.Close()
 			return err
 		}
 		if err := f.Close(); err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "wrote %s\n", *metricsOut)
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *traceOut)
 	}
 	return nil
 }

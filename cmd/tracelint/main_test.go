@@ -1,0 +1,143 @@
+package main
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+const header = `package p
+
+import "repro/internal/trace"
+
+var tracer *trace.Tracer
+`
+
+func lintSource(t *testing.T, src string) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "src.go", header+src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lintFile(fset, file)
+}
+
+func TestLeakedTraceFlagged(t *testing.T) {
+	cases := map[string]string{
+		"never finished": `
+func f() {
+	tr := tracer.StartAttempt(trace.Tags{}, "r", 0, nil)
+	tr.Queue("x", "y", 0)
+}`,
+		"early return skips finish": `
+func f(fail bool) error {
+	tr := tracer.StartSession(trace.Tags{}, "ip", nil)
+	if fail {
+		return nil
+	}
+	tr.Finish("ok")
+	return nil
+}`,
+		"finish only before the start": `
+func f() {
+	tr := tracer.StartMessage(trace.Tags{}, "r", nil)
+	_ = tr
+	tr = tracer.StartMessage(trace.Tags{}, "r", nil)
+	tr.Finish("ok")
+	tr = tracer.StartMessage(trace.Tags{}, "r", nil)
+}`,
+	}
+	for name, src := range cases {
+		if diags := lintSource(t, src); len(diags) == 0 {
+			t.Errorf("%s: expected a diagnostic, got none", name)
+		}
+	}
+}
+
+func TestFinishedTraceAccepted(t *testing.T) {
+	cases := map[string]string{
+		"finish before each return": `
+func f(fail bool) error {
+	tr := tracer.StartAttempt(trace.Tags{}, "r", 0, nil)
+	if fail {
+		tr.Finish("failed")
+		return nil
+	}
+	tr.Finish("ok")
+	return nil
+}`,
+		"deferred finish": `
+func f() {
+	tr := tracer.StartSession(trace.Tags{}, "ip", nil)
+	defer tr.Finish("ok")
+	tr.Verb("MAIL", 250, "", 0)
+}`,
+		"deferred closure finish": `
+func f() {
+	tr := tracer.StartSession(trace.Tags{}, "ip", nil)
+	defer func() { tr.Finish("ok") }()
+}`,
+		"ownership stored in a field": `
+func f(e *entry) {
+	tr := tracer.StartMessage(trace.Tags{}, "r", nil)
+	e.tr = tr
+}`,
+		"ownership returned": `
+func f() interface{} {
+	tr := tracer.StartMessage(trace.Tags{}, "r", nil)
+	return tr
+}`,
+		"ownership in composite literal": `
+func f() {
+	tr := tracer.StartMessage(trace.Tags{}, "r", nil)
+	_ = entry2{tr: tr}
+}`,
+		"borrowing callees do not transfer": `
+func f(fail bool) {
+	tr := tracer.StartAttempt(trace.Tags{}, "r", 0, nil)
+	record(tr)
+	tr.Finish("ok")
+}`,
+		"selector assignment is the owner's problem": `
+func f(s *session) {
+	s.tr = tracer.StartSession(trace.Tags{}, "ip", nil)
+}`,
+	}
+	for name, src := range cases {
+		if diags := lintSource(t, src); len(diags) != 0 {
+			t.Errorf("%s: unexpected diagnostics: %v", name, diags)
+		}
+	}
+}
+
+func TestNonTraceFileIgnored(t *testing.T) {
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "src.go", `package p
+
+func f() {
+	tr := tracer.StartAttempt(nil, "r", 0, nil)
+	_ = tr
+}`, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := lintFile(fset, file); len(diags) != 0 {
+		t.Errorf("file without the trace import should be ignored, got %v", diags)
+	}
+}
+
+func TestDiagnosticNamesTheLeak(t *testing.T) {
+	diags := lintSource(t, `
+func f() {
+	tr := tracer.StartAttempt(trace.Tags{}, "r", 0, nil)
+	tr.Queue("x", "y", 0)
+}`)
+	if len(diags) != 1 {
+		t.Fatalf("want 1 diagnostic, got %d: %v", len(diags), diags)
+	}
+	if !strings.Contains(diags[0], `trace "tr"`) || !strings.Contains(diags[0], "src.go:") {
+		t.Errorf("diagnostic lacks the trace name or position: %s", diags[0])
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"repro/internal/nolist"
 	"repro/internal/simtime"
 	"repro/internal/smtpclient"
+	"repro/internal/trace"
 )
 
 // RetryPeak is one cluster of retransmission offsets (measured from the
@@ -322,6 +323,13 @@ type Env struct {
 	// and the caller's sink is the only record. When nil the bot
 	// installs its own Recorder, preserving the retained-log API.
 	Sink AttemptSink
+	// Tracer, when non-nil, records every delivery attempt as one
+	// finished trace: the MX walk, each dial (refusals included), the
+	// server's per-verb replies and greylist verdict, the retry the bot
+	// schedules, and the attempt's outcome.
+	Tracer *trace.Tracer
+	// TraceTags labels the traces (family/defense/sample).
+	TraceTags trace.Tags
 }
 
 // Bot is one running malware sample.
@@ -408,7 +416,9 @@ func (b *Bot) Launch(c Campaign) {
 // next retry if the family's schedule has one.
 func (b *Bot) attempt(c Campaign, rcpt string, try int, firstAt time.Time) {
 	now := b.env.Sched.Clock().Now()
-	contacted, host, outcome, refused := b.deliverOnce(c, rcpt)
+	// The bot's try is 1-based; trace retry indexes are 0-based.
+	tr := b.env.Tracer.StartAttempt(b.env.TraceTags, rcpt, try-1, b.env.Sched.Clock().Now)
+	contacted, host, outcome, refused := b.deliverOnce(c, rcpt, tr)
 	if outcome == smtpclient.Delivered {
 		b.delivered.Add(1)
 	}
@@ -424,27 +434,51 @@ func (b *Bot) attempt(c Campaign, rcpt string, try int, firstAt time.Time) {
 	})
 
 	if outcome == smtpclient.Delivered || outcome == smtpclient.PermanentFailure {
+		tr.Finish(outcomeLabel(outcome, refused))
 		return
 	}
 	offset, ok := b.family.Retry.Offset(try, b.rng)
 	if !ok {
+		tr.Queue("no-retry", "fire-and-forget or retries exhausted", 0)
+		tr.Finish(outcomeLabel(outcome, refused))
 		return // fire-and-forget, or retries exhausted
 	}
 	at := firstAt.Add(offset)
 	if at.Before(now) {
 		at = now
 	}
+	tr.Queue("retry-scheduled", b.family.Name, at.Sub(now))
+	tr.Finish(outcomeLabel(outcome, refused))
 	b.env.Sched.At(at, b.family.Name+" retry", func() {
 		b.attempt(c, rcpt, try+1, firstAt)
 	})
+}
+
+// outcomeLabel maps a delivery outcome to the trace outcome string. A
+// TCP-level refusal (the nolisting signature) is distinguished from
+// other unreachability.
+func outcomeLabel(o smtpclient.Outcome, refused bool) string {
+	switch o {
+	case smtpclient.Delivered:
+		return "delivered"
+	case smtpclient.TransientFailure:
+		return "deferred"
+	case smtpclient.PermanentFailure:
+		return "rejected"
+	default:
+		if refused {
+			return "refused"
+		}
+		return "unreachable"
+	}
 }
 
 // deliverOnce resolves the target's MX records and attempts delivery
 // according to the family's MX-selection behaviour. It returns every host
 // dialed (the connection log) plus the host and classification of the
 // final outcome.
-func (b *Bot) deliverOnce(c Campaign, rcpt string) (contacted []string, host string, outcome smtpclient.Outcome, refused bool) {
-	hosts, err := b.env.Resolver.LookupMX(c.Domain)
+func (b *Bot) deliverOnce(c Campaign, rcpt string, tr *trace.Trace) (contacted []string, host string, outcome smtpclient.Outcome, refused bool) {
+	hosts, err := b.env.Resolver.LookupMXTrace(c.Domain, tr)
 	if err != nil || len(hosts) == 0 {
 		return nil, "", smtpclient.Unreachable, false
 	}
@@ -459,7 +493,7 @@ func (b *Bot) deliverOnce(c Campaign, rcpt string) (contacted []string, host str
 		}
 		lastHost = t.Host
 		contacted = append(contacted, t.Host)
-		out, wasRefused := b.attemptHost(t.Addrs[0], c, rcpt)
+		out, wasRefused := b.attemptHost(t.Addrs[0], c, rcpt, tr)
 		lastOutcome, lastRefused = out, wasRefused
 		if out == smtpclient.Delivered || out == smtpclient.PermanentFailure || out == smtpclient.TransientFailure {
 			return contacted, t.Host, out, wasRefused
@@ -492,8 +526,8 @@ func (b *Bot) selectTargets(hosts []dnsresolver.MXHost) []dnsresolver.MXHost {
 }
 
 // attemptHost runs one SMTP transaction with the family's dialect.
-func (b *Bot) attemptHost(addr string, c Campaign, rcpt string) (smtpclient.Outcome, bool) {
-	conn, err := b.dialer.Dial(net.JoinHostPort(addr, smtpclient.SMTPPort))
+func (b *Bot) attemptHost(addr string, c Campaign, rcpt string, tr *trace.Trace) (smtpclient.Outcome, bool) {
+	conn, err := b.dialer.DialTrace(net.JoinHostPort(addr, smtpclient.SMTPPort), tr)
 	if err != nil {
 		return smtpclient.Unreachable, errors.Is(err, netsim.ErrConnRefused)
 	}

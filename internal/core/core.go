@@ -38,6 +38,7 @@ import (
 	"repro/internal/simtime"
 	"repro/internal/smtpproto"
 	"repro/internal/smtpserver"
+	"repro/internal/trace"
 )
 
 // Defense selects which protections a Domain deploys.
@@ -300,8 +301,8 @@ func (d *Domain) startServers() error {
 			Hostname: host,
 			Clock:    d.clock,
 			Hooks: smtpserver.Hooks{
-				OnRcpt:    d.onRcpt,
-				OnMessage: d.onMessage(host),
+				OnRcptTraced: d.onRcpt,
+				OnMessage:    d.onMessage(host),
 			},
 		})
 		d.servers = append(d.servers, srv)
@@ -312,8 +313,11 @@ func (d *Domain) startServers() error {
 }
 
 // onRcpt enforces recipient validity first (the pre-greylisting 550 the
-// paper leans on in Section II), then greylisting.
-func (d *Domain) onRcpt(clientIP, sender, recipient string) *smtpproto.Reply {
+// paper leans on in Section II), then greylisting. tr is the session's
+// trace handle — nil on untraced sessions — so traced runs see the
+// greylist verdict (triplet key, reason, wait state) inline with the
+// SMTP conversation.
+func (d *Domain) onRcpt(tr *trace.Trace, clientIP, sender, recipient string) *smtpproto.Reply {
 	if smtpproto.DomainOf(recipient) != strings.ToLower(d.cfg.Domain) {
 		return d.reject(clientIP, sender, recipient, 550, "5.7.1", "Relay access denied")
 	}
@@ -326,7 +330,13 @@ func (d *Domain) onRcpt(clientIP, sender, recipient string) *smtpproto.Reply {
 	if d.greylister == nil {
 		return nil
 	}
-	verdict := d.greylister.Check(greylist.Triplet{ClientIP: clientIP, Sender: sender, Recipient: recipient})
+	trip := greylist.Triplet{ClientIP: clientIP, Sender: sender, Recipient: recipient}
+	var verdict greylist.Verdict
+	if tc, ok := d.greylister.(greylist.TracedChecker); ok {
+		verdict = tc.CheckTraced(trip, tr)
+	} else {
+		verdict = d.greylister.Check(trip)
+	}
 	if verdict.Decision == greylist.Pass {
 		return nil
 	}

@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/dnsmsg"
 	"repro/internal/simtime"
+	"repro/internal/trace"
 )
 
 // Errors reported by lookups.
@@ -341,6 +342,23 @@ func (r *Resolver) LookupMX(domain string) ([]MXHost, error) {
 		return hosts, fmt.Errorf("%w: %s", ErrUnresolvableMX, domain)
 	}
 	return hosts, nil
+}
+
+// LookupMXTrace is LookupMX with the walk recorded into tr: one MX
+// event per resolved host (preference, address count, implicit flag)
+// or an MX error event when the walk fails. The hot LookupMX path is
+// untouched; a nil trace adds only nil checks.
+func (r *Resolver) LookupMXTrace(domain string, tr *trace.Trace) ([]MXHost, error) {
+	hosts, err := r.LookupMX(domain)
+	if tr != nil {
+		if err != nil {
+			tr.MXError(domain, err)
+		}
+		for _, h := range hosts {
+			tr.MX(h.Host, int(h.Preference), len(h.Addrs), h.Implicit)
+		}
+	}
+	return hosts, err
 }
 
 // FlushCache drops every cached answer.

@@ -1,0 +1,33 @@
+package greylist
+
+import (
+	"testing"
+	"time"
+)
+
+// The tracing contract on the verdict hot path: CheckTraced with a nil
+// trace must cost the same as Check — 0 allocs/op — because every
+// caller (core.Domain, greylistd, policyd) now routes through it
+// unconditionally and tracing is usually off.
+
+func BenchmarkCheck(b *testing.B) {
+	g, _ := newTestGreylister(300 * time.Second)
+	t := Triplet{ClientIP: "203.0.113.7", Sender: "a@b.example", Recipient: "u@victim.example"}
+	g.Check(t) // warm: the steady state re-checks a known triplet
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Check(t)
+	}
+}
+
+func BenchmarkCheckTracedDisabled(b *testing.B) {
+	g, _ := newTestGreylister(300 * time.Second)
+	t := Triplet{ClientIP: "203.0.113.7", Sender: "a@b.example", Recipient: "u@victim.example"}
+	g.Check(t)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.CheckTraced(t, nil)
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"repro/internal/simtime"
+	"repro/internal/trace"
 )
 
 // Triplet identifies a delivery for greylisting purposes.
@@ -345,6 +346,28 @@ func (g *Greylister) Check(t Triplet) Verdict {
 		return v
 	}
 	return g.check(t)
+}
+
+// CheckTraced is Check with the verdict recorded into tr — the
+// triplet key, decision, reason, wait remaining and attempt count —
+// and, when metrics are registered, the check latency observed with
+// tr's ID as the histogram bucket's exemplar, so a slow bucket on
+// /debug/traces links to this very conversation. A nil trace is
+// exactly Check: the hot path is untouched.
+func (g *Greylister) CheckTraced(t Triplet, tr *trace.Trace) Verdict {
+	if tr == nil {
+		return g.Check(t)
+	}
+	var v Verdict
+	if inst := g.inst.Load(); inst != nil {
+		start := time.Now()
+		v = g.check(t)
+		inst.checkSeconds.ObserveDurationExemplar(time.Since(start), tr.ID())
+	} else {
+		v = g.check(t)
+	}
+	tr.Greylist(v.Decision.String(), v.Reason.String(), t.String(), v.WaitRemaining, v.Attempts)
+	return v
 }
 
 func (g *Greylister) check(t Triplet) Verdict {

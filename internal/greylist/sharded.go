@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/simtime"
+	"repro/internal/trace"
 )
 
 // Sharded partitions greylisting state across N independent Greylisters
@@ -64,6 +65,11 @@ func (s *Sharded) shardIndex(t Triplet) int {
 // Check runs the greylisting decision on the triplet's shard.
 func (s *Sharded) Check(t Triplet) Verdict {
 	return s.shards[s.shardIndex(t)].Check(t)
+}
+
+// CheckTraced runs the traced decision on the triplet's shard.
+func (s *Sharded) CheckTraced(t Triplet, tr *trace.Trace) Verdict {
+	return s.shards[s.shardIndex(t)].CheckTraced(t, tr)
 }
 
 // CheckBatch decides a run of attempts, grouping them by shard so each
@@ -308,6 +314,20 @@ type BatchChecker interface {
 var (
 	_ BatchChecker = (*Greylister)(nil)
 	_ BatchChecker = (*Sharded)(nil)
+)
+
+// TracedChecker is implemented by engines that can record a verdict
+// into a per-conversation trace (with latency exemplars when metrics
+// are registered). Kept out of Checker so existing third-party
+// Checker implementations stay valid; callers type-assert and fall
+// back to Check.
+type TracedChecker interface {
+	CheckTraced(t Triplet, tr *trace.Trace) Verdict
+}
+
+var (
+	_ TracedChecker = (*Greylister)(nil)
+	_ TracedChecker = (*Sharded)(nil)
 )
 
 // Engine is the full surface shared by Greylister and Sharded; servers

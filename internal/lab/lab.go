@@ -33,6 +33,7 @@ import (
 	"repro/internal/simtime"
 	"repro/internal/smtpclient"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // TargetDomain is the victim domain used in all lab runs.
@@ -50,6 +51,11 @@ type Lab struct {
 	// engine, MX SMTP servers, intercepted DNS): labrun dumps it after a
 	// run so an experiment's counters can be inspected post-hoc.
 	Metrics *metrics.Registry
+	// Tracer, when non-nil, records every bot delivery attempt as an
+	// end-to-end trace (MX walk, dials, server verbs, greylist verdict,
+	// retry scheduling, outcome), tagged with the spec's family, sample,
+	// defense and threshold.
+	Tracer *trace.Tracer
 }
 
 // Config tunes a lab instance.
@@ -62,14 +68,17 @@ type Config struct {
 	// UnprotectedRecipients are local parts exempt from greylisting
 	// (the control addresses).
 	UnprotectedRecipients []string
+	// Tracer, when non-nil, is installed on the lab (see Lab.Tracer).
+	Tracer *trace.Tracer
 }
 
 // New builds a lab with a freshly deployed victim domain.
 func New(cfg Config) (*Lab, error) {
 	l := &Lab{
-		Net:   netsim.New(),
-		DNS:   dnsserver.New(),
-		Clock: simtime.NewSim(simtime.Epoch),
+		Net:    netsim.New(),
+		DNS:    dnsserver.New(),
+		Clock:  simtime.NewSim(simtime.Epoch),
+		Tracer: cfg.Tracer,
 	}
 	l.Sched = simtime.NewScheduler(l.Clock)
 	l.Resolver = dnsresolver.New(dnsresolver.Direct(l.DNS), l.Clock)

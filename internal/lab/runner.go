@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/trace"
 )
 
 // Runner executes a slice of Specs across a bounded worker pool. Each
@@ -22,6 +23,11 @@ type Runner struct {
 	// Workers bounds the pool: 0 means GOMAXPROCS, 1 forces serial
 	// execution.
 	Workers int
+	// Tracer, when non-nil, is installed on every lab the runner builds,
+	// so each spec's attempts land in one shared trace store tagged by
+	// family/sample/defense. Tracing never perturbs results — the golden
+	// byte-identity test passes with it on or off.
+	Tracer *trace.Tracer
 
 	inst atomic.Pointer[runnerInstruments]
 }
@@ -133,7 +139,9 @@ func (r *Runner) runSpec(spec Spec) (Result, error) {
 	if inst != nil {
 		inst.inflight.Inc()
 	}
-	l, err := New(spec.labConfig())
+	cfg := spec.labConfig()
+	cfg.Tracer = r.Tracer
+	l, err := New(cfg)
 	if err != nil {
 		if inst != nil {
 			inst.inflight.Dec()

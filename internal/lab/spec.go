@@ -8,7 +8,9 @@ import (
 
 	"repro/internal/botnet"
 	"repro/internal/core"
+	"repro/internal/greylist"
 	"repro/internal/nolist"
+	"repro/internal/trace"
 )
 
 // Spec describes one contained-lab experiment run: the victim's
@@ -117,6 +119,23 @@ func (s Spec) labConfig() Config {
 	}
 }
 
+// traceTags labels this spec's traces: family, sample, defense, and —
+// when greylisting is deployed — the effective threshold.
+func (s Spec) traceTags() trace.Tags {
+	tags := trace.Tags{
+		Family:  s.Family.Name,
+		Defense: s.Defense.String(),
+		Sample:  s.SampleID,
+	}
+	if s.Defense.Greylisting() {
+		tags.Threshold = s.Threshold
+		if tags.Threshold == 0 {
+			tags.Threshold = greylist.DefaultPolicy().Threshold
+		}
+	}
+	return tags
+}
+
 // Result is one spec's run outcome.
 type Result struct {
 	// Spec is the executed spec with every derived field resolved
@@ -160,12 +179,14 @@ func (l *Lab) RunSpec(spec Spec) (*Result, error) {
 		sink = tally
 	}
 	bot, err := botnet.New(spec.Family, botnet.Env{
-		Net:      l.Net,
-		Resolver: l.Resolver,
-		Sched:    l.Sched,
-		SourceIP: spec.SourceIP,
-		Seed:     spec.Seed,
-		Sink:     sink,
+		Net:       l.Net,
+		Resolver:  l.Resolver,
+		Sched:     l.Sched,
+		SourceIP:  spec.SourceIP,
+		Seed:      spec.Seed,
+		Sink:      sink,
+		Tracer:    l.Tracer,
+		TraceTags: spec.traceTags(),
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,112 @@
+package lab
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/botnet"
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// TestTracedRunExplainsBlockedAttempt is the issue's acceptance check in
+// miniature: run a greylisted Cutwail cell and a nolisted Kelihos cell
+// with tracing on, then show — from trace evidence alone — which span
+// terminated a blocked attempt.
+func TestTracedRunExplainsBlockedAttempt(t *testing.T) {
+	tracer := trace.New(256)
+	r := Runner{Workers: 1, Tracer: tracer}
+	results, err := r.Run([]Spec{
+		{Defense: core.DefenseGreylisting, Family: botnet.Cutwail(), SampleID: 1, Recipients: 3},
+		{Defense: core.DefenseNolisting, Family: botnet.Kelihos(), SampleID: 1, Recipients: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range results {
+		if !res.Blocked() {
+			t.Fatalf("spec %d: expected the defense to block all deliveries", i)
+		}
+	}
+
+	var sawGreylistDefer, sawRefusedDial bool
+	for _, tr := range tracer.Snapshot() {
+		tags := tr.Tags()
+		switch {
+		case tags.Family == "Cutwail" && tags.Defense == "greylisting":
+			// The terminating span must be the greylist Defer verdict,
+			// visible as both the greylist event and the 451 RCPT reply.
+			if tr.Outcome() != "deferred" {
+				t.Fatalf("Cutwail trace outcome = %q, want deferred", tr.Outcome())
+			}
+			if tags.Threshold != 300*time.Second {
+				t.Fatalf("Cutwail trace threshold = %v, want Postgrey default", tags.Threshold)
+			}
+			var deferEvent, rcpt451 bool
+			for _, ev := range tr.Events() {
+				if ev.Kind == trace.KindGreylist && ev.Name == "defer" {
+					if !strings.Contains(ev.Detail, "first-seen") {
+						t.Fatalf("greylist event detail = %q, want first-seen reason", ev.Detail)
+					}
+					deferEvent = true
+				}
+				if ev.Kind == trace.KindVerb && ev.Name == "RCPT" && ev.Code == 451 {
+					rcpt451 = true
+				}
+			}
+			if !deferEvent || !rcpt451 {
+				t.Fatalf("Cutwail trace lacks greylist Defer (%v) or 451 RCPT (%v):\n%+v",
+					deferEvent, rcpt451, tr.Events())
+			}
+			sawGreylistDefer = true
+		case tags.Family == "Kelihos" && tags.Defense == "nolisting":
+			// Kelihos only dials the dead primary: the terminating span
+			// is the refused TCP dial.
+			if tr.Outcome() != "refused" {
+				t.Fatalf("Kelihos trace outcome = %q, want refused", tr.Outcome())
+			}
+			var refusedDial bool
+			for _, ev := range tr.Events() {
+				if ev.Kind == trace.KindDial && strings.Contains(ev.Detail, "refused") {
+					refusedDial = true
+				}
+			}
+			if !refusedDial {
+				t.Fatalf("Kelihos trace lacks a refused dial event:\n%+v", tr.Events())
+			}
+			sawRefusedDial = true
+		}
+	}
+	if !sawGreylistDefer || !sawRefusedDial {
+		t.Fatalf("missing traces: greylist defer seen=%v, refused dial seen=%v",
+			sawGreylistDefer, sawRefusedDial)
+	}
+}
+
+// TestTracedRunnerRace runs a Table II-shaped workload at 32 workers
+// with tracing on — concurrent span recording from bot and server
+// goroutines across many labs into one shared tracer. Run with -race
+// (the tier-1 recipe does).
+func TestTracedRunnerRace(t *testing.T) {
+	tracer := trace.New(128)
+	r := Runner{Workers: 32, Tracer: tracer}
+	results, err := r.Run(TableIISpecs(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	attempts := 0
+	for _, res := range results {
+		attempts += res.AttemptCount
+	}
+	if got := int(tracer.Finished()); got != attempts {
+		t.Fatalf("finished traces = %d, want one per attempt = %d", got, attempts)
+	}
+	// Every spec's traces must carry its own tags (no cross-lab bleed).
+	for _, tr := range tracer.Snapshot() {
+		tags := tr.Tags()
+		if tags.Family == "" || tags.Defense == "" || tags.Sample == 0 {
+			t.Fatalf("trace %s has incomplete tags: %+v", trace.FormatID(tr.ID()), tags)
+		}
+	}
+}

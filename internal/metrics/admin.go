@@ -1,20 +1,30 @@
 package metrics
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"strings"
 	"time"
 )
 
+// Endpoint is an extra handler mounted on the admin mux — daemons use
+// it to attach surfaces this package must not know about (e.g. the
+// trace browser at /debug/traces) without a second listener.
+type Endpoint struct {
+	Path    string
+	Handler http.Handler
+}
+
 // NewAdminMux builds the admin endpoint surface: the registry exposition
 // on /metrics, runtime profiling under /debug/pprof/ (mounted explicitly
-// so importing this package never touches http.DefaultServeMux), and a
-// trivial /healthz. Daemons serve it on a loopback or ops-network
-// address via ServeAdmin.
-func NewAdminMux(reg *Registry) *http.ServeMux {
+// so importing this package never touches http.DefaultServeMux), a
+// trivial /healthz, and any extra endpoints. Daemons serve it on a
+// loopback or ops-network address via ServeAdmin.
+func NewAdminMux(reg *Registry, extras ...Endpoint) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", reg.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -26,13 +36,22 @@ func NewAdminMux(reg *Registry) *http.ServeMux {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
+	paths := []string{"/metrics", "/healthz", "/debug/pprof/"}
+	for _, e := range extras {
+		if e.Path == "" || e.Handler == nil {
+			continue
+		}
+		mux.Handle(e.Path, e.Handler)
+		paths = append(paths, e.Path)
+	}
+	index := "admin endpoints: " + strings.Join(paths, " ")
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "admin endpoints: /metrics /healthz /debug/pprof/")
+		fmt.Fprintln(w, index)
 	})
 	return mux
 }
@@ -46,21 +65,46 @@ type AdminServer struct {
 // Addr returns the bound listen address (useful with ":0").
 func (a *AdminServer) Addr() net.Addr { return a.l.Addr() }
 
-// Close stops the listener. In-flight scrapes are abandoned; the admin
-// surface is diagnostics, not data.
+// Close hard-stops the listener. In-flight scrapes are abandoned —
+// use Shutdown for a drain that lets a racing scrape finish.
 func (a *AdminServer) Close() error { return a.srv.Close() }
 
+// DefaultDrainTimeout bounds how long Shutdown waits for in-flight
+// scrapes when the caller's context carries no deadline of its own.
+// Short by design: the admin surface is diagnostics, and a stalled
+// pprof stream must not hold up process exit.
+const DefaultDrainTimeout = 5 * time.Second
+
+// Shutdown gracefully stops the listener: no new connections are
+// accepted and in-flight requests get until ctx's deadline (or
+// DefaultDrainTimeout when ctx has none) to complete. If the drain
+// window expires the server is hard-closed, so Shutdown always leaves
+// the listener stopped.
+func (a *AdminServer) Shutdown(ctx context.Context) error {
+	if _, ok := ctx.Deadline(); !ok {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, DefaultDrainTimeout)
+		defer cancel()
+	}
+	if err := a.srv.Shutdown(ctx); err != nil {
+		a.srv.Close()
+		return err
+	}
+	return nil
+}
+
 // ServeAdmin binds addr and serves the admin mux for reg in a background
-// goroutine until Close. Read/write timeouts are set so a stalled
+// goroutine until Close/Shutdown. Read timeouts are set so a stalled
 // scraper cannot pin a connection (the same failure mode the policyd
-// idle timeout guards against on the policy port).
-func ServeAdmin(addr string, reg *Registry) (*AdminServer, error) {
+// idle timeout guards against on the policy port). Extra endpoints are
+// mounted alongside the built-in surface.
+func ServeAdmin(addr string, reg *Registry, extras ...Endpoint) (*AdminServer, error) {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("metrics: admin listen: %w", err)
 	}
 	srv := &http.Server{
-		Handler:           NewAdminMux(reg),
+		Handler:           NewAdminMux(reg, extras...),
 		ReadHeaderTimeout: 10 * time.Second,
 		// No global WriteTimeout: pprof profile/trace endpoints stream
 		// for their ?seconds= duration by design.

@@ -1,0 +1,86 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestObserveExemplar(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("op_seconds", "Op latency.", []float64{0.1, 1})
+
+	h.Observe(0.05) // plain observation: no exemplar recorded
+	h.ObserveExemplar(0.5, 0xabc)
+	h.ObserveExemplar(0.6, 0xdef) // same bucket: newest wins
+	h.ObserveDurationExemplar(5*time.Second, 0x123)
+	h.ObserveExemplar(0.01, 0) // zero ID: counted, no exemplar
+
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	ex := h.Exemplars()
+	want := []uint64{0, 0xdef, 0x123}
+	if len(ex) != len(want) {
+		t.Fatalf("exemplars = %v, want %v", ex, want)
+	}
+	for i := range want {
+		if ex[i] != want[i] {
+			t.Fatalf("exemplars = %v, want %v", ex, want)
+		}
+	}
+}
+
+func TestExemplarsAbsentFromExposition(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("op_seconds", "Op latency.", []float64{0.1})
+	h.ObserveExemplar(0.05, 0xbeef)
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "trace_id") || strings.Contains(buf.String(), "beef") {
+		t.Fatalf("exposition leaked exemplars:\n%s", buf.String())
+	}
+	// The exemplar observation still counts like a normal one.
+	if !strings.Contains(buf.String(), `op_seconds_bucket{le="0.1"} 1`) {
+		t.Fatalf("exemplar observation missing from buckets:\n%s", buf.String())
+	}
+}
+
+func TestWriteExemplars(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("check_seconds", "Check latency.", []float64{0.1, 1}, "shard", "0")
+	h.ObserveExemplar(0.5, 0xcafe)
+	h.ObserveExemplar(10, 0xf00d) // +Inf bucket
+	reg.Histogram("quiet_seconds", "Never observed.", []float64{1})
+
+	var buf bytes.Buffer
+	if err := reg.WriteExemplars(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`check_seconds_bucket{shard="0",le="1"} trace_id=000000000000cafe`,
+		`check_seconds_bucket{shard="0",le="+Inf"} trace_id=000000000000f00d`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("WriteExemplars missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "quiet_seconds") {
+		t.Fatalf("WriteExemplars listed exemplar-free histogram:\n%s", out)
+	}
+}
+
+func TestWriteExemplarsEmpty(t *testing.T) {
+	reg := NewRegistry()
+	var buf bytes.Buffer
+	if err := reg.WriteExemplars(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "(none recorded)") {
+		t.Fatalf("empty dump = %q", buf.String())
+	}
+}

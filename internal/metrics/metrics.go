@@ -105,6 +105,12 @@ type Histogram struct {
 	buckets []atomic.Uint64
 	count   atomic.Uint64
 	sum     atomicFloat
+	// exemplars[i] remembers the trace ID of the most recent
+	// ObserveExemplar landing in bucket i (0 = none), so a slow bucket
+	// links to a concrete traced conversation. Kept out of the
+	// /metrics exposition (WriteText stays byte-stable); dumped via
+	// WriteExemplars on /debug/traces.
+	exemplars []atomic.Uint64
 }
 
 // Observe records one observation.
@@ -127,6 +133,43 @@ func (h *Histogram) Observe(v float64) {
 
 // ObserveDuration records d in seconds (the Prometheus base unit).
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// ObserveExemplar records one observation and, when traceID is
+// nonzero, remembers it as the bucket's exemplar. Same lock-free
+// cost profile as Observe plus one atomic store; plain Observe is
+// untouched so untraced hot paths pay nothing for the feature.
+func (h *Histogram) ObserveExemplar(v float64, traceID uint64) {
+	i := 0
+	for ; i < len(h.bounds); i++ {
+		if v <= h.bounds[i] {
+			break
+		}
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.add(v)
+	if traceID != 0 && h.exemplars != nil {
+		h.exemplars[i].Store(traceID)
+	}
+}
+
+// ObserveDurationExemplar records d in seconds with a trace exemplar.
+func (h *Histogram) ObserveDurationExemplar(d time.Duration, traceID uint64) {
+	h.ObserveExemplar(d.Seconds(), traceID)
+}
+
+// Exemplars returns the per-bucket exemplar trace IDs (0 = none),
+// indexed like the bounds with the +Inf bucket last.
+func (h *Histogram) Exemplars() []uint64 {
+	if h.exemplars == nil {
+		return nil
+	}
+	out := make([]uint64, len(h.exemplars))
+	for i := range h.exemplars {
+		out[i] = h.exemplars[i].Load()
+	}
+	return out
+}
 
 // Count returns the total number of observations.
 func (h *Histogram) Count() uint64 { return h.count.Load() }
@@ -315,9 +358,66 @@ func (r *Registry) Histogram(name, help string, bounds []float64, labelPairs ...
 			panic(fmt.Sprintf("metrics: %s bucket bounds not ascending", name))
 		}
 	}
-	h := &Histogram{bounds: bounds, buckets: make([]atomic.Uint64, len(bounds)+1)}
+	h := &Histogram{
+		bounds:    bounds,
+		buckets:   make([]atomic.Uint64, len(bounds)+1),
+		exemplars: make([]atomic.Uint64, len(bounds)+1),
+	}
 	s.hist = h
 	return h
+}
+
+// WriteExemplars renders every histogram bucket that has recorded an
+// exemplar trace ID, as lines of the form
+//
+//	name_bucket{...,le="0.25"} trace_id=0123456789abcdef
+//
+// This is intentionally separate from WriteText: the /metrics
+// exposition stays byte-stable for scrapers, while /debug/traces
+// appends this dump so a slow bucket can be followed to the concrete
+// conversation behind it.
+func (r *Registry) WriteExemplars(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.fams))
+	for name, f := range r.fams {
+		if f.kind == kindHistogram {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	fams := make([]*family, len(names))
+	for i, name := range names {
+		fams[i] = r.fams[name]
+	}
+	r.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "histogram exemplars (bucket -> most recent trace id):")
+	any := false
+	for _, f := range fams {
+		for _, labels := range f.order {
+			s := f.series[labels]
+			if s.hist == nil {
+				continue
+			}
+			ex := s.hist.Exemplars()
+			for i, id := range ex {
+				if id == 0 {
+					continue
+				}
+				bound := "+Inf"
+				if i < len(s.hist.bounds) {
+					bound = formatFloat(s.hist.bounds[i])
+				}
+				fmt.Fprintf(bw, "%s_bucket%s trace_id=%016x\n", f.name, mergeLE(labels, bound), id)
+				any = true
+			}
+		}
+	}
+	if !any {
+		fmt.Fprintln(bw, "(none recorded)")
+	}
+	return bw.Flush()
 }
 
 // WriteText renders every family in the Prometheus text exposition

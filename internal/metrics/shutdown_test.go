@@ -1,0 +1,120 @@
+package metrics
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestShutdownDrainsInFlightScrape races a slow scrape against
+// Shutdown: the graceful path must let the in-flight response finish
+// (where Close would abandon it).
+func TestShutdownDrainsInFlightScrape(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("drain_test_total", "T.").Add(7)
+	inHandler := make(chan struct{})
+	slow := http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		close(inHandler)
+		time.Sleep(150 * time.Millisecond)
+		fmt.Fprintln(w, "slow-done")
+	})
+	srv, err := ServeAdmin("127.0.0.1:0", reg, Endpoint{Path: "/slow", Handler: slow})
+	if err != nil {
+		t.Fatalf("ServeAdmin: %v", err)
+	}
+	base := "http://" + srv.Addr().String()
+
+	type result struct {
+		code int
+		body string
+		err  error
+	}
+	got := make(chan result, 1)
+	go func() {
+		resp, err := http.Get(base + "/slow")
+		if err != nil {
+			got <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		buf := new(strings.Builder)
+		_, err = fmt.Fprint(buf, readAll(resp))
+		got <- result{code: resp.StatusCode, body: buf.String(), err: err}
+	}()
+
+	<-inHandler // the scrape is now in flight
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+
+	r := <-got
+	if r.err != nil {
+		t.Fatalf("in-flight scrape failed across Shutdown: %v", r.err)
+	}
+	if r.code != http.StatusOK || !strings.Contains(r.body, "slow-done") {
+		t.Fatalf("in-flight scrape = %d %q, want 200 with body", r.code, r.body)
+	}
+
+	// The listener must be stopped: new connections are refused.
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Fatal("listener still accepting after Shutdown")
+	}
+}
+
+// TestShutdownTimeoutHardCloses covers the other side of the race: a
+// handler that outlives the drain window is cut off and Shutdown
+// still returns with the listener stopped.
+func TestShutdownTimeoutHardCloses(t *testing.T) {
+	reg := NewRegistry()
+	inHandler := make(chan struct{})
+	release := make(chan struct{})
+	stuck := http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		close(inHandler)
+		<-release
+	})
+	srv, err := ServeAdmin("127.0.0.1:0", reg, Endpoint{Path: "/stuck", Handler: stuck})
+	if err != nil {
+		t.Fatalf("ServeAdmin: %v", err)
+	}
+	defer close(release)
+	base := "http://" + srv.Addr().String()
+
+	go func() {
+		resp, err := http.Get(base + "/stuck")
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	<-inHandler
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err = srv.Shutdown(ctx)
+	if err == nil {
+		t.Fatal("Shutdown should report the expired drain")
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("Shutdown took %v despite 50ms drain window", elapsed)
+	}
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Fatal("listener still accepting after timed-out Shutdown")
+	}
+}
+
+func readAll(resp *http.Response) string {
+	buf := new(strings.Builder)
+	b := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(b)
+		buf.Write(b[:n])
+		if err != nil {
+			return buf.String()
+		}
+	}
+}

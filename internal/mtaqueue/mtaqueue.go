@@ -22,7 +22,16 @@ import (
 	"repro/internal/mta"
 	"repro/internal/simtime"
 	"repro/internal/smtpclient"
+	"repro/internal/trace"
 )
+
+// errDetail renders err for a trace event ("" when nil).
+func errDetail(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
 
 // Status is a queued message's lifecycle state.
 type Status int
@@ -96,6 +105,13 @@ type Config struct {
 	Dialer smtpclient.Dialer
 	// Sched drives the retry timers (virtual time).
 	Sched *simtime.Scheduler
+	// Tracer, when non-nil, gives every submitted message an
+	// end-to-end trace: MX walk, dials, server-side verbs and greylist
+	// verdicts, plus queue events for each scheduled retry and the
+	// terminal delivered/bounced outcome.
+	Tracer *trace.Tracer
+	// TraceTags labels the traces (Family defaults to the MTA name).
+	TraceTags trace.Tags
 }
 
 // MTA is a queueing mail transfer agent.
@@ -113,6 +129,7 @@ type MTA struct {
 type queueEntry struct {
 	msg    smtpclient.Message
 	record QueuedMessage
+	tr     *trace.Trace
 }
 
 // New validates the configuration and returns an MTA.
@@ -129,6 +146,9 @@ func New(cfg Config) (*MTA, error) {
 	if cfg.Name == "" {
 		cfg.Name = cfg.Schedule.Name
 	}
+	if cfg.Tracer != nil && cfg.TraceTags.Family == "" {
+		cfg.TraceTags.Family = cfg.Name
+	}
 	return &MTA{
 		cfg:     cfg,
 		offsets: cfg.Schedule.AttemptTimes(0),
@@ -143,6 +163,15 @@ func (m *MTA) Submit(domain string, msg smtpclient.Message) int {
 		msg.HeloName = m.cfg.HeloName
 	}
 	now := m.cfg.Sched.Clock().Now()
+	var tr *trace.Trace
+	if m.cfg.Tracer != nil {
+		rcpt := domain
+		if len(msg.To) > 0 {
+			rcpt = msg.To[0]
+		}
+		tr = m.cfg.Tracer.StartMessage(m.cfg.TraceTags, rcpt, m.cfg.Sched.Clock().Now)
+		tr.Queue("enqueued", domain, 0)
+	}
 	m.mu.Lock()
 	m.nextID++
 	id := m.nextID
@@ -151,6 +180,7 @@ func (m *MTA) Submit(domain string, msg smtpclient.Message) int {
 		record: QueuedMessage{
 			ID: id, Domain: domain, Status: StatusQueued, EnqueuedAt: now,
 		},
+		tr: tr,
 	}
 	m.mu.Unlock()
 	if inst := m.inst.Load(); inst != nil {
@@ -170,10 +200,12 @@ func (m *MTA) attempt(id, k int) {
 	}
 	msg := entry.msg
 	domain := entry.record.Domain
+	tr := entry.tr
 	entry.record.Attempts++
 	m.mu.Unlock()
 
-	receipt := smtpclient.DeliverMX(m.cfg.Resolver, m.cfg.Dialer, domain, msg)
+	tr.SetTry(k)
+	receipt := smtpclient.DeliverMXTrace(m.cfg.Resolver, m.cfg.Dialer, domain, msg, tr)
 	now := m.cfg.Sched.Clock().Now()
 
 	inst := m.inst.Load()
@@ -188,6 +220,7 @@ func (m *MTA) attempt(id, k int) {
 		if inst != nil {
 			inst.delivered.Inc()
 		}
+		tr.Finish("delivered")
 	case smtpclient.PermanentFailure:
 		entry.record.Status = StatusBounced
 		entry.record.Bounce = BouncePermanent
@@ -195,6 +228,8 @@ func (m *MTA) attempt(id, k int) {
 		if inst != nil {
 			inst.bounced.Inc()
 		}
+		tr.Queue("bounce", errDetail(receipt.LastError), 0)
+		tr.Finish("bounced")
 	default: // transient or unreachable: retry per schedule
 		entry.record.LastError = receipt.LastError
 		next := k + 1
@@ -204,6 +239,8 @@ func (m *MTA) attempt(id, k int) {
 			if inst != nil {
 				inst.bounced.Inc()
 			}
+			tr.Queue("bounce", "queue lifetime expired", 0)
+			tr.Finish("bounced")
 			return
 		}
 		at := entry.record.EnqueuedAt.Add(m.offsets[next])
@@ -211,6 +248,7 @@ func (m *MTA) attempt(id, k int) {
 			inst.retries.Inc()
 			inst.backoffSeconds.Observe(m.offsets[next].Seconds())
 		}
+		tr.Queue("retry-scheduled", errDetail(receipt.LastError), at.Sub(now))
 		m.cfg.Sched.At(at, m.cfg.Name+" retry", func() { m.attempt(id, next) })
 	}
 }

@@ -25,6 +25,8 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/trace"
 )
 
 // Sentinel errors mirroring the failure modes of real TCP dialing.
@@ -136,34 +138,52 @@ func (n *Network) Listen(address string) (*Listener, error) {
 // ErrHostUnreachable if the target host is down and ErrConnRefused if no
 // listener is bound to raddr.
 func (n *Network) Dial(laddr, raddr string) (net.Conn, error) {
+	return n.DialTrace(laddr, raddr, nil)
+}
+
+// DialTrace is Dial with the caller's trace attached: the dial outcome
+// is recorded as a trace event and — when the connection opens — both
+// pipe endpoints carry the trace, so the accepting server's session
+// records into the same per-attempt trace (trace.FromConn). A nil
+// trace makes DialTrace identical to Dial.
+func (n *Network) DialTrace(laddr, raddr string, tr *trace.Trace) (net.Conn, error) {
 	rhost, _, err := net.SplitHostPort(raddr)
 	if err != nil {
-		return nil, fmt.Errorf("netsim: dial %q: %w", raddr, err)
+		err = fmt.Errorf("netsim: dial %q: %w", raddr, err)
+		tr.Dial(raddr, err)
+		return nil, err
 	}
 	n.dials.Add(1)
 	sh := n.shardOf(rhost)
 	sh.mu.RLock()
 	if sh.down[rhost] {
 		sh.mu.RUnlock()
-		return nil, fmt.Errorf("netsim: dial %s: %w", raddr, ErrHostUnreachable)
+		err = fmt.Errorf("netsim: dial %s: %w", raddr, ErrHostUnreachable)
+		tr.Dial(raddr, err)
+		return nil, err
 	}
 	l, ok := sh.listeners[raddr]
 	sh.mu.RUnlock()
 	if !ok {
 		n.refused.Add(1)
-		return nil, fmt.Errorf("netsim: dial %s: %w", raddr, ErrConnRefused)
+		err = fmt.Errorf("netsim: dial %s: %w", raddr, ErrConnRefused)
+		tr.Dial(raddr, err)
+		return nil, err
 	}
 
 	cc, sc := net.Pipe()
-	client := &conn{Conn: cc, local: Addr(laddr), remote: Addr(raddr)}
-	server := &conn{Conn: sc, local: Addr(raddr), remote: Addr(laddr)}
+	client := &conn{Conn: cc, local: Addr(laddr), remote: Addr(raddr), tr: tr}
+	server := &conn{Conn: sc, local: Addr(raddr), remote: Addr(laddr), tr: tr}
 	select {
 	case l.accept <- server:
+		tr.Dial(raddr, nil)
 		return client, nil
 	case <-l.done:
 		cc.Close()
 		sc.Close()
-		return nil, fmt.Errorf("netsim: dial %s: %w", raddr, ErrConnRefused)
+		err = fmt.Errorf("netsim: dial %s: %w", raddr, ErrConnRefused)
+		tr.Dial(raddr, err)
+		return nil, err
 	}
 }
 
@@ -303,10 +323,12 @@ func (a Addr) Host() string {
 	return h
 }
 
-// conn wraps a net.Pipe endpoint with simulated addresses.
+// conn wraps a net.Pipe endpoint with simulated addresses and the
+// dialer's trace (nil when tracing is off).
 type conn struct {
 	net.Conn
 	local, remote Addr
+	tr            *trace.Trace
 }
 
 // LocalAddr implements net.Conn.
@@ -314,3 +336,10 @@ func (c *conn) LocalAddr() net.Addr { return c.local }
 
 // RemoteAddr implements net.Conn.
 func (c *conn) RemoteAddr() net.Addr { return c.remote }
+
+// Trace implements trace.Carrier: the server side of a simulated
+// connection retrieves the dialing client's trace handle and records
+// its own spans (SMTP verbs, greylist verdicts) into the same trace.
+func (c *conn) Trace() *trace.Trace { return c.tr }
+
+var _ trace.Carrier = (*conn)(nil)

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"repro/internal/greylist"
+	"repro/internal/trace"
 )
 
 // Request is one policy request's attributes (names lower-cased).
@@ -106,7 +107,8 @@ type Server struct {
 	// deadlines entirely. Set before Serve.
 	IdleTimeout time.Duration
 
-	inst atomic.Pointer[instruments]
+	inst   atomic.Pointer[instruments]
+	tracer atomic.Pointer[trace.Tracer]
 
 	mu        sync.Mutex
 	wg        sync.WaitGroup
@@ -308,6 +310,13 @@ func bufferedRequest(br *bufio.Reader) bool {
 // Decide maps one policy request to an action. Exposed for testing and
 // for embedding in other servers.
 func (s *Server) Decide(req Request) Response {
+	return s.decide(req, nil)
+}
+
+// decide is Decide with an optional trace handle: when tr is non-nil
+// and the engine supports traced checks, the greylist verdict lands in
+// the trace.
+func (s *Server) decide(req Request, tr *trace.Trace) Response {
 	// Postgrey only acts at RCPT time; everything else passes.
 	if st := req.ProtocolState(); st != "" && st != "RCPT" {
 		return s.dunno()
@@ -315,7 +324,48 @@ func (s *Server) Decide(req Request) Response {
 	if req.ClientAddress() == "" || req.Recipient() == "" {
 		return s.dunno()
 	}
-	return s.actionFor(s.checker.Check(triplet(req)))
+	t := triplet(req)
+	var v greylist.Verdict
+	if tc, ok := s.checker.(greylist.TracedChecker); ok && tr != nil {
+		v = tc.CheckTraced(t, tr)
+	} else {
+		v = s.checker.Check(t)
+	}
+	return s.actionFor(v)
+}
+
+// SetTracer installs (or, with nil, removes) a transaction tracer.
+// While set, every policy request becomes one finished trace — the
+// parsed attributes, the greylist verdict and the wire action — and
+// batch decisions fall back to per-request checks so each request's
+// verdict is attributable. Safe to call concurrently with Serve.
+func (s *Server) SetTracer(t *trace.Tracer) {
+	if t == nil {
+		s.tracer.Store(nil)
+		return
+	}
+	s.tracer.Store(t)
+}
+
+// decideOneTraced runs one request under a fresh trace and finishes it
+// with the wire action's outcome.
+func (s *Server) decideOneTraced(t *trace.Tracer, req Request) Response {
+	tr := t.StartSession(trace.Tags{Defense: "policyd"}, req.ClientAddress(), nil)
+	resp := s.decide(req, tr)
+	action, _, _ := strings.Cut(resp.Action, " ")
+	tr.Policy(action, req.Recipient())
+	tr.Finish(policyOutcome(action))
+	return resp
+}
+
+// policyOutcome maps a wire action to the trace outcome label.
+func policyOutcome(action string) string {
+	switch action {
+	case "DEFER_IF_PERMIT":
+		return "deferred"
+	default: // DUNNO, PREPEND
+		return "passed"
+	}
 }
 
 // DecideBatch maps a run of policy requests to actions, answering
@@ -332,6 +382,14 @@ func (s *Server) DecideBatch(reqs []Request, out []Response) []Response {
 		out = make([]Response, len(reqs))
 	} else {
 		out = out[:len(reqs)]
+	}
+	if t := s.tracer.Load(); t != nil {
+		// Tracing mode: one trace per request, so each verdict is
+		// individually attributable. Forgoes the amortized batch check.
+		for i, req := range reqs {
+			out[i] = s.decideOneTraced(t, req)
+		}
+		return out
 	}
 	bc, ok := s.checker.(greylist.BatchChecker)
 	if !ok || len(reqs) == 1 {

@@ -1,0 +1,175 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/lab"
+	"repro/internal/trace"
+)
+
+// Attribution replays the Table II workload with end-to-end tracing
+// enabled and rebuilds every cell of the defense matrix from trace
+// evidence alone: for each family × sample × defense it reports the
+// attempt and delivery counts counted from finished traces, plus the
+// verdict chains — the ordered spans (dial refusal, greylist verdict,
+// SMTP reply, retry decision) that terminated each attempt. The derived
+// matrix is cross-checked against the runner's own aggregates; a
+// mismatch is an error, because it would mean the traces do not explain
+// the results they claim to.
+//
+// Output is deterministic at any worker count: every quantity is an
+// order-independent aggregate over the trace set, and trace IDs are
+// deliberately omitted (they differ run to run only in assignment
+// order, never in meaning).
+func Attribution(opts Options) (string, error) {
+	specs := lab.TableIISpecs(opts.Recipients)
+
+	// Size the ring exactly: each recipient costs at most 1 + retries
+	// attempts, and every attempt is one finished trace. Delivered
+	// recipients stop retrying, so this bounds the trace count from
+	// above and the ring never wraps.
+	capacity := 0
+	for _, s := range specs {
+		capacity += s.Recipients * (1 + len(s.Family.Retry.Peaks))
+	}
+	tracer := trace.New(capacity)
+
+	r := lab.Runner{Workers: opts.Workers, Tracer: tracer}
+	results, err := r.Run(specs)
+	if err != nil {
+		return "", err
+	}
+
+	// Fold the trace set into per-cell evidence.
+	type cell struct {
+		attempts  int
+		delivered int
+		chains    map[string]int
+	}
+	cells := make(map[string]*cell)
+	key := func(family string, sample int, defense string) string {
+		return fmt.Sprintf("%s|%d|%s", family, sample, defense)
+	}
+	for _, tr := range tracer.Snapshot() {
+		tags := tr.Tags()
+		k := key(tags.Family, tags.Sample, tags.Defense)
+		c := cells[k]
+		if c == nil {
+			c = &cell{chains: make(map[string]int)}
+			cells[k] = c
+		}
+		c.attempts++
+		if tr.Outcome() == "delivered" {
+			c.delivered++
+		}
+		c.chains[verdictChain(tr.Events())]++
+	}
+
+	var sb strings.Builder
+	sb.WriteString("Attribution (trace evidence): every Table II cell explained by its verdict chains\n")
+	sb.WriteString("(each chain is the ordered spans that terminated an attempt; counts prefix each chain)\n")
+
+	lastFamily := ""
+	for _, spec := range specs {
+		if spec.Family.Name != lastFamily {
+			fmt.Fprintf(&sb, "\n%s:\n", spec.Family.Name)
+			lastFamily = spec.Family.Name
+		}
+		defense := spec.Defense.String()
+		c := cells[key(spec.Family.Name, spec.SampleID, defense)]
+		if c == nil {
+			return "", fmt.Errorf("report: attribution: no traces for %s sample %d vs %s",
+				spec.Family.Name, spec.SampleID, defense)
+		}
+		verdict := "effective"
+		if c.delivered > 0 {
+			verdict = "INEFFECTIVE"
+		}
+		fmt.Fprintf(&sb, "  sample%d vs %-12s %-12s (%d attempts, %d delivered)\n",
+			spec.SampleID, defense+":", verdict, c.attempts, c.delivered)
+		for _, line := range sortedChains(c.chains) {
+			fmt.Fprintf(&sb, "    %s\n", line)
+		}
+	}
+
+	// Cross-check: the trace-derived matrix must reproduce the runner's.
+	rows := lab.MatrixFromResults(results)
+	for _, row := range rows {
+		grey := cells[key(row.Family, row.SampleID, "greylisting")]
+		nol := cells[key(row.Family, row.SampleID, "nolisting")]
+		if grey == nil || nol == nil {
+			return "", fmt.Errorf("report: attribution: missing traces for %s sample %d", row.Family, row.SampleID)
+		}
+		if (grey.delivered == 0) != row.GreylistingEffective || (nol.delivered == 0) != row.NolistingEffective {
+			return "", fmt.Errorf("report: attribution: trace-derived verdict for %s sample %d disagrees with the runner's aggregates",
+				row.Family, row.SampleID)
+		}
+	}
+	fmt.Fprintf(&sb, "\ncross-check: trace-derived matrix matches the runner's aggregates for all %d samples\n", len(rows))
+	return sb.String(), nil
+}
+
+// verdictChain compresses one attempt's events into the chain of spans
+// that decided it. Durations are omitted (retry jitter would fragment
+// identical chains); the trace itself retains them.
+func verdictChain(events []trace.Event) string {
+	var parts []string
+	for _, ev := range events {
+		switch ev.Kind {
+		case trace.KindDial:
+			if ev.Detail != "ok" {
+				// The error text repeats the dialed address; keep only
+				// its final segment ("connection refused", "host
+				// unreachable").
+				detail := ev.Detail
+				if i := strings.LastIndex(detail, ": "); i >= 0 {
+					detail = detail[i+2:]
+				}
+				parts = append(parts, "dial "+ev.Name+": "+detail)
+			}
+		case trace.KindGreylist:
+			// Detail is "(ip, sender, rcpt) reason"; keep the reason.
+			reason := ev.Detail
+			if i := strings.LastIndex(reason, ") "); i >= 0 {
+				reason = reason[i+2:]
+			}
+			parts = append(parts, "greylist "+ev.Name+" ("+reason+")")
+		case trace.KindVerb:
+			if ev.Code >= 400 {
+				parts = append(parts, fmt.Sprintf("%s %d", ev.Name, ev.Code))
+			}
+		case trace.KindQueue:
+			switch ev.Name {
+			case "retry-scheduled":
+				parts = append(parts, "retry scheduled")
+			case "no-retry":
+				parts = append(parts, "no retry")
+			}
+		case trace.KindOutcome:
+			parts = append(parts, "outcome "+ev.Name)
+		}
+	}
+	return strings.Join(parts, " -> ")
+}
+
+// sortedChains renders a chain histogram, most frequent first, ties
+// broken lexicographically — an order-independent aggregate.
+func sortedChains(chains map[string]int) []string {
+	keys := make([]string, 0, len(chains))
+	for k := range chains {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if chains[keys[i]] != chains[keys[j]] {
+			return chains[keys[i]] > chains[keys[j]]
+		}
+		return keys[i] < keys[j]
+	})
+	out := make([]string, len(keys))
+	for i, k := range keys {
+		out[i] = fmt.Sprintf("%dx %s", chains[k], k)
+	}
+	return out
+}

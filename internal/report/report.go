@@ -36,6 +36,7 @@ import (
 	"repro/internal/scan"
 	"repro/internal/simtime"
 	"repro/internal/stats"
+	"repro/internal/trace"
 	"repro/internal/webmail"
 )
 
@@ -59,6 +60,10 @@ type Options struct {
 	// their own rngs and virtual clocks independently, and results are
 	// assembled in request order.
 	Workers int
+	// Tracer, when non-nil, records every Table 2 delivery attempt as
+	// an end-to-end trace (the Attribution experiment always builds its
+	// own exactly-sized tracer). Tracing never changes any rendering.
+	Tracer *trace.Tracer
 }
 
 // Defaults returns laptop-scale options (seconds per experiment).
@@ -113,10 +118,12 @@ func Fig2(opts Options) (string, *scan.StudyResult, error) {
 
 // Table2 runs the 11-sample defense matrix on the lab spec runner.
 func Table2(opts Options) (string, []lab.MatrixRow, error) {
-	rows, err := lab.RunTableIIWorkers(opts.Recipients, opts.Workers)
+	r := lab.Runner{Workers: opts.Workers, Tracer: opts.Tracer}
+	results, err := r.Run(lab.TableIISpecs(opts.Recipients))
 	if err != nil {
 		return "", nil, err
 	}
+	rows := lab.MatrixFromResults(results)
 	out := "Table II: Effect of nolisting and greylisting on popular malware families\n" +
 		"(effective = the technique prevented all spam from being delivered)\n\n" +
 		lab.RenderTableII(rows)
@@ -332,7 +339,7 @@ func Synergy(opts Options) (string, error) {
 }
 
 // Experiment names accepted by Run.
-var Experiments = []string{"table1", "fig2", "table2", "fig3", "fig4", "fig5", "table3", "table4", "control", "obsolescence", "synergy"}
+var Experiments = []string{"table1", "fig2", "table2", "fig3", "fig4", "fig5", "table3", "table4", "control", "obsolescence", "synergy", "attribution"}
 
 // Run executes one named experiment and returns its rendering.
 func Run(name string, opts Options) (string, error) {
@@ -361,6 +368,8 @@ func Run(name string, opts Options) (string, error) {
 		return Obsolescence(opts)
 	case "synergy":
 		return Synergy(opts)
+	case "attribution":
+		return Attribution(opts)
 	default:
 		return "", fmt.Errorf("report: unknown experiment %q (have %s)", name, strings.Join(Experiments, ", "))
 	}

@@ -22,6 +22,7 @@ import (
 	"repro/internal/dnsresolver"
 	"repro/internal/netsim"
 	"repro/internal/smtpproto"
+	"repro/internal/trace"
 )
 
 // SMTPPort is the canonical SMTP port.
@@ -62,6 +63,34 @@ var _ Dialer = (*SimDialer)(nil)
 func (d *SimDialer) Dial(raddr string) (net.Conn, error) {
 	port := 10000 + d.port.Add(1)%50000
 	return d.Net.Dial(fmt.Sprintf("%s:%d", d.LocalIP, port), raddr)
+}
+
+// TraceDialer is implemented by dialers that can attach the caller's
+// trace to the connections they open, so the accepting server records
+// into the same trace (netsim-backed dialers).
+type TraceDialer interface {
+	Dialer
+	DialTrace(raddr string, tr *trace.Trace) (net.Conn, error)
+}
+
+var _ TraceDialer = (*SimDialer)(nil)
+
+// DialTrace implements TraceDialer: the dial outcome is recorded into
+// tr and the simulated connection carries it across the network.
+func (d *SimDialer) DialTrace(raddr string, tr *trace.Trace) (net.Conn, error) {
+	port := 10000 + d.port.Add(1)%50000
+	return d.Net.DialTrace(fmt.Sprintf("%s:%d", d.LocalIP, port), raddr, tr)
+}
+
+// dialTraced routes a dial through the dialer's traced path when it
+// has one; otherwise the plain dial is recorded client-side only.
+func dialTraced(dialer Dialer, raddr string, tr *trace.Trace) (net.Conn, error) {
+	if td, ok := dialer.(TraceDialer); ok && tr != nil {
+		return td.DialTrace(raddr, tr)
+	}
+	conn, err := dialer.Dial(raddr)
+	tr.Dial(raddr, err)
+	return conn, err
 }
 
 // Error is a non-2xx SMTP reply surfaced as an error.
@@ -111,6 +140,17 @@ func NewClient(conn net.Conn) (*Client, error) {
 // Dial connects to addr via dialer and consumes the banner.
 func Dial(dialer Dialer, addr string) (*Client, error) {
 	conn, err := dialer.Dial(addr)
+	if err != nil {
+		return nil, fmt.Errorf("smtpclient: dial %s: %w", addr, err)
+	}
+	return NewClient(conn)
+}
+
+// DialTrace is Dial with the caller's trace attached to the
+// connection (see TraceDialer). A nil trace behaves exactly like
+// Dial.
+func DialTrace(dialer Dialer, addr string, tr *trace.Trace) (*Client, error) {
+	conn, err := dialTraced(dialer, addr, tr)
 	if err != nil {
 		return nil, fmt.Errorf("smtpclient: dial %s: %w", addr, err)
 	}
@@ -320,7 +360,15 @@ type Receipt struct {
 // skipped and the working secondary gets the mail). A transient error on
 // one host moves on to the next; a permanent error aborts with a bounce.
 func DeliverMX(res *dnsresolver.Resolver, dialer Dialer, domain string, msg Message) Receipt {
-	hosts, err := res.LookupMX(domain)
+	return DeliverMXTrace(res, dialer, domain, msg, nil)
+}
+
+// DeliverMXTrace is DeliverMX with the whole walk recorded into tr:
+// the MX lookup, every dial (including the refused primary that a
+// nolisting defense presents), and the final outcome of each
+// contacted host. A nil trace makes it identical to DeliverMX.
+func DeliverMXTrace(res *dnsresolver.Resolver, dialer Dialer, domain string, msg Message, tr *trace.Trace) Receipt {
+	hosts, err := res.LookupMXTrace(domain, tr)
 	if err != nil {
 		return Receipt{Outcome: Unreachable, LastError: fmt.Errorf("resolving %s: %w", domain, err)}
 	}
@@ -330,7 +378,7 @@ func DeliverMX(res *dnsresolver.Resolver, dialer Dialer, domain string, msg Mess
 		for _, addr := range h.Addrs {
 			tried++
 			full := net.JoinHostPort(addr, SMTPPort)
-			outcome, err := attemptHost(dialer, full, msg)
+			outcome, err := attemptHostTrace(dialer, full, msg, tr)
 			switch outcome {
 			case Delivered:
 				return Receipt{Outcome: Delivered, Host: h.Host, Addr: full, HostsTried: tried}
@@ -351,9 +399,12 @@ func DeliverMX(res *dnsresolver.Resolver, dialer Dialer, domain string, msg Mess
 		LastError: fmt.Errorf("no reachable MX for %s", domain)}
 }
 
-// attemptHost runs one complete SMTP transaction against addr.
-func attemptHost(dialer Dialer, addr string, msg Message) (Outcome, error) {
-	client, err := Dial(dialer, addr)
+// attemptHostTrace runs one complete SMTP transaction against addr.
+// SMTP verb events are recorded by the server side of a simulated
+// connection (which shares tr via the carrier), so the client only
+// records the dial here — no double counting.
+func attemptHostTrace(dialer Dialer, addr string, msg Message, tr *trace.Trace) (Outcome, error) {
+	client, err := DialTrace(dialer, addr, tr)
 	if err != nil {
 		var smtpErr *Error
 		if errors.As(err, &smtpErr) {

@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/simtime"
 	"repro/internal/smtpproto"
+	"repro/internal/trace"
 )
 
 // Envelope is one accepted (or attempted) message delivery.
@@ -56,6 +57,11 @@ type Hooks struct {
 	OnMail func(clientIP, sender string) *smtpproto.Reply
 	// OnRcpt runs at RCPT TO — the greylisting decision point.
 	OnRcpt func(clientIP, sender, recipient string) *smtpproto.Reply
+	// OnRcptTraced, when set, is preferred over OnRcpt for lone RCPTs
+	// and additionally receives the session's trace handle (nil when
+	// the session is untraced), so the policy engine can record its
+	// verdict into the same per-attempt trace the client started.
+	OnRcptTraced func(tr *trace.Trace, clientIP, sender, recipient string) *smtpproto.Reply
 	// OnRcptBatch, when set, decides a pipelined burst of RCPT commands
 	// in one call (RFC 2920 clients send MAIL and every RCPT in a
 	// single write; a batch-capable policy engine amortizes its locking
@@ -130,6 +136,13 @@ type Config struct {
 	// wall-clock gaps are microseconds. Real deployments (greylistd)
 	// should set it; RFC 5321 §4.5.3.2 suggests 5 minutes.
 	ReadTimeout time.Duration
+	// Tracer, when set, starts a server-originated trace for every
+	// inbound session whose connection does not already carry one —
+	// the greylistd case, where real TCP clients have no trace handle.
+	// Simulated connections carrying the dialing client's trace
+	// (trace.Carrier) always record into that trace instead, tracer or
+	// not. Nil disables server-originated tracing at zero cost.
+	Tracer *trace.Tracer
 	// Hooks are the policy callbacks.
 	Hooks Hooks
 }
@@ -289,6 +302,17 @@ type session struct {
 	errors     int
 	trace      SessionTrace
 	tlsActive  bool
+
+	// tr is the conversation trace: carried by the connection (the
+	// dialing client's trace) or server-originated via Config.Tracer.
+	// Nil when tracing is off — every recording site nil-checks, so
+	// the untraced verb loop is byte-identical to before.
+	tr *trace.Trace
+	// ownTrace marks a server-originated trace this session must
+	// Finish (carried traces are finished by the dialing client).
+	ownTrace  bool
+	curVerb   string
+	verbStart time.Time
 }
 
 func (s *Server) serveConn(conn net.Conn) {
@@ -306,25 +330,70 @@ func (s *Server) serveConn(conn net.Conn) {
 		state:    stateConnected,
 		trace:    SessionTrace{ClientIP: clientIP, StartedAt: s.cfg.Clock.Now()},
 	}
+	sess.tr = trace.FromConn(conn)
+	if sess.tr == nil && s.cfg.Tracer != nil {
+		sess.tr = s.cfg.Tracer.StartSession(trace.Tags{}, clientIP, s.cfg.Clock.Now)
+		sess.ownTrace = true
+	}
+	if sess.tr != nil {
+		sess.curVerb = "connect"
+		sess.verbStart = s.cfg.Clock.Now()
+	}
 	if inst := s.inst.Load(); inst != nil {
 		start := time.Now()
-		defer func() { inst.sessionSeconds.ObserveDuration(time.Since(start)) }()
+		if sess.tr != nil {
+			// The session-latency bucket remembers this conversation as
+			// its exemplar, linking slow buckets to concrete dialogs.
+			defer func() { inst.sessionSeconds.ObserveDurationExemplar(time.Since(start), sess.tr.ID()) }()
+		} else {
+			defer func() { inst.sessionSeconds.ObserveDuration(time.Since(start)) }()
+		}
 	}
 	sess.run()
 	if hook := s.cfg.Hooks.OnSessionEnd; hook != nil {
 		sess.trace.EndedAt = s.cfg.Clock.Now()
 		hook(&sess.trace)
 	}
+	if sess.ownTrace {
+		sess.tr.Finish(sess.sessionOutcome())
+	}
+}
+
+// sessionOutcome classifies a server-originated trace at session end.
+func (sess *session) sessionOutcome() string {
+	if sess.trace.MessagesSent > 0 {
+		return "delivered"
+	}
+	for _, e := range sess.tr.Events() {
+		if e.Kind == trace.KindVerb && e.Code >= 400 && e.Code < 500 {
+			return "deferred"
+		}
+	}
+	return "no-delivery"
 }
 
 func (sess *session) reply(r smtpproto.Reply) bool {
 	if inst := sess.srv.inst.Load(); inst != nil {
 		inst.countReply(r.Code)
 	}
+	if sess.tr != nil {
+		sess.recordVerb(r)
+	}
 	if _, err := sess.bw.WriteString(r.String()); err != nil {
 		return false
 	}
 	return sess.bw.Flush() == nil
+}
+
+// recordVerb appends a per-verb trace event: the verb being answered,
+// the reply code and first reply line, and the verb's service time on
+// the server clock. Only called on traced sessions.
+func (sess *session) recordVerb(r smtpproto.Reply) {
+	detail := ""
+	if len(r.Lines) > 0 {
+		detail = r.Lines[0]
+	}
+	sess.tr.Verb(sess.curVerb, r.Code, detail, sess.srv.cfg.Clock.Now().Sub(sess.verbStart))
 }
 
 func (sess *session) run() {
@@ -357,6 +426,10 @@ func (sess *session) run() {
 		cmd, err := smtpproto.ParseCommand(line)
 		if err != nil {
 			sess.trace.Verbs = append(sess.trace.Verbs, "?")
+			if sess.tr != nil {
+				sess.curVerb = "?"
+				sess.verbStart = s.cfg.Clock.Now()
+			}
 			if inst := s.inst.Load(); inst != nil {
 				inst.other.Inc()
 			}
@@ -366,6 +439,10 @@ func (sess *session) run() {
 			continue
 		}
 		sess.trace.Verbs = append(sess.trace.Verbs, cmd.Verb)
+		if sess.tr != nil {
+			sess.curVerb = cmd.Verb
+			sess.verbStart = s.cfg.Clock.Now()
+		}
 		if inst := s.inst.Load(); inst != nil {
 			inst.countCommand(cmd.Verb)
 		}
@@ -520,10 +597,14 @@ func (sess *session) handleRcpt(arg string) bool {
 	return sess.reply(smtpproto.NewReply(250, "2.1.5", "Recipient OK"))
 }
 
-// rcptVerdict runs the policy hook for one recipient: OnRcpt when set,
-// otherwise OnRcptBatch as a length-1 batch, so an engine wired only for
-// batching still vets lone RCPTs.
+// rcptVerdict runs the policy hook for one recipient: OnRcptTraced when
+// set (it sees the session's trace handle, nil on untraced sessions),
+// then OnRcpt, otherwise OnRcptBatch as a length-1 batch, so an engine
+// wired only for batching still vets lone RCPTs.
 func (sess *session) rcptVerdict(rcpt string) *smtpproto.Reply {
+	if hook := sess.srv.cfg.Hooks.OnRcptTraced; hook != nil {
+		return hook(sess.tr, sess.clientIP, sess.sender, rcpt)
+	}
 	if hook := sess.srv.cfg.Hooks.OnRcpt; hook != nil {
 		return hook(sess.clientIP, sess.sender, rcpt)
 	}
@@ -544,6 +625,13 @@ func (sess *session) rcptVerdict(rcpt string) *smtpproto.Reply {
 func (sess *session) handleRcptPipeline(arg string) bool {
 	if sess.srv.cfg.Hooks.OnRcptBatch == nil ||
 		(sess.state != stateMail && sess.state != stateRcpt) {
+		return sess.handleRcpt(arg)
+	}
+	if sess.tr != nil && sess.srv.cfg.Hooks.OnRcptTraced != nil {
+		// Traced sessions take the serial path so every recipient's
+		// greylist decision lands in the trace; batching would decide
+		// the burst in one opaque call. Tracing is a debugging mode —
+		// fidelity beats the amortized locking here.
 		return sess.handleRcpt(arg)
 	}
 	args := sess.drainPipelinedRcpts(arg)
@@ -585,6 +673,12 @@ func (sess *session) handleRcptPipeline(arg string) bool {
 			// These replies bypass sess.reply (one flush per batch), so
 			// the class counters are fed here too.
 			inst.countReply(r.Code)
+		}
+		if sess.tr != nil {
+			// Same reason: the batch path skips sess.reply, so verb
+			// events are recorded here. Every reply in the burst shares
+			// the batch's service time.
+			sess.recordVerb(*r)
 		}
 		if _, err := sess.bw.WriteString(r.String()); err != nil {
 			return false

@@ -1,0 +1,97 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+// The disabled path is the contract: a nil handle must cost ≤1 ns/op
+// and 0 allocs/op, because every hot path (greylist.Check, the SMTP
+// verb loop, netsim.Dial) executes these calls unconditionally.
+
+func BenchmarkDisabledVerb(b *testing.B) {
+	var tc *Trace
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tc.Verb("RCPT", 451, "greylisted", time.Millisecond)
+	}
+}
+
+func BenchmarkDisabledGreylist(b *testing.B) {
+	var tc *Trace
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tc.Greylist("defer", "first-seen", "key", 300*time.Second, 1)
+	}
+}
+
+func BenchmarkDisabledDial(b *testing.B) {
+	var tc *Trace
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tc.Dial("10.0.0.1:25", nil)
+	}
+}
+
+func BenchmarkDisabledStartAttempt(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tc := tr.StartAttempt(Tags{}, "u@d", 0, nil)
+		tc.Finish("delivered")
+	}
+}
+
+// Enabled-path costs, for BENCH_trace.json.
+
+func BenchmarkEnabledVerb(b *testing.B) {
+	tr := New(1)
+	clock := newFakeClock()
+	tc := tr.StartAttempt(Tags{Family: "F"}, "u@d", 0, clock.Now)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tc.Verb("RCPT", 451, "greylisted", time.Millisecond)
+	}
+}
+
+func BenchmarkEnabledAttemptLifecycle(b *testing.B) {
+	tr := New(1024)
+	clock := newFakeClock()
+	tags := Tags{Family: "Kelihos", Defense: "greylisting", Sample: 3, Threshold: 300 * time.Second}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tc := tr.StartAttempt(tags, "u@d", 0, clock.Now)
+		tc.Dial("10.0.0.1:25", nil)
+		tc.Verb("HELO", 250, "", 0)
+		tc.Verb("MAIL", 250, "", 0)
+		tc.Verb("RCPT", 451, "greylisted", 0)
+		tc.Greylist("defer", "first-seen", "key", 300*time.Second, 1)
+		tc.Finish("deferred")
+	}
+}
+
+func BenchmarkRingPut(b *testing.B) {
+	r := NewRing(4096)
+	tr := New(1)
+	tc := tr.StartAttempt(Tags{}, "u@d", 0, newFakeClock().Now)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Put(tc)
+	}
+}
+
+func BenchmarkRingPutParallel(b *testing.B) {
+	r := NewRing(4096)
+	tr := New(1)
+	tc := tr.StartAttempt(Tags{}, "u@d", 0, newFakeClock().Now)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			r.Put(tc)
+		}
+	})
+}

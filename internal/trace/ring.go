@@ -1,0 +1,77 @@
+package trace
+
+import "sync/atomic"
+
+// Ring is a fixed-capacity lock-free buffer of finished traces. Put
+// claims a slot with one atomic increment and stores the trace with
+// one atomic pointer store; once the ring has wrapped, each Put
+// overwrites the oldest retained trace. Readers never block writers.
+type Ring struct {
+	slots []atomic.Pointer[Trace]
+	next  atomic.Uint64
+}
+
+// NewRing returns a ring retaining the most recent capacity traces
+// (clamped to at least 1).
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{slots: make([]atomic.Pointer[Trace], capacity)}
+}
+
+// Cap returns the ring's fixed capacity.
+func (r *Ring) Cap() int { return len(r.slots) }
+
+// Put stores t, evicting the oldest trace once the ring is full.
+func (r *Ring) Put(t *Trace) {
+	if t == nil {
+		return
+	}
+	i := r.next.Add(1) - 1
+	r.slots[i%uint64(len(r.slots))].Store(t)
+}
+
+// Len returns how many traces the ring currently retains.
+func (r *Ring) Len() int {
+	n := r.next.Load()
+	if n > uint64(len(r.slots)) {
+		n = uint64(len(r.slots))
+	}
+	// A slot is claimed before it is stored, so under a racing Put a
+	// claimed slot may still be empty; count only populated slots.
+	count := 0
+	for i := range r.slots {
+		if uint64(i) >= n {
+			break
+		}
+		if r.slots[i].Load() != nil {
+			count++
+		}
+	}
+	return count
+}
+
+// Snapshot returns the retained traces, oldest first. Under
+// concurrent Puts the snapshot is a best-effort consistent view:
+// slots claimed but not yet stored are skipped.
+func (r *Ring) Snapshot() []*Trace {
+	n := r.next.Load()
+	capa := uint64(len(r.slots))
+	out := make([]*Trace, 0, min(n, capa))
+	if n <= capa {
+		for i := uint64(0); i < n; i++ {
+			if t := r.slots[i].Load(); t != nil {
+				out = append(out, t)
+			}
+		}
+		return out
+	}
+	// Wrapped: oldest surviving trace sits at next % cap.
+	for i := uint64(0); i < capa; i++ {
+		if t := r.slots[(n+i)%capa].Load(); t != nil {
+			out = append(out, t)
+		}
+	}
+	return out
+}
