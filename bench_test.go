@@ -456,6 +456,26 @@ func BenchmarkRunStudy100k(b *testing.B) {
 	}
 }
 
+// BenchmarkRunStream100k runs the same 100k study through the
+// disk-backed streaming pipeline (derived population, columnar verdict
+// checkpoints, streaming join). Allocation reporting here covers the
+// whole run including file I/O; the flat-heap claim at 1M/10M/135M is
+// recorded in BENCH_scan.json from `nolistscan -stream` runs.
+func BenchmarkRunStream100k(b *testing.B) {
+	cfg := scan.DefaultConfig(100000, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, _, err := scan.RunStream(cfg, scan.StreamOpts{Dir: b.TempDir()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.EmailServers == 0 {
+			b.Fatal("empty study")
+		}
+	}
+}
+
 // BenchmarkScanDomain measures one domain observation on the glue-present
 // dataset-join path; the steady state must stay at 0 allocs/op (asserted
 // by TestScanDomainZeroAlloc).

@@ -8,9 +8,16 @@
 //
 //	nolistscan [-domains 20000] [-seed 1] [-workers 0] [-transient 0.01]
 //	           [-noglue 0.2] [-gap 1344h] [-truth] [-metrics FILE]
+//
+// At paper scale, run the disk-backed streaming pipeline instead of
+// materializing the population (output is byte-identical):
+//
+//	nolistscan -domains 135000000 -stream -checkpoint-dir /var/tmp/scan
+//	nolistscan -domains 135000000 -stream -checkpoint-dir /var/tmp/scan -resume
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,6 +27,7 @@ import (
 	"repro/internal/nolist"
 	"repro/internal/scan"
 	"repro/internal/simtime"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -39,6 +47,16 @@ func run() error {
 		truth     = flag.Bool("truth", false, "also print the ground-truth mixture")
 		workers   = flag.Int("workers", 0, "scan worker count (0 = GOMAXPROCS, 1 = serial); any count gives identical results")
 		metricsTo = flag.String("metrics", "", "write the scan metrics snapshot to this file ('-' = stdout)")
+
+		stream   = flag.Bool("stream", false, "run the disk-backed streaming pipeline (no materialized population; required for paper-scale runs)")
+		ckDir    = flag.String("checkpoint-dir", "", "streaming checkpoint directory for the per-shard verdict files (required with -stream)")
+		resume   = flag.Bool("resume", false, "resume a streaming run from the checkpoint directory's last durable chunks")
+		shards   = flag.Int("shards", 0, "streaming shard/file count per round (0 = GOMAXPROCS); does not affect output")
+		chunkDom = flag.Int("chunk-domains", 0, "streaming durability granule in domains per chunk (0 = 8192)")
+		sync     = flag.Bool("sync", false, "fsync every streaming chunk flush")
+		heapMax  = flag.Int64("heap-check", 0, "fail (exit 1) if the streaming run's peak heap exceeds this many bytes (0 = off)")
+		statsTo  = flag.String("stream-stats", "", "write the streaming run's stats as JSON to this file ('-' = stderr)")
+		traceTo  = flag.String("trace", "", "record streaming checkpoint/resume traces and write them as JSONL to this file ('-' = stdout)")
 	)
 	flag.Parse()
 
@@ -46,17 +64,60 @@ func run() error {
 	cfg.TransientFailure = *transient
 	cfg.NoGlueFrac = *noglue
 
-	pop, err := scan.Generate(cfg)
-	if err != nil {
-		return err
-	}
 	var reg *metrics.Registry
 	if *metricsTo != "" {
 		reg = metrics.NewRegistry()
-		pop.Register(reg)
 	}
-	clock := simtime.NewSim(simtime.Epoch)
-	res := scan.RunStudyWorkers(pop, clock, *gap, *workers)
+
+	var res *scan.StudyResult
+	var pop *scan.Population
+	if *stream {
+		var tracer *trace.Tracer
+		if *traceTo != "" {
+			tracer = trace.New(8) // two rounds + join per run, with headroom
+		}
+		opts := scan.StreamOpts{
+			Dir:          *ckDir,
+			Shards:       *shards,
+			Workers:      *workers,
+			ChunkDomains: *chunkDom,
+			Resume:       *resume,
+			Sync:         *sync,
+			Metrics:      reg,
+			Tracer:       tracer,
+			Progress:     os.Stderr,
+		}
+		var stats *scan.StreamStats
+		var err error
+		res, stats, err = scan.RunStream(cfg, opts)
+		if stats != nil {
+			if serr := dumpStreamStats(stats, *statsTo); serr != nil && err == nil {
+				err = serr
+			}
+		}
+		if tracer != nil {
+			if terr := dumpTraces(tracer, *traceTo); terr != nil && err == nil {
+				err = terr
+			}
+		}
+		if err != nil {
+			return err
+		}
+		if *heapMax > 0 && stats.PeakHeapBytes > uint64(*heapMax) {
+			return fmt.Errorf("peak heap %d bytes exceeds -heap-check %d", stats.PeakHeapBytes, *heapMax)
+		}
+	} else {
+		var err error
+		pop, err = scan.Generate(cfg)
+		if err != nil {
+			return err
+		}
+		if reg != nil {
+			pop.Register(reg)
+		}
+		clock := simtime.NewSim(simtime.Epoch)
+		res = scan.RunStudyWorkers(pop, clock, *gap, *workers)
+	}
 
 	fmt.Print(res.RenderPie())
 	fmt.Printf("\nemail servers: %d, resolved addresses: %d, re-resolutions: %d\n",
@@ -69,7 +130,7 @@ func run() error {
 	fmt.Printf("Alexa: nolisting in top-15: %d, top-500: %d, top-1000: %d\n",
 		res.NolistingInTop15, res.NolistingInTop500, res.NolistingInTop1000)
 
-	if *truth {
+	if *truth && pop != nil {
 		counts := map[nolist.Category]int{}
 		for _, s := range pop.Specs {
 			counts[s.TrueCategory]++
@@ -85,6 +146,49 @@ func run() error {
 			return err
 		}
 	}
+	return nil
+}
+
+// dumpStreamStats writes the streaming run's stats as one JSON object
+// to path ("" = skip, "-" = stderr).
+func dumpStreamStats(stats *scan.StreamStats, path string) error {
+	if path == "" {
+		return nil
+	}
+	b, err := json.MarshalIndent(stats, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if path == "-" {
+		_, err = os.Stderr.Write(b)
+		return err
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote stream stats to %s\n", path)
+	return nil
+}
+
+// dumpTraces writes the run's finished checkpoint traces as JSONL to
+// path ("-" = stdout).
+func dumpTraces(tr *trace.Tracer, path string) error {
+	if path == "-" {
+		return tr.WriteJSONL(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteJSONL(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote checkpoint traces to %s\n", path)
 	return nil
 }
 

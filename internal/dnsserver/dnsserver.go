@@ -54,6 +54,19 @@ func NewZone(origin string) *Zone {
 // Origin returns the zone origin (canonical form).
 func (z *Zone) Origin() string { return z.origin }
 
+// Reset re-points the zone at a new origin, dropping every record and
+// the no-glue flag but keeping the record map's capacity. It exists for
+// single-goroutine scratch zones (a streaming scan worker synthesizes
+// one domain's zone per query into the same Zone); concurrent readers
+// of a Reset zone see an inconsistent origin/record mix.
+func (z *Zone) Reset(origin string) {
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	z.origin = dnsmsg.CanonicalName(origin)
+	clear(z.records)
+	z.noGlue.Store(false)
+}
+
 // SetNoGlue controls whether MX answers include the exchangers' A records
 // in the additional section. Glue is included by default.
 func (z *Zone) SetNoGlue(noGlue bool) {
@@ -166,6 +179,11 @@ type Server struct {
 	zmu   sync.Mutex
 	zones atomic.Pointer[map[string]*Zone]
 
+	// fallback, when installed, synthesizes zones for names no
+	// registered zone covers — the streaming scan path's zone source
+	// (derive-on-demand instead of 135 M registered zones).
+	fallback atomic.Pointer[func(name string) *Zone]
+
 	// OnQuery, when non-nil, observes every question handled. The lab
 	// uses it to record which MX lookups each malware model performs.
 	// It must be set before serving begins.
@@ -226,6 +244,20 @@ func (s *Server) Zone(origin string) *Zone {
 	return (*s.zones.Load())[dnsmsg.CanonicalName(origin)]
 }
 
+// SetFallback installs fn (nil removes it) as the zone source of last
+// resort: findZone consults it — with the canonical queried name — only
+// after the registered zones, including a root zone, miss. The returned
+// zone is used for that one answer and never registered, so fn may
+// return a reused scratch zone; it then must only be called from one
+// goroutine at a time (give each scan worker its own Server).
+func (s *Server) SetFallback(fn func(name string) *Zone) {
+	if fn == nil {
+		s.fallback.Store(nil)
+		return
+	}
+	s.fallback.Store(&fn)
+}
+
 // findZone returns the longest-suffix zone containing name.
 func (s *Server) findZone(name string) *Zone {
 	name = dnsmsg.CanonicalName(name)
@@ -240,7 +272,13 @@ func (s *Server) findZone(name string) *Zone {
 		}
 		candidate = candidate[dot+1:]
 	}
-	return zones[""]
+	if z := zones[""]; z != nil {
+		return z
+	}
+	if fb := s.fallback.Load(); fb != nil {
+		return (*fb)(name)
+	}
+	return nil
 }
 
 const maxCNAMEChain = 8

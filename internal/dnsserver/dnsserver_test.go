@@ -339,3 +339,82 @@ func TestCloseIdempotentAndBlocksNewTransports(t *testing.T) {
 		t.Fatal("ListenAndServeUDP succeeded after Close")
 	}
 }
+
+func TestZoneReset(t *testing.T) {
+	z := NewZone("one.example")
+	z.SetNoGlue(true)
+	z.MustAdd(dnsmsg.RR{Name: "one.example", Type: dnsmsg.TypeA, TTL: 300, Data: dnsmsg.MustIPv4("10.0.0.1")})
+
+	z.Reset("two.example")
+	if z.Origin() != "two.example" {
+		t.Fatalf("origin after Reset: %q", z.Origin())
+	}
+	if rrs, exists := z.Lookup("one.example", dnsmsg.TypeA); exists || len(rrs) != 0 {
+		t.Fatal("old records survived Reset")
+	}
+	if z.noGlue.Load() {
+		t.Fatal("noGlue flag survived Reset")
+	}
+	// The reset zone accepts records under its new origin.
+	z.MustAdd(dnsmsg.RR{Name: "mx.two.example", Type: dnsmsg.TypeA, TTL: 300, Data: dnsmsg.MustIPv4("10.0.0.2")})
+	if _, exists := z.Lookup("mx.two.example", dnsmsg.TypeA); !exists {
+		t.Fatal("record missing after Reset+Add")
+	}
+}
+
+func TestFallbackZoneSource(t *testing.T) {
+	s := New()
+	registered := NewZone("real.example")
+	registered.MustAdd(dnsmsg.RR{Name: "real.example", Type: dnsmsg.TypeA, TTL: 300, Data: dnsmsg.MustIPv4("10.0.0.1")})
+	s.AddZone(registered)
+
+	calls := 0
+	scratch := NewZone("placeholder")
+	s.SetFallback(func(name string) *Zone {
+		calls++
+		if name != "synth.example" && name != "mx.synth.example" {
+			return nil
+		}
+		scratch.Reset("synth.example")
+		scratch.MustAdd(dnsmsg.RR{Name: "synth.example", Type: dnsmsg.TypeMX, TTL: 300,
+			Data: dnsmsg.MX{Preference: 10, Host: "mx.synth.example"}})
+		scratch.MustAdd(dnsmsg.RR{Name: "mx.synth.example", Type: dnsmsg.TypeA, TTL: 300,
+			Data: dnsmsg.MustIPv4("10.0.0.9")})
+		return scratch
+	})
+
+	query := func(name string, typ dnsmsg.Type) *dnsmsg.Message {
+		return s.Handle(&dnsmsg.Message{
+			Header:    dnsmsg.Header{ID: 1, OpCode: dnsmsg.OpQuery},
+			Questions: []dnsmsg.Question{{Name: name, Type: typ, Class: dnsmsg.ClassINET}},
+		})
+	}
+
+	// Registered zones win; the fallback is not consulted for them.
+	if resp := query("real.example", dnsmsg.TypeA); resp.Header.RCode != dnsmsg.RCodeSuccess || len(resp.Answers) != 1 {
+		t.Fatalf("registered zone answer: %+v", resp)
+	}
+	if calls != 0 {
+		t.Fatalf("fallback consulted %d times for a registered zone", calls)
+	}
+
+	// Unregistered names go to the fallback — with glue resolved through
+	// it as well.
+	resp := query("synth.example", dnsmsg.TypeMX)
+	if resp.Header.RCode != dnsmsg.RCodeSuccess || len(resp.Answers) != 1 {
+		t.Fatalf("fallback MX answer: %+v", resp)
+	}
+	if len(resp.Additional) != 1 {
+		t.Fatalf("fallback answer carried %d glue records, want 1", len(resp.Additional))
+	}
+
+	// Names the fallback rejects are refused, as with no zone at all.
+	if resp := query("other.net", dnsmsg.TypeA); resp.Header.RCode != dnsmsg.RCodeRefused {
+		t.Fatalf("unmatched name RCode = %v, want refused", resp.Header.RCode)
+	}
+
+	s.SetFallback(nil)
+	if resp := query("synth.example", dnsmsg.TypeMX); resp.Header.RCode != dnsmsg.RCodeRefused {
+		t.Fatalf("fallback survived removal: %+v", resp)
+	}
+}

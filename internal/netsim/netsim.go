@@ -55,12 +55,27 @@ type shard struct {
 	down      map[string]bool      // "ip" -> host marked down
 }
 
+// DownOracle derives host downness instead of materializing it. While
+// one is installed (SetDownOracle), a host is unreachable when either
+// its SetHostDown flag or the oracle says so — letting a paper-scale
+// scan window impose millions of transient failures without writing a
+// single down-map entry. Implementations must be safe for concurrent
+// use and fast: the oracle sits on the dial and probe hot paths.
+type DownOracle interface {
+	// HostDown reports whether the host with the given IP is down.
+	HostDown(ip string) bool
+	// HostDownBytes is HostDown over a byte-slice IP, so probe loops
+	// holding a scratch buffer never convert it to a string.
+	HostDownBytes(ip []byte) bool
+}
+
 // Network is the in-memory Internet. The zero value is not usable; create
 // one with New. All methods are safe for concurrent use.
 type Network struct {
 	shards  [shardCount]shard
 	dials   atomic.Uint64
 	refused atomic.Uint64
+	oracle  atomic.Pointer[DownOracle]
 }
 
 // New returns an empty Network.
@@ -156,7 +171,7 @@ func (n *Network) DialTrace(laddr, raddr string, tr *trace.Trace) (net.Conn, err
 	n.dials.Add(1)
 	sh := n.shardOf(rhost)
 	sh.mu.RLock()
-	if sh.down[rhost] {
+	if sh.down[rhost] || n.oracleDown(rhost) {
 		sh.mu.RUnlock()
 		err = fmt.Errorf("netsim: dial %s: %w", raddr, ErrHostUnreachable)
 		tr.Dial(raddr, err)
@@ -187,6 +202,29 @@ func (n *Network) DialTrace(laddr, raddr string, tr *trace.Trace) (net.Conn, err
 	}
 }
 
+// SetDownOracle installs (or, with nil, removes) a derived-downness
+// oracle. The oracle augments — never replaces — the explicit
+// SetHostDown flags.
+func (n *Network) SetDownOracle(o DownOracle) {
+	if o == nil {
+		n.oracle.Store(nil)
+		return
+	}
+	n.oracle.Store(&o)
+}
+
+// oracleDown consults the installed oracle, if any, for a string host.
+func (n *Network) oracleDown(host string) bool {
+	p := n.oracle.Load()
+	return p != nil && (*p).HostDown(host)
+}
+
+// oracleDownBytes consults the installed oracle for a byte-slice host.
+func (n *Network) oracleDownBytes(host []byte) bool {
+	p := n.oracle.Load()
+	return p != nil && (*p).HostDownBytes(host)
+}
+
 // SetHostDown marks every port of the host with the given IP unreachable
 // (down=true) or reachable again (down=false). Listeners stay bound; a host
 // coming back up resumes accepting.
@@ -201,12 +239,13 @@ func (n *Network) SetHostDown(ip string, isDown bool) {
 	}
 }
 
-// HostDown reports whether the host is currently marked down.
+// HostDown reports whether the host is currently marked down, either
+// explicitly or by the installed oracle.
 func (n *Network) HostDown(ip string) bool {
 	sh := n.shardOf(ip)
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
-	return sh.down[ip]
+	return sh.down[ip] || n.oracleDown(ip)
 }
 
 // Listening reports whether any listener is bound to addr and its host is
@@ -220,7 +259,7 @@ func (n *Network) Listening(addr string) bool {
 	sh := n.shardOf(host)
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
-	if sh.down[host] {
+	if sh.down[host] || n.oracleDown(host) {
 		return false
 	}
 	_, ok := sh.listeners[addr]
@@ -245,7 +284,7 @@ func (n *Network) ListeningAddr(addr []byte) bool {
 	sh := n.shardOfBytes(addr[:hostLen])
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
-	if sh.down[string(addr[:hostLen])] {
+	if sh.down[string(addr[:hostLen])] || n.oracleDownBytes(addr[:hostLen]) {
 		return false
 	}
 	_, ok := sh.listeners[string(addr)]

@@ -260,3 +260,54 @@ func TestConcurrentDials(t *testing.T) {
 	cwg.Wait()
 	wg.Wait()
 }
+
+// stringSetOracle is a test DownOracle backed by a fixed host set.
+type stringSetOracle map[string]bool
+
+func (o stringSetOracle) HostDown(ip string) bool      { return o[ip] }
+func (o stringSetOracle) HostDownBytes(ip []byte) bool { return o[string(ip)] }
+
+func TestDownOracle(t *testing.T) {
+	n := New()
+	if _, err := n.Listen("10.0.0.1:25"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Listen("10.0.0.2:25"); err != nil {
+		t.Fatal(err)
+	}
+	n.SetDownOracle(stringSetOracle{"10.0.0.1": true})
+
+	if n.Listening("10.0.0.1:25") {
+		t.Error("oracle-down host reported listening")
+	}
+	if !n.Listening("10.0.0.2:25") {
+		t.Error("oracle-up host reported not listening")
+	}
+	if !n.ListeningAddr([]byte("10.0.0.2:25")) {
+		t.Error("ListeningAddr disagrees with Listening for up host")
+	}
+	if n.ListeningAddr([]byte("10.0.0.1:25")) {
+		t.Error("ListeningAddr disagrees with Listening for oracle-down host")
+	}
+	if !n.HostDown("10.0.0.1") || n.HostDown("10.0.0.2") {
+		t.Error("HostDown ignores the oracle")
+	}
+	if _, err := n.Dial("192.168.0.1:5000", "10.0.0.1:25"); !errors.Is(err, ErrHostUnreachable) {
+		t.Errorf("dial to oracle-down host: %v, want ErrHostUnreachable", err)
+	}
+
+	// The oracle augments, never replaces, explicit flags.
+	n.SetHostDown("10.0.0.2", true)
+	if !n.HostDown("10.0.0.2") {
+		t.Error("explicit down flag lost while oracle installed")
+	}
+	n.SetHostDown("10.0.0.2", false)
+
+	n.SetDownOracle(nil)
+	if n.HostDown("10.0.0.1") {
+		t.Error("oracle downness survived removal")
+	}
+	if !n.Listening("10.0.0.1:25") {
+		t.Error("host still down after oracle removed")
+	}
+}

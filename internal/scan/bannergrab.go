@@ -22,9 +22,10 @@ type SMTPDataset struct {
 	listening map[uint32]bool
 }
 
-// parseIPv4Key parses a dotted-quad string into the packed big-endian
-// key without allocating (dnsmsg.ParseIPv4 splits into substrings).
-func parseIPv4Key(s string) (uint32, bool) {
+// parseIPv4Key parses a dotted quad into the packed big-endian key
+// without allocating (dnsmsg.ParseIPv4 splits into substrings). Generic
+// over string and []byte so netsim oracles can key raw address buffers.
+func parseIPv4Key[T ~string | ~[]byte](s T) (uint32, bool) {
 	var key uint32
 	octet, digits, dots := 0, 0, 0
 	for i := 0; i < len(s); i++ {
@@ -154,7 +155,18 @@ func BannerGrab(p *Population, workers int) *SMTPDataset {
 // UseDataset switches the scanner from live port probes to dataset
 // joins, matching the paper's offline methodology. Passing nil reverts
 // to live probing.
-func (s *Scanner) UseDataset(ds *SMTPDataset) { s.dataset = ds }
+func (s *Scanner) UseDataset(ds *SMTPDataset) {
+	if ds == nil {
+		s.dataset = nil // avoid a typed-nil interface
+		return
+	}
+	s.dataset = ds
+}
+
+// useLiveness installs an arbitrary liveness source — the streaming
+// path's derived oracle, which answers the same join an SMTPDataset
+// would without materializing the address table.
+func (s *Scanner) useLiveness(src livenessSource) { s.dataset = src }
 
 // listeningA is the scanner's liveness primitive: a dataset join when
 // one is loaded, a live probe (through the scratch address buffer)

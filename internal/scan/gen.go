@@ -1,0 +1,323 @@
+// Deterministic per-index population derivation. Everything the scan
+// pipeline needs to know about domain i — its name, ground-truth
+// category, MX topology, glue behaviour, per-round transient failures
+// and Alexa rank — is a pure function of (Config, i). The materialized
+// path (Generate) and the disk-backed streaming path (RunStream) both
+// consume this one derivation, which is what makes their outputs
+// byte-identical: neither path owns any population state the other
+// lacks, so a 135 M-domain study can run without ever materializing a
+// Specs slice, a zone set or a target table.
+//
+// Categories are assigned through a seeded format-preserving
+// permutation (a four-round Feistel network cycle-walked onto [0, n)):
+// position perm(i) is compared against the exact largest-remainder
+// apportionment of the mixture, so the population hits the Figure 2
+// fractions exactly — like the old shuffle did — while any single
+// index's category is computable in O(1) with no retained state.
+package scan
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"repro/internal/nolist"
+)
+
+// maxMXHosts is the widest derived MX topology (the two-tier BLBFO
+// setup). The address allocator reserves this many host slots per
+// domain index.
+const maxMXHosts = 4
+
+// genVersion is baked into the checkpoint config hash: any change to
+// the derivation below invalidates on-disk verdict files, which must
+// refuse to resume rather than silently join incompatible rounds.
+const genVersion = 1
+
+// mxShape is a multi-MX domain's topology, following Ruohonen's BLBFO
+// study (PAPERS.md): real multi-MX deployments mix plain fail-over
+// pairs with shared-priority load balancing and combined
+// balancing+backup tiers.
+type mxShape uint8
+
+const (
+	// shapePair: the classic primary/backup fail-over pair (pref 0/15).
+	shapePair mxShape = iota
+	// shapeBalanced: three exchangers sharing one preference — DNS
+	// round-robin load balancing, no fail-over tier.
+	shapeBalanced
+	// shapeTiered: a balanced primary tier (two hosts, pref 0) backed
+	// by a balanced backup tier (two hosts, pref 15).
+	shapeTiered
+)
+
+// derivedDomain is domain i's ground truth, derived on demand.
+type derivedDomain struct {
+	Cat    nolist.Category
+	NoGlue bool
+	// Hosts is the number of MX exchangers with A records (0 for
+	// DNS-misconfigured domains, whose single MX target resolves to
+	// nothing). Pref and Live describe slots [0, Hosts).
+	Hosts int
+	Pref  [maxMXHosts]uint16
+	Live  [maxMXHosts]bool
+}
+
+// domainGen derives domains from (Config, index). It is immutable
+// after construction and safe for concurrent use by any number of
+// shard workers.
+type domainGen struct {
+	cfg Config
+	n   int
+
+	// cum are cumulative category counts over permuted positions, in
+	// the fixed order one-MX, multi-MX, nolisting, misconfigured
+	// (exact largest-remainder apportionment of the mixture).
+	cum [4]int
+
+	// Feistel parameters: a balanced network over 2*half bits,
+	// cycle-walked onto [0, n).
+	half uint
+	mask uint64
+	keys [4]uint64
+
+	// Independent hash streams for the iid draws.
+	glueSeed      uint64
+	shapeSeed     uint64
+	transientSeed uint64
+}
+
+// newDomainGen validates cfg (applying the Figure 2 mixture when all
+// four fractions are zero) and builds the derivation.
+func newDomainGen(cfg Config) (*domainGen, error) {
+	if cfg.Domains <= 0 {
+		return nil, fmt.Errorf("scan: population size %d", cfg.Domains)
+	}
+	if cfg.FracOneMX == 0 && cfg.FracMultiMX == 0 && cfg.FracMisconfigured == 0 && cfg.FracNolisting == 0 {
+		cfg.FracOneMX, cfg.FracMultiMX = Fig2OneMX, Fig2MultiMX
+		cfg.FracMisconfigured, cfg.FracNolisting = Fig2Misconfigured, Fig2Nolisting
+	}
+	g := &domainGen{cfg: cfg, n: cfg.Domains}
+	counts := apportion(cfg.Domains, []float64{
+		cfg.FracOneMX, cfg.FracMultiMX, cfg.FracNolisting, cfg.FracMisconfigured,
+	})
+	sum := 0
+	for i, c := range counts {
+		sum += c
+		g.cum[i] = sum
+	}
+
+	g.half = 1
+	for g.n > 1 && uint64(1)<<(2*g.half) < uint64(g.n) {
+		g.half++
+	}
+	g.mask = uint64(1)<<g.half - 1
+	seed := uint64(cfg.Seed)
+	for i := range g.keys {
+		g.keys[i] = mix64(seed + uint64(i+1)*0x9e3779b97f4a7c15)
+	}
+	g.glueSeed = mix64(seed ^ 0x67e6c7459c6e49a1)
+	g.shapeSeed = mix64(seed ^ 0xd1342543de82ef95)
+	g.transientSeed = mix64(seed ^ 0xaf251af3b0f025b5)
+	return g, nil
+}
+
+// mix64 is the splitmix64 finalizer — the derivation's hash primitive.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// u01 returns an iid uniform draw in [0, 1) for stream position i.
+func u01(streamSeed, i uint64) float64 {
+	return float64(mix64(streamSeed+i*0xbf58476d1ce4e5b9)>>11) / (1 << 53)
+}
+
+// perm is a seeded bijection on [0, n): a balanced four-round Feistel
+// network over 2*half bits, cycle-walked until the ciphertext lands
+// inside the domain (expected < 4 rounds of walking since the cipher
+// space is < 4n).
+func (g *domainGen) perm(i int) int {
+	if g.n <= 1 {
+		return 0
+	}
+	x := uint64(i)
+	for {
+		l, r := x>>g.half, x&g.mask
+		for round := 0; round < 4; round++ {
+			l, r = r, l^(mix64(r^g.keys[round])&g.mask)
+		}
+		x = l<<g.half | r
+		if x < uint64(g.n) {
+			return int(x)
+		}
+	}
+}
+
+// category returns domain i's ground-truth category.
+func (g *domainGen) category(i int) nolist.Category {
+	pos := g.perm(i)
+	switch {
+	case pos < g.cum[0]:
+		return nolist.CatOneMX
+	case pos < g.cum[1]:
+		return nolist.CatMultiMX
+	case pos < g.cum[2]:
+		return nolist.CatNolisting
+	default:
+		return nolist.CatMisconfigured
+	}
+}
+
+// noGlue reports whether domain i's MX answers omit glue, forcing the
+// scanner's re-resolution step.
+func (g *domainGen) noGlue(i int) bool {
+	return u01(g.glueSeed, uint64(i)) < g.cfg.NoGlueFrac
+}
+
+// shape picks a multi-MX domain's BLBFO topology.
+func (g *domainGen) shape(i int) mxShape {
+	v := u01(g.shapeSeed, uint64(i))
+	switch {
+	case v < g.cfg.MXBalancedFrac:
+		return shapeBalanced
+	case v < g.cfg.MXBalancedFrac+g.cfg.MXTieredFrac:
+		return shapeTiered
+	default:
+		return shapePair
+	}
+}
+
+// transientDown reports whether domain i's primary exchanger happens to
+// be down during scan round r — the per-round noise the two-scan rule
+// exists to cancel. Only healthy (one-MX or multi-MX) primaries are
+// eligible; the caller checks eligibility.
+func (g *domainGen) transientDown(round, i int) bool {
+	return u01(g.transientSeed+uint64(round)*0xda942042e4dd58b5, uint64(i)) < g.cfg.TransientFailure
+}
+
+// domain derives domain i's full ground truth.
+func (g *domainGen) domain(i int) derivedDomain {
+	d := derivedDomain{Cat: g.category(i), NoGlue: g.noGlue(i)}
+	switch d.Cat {
+	case nolist.CatOneMX:
+		d.Hosts = 1
+		d.Pref[0] = 10
+		d.Live[0] = true
+	case nolist.CatMultiMX:
+		switch g.shape(i) {
+		case shapeBalanced:
+			d.Hosts = 3
+			for s := 0; s < 3; s++ {
+				d.Pref[s] = 10
+				d.Live[s] = true
+			}
+		case shapeTiered:
+			d.Hosts = 4
+			for s := 0; s < 4; s++ {
+				if s < 2 {
+					d.Pref[s] = 0
+				} else {
+					d.Pref[s] = 15
+				}
+				d.Live[s] = true
+			}
+		default:
+			d.Hosts = 2
+			d.Pref[0], d.Pref[1] = 0, 15
+			d.Live[0], d.Live[1] = true, true
+		}
+	case nolist.CatNolisting:
+		d.Hosts = 2
+		d.Pref[0], d.Pref[1] = 0, 15
+		d.Live[0], d.Live[1] = false, true // the dead primary
+	case nolist.CatMisconfigured:
+		// A single MX record whose target has no A record anywhere.
+	}
+	return d
+}
+
+// hostDown reports whether the host at (index, slot) is transiently
+// down during round r: only slot 0 of healthy domains ever is.
+func (g *domainGen) hostDown(round, index, slot int) bool {
+	if slot != 0 || index < 0 || index >= g.n {
+		return false
+	}
+	if c := g.category(index); c != nolist.CatOneMX && c != nolist.CatMultiMX {
+		return false
+	}
+	return g.transientDown(round, index)
+}
+
+// alexaRanks reproduces the rank planting of the paper's cross-check
+// over the derived categories: the first five nolisting domains (by
+// index) get ranks 10, 200, 400, 600 and 800; the first non-nolisting
+// domains take the remaining ranks 1..1000 in index order. Only a
+// ~1000-entry prefix of the population can carry a rank, so the table
+// is O(1) in the population size.
+func (g *domainGen) alexaRanks() map[int]int {
+	nolistRanks := [5]int{10, 200, 400, 600, 800}
+	totalNolisting := g.cum[2] - g.cum[1]
+	plantCount := len(nolistRanks)
+	if totalNolisting < plantCount {
+		plantCount = totalNolisting
+	}
+	planted := make(map[int]bool, plantCount)
+	for k := 0; k < plantCount; k++ {
+		planted[nolistRanks[k]] = true
+	}
+
+	ranks := make(map[int]int, 1000+plantCount)
+	plantedN, nextRank := 0, 1
+	for i := 0; i < g.n; i++ {
+		if plantedN == plantCount && nextRank > 1000 {
+			break
+		}
+		if g.category(i) == nolist.CatNolisting {
+			if plantedN < plantCount {
+				ranks[i] = nolistRanks[plantedN]
+				plantedN++
+			}
+			continue
+		}
+		if nextRank > 1000 {
+			continue
+		}
+		for planted[nextRank] {
+			nextRank++
+		}
+		if nextRank > 1000 {
+			continue
+		}
+		ranks[i] = nextRank
+		nextRank++
+	}
+	return ranks
+}
+
+// configHash fingerprints everything that determines the derived
+// population and on-disk verdict compatibility. A checkpoint written
+// under one hash refuses to resume under another.
+func (g *domainGen) configHash() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	put(genVersion)
+	put(uint64(g.cfg.Domains))
+	put(uint64(g.cfg.Seed))
+	for _, f := range []float64{
+		g.cfg.FracOneMX, g.cfg.FracMultiMX, g.cfg.FracMisconfigured, g.cfg.FracNolisting,
+		g.cfg.TransientFailure, g.cfg.NoGlueFrac,
+		g.cfg.MXBalancedFrac, g.cfg.MXTieredFrac,
+	} {
+		put(math.Float64bits(f))
+	}
+	return h.Sum64()
+}

@@ -1,0 +1,188 @@
+package scan
+
+import (
+	"testing"
+
+	"repro/internal/nolist"
+)
+
+// TestPermBijection verifies the category permutation really is a
+// bijection on [0, n) for awkward sizes (powers of two, one-off sizes,
+// tiny populations).
+func TestPermBijection(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 64, 1000, 4096, 4097} {
+		for _, seed := range []int64{0, 1, 42} {
+			g, err := newDomainGen(DefaultConfig(n, seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			seen := make([]bool, n)
+			for i := 0; i < n; i++ {
+				p := g.perm(i)
+				if p < 0 || p >= n {
+					t.Fatalf("n=%d seed=%d: perm(%d)=%d out of range", n, seed, i, p)
+				}
+				if seen[p] {
+					t.Fatalf("n=%d seed=%d: perm(%d)=%d already produced", n, seed, i, p)
+				}
+				seen[p] = true
+			}
+		}
+	}
+}
+
+// TestCategoryCountsExact verifies the derived categories hit the
+// largest-remainder apportionment of the mixture exactly — the
+// property that lets the streaming generator reproduce the old
+// shuffle's precision without retaining anything.
+func TestCategoryCountsExact(t *testing.T) {
+	cfg := DefaultConfig(10000, 3)
+	g, err := newDomainGen(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := apportion(cfg.Domains, []float64{
+		cfg.FracOneMX, cfg.FracMultiMX, cfg.FracNolisting, cfg.FracMisconfigured,
+	})
+	got := map[nolist.Category]int{}
+	for i := 0; i < cfg.Domains; i++ {
+		got[g.category(i)]++
+	}
+	if got[nolist.CatOneMX] != want[0] || got[nolist.CatMultiMX] != want[1] ||
+		got[nolist.CatNolisting] != want[2] || got[nolist.CatMisconfigured] != want[3] {
+		t.Fatalf("category counts %v, want %v", got, want)
+	}
+}
+
+// TestDerivedTopologies checks each category's derived MX layout and
+// that the BLBFO mixture produces all three multi-MX shapes.
+func TestDerivedTopologies(t *testing.T) {
+	g, err := newDomainGen(DefaultConfig(5000, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	shapes := map[int]int{}
+	for i := 0; i < g.n; i++ {
+		d := g.domain(i)
+		switch d.Cat {
+		case nolist.CatOneMX:
+			if d.Hosts != 1 || !d.Live[0] {
+				t.Fatalf("domain %d: one-MX layout %+v", i, d)
+			}
+		case nolist.CatMultiMX:
+			shapes[d.Hosts]++
+			for s := 0; s < d.Hosts; s++ {
+				if !d.Live[s] {
+					t.Fatalf("domain %d: multi-MX slot %d not live", i, s)
+				}
+			}
+		case nolist.CatNolisting:
+			if d.Hosts != 2 || d.Live[0] || !d.Live[1] {
+				t.Fatalf("domain %d: nolisting layout %+v", i, d)
+			}
+		case nolist.CatMisconfigured:
+			if d.Hosts != 0 {
+				t.Fatalf("domain %d: misconfigured has hosts %+v", i, d)
+			}
+		}
+	}
+	// Pair (2), balanced (3) and tiered (4) should all occur at 5000
+	// domains with the default 22%/9% mixture.
+	for _, hosts := range []int{2, 3, 4} {
+		if shapes[hosts] == 0 {
+			t.Fatalf("no multi-MX domain with %d hosts (shapes: %v)", hosts, shapes)
+		}
+	}
+}
+
+// TestHostDownEligibility: only slot 0 of healthy domains is ever
+// transiently down, and downness varies by round.
+func TestHostDownEligibility(t *testing.T) {
+	cfg := DefaultConfig(4000, 2)
+	cfg.TransientFailure = 0.5 // make downness common
+	g, err := newDomainGen(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	downs, diff := 0, 0
+	for i := 0; i < g.n; i++ {
+		cat := g.category(i)
+		healthy := cat == nolist.CatOneMX || cat == nolist.CatMultiMX
+		for slot := 0; slot < maxMXHosts; slot++ {
+			if g.hostDown(1, i, slot) && (slot != 0 || !healthy) {
+				t.Fatalf("domain %d cat %v slot %d reported down", i, cat, slot)
+			}
+		}
+		if g.hostDown(1, i, 0) {
+			downs++
+		}
+		if g.hostDown(1, i, 0) != g.hostDown(2, i, 0) {
+			diff++
+		}
+	}
+	if downs == 0 {
+		t.Fatal("no transient failures at 50% probability")
+	}
+	if diff == 0 {
+		t.Fatal("rounds 1 and 2 drew identical failures")
+	}
+}
+
+// TestConfigHashSensitivity: the checkpoint hash must change with any
+// parameter that changes the derived population.
+func TestConfigHashSensitivity(t *testing.T) {
+	base := DefaultConfig(1000, 1)
+	hash := func(cfg Config) uint64 {
+		g, err := newDomainGen(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g.configHash()
+	}
+	h0 := hash(base)
+	mutations := []func(*Config){
+		func(c *Config) { c.Domains = 1001 },
+		func(c *Config) { c.Seed = 2 },
+		func(c *Config) { c.TransientFailure = 0.02 },
+		func(c *Config) { c.NoGlueFrac = 0.3 },
+		func(c *Config) { c.MXBalancedFrac = 0.5 },
+		func(c *Config) { c.FracOneMX, c.FracMultiMX = c.FracMultiMX, c.FracOneMX },
+	}
+	for i, mut := range mutations {
+		cfg := base
+		mut(&cfg)
+		if hash(cfg) == h0 {
+			t.Errorf("mutation %d did not change the config hash", i)
+		}
+	}
+	if hash(base) != h0 {
+		t.Error("config hash is not deterministic")
+	}
+}
+
+// TestAlexaRanksDerived checks the derived rank table plants the
+// paper's finding exactly as the materialized path assigns it.
+func TestAlexaRanksDerived(t *testing.T) {
+	pop, err := Generate(DefaultConfig(3000, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := pop.gen
+	ranks := g.alexaRanks()
+	for i, spec := range pop.Specs {
+		if spec.AlexaRank != ranks[i] {
+			t.Fatalf("domain %d: spec rank %d, derived rank %d", i, spec.AlexaRank, ranks[i])
+		}
+	}
+	planted := map[int]bool{}
+	for i, rank := range ranks {
+		if g.category(i) == nolist.CatNolisting {
+			planted[rank] = true
+		}
+	}
+	for _, want := range []int{10, 200, 400, 600, 800} {
+		if !planted[want] {
+			t.Errorf("no nolisting domain at rank %d (planted: %v)", want, planted)
+		}
+	}
+}

@@ -9,10 +9,11 @@ import (
 )
 
 // TestStudyResultGolden pins the full StudyResult rendering for a fixed
-// seed to the bytes produced by the pre-streaming implementation
-// (testdata/golden_study.txt), across the serial scanner, the default
-// GOMAXPROCS pool and an oversubscribed 32-worker pool. Any drift —
-// classification, counter totals, formatting — fails byte-for-byte.
+// seed to testdata/golden_study.txt, across the serial scanner, the
+// default GOMAXPROCS pool and an oversubscribed 32-worker pool. Any
+// drift — classification, counter totals, formatting, or the shared
+// per-index derivation both the materialized and streaming paths
+// consume — fails byte-for-byte.
 func TestStudyResultGolden(t *testing.T) {
 	want, err := os.ReadFile("testdata/golden_study.txt")
 	if err != nil {

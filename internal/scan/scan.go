@@ -23,7 +23,6 @@ package scan
 
 import (
 	"fmt"
-	"math/rand"
 	"runtime"
 	"strconv"
 	"strings"
@@ -66,10 +65,21 @@ type Config struct {
 	// NoGlueFrac is the fraction of domains whose MX answers carry no
 	// glue, forcing the scanner's re-resolution step.
 	NoGlueFrac float64
+	// MXBalancedFrac and MXTieredFrac split the multi-MX population
+	// across the BLBFO topologies Ruohonen measured in the wild
+	// (PAPERS.md): shared-priority load balancing (three exchangers,
+	// one preference) and combined setups (a balanced primary tier
+	// backed by a balanced backup tier). The remainder publishes the
+	// classic primary/backup fail-over pair. Both zero means every
+	// multi-MX domain is a plain pair.
+	MXBalancedFrac float64
+	MXTieredFrac   float64
 }
 
 // DefaultConfig returns a population with the Figure 2 mixture, 1%
-// transient failures and 20% glue-less answers.
+// transient failures, 20% glue-less answers and the BLBFO multi-MX
+// topology mixture (load-balanced and tiered setups alongside plain
+// fail-over pairs, after Ruohonen's measurement study).
 func DefaultConfig(domains int, seed int64) Config {
 	return Config{
 		Domains:           domains,
@@ -80,6 +90,8 @@ func DefaultConfig(domains int, seed int64) Config {
 		FracNolisting:     Fig2Nolisting,
 		TransientFailure:  0.01,
 		NoGlueFrac:        0.2,
+		MXBalancedFrac:    0.22,
+		MXTieredFrac:      0.09,
 	}
 }
 
@@ -98,12 +110,15 @@ type DomainSpec struct {
 
 // Population is a generated synthetic Internet.
 type Population struct {
-	cfg     Config
-	Specs   []DomainSpec
-	DNS     *dnsserver.Server
-	Net     *netsim.Network
-	rng     *rand.Rand
-	downNow []string // primaries marked down for the current scan
+	cfg   Config
+	gen   *domainGen
+	Specs []DomainSpec
+	DNS   *dnsserver.Server
+	Net   *netsim.Network
+	// round counts BeginScan calls; the transient-failure oracle
+	// installed for the current scan window derives per-host downness
+	// from (seed, round, index) instead of materializing a down list.
+	round atomic.Int64
 
 	// targets and targetKeys are the banner-grab target list — every MX
 	// address in the population, precomputed once at Generate so each
@@ -116,49 +131,56 @@ type Population struct {
 }
 
 // Generate builds the population: one DNS zone and zero or more SMTP
-// listeners per domain according to its ground-truth category. Alexa
-// ranks 1..1000 are assigned so that, as the paper found, one nolisting
-// domain sits in the top 15, two in the top 500 and two more in the top
-// 1000 (population permitting).
+// listeners per domain according to its ground-truth category, all
+// derived from the same per-index generator the streaming path uses
+// (so a materialized study and a streamed one agree byte for byte).
+// Alexa ranks 1..1000 are assigned so that, as the paper found, one
+// nolisting domain sits in the top 15, two in the top 500 and two more
+// in the top 1000 (population permitting).
 func Generate(cfg Config) (*Population, error) {
-	if cfg.Domains <= 0 {
-		return nil, fmt.Errorf("scan: population size %d", cfg.Domains)
-	}
-	if cfg.FracOneMX == 0 && cfg.FracMultiMX == 0 && cfg.FracMisconfigured == 0 && cfg.FracNolisting == 0 {
-		cfg.FracOneMX, cfg.FracMultiMX = Fig2OneMX, Fig2MultiMX
-		cfg.FracMisconfigured, cfg.FracNolisting = Fig2Misconfigured, Fig2Nolisting
+	gen, err := newDomainGen(cfg)
+	if err != nil {
+		return nil, err
 	}
 	p := &Population{
-		cfg: cfg,
+		cfg: gen.cfg,
+		gen: gen,
 		DNS: dnsserver.New(),
 		Net: netsim.New(),
-		rng: rand.New(rand.NewSource(cfg.Seed)),
 	}
 
-	counts := apportion(cfg.Domains, []float64{
-		cfg.FracOneMX, cfg.FracMultiMX, cfg.FracNolisting, cfg.FracMisconfigured,
-	})
-	cats := make([]nolist.Category, 0, cfg.Domains)
-	for i, c := range []nolist.Category{nolist.CatOneMX, nolist.CatMultiMX, nolist.CatNolisting, nolist.CatMisconfigured} {
-		for k := 0; k < counts[i]; k++ {
-			cats = append(cats, c)
+	zones := make([]*dnsserver.Zone, 0, gen.n)
+	p.Specs = make([]DomainSpec, 0, gen.n)
+	for i := 0; i < gen.n; i++ {
+		d := gen.domain(i)
+		name := domainName(i)
+		zone := dnsserver.NewZone(name)
+		if err := populateZone(zone, name, i, &d); err != nil {
+			return nil, fmt.Errorf("scan: building %s: %w", name, err)
 		}
-	}
-	p.rng.Shuffle(len(cats), func(i, j int) { cats[i], cats[j] = cats[j], cats[i] })
-
-	zones := make([]*dnsserver.Zone, 0, len(cats))
-	p.Specs = make([]DomainSpec, 0, len(cats))
-	for i, cat := range cats {
-		spec, zone, err := p.buildDomain(i, domainName(i), cat)
-		if err != nil {
-			return nil, err
+		spec := DomainSpec{Name: name, TrueCategory: d.Cat}
+		if d.Hosts > 0 {
+			spec.PrimaryIP = ip(i, 0)
+		}
+		if d.Hosts > 1 {
+			spec.SecondaryIP = ip(i, 1)
+		}
+		for s := 0; s < d.Hosts; s++ {
+			if !d.Live[s] {
+				continue
+			}
+			if _, err := p.Net.Listen(ip(i, s) + ":25"); err != nil {
+				return nil, fmt.Errorf("scan: building %s: %w", name, err)
+			}
 		}
 		p.Specs = append(p.Specs, spec)
 		zones = append(zones, zone)
 	}
 	// One copy-on-write step instead of a map copy per zone.
 	p.DNS.AddZones(zones...)
-	p.assignAlexaRanks()
+	for i, rank := range gen.alexaRanks() {
+		p.Specs[i].AlexaRank = rank
+	}
 	p.buildTargets()
 	return p, nil
 }
@@ -178,22 +200,17 @@ func domainName(i int) string {
 	return string(dst)
 }
 
-// buildTargets precomputes the banner-grab target list: every MX address
-// in the population, with its dataset key. Addresses are unique by
-// construction (ip allocates one per domain/slot), so no dedup set is
-// needed.
+// buildTargets precomputes the banner-grab target list: every address
+// carrying an A record in the population (live or not — the paper's
+// zmap sweep probed everything the DNS dataset resolved), with its
+// dataset key. Addresses are unique by construction (ip allocates one
+// per domain/slot), so no dedup set is needed.
 func (p *Population) buildTargets() {
-	for _, s := range p.Specs {
-		for _, addr := range [2]string{s.PrimaryIP, s.SecondaryIP} {
-			if addr == "" {
-				continue
-			}
-			key, ok := parseIPv4Key(addr)
-			if !ok {
-				continue
-			}
-			p.targets = append(p.targets, addr)
-			p.targetKeys = append(p.targetKeys, key)
+	for i := 0; i < p.gen.n; i++ {
+		d := p.gen.domain(i)
+		for s := 0; s < d.Hosts; s++ {
+			p.targets = append(p.targets, ip(i, s))
+			p.targetKeys = append(p.targetKeys, ipKeyFor(i, s))
 		}
 	}
 }
@@ -227,138 +244,129 @@ func apportion(n int, fracs []float64) []int {
 	return counts
 }
 
-// ip allocates a unique address for (domain index, host slot).
+// ipBase anchors the synthetic address space at 16.0.0.0: key =
+// ipBase + index*maxMXHosts + slot, injective across 135 M domains
+// times four host slots.
+const ipBase = uint32(0x10000000)
+
+// ipKeyFor packs (domain index, host slot) into the address key.
+func ipKeyFor(index, slot int) uint32 {
+	return ipBase + uint32(index*maxMXHosts+slot)
+}
+
+// ip renders the unique address for (domain index, host slot).
 func ip(index, slot int) string {
-	n := index*2 + slot
+	key := ipKeyFor(index, slot)
 	var buf [15]byte
-	dst := append(buf[:0], '1', '0', '.')
-	dst = strconv.AppendUint(dst, uint64((n>>16)&255), 10)
+	dst := strconv.AppendUint(buf[:0], uint64(key>>24), 10)
 	dst = append(dst, '.')
-	dst = strconv.AppendUint(dst, uint64((n>>8)&255), 10)
+	dst = strconv.AppendUint(dst, uint64(key>>16&255), 10)
 	dst = append(dst, '.')
-	dst = strconv.AppendUint(dst, uint64(n&255), 10)
+	dst = strconv.AppendUint(dst, uint64(key>>8&255), 10)
+	dst = append(dst, '.')
+	dst = strconv.AppendUint(dst, uint64(key&255), 10)
 	return string(dst)
 }
 
-func (p *Population) buildDomain(index int, name string, cat nolist.Category) (DomainSpec, *dnsserver.Zone, error) {
-	spec := DomainSpec{Name: name, TrueCategory: cat}
-	zone := dnsserver.NewZone(name)
-	if p.rng.Float64() < p.cfg.NoGlueFrac {
-		zone.SetNoGlue(true)
+// ipIndex inverts ip: address key -> (domain index, host slot).
+func ipIndex(key uint32) (index, slot int, ok bool) {
+	if key < ipBase {
+		return 0, 0, false
 	}
-	addHost := func(host, addr string, listening bool) error {
-		if err := zone.Add(dnsmsg.RR{Name: host, Type: dnsmsg.TypeA, TTL: 300, Data: dnsmsg.MustIPv4(addr)}); err != nil {
+	q := int(key - ipBase)
+	return q / maxMXHosts, q % maxMXHosts, true
+}
+
+// hostName derives the s-th exchanger name of a domain: "mx.<name>"
+// for one-MX domains, "mx1.<name>".."mx4.<name>" otherwise.
+func hostName(name string, d *derivedDomain, s int) string {
+	if d.Cat == nolist.CatOneMX {
+		return "mx." + name
+	}
+	var buf [40]byte
+	dst := append(buf[:0], 'm', 'x', byte('1'+s), '.')
+	dst = append(dst, name...)
+	return string(dst)
+}
+
+// populateZone writes domain index's records into z — the one zone
+// builder both the materialized path (Generate, once per domain) and
+// the streaming path (a per-worker scratch zone, rebuilt on the fly)
+// use, so the DNS answers the scanner sees are identical bytes either
+// way.
+func populateZone(z *dnsserver.Zone, name string, index int, d *derivedDomain) error {
+	z.SetNoGlue(d.NoGlue)
+	if d.Cat == nolist.CatMisconfigured {
+		// An MX record whose target has no A record anywhere.
+		return z.Add(dnsmsg.RR{Name: name, Type: dnsmsg.TypeMX, TTL: 300,
+			Data: dnsmsg.MX{Preference: 10, Host: "ghost." + name}})
+	}
+	for s := 0; s < d.Hosts; s++ {
+		host := hostName(name, d, s)
+		if err := z.Add(dnsmsg.RR{Name: name, Type: dnsmsg.TypeMX, TTL: 300,
+			Data: dnsmsg.MX{Preference: d.Pref[s], Host: host}}); err != nil {
 			return err
 		}
-		if listening {
-			if _, err := p.Net.Listen(addr + ":25"); err != nil {
-				return err
-			}
-		}
-		return nil
 	}
-	addMX := func(pref uint16, host string) error {
-		return zone.Add(dnsmsg.RR{Name: name, Type: dnsmsg.TypeMX, TTL: 300,
-			Data: dnsmsg.MX{Preference: pref, Host: host}})
+	for s := 0; s < d.Hosts; s++ {
+		host := hostName(name, d, s)
+		if err := z.Add(dnsmsg.RR{Name: host, Type: dnsmsg.TypeA, TTL: 300,
+			Data: dnsmsg.MustIPv4(ip(index, s))}); err != nil {
+			return err
+		}
 	}
-
-	var err error
-	switch cat {
-	case nolist.CatOneMX:
-		spec.PrimaryIP = ip(index, 0)
-		if err = addMX(10, "mx."+name); err == nil {
-			err = addHost("mx."+name, spec.PrimaryIP, true)
-		}
-	case nolist.CatMultiMX:
-		spec.PrimaryIP, spec.SecondaryIP = ip(index, 0), ip(index, 1)
-		if err = addMX(0, "mx1."+name); err == nil {
-			err = addMX(15, "mx2."+name)
-		}
-		if err == nil {
-			err = addHost("mx1."+name, spec.PrimaryIP, true)
-		}
-		if err == nil {
-			err = addHost("mx2."+name, spec.SecondaryIP, true)
-		}
-	case nolist.CatNolisting:
-		spec.PrimaryIP, spec.SecondaryIP = ip(index, 0), ip(index, 1)
-		if err = addMX(0, "mx1."+name); err == nil {
-			err = addMX(15, "mx2."+name)
-		}
-		if err == nil {
-			err = addHost("mx1."+name, spec.PrimaryIP, false) // the dead primary
-		}
-		if err == nil {
-			err = addHost("mx2."+name, spec.SecondaryIP, true)
-		}
-	case nolist.CatMisconfigured:
-		// An MX record whose target has no A record anywhere.
-		err = addMX(10, "ghost."+name)
-	}
-	if err != nil {
-		return spec, nil, fmt.Errorf("scan: building %s: %w", name, err)
-	}
-	return spec, zone, nil
+	return nil
 }
 
-// assignAlexaRanks plants the paper's finding in the ground truth: of the
-// top-1000 ranks, nolisting domains get rank 10 (top-15), 200 and 400
-// (top-500), 600 and 800 (top-1000); the rest of the top ranks go to
-// ordinary domains.
-func (p *Population) assignAlexaRanks() {
-	nolistRanks := []int{10, 200, 400, 600, 800}
-	var nolisting, others []int
-	for i := range p.Specs {
-		if p.Specs[i].TrueCategory == nolist.CatNolisting {
-			nolisting = append(nolisting, i)
-		} else {
-			others = append(others, i)
-		}
-	}
-	used := make(map[int]bool)
-	for k, idx := range nolisting {
-		if k >= len(nolistRanks) {
-			break
-		}
-		p.Specs[idx].AlexaRank = nolistRanks[k]
-		used[nolistRanks[k]] = true
-	}
-	rank := 1
-	for _, idx := range others {
-		for used[rank] {
-			rank++
-		}
-		if rank > 1000 {
-			break
-		}
-		p.Specs[idx].AlexaRank = rank
-		used[rank] = true
-	}
+// transientOracle derives per-host downness for one scan round. It is
+// installed into netsim for the duration of a BeginScan/EndScan window
+// instead of materializing a down list — O(1) per round regardless of
+// population size, and the exact downness the streaming path derives.
+type transientOracle struct {
+	gen   *domainGen
+	round int
 }
 
-// BeginScan applies this scan's transient failures: every healthy
-// listening primary goes down with probability TransientFailure.
-// EndScan reverses them.
+func (o *transientOracle) down(key uint32, ok bool) bool {
+	if !ok {
+		return false
+	}
+	index, slot, ok := ipIndex(key)
+	return ok && o.gen.hostDown(o.round, index, slot)
+}
+
+// HostDown implements netsim.DownOracle.
+func (o *transientOracle) HostDown(host string) bool {
+	key, ok := parseIPv4Key(host)
+	return o.down(key, ok)
+}
+
+// HostDownBytes implements netsim.DownOracle.
+func (o *transientOracle) HostDownBytes(host []byte) bool {
+	key, ok := parseIPv4Key(host)
+	return o.down(key, ok)
+}
+
+// BeginScan opens a scan window: every healthy listening primary is
+// down with probability TransientFailure for the duration — the noise
+// source the two-scan rule exists to cancel. Downness is derived per
+// (seed, round, index) through a netsim oracle; nothing is
+// materialized. EndScan closes the window.
 func (p *Population) BeginScan() {
-	p.downNow = nil
-	for _, s := range p.Specs {
-		healthy := s.TrueCategory == nolist.CatOneMX || s.TrueCategory == nolist.CatMultiMX
-		if !healthy || s.PrimaryIP == "" {
-			continue
-		}
-		if p.rng.Float64() < p.cfg.TransientFailure {
-			p.Net.SetHostDown(s.PrimaryIP, true)
-			p.downNow = append(p.downNow, s.PrimaryIP)
-		}
-	}
+	round := int(p.round.Add(1))
+	p.Net.SetDownOracle(&transientOracle{gen: p.gen, round: round})
 }
 
 // EndScan brings transiently-down hosts back up.
 func (p *Population) EndScan() {
-	for _, ip := range p.downNow {
-		p.Net.SetHostDown(ip, false)
-	}
-	p.downNow = nil
+	p.Net.SetDownOracle(nil)
+}
+
+// livenessSource answers the banner-grab join for one A record: an
+// *SMTPDataset on the materialized path, a derived oracle on the
+// streaming path.
+type livenessSource interface {
+	ListeningA(a dnsmsg.A) bool
 }
 
 // Scanner runs the three-step observation pipeline over a population. It
@@ -369,7 +377,7 @@ func (p *Population) EndScan() {
 type Scanner struct {
 	srv     *dnsserver.Server
 	net     *netsim.Network
-	dataset *SMTPDataset
+	dataset livenessSource
 	// ReResolutions counts glue-less MX targets that needed a second
 	// lookup (the paper's parallel-scanner workload).
 	ReResolutions int
@@ -391,6 +399,13 @@ type Scanner struct {
 func NewScanner(p *Population, clock simtime.Clock) *Scanner {
 	_ = clock
 	return &Scanner{srv: p.DNS, net: p.Net}
+}
+
+// newScannerRaw builds a scanner over a bare server and network — the
+// streaming path's constructor, where no Population exists. net may be
+// nil if a liveness source is installed before scanning.
+func newScannerRaw(srv *dnsserver.Server, net *netsim.Network) *Scanner {
+	return &Scanner{srv: srv, net: net}
 }
 
 // query answers (name, t) into the given scratch response and returns it,
@@ -548,8 +563,12 @@ func scanVerdicts(p *Population, ds *SMTPDataset, workers int, out []Verdict) in
 	if workers < 1 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(p.Specs) {
-		workers = len(p.Specs)
+	// Workers claim verdictChunk-sized ranges, so more workers than
+	// chunks just idle; clamping to the chunk count (not the domain
+	// count) keeps small studies parallel instead of serializing every
+	// population under verdictChunk domains per worker onto one goroutine.
+	if max := (len(p.Specs) + verdictChunk - 1) / verdictChunk; workers > max {
+		workers = max
 	}
 	if workers <= 1 {
 		s := NewScanner(p, nil)

@@ -1,0 +1,588 @@
+package scan
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dnsmsg"
+	"repro/internal/dnsserver"
+	"repro/internal/metrics"
+	"repro/internal/nolist"
+	"repro/internal/trace"
+)
+
+// ErrInterrupted reports a streaming study stopped at a chunk boundary
+// before finishing (the StopAfterChunks test hook); everything flushed
+// so far is durable and a -resume run picks up from it.
+var ErrInterrupted = errors.New("scan: stream interrupted (checkpoint retained)")
+
+// defaultChunkDomains is the durability granule: how many domains a
+// shard worker scans between chunk flushes. 8192 verdicts is a 64 KiB
+// payload — large enough that checksum and write-call overhead
+// vanishes, small enough that an interrupted 135 M-domain study loses
+// at most a fraction of a second of work.
+const defaultChunkDomains = 8192
+
+// StreamOpts configures RunStream.
+type StreamOpts struct {
+	// Dir is the checkpoint directory holding the per-shard verdict
+	// files (created if missing). Required.
+	Dir string
+	// Shards is the number of index-range shards (and verdict files)
+	// per round; 0 means GOMAXPROCS. The shard count does not affect
+	// the study output, only file layout and available parallelism.
+	Shards int
+	// Workers is how many shards are scanned concurrently; 0 means
+	// GOMAXPROCS (capped at the shard count).
+	Workers int
+	// ChunkDomains is the durability granule; 0 means 8192.
+	ChunkDomains int
+	// Resume picks up from the verdict files already in Dir, rescanning
+	// only past each shard's last durable chunk. Refuses (with
+	// ErrCheckpointMismatch) if they were written under a different
+	// configuration. Without Resume, existing files are overwritten.
+	Resume bool
+	// Sync fsyncs every chunk flush. Off, durability is the OS page
+	// cache's promise — fine for benchmarks, not for surviving power
+	// loss.
+	Sync bool
+	// Metrics, when non-nil, receives the scan_stream_* counters.
+	Metrics *metrics.Registry
+	// Tracer, when non-nil, records one trace per scan round with
+	// checkpoint events (resumes, rescans, shard completions), so
+	// /debug/traces can show where a resumed study spent its time.
+	Tracer *trace.Tracer
+	// Progress, when non-nil, receives one-line progress reports every
+	// ProgressEvery (default 5s).
+	Progress io.Writer
+	// ProgressEvery is the progress report period; 0 means 5s.
+	ProgressEvery time.Duration
+	// StopAfterChunks aborts the run with ErrInterrupted after that
+	// many chunk flushes across all shards — the crash-injection hook
+	// the resume tests use. 0 means run to completion.
+	StopAfterChunks int64
+}
+
+// StreamStats reports what a streaming run did and cost.
+type StreamStats struct {
+	Domains         int
+	Shards          int
+	ChunksWritten   int64
+	ChunksResumed   int64
+	DomainsScanned  int64
+	DomainsResumed  int64
+	CheckpointBytes int64
+	TornShards      int
+	PeakHeapBytes   uint64
+	RoundSeconds    [2]float64
+	JoinSeconds     float64
+}
+
+// streamInstruments is the scan_stream_* metric set.
+type streamInstruments struct {
+	chunksWritten   *metrics.Counter
+	chunksResumed   *metrics.Counter
+	domainsScanned  *metrics.Counter
+	domainsResumed  *metrics.Counter
+	resumes         *metrics.Counter
+	checkpointBytes *metrics.Counter
+}
+
+func newStreamInstruments(reg *metrics.Registry) *streamInstruments {
+	if reg == nil {
+		return nil
+	}
+	return &streamInstruments{
+		chunksWritten: reg.Counter("scan_stream_chunks_written_total",
+			"Verdict chunks flushed to checkpoint files."),
+		chunksResumed: reg.Counter("scan_stream_chunks_resumed_total",
+			"Durable verdict chunks reused from a previous run."),
+		domainsScanned: reg.Counter("scan_stream_domains_scanned_total",
+			"Domains scanned by streaming workers (both rounds)."),
+		domainsResumed: reg.Counter("scan_stream_domains_resumed_total",
+			"Domains skipped because a resumed chunk already covered them."),
+		resumes: reg.Counter("scan_stream_resumes_total",
+			"Shard files resumed from a previous run."),
+		checkpointBytes: reg.Counter("scan_stream_checkpoint_bytes_total",
+			"Bytes appended to checkpoint files."),
+	}
+}
+
+// synthSource derives DNS zones and banner-grab liveness on demand for
+// one scan round. It is the streaming replacement for the materialized
+// population: installed as a dnsserver fallback it synthesizes the
+// queried domain's zone into a reused scratch Zone (so the scanner
+// sees byte-identical answers to the materialized path), and as the
+// scanner's livenessSource it answers the SMTP-dataset join from the
+// derived topology and the round's transient-failure draw. One
+// synthSource serves one worker; it is not safe for concurrent use.
+type synthSource struct {
+	gen   *domainGen
+	round int
+
+	zone      *dnsserver.Zone
+	zoneIndex int
+
+	dIndex int
+	d      derivedDomain
+}
+
+func newSynthSource(gen *domainGen, round int) *synthSource {
+	return &synthSource{
+		gen:       gen,
+		round:     round,
+		zone:      dnsserver.NewZone("example"),
+		zoneIndex: -1,
+		dIndex:    -1,
+	}
+}
+
+// parseDomainIndex extracts the domain index from any name inside a
+// synthetic zone ("d000123.example", "mx1.d000123.example",
+// "ghost.d000123.example", ...). ok is false for foreign names.
+func parseDomainIndex(name string) (int, bool) {
+	const suffix = ".example"
+	if !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	label := name[:len(name)-len(suffix)]
+	if dot := strings.LastIndexByte(label, '.'); dot >= 0 {
+		label = label[dot+1:]
+	}
+	if len(label) < 2 || label[0] != 'd' {
+		return 0, false
+	}
+	i := 0
+	for k := 1; k < len(label); k++ {
+		c := label[k]
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		i = i*10 + int(c-'0')
+		if i < 0 {
+			return 0, false
+		}
+	}
+	return i, true
+}
+
+// derived returns domain index's topology through a one-entry cache —
+// the scanner touches the same domain several times per query (MX
+// answer, glue, liveness joins).
+func (s *synthSource) derived(index int) *derivedDomain {
+	if index != s.dIndex {
+		s.d = s.gen.domain(index)
+		s.dIndex = index
+	}
+	return &s.d
+}
+
+// zoneFor implements the dnsserver fallback: synthesize the queried
+// domain's zone into the scratch Zone and hand it back.
+func (s *synthSource) zoneFor(name string) *dnsserver.Zone {
+	index, ok := parseDomainIndex(name)
+	if !ok || index >= s.gen.n {
+		return nil
+	}
+	if index != s.zoneIndex {
+		dn := domainName(index)
+		s.zone.Reset(dn)
+		if populateZone(s.zone, dn, index, s.derived(index)) != nil {
+			return nil
+		}
+		s.zoneIndex = index
+	}
+	return s.zone
+}
+
+// ListeningA implements livenessSource: the same join an SMTPDataset
+// built by BannerGrab under this round's transient failures would
+// answer, derived instead of materialized.
+func (s *synthSource) ListeningA(a dnsmsg.A) bool {
+	index, slot, ok := ipIndex(ipKey(a))
+	if !ok || index >= s.gen.n {
+		return false
+	}
+	d := s.derived(index)
+	if slot >= d.Hosts || !d.Live[slot] {
+		return false
+	}
+	return !s.gen.hostDown(s.round, index, slot)
+}
+
+// streamRun carries the shared state of one RunStream invocation.
+type streamRun struct {
+	gen   *domainGen
+	opts  StreamOpts
+	hdrOf func(round, shard int) shardHeader
+	inst  *streamInstruments
+	stats StreamStats
+
+	shards, workers, chunk int
+
+	flushed  atomic.Int64 // chunk flushes, for StopAfterChunks
+	scanned  atomic.Int64 // domains scanned, for progress
+	resumed  atomic.Int64 // domains skipped via resume
+	chunksW  atomic.Int64
+	chunksR  atomic.Int64
+	ckBytes  atomic.Int64
+	tornN    atomic.Int64
+	resumesN atomic.Int64
+
+	peakHeap atomic.Uint64
+}
+
+// sampleHeap records the current heap size into the peak.
+func (r *streamRun) sampleHeap() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	for {
+		old := r.peakHeap.Load()
+		if ms.HeapAlloc <= old || r.peakHeap.CompareAndSwap(old, ms.HeapAlloc) {
+			return
+		}
+	}
+}
+
+// RunStream executes the full two-scan Section IV-A study as a
+// disk-backed streaming pipeline: no Specs slice, no zone set, no
+// target table — every per-domain fact is derived from (Config, index)
+// on the fly, workers append verdict chunks to per-shard checkpoint
+// files, and the final classification is a sequential merge of the two
+// rounds' files. The result is byte-identical to
+// Generate+RunStudyWorkers on the same Config, for any shard, worker
+// and chunk size, and — via opts.Resume — across interrupted runs.
+func RunStream(cfg Config, opts StreamOpts) (*StudyResult, *StreamStats, error) {
+	gen, err := newDomainGen(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	if opts.Dir == "" {
+		return nil, nil, errors.New("scan: RunStream needs a checkpoint directory")
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	run := &streamRun{gen: gen, opts: opts, inst: newStreamInstruments(opts.Metrics)}
+	run.chunk = opts.ChunkDomains
+	if run.chunk <= 0 {
+		run.chunk = defaultChunkDomains
+	}
+	run.shards = opts.Shards
+	if run.shards <= 0 {
+		run.shards = runtime.GOMAXPROCS(0)
+	}
+	// No point sharding finer than one chunk per shard.
+	if max := (gen.n + run.chunk - 1) / run.chunk; run.shards > max {
+		run.shards = max
+	}
+	if run.shards < 1 {
+		run.shards = 1
+	}
+	run.workers = opts.Workers
+	if run.workers <= 0 {
+		run.workers = runtime.GOMAXPROCS(0)
+	}
+	if run.workers > run.shards {
+		run.workers = run.shards
+	}
+	cfgHash := gen.configHash()
+	per := (gen.n + run.shards - 1) / run.shards
+	run.hdrOf = func(round, shard int) shardHeader {
+		lo := shard * per
+		hi := lo + per
+		if hi > gen.n {
+			hi = gen.n
+		}
+		return shardHeader{
+			Round: round, Shard: shard, Shards: run.shards,
+			Lo: lo, Hi: hi, CfgHash: cfgHash, ChunkDomains: run.chunk,
+		}
+	}
+
+	stopProgress := run.startProgress()
+	defer stopProgress()
+
+	for round := 1; round <= 2; round++ {
+		started := time.Now()
+		if err := run.runRound(round); err != nil {
+			run.fill()
+			return nil, &run.stats, err
+		}
+		run.stats.RoundSeconds[round-1] = time.Since(started).Seconds()
+	}
+
+	joinStart := time.Now()
+	res, err := run.join()
+	run.stats.JoinSeconds = time.Since(joinStart).Seconds()
+	run.sampleHeap()
+	run.fill()
+	if err != nil {
+		return nil, &run.stats, err
+	}
+	return res, &run.stats, nil
+}
+
+// fill copies the atomics into the exported stats.
+func (r *streamRun) fill() {
+	r.stats.Domains = r.gen.n
+	r.stats.Shards = r.shards
+	r.stats.ChunksWritten = r.chunksW.Load()
+	r.stats.ChunksResumed = r.chunksR.Load()
+	r.stats.DomainsScanned = r.scanned.Load()
+	r.stats.DomainsResumed = r.resumed.Load()
+	r.stats.CheckpointBytes = r.ckBytes.Load()
+	r.stats.TornShards = int(r.tornN.Load())
+	r.stats.PeakHeapBytes = r.peakHeap.Load()
+}
+
+// startProgress launches the progress/heap sampler; the returned stop
+// function is idempotent.
+func (r *streamRun) startProgress() func() {
+	every := r.opts.ProgressEvery
+	if every <= 0 {
+		every = 5 * time.Second
+	}
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				r.sampleHeap()
+				if w := r.opts.Progress; w != nil {
+					total := int64(r.gen.n) * 2
+					did := r.scanned.Load() + r.resumed.Load()
+					fmt.Fprintf(w, "scan: %d/%d domain-rounds (%.1f%%), heap peak %.1f MiB\n",
+						did, total, 100*float64(did)/float64(total),
+						float64(r.peakHeap.Load())/(1<<20))
+				}
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
+}
+
+// runRound scans every shard of one round, spreading shards over the
+// worker pool. The round's trace (one per round) records resume and
+// completion checkpoints per shard.
+func (r *streamRun) runRound(round int) error {
+	tr := r.opts.Tracer.StartSession(trace.Tags{Family: "scan-stream", Sample: round}, "", nil)
+	outcome := "complete"
+	defer func() { tr.Finish(outcome) }()
+
+	// Pre-fill the work queue so no goroutine ever blocks on it: a
+	// worker that hits an error simply stops draining, and the flag
+	// makes the surviving workers skip the remaining shards.
+	shardCh := make(chan int, r.shards)
+	for s := 0; s < r.shards; s++ {
+		shardCh <- s
+	}
+	close(shardCh)
+	var (
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		firstE error
+	)
+	failed := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return firstE != nil
+	}
+	for w := 0; w < r.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := range shardCh {
+				if failed() {
+					return
+				}
+				if err := r.runShard(round, s, tr); err != nil {
+					mu.Lock()
+					if firstE == nil {
+						firstE = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstE != nil {
+		if errors.Is(firstE, ErrInterrupted) {
+			outcome = "interrupted"
+		} else {
+			outcome = "error"
+		}
+		return firstE
+	}
+	return nil
+}
+
+// runShard scans one shard of one round from its last durable chunk to
+// the end, flushing a chunk every ChunkDomains domains.
+func (r *streamRun) runShard(round, shard int, tr *trace.Trace) error {
+	started := time.Now()
+	hdr := r.hdrOf(round, shard)
+	path := filepath.Join(r.opts.Dir, shardFileName(round, shard))
+	w, info, err := openShard(path, hdr, r.opts.Resume, r.opts.Sync)
+	if err != nil {
+		return err
+	}
+	defer w.close()
+
+	if info.ValidChunks > 0 || info.Torn {
+		r.chunksR.Add(int64(info.ValidChunks))
+		r.resumed.Add(int64(info.Next - hdr.Lo))
+		r.resumesN.Add(1)
+		if r.inst != nil {
+			r.inst.chunksResumed.Add(uint64(info.ValidChunks))
+			r.inst.domainsResumed.Add(uint64(info.Next - hdr.Lo))
+			r.inst.resumes.Inc()
+		}
+		detail := fmt.Sprintf("shard %d: resume at %d (range %d-%d)", shard, info.Next, hdr.Lo, hdr.Hi)
+		if info.Torn {
+			r.tornN.Add(1)
+			detail += ", torn tail rescanned"
+		}
+		tr.Checkpoint("resume", detail, info.ValidChunks, 0)
+	}
+
+	src := newSynthSource(r.gen, round)
+	srv := dnsserver.New()
+	srv.SetFallback(src.zoneFor)
+	sc := newScannerRaw(srv, nil)
+	sc.useLiveness(src)
+
+	lastReRe := 0
+	for next := info.Next; next < hdr.Hi; {
+		k := (next - hdr.Lo) / r.chunk
+		_, chi := hdr.chunkBounds(k)
+		for i := next; i < chi; i++ {
+			w.append(sc.ScanVerdict(domainName(i)))
+		}
+		if err := w.flushChunk(sc.ReResolutions - lastReRe); err != nil {
+			return err
+		}
+		lastReRe = sc.ReResolutions
+		r.scanned.Add(int64(chi - next))
+		r.chunksW.Add(1)
+		if r.inst != nil {
+			r.inst.chunksWritten.Inc()
+			r.inst.domainsScanned.Add(uint64(chi - next))
+		}
+		next = chi
+		if limit := r.opts.StopAfterChunks; limit > 0 && r.flushed.Add(1) >= limit {
+			tr.Checkpoint("interrupt", fmt.Sprintf("shard %d: stopped after chunk ending at %d", shard, next), int(limit), 0)
+			r.ckBytes.Add(w.bytesWritten)
+			if r.inst != nil {
+				r.inst.checkpointBytes.Add(uint64(w.bytesWritten))
+			}
+			return fmt.Errorf("%w: stopped after %d chunk flushes", ErrInterrupted, limit)
+		}
+	}
+	r.ckBytes.Add(w.bytesWritten)
+	if r.inst != nil {
+		r.inst.checkpointBytes.Add(uint64(w.bytesWritten))
+	}
+	tr.Checkpoint("shard-done", fmt.Sprintf("shard %d: range %d-%d", shard, hdr.Lo, hdr.Hi),
+		hdr.Hi-info.Next, time.Since(started))
+	return nil
+}
+
+// join merges the two rounds' verdict files sequentially into the
+// final StudyResult — the same arithmetic RunStudyWorkers performs
+// over its in-memory verdict slices, but over one chunk of each round
+// at a time, so a 135 M-domain join holds two chunk buffers and the
+// O(1000) Alexa rank table in memory and nothing else.
+func (r *streamRun) join() (*StudyResult, error) {
+	tr := r.opts.Tracer.StartSession(trace.Tags{Family: "scan-stream", Sample: 3}, "", nil)
+	outcome := "complete"
+	defer func() { tr.Finish(outcome) }()
+
+	res := &StudyResult{
+		Counts:    make(map[nolist.Category]int),
+		Fractions: make(map[nolist.Category]float64),
+	}
+	ranks := r.gen.alexaRanks()
+	changed := 0
+	for shard := 0; shard < r.shards; shard++ {
+		hdr1, hdr2 := r.hdrOf(1, shard), r.hdrOf(2, shard)
+		r1, err := openShardReader(filepath.Join(r.opts.Dir, shardFileName(1, shard)), hdr1)
+		if err != nil {
+			outcome = "error"
+			return nil, err
+		}
+		r2, err := openShardReader(filepath.Join(r.opts.Dir, shardFileName(2, shard)), hdr2)
+		if err != nil {
+			r1.close()
+			outcome = "error"
+			return nil, err
+		}
+		for i := hdr1.Lo; i < hdr1.Hi; i++ {
+			v1, err1 := r1.next()
+			v2, err2 := r2.next()
+			if err1 != nil || err2 != nil {
+				r1.close()
+				r2.close()
+				outcome = "error"
+				if err1 == nil {
+					err1 = err2
+				}
+				return nil, fmt.Errorf("scan: join shard %d at %d: %w", shard, i, err1)
+			}
+			c1, c2 := v1.Category(), v2.Category()
+			if c1 == nolist.CatNolisting {
+				res.SingleScanNolisting++
+			}
+			if c1 != c2 {
+				changed++
+			}
+			final := nolist.FinalFromCategories(c1, c2)
+			res.Counts[final]++
+			if final != r.gen.category(i) {
+				res.Misclassified++
+			}
+			if final == nolist.CatNolisting {
+				switch rank := ranks[i]; {
+				case rank == 0:
+				case rank <= 15:
+					res.NolistingInTop15++
+					res.NolistingInTop500++
+					res.NolistingInTop1000++
+				case rank <= 500:
+					res.NolistingInTop500++
+					res.NolistingInTop1000++
+				case rank <= 1000:
+					res.NolistingInTop1000++
+				}
+			}
+			res.EmailServers += int(v1.MXs)
+			res.ResolvedIPs += int(v1.Resolved)
+		}
+		res.ReResolutions += r1.ReRe + r2.ReRe
+		r1.close()
+		r2.close()
+		tr.Checkpoint("join-shard", fmt.Sprintf("shard %d joined", shard), hdr1.Hi-hdr1.Lo, 0)
+	}
+	if n := r.gen.n; n > 0 {
+		res.ChangeBetweenScans = float64(changed) / float64(n)
+		for c, k := range res.Counts {
+			res.Fractions[c] = float64(k) / float64(n)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,312 @@
+package scan
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/simtime"
+	"repro/internal/trace"
+)
+
+// streamTestConfig is the population the identity tests compare on:
+// the full 100k the issue names, 20k under -short.
+func streamTestConfig(t *testing.T) Config {
+	t.Helper()
+	n := 100000
+	if testing.Short() {
+		n = 20000
+	}
+	return DefaultConfig(n, 1)
+}
+
+// materializedRender runs the classic Generate+RunStudyWorkers path
+// and renders the result.
+func materializedRender(t *testing.T, cfg Config) string {
+	t.Helper()
+	pop, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return RunStudyWorkers(pop, simtime.NewSim(simtime.Epoch), 56*24*time.Hour, 0).RenderFull()
+}
+
+// TestStreamByteIdentity is the golden byte-identity guarantee: the
+// streaming pipeline's full rendering equals the materialized path's,
+// for any shard/worker/chunk partitioning.
+func TestStreamByteIdentity(t *testing.T) {
+	cfg := streamTestConfig(t)
+	want := materializedRender(t, cfg)
+	layouts := []StreamOpts{
+		{Shards: 1, Workers: 1},
+		{Shards: 4, Workers: 2, ChunkDomains: 1000},
+		{Shards: 7, Workers: 7, ChunkDomains: 513},
+	}
+	for _, opts := range layouts {
+		opts.Dir = t.TempDir()
+		res, stats, err := RunStream(cfg, opts)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", opts.Shards, err)
+		}
+		if got := res.RenderFull(); got != want {
+			t.Errorf("shards=%d workers=%d chunk=%d: streaming output differs from materialized:\ngot:\n%s\nwant:\n%s",
+				opts.Shards, opts.Workers, opts.ChunkDomains, got, want)
+		}
+		if stats.DomainsScanned != int64(2*cfg.Domains) {
+			t.Errorf("shards=%d: scanned %d domain-rounds, want %d",
+				opts.Shards, stats.DomainsScanned, 2*cfg.Domains)
+		}
+	}
+}
+
+// TestStreamInterruptResume interrupts a streaming study at a chunk
+// boundary and resumes it; the resumed run must skip the durable
+// prefix and produce byte-identical output.
+func TestStreamInterruptResume(t *testing.T) {
+	cfg := streamTestConfig(t)
+	want := materializedRender(t, cfg)
+	dir := t.TempDir()
+	opts := StreamOpts{Dir: dir, Shards: 3, Workers: 1, ChunkDomains: 2048}
+
+	interrupted := opts
+	interrupted.StopAfterChunks = 5
+	if _, _, err := RunStream(cfg, interrupted); !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("interrupted run returned %v, want ErrInterrupted", err)
+	}
+
+	resumed := opts
+	resumed.Resume = true
+	reg := metrics.NewRegistry()
+	resumed.Metrics = reg
+	res, stats, err := RunStream(cfg, resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.RenderFull(); got != want {
+		t.Errorf("resumed output differs from uninterrupted:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	if stats.ChunksResumed == 0 || stats.DomainsResumed == 0 {
+		t.Errorf("resume reused nothing: %+v", stats)
+	}
+	if stats.DomainsScanned+stats.DomainsResumed != int64(2*cfg.Domains) {
+		t.Errorf("scanned %d + resumed %d != %d domain-rounds",
+			stats.DomainsScanned, stats.DomainsResumed, 2*cfg.Domains)
+	}
+}
+
+// TestStreamCrashRecovery simulates torn writes — a truncated chunk in
+// one shard file, a corrupted CRC in another — and asserts resume
+// detects both, rescans only past the valid prefix, and still matches
+// the uninterrupted result byte for byte.
+func TestStreamCrashRecovery(t *testing.T) {
+	cfg := DefaultConfig(6000, 4)
+	want := materializedRender(t, cfg)
+	dir := t.TempDir()
+	opts := StreamOpts{Dir: dir, Shards: 2, Workers: 1, ChunkDomains: 500}
+	if _, _, err := RunStream(cfg, opts); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the tail off round 2, shard 1: a chunk whose trailer never
+	// made it to disk.
+	torn := filepath.Join(dir, shardFileName(2, 1))
+	st, err := os.Stat(torn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(torn, st.Size()-17); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt a payload byte mid-file in round 1, shard 0: its chunk's
+	// CRC no longer matches, so that chunk and everything after must be
+	// rescanned.
+	corrupt := filepath.Join(dir, shardFileName(1, 0))
+	f, err := os.OpenFile(corrupt, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{0xff}, shardHeaderSize+3*int64(500*verdictRecSize+chunkTrailerSize)+11); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	resumed := opts
+	resumed.Resume = true
+	res, stats, err := RunStream(cfg, resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.RenderFull(); got != want {
+		t.Errorf("recovered output differs:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	if stats.TornShards != 2 {
+		t.Errorf("TornShards = %d, want 2 (one truncated, one corrupted)", stats.TornShards)
+	}
+	if stats.DomainsScanned == 0 || stats.DomainsResumed == 0 {
+		t.Errorf("recovery should rescan some domains and reuse others: %+v", stats)
+	}
+	// The valid prefix before the corrupted chunk 3 must have been
+	// reused, not rescanned.
+	if stats.ChunksResumed < 3 {
+		t.Errorf("ChunksResumed = %d, want at least the 3 chunks before the corruption", stats.ChunksResumed)
+	}
+}
+
+// TestStreamConfigMismatchRefuses: resuming under any config change
+// must refuse with ErrCheckpointMismatch, not silently join
+// incompatible rounds.
+func TestStreamConfigMismatchRefuses(t *testing.T) {
+	cfg := DefaultConfig(3000, 4)
+	dir := t.TempDir()
+	opts := StreamOpts{Dir: dir, Shards: 2, ChunkDomains: 500}
+	if _, _, err := RunStream(cfg, opts); err != nil {
+		t.Fatal(err)
+	}
+	for name, mut := range map[string]func(*Config){
+		"seed":      func(c *Config) { c.Seed = 5 },
+		"domains":   func(c *Config) { c.Domains = 3001 },
+		"transient": func(c *Config) { c.TransientFailure = 0.5 },
+	} {
+		changed := cfg
+		mut(&changed)
+		resumed := opts
+		resumed.Resume = true
+		if _, _, err := RunStream(changed, resumed); !errors.Is(err, ErrCheckpointMismatch) {
+			t.Errorf("%s change: resume returned %v, want ErrCheckpointMismatch", name, err)
+		}
+	}
+	// The unchanged config must still resume (and scan nothing).
+	resumed := opts
+	resumed.Resume = true
+	_, stats, err := RunStream(cfg, resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.DomainsScanned != 0 {
+		t.Errorf("complete checkpoint rescanned %d domains", stats.DomainsScanned)
+	}
+}
+
+// TestStreamTraceEvents: checkpoint/resume progress must surface as
+// trace events so /debug/traces can show where a resumed study spent
+// its time.
+func TestStreamTraceEvents(t *testing.T) {
+	cfg := DefaultConfig(3000, 4)
+	dir := t.TempDir()
+	tracer := trace.New(16)
+	opts := StreamOpts{Dir: dir, Shards: 2, ChunkDomains: 500, Tracer: tracer, StopAfterChunks: 2}
+	if _, _, err := RunStream(cfg, opts); !errors.Is(err, ErrInterrupted) {
+		t.Fatal("want interruption")
+	}
+	opts.StopAfterChunks = 0
+	opts.Resume = true
+	if _, _, err := RunStream(cfg, opts); err != nil {
+		t.Fatal(err)
+	}
+	var kinds []string
+	for _, tr := range tracer.Snapshot() {
+		for _, ev := range tr.Events() {
+			if ev.Kind == trace.KindCheckpoint {
+				kinds = append(kinds, ev.Name)
+			}
+		}
+	}
+	want := map[string]bool{"interrupt": false, "resume": false, "shard-done": false, "join-shard": false}
+	for _, k := range kinds {
+		if _, ok := want[k]; ok {
+			want[k] = true
+		}
+	}
+	for k, seen := range want {
+		if !seen {
+			t.Errorf("no %q checkpoint event recorded (got %v)", k, kinds)
+		}
+	}
+}
+
+// TestParseDomainIndex covers the fallback name parser.
+func TestParseDomainIndex(t *testing.T) {
+	cases := []struct {
+		name string
+		idx  int
+		ok   bool
+	}{
+		{"d000000.example", 0, true},
+		{"d000123.example", 123, true},
+		{"mx.d000042.example", 42, true},
+		{"mx3.d1234567.example", 1234567, true},
+		{"ghost.d000009.example", 9, true},
+		{"example", 0, false},
+		{"d.example", 0, false},
+		{"dx1.example", 0, false},
+		{"other.net", 0, false},
+		{"mx.d00x1.example", 0, false},
+	}
+	for _, c := range cases {
+		idx, ok := parseDomainIndex(c.name)
+		if ok != c.ok || (ok && idx != c.idx) {
+			t.Errorf("parseDomainIndex(%q) = %d,%v; want %d,%v", c.name, idx, ok, c.idx, c.ok)
+		}
+	}
+}
+
+// TestVerdictCodec round-trips the 8-byte record.
+func TestVerdictCodec(t *testing.T) {
+	for _, v := range []Verdict{{}, {Cat: 3, MXs: 2, Resolved: 1}, {Cat: 255, MXs: 65535, Resolved: 65535}} {
+		var b [verdictRecSize]byte
+		v.encode(b[:])
+		if got := decodeVerdict(b[:]); got != v {
+			t.Errorf("round trip %+v -> %+v", v, got)
+		}
+	}
+}
+
+// TestShardHeaderCodec round-trips and checksums the file header.
+func TestShardHeaderCodec(t *testing.T) {
+	h := shardHeader{Round: 2, Shard: 3, Shards: 8, Lo: 1000, Hi: 2000, CfgHash: 0xdeadbeefcafef00d, ChunkDomains: 64}
+	b := h.encode()
+	got, err := decodeShardHeader(b[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatalf("round trip %+v -> %+v", h, got)
+	}
+	b[30] ^= 1
+	if _, err := decodeShardHeader(b[:]); err == nil {
+		t.Fatal("corrupted header decoded without error")
+	}
+}
+
+// TestStreamSyncAndProgress exercises the fsync path and the progress
+// reporter (content is informational; this pins that they run).
+func TestStreamSyncAndProgress(t *testing.T) {
+	cfg := DefaultConfig(2000, 4)
+	var buf syncBuffer
+	opts := StreamOpts{
+		Dir: t.TempDir(), Shards: 2, ChunkDomains: 256, Sync: true,
+		Progress: &buf, ProgressEvery: time.Millisecond,
+	}
+	if _, _, err := RunStream(cfg, opts); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// syncBuffer is a minimal concurrent-safe io.Writer for the progress
+// goroutine.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf []byte
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.buf = append(b.buf, p...)
+	return len(p), nil
+}

@@ -1,0 +1,422 @@
+// Columnar on-disk verdict storage for the streaming scan pipeline.
+//
+// Each scan round writes one file per shard. A file is a fixed 64-byte
+// header followed by a sequence of chunks; chunk k covers a
+// deterministic index range (ChunkDomains verdicts, last chunk
+// short), so a reader — and the resume scan — always knows exactly
+// how many bytes the next chunk must occupy:
+//
+//	header (64 B):
+//	  [0:8)   magic "NLSCHNK1"
+//	  [8:12)  format version (u32 le)
+//	  [12:16) scan round (u32 le)
+//	  [16:20) shard index (u32 le)
+//	  [20:24) shard count (u32 le)
+//	  [24:32) lo — first domain index covered (u64 le)
+//	  [32:40) hi — one past the last domain index (u64 le)
+//	  [40:48) config hash (u64 le; see domainGen.configHash)
+//	  [48:52) domains per chunk (u32 le)
+//	  [52:56) CRC-32 (IEEE) of bytes [0:52)
+//	  [56:64) zero padding
+//	chunk (count·8 + 12 B):
+//	  count 8-byte verdict records (see Verdict.encode)
+//	  [.. +4)  count (u32 le)
+//	  [.. +8)  re-resolutions incurred scanning this chunk (u32 le)
+//	  [.. +12) CRC-32 (IEEE) of payload + count + reRe
+//
+// A chunk is durable only once its trailer is fully on disk and its
+// CRC matches; resume walks the chunks in order, truncates the file at
+// the first torn or corrupt one, and rescans only from there. The
+// re-resolution count rides in every trailer so the study total
+// survives a resume without rescanning anything.
+package scan
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"strconv"
+)
+
+const (
+	verdictMagic       = "NLSCHNK1"
+	verdictFileVersion = 1
+	verdictRecSize     = 8
+	shardHeaderSize    = 64
+	chunkTrailerSize   = 12
+)
+
+// ErrCheckpointMismatch reports a checkpoint written under a different
+// configuration (population size, seed, mixture, or generator
+// version); resuming would silently join incompatible rounds, so the
+// pipeline refuses.
+var ErrCheckpointMismatch = errors.New("checkpoint was written by a different configuration")
+
+// encode writes the verdict's fixed 8-byte record into b.
+func (v Verdict) encode(b []byte) {
+	b[0] = v.Cat
+	b[1] = 0
+	binary.LittleEndian.PutUint16(b[2:], v.MXs)
+	binary.LittleEndian.PutUint16(b[4:], v.Resolved)
+	b[6], b[7] = 0, 0
+}
+
+// decodeVerdict reads a verdict record back.
+func decodeVerdict(b []byte) Verdict {
+	return Verdict{
+		Cat:      b[0],
+		MXs:      binary.LittleEndian.Uint16(b[2:]),
+		Resolved: binary.LittleEndian.Uint16(b[4:]),
+	}
+}
+
+// shardHeader identifies one shard file of one scan round.
+type shardHeader struct {
+	Round        int
+	Shard        int
+	Shards       int
+	Lo, Hi       int // domain index range [Lo, Hi)
+	CfgHash      uint64
+	ChunkDomains int
+}
+
+// chunks is the number of chunks a complete shard file holds.
+func (h shardHeader) chunks() int {
+	n := h.Hi - h.Lo
+	if n <= 0 {
+		return 0
+	}
+	return (n + h.ChunkDomains - 1) / h.ChunkDomains
+}
+
+// chunkBounds returns the domain index range [lo, hi) of chunk k.
+func (h shardHeader) chunkBounds(k int) (lo, hi int) {
+	lo = h.Lo + k*h.ChunkDomains
+	hi = lo + h.ChunkDomains
+	if hi > h.Hi {
+		hi = h.Hi
+	}
+	return lo, hi
+}
+
+// encode renders the 64-byte header.
+func (h shardHeader) encode() [shardHeaderSize]byte {
+	var b [shardHeaderSize]byte
+	copy(b[0:8], verdictMagic)
+	binary.LittleEndian.PutUint32(b[8:], verdictFileVersion)
+	binary.LittleEndian.PutUint32(b[12:], uint32(h.Round))
+	binary.LittleEndian.PutUint32(b[16:], uint32(h.Shard))
+	binary.LittleEndian.PutUint32(b[20:], uint32(h.Shards))
+	binary.LittleEndian.PutUint64(b[24:], uint64(h.Lo))
+	binary.LittleEndian.PutUint64(b[32:], uint64(h.Hi))
+	binary.LittleEndian.PutUint64(b[40:], h.CfgHash)
+	binary.LittleEndian.PutUint32(b[48:], uint32(h.ChunkDomains))
+	binary.LittleEndian.PutUint32(b[52:], crc32.ChecksumIEEE(b[0:52]))
+	return b
+}
+
+// decodeShardHeader parses and checksums a 64-byte header.
+func decodeShardHeader(b []byte) (shardHeader, error) {
+	var h shardHeader
+	if len(b) < shardHeaderSize {
+		return h, fmt.Errorf("scan: verdict header truncated (%d bytes)", len(b))
+	}
+	if string(b[0:8]) != verdictMagic {
+		return h, errors.New("scan: not a verdict file (bad magic)")
+	}
+	if v := binary.LittleEndian.Uint32(b[8:]); v != verdictFileVersion {
+		return h, fmt.Errorf("scan: verdict file version %d (want %d)", v, verdictFileVersion)
+	}
+	if got, want := crc32.ChecksumIEEE(b[0:52]), binary.LittleEndian.Uint32(b[52:]); got != want {
+		return h, errors.New("scan: verdict header checksum mismatch")
+	}
+	h.Round = int(binary.LittleEndian.Uint32(b[12:]))
+	h.Shard = int(binary.LittleEndian.Uint32(b[16:]))
+	h.Shards = int(binary.LittleEndian.Uint32(b[20:]))
+	h.Lo = int(binary.LittleEndian.Uint64(b[24:]))
+	h.Hi = int(binary.LittleEndian.Uint64(b[32:]))
+	h.CfgHash = binary.LittleEndian.Uint64(b[40:])
+	h.ChunkDomains = int(binary.LittleEndian.Uint32(b[48:]))
+	if h.ChunkDomains <= 0 || h.Hi < h.Lo {
+		return h, errors.New("scan: verdict header invalid ranges")
+	}
+	return h, nil
+}
+
+// shardFileName names round r's shard s verdict file.
+func shardFileName(round, s int) string {
+	name := make([]byte, 0, 32)
+	name = append(name, "round"...)
+	name = strconv.AppendInt(name, int64(round), 10)
+	name = append(name, "-shard"...)
+	if s < 1000 {
+		name = append(name, '0')
+	}
+	if s < 100 {
+		name = append(name, '0')
+	}
+	if s < 10 {
+		name = append(name, '0')
+	}
+	name = strconv.AppendInt(name, int64(s), 10)
+	name = append(name, ".nlv"...)
+	return string(name)
+}
+
+// resumeInfo reports what a shard open found on disk.
+type resumeInfo struct {
+	// Next is the first domain index still needing a scan (Hi when the
+	// shard is already complete).
+	Next int
+	// ValidChunks counts intact chunks reused from the checkpoint.
+	ValidChunks int
+	// Torn reports that bytes beyond the valid prefix were discarded —
+	// a partial chunk or corrupt trailer from an interrupted run.
+	Torn bool
+}
+
+// shardWriter appends verdict chunks to one shard file.
+type shardWriter struct {
+	f    *os.File
+	hdr  shardHeader
+	buf  []byte // current chunk payload, verdictRecSize per record
+	sync bool
+
+	// bytesWritten counts payload+trailer bytes flushed this session
+	// (checkpoint growth, for metrics).
+	bytesWritten int64
+}
+
+// openShard creates (resume=false) or opens-and-validates
+// (resume=true) the shard file at path. On resume the file is walked
+// chunk by chunk and truncated to its valid durable prefix; the
+// returned resumeInfo says where scanning must pick up. A resume onto
+// a file written under a different configuration fails with
+// ErrCheckpointMismatch.
+func openShard(path string, hdr shardHeader, resume, sync bool) (*shardWriter, resumeInfo, error) {
+	info := resumeInfo{Next: hdr.Lo}
+	if !resume {
+		f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+		if err != nil {
+			return nil, info, err
+		}
+		b := hdr.encode()
+		if _, err := f.Write(b[:]); err != nil {
+			f.Close()
+			return nil, info, err
+		}
+		w := &shardWriter{f: f, hdr: hdr, sync: sync, bytesWritten: shardHeaderSize}
+		return w, info, nil
+	}
+
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, info, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, info, err
+	}
+	if st.Size() < shardHeaderSize {
+		// Nothing durable yet (including a torn header): start fresh.
+		info.Torn = st.Size() > 0
+		if err := f.Truncate(0); err != nil {
+			f.Close()
+			return nil, info, err
+		}
+		b := hdr.encode()
+		if _, err := f.Write(b[:]); err != nil {
+			f.Close()
+			return nil, info, err
+		}
+		return &shardWriter{f: f, hdr: hdr, sync: sync, bytesWritten: shardHeaderSize}, info, nil
+	}
+
+	var hb [shardHeaderSize]byte
+	if _, err := io.ReadFull(f, hb[:]); err != nil {
+		f.Close()
+		return nil, info, err
+	}
+	got, err := decodeShardHeader(hb[:])
+	if err != nil {
+		f.Close()
+		return nil, info, fmt.Errorf("%s: %w", path, err)
+	}
+	if got.CfgHash != hdr.CfgHash {
+		f.Close()
+		return nil, info, fmt.Errorf("scan: %s: %w (checkpoint hash %016x, run hash %016x — population size, seed, mixture or generator version changed; use a fresh checkpoint directory or drop -resume)",
+			path, ErrCheckpointMismatch, got.CfgHash, hdr.CfgHash)
+	}
+	if got != hdr {
+		f.Close()
+		return nil, info, fmt.Errorf("scan: %s: %w (shard layout changed: checkpoint %+v, run %+v)",
+			path, ErrCheckpointMismatch, got, hdr)
+	}
+
+	// Walk the chunks, accepting the longest valid prefix.
+	size := st.Size()
+	offset := int64(shardHeaderSize)
+	var scratch []byte
+	for k := 0; k < hdr.chunks(); k++ {
+		clo, chi := hdr.chunkBounds(k)
+		chunkLen := int64(chi-clo)*verdictRecSize + chunkTrailerSize
+		if offset+chunkLen > size {
+			break // torn chunk
+		}
+		if int64(len(scratch)) < chunkLen {
+			scratch = make([]byte, chunkLen)
+		}
+		if _, err := f.ReadAt(scratch[:chunkLen], offset); err != nil {
+			break
+		}
+		if !validChunk(scratch[:chunkLen], chi-clo) {
+			break
+		}
+		offset += chunkLen
+		info.ValidChunks++
+		info.Next = chi
+	}
+	if offset < size {
+		info.Torn = true
+	}
+	if err := f.Truncate(offset); err != nil {
+		f.Close()
+		return nil, info, err
+	}
+	if _, err := f.Seek(offset, io.SeekStart); err != nil {
+		f.Close()
+		return nil, info, err
+	}
+	return &shardWriter{f: f, hdr: hdr, sync: sync}, info, nil
+}
+
+// validChunk checks a chunk of the expected record count against its
+// trailer.
+func validChunk(b []byte, count int) bool {
+	payload := count * verdictRecSize
+	if len(b) != payload+chunkTrailerSize {
+		return false
+	}
+	if binary.LittleEndian.Uint32(b[payload:]) != uint32(count) {
+		return false
+	}
+	got := binary.LittleEndian.Uint32(b[payload+8:])
+	return crc32.ChecksumIEEE(b[:payload+8]) == got
+}
+
+// append buffers one verdict into the current chunk.
+func (w *shardWriter) append(v Verdict) {
+	n := len(w.buf)
+	w.buf = append(w.buf, 0, 0, 0, 0, 0, 0, 0, 0)
+	v.encode(w.buf[n:])
+}
+
+// flushChunk writes the buffered records plus a trailer carrying reRe
+// (the re-resolutions incurred scanning them) and, when the writer is
+// in sync mode, fsyncs. The chunk is the durability unit: once
+// flushChunk returns, resume will never rescan these domains.
+func (w *shardWriter) flushChunk(reRe int) error {
+	count := len(w.buf) / verdictRecSize
+	n := len(w.buf)
+	w.buf = append(w.buf, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0)
+	binary.LittleEndian.PutUint32(w.buf[n:], uint32(count))
+	binary.LittleEndian.PutUint32(w.buf[n+4:], uint32(reRe))
+	binary.LittleEndian.PutUint32(w.buf[n+8:], crc32.ChecksumIEEE(w.buf[:n+8]))
+	if _, err := w.f.Write(w.buf); err != nil {
+		return err
+	}
+	w.bytesWritten += int64(len(w.buf))
+	w.buf = w.buf[:0]
+	if w.sync {
+		return w.f.Sync()
+	}
+	return nil
+}
+
+// close syncs (in sync mode) and closes the file.
+func (w *shardWriter) close() error {
+	if w.sync {
+		if err := w.f.Sync(); err != nil {
+			w.f.Close()
+			return err
+		}
+	}
+	return w.f.Close()
+}
+
+// shardReader streams one shard file's verdicts back in index order
+// for the two-scan join, holding one chunk in memory at a time.
+type shardReader struct {
+	f   *os.File
+	hdr shardHeader
+	buf []byte
+
+	chunk int // next chunk to load
+	pos   int // next record offset within buf
+	end   int // payload end within buf
+
+	// ReRe accumulates the trailer re-resolution counts of every chunk
+	// read so far.
+	ReRe int
+}
+
+// openShardReader opens a completed shard file for the join,
+// validating its header against the run.
+func openShardReader(path string, hdr shardHeader) (*shardReader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	var hb [shardHeaderSize]byte
+	if _, err := io.ReadFull(f, hb[:]); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("scan: %s: %w", path, err)
+	}
+	got, err := decodeShardHeader(hb[:])
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if got != hdr {
+		f.Close()
+		return nil, fmt.Errorf("scan: %s: %w", path, ErrCheckpointMismatch)
+	}
+	return &shardReader{f: f, hdr: hdr}, nil
+}
+
+// next returns the next verdict in index order, or io.EOF past the
+// shard's range. A torn or corrupt chunk (impossible after a clean
+// scan phase) surfaces as an error.
+func (r *shardReader) next() (Verdict, error) {
+	if r.pos >= r.end {
+		if r.chunk >= r.hdr.chunks() {
+			return Verdict{}, io.EOF
+		}
+		clo, chi := r.hdr.chunkBounds(r.chunk)
+		count := chi - clo
+		chunkLen := count*verdictRecSize + chunkTrailerSize
+		if cap(r.buf) < chunkLen {
+			r.buf = make([]byte, chunkLen)
+		}
+		r.buf = r.buf[:chunkLen]
+		if _, err := io.ReadFull(r.f, r.buf); err != nil {
+			return Verdict{}, fmt.Errorf("scan: reading chunk %d: %w", r.chunk, err)
+		}
+		if !validChunk(r.buf, count) {
+			return Verdict{}, fmt.Errorf("scan: chunk %d failed its checksum", r.chunk)
+		}
+		r.ReRe += int(binary.LittleEndian.Uint32(r.buf[count*verdictRecSize+4:]))
+		r.pos, r.end = 0, count*verdictRecSize
+		r.chunk++
+	}
+	v := decodeVerdict(r.buf[r.pos:])
+	r.pos += verdictRecSize
+	return v, nil
+}
+
+// close releases the file.
+func (r *shardReader) close() error { return r.f.Close() }

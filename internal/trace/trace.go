@@ -52,6 +52,9 @@ const (
 	KindQueue
 	// KindOutcome is the terminal event appended by Finish.
 	KindOutcome
+	// KindCheckpoint records scan-pipeline durability progress: a
+	// verdict chunk flushed, a shard resumed, a partial chunk rescanned.
+	KindCheckpoint
 )
 
 // String implements fmt.Stringer.
@@ -73,6 +76,8 @@ func (k Kind) String() string {
 		return "queue"
 	case KindOutcome:
 		return "outcome"
+	case KindCheckpoint:
+		return "checkpoint"
 	default:
 		return "unknown"
 	}
@@ -279,6 +284,17 @@ func (t *Trace) dial(raddr string, err error) {
 		detail = err.Error()
 	}
 	t.Add(KindDial, raddr, detail, 0, 0)
+}
+
+// Checkpoint records scan-pipeline durability progress: name is the
+// step ("chunk-flush", "resume", "rescan"), detail carries the shard
+// and index range, code a step-defined count, and dur how long the
+// step took.
+func (t *Trace) Checkpoint(name, detail string, code int, dur time.Duration) {
+	if t == nil {
+		return
+	}
+	t.Add(KindCheckpoint, name, detail, code, dur)
 }
 
 // MX records one host of the MX walk: its preference, how many
