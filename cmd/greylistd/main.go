@@ -9,9 +9,19 @@
 //	greylistd [-listen :2525] [-hostname mx.example.org]
 //	          [-threshold 300s] [-retry-window 48h] [-max-age 840h]
 //	          [-auto-whitelist 5] [-subnet] [-state greylist.db]
+//	          [-wal greylist.wal] [-wal-sync interval] [-wal-compact-every 16777216]
 //	          [-shards 1] [-rcpt-batch 64] [-admin-addr 127.0.0.1:9925]
 //	          [-trace-ring 1024]
 //	          [-whitelist-ip CIDR]... [-unprotect postmaster@dom]...
+//
+// Without -wal, state is written only on clean shutdown, so a crash
+// loses everything since startup. With -wal, every state mutation is
+// journaled to a write-ahead log as it happens (-state becomes the
+// checkpoint file compaction maintains), and a SIGKILLed daemon
+// restarts with its pending/passed/auto-whitelist tables intact up to
+// the last fsync (-wal-sync: "always" per batch, "interval" once per
+// -wal-sync-interval, "none" leaves it to the OS). See DESIGN.md,
+// "Durability".
 //
 // With -admin-addr, an HTTP listener exposes Prometheus metrics on
 // /metrics, live profiling on /debug/pprof/ and — when -trace-ring is
@@ -70,6 +80,10 @@ func run() error {
 		autoWL      = flag.Int("auto-whitelist", 5, "deliveries before a client is auto-whitelisted (0 = off)")
 		subnet      = flag.Bool("subnet", false, "key triplets by /24 network instead of full IP")
 		state       = flag.String("state", "", "state file for persistence across restarts")
+		walPath     = flag.String("wal", "", "write-ahead log file: journal every mutation so a crash loses at most the unsynced tail (requires -state, which becomes the checkpoint file)")
+		walSync     = flag.String("wal-sync", "interval", "wal fsync policy: always, interval or none")
+		walSyncIntv = flag.Duration("wal-sync-interval", time.Second, "fsync cadence under -wal-sync interval")
+		walCompact  = flag.Int64("wal-compact-every", 16<<20, "bytes of wal growth before checkpoint compaction (<0 disables)")
 		gcEvery     = flag.Duration("gc", 10*time.Minute, "state garbage-collection interval")
 		fingerprint = flag.Bool("fingerprint", false, "log an SMTP-dialect fingerprint for every session")
 		shards      = flag.Int("shards", 1, "greylist store shards; >1 partitions state by triplet hash so concurrent sessions rarely contend on one lock")
@@ -106,11 +120,16 @@ func run() error {
 		Stats() greylist.Stats
 		Register(*metrics.Registry)
 	}
-	var g engine
+	var (
+		g   engine
+		eng greylist.Engine // the same object, full-interface view for OpenWAL
+	)
 	if *shards > 1 {
-		g = greylist.NewSharded(*shards, policy, simtime.Real{})
+		s := greylist.NewSharded(*shards, policy, simtime.Real{})
+		g, eng = s, s
 	} else {
-		g = greylist.New(policy, simtime.Real{})
+		gl := greylist.New(policy, simtime.Real{})
+		g, eng = gl, gl
 	}
 	for _, cidr := range whitelistCIDRs {
 		if err := g.Whitelist().AddCIDR(cidr); err != nil {
@@ -120,13 +139,25 @@ func run() error {
 	for _, rcpt := range unprotect {
 		g.Whitelist().AddRecipient(rcpt)
 	}
-	if *state != "" {
-		if _, err := os.Stat(*state); err == nil {
+	if *walPath != "" && *state == "" {
+		return fmt.Errorf("-wal requires -state (the checkpoint file compaction maintains)")
+	}
+	if *state != "" && *walPath == "" {
+		// Without a WAL the state file is loaded once here. A missing
+		// file is a fresh start; any other stat error (permissions, a
+		// bad mount) must refuse to start rather than silently
+		// re-greylist the world with an empty table.
+		switch _, err := os.Stat(*state); {
+		case err == nil:
 			if err := g.LoadFile(*state); err != nil {
 				return fmt.Errorf("loading state: %w", err)
 			}
 			fmt.Fprintf(os.Stderr, "restored state from %s (%d pending, %d passed)\n",
 				*state, g.PendingCount(), g.PassedCount())
+		case os.IsNotExist(err):
+			// fresh start
+		default:
+			return fmt.Errorf("checking state file: %w", err)
 		}
 	}
 
@@ -151,6 +182,32 @@ func run() error {
 	var tracer *trace.Tracer
 	if *adminAddr != "" && *traceRing > 0 {
 		tracer = trace.New(*traceRing)
+	}
+
+	// With -wal, recovery (checkpoint + log replay with torn-tail
+	// truncation) and all further persistence run through the WAL.
+	var wal *greylist.WAL
+	if *walPath != "" {
+		sync, err := greylist.ParseSyncPolicy(*walSync)
+		if err != nil {
+			return err
+		}
+		var info greylist.RecoverInfo
+		wal, info, err = greylist.OpenWAL(greylist.WALConfig{
+			Path:           *walPath,
+			CheckpointPath: *state,
+			Sync:           sync,
+			SyncEvery:      *walSyncIntv,
+			CompactBytes:   *walCompact,
+			Tracer:         tracer,
+		}, eng)
+		if err != nil {
+			return fmt.Errorf("opening wal: %w", err)
+		}
+		fmt.Fprintf(os.Stderr,
+			"wal: recovered from %s (checkpoint=%v, %d records replayed, %d torn bytes dropped, generation %d): %d pending, %d passed\n",
+			*walPath, info.CheckpointLoaded, info.ReplayedRecords, info.TornBytes, info.Generation,
+			g.PendingCount(), g.PassedCount())
 	}
 
 	deferReply := func(v greylist.Verdict) *smtpproto.Reply {
@@ -236,6 +293,9 @@ func run() error {
 		metrics.RegisterProcess(reg)
 		g.Register(reg)
 		srv.Register(reg)
+		if wal != nil {
+			wal.Register(reg)
+		}
 		if policySrv != nil {
 			policySrv.Register(reg)
 		}
@@ -276,11 +336,35 @@ func run() error {
 		}
 	}()
 
+	// shutdownState persists whatever the daemon holds: with a WAL, one
+	// final checkpoint compaction (Close); without, a snapshot save.
+	// Shared by the clean-signal path and the listener-failure path —
+	// previously the latter returned without saving anything.
+	shutdownState := func() error {
+		if wal != nil {
+			if err := wal.Close(); err != nil {
+				return fmt.Errorf("wal close: %w", err)
+			}
+			fmt.Fprintf(os.Stderr, "wal: final checkpoint written to %s\n", *state)
+			return nil
+		}
+		if *state != "" {
+			if err := g.SaveFile(*state); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "saved state to %s\n", *state)
+		}
+		return nil
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
 	case err := <-errCh:
 		close(gcStop)
+		if serr := shutdownState(); serr != nil {
+			fmt.Fprintln(os.Stderr, "greylistd: saving state after listener failure:", serr)
+		}
 		return err
 	case s := <-sig:
 		fmt.Fprintf(os.Stderr, "received %v, shutting down\n", s)
@@ -298,11 +382,8 @@ func run() error {
 		}
 	}
 
-	if *state != "" {
-		if err := g.SaveFile(*state); err != nil {
-			return err
-		}
-		fmt.Fprintf(os.Stderr, "saved state to %s\n", *state)
+	if err := shutdownState(); err != nil {
+		return err
 	}
 	st := g.Stats()
 	fmt.Fprintf(os.Stderr, "stats: %d checks, %d deferred-new, %d passed-retry, %d passed-known\n",

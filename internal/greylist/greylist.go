@@ -303,6 +303,12 @@ type Greylister struct {
 	pending map[string]*pendingRecord
 	passed  map[string]*passedRecord
 	clients map[string]*clientRecord
+
+	// wal, when non-nil, journals every table mutation (see wal.go).
+	// Read under either lock mode; attached and detached only under the
+	// exclusive lock, so a plain pointer is race-free and the fast path
+	// pays a single nil test when no WAL is configured.
+	wal *WAL
 }
 
 // New returns a Greylister with the given policy. A nil clock means the
@@ -413,6 +419,9 @@ func (g *Greylister) fastPath(clientKey, key []byte, now time.Time) (Verdict, bo
 			}
 			if int(c.deliveries.Load()) >= g.policy.AutoWhitelistAfter {
 				c.lastUsed.Store(nowNs)
+				if w := g.wal; w != nil {
+					w.append(walOpAutoPass, key, nowNs, 0, 0)
+				}
 				g.stats.passedAutoClient.Add(1)
 				return Verdict{Decision: Pass, Reason: ReasonAutoWhitelisted}, true
 			}
@@ -440,6 +449,9 @@ func (g *Greylister) fastPath(clientKey, key []byte, now time.Time) (Verdict, bo
 		c.deliveries.Add(1)
 		c.lastUsed.Store(nowNs)
 	}
+	if w := g.wal; w != nil {
+		w.append(walOpTouch, key, nowNs, 0, 0)
+	}
 	g.stats.passedKnown.Add(1)
 	return Verdict{Decision: Pass, Reason: ReasonKnownTriplet, FirstSeen: p.passedAt, Attempts: int(n)}, true
 }
@@ -455,8 +467,14 @@ func (g *Greylister) checkSlow(clientKey, key []byte, now time.Time) Verdict {
 		if c, ok := g.clients[string(clientKey)]; ok {
 			if g.policy.AutoWhitelistLifetime > 0 && nowNs-c.lastUsed.Load() > int64(g.policy.AutoWhitelistLifetime) {
 				delete(g.clients, string(clientKey))
+				if w := g.wal; w != nil {
+					w.append(walOpDelClient, key, 0, 0, 0)
+				}
 			} else if int(c.deliveries.Load()) >= g.policy.AutoWhitelistAfter {
 				c.lastUsed.Store(nowNs)
+				if w := g.wal; w != nil {
+					w.append(walOpAutoPass, key, nowNs, 0, 0)
+				}
 				g.stats.passedAutoClient.Add(1)
 				return Verdict{Decision: Pass, Reason: ReasonAutoWhitelisted}
 			}
@@ -466,10 +484,16 @@ func (g *Greylister) checkSlow(clientKey, key []byte, now time.Time) Verdict {
 	if p, ok := g.passed[string(key)]; ok {
 		if g.policy.PassLifetime > 0 && nowNs-p.lastUsed.Load() > int64(g.policy.PassLifetime) {
 			delete(g.passed, string(key))
+			if w := g.wal; w != nil {
+				w.append(walOpDelPassed, key, 0, 0, 0)
+			}
 		} else {
 			p.lastUsed.Store(nowNs)
 			n := p.deliveries.Add(1)
 			g.creditClient(clientKey, nowNs)
+			if w := g.wal; w != nil {
+				w.append(walOpTouch, key, nowNs, 0, 0)
+			}
 			g.stats.passedKnown.Add(1)
 			return Verdict{Decision: Pass, Reason: ReasonKnownTriplet, FirstSeen: p.passedAt, Attempts: int(n)}
 		}
@@ -482,6 +506,9 @@ func (g *Greylister) checkSlow(clientKey, key []byte, now time.Time) Verdict {
 		rec.firstSeen = now
 		rec.lastSeen = now
 		rec.attempts = 1
+		if w := g.wal; w != nil {
+			w.append(walOpPendingUpsert, key, nowNs, nowNs, 1)
+		}
 		return Verdict{
 			Decision:      Defer,
 			Reason:        ReasonWindowExpired,
@@ -493,6 +520,9 @@ func (g *Greylister) checkSlow(clientKey, key []byte, now time.Time) Verdict {
 
 	if !known {
 		g.pending[string(key)] = &pendingRecord{firstSeen: now, lastSeen: now, attempts: 1}
+		if w := g.wal; w != nil {
+			w.append(walOpPendingUpsert, key, nowNs, nowNs, 1)
+		}
 		g.stats.deferredNew.Add(1)
 		g.stats.tripletsRecorded.Add(1)
 		return Verdict{
@@ -508,6 +538,9 @@ func (g *Greylister) checkSlow(clientKey, key []byte, now time.Time) Verdict {
 	rec.lastSeen = now
 	elapsed := now.Sub(rec.firstSeen)
 	if elapsed < g.policy.Threshold {
+		if w := g.wal; w != nil {
+			w.append(walOpPendingUpsert, key, rec.firstSeen.UnixNano(), nowNs, uint32(rec.attempts))
+		}
 		g.stats.deferredEarly.Add(1)
 		return Verdict{
 			Decision:      Defer,
@@ -525,6 +558,9 @@ func (g *Greylister) checkSlow(clientKey, key []byte, now time.Time) Verdict {
 	p.deliveries.Store(1)
 	g.passed[string(key)] = p
 	g.creditClient(clientKey, nowNs)
+	if w := g.wal; w != nil {
+		w.append(walOpPromote, key, nowNs, 0, 0)
+	}
 	g.stats.passedRetry.Add(1)
 	g.stats.tripletsWhitelist.Add(1)
 	return Verdict{
@@ -626,9 +662,25 @@ func (g *Greylister) creditClient(clientKey []byte, nowNs int64) {
 // periodically; experiments call it between phases.
 func (g *Greylister) GC() int {
 	now := g.clock.Now()
-	nowNs := now.UnixNano()
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	// One keyless record replays the whole sweep: the expiry decisions
+	// are a pure function of the tables and the sweep time.
+	if w := g.wal; w != nil {
+		w.append(walOpGC, nil, now.UnixNano(), 0, 0)
+	}
+	dropped := g.gcLocked(now)
+	g.stats.gcSweeps.Add(1)
+	g.stats.gcDropped.Add(uint64(dropped))
+	return dropped
+}
+
+// gcLocked sweeps expired records at the given instant, returning how
+// many were dropped. Callers hold g.mu exclusively. Split from GC so
+// WAL replay can re-run a logged sweep without touching Stats or
+// re-journaling it.
+func (g *Greylister) gcLocked(now time.Time) int {
+	nowNs := now.UnixNano()
 	dropped := 0
 	if g.policy.RetryWindow > 0 {
 		for k, rec := range g.pending {
@@ -654,8 +706,6 @@ func (g *Greylister) GC() int {
 			}
 		}
 	}
-	g.stats.gcSweeps.Add(1)
-	g.stats.gcDropped.Add(uint64(dropped))
 	return dropped
 }
 

@@ -51,7 +51,24 @@ const snapshotVersion = 1
 func (g *Greylister) Save(w io.Writer) error {
 	start := time.Now()
 	g.mu.RLock()
-	snap := snapshot{
+	snap := g.snapshotLocked()
+	g.mu.RUnlock()
+
+	if err := encodeSnapshot(w, snap); err != nil {
+		return err
+	}
+	if inst := g.inst.Load(); inst != nil {
+		inst.saveSeconds.ObserveDuration(time.Since(start))
+	}
+	return nil
+}
+
+// snapshotLocked builds the serializable snapshot of the tables.
+// Callers hold g.mu (either mode; the loops only read, and the
+// mutable record fields are atomics). Shared by Save and the WAL's
+// checkpoint barrier.
+func (g *Greylister) snapshotLocked() *snapshot {
+	snap := &snapshot{
 		Version: snapshotVersion,
 		Pending: make(map[string]pendingSnap, len(g.pending)),
 		Passed:  make(map[string]passedSnap, len(g.passed)),
@@ -74,13 +91,13 @@ func (g *Greylister) Save(w io.Writer) error {
 			LastUsed:   time.Unix(0, v.lastUsed.Load()).UTC(),
 		}
 	}
-	g.mu.RUnlock()
+	return snap
+}
 
+// encodeSnapshot writes one snapshot as Save's gob stream.
+func encodeSnapshot(w io.Writer, snap *snapshot) error {
 	if err := gob.NewEncoder(w).Encode(snap); err != nil {
 		return fmt.Errorf("greylist: save: %w", err)
-	}
-	if inst := g.inst.Load(); inst != nil {
-		inst.saveSeconds.ObserveDuration(time.Since(start))
 	}
 	return nil
 }
@@ -193,6 +210,25 @@ func atomicSave(path string, save func(io.Writer) error) error {
 		return fmt.Errorf("greylist: save: %w", err)
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("greylist: save: %w", err)
+	}
+	// The rename is only durable once the directory entry is: fsync the
+	// parent, or a power loss right here can forget the just-renamed
+	// file while remembering the unlink of the old one.
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so renames inside it survive power loss.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("greylist: save: %w", err)
+	}
+	if err := d.Sync(); err != nil {
+		d.Close()
+		return fmt.Errorf("greylist: save: %w", err)
+	}
+	if err := d.Close(); err != nil {
 		return fmt.Errorf("greylist: save: %w", err)
 	}
 	return nil
