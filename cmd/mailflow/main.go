@@ -6,12 +6,24 @@
 // -exp queue — run a live MTA retry queue against a greylisted victim
 // domain in virtual time instead of evaluating the schedule analytically.
 //
+// -exp soak is the wire-level load harness: an open-loop TCP generator
+// (internal/loadgen) drives a real greylisting SMTP server — an external
+// greylistd via -addr, or an in-process engine+server listening on a
+// real loopback socket — with mixed ham/spam traffic, and reports
+// sustained sessions/sec plus per-verb and per-verdict latency
+// percentiles. -smoke selects a short CI profile; -heap-check fails the
+// run if any phase's heap watermark exceeds the given byte ceiling;
+// -bench-out writes the machine-readable report (BENCH_soak.json).
+//
 // Usage:
 //
-//	mailflow -exp table3|table4|fig5|sweep|queue [-threshold 6h] [-seed 1]
+//	mailflow -exp table3|table4|fig5|sweep|queue|soak [-threshold 6h] [-seed 1]
 //	         [-days 120] [-rate 200] [-log out.log]
 //	         [-mta sendmail] [-messages 5] [-trace out.jsonl]
 //	         [-admin-addr 127.0.0.1:9926]
+//	         [-addr host:25] [-soak-rate 20000] [-conns 32] [-ham 0.25]
+//	         [-rcpt-batch 16] [-warmup 2s] [-measure 10s] [-soak 30s]
+//	         [-slo 50ms] [-smoke] [-heap-check 268435456] [-bench-out BENCH_soak.json]
 //
 // With -admin-addr, an HTTP listener exposes process metrics on /metrics
 // and live profiling on /debug/pprof/ for the duration of the run —
@@ -28,19 +40,27 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/greylist"
 	"repro/internal/lab"
+	"repro/internal/loadgen"
 	"repro/internal/maillog"
 	"repro/internal/metrics"
 	"repro/internal/mta"
 	"repro/internal/mtaqueue"
 	"repro/internal/report"
+	"repro/internal/simtime"
 	"repro/internal/smtpclient"
+	"repro/internal/smtpproto"
+	"repro/internal/smtpserver"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/webmail"
@@ -55,7 +75,7 @@ func main() {
 
 func run() error {
 	var (
-		exp       = flag.String("exp", "table3", "experiment: table3, table4, fig5, sweep, queue")
+		exp       = flag.String("exp", "table3", "experiment: table3, table4, fig5, sweep, queue, soak")
 		threshold = flag.Duration("threshold", 6*time.Hour, "greylisting threshold for table3 and queue")
 		seed      = flag.Int64("seed", 1, "random seed")
 		days      = flag.Int("days", 120, "fig5 deployment length")
@@ -65,6 +85,20 @@ func run() error {
 		messages  = flag.Int("messages", 5, "queue: benign messages to submit")
 		traceOut  = flag.String("trace", "", "queue: write every message's end-to-end trace as JSONL to this file ('-' = stdout)")
 		adminAddr = flag.String("admin-addr", "", "serve /metrics and /debug/pprof on this address for the duration of the run")
+
+		soakAddr  = flag.String("addr", "", "soak: target server host:port (empty = in-process greylisting server on a loopback socket)")
+		soakRate  = flag.Float64("soak-rate", 20000, "soak: offered sessions per second (open-loop)")
+		conns     = flag.Int("conns", 32, "soak: connection pool size (one pipelined worker per connection)")
+		hamFrac   = flag.Float64("ham", 0.25, "soak: ham fraction of offered sessions; the rest are spam campaign bursts")
+		rcptBatch = flag.Int("rcpt-batch", 16, "soak: max pipelined RCPTs per volley (keep <= the server's -rcpt-batch)")
+		warmup    = flag.Duration("warmup", 2*time.Second, "soak: warmup phase (discarded from the report)")
+		measure   = flag.Duration("measure", 10*time.Second, "soak: measurement phase")
+		soakLen   = flag.Duration("soak", 30*time.Second, "soak: extended phase watching for memory growth")
+		slo       = flag.Duration("slo", 50*time.Millisecond, "soak: intended-to-complete session latency objective")
+		smoke     = flag.Bool("smoke", false, "soak: short single-core CI profile (overrides rate, conns and phase lengths)")
+		probe     = flag.Bool("probe", false, "soak: engine-stress profile — pure pipelined RCPT probe volleys over kept connections (no DATA/QUIT churn)")
+		heapCheck = flag.Int64("heap-check", 0, "soak: fail if any phase's heap watermark exceeds this many bytes (0 = off)")
+		benchOut  = flag.String("bench-out", "", "soak: write the machine-readable report JSON to this file")
 	)
 	flag.Parse()
 
@@ -79,8 +113,10 @@ func run() error {
 		tracer = trace.New(n)
 	}
 
+	var adminReg *metrics.Registry
 	if *adminAddr != "" {
 		reg := metrics.NewRegistry()
+		adminReg = reg
 		metrics.RegisterProcess(reg)
 		var extra []metrics.Endpoint
 		if tracer != nil {
@@ -226,6 +262,35 @@ func run() error {
 		}
 		fmt.Print(tbl.String())
 
+	case "soak":
+		// -threshold's 6h default suits the analytic experiments; a live
+		// soak wants the paper's "very short threshold" so retried
+		// triplets actually pass and the DATA path sees traffic. Keep an
+		// explicit -threshold if the user set one.
+		thr := time.Second
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "threshold" {
+				thr = *threshold
+			}
+		})
+		return runSoak(soakOptions{
+			addr:      *soakAddr,
+			threshold: thr,
+			rate:      *soakRate,
+			ham:       *hamFrac,
+			conns:     *conns,
+			rcptBatch: *rcptBatch,
+			warmup:    *warmup,
+			measure:   *measure,
+			soak:      *soakLen,
+			slo:       *slo,
+			seed:      *seed,
+			smoke:     *smoke,
+			probe:     *probe,
+			heapCheck: *heapCheck,
+			benchOut:  *benchOut,
+		}, adminReg)
+
 	default:
 		return fmt.Errorf("unknown experiment %q", *exp)
 	}
@@ -247,6 +312,134 @@ func run() error {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "wrote trace snapshot to %s\n", *traceOut)
+	}
+	return nil
+}
+
+type soakOptions struct {
+	addr      string
+	threshold time.Duration
+	rate      float64
+	ham       float64
+	conns     int
+	rcptBatch int
+	warmup    time.Duration
+	measure   time.Duration
+	soak      time.Duration
+	slo       time.Duration
+	seed      int64
+	smoke     bool
+	probe     bool
+	heapCheck int64
+	benchOut  string
+}
+
+// runSoak drives internal/loadgen against a real SMTP server over real
+// TCP. With no -addr it stands up the same engine+hook wiring greylistd
+// runs — greylist.Greylister deciding pipelined RCPT batches through
+// smtpserver.Hooks.OnRcptBatch — inside this process on a loopback
+// socket, so the measured path still crosses the kernel TCP stack.
+func runSoak(opt soakOptions, adminReg *metrics.Registry) error {
+	if opt.smoke {
+		// CI profile: small enough for a shared single-core runner,
+		// long enough that a leaky session path shows in the soak
+		// phase's heap watermark.
+		opt.rate, opt.conns = 2000, 4
+		opt.warmup, opt.measure, opt.soak = time.Second, 2*time.Second, 3*time.Second
+	}
+
+	addr := opt.addr
+	if addr == "" {
+		g := greylist.New(greylist.Policy{
+			Threshold:    opt.threshold,
+			RetryWindow:  48 * time.Hour,
+			PassLifetime: 35 * 24 * time.Hour,
+		}, simtime.Real{})
+		if adminReg != nil {
+			g.Register(adminReg)
+		}
+		srv := smtpserver.New(smtpserver.Config{
+			Hostname:      "soak.localdomain",
+			Clock:         simtime.Real{},
+			StampReceived: true,
+			ReadTimeout:   time.Minute,
+			MaxRcptBatch:  opt.rcptBatch,
+			Hooks: smtpserver.Hooks{
+				OnRcptBatch: func(clientIP, sender string, rcpts []string) []*smtpproto.Reply {
+					ts := make([]greylist.Triplet, len(rcpts))
+					for i, rcpt := range rcpts {
+						ts[i] = greylist.Triplet{ClientIP: clientIP, Sender: sender, Recipient: rcpt}
+					}
+					replies := make([]*smtpproto.Reply, len(rcpts))
+					for i, v := range g.CheckBatch(ts, nil) {
+						if v.Decision != greylist.Pass {
+							r := smtpproto.NewReply(451, "4.7.1", "Greylisted, please retry")
+							replies[i] = &r
+						}
+					}
+					return replies
+				},
+			},
+		})
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		go srv.Serve(l)
+		defer srv.Close()
+		addr = l.Addr().String()
+		fmt.Fprintf(os.Stderr, "in-process greylisting server on %s (threshold %v)\n", addr, opt.threshold)
+	}
+
+	gen := loadgen.New(loadgen.Config{
+		Addr:         addr,
+		Conns:        opt.conns,
+		Rate:         opt.rate,
+		HamFraction:  opt.ham,
+		MaxRcptBatch: opt.rcptBatch,
+		Warmup:       opt.warmup,
+		Measure:      opt.measure,
+		Soak:         opt.soak,
+		SLO:          opt.slo,
+		Seed:         opt.seed,
+		Probe:        opt.probe,
+	})
+	if adminReg != nil {
+		gen.Register(adminReg)
+	}
+	rep, err := gen.Run()
+	if err != nil {
+		return err
+	}
+	rep.WriteSummary(os.Stdout)
+
+	if opt.benchOut != "" {
+		out := struct {
+			Experiment string          `json:"experiment"`
+			Go         string          `json:"go"`
+			Machine    string          `json:"machine"`
+			Smoke      bool            `json:"smoke"`
+			Report     *loadgen.Report `json:"report"`
+		}{"soak", runtime.Version(), runtime.GOOS + "/" + runtime.GOARCH, opt.smoke, rep}
+		buf, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			return err
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(opt.benchOut, buf, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote soak report to %s\n", opt.benchOut)
+	}
+
+	if opt.heapCheck > 0 {
+		for _, p := range rep.Phases {
+			if p.HeapMaxBytes > uint64(opt.heapCheck) {
+				return fmt.Errorf("heap check failed: phase %s watermark %d bytes exceeds ceiling %d",
+					p.Name, p.HeapMaxBytes, opt.heapCheck)
+			}
+		}
+		fmt.Printf("heap check ok: every phase watermark under %d bytes\n", opt.heapCheck)
 	}
 	return nil
 }

@@ -600,7 +600,7 @@ func (g *Greylister) checkBatch(ts []Triplet, out []Verdict) []Verdict {
 	now := g.clock.Now()
 	g.stats.checks.Add(uint64(len(ts)))
 
-	var ckBuf, kBuf [keyBufCap]byte
+	var kb keyBuilder
 	var miss []int
 
 	g.mu.RLock()
@@ -610,8 +610,7 @@ func (g *Greylister) checkBatch(ts []Triplet, out []Verdict) []Verdict {
 			out[i] = Verdict{Decision: Pass, Reason: ReasonWhitelisted}
 			continue
 		}
-		clientKey := appendClientKey(ckBuf[:0], t.ClientIP, g.policy.SubnetKeying)
-		key := t.appendKey(kBuf[:0], clientKey)
+		clientKey, key := kb.build(t, g.policy.SubnetKeying)
 		if v, ok := g.fastPath(clientKey, key, now); ok {
 			out[i] = v
 		} else {
@@ -625,12 +624,42 @@ func (g *Greylister) checkBatch(ts []Triplet, out []Verdict) []Verdict {
 	}
 	g.mu.Lock()
 	for _, i := range miss {
-		clientKey := appendClientKey(ckBuf[:0], ts[i].ClientIP, g.policy.SubnetKeying)
-		key := ts[i].appendKey(kBuf[:0], clientKey)
+		clientKey, key := kb.build(ts[i], g.policy.SubnetKeying)
 		out[i] = g.checkSlow(clientKey, key, now)
 	}
 	g.mu.Unlock()
 	return out
+}
+
+// keyBuilder amortizes key construction across a batch. A pipelined
+// RCPT burst shares one client and one sender, so the (clientKey, NUL,
+// lowercased sender, NUL) prefix is identical for every triplet; the
+// builder caches it and rebuilds only the recipient suffix until the
+// client or sender string changes.
+type keyBuilder struct {
+	ckBuf, kBuf          [keyBufCap]byte
+	clientKey, prefix    []byte
+	prevClient, prevSend string
+	valid                bool
+}
+
+// build returns (clientKey, storage key) for t; both share the
+// builder's buffers and are invalidated by the next call.
+func (kb *keyBuilder) build(t Triplet, subnet bool) (clientKey, key []byte) {
+	if !kb.valid || t.ClientIP != kb.prevClient {
+		kb.clientKey = appendClientKey(kb.ckBuf[:0], t.ClientIP, subnet)
+		kb.prevClient = t.ClientIP
+		kb.valid = true
+		kb.prefix = nil
+	}
+	if kb.prefix == nil || t.Sender != kb.prevSend {
+		p := append(kb.kBuf[:0], kb.clientKey...)
+		p = append(p, 0)
+		p = appendLower(p, t.Sender)
+		kb.prefix = append(p, 0)
+		kb.prevSend = t.Sender
+	}
+	return kb.clientKey, appendLower(kb.prefix, t.Recipient)
 }
 
 // verdictSlice returns out resized to n, reusing its backing array when

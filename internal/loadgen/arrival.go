@@ -1,0 +1,220 @@
+package loadgen
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Arrival processes and per-flow session shapes, modelled on the
+// flow-level contrast Schatzmann et al. measured between ham and spam
+// ("Flow-level Characteristics of Spam and Ham"): legitimate mail
+// arrives as a roughly Poisson stream of complete, long-lived dialogs
+// carrying real message bodies, while spam arrives in campaign bursts —
+// short, aborted sessions that fire pipelined RCPT volleys, rarely
+// finish a DATA transaction, and rarely bother with QUIT. The load
+// generator schedules an open-loop merge of both processes so the
+// server under test sees the traffic mix greylisting was designed for.
+
+// Class labels a session as ham or spam.
+type Class int
+
+// Classes.
+const (
+	Ham Class = iota
+	Spam
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	if c == Ham {
+		return "ham"
+	}
+	return "spam"
+}
+
+// Shape is one session's plan: how the dialog opens, how many RCPTs it
+// fires in one pipelined volley, whether it carries a payload, and how
+// it ends.
+type Shape struct {
+	// Class is the traffic class the shape was drawn for.
+	Class Class
+	// Rcpts is the pipelined RCPT volley size.
+	Rcpts int
+	// MsgBytes is the DATA payload size; 0 means the session does not
+	// attempt DATA (the RCPT-probe-and-abort pattern).
+	MsgBytes int
+	// End is the session boundary: RSET keeps the pooled connection
+	// alive for the next session, QUIT closes it politely, Abort drops
+	// it the way bots do (forcing the worker to redial).
+	End End
+}
+
+// End is how a session gives up its connection.
+type End int
+
+// Session boundaries.
+const (
+	// EndRset leaves the connection open; the next session leads with
+	// a pipelined RSET.
+	EndRset End = iota
+	// EndQuit sends QUIT and closes.
+	EndQuit
+	// EndAbort drops the connection with no farewell.
+	EndAbort
+)
+
+// Event is one scheduled session: when it is meant to start (offset
+// from run start — the open-loop intended time that makes latency
+// accounting coordinated-omission-safe) and what shape it takes.
+type Event struct {
+	At    time.Duration
+	Shape Shape
+}
+
+// ArrivalConfig parameterizes the merged arrival process.
+type ArrivalConfig struct {
+	// Rate is the total offered sessions/sec across both classes.
+	Rate float64
+	// HamFraction is the share of sessions that are ham (0..1).
+	HamFraction float64
+	// SpamBurst is the mean campaign burst length in sessions; inside
+	// a burst, arrivals are 20x denser than the spam average.
+	SpamBurst float64
+	// Probe selects the engine-stress profile: every session is a
+	// pipelined RCPT probe volley that keeps its pooled connection (no
+	// DATA, no QUIT, no teardown), arriving with the same campaign
+	// burst dynamics. This isolates the greylist decision path — the
+	// part of the server a bot flood actually exercises — from
+	// connection churn and message transfer.
+	Probe bool
+	// Seed makes the schedule reproducible.
+	Seed int64
+}
+
+// Arrivals generates the merged, time-ordered event stream.
+type Arrivals struct {
+	rng      *rand.Rand
+	cfg      ArrivalConfig
+	hamRate  float64 // sessions/sec
+	spamRate float64
+
+	nextHam   time.Duration
+	nextSpam  time.Duration
+	burstLeft int // spam sessions remaining in the current campaign
+	seq       uint64
+}
+
+// NewArrivals builds the process. Rate must be positive; HamFraction is
+// clamped to [0,1]; SpamBurst defaults to 16.
+func NewArrivals(cfg ArrivalConfig) *Arrivals {
+	if cfg.HamFraction < 0 {
+		cfg.HamFraction = 0
+	}
+	if cfg.HamFraction > 1 {
+		cfg.HamFraction = 1
+	}
+	if cfg.SpamBurst <= 0 {
+		cfg.SpamBurst = 16
+	}
+	if cfg.Probe {
+		cfg.HamFraction = 0
+	}
+	a := &Arrivals{
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		cfg:      cfg,
+		hamRate:  cfg.Rate * cfg.HamFraction,
+		spamRate: cfg.Rate * (1 - cfg.HamFraction),
+	}
+	a.nextHam = a.expGap(a.hamRate)
+	a.nextSpam = a.spamGap()
+	return a
+}
+
+// expGap draws an exponential inter-arrival gap for a Poisson process
+// of the given rate; a zero rate pushes the stream past any horizon.
+func (a *Arrivals) expGap(rate float64) time.Duration {
+	if rate <= 0 {
+		return time.Duration(math.MaxInt64)
+	}
+	return time.Duration(a.rng.ExpFloat64() / rate * float64(time.Second))
+}
+
+// spamGap draws the gap to the next spam session: dense inside a
+// campaign burst, sparse between campaigns. The intra-burst rate is
+// 20x the average so campaigns read as spikes, while the long
+// inter-campaign gap keeps the long-run average at spamRate.
+func (a *Arrivals) spamGap() time.Duration {
+	if a.spamRate <= 0 {
+		return time.Duration(math.MaxInt64)
+	}
+	if a.burstLeft > 0 {
+		a.burstLeft--
+		return a.expGap(a.spamRate * 20)
+	}
+	// Start a new campaign: uniform burst length with the configured
+	// mean, then an inter-campaign gap sized from the realized length
+	// so each cycle (this gap + burstLeft dense arrivals, burstLeft+1
+	// sessions) averages exactly (burstLeft+1)/spamRate. Sizing the gap
+	// from the mean instead runs the process a few percent hot, which
+	// an open-loop harness would misread as steadily growing lateness.
+	a.burstLeft = 1 + a.rng.Intn(int(2*a.cfg.SpamBurst))
+	mean := float64(a.burstLeft+1) - float64(a.burstLeft)/20
+	return a.expGap(a.spamRate / mean)
+}
+
+// Next returns the next event in the merged stream. Events are strictly
+// time-ordered; the sequence is fully determined by the seed.
+func (a *Arrivals) Next() Event {
+	a.seq++
+	if a.nextHam <= a.nextSpam {
+		at := a.nextHam
+		a.nextHam += a.expGap(a.hamRate)
+		return Event{At: at, Shape: a.hamShape()}
+	}
+	at := a.nextSpam
+	a.nextSpam += a.spamGap()
+	return Event{At: at, Shape: a.spamShape()}
+}
+
+// hamShape draws a legitimate session: one or two recipients, a real
+// message body (1–9 KiB), and a polite QUIT on a fifth of sessions
+// (flow boundaries — MTAs drain several transactions per connection,
+// so most sessions end at an RSET and keep the connection).
+func (a *Arrivals) hamShape() Shape {
+	rcpts := 1
+	if a.rng.Intn(4) == 0 {
+		rcpts = 2
+	}
+	end := EndRset
+	if a.rng.Intn(5) == 0 {
+		end = EndQuit
+	}
+	return Shape{
+		Class:    Ham,
+		Rcpts:    rcpts,
+		MsgBytes: 1024 + a.rng.Intn(8*1024),
+		End:      end,
+	}
+}
+
+// spamShape draws a campaign session: a pipelined RCPT volley (4–32),
+// usually no DATA at all (greylisting defers the recipients and the bot
+// moves on), a small template payload when it does send, and a dropped
+// connection in place of any farewell on a third of sessions.
+func (a *Arrivals) spamShape() Shape {
+	s := Shape{
+		Class: Spam,
+		Rcpts: 4 + a.rng.Intn(29),
+	}
+	if a.cfg.Probe {
+		return s // probe profile: volley only, connection kept
+	}
+	if a.rng.Intn(3) == 0 {
+		s.End = EndAbort
+	}
+	if a.rng.Intn(5) == 0 {
+		s.MsgBytes = 400 + a.rng.Intn(800)
+	}
+	return s
+}

@@ -1,0 +1,609 @@
+// Package loadgen is the wire-level soak harness: an open-loop TCP load
+// generator that drives a real SMTP server (greylistd, or an in-process
+// smtpserver) with the mixed ham/spam traffic greylisting was built to
+// face, and measures what the server actually delivers — sustained
+// sessions per second, per-verb and per-verdict latency percentiles,
+// and memory flatness over a soak.
+//
+// Open-loop means the arrival schedule is fixed before the first byte
+// is sent: every session has an intended start time drawn from the
+// arrival process, and its latency is measured from that intended time,
+// not from when a connection finally got around to sending it. A
+// closed-loop generator (send, wait, send) silently stops offering load
+// the moment the server slows down, which is exactly the coordinated
+// omission that makes p99s lie. Here a lagging server keeps accruing
+// intended-time lateness, so stalls show up in the percentiles instead
+// of disappearing from them.
+package loadgen
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/smtpclient"
+)
+
+// Phase indices.
+const (
+	phaseWarmup = iota
+	phaseMeasure
+	phaseSoak
+	phaseCount
+)
+
+var phaseNames = [phaseCount]string{"warmup", "measure", "soak"}
+
+// Config parameterizes a soak run.
+type Config struct {
+	// Addr is the server's "host:port".
+	Addr string
+	// Dialer opens connections to Addr; nil means real TCP.
+	Dialer smtpclient.Dialer
+	// Conns bounds the connection pool (one worker per connection);
+	// 0 means 8.
+	Conns int
+	// Rate is the offered session rate per second; 0 means 1000.
+	Rate float64
+	// HamFraction is the ham share of offered sessions; default 0.25.
+	HamFraction float64
+	// SpamBurst is the mean spam campaign burst length; default 16.
+	SpamBurst float64
+	// Probe switches to the engine-stress profile: every session is a
+	// pipelined RCPT probe volley over a kept connection (no DATA, no
+	// QUIT), isolating the greylist decision path from connection churn
+	// and message transfer. See ArrivalConfig.Probe.
+	Probe bool
+	// MaxRcptBatch clamps the pipelined RCPT volley so the generator
+	// never exceeds the server's -rcpt-batch drain window; 0 means 16.
+	MaxRcptBatch int
+	// HeloName is announced at EHLO; default "loadgen.invalid".
+	HeloName string
+	// Warmup, Measure, Soak are the phase lengths. Warmup results are
+	// discarded (connections ramping, pools filling, caches cold);
+	// Measure feeds the latency report; Soak extends the run to expose
+	// memory growth. Zero phases are skipped.
+	Warmup, Measure, Soak time.Duration
+	// SLO is the intended-to-complete session latency objective;
+	// sessions over it count as violations. 0 means 50ms.
+	SLO time.Duration
+	// Seed fixes the arrival schedule.
+	Seed int64
+	// SampleEvery is the heap watermark sampling interval; 0 means
+	// 100ms.
+	SampleEvery time.Duration
+}
+
+func (cfg *Config) setDefaults() {
+	if cfg.Dialer == nil {
+		cfg.Dialer = smtpclient.NetDialer{}
+	}
+	if cfg.Conns == 0 {
+		cfg.Conns = 8
+	}
+	if cfg.Rate == 0 {
+		cfg.Rate = 1000
+	}
+	if cfg.HamFraction == 0 {
+		cfg.HamFraction = 0.25
+	}
+	if cfg.Probe {
+		cfg.HamFraction = 0 // probe profile is all RCPT-volley sessions
+	}
+	if cfg.MaxRcptBatch == 0 {
+		cfg.MaxRcptBatch = 16
+	}
+	if cfg.HeloName == "" {
+		cfg.HeloName = "loadgen.invalid"
+	}
+	if cfg.SLO == 0 {
+		cfg.SLO = 50 * time.Millisecond
+	}
+	if cfg.SampleEvery == 0 {
+		cfg.SampleEvery = 100 * time.Millisecond
+	}
+}
+
+// Generator drives one soak run. Create with New, optionally Register
+// metrics, then Run.
+type Generator struct {
+	cfg  Config
+	inst atomic.Pointer[instruments]
+
+	offered   [phaseCount]atomic.Uint64
+	completed [phaseCount]atomic.Uint64
+	failed    [phaseCount]atomic.Uint64
+	busy      atomic.Int64
+	queue     chan Event
+}
+
+// New returns a Generator for cfg.
+func New(cfg Config) *Generator {
+	cfg.setDefaults()
+	return &Generator{cfg: cfg}
+}
+
+// phaseOf maps an intended offset to its phase index.
+func (g *Generator) phaseOf(at time.Duration) int {
+	if at < g.cfg.Warmup {
+		return phaseWarmup
+	}
+	if at < g.cfg.Warmup+g.cfg.Measure {
+		return phaseMeasure
+	}
+	return phaseSoak
+}
+
+// Run executes the warmup/measure/soak schedule and returns the report.
+func (g *Generator) Run() (*Report, error) {
+	total := g.cfg.Warmup + g.cfg.Measure + g.cfg.Soak
+	if total <= 0 {
+		return nil, fmt.Errorf("loadgen: no phases configured")
+	}
+	qcap := int(g.cfg.Rate / 2)
+	if qcap < 256 {
+		qcap = 256
+	}
+	if qcap > 1<<16 {
+		qcap = 1 << 16
+	}
+	g.queue = make(chan Event, qcap)
+
+	stats := make([]*workerStats, g.cfg.Conns)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := range stats {
+		stats[i] = newWorkerStats()
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			g.worker(i, start, stats[i])
+		}(i)
+	}
+
+	heap := newHeapSampler(g)
+	heapDone := make(chan struct{})
+	go func() {
+		defer close(heapDone)
+		heap.run(start, total)
+	}()
+
+	g.schedule(start, total)
+	close(g.queue)
+	wg.Wait()
+	<-heapDone
+	elapsed := time.Since(start)
+
+	return g.buildReport(stats, heap, elapsed), nil
+}
+
+// schedule is the open-loop arrival pump: it walks the pre-seeded
+// arrival process and releases each event once the wall clock reaches
+// its intended time. Events are released in small catch-up batches
+// (the scheduler sleeps ~1ms between scans, so at 100k/s each scan
+// releases ~100 sessions); their intended times — set by the arrival
+// process, not by this loop — are what latency is measured against.
+// A full queue blocks the pump and is counted as an overrun; the
+// blocked events keep their original intended times, so the stall is
+// charged to the latency distribution rather than hidden.
+func (g *Generator) schedule(start time.Time, total time.Duration) {
+	arr := NewArrivals(ArrivalConfig{
+		Rate:        g.cfg.Rate,
+		HamFraction: g.cfg.HamFraction,
+		SpamBurst:   g.cfg.SpamBurst,
+		Probe:       g.cfg.Probe,
+		Seed:        g.cfg.Seed,
+	})
+	inst := g.inst.Load()
+	ev := arr.Next()
+	for ev.At < total {
+		elapsed := time.Since(start)
+		if ev.At > elapsed {
+			sleep := ev.At - elapsed
+			if sleep > time.Millisecond {
+				sleep = time.Millisecond
+			}
+			time.Sleep(sleep)
+			continue
+		}
+		if ev.Shape.Rcpts > g.cfg.MaxRcptBatch {
+			ev.Shape.Rcpts = g.cfg.MaxRcptBatch
+		}
+		g.offered[g.phaseOf(ev.At)].Add(1)
+		if inst != nil {
+			inst.offered.Inc()
+			select {
+			case g.queue <- ev:
+			default:
+				inst.overruns.Inc()
+				g.queue <- ev // open-loop: block, never drop
+			}
+			inst.queueDepth.Set(int64(len(g.queue)))
+		} else {
+			g.queue <- ev
+		}
+		ev = arr.Next()
+	}
+}
+
+// workerStats is one worker's private measurement state; no locks, no
+// atomics — merged by the coordinator after the run.
+type workerStats struct {
+	connect, ehlo, rcptBatch, data, dataEnd, quit Hist
+	session                                       [2]Hist // by Class
+	verdict                                       [3]Hist // accepted, deferred, rejected
+	redials                                       uint64
+	sloViolations                                 uint64
+	errors                                        map[string]uint64
+}
+
+// Verdict indices into workerStats.verdict.
+const (
+	verdictAccepted = iota
+	verdictDeferred
+	verdictRejected
+)
+
+var verdictNames = [3]string{"accepted", "deferred", "rejected"}
+
+func newWorkerStats() *workerStats {
+	return &workerStats{errors: map[string]uint64{}}
+}
+
+// worker owns one pooled connection and executes sessions from the
+// queue. The smtpclient.Client (with its buffered reader/writer and
+// reply scratch) is reused across redials via Rebind, and the RCPT
+// volley reuses one codes slice — a worker in steady state allocates
+// only what the payload path forces.
+func (g *Generator) worker(id int, start time.Time, ws *workerStats) {
+	w := &sessionWorker{
+		g:       g,
+		id:      id,
+		start:   start,
+		ws:      ws,
+		codes:   make([]int, 0, g.cfg.MaxRcptBatch),
+		payload: buildPayload(10 << 10),
+		rcpts:   make([]string, 0, g.cfg.MaxRcptBatch),
+	}
+	// One slow-path closure per worker: the exemplar label is only
+	// rendered when a session ranks among the slowest retained.
+	w.label = func() string {
+		return fmt.Sprintf("%s rcpts=%d msg=%dB end=%d conn=%d seq=%d",
+			w.cur.Shape.Class, w.cur.Shape.Rcpts, w.cur.Shape.MsgBytes, w.cur.Shape.End, w.id, w.curSeq)
+	}
+	inst := g.inst.Load()
+	for ev := range g.queue {
+		g.busy.Add(1)
+		if inst != nil {
+			inst.poolBusy.Set(g.busy.Load())
+		}
+		// Coalesce backlog: while the newest accepted session keeps the
+		// connection and carries no payload, more queued sessions can
+		// join its pipelined burst. With an empty queue (generator
+		// keeping up) every burst has length 1 and the wire behaviour
+		// is exactly the serial exchange; under backlog the burst
+		// amortizes syscalls exactly when throughput is scarce.
+		w.batch = append(w.batch[:0], ev)
+		for len(w.batch) < maxBurst && coalescable(w.batch[len(w.batch)-1].Shape) {
+			more, ok := tryRecv(g.queue)
+			if !ok {
+				break
+			}
+			w.batch = append(w.batch, more)
+		}
+		w.burst(w.batch)
+		g.busy.Add(-1)
+	}
+	if w.connected {
+		w.client.Quit()
+		w.connected = false
+	}
+}
+
+// maxBurst bounds how many queued sessions one pipelined burst may
+// carry; 16 volleys of ≤16 RCPTs keeps both sides' reply buffers well
+// inside loopback TCP windows.
+const maxBurst = 16
+
+// coalescable reports whether a session can precede another inside one
+// pipelined burst: it must keep the connection (EndRset) and carry no
+// payload, because the pipelined RSETs destroy every envelope but the
+// final one before DATA could reference it.
+func coalescable(s Shape) bool { return s.End == EndRset && s.MsgBytes == 0 }
+
+// tryRecv is a non-blocking queue receive.
+func tryRecv(q chan Event) (Event, bool) {
+	select {
+	case ev, ok := <-q:
+		return ev, ok
+	default:
+		return Event{}, false
+	}
+}
+
+type sessionWorker struct {
+	g         *Generator
+	id        int
+	start     time.Time
+	ws        *workerStats
+	client    *smtpclient.Client
+	connected bool
+	needRset  bool
+	batch     []Event
+	counts    []int
+	codes     []int
+	rcpts     []string
+	payload   []byte
+	cur       Event
+	curSeq    uint64
+	seq       uint64
+	label     func() string
+}
+
+// buildPayload renders a reusable CRLF-lined message template; session
+// shapes slice prefixes off it.
+func buildPayload(n int) []byte {
+	buf := make([]byte, 0, n+80)
+	buf = append(buf, "Subject: soak probe\r\n\r\n"...)
+	line := "The quick brown fox jumps over the lazy dog 0123456789.\r\n"
+	for len(buf) < n {
+		buf = append(buf, line...)
+	}
+	return buf
+}
+
+// ensure makes sure the worker holds a live, greeted connection.
+func (w *sessionWorker) ensure(record bool) error {
+	if w.connected {
+		return nil
+	}
+	inst := w.g.inst.Load()
+	t0 := time.Now()
+	conn, err := w.g.cfg.Dialer.Dial(w.g.cfg.Addr)
+	if err != nil {
+		w.ws.errors["dial"]++
+		if inst != nil {
+			inst.dialErrors.Inc()
+		}
+		return err
+	}
+	if w.client == nil {
+		w.client, err = smtpclient.NewClient(conn)
+	} else {
+		err = w.client.Rebind(conn)
+		w.ws.redials++
+		if inst != nil {
+			inst.redials.Inc()
+		}
+	}
+	if err != nil {
+		w.ws.errors["banner"]++
+		return err
+	}
+	if record {
+		w.ws.connect.Record(time.Since(t0))
+	}
+	t1 := time.Now()
+	if err := w.client.Hello(w.g.cfg.HeloName); err != nil {
+		w.ws.errors["ehlo"]++
+		w.client.Close()
+		return err
+	}
+	if record {
+		w.ws.ehlo.Record(time.Since(t1))
+	}
+	w.connected = true
+	w.needRset = false
+	return nil
+}
+
+// burst executes one or more scheduled sessions as a single pipelined
+// exchange: every envelope rides one write, the reply codes come back
+// in one pass, and only the final session — the only envelope that
+// survives the pipelined RSETs — may carry DATA or end the connection.
+// A burst of one is byte-identical to the serial exchange.
+func (w *sessionWorker) burst(events []Event) {
+	g := w.g
+	inst := g.inst.Load()
+
+	// failFrom marks events[from:] failed and drops the connection.
+	failFrom := func(kind string, from int) {
+		for _, ev := range events[from:] {
+			g.failed[g.phaseOf(ev.At)].Add(1)
+		}
+		w.ws.errors[kind] += uint64(len(events) - from)
+		if inst != nil {
+			inst.ioErrors.Add(uint64(len(events) - from))
+		}
+		if w.connected {
+			w.client.Close()
+			w.connected = false
+		}
+	}
+
+	if err := w.ensure(g.phaseOf(events[0].At) != phaseWarmup); err != nil {
+		for _, ev := range events {
+			g.failed[g.phaseOf(ev.At)].Add(1)
+		}
+		return
+	}
+
+	// Queue every envelope: sender domain varies by class so
+	// greylisting sees distinct triplets; recipients rotate over a
+	// fixed population.
+	seqBase := w.seq
+	w.counts = w.counts[:0]
+	total := 0
+	for i, ev := range events {
+		w.seq++
+		from := "ham@relay.example"
+		if ev.Shape.Class == Spam {
+			from = "spam@burst.example"
+		}
+		w.rcpts = w.rcpts[:0]
+		for j := 0; j < ev.Shape.Rcpts; j++ {
+			w.rcpts = append(w.rcpts, rcptPool[(w.seq*7+uint64(j)*13+uint64(w.id))%uint64(len(rcptPool))])
+		}
+		n, err := w.client.QueueMailRcpts(from, w.rcpts, w.needRset || i > 0)
+		if err != nil {
+			failFrom("io", i)
+			return
+		}
+		w.counts = append(w.counts, n)
+		total += n
+	}
+	w.needRset = true
+
+	t0 := time.Now()
+	codes, err := w.client.FlushCodes(total, w.codes)
+	w.codes = codes[:0]
+	if err != nil {
+		failFrom("io", 0)
+		return
+	}
+	rtt := time.Since(t0)
+
+	// Per-envelope verdict walk; every session in the burst shares the
+	// burst's wire RTT, the same way the server's batch path stamps a
+	// shared service time on pipelined RCPTs.
+	accepted := 0
+	off := 0
+	for i, ev := range events {
+		record := g.phaseOf(ev.At) != phaseWarmup
+		if record {
+			w.ws.rcptBatch.Record(rtt)
+		}
+		accepted = 0
+		n := w.counts[i]
+		for _, code := range codes[off+n-ev.Shape.Rcpts : off+n] {
+			v := verdictRejected
+			switch {
+			case code/100 == 2:
+				v = verdictAccepted
+				accepted++
+			case code/100 == 4:
+				v = verdictDeferred
+			}
+			if record {
+				w.ws.verdict[v].Record(rtt)
+			}
+			if inst != nil {
+				inst.verdicts[v].Inc()
+			}
+		}
+		off += n
+		if i < len(events)-1 {
+			// Non-final sessions are complete once their replies are
+			// read; only the final one still owns the envelope.
+			w.finish(ev, seqBase+uint64(i)+1)
+		}
+	}
+
+	last := events[len(events)-1]
+	record := g.phaseOf(last.At) != phaseWarmup
+	if last.Shape.MsgBytes > 0 && accepted > 0 {
+		t1 := time.Now()
+		if err := w.client.DataStart(); err != nil {
+			if _, ok := err.(*smtpclient.Error); !ok {
+				failFrom("io", len(events)-1)
+				return
+			}
+		} else {
+			if record {
+				w.ws.data.Record(time.Since(t1))
+			}
+			body := w.payload
+			if last.Shape.MsgBytes < len(body) {
+				body = body[:last.Shape.MsgBytes]
+			}
+			t2 := time.Now()
+			if err := w.client.DataEnd(body); err != nil {
+				if _, ok := err.(*smtpclient.Error); !ok {
+					failFrom("io", len(events)-1)
+					return
+				}
+			} else if record {
+				w.ws.dataEnd.Record(time.Since(t2))
+			}
+			w.needRset = false // DATA completion resets the envelope
+		}
+	}
+
+	switch last.Shape.End {
+	case EndQuit:
+		t3 := time.Now()
+		if err := w.client.Quit(); err == nil && record {
+			w.ws.quit.Record(time.Since(t3))
+		}
+		w.connected = false
+	case EndAbort:
+		w.client.Close()
+		w.connected = false
+	}
+	w.finish(last, w.seq)
+}
+
+// finish records one session's completion. Coordinated-omission-safe:
+// latency is measured against the intended start from the arrival
+// schedule, so queue wait and scheduler lag are charged to the session.
+func (w *sessionWorker) finish(ev Event, seq uint64) {
+	g := w.g
+	phase := g.phaseOf(ev.At)
+	lat := time.Since(w.start) - ev.At
+	g.completed[phase].Add(1)
+	inst := g.inst.Load()
+	if inst != nil {
+		inst.sessions[ev.Shape.Class].Inc()
+	}
+	if phase != phaseWarmup {
+		w.cur, w.curSeq = ev, seq
+		h := &w.ws.session[ev.Shape.Class]
+		h.Record(lat)
+		h.RetainExemplar(lat, w.label)
+		if lat > g.cfg.SLO {
+			w.ws.sloViolations++
+			if inst != nil {
+				inst.sloViolations.Inc()
+			}
+		}
+	}
+}
+
+// rcptPool is the rotating recipient population.
+var rcptPool = func() []string {
+	out := make([]string, 64)
+	for i := range out {
+		out[i] = fmt.Sprintf("user%02d@victim.example", i)
+	}
+	return out
+}()
+
+// heapSampler records the per-phase HeapAlloc high-water mark.
+type heapSampler struct {
+	g   *Generator
+	max [phaseCount]uint64
+}
+
+func newHeapSampler(g *Generator) *heapSampler { return &heapSampler{g: g} }
+
+func (h *heapSampler) run(start time.Time, total time.Duration) {
+	var ms runtime.MemStats
+	inst := h.g.inst.Load()
+	for {
+		elapsed := time.Since(start)
+		if elapsed >= total {
+			return
+		}
+		runtime.ReadMemStats(&ms)
+		p := h.g.phaseOf(elapsed)
+		if ms.HeapAlloc > h.max[p] {
+			h.max[p] = ms.HeapAlloc
+		}
+		if inst != nil {
+			inst.heapBytes.Set(int64(ms.HeapAlloc))
+		}
+		time.Sleep(h.g.cfg.SampleEvery)
+	}
+}

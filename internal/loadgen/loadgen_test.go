@@ -1,0 +1,286 @@
+package loadgen
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/smtpclient"
+	"repro/internal/smtpproto"
+	"repro/internal/smtpserver"
+)
+
+func TestHistBucketEdges(t *testing.T) {
+	// Every representable value must land in a bucket whose bounds
+	// contain it, and bounds must tile without gaps.
+	for _, ns := range []int64{0, 1, 31, 32, 33, 63, 64, 100, 1000, 12345, 1 << 20, 1<<37 + 12345} {
+		i := histIndex(ns)
+		if lo, up := histLower(i), histUpper(i); ns < lo || ns >= up {
+			t.Errorf("value %d landed in bucket %d [%d,%d)", ns, i, lo, up)
+		}
+	}
+	for i := 0; i < histBuckets-1; i++ {
+		if histUpper(i) != histLower(i+1) {
+			t.Fatalf("bucket %d upper %d != bucket %d lower %d", i, histUpper(i), i+1, histLower(i+1))
+		}
+	}
+	// Out-of-range values clamp into the top bucket; max stays exact.
+	if got := histIndex(1 << 50); got != histBuckets-1 {
+		t.Errorf("out-of-range value indexed %d, want top bucket %d", got, histBuckets-1)
+	}
+	var h Hist
+	h.Record(time.Duration(1 << 50))
+	if h.Max() != time.Duration(1<<50) || h.Quantile(0.99) != time.Duration(1<<50) {
+		t.Errorf("clamped value lost exactness: max %v q99 %v", h.Max(), h.Quantile(0.99))
+	}
+}
+
+func TestHistQuantileAccuracy(t *testing.T) {
+	// Against a sorted sample, the HDR quantile must be within the
+	// layout's 1/32 relative error of the exact order statistic.
+	rng := rand.New(rand.NewSource(7))
+	var h Hist
+	samples := make([]int64, 10000)
+	for i := range samples {
+		v := int64(rng.ExpFloat64() * float64(2*time.Millisecond))
+		samples[i] = v
+		h.Record(time.Duration(v))
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		exact := samples[int(q*float64(len(samples)))]
+		got := int64(h.Quantile(q))
+		if got < exact {
+			t.Errorf("q%.3f: histogram %d below exact %d (must upper-bound)", q, got, exact)
+		}
+		if float64(got) > float64(exact)*(1+2.0/32)+2 {
+			t.Errorf("q%.3f: histogram %d overshoots exact %d beyond layout error", q, got, exact)
+		}
+	}
+	if h.Max() != time.Duration(samples[len(samples)-1]) {
+		t.Errorf("max %v != exact %v", h.Max(), time.Duration(samples[len(samples)-1]))
+	}
+}
+
+func TestHistMergeAndExemplars(t *testing.T) {
+	var a, b Hist
+	for i := 1; i <= 100; i++ {
+		a.Record(time.Duration(i) * time.Microsecond)
+	}
+	b.RecordExemplar(5*time.Millisecond, "slow-one")
+	b.RecordExemplar(9*time.Millisecond, "slowest")
+	a.Merge(&b)
+	if a.Count() != 102 {
+		t.Fatalf("merged count %d", a.Count())
+	}
+	ex := a.Exemplars()
+	if len(ex) < 2 || ex[0].Label != "slowest" || ex[0].Latency != 9*time.Millisecond {
+		t.Fatalf("exemplars after merge: %+v", ex)
+	}
+	// Once every slot holds a slower observation, RetainExemplar must
+	// not render labels that lose.
+	for i := 0; i < histExemplars; i++ {
+		a.RecordExemplar(time.Duration(i+1)*time.Second, "filler")
+	}
+	rendered := false
+	a.RetainExemplar(time.Microsecond, func() string { rendered = true; return "never" })
+	if rendered {
+		t.Error("losing exemplar label was rendered")
+	}
+}
+
+func TestArrivalsDeterministicAndOrdered(t *testing.T) {
+	cfg := ArrivalConfig{Rate: 5000, HamFraction: 0.3, Seed: 42}
+	a1, a2 := NewArrivals(cfg), NewArrivals(cfg)
+	var last time.Duration
+	ham, spam := 0, 0
+	for i := 0; i < 5000; i++ {
+		e1, e2 := a1.Next(), a2.Next()
+		if e1 != e2 {
+			t.Fatalf("event %d diverged: %+v vs %+v", i, e1, e2)
+		}
+		if e1.At < last {
+			t.Fatalf("event %d out of order: %v < %v", i, e1.At, last)
+		}
+		last = e1.At
+		if e1.Shape.Class == Ham {
+			ham++
+			if e1.Shape.MsgBytes == 0 {
+				t.Fatal("ham session without payload")
+			}
+		} else {
+			spam++
+			if e1.Shape.Rcpts < 4 {
+				t.Fatalf("spam volley too small: %d", e1.Shape.Rcpts)
+			}
+		}
+	}
+	// 30% ham with generous slack.
+	if frac := float64(ham) / 5000; frac < 0.2 || frac > 0.4 {
+		t.Errorf("ham fraction %.2f, want ~0.3", frac)
+	}
+	// The 5000 events at 5000/s must span very nearly one second: a
+	// few percent of rate bias here becomes unbounded intended-time
+	// lateness in a long open-loop run.
+	if last < 850*time.Millisecond || last > 1150*time.Millisecond {
+		t.Errorf("5000 events span %v, want ~1s", last)
+	}
+	_ = spam
+}
+
+// loadgenMetricNames is the stable exported catalogue; renaming any of
+// these breaks dashboards, so the test pins them.
+var loadgenMetricNames = []string{
+	"loadgen_sessions_offered_total",
+	"loadgen_sessions_total",
+	"loadgen_rcpt_verdicts_total",
+	"loadgen_errors_total",
+	"loadgen_redials_total",
+	"loadgen_sched_overruns_total",
+	"loadgen_slo_violations_total",
+	"loadgen_queue_depth",
+	"loadgen_pool_busy_workers",
+	"loadgen_heap_bytes",
+}
+
+func TestRegisterExportsCatalogue(t *testing.T) {
+	g := New(Config{})
+	reg := metrics.NewRegistry()
+	g.Register(reg)
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	out := buf.String()
+	for _, name := range loadgenMetricNames {
+		if !strings.Contains(out, "# TYPE "+name+" ") {
+			t.Errorf("catalogue metric %s missing from exposition", name)
+		}
+	}
+}
+
+// startSoakServer runs a greylisting-flavoured smtpserver on a netsim
+// network: first-seen recipients are deferred 451, retries accepted.
+func startSoakServer(t *testing.T) (*netsim.Network, string) {
+	t.Helper()
+	n := netsim.New()
+	l, err := n.Listen("10.0.0.1:25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	seen := map[string]bool{}
+	deferReply := smtpproto.NewReply(451, "4.7.1", "Greylisted, please retry")
+	srv := smtpserver.New(smtpserver.Config{
+		Hostname: "soak.test",
+		Hooks: smtpserver.Hooks{
+			OnRcptBatch: func(_, sender string, rcpts []string) []*smtpproto.Reply {
+				out := make([]*smtpproto.Reply, len(rcpts))
+				mu.Lock()
+				for i, r := range rcpts {
+					key := sender + "/" + r
+					if !seen[key] {
+						seen[key] = true
+						out[i] = &deferReply
+					}
+				}
+				mu.Unlock()
+				return out
+			},
+		},
+	})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		srv.Serve(l)
+	}()
+	t.Cleanup(func() {
+		srv.Close()
+		wg.Wait()
+	})
+	return n, "10.0.0.1:25"
+}
+
+// TestGeneratorSmoke drives the full open-loop pipeline against a real
+// smtpserver over netsim for a fraction of a second and checks the
+// report holds together: sessions complete, verdicts split between
+// accepted and deferred, histograms observe, phases account.
+func TestGeneratorSmoke(t *testing.T) {
+	n, addr := startSoakServer(t)
+	g := New(Config{
+		Addr:    addr,
+		Dialer:  &smtpclient.SimDialer{Net: n, LocalIP: "10.9.9.9"},
+		Conns:   4,
+		Rate:    2000,
+		Warmup:  100 * time.Millisecond,
+		Measure: 300 * time.Millisecond,
+		Soak:    200 * time.Millisecond,
+		Seed:    1,
+	})
+	reg := metrics.NewRegistry()
+	g.Register(reg)
+	rep, err := g.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(rep.Phases) != 3 {
+		t.Fatalf("phases: %+v", rep.Phases)
+	}
+	var completed uint64
+	for _, p := range rep.Phases {
+		completed += p.Completed
+		if p.Offered == 0 {
+			t.Errorf("phase %s offered no sessions", p.Name)
+		}
+		if p.HeapMaxBytes == 0 {
+			t.Errorf("phase %s has no heap watermark", p.Name)
+		}
+	}
+	if completed < 100 {
+		t.Fatalf("only %d sessions completed: %+v (errors %v)", completed, rep.Phases, rep.Errors)
+	}
+	if rep.Verbs["rcpt-batch"].Count == 0 {
+		t.Error("rcpt-batch histogram empty")
+	}
+	if rep.Verdicts["accepted"].Count == 0 || rep.Verdicts["deferred"].Count == 0 {
+		t.Errorf("verdict split missing: %+v", rep.Verdicts)
+	}
+	if rep.Sessions["ham"].Count == 0 || rep.Sessions["spam"].Count == 0 {
+		t.Errorf("session classes missing: ham=%d spam=%d",
+			rep.Sessions["ham"].Count, rep.Sessions["spam"].Count)
+	}
+	if len(rep.Sessions["spam"].Exempl) == 0 && len(rep.Sessions["ham"].Exempl) == 0 {
+		t.Error("no session exemplars retained")
+	}
+
+	// The metrics mirror saw the run.
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`loadgen_sessions_total{class="ham"}`,
+		`loadgen_sessions_total{class="spam"}`,
+		`loadgen_rcpt_verdicts_total{verdict="deferred"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+
+	// The human summary renders without blowing up.
+	var sum bytes.Buffer
+	rep.WriteSummary(&sum)
+	if !strings.Contains(sum.String(), "rcpt-batch") {
+		t.Errorf("summary missing latency table:\n%s", sum.String())
+	}
+}

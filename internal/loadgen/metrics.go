@@ -1,0 +1,57 @@
+package loadgen
+
+import "repro/internal/metrics"
+
+// Prometheus-style instruments, following the repo convention: nil
+// until Register, so an unregistered generator pays only a pointer
+// load per site. The loadgen_* names are a stable exported catalogue
+// (pinned by TestRegisterExportsCatalogue) — offered vs achieved rate,
+// pool saturation and SLO violations are exactly the signals a soak
+// dashboard needs to tell "server saturated" from "generator starved".
+type instruments struct {
+	offered       *metrics.Counter
+	sessions      [2]*metrics.Counter // by Class
+	verdicts      [3]*metrics.Counter // accepted, deferred, rejected
+	dialErrors    *metrics.Counter
+	ioErrors      *metrics.Counter
+	redials       *metrics.Counter
+	overruns      *metrics.Counter
+	sloViolations *metrics.Counter
+	queueDepth    *metrics.Gauge
+	poolBusy      *metrics.Gauge
+	heapBytes     *metrics.Gauge
+}
+
+// Register creates the loadgen_* instruments in reg and arms the
+// generator's recording sites. Call before Run.
+func (g *Generator) Register(reg *metrics.Registry) {
+	inst := &instruments{
+		offered: reg.Counter("loadgen_sessions_offered_total",
+			"Sessions released by the open-loop arrival schedule."),
+		dialErrors: reg.Counter("loadgen_errors_total",
+			"Load generator failures by kind.", "kind", "dial"),
+		ioErrors: reg.Counter("loadgen_errors_total",
+			"Load generator failures by kind.", "kind", "io"),
+		redials: reg.Counter("loadgen_redials_total",
+			"Connections re-established after QUIT, abort or failure."),
+		overruns: reg.Counter("loadgen_sched_overruns_total",
+			"Times the scheduler found the session queue full (pool saturated)."),
+		sloViolations: reg.Counter("loadgen_slo_violations_total",
+			"Sessions whose intended-to-complete latency exceeded the SLO."),
+		queueDepth: reg.Gauge("loadgen_queue_depth",
+			"Sessions waiting between the arrival schedule and the pool."),
+		poolBusy: reg.Gauge("loadgen_pool_busy_workers",
+			"Workers currently executing a session."),
+		heapBytes: reg.Gauge("loadgen_heap_bytes",
+			"Last sampled process heap allocation."),
+	}
+	for c := Ham; c <= Spam; c++ {
+		inst.sessions[c] = reg.Counter("loadgen_sessions_total",
+			"Sessions completed by traffic class.", "class", c.String())
+	}
+	for v, name := range verdictNames {
+		inst.verdicts[v] = reg.Counter("loadgen_rcpt_verdicts_total",
+			"RCPT replies by verdict class.", "verdict", name)
+	}
+	g.inst.Store(inst)
+}

@@ -1,0 +1,184 @@
+package loadgen
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// LatencySummary condenses one histogram for the report.
+type LatencySummary struct {
+	Count  uint64     `json:"count"`
+	P50ns  int64      `json:"p50_ns"`
+	P99ns  int64      `json:"p99_ns"`
+	P999ns int64      `json:"p999_ns"`
+	MaxNs  int64      `json:"max_ns"`
+	MeanNs int64      `json:"mean_ns"`
+	Exempl []Exemplar `json:"exemplars,omitempty"`
+}
+
+func summarize(h *Hist, exemplars bool) LatencySummary {
+	s := LatencySummary{
+		Count:  h.Count(),
+		P50ns:  int64(h.Quantile(0.50)),
+		P99ns:  int64(h.Quantile(0.99)),
+		P999ns: int64(h.Quantile(0.999)),
+		MaxNs:  int64(h.Max()),
+		MeanNs: int64(h.Mean()),
+	}
+	if exemplars {
+		s.Exempl = h.Exemplars()
+	}
+	return s
+}
+
+// PhaseReport is one phase's throughput and memory accounting.
+type PhaseReport struct {
+	Name         string  `json:"name"`
+	Seconds      float64 `json:"seconds"`
+	Offered      uint64  `json:"offered_sessions"`
+	Completed    uint64  `json:"completed_sessions"`
+	Failed       uint64  `json:"failed_sessions"`
+	OfferedRate  float64 `json:"offered_rate_per_sec"`
+	AchievedRate float64 `json:"achieved_rate_per_sec"`
+	HeapMaxBytes uint64  `json:"heap_max_bytes"`
+}
+
+// Report is the full result of a soak run, shaped for BENCH_soak.json.
+type Report struct {
+	Addr          string                    `json:"addr"`
+	Profile       string                    `json:"profile"`
+	RateTarget    float64                   `json:"rate_target_per_sec"`
+	Conns         int                       `json:"conns"`
+	HamFraction   float64                   `json:"ham_fraction"`
+	Seed          int64                     `json:"seed"`
+	SLOns         int64                     `json:"slo_ns"`
+	Phases        []PhaseReport             `json:"phases"`
+	Verbs         map[string]LatencySummary `json:"verb_latency"`
+	Sessions      map[string]LatencySummary `json:"session_latency"`
+	Verdicts      map[string]LatencySummary `json:"verdict_latency"`
+	Errors        map[string]uint64         `json:"errors,omitempty"`
+	Redials       uint64                    `json:"redials"`
+	SLOViolations uint64                    `json:"slo_violations"`
+}
+
+func (g *Generator) buildReport(stats []*workerStats, heap *heapSampler, elapsed time.Duration) *Report {
+	// Merge every worker's private histograms.
+	merged := newWorkerStats()
+	for _, ws := range stats {
+		merged.connect.Merge(&ws.connect)
+		merged.ehlo.Merge(&ws.ehlo)
+		merged.rcptBatch.Merge(&ws.rcptBatch)
+		merged.data.Merge(&ws.data)
+		merged.dataEnd.Merge(&ws.dataEnd)
+		merged.quit.Merge(&ws.quit)
+		for c := range merged.session {
+			merged.session[c].Merge(&ws.session[c])
+		}
+		for v := range merged.verdict {
+			merged.verdict[v].Merge(&ws.verdict[v])
+		}
+		merged.redials += ws.redials
+		merged.sloViolations += ws.sloViolations
+		for k, n := range ws.errors {
+			merged.errors[k] += n
+		}
+	}
+
+	profile := "mixed"
+	if g.cfg.Probe {
+		profile = "probe"
+	}
+	r := &Report{
+		Addr:        g.cfg.Addr,
+		Profile:     profile,
+		RateTarget:  g.cfg.Rate,
+		Conns:       g.cfg.Conns,
+		HamFraction: g.cfg.HamFraction,
+		Seed:        g.cfg.Seed,
+		SLOns:       int64(g.cfg.SLO),
+		Verbs: map[string]LatencySummary{
+			"connect":    summarize(&merged.connect, false),
+			"ehlo":       summarize(&merged.ehlo, false),
+			"rcpt-batch": summarize(&merged.rcptBatch, false),
+			"data":       summarize(&merged.data, false),
+			"data-end":   summarize(&merged.dataEnd, false),
+			"quit":       summarize(&merged.quit, false),
+		},
+		Sessions: map[string]LatencySummary{
+			Ham.String():  summarize(&merged.session[Ham], true),
+			Spam.String(): summarize(&merged.session[Spam], true),
+		},
+		Verdicts: map[string]LatencySummary{
+			verdictNames[verdictAccepted]: summarize(&merged.verdict[verdictAccepted], false),
+			verdictNames[verdictDeferred]: summarize(&merged.verdict[verdictDeferred], false),
+			verdictNames[verdictRejected]: summarize(&merged.verdict[verdictRejected], false),
+		},
+		Redials:       merged.redials,
+		SLOViolations: merged.sloViolations,
+	}
+	if len(merged.errors) > 0 {
+		r.Errors = merged.errors
+	}
+
+	durations := [phaseCount]time.Duration{g.cfg.Warmup, g.cfg.Measure, g.cfg.Soak}
+	// The last configured phase absorbs any spill-over drain time.
+	for p := 0; p < phaseCount; p++ {
+		d := durations[p]
+		if d == 0 {
+			continue
+		}
+		secs := d.Seconds()
+		offered := g.offered[p].Load()
+		completed := g.completed[p].Load()
+		r.Phases = append(r.Phases, PhaseReport{
+			Name:         phaseNames[p],
+			Seconds:      secs,
+			Offered:      offered,
+			Completed:    completed,
+			Failed:       g.failed[p].Load(),
+			OfferedRate:  float64(offered) / secs,
+			AchievedRate: float64(completed) / secs,
+			HeapMaxBytes: heap.max[p],
+		})
+	}
+	return r
+}
+
+// WriteSummary renders a human-readable digest of the report.
+func (r *Report) WriteSummary(w io.Writer) {
+	fmt.Fprintf(w, "soak %s [%s]: target %.0f sessions/s over %d conns (ham %.0f%%)\n",
+		r.Addr, r.Profile, r.RateTarget, r.Conns, r.HamFraction*100)
+	for _, p := range r.Phases {
+		fmt.Fprintf(w, "  %-8s %6.1fs offered %8d (%9.1f/s)  completed %8d (%9.1f/s)  failed %5d  heap max %6.1f MiB\n",
+			p.Name, p.Seconds, p.Offered, p.OfferedRate, p.Completed, p.AchievedRate, p.Failed,
+			float64(p.HeapMaxBytes)/(1<<20))
+	}
+	fmt.Fprintf(w, "  redials %d  slo violations %d (slo %s)\n",
+		r.Redials, r.SLOViolations, time.Duration(r.SLOns))
+	writeLatencyTable(w, "verb", r.Verbs)
+	writeLatencyTable(w, "session", r.Sessions)
+	writeLatencyTable(w, "verdict", r.Verdicts)
+	for class, s := range r.Sessions {
+		for _, ex := range s.Exempl {
+			fmt.Fprintf(w, "  exemplar %-5s %12s  %s\n", class, ex.Latency, ex.Label)
+		}
+	}
+}
+
+func writeLatencyTable(w io.Writer, kind string, m map[string]LatencySummary) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		if m[k].Count > 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		s := m[k]
+		fmt.Fprintf(w, "  %-8s %-10s n=%-9d p50 %10s  p99 %10s  p99.9 %10s  max %10s\n",
+			kind, k, s.Count,
+			time.Duration(s.P50ns), time.Duration(s.P99ns), time.Duration(s.P999ns), time.Duration(s.MaxNs))
+	}
+}

@@ -192,45 +192,54 @@ func ParseReply(br *bufio.Reader) (Reply, error) {
 		if err != nil {
 			return Reply{}, err
 		}
-		if len(line) < 3 {
-			return Reply{}, fmt.Errorf("%w: short reply line %q", ErrBadSyntax, line)
-		}
-		code := 0
-		for _, c := range line[:3] {
-			if c < '0' || c > '9' {
-				return Reply{}, fmt.Errorf("%w: reply code %q", ErrBadSyntax, line[:3])
-			}
-			code = code*10 + int(c-'0')
-		}
-		if reply.Code != 0 && code != reply.Code {
-			return Reply{}, fmt.Errorf("%w: inconsistent codes %d and %d", ErrBadSyntax, reply.Code, code)
-		}
-		reply.Code = code
-		more := false
-		rest := ""
-		switch {
-		case len(line) == 3:
-		case line[3] == '-':
-			more = true
-			rest = line[4:]
-		case line[3] == ' ':
-			rest = line[4:]
-		default:
-			return Reply{}, fmt.Errorf("%w: separator in %q", ErrBadSyntax, line)
-		}
-		if reply.Enhanced == "" {
-			if enh, remainder, ok := splitEnhanced(code, rest); ok {
-				reply.Enhanced = enh
-				rest = remainder
-			}
-		} else if enh, remainder, ok := splitEnhanced(code, rest); ok && enh == reply.Enhanced {
-			rest = remainder
+		rest, more, err := parseReplyLine(&reply, line)
+		if err != nil {
+			return Reply{}, err
 		}
 		reply.Lines = append(reply.Lines, rest)
 		if !more {
 			return reply, nil
 		}
 	}
+}
+
+// parseReplyLine folds one raw reply line into reply (code consistency,
+// separator, enhanced status code), returning the text remainder and
+// whether more lines follow. Shared by ParseReply and ParseReplyBuf.
+func parseReplyLine(reply *Reply, line string) (rest string, more bool, err error) {
+	if len(line) < 3 {
+		return "", false, fmt.Errorf("%w: short reply line %q", ErrBadSyntax, line)
+	}
+	code := 0
+	for _, c := range line[:3] {
+		if c < '0' || c > '9' {
+			return "", false, fmt.Errorf("%w: reply code %q", ErrBadSyntax, line[:3])
+		}
+		code = code*10 + int(c-'0')
+	}
+	if reply.Code != 0 && code != reply.Code {
+		return "", false, fmt.Errorf("%w: inconsistent codes %d and %d", ErrBadSyntax, reply.Code, code)
+	}
+	reply.Code = code
+	switch {
+	case len(line) == 3:
+	case line[3] == '-':
+		more = true
+		rest = line[4:]
+	case line[3] == ' ':
+		rest = line[4:]
+	default:
+		return "", false, fmt.Errorf("%w: separator in %q", ErrBadSyntax, line)
+	}
+	if reply.Enhanced == "" {
+		if enh, remainder, ok := splitEnhanced(code, rest); ok {
+			reply.Enhanced = enh
+			rest = remainder
+		}
+	} else if enh, remainder, ok := splitEnhanced(code, rest); ok && enh == reply.Enhanced {
+		rest = remainder
+	}
+	return rest, more, nil
 }
 
 // splitEnhanced recognizes a leading RFC 2034 enhanced status code whose
@@ -378,11 +387,15 @@ func DomainOf(mailbox string) string {
 // DotReader reads a DATA payload from br up to the terminating ".",
 // transparently removing dot-stuffing and enforcing maxSize (0 = no
 // limit). After it returns io.EOF, the terminator has been consumed.
+// A DotReader can be reused across messages via Reset; its line scratch
+// buffer survives the reset, so a pooled SMTP session reads every DATA
+// payload without per-line allocation.
 type DotReader struct {
 	br      *bufio.Reader
 	maxSize int
 	read    int
 	buf     []byte
+	line    []byte // reusable line scratch (readLineAppend)
 	done    bool
 	tooBig  bool
 }
@@ -392,17 +405,30 @@ func NewDotReader(br *bufio.Reader, maxSize int) *DotReader {
 	return &DotReader{br: br, maxSize: maxSize}
 }
 
+// Reset rearms the reader for a new payload on br, keeping the line
+// scratch buffer. The previous payload's backing array is released (it
+// belongs to whoever received it from ReadAll).
+func (d *DotReader) Reset(br *bufio.Reader, maxSize int) {
+	d.br = br
+	d.maxSize = maxSize
+	d.read = 0
+	d.buf = nil
+	d.done = false
+	d.tooBig = false
+}
+
 // TooBig reports whether the payload exceeded the size limit. The reader
 // consumes the whole payload either way so the session can continue.
 func (d *DotReader) TooBig() bool { return d.tooBig }
 
-// Read implements io.Reader.
-func (d *DotReader) Read(p []byte) (int, error) {
-	for len(d.buf) == 0 {
-		if d.done {
-			return 0, io.EOF
-		}
-		line, err := readLine(d.br, MaxTextLine)
+// nextLine fetches the next unstuffed payload line (no CRLF), handling
+// size accounting. keep reports whether the line belongs in the payload
+// (false once the size limit is exceeded); io.EOF means the terminator
+// was consumed.
+func (d *DotReader) nextLine() (line []byte, keep bool, err error) {
+	for {
+		l, err := readLineAppend(d.br, d.line, MaxTextLine)
+		d.line = l[:0]
 		if err != nil {
 			if errors.Is(err, ErrLineTooLong) {
 				// Keep the oversized line's tail out of the message but
@@ -412,19 +438,41 @@ func (d *DotReader) Read(p []byte) (int, error) {
 			}
 			if errors.Is(err, io.EOF) {
 				// Stream ended before the ".": the message is incomplete.
-				return 0, io.ErrUnexpectedEOF
+				return nil, false, io.ErrUnexpectedEOF
+			}
+			return nil, false, err
+		}
+		if len(l) == 1 && l[0] == '.' {
+			d.done = true
+			return nil, false, io.EOF
+		}
+		if len(l) > 0 && l[0] == '.' {
+			l = l[1:] // unstuff
+		}
+		d.read += len(l) + 2
+		if d.maxSize > 0 && d.read > d.maxSize {
+			d.tooBig = true
+			return l, false, nil // drain to terminator without buffering
+		}
+		return l, true, nil
+	}
+}
+
+// Read implements io.Reader.
+func (d *DotReader) Read(p []byte) (int, error) {
+	for len(d.buf) == 0 {
+		if d.done {
+			return 0, io.EOF
+		}
+		line, keep, err := d.nextLine()
+		if err != nil {
+			if errors.Is(err, io.EOF) && d.done {
+				return 0, io.EOF
 			}
 			return 0, err
 		}
-		if line == "." {
-			d.done = true
-			return 0, io.EOF
-		}
-		line = strings.TrimPrefix(line, ".") // unstuff
-		d.read += len(line) + 2
-		if d.maxSize > 0 && d.read > d.maxSize {
-			d.tooBig = true
-			continue // drain to terminator without buffering
+		if !keep {
+			continue
 		}
 		d.buf = append(d.buf, line...)
 		d.buf = append(d.buf, '\r', '\n')
@@ -434,16 +482,29 @@ func (d *DotReader) Read(p []byte) (int, error) {
 	return n, nil
 }
 
-// ReadAll drains the DotReader and returns the payload.
+// ReadAll drains the DotReader and returns the payload in one buffer
+// (ownership passes to the caller; Reset releases it).
 func (d *DotReader) ReadAll() ([]byte, error) {
-	data, err := io.ReadAll(d)
-	if err != nil {
-		return nil, err
+	out := d.buf
+	d.buf = nil
+	for !d.done {
+		line, keep, err := d.nextLine()
+		if err != nil {
+			if errors.Is(err, io.EOF) && d.done {
+				break
+			}
+			return nil, err
+		}
+		if !keep {
+			continue
+		}
+		out = append(out, line...)
+		out = append(out, '\r', '\n')
 	}
 	if d.tooBig {
-		return data, ErrMessageTooBig
+		return out, ErrMessageTooBig
 	}
-	return data, nil
+	return out, nil
 }
 
 // WriteDotStuffed writes data to w with dot-stuffing applied and the final

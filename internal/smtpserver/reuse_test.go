@@ -1,0 +1,176 @@
+package smtpserver
+
+import (
+	"bufio"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/smtpproto"
+)
+
+// txn is one mail transaction of the reuse table.
+type txn struct {
+	// lines are written in one burst (RFC 2920 pipelining); payload
+	// lines ride along after DATA.
+	lines []string
+	// replies is how many complete SMTP replies the burst elicits.
+	replies int
+}
+
+// TestReusedConnByteIdentity pins the zero-alloc refactor's contract:
+// a pooled connection carrying N sequential mail transactions
+// (RSET-separated, closed by QUIT) must receive byte-identical replies
+// to the same N transactions issued over N fresh connections. It runs
+// each shape through the batch-hook server so the pipelined RCPT path,
+// the deferral path and the protocol-error path are all covered, and
+// the fresh-connection mode recycles server sessions through the
+// sync.Pool between dials.
+func TestReusedConnByteIdentity(t *testing.T) {
+	cases := []struct {
+		name string
+		txns []txn
+	}{
+		{
+			name: "simple-delivery",
+			txns: []txn{
+				{[]string{"MAIL FROM:<a@ham.org>", "RCPT TO:<u@foo.net>", "DATA", "Subject: hi", "", "body", "."}, 4},
+				{[]string{"MAIL FROM:<b@ham.org>", "RCPT TO:<v@foo.net>", "DATA", "again", "."}, 4},
+				{[]string{"MAIL FROM:<c@ham.org>", "RCPT TO:<w@foo.net>", "DATA", "..", "."}, 4},
+			},
+		},
+		{
+			name: "pipelined-rcpt-burst",
+			txns: []txn{
+				{append([]string{"MAIL FROM:<a@ham.org>"},
+					"RCPT TO:<u1@foo.net>", "RCPT TO:<u2@foo.net>", "RCPT TO:<u3@foo.net>",
+					"RCPT TO:<u4@foo.net>", "DATA", "x", "."), 7},
+				{[]string{"MAIL FROM:<b@ham.org>", "RCPT TO:<u5@foo.net>", "RCPT TO:<u6@foo.net>", "DATA", "y", "."}, 5},
+			},
+		},
+		{
+			name: "greylist-deferrals",
+			txns: []txn{
+				// Mixed burst: accepts interleaved with 451 deferrals.
+				{[]string{"MAIL FROM:<a@spam.biz>", "RCPT TO:<defer1@foo.net>", "RCPT TO:<u@foo.net>", "RCPT TO:<defer2@foo.net>", "DATA", "z", "."}, 6},
+				// Every recipient deferred: DATA must draw the 503.
+				{[]string{"MAIL FROM:<b@spam.biz>", "RCPT TO:<defer3@foo.net>", "DATA"}, 3},
+			},
+		},
+		{
+			name: "chatty-session",
+			txns: []txn{
+				{[]string{"NOOP", "VRFY u@foo.net", "HELP", "MAIL FROM:<a@ham.org>", "RCPT TO:<u@foo.net>", "DATA", "m", "."}, 7},
+				{[]string{"XBOGUS", "MAIL FROM:<not-an-address", "MAIL FROM:<b@ham.org>", "RCPT TO:<v@foo.net>", "DATA", "n", "."}, 6},
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			env := startServer(t, Config{Hooks: Hooks{
+				OnRcptBatch: func(_, _ string, rcpts []string) []*smtpproto.Reply {
+					out := make([]*smtpproto.Reply, len(rcpts))
+					for i, r := range rcpts {
+						if strings.HasPrefix(r, "defer") {
+							rep := smtpproto.NewReply(451, "4.7.1", "Greylisted, please retry")
+							out[i] = &rep
+						}
+					}
+					return out
+				},
+			}})
+			reused := runTxnsReused(t, env, "10.9.0.1", tc.txns)
+			fresh := runTxnsFresh(t, env, "10.9.0.2", tc.txns)
+			for i := range tc.txns {
+				if reused[i] != fresh[i] {
+					t.Errorf("txn %d reply bytes diverge:\nreused: %q\nfresh:  %q", i, reused[i], fresh[i])
+				}
+			}
+		})
+	}
+}
+
+// runTxnsReused issues every transaction over one connection, separated
+// by RSET, and returns each transaction's raw reply bytes (the RSET and
+// QUIT replies are read but excluded — they have no fresh-mode twin).
+func runTxnsReused(t *testing.T, env *testEnv, ip string, txns []txn) []string {
+	t.Helper()
+	conn, err := env.net.Dial(ip+":41000", env.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	readRawReply(t, br) // banner
+	sendLines(t, conn, []string{"EHLO client.example"})
+	readRawReply(t, br)
+	out := make([]string, 0, len(txns))
+	for i, tx := range txns {
+		if i > 0 {
+			sendLines(t, conn, []string{"RSET"})
+			readRawReply(t, br)
+		}
+		sendLines(t, conn, tx.lines)
+		var sb strings.Builder
+		for j := 0; j < tx.replies; j++ {
+			sb.WriteString(readRawReply(t, br))
+		}
+		out = append(out, sb.String())
+	}
+	sendLines(t, conn, []string{"QUIT"})
+	readRawReply(t, br)
+	return out
+}
+
+// runTxnsFresh issues each transaction over its own connection; the
+// sequential dials recycle server sessions through the pool.
+func runTxnsFresh(t *testing.T, env *testEnv, ip string, txns []txn) []string {
+	t.Helper()
+	out := make([]string, 0, len(txns))
+	for i, tx := range txns {
+		conn, err := env.net.Dial(fmt.Sprintf("%s:%d", ip, 42000+i), env.addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		br := bufio.NewReader(conn)
+		readRawReply(t, br) // banner
+		sendLines(t, conn, []string{"EHLO client.example"})
+		readRawReply(t, br)
+		sendLines(t, conn, tx.lines)
+		var sb strings.Builder
+		for j := 0; j < tx.replies; j++ {
+			sb.WriteString(readRawReply(t, br))
+		}
+		out = append(out, sb.String())
+		sendLines(t, conn, []string{"QUIT"})
+		readRawReply(t, br)
+		conn.Close()
+	}
+	return out
+}
+
+// sendLines writes lines as one CRLF-joined burst (a pipelining client's
+// single write).
+func sendLines(t *testing.T, conn interface{ Write([]byte) (int, error) }, lines []string) {
+	t.Helper()
+	if _, err := conn.Write([]byte(strings.Join(lines, "\r\n") + "\r\n")); err != nil {
+		t.Fatalf("write %v: %v", lines, err)
+	}
+}
+
+// readRawReply reads one complete SMTP reply (following "xyz-"
+// continuation lines) and returns its raw bytes.
+func readRawReply(t *testing.T, br *bufio.Reader) string {
+	t.Helper()
+	var sb strings.Builder
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatalf("reading reply: %v (got %q)", err, sb.String())
+		}
+		sb.WriteString(line)
+		if len(line) < 4 || line[3] != '-' {
+			return sb.String()
+		}
+	}
+}

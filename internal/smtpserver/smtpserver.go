@@ -13,6 +13,7 @@ package smtpserver
 
 import (
 	"bufio"
+	"bytes"
 	"crypto/tls"
 	"errors"
 	"fmt"
@@ -96,7 +97,11 @@ type SessionTrace struct {
 	// SentQuit reports a polite QUIT before disconnect.
 	SentQuit bool
 	// Verbs is the sequence of command verbs received (upper-cased;
-	// unparsable lines recorded as "?").
+	// unparsable lines recorded as "?"). Only recorded when an
+	// OnSessionEnd hook is configured, and capped at maxTraceVerbs so a
+	// connection that pipelines millions of commands (a soak run, a
+	// hostile client) cannot grow an unbounded verb log; the opening
+	// dialog is what sender fingerprinting reads anyway.
 	Verbs []string
 	// ProtocolErrors counts syntax and sequencing errors.
 	ProtocolErrors int
@@ -162,6 +167,14 @@ type Server struct {
 
 	inst atomic.Pointer[instruments]
 
+	// Pre-rendered hostname-dependent wire images (see wire.go): the
+	// banner, the QUIT farewell and the EHLO extension tail are written
+	// as fixed bytes instead of being re-rendered per session.
+	banner      *staticReply
+	quit        *staticReply
+	ehloTail    []byte
+	ehloTailTLS []byte
+
 	mu        sync.Mutex
 	stats     Stats
 	closed    bool
@@ -190,7 +203,9 @@ func New(cfg Config) *Server {
 	if cfg.MaxRcptBatch == 0 {
 		cfg.MaxRcptBatch = 64
 	}
-	return &Server{cfg: cfg, conns: make(map[net.Conn]struct{})}
+	s := &Server{cfg: cfg, conns: make(map[net.Conn]struct{})}
+	s.buildServerReplies()
+	return s
 }
 
 // Hostname returns the announced hostname.
@@ -300,8 +315,24 @@ type session struct {
 	senderSet  bool
 	recipients []string
 	errors     int
+	// replies4xx counts transient replies sent, accumulated as they go
+	// out so sessionOutcome never has to re-walk the trace events.
+	replies4xx int
 	trace      SessionTrace
-	tlsActive  bool
+	// keepVerbs gates trace.Verbs accumulation: recording a verb log
+	// nobody reads would grow without bound on long-lived pipelined
+	// connections, so it is only kept when OnSessionEnd will see it.
+	keepVerbs bool
+	tlsActive bool
+
+	// lineBuf is the reusable command-line scratch (ReadCommandLineAppend)
+	// and out the reusable reply scratch (Reply.AppendTo); both survive
+	// session reuse through the pool.
+	lineBuf []byte
+	out     []byte
+	// dr is the pooled DATA payload reader; its line scratch survives
+	// across messages and sessions.
+	dr smtpproto.DotReader
 
 	// tr is the conversation trace: carried by the connection (the
 	// dialing client's trace) or server-originated via Config.Tracer.
@@ -321,15 +352,7 @@ func (s *Server) serveConn(conn net.Conn) {
 	if host, _, err := net.SplitHostPort(clientIP); err == nil {
 		clientIP = host
 	}
-	sess := &session{
-		srv:      s,
-		conn:     conn,
-		br:       bufio.NewReader(conn),
-		bw:       bufio.NewWriter(conn),
-		clientIP: clientIP,
-		state:    stateConnected,
-		trace:    SessionTrace{ClientIP: clientIP, StartedAt: s.cfg.Clock.Now()},
-	}
+	sess := s.acquireSession(conn, clientIP)
 	sess.tr = trace.FromConn(conn)
 	if sess.tr == nil && s.cfg.Tracer != nil {
 		sess.tr = s.cfg.Tracer.StartSession(trace.Tags{}, clientIP, s.cfg.Clock.Now)
@@ -339,50 +362,105 @@ func (s *Server) serveConn(conn net.Conn) {
 		sess.curVerb = "connect"
 		sess.verbStart = s.cfg.Clock.Now()
 	}
-	if inst := s.inst.Load(); inst != nil {
-		start := time.Now()
-		if sess.tr != nil {
-			// The session-latency bucket remembers this conversation as
-			// its exemplar, linking slow buckets to concrete dialogs.
-			defer func() { inst.sessionSeconds.ObserveDurationExemplar(time.Since(start), sess.tr.ID()) }()
-		} else {
-			defer func() { inst.sessionSeconds.ObserveDuration(time.Since(start)) }()
-		}
+	inst := s.inst.Load()
+	var start time.Time
+	if inst != nil {
+		start = time.Now()
 	}
 	sess.run()
-	if hook := s.cfg.Hooks.OnSessionEnd; hook != nil {
+	// Replies suppressed by the pipelining rule must hit the wire
+	// before the connection closes.
+	sess.bw.Flush()
+	hook := s.cfg.Hooks.OnSessionEnd
+	if hook != nil {
+		// The hook may retain the trace (dialect.Collector does), so it
+		// gets a detached copy — the pooled session's own trace field is
+		// recycled by the next connection. The copy still shares the
+		// Verbs backing array, which release() surrenders below.
 		sess.trace.EndedAt = s.cfg.Clock.Now()
-		hook(&sess.trace)
+		t := sess.trace
+		hook(&t)
 	}
 	if sess.ownTrace {
 		sess.tr.Finish(sess.sessionOutcome())
 	}
+	if inst != nil {
+		if sess.tr != nil {
+			// The session-latency bucket remembers this conversation as
+			// its exemplar, linking slow buckets to concrete dialogs.
+			inst.sessionSeconds.ObserveDurationExemplar(time.Since(start), sess.tr.ID())
+		} else {
+			inst.sessionSeconds.ObserveDuration(time.Since(start))
+		}
+	}
+	sess.release(hook != nil)
 }
 
-// sessionOutcome classifies a server-originated trace at session end.
+// sessionOutcome classifies a server-originated trace at session end,
+// from counters the session accumulated as it ran (no event re-walk).
 func (sess *session) sessionOutcome() string {
 	if sess.trace.MessagesSent > 0 {
 		return "delivered"
 	}
-	for _, e := range sess.tr.Events() {
-		if e.Kind == trace.KindVerb && e.Code >= 400 && e.Code < 500 {
-			return "deferred"
-		}
+	if sess.replies4xx > 0 {
+		return "deferred"
 	}
 	return "no-delivery"
 }
 
-func (sess *session) reply(r smtpproto.Reply) bool {
+// sendRaw is the single exit point for reply bytes: it feeds the reply
+// counters and the verb trace, counts transient replies for
+// sessionOutcome, writes the wire image and flushes.
+func (sess *session) sendRaw(code int, first string, wire []byte) bool {
 	if inst := sess.srv.inst.Load(); inst != nil {
-		inst.countReply(r.Code)
+		inst.countReply(code)
 	}
 	if sess.tr != nil {
-		sess.recordVerb(r)
+		sess.tr.Verb(sess.curVerb, code, first, sess.srv.cfg.Clock.Now().Sub(sess.verbStart))
 	}
-	if _, err := sess.bw.WriteString(r.String()); err != nil {
+	if code >= 400 && code < 500 {
+		sess.replies4xx++
+	}
+	if _, err := sess.bw.Write(wire); err != nil {
 		return false
 	}
+	return sess.flush()
+}
+
+// flush writes buffered replies out — unless at least one complete
+// pipelined command line is already sitting in the read buffer, the
+// RFC 2920 §3.2 server-side buffering rule. Replies to a pipelined
+// burst then leave in one TCP segment (one write syscall) when the
+// burst's last buffered command is answered, instead of one flush per
+// command. Requiring a complete line rather than any buffered bytes
+// keeps the no-deadlock invariant: the next command read is served
+// from memory without blocking, so a suppressed reply can never stall
+// the exchange on a half-received line. Paths that hand the socket to
+// a different reader (DATA payload, STARTTLS handshake) or close it
+// must force the flush with bw.Flush directly.
+func (sess *session) flush() bool {
+	if n := sess.br.Buffered(); n > 0 {
+		if buf, err := sess.br.Peek(n); err == nil && bytes.IndexByte(buf, '\n') >= 0 {
+			return true
+		}
+	}
 	return sess.bw.Flush() == nil
+}
+
+// replyStatic sends a pre-rendered fixed reply.
+func (sess *session) replyStatic(p *staticReply) bool {
+	return sess.sendRaw(p.code, p.first, p.wire)
+}
+
+// reply sends a dynamic reply (hook verdicts), rendering it into the
+// session's reusable scratch buffer.
+func (sess *session) reply(r smtpproto.Reply) bool {
+	sess.out = r.AppendTo(sess.out[:0])
+	first := ""
+	if len(r.Lines) > 0 {
+		first = r.Lines[0]
+	}
+	return sess.sendRaw(r.Code, first, sess.out)
 }
 
 // recordVerb appends a per-verb trace event: the verb being answered,
@@ -404,28 +482,29 @@ func (sess *session) run() {
 			if !r.Positive() {
 				return
 			}
-		} else if !sess.reply(smtpproto.NewReply(220, "", s.cfg.Hostname+" ESMTP ready")) {
+		} else if !sess.replyStatic(s.banner) {
 			return
 		}
-	} else if !sess.reply(smtpproto.NewReply(220, "", s.cfg.Hostname+" ESMTP ready")) {
+	} else if !sess.replyStatic(s.banner) {
 		return
 	}
 
 	for {
 		sess.armReadTimeout()
-		line, err := smtpproto.ReadCommandLine(sess.br)
+		line, err := smtpproto.ReadCommandLineAppend(sess.br, sess.lineBuf)
+		sess.lineBuf = line[:0]
 		if err != nil {
 			if errors.Is(err, smtpproto.ErrLineTooLong) {
-				if !sess.protocolError(smtpproto.NewReply(500, "5.5.2", "Line too long")) {
+				if !sess.protocolError(replyLineTooLong) {
 					return
 				}
 				continue
 			}
 			return // client went away
 		}
-		cmd, err := smtpproto.ParseCommand(line)
+		cmd, err := smtpproto.ParseCommandBytes(line)
 		if err != nil {
-			sess.trace.Verbs = append(sess.trace.Verbs, "?")
+			sess.recordTraceVerb("?")
 			if sess.tr != nil {
 				sess.curVerb = "?"
 				sess.verbStart = s.cfg.Clock.Now()
@@ -433,12 +512,12 @@ func (sess *session) run() {
 			if inst := s.inst.Load(); inst != nil {
 				inst.other.Inc()
 			}
-			if !sess.protocolError(smtpproto.NewReply(500, "5.5.2", "Unrecognized command")) {
+			if !sess.protocolError(replyUnrecognized) {
 				return
 			}
 			continue
 		}
-		sess.trace.Verbs = append(sess.trace.Verbs, cmd.Verb)
+		sess.recordTraceVerb(cmd.Verb)
 		if sess.tr != nil {
 			sess.curVerb = cmd.Verb
 			sess.verbStart = s.cfg.Clock.Now()
@@ -452,19 +531,32 @@ func (sess *session) run() {
 	}
 }
 
-// protocolError replies r, counts the error and reports whether the
+// maxTraceVerbs caps SessionTrace.Verbs; the opening dialog is what
+// dialect fingerprinting reads, and an uncapped log would leak on
+// connections that stream commands indefinitely.
+const maxTraceVerbs = 512
+
+// recordTraceVerb appends one verb to the session's dialog trace,
+// subject to the keepVerbs gate and the maxTraceVerbs cap.
+func (sess *session) recordTraceVerb(verb string) {
+	if sess.keepVerbs && len(sess.trace.Verbs) < maxTraceVerbs {
+		sess.trace.Verbs = append(sess.trace.Verbs, verb)
+	}
+}
+
+// protocolError replies p, counts the error and reports whether the
 // session should continue.
-func (sess *session) protocolError(r smtpproto.Reply) bool {
+func (sess *session) protocolError(p *staticReply) bool {
 	sess.srv.mu.Lock()
 	sess.srv.stats.ProtocolErrors++
 	sess.srv.mu.Unlock()
 	sess.errors++
 	sess.trace.ProtocolErrors++
 	if sess.errors >= sess.srv.cfg.MaxErrors {
-		sess.reply(smtpproto.NewReply(421, "4.7.0", "Too many errors, closing connection"))
+		sess.replyStatic(replyTooManyErrs)
 		return false
 	}
-	return sess.reply(r)
+	return sess.replyStatic(p)
 }
 
 // dispatch handles one command; the return value reports whether the
@@ -486,31 +578,29 @@ func (sess *session) dispatch(cmd smtpproto.Command) bool {
 		if sess.state != stateConnected {
 			sess.state = stateGreeted
 		}
-		return sess.reply(smtpproto.NewReply(250, "2.0.0", "OK"))
+		return sess.replyStatic(replyOK)
 	case smtpproto.VerbNOOP:
-		return sess.reply(smtpproto.NewReply(250, "2.0.0", "OK"))
+		return sess.replyStatic(replyOK)
 	case "STARTTLS":
 		return sess.handleStartTLS()
 	case smtpproto.VerbQUIT:
 		sess.trace.SentQuit = true
-		sess.reply(smtpproto.NewReply(221, "2.0.0", sess.srv.cfg.Hostname+" closing connection"))
+		sess.replyStatic(sess.srv.quit)
 		return false
 	case smtpproto.VerbVRFY:
 		// RFC 5321 allows a noncommittal answer; disclosing users
 		// aids spammers.
-		return sess.reply(smtpproto.NewReply(252, "2.1.5", "Cannot VRFY user, send some mail and find out"))
+		return sess.replyStatic(replyVrfy)
 	case smtpproto.VerbHELP:
-		return sess.reply(smtpproto.Reply{Code: 214, Lines: []string{
-			"Commands: HELO EHLO MAIL RCPT DATA RSET NOOP QUIT VRFY HELP",
-		}})
+		return sess.replyStatic(replyHelp)
 	default:
-		return sess.protocolError(smtpproto.NewReply(500, "5.5.2", "Command not recognized"))
+		return sess.protocolError(replyNotRecog)
 	}
 }
 
 func (sess *session) handleHelo(arg string, extended bool) bool {
 	if arg == "" {
-		return sess.protocolError(smtpproto.NewReply(501, "5.5.4", "Hostname required"))
+		return sess.protocolError(replyHostnameReq)
 	}
 	sess.trace.HeloName = arg
 	if extended {
@@ -530,36 +620,48 @@ func (sess *session) handleHelo(arg string, extended bool) bool {
 	sess.helo = arg
 	sess.state = stateGreeted
 	sess.resetEnvelope()
+	// The greeting line is the only dynamic part; append it into the
+	// session scratch and, for EHLO, splice in the pre-rendered
+	// extension tail.
+	host := sess.srv.cfg.Hostname
+	sess.out = sess.out[:0]
 	if !extended {
-		return sess.reply(smtpproto.NewReply(250, "", sess.srv.cfg.Hostname+" Hello "+arg))
+		sess.out = append(sess.out, "250 "...)
+	} else {
+		sess.out = append(sess.out, "250-"...)
 	}
-	lines := []string{
-		sess.srv.cfg.Hostname + " Hello " + arg,
-		"PIPELINING",
-		"SIZE " + strconv.Itoa(sess.srv.cfg.MaxMessageSize),
-		"8BITMIME",
-		"ENHANCEDSTATUSCODES",
+	sess.out = append(sess.out, host...)
+	sess.out = append(sess.out, " Hello "...)
+	sess.out = append(sess.out, arg...)
+	sess.out = append(sess.out, '\r', '\n')
+	if extended {
+		tail := sess.srv.ehloTail
+		if sess.srv.cfg.TLS != nil && !sess.tlsActive {
+			tail = sess.srv.ehloTailTLS
+		}
+		sess.out = append(sess.out, tail...)
 	}
-	if sess.srv.cfg.TLS != nil && !sess.tlsActive {
-		lines = append(lines, "STARTTLS")
+	first := ""
+	if sess.tr != nil {
+		first = host + " Hello " + arg
 	}
-	return sess.reply(smtpproto.Reply{Code: 250, Lines: lines})
+	return sess.sendRaw(250, first, sess.out)
 }
 
 func (sess *session) handleMail(arg string) bool {
 	if sess.state == stateConnected {
-		return sess.protocolError(smtpproto.NewReply(503, "5.5.1", "Send HELO/EHLO first"))
+		return sess.protocolError(replyNeedHelo)
 	}
 	if sess.state != stateGreeted {
-		return sess.protocolError(smtpproto.NewReply(503, "5.5.1", "Nested MAIL command"))
+		return sess.protocolError(replyNestedMail)
 	}
 	sender, params, err := smtpproto.ParseMailArg(arg)
 	if err != nil {
-		return sess.protocolError(smtpproto.NewReply(501, "5.5.4", "Bad sender address syntax"))
+		return sess.protocolError(replyBadSender)
 	}
 	if size, ok := params["SIZE"]; ok {
 		if n, err := strconv.Atoi(size); err == nil && n > sess.srv.cfg.MaxMessageSize {
-			return sess.reply(smtpproto.NewReply(552, "5.3.4", "Message size exceeds limit"))
+			return sess.replyStatic(replySizeLimit)
 		}
 	}
 	if hook := sess.srv.cfg.Hooks.OnMail; hook != nil {
@@ -570,19 +672,19 @@ func (sess *session) handleMail(arg string) bool {
 	sess.sender = sender
 	sess.senderSet = true
 	sess.state = stateMail
-	return sess.reply(smtpproto.NewReply(250, "2.1.0", "Sender OK"))
+	return sess.replyStatic(replySenderOK)
 }
 
 func (sess *session) handleRcpt(arg string) bool {
 	if sess.state != stateMail && sess.state != stateRcpt {
-		return sess.protocolError(smtpproto.NewReply(503, "5.5.1", "Need MAIL before RCPT"))
+		return sess.protocolError(replyNeedMail)
 	}
 	rcpt, _, err := smtpproto.ParseRcptArg(arg)
 	if err != nil {
-		return sess.protocolError(smtpproto.NewReply(501, "5.5.4", "Bad recipient address syntax"))
+		return sess.protocolError(replyBadRcpt)
 	}
 	if len(sess.recipients) >= sess.srv.cfg.MaxRecipients {
-		return sess.reply(smtpproto.NewReply(452, "4.5.3", "Too many recipients"))
+		return sess.replyStatic(replyTooManyRcpts)
 	}
 	if r := sess.rcptVerdict(rcpt); r != nil {
 		if r.Transient() {
@@ -594,7 +696,7 @@ func (sess *session) handleRcpt(arg string) bool {
 	}
 	sess.recipients = append(sess.recipients, rcpt)
 	sess.state = stateRcpt
-	return sess.reply(smtpproto.NewReply(250, "2.1.5", "Recipient OK"))
+	return sess.replyStatic(replyRcptOK)
 }
 
 // rcptVerdict runs the policy hook for one recipient: OnRcptTraced when
@@ -657,6 +759,7 @@ func (sess *session) handleRcptPipeline(arg string) bool {
 	}
 	replies := sess.srv.cfg.Hooks.OnRcptBatch(sess.clientIP, sess.sender, rcpts)
 	deferred := 0
+	sess.out = sess.out[:0]
 	for i, rcpt := range rcpts {
 		var r *smtpproto.Reply
 		if i < len(replies) {
@@ -680,19 +783,21 @@ func (sess *session) handleRcptPipeline(arg string) bool {
 			// the batch's service time.
 			sess.recordVerb(*r)
 		}
-		if _, err := sess.bw.WriteString(r.String()); err != nil {
-			return false
-		}
+		sess.out = r.AppendTo(sess.out)
+	}
+	// Transient hook verdicts are the only 4xx replies the batch path
+	// emits, so the deferral count doubles as the sessionOutcome feed.
+	sess.replies4xx += deferred
+	if _, err := sess.bw.Write(sess.out); err != nil {
+		return false
 	}
 	if deferred > 0 {
 		sess.srv.mu.Lock()
 		sess.srv.stats.RecipientsDeferred += uint64(deferred)
 		sess.srv.mu.Unlock()
 	}
-	return sess.bw.Flush() == nil
+	return sess.flush()
 }
-
-var okRcptReply = smtpproto.NewReply(250, "2.1.5", "Recipient OK")
 
 // serialRcpts replays already-drained RCPT commands through the serial
 // handler, preserving per-command error semantics exactly.
@@ -733,16 +838,16 @@ func (sess *session) drainPipelinedRcpts(arg string) []string {
 		if nl < 0 || nl >= smtpproto.MaxCommandLine {
 			break
 		}
-		line := string(buf[:nl])
+		line := buf[:nl]
 		if len(line) > 0 && line[len(line)-1] == '\r' {
 			line = line[:len(line)-1]
 		}
-		cmd, err := smtpproto.ParseCommand(line)
+		cmd, err := smtpproto.ParseCommandBytes(line)
 		if err != nil || cmd.Verb != smtpproto.VerbRCPT {
 			break
 		}
 		sess.br.Discard(nl + 1)
-		sess.trace.Verbs = append(sess.trace.Verbs, cmd.Verb)
+		sess.recordTraceVerb(cmd.Verb)
 		if inst := sess.srv.inst.Load(); inst != nil {
 			inst.countCommand(cmd.Verb)
 		}
@@ -754,16 +859,22 @@ func (sess *session) drainPipelinedRcpts(arg string) []string {
 func (sess *session) handleData() bool {
 	if sess.state != stateRcpt {
 		if sess.state == stateMail {
-			return sess.protocolError(smtpproto.NewReply(503, "5.5.1", "Need RCPT before DATA"))
+			return sess.protocolError(replyNeedRcpt)
 		}
-		return sess.protocolError(smtpproto.NewReply(503, "5.5.1", "Need MAIL and RCPT before DATA"))
+		return sess.protocolError(replyNeedMailRcpt)
 	}
-	if !sess.reply(smtpproto.NewReply(354, "", "Start mail input; end with <CRLF>.<CRLF>")) {
+	if !sess.replyStatic(replyData354) {
+		return false
+	}
+	// The payload reader takes over the socket: a 354 suppressed by the
+	// pipelining rule would deadlock a conforming client that waits for
+	// it before streaming the message.
+	if sess.bw.Flush() != nil {
 		return false
 	}
 	sess.armReadTimeout()
-	dr := smtpproto.NewDotReader(sess.br, sess.srv.cfg.MaxMessageSize)
-	data, err := dr.ReadAll()
+	sess.dr.Reset(sess.br, sess.srv.cfg.MaxMessageSize)
+	data, err := sess.dr.ReadAll()
 	if err != nil {
 		if errors.Is(err, smtpproto.ErrMessageTooBig) {
 			sess.srv.mu.Lock()
@@ -771,7 +882,7 @@ func (sess *session) handleData() bool {
 			sess.srv.mu.Unlock()
 			sess.resetEnvelope()
 			sess.state = stateGreeted
-			return sess.reply(smtpproto.NewReply(552, "5.3.4", "Message exceeds size limit"))
+			return sess.replyStatic(replyMsgTooBig)
 		}
 		return false // stream broken mid-DATA
 	}
@@ -782,10 +893,23 @@ func (sess *session) handleData() bool {
 		if sess.tlsActive {
 			with = "ESMTPS"
 		}
-		stamp := fmt.Sprintf("Received: from %s (%s) by %s with %s; %s\r\n",
-			sess.helo, sess.clientIP, sess.srv.cfg.Hostname, with,
-			receivedAt.UTC().Format("Mon, 02 Jan 2006 15:04:05 -0700"))
-		data = append([]byte(stamp), data...)
+		// Append-formatted trace header, byte-identical to the old
+		// fmt.Sprintf("Received: from %s (%s) by %s with %s; %s\r\n").
+		sess.out = sess.out[:0]
+		sess.out = append(sess.out, "Received: from "...)
+		sess.out = append(sess.out, sess.helo...)
+		sess.out = append(sess.out, " ("...)
+		sess.out = append(sess.out, sess.clientIP...)
+		sess.out = append(sess.out, ") by "...)
+		sess.out = append(sess.out, sess.srv.cfg.Hostname...)
+		sess.out = append(sess.out, " with "...)
+		sess.out = append(sess.out, with...)
+		sess.out = append(sess.out, "; "...)
+		sess.out = receivedAt.UTC().AppendFormat(sess.out, "Mon, 02 Jan 2006 15:04:05 -0700")
+		sess.out = append(sess.out, '\r', '\n')
+		stamped := make([]byte, 0, len(sess.out)+len(data))
+		stamped = append(stamped, sess.out...)
+		data = append(stamped, data...)
 	}
 	env := &Envelope{
 		ClientIP:   sess.clientIP,
@@ -816,13 +940,17 @@ func (sess *session) handleData() bool {
 	sess.srv.stats.MessagesAccepted++
 	sess.srv.mu.Unlock()
 	sess.trace.MessagesSent++
-	return sess.reply(smtpproto.NewReply(250, "2.0.0", "OK: message accepted for delivery"))
+	return sess.replyStatic(replyAccepted)
 }
 
 // armReadTimeout refreshes the connection's read deadline when the
-// server has one configured.
+// server has one configured. Skipped while bytes are already buffered:
+// a pipelined burst is served from memory without blocking, so re-arming
+// per command would only pay a clock read and deadline update per line —
+// the deadline from the last wire read still bounds the next one, short
+// by at most the time spent draining the buffer.
 func (sess *session) armReadTimeout() {
-	if t := sess.srv.cfg.ReadTimeout; t > 0 {
+	if t := sess.srv.cfg.ReadTimeout; t > 0 && sess.br.Buffered() == 0 {
 		sess.conn.SetReadDeadline(time.Now().Add(t))
 	}
 }
@@ -830,5 +958,7 @@ func (sess *session) armReadTimeout() {
 func (sess *session) resetEnvelope() {
 	sess.sender = ""
 	sess.senderSet = false
-	sess.recipients = nil
+	// Truncate, don't nil: the backing array is reused across
+	// transactions and pooled sessions (Envelope gets its own copy).
+	sess.recipients = sess.recipients[:0]
 }

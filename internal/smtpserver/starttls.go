@@ -11,8 +11,6 @@ import (
 	"math/big"
 	"net"
 	"time"
-
-	"repro/internal/smtpproto"
 )
 
 // STARTTLS support (RFC 3207). The scans.io dataset the paper's adoption
@@ -26,15 +24,20 @@ import (
 // handleStartTLS processes the STARTTLS verb.
 func (sess *session) handleStartTLS() bool {
 	if sess.srv.cfg.TLS == nil {
-		return sess.protocolError(smtpproto.NewReply(502, "5.5.1", "TLS not available"))
+		return sess.protocolError(replyTLSNone)
 	}
 	if sess.tlsActive {
-		return sess.protocolError(smtpproto.NewReply(503, "5.5.1", "TLS already active"))
+		return sess.protocolError(replyTLSActive)
 	}
 	if sess.state == stateConnected {
-		return sess.protocolError(smtpproto.NewReply(503, "5.5.1", "Send EHLO first"))
+		return sess.protocolError(replyTLSNeedEhlo)
 	}
-	if !sess.reply(smtpproto.NewReply(220, "2.0.0", "Ready to start TLS")) {
+	if !sess.replyStatic(replyTLSGo) {
+		return false
+	}
+	// The TLS handshake takes over the socket: the go-ahead must be on
+	// the wire even if the pipelining rule would have held it back.
+	if sess.bw.Flush() != nil {
 		return false
 	}
 	tlsConn := tls.Server(sess.conn, sess.srv.cfg.TLS)
