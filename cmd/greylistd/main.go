@@ -8,11 +8,21 @@
 //
 //	greylistd [-listen :2525] [-hostname mx.example.org]
 //	          [-threshold 300s] [-retry-window 48h] [-max-age 840h]
-//	          [-auto-whitelist 5] [-subnet] [-state greylist.db]
+//	          [-auto-whitelist 5] [-whiteexp 0] [-subnet] [-state greylist.db]
 //	          [-wal greylist.wal] [-wal-sync interval] [-wal-compact-every 16777216]
 //	          [-shards 1] [-rcpt-batch 64] [-admin-addr 127.0.0.1:9925]
 //	          [-trace-ring 1024]
+//	          [-dns 9.9.9.9:53] [-spf] [-dnswl list.dnswl.org] [-rdns]
 //	          [-whitelist-ip CIDR]... [-unprotect postmaster@dom]...
+//
+// The -spf, -dnswl and -rdns flags enable bypass-chain stages evaluated
+// ahead of the triplet check (they need -dns, the upstream resolver to
+// query): SPF-passing senders continue one dance per domain however
+// their pool rotates, DNSWL-listed clients and mail-server-named
+// clients skip the dance, and any DNS trouble fails open to plain
+// greylisting. -whiteexp grants clients that complete one dance an
+// auto-renewed whitelist entry (journaled through the WAL like all
+// state). See DESIGN.md, "Bypass chain".
 //
 // Without -wal, state is written only on clean shutdown, so a crash
 // loses everything since startup. With -wal, every state mutation is
@@ -44,13 +54,16 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/bypass"
 	"repro/internal/dialect"
+	"repro/internal/dnsresolver"
 	"repro/internal/greylist"
 	"repro/internal/metrics"
 	"repro/internal/policyd"
 	"repro/internal/simtime"
 	"repro/internal/smtpproto"
 	"repro/internal/smtpserver"
+	"repro/internal/spf"
 	"repro/internal/trace"
 )
 
@@ -79,6 +92,11 @@ func run() error {
 		maxAge      = flag.Duration("max-age", 35*24*time.Hour, "lifetime of passed triplets")
 		autoWL      = flag.Int("auto-whitelist", 5, "deliveries before a client is auto-whitelisted (0 = off)")
 		subnet      = flag.Bool("subnet", false, "key triplets by /24 network instead of full IP")
+		whiteexp    = flag.Duration("whiteexp", 0, "earned-whitelist lifetime: a client that completes one greylisting dance skips the dance entirely until this long after its last delivery (0 = off; postgrey's --whiteexp)")
+		spfKey      = flag.Bool("spf", false, "re-key triplets by sender domain when SPF passes, so a provider's rotating pool continues one dance (needs -dns)")
+		dnswl       = flag.String("dnswl", "", "DNS whitelist origin (e.g. list.dnswl.org): listed clients bypass greylisting (needs -dns)")
+		rdns        = flag.Bool("rdns", false, "bypass greylisting for clients whose PTR name looks like a dedicated mail server (needs -dns)")
+		dnsAddr     = flag.String("dns", "", "upstream DNS server (host:port) the -spf/-dnswl/-rdns bypass stages query")
 		state       = flag.String("state", "", "state file for persistence across restarts")
 		walPath     = flag.String("wal", "", "write-ahead log file: journal every mutation so a crash loses at most the unsynced tail (requires -state, which becomes the checkpoint file)")
 		walSync     = flag.String("wal-sync", "interval", "wal fsync policy: always, interval or none")
@@ -106,6 +124,7 @@ func run() error {
 		PassLifetime:          *maxAge,
 		AutoWhitelistAfter:    *autoWL,
 		AutoWhitelistLifetime: *maxAge,
+		EarnedLifetime:        *whiteexp,
 		SubnetKeying:          *subnet,
 	}
 	// The engine: a single-lock store by default, a sharded one for
@@ -138,6 +157,34 @@ func run() error {
 	}
 	for _, rcpt := range unprotect {
 		g.Whitelist().AddRecipient(rcpt)
+	}
+
+	// The bypass chain: DNS-backed stages evaluated ahead of the triplet
+	// check (after the static whitelist), failing open to plain
+	// greylisting on DNS trouble. See DESIGN.md, "Bypass chain".
+	var stages []greylist.Stage
+	if *spfKey || *dnswl != "" || *rdns {
+		if *dnsAddr == "" {
+			return fmt.Errorf("-spf/-dnswl/-rdns need -dns (the upstream resolver to query)")
+		}
+		res := dnsresolver.New(dnsresolver.UDP(*dnsAddr, 5*time.Second), simtime.Real{})
+		if *spfKey {
+			stages = append(stages, bypass.SPF(spf.NewCached(spf.New(res), spf.CacheConfig{})))
+		}
+		if *dnswl != "" {
+			stages = append(stages, bypass.DNSWL(res, *dnswl, bypass.CacheConfig{}))
+		}
+		if *rdns {
+			stages = append(stages, bypass.RDNS(res, bypass.CacheConfig{}))
+		}
+		chain := append([]greylist.Stage{greylist.WhitelistStage(g.Whitelist())}, stages...)
+		eng.SetChain(greylist.NewChain(chain...))
+		names := make([]string, len(stages))
+		for i, s := range stages {
+			names[i] = s.Name()
+		}
+		fmt.Fprintf(os.Stderr, "bypass chain: whitelist -> %s (dns %s)\n",
+			strings.Join(names, " -> "), *dnsAddr)
 	}
 	if *walPath != "" && *state == "" {
 		return fmt.Errorf("-wal requires -state (the checkpoint file compaction maintains)")
@@ -293,6 +340,11 @@ func run() error {
 		metrics.RegisterProcess(reg)
 		g.Register(reg)
 		srv.Register(reg)
+		for _, s := range stages {
+			if r, ok := s.(interface{ Register(*metrics.Registry) }); ok {
+				r.Register(reg)
+			}
+		}
 		if wal != nil {
 			wal.Register(reg)
 		}

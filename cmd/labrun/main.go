@@ -7,9 +7,16 @@
 //
 //	labrun -table2                         # the full 11-sample matrix
 //	labrun -table2 -workers 8              # 22 labs on an 8-worker pool
+//	labrun -bypass                         # the bypass-layer study
 //	labrun -family Kelihos -defense greylisting -threshold 21600s
 //	labrun -family Cutwail -defense nolisting -recipients 10
 //	labrun -family Kelihos -metrics -      # dump the run's metrics
+//
+// -bypass runs every greylisting bypass layer (SPF re-keying, DNSWL,
+// rDNS heuristic, earned whitelist) against two benign sender profiles
+// and the bot families — the benign first-contact delay each layer
+// eliminates against the bot leakage it admits; -recipients and
+// -workers apply.
 //
 // -workers bounds the spec-runner pool for -table2 (0 = one per core,
 // 1 = serial); the rendered matrix is byte-identical at any setting.
@@ -54,6 +61,7 @@ func main() {
 func run() error {
 	var (
 		table2     = flag.Bool("table2", false, "run the full Table II matrix")
+		bypassRun  = flag.Bool("bypass", false, "run the bypass-layer study: benign delay eliminated vs bot leakage per chain stage")
 		family     = flag.String("family", "Kelihos", "malware family (Cutwail, Kelihos, Darkmailer, Darkmailer(v3))")
 		defense    = flag.String("defense", "greylisting", "defense: none, nolisting, greylisting, both")
 		threshold  = flag.Duration("threshold", 300*time.Second, "greylisting threshold")
@@ -63,6 +71,22 @@ func run() error {
 		traceOut   = flag.String("trace", "", "record every delivery attempt and write the finished traces as JSONL to this file ('-' = stdout)")
 	)
 	flag.Parse()
+
+	if *bypassRun {
+		var tracer *trace.Tracer
+		if *traceOut != "" {
+			tracer = trace.New(specAttemptBound(lab.BypassSpecs(*recipients)))
+		}
+		rows, err := lab.RunBypassStudy(*recipients, *workers, tracer)
+		if err != nil {
+			return err
+		}
+		fmt.Print(lab.RenderBypassStudy(rows))
+		if tracer != nil {
+			return dumpTraces(tracer, *traceOut)
+		}
+		return nil
+	}
 
 	if *table2 {
 		specs := lab.TableIISpecs(*recipients)

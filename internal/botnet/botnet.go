@@ -95,6 +95,10 @@ type Family struct {
 	Retry RetrySchedule
 	// Dialect holds the family's SMTP quirks.
 	Dialect Dialect
+	// SendInterval staggers the first attempts: recipient i's campaign
+	// starts at i*SendInterval instead of all at time zero. The Table I
+	// bots blast (zero); the lab's benign MTA profiles drain a queue.
+	SendInterval time.Duration
 }
 
 // Cutwail: 46.90% of botnet spam, 3 samples, targets only the
@@ -150,6 +154,28 @@ func DarkmailerV3() Family {
 		Samples:         1,
 		Behavior:        nolist.BehaviorRFCCompliant,
 		Dialect:         Dialect{UseEHLO: true, SendQuit: true, HeloName: "dm3.local"},
+	}
+}
+
+// SPFProbe is NOT a Table I family (it never appears in Families()):
+// it models the counter-countermeasure the bypass chain invites — a
+// spammer that registers a throwaway domain, publishes an SPF record
+// authorizing its sending pool, buys mail-server-style PTR names, and
+// gets its pool onto a DNS whitelist. It retries like a real MTA and
+// rotates source IPs per try, so per-IP triplet keying never sees the
+// same client twice; only the elapsed-time threshold stands between it
+// and each bypass heuristic. The lab's bypass experiment measures
+// which chain stages it walks through.
+func SPFProbe() Family {
+	return Family{
+		Name:     "SPFProbe",
+		Samples:  1,
+		Behavior: nolist.BehaviorRFCCompliant,
+		Retry: RetrySchedule{Peaks: []RetryPeak{
+			{Min: 300 * time.Second, Max: 600 * time.Second},
+			{Min: 4500 * time.Second, Max: 5500 * time.Second},
+		}},
+		Dialect: Dialect{UseEHLO: true, SendQuit: true, HeloName: "smtp.probe.example"},
 	}
 }
 
@@ -316,6 +342,12 @@ type Env struct {
 	Sched *simtime.Scheduler
 	// SourceIP is the infected machine's address.
 	SourceIP string
+	// SourceIPs, when set, is a rotation pool: try n for a recipient is
+	// sent from SourceIPs[(n-1) mod len]. Rotation is how webmail-scale
+	// providers (and the SPFProbe adversary) defeat per-IP triplet
+	// keying — every retry looks like a fresh client unless the
+	// greylister re-keys by SPF domain. Overrides SourceIP.
+	SourceIPs []string
 	// Seed makes the bot's jitter deterministic.
 	Seed int64
 	// Sink, when set, streams attempts to the caller instead of
@@ -334,10 +366,11 @@ type Env struct {
 
 // Bot is one running malware sample.
 type Bot struct {
-	family Family
-	env    Env
-	dialer *smtpclient.SimDialer
-	rng    *rand.Rand
+	family  Family
+	env     Env
+	dialer  *smtpclient.SimDialer
+	dialers []*smtpclient.SimDialer // rotation pool; nil without Env.SourceIPs
+	rng     *rand.Rand
 
 	sink AttemptSink
 	rec  *Recorder // nil when env.Sink streams to an external observer
@@ -351,6 +384,9 @@ func New(family Family, env Env) (*Bot, error) {
 	if env.Net == nil || env.Resolver == nil || env.Sched == nil {
 		return nil, errors.New("botnet: Net, Resolver and Sched are required")
 	}
+	if len(env.SourceIPs) > 0 {
+		env.SourceIP = env.SourceIPs[0]
+	}
 	if env.SourceIP == "" {
 		env.SourceIP = "203.0.113.200"
 	}
@@ -360,6 +396,9 @@ func New(family Family, env Env) (*Bot, error) {
 		dialer: &smtpclient.SimDialer{Net: env.Net, LocalIP: env.SourceIP},
 		rng:    rand.New(rand.NewSource(env.Seed)),
 		sink:   env.Sink,
+	}
+	for _, ip := range env.SourceIPs {
+		b.dialers = append(b.dialers, &smtpclient.SimDialer{Net: env.Net, LocalIP: ip})
 	}
 	if b.sink == nil {
 		b.rec = &Recorder{}
@@ -404,12 +443,22 @@ func (b *Bot) ContactedHosts() []string {
 // fires immediately; retries (if the family supports them) are scheduled
 // through the bot's environment. The caller drives env.Sched.
 func (b *Bot) Launch(c Campaign) {
-	for _, rcpt := range c.Recipients {
+	for i, rcpt := range c.Recipients {
 		rcpt := rcpt
-		b.env.Sched.After(0, b.family.Name+" first attempt", func() {
+		b.env.Sched.After(time.Duration(i)*b.family.SendInterval, b.family.Name+" first attempt", func() {
 			b.attempt(c, rcpt, 1, b.env.Sched.Clock().Now())
 		})
 	}
+}
+
+// dialerFor picks the source address for a try: without a rotation
+// pool every try uses the bot's single dialer; with one, tries walk
+// the pool round-robin.
+func (b *Bot) dialerFor(try int) *smtpclient.SimDialer {
+	if len(b.dialers) == 0 {
+		return b.dialer
+	}
+	return b.dialers[(try-1)%len(b.dialers)]
 }
 
 // attempt performs try number `try` for one recipient and schedules the
@@ -418,7 +467,7 @@ func (b *Bot) attempt(c Campaign, rcpt string, try int, firstAt time.Time) {
 	now := b.env.Sched.Clock().Now()
 	// The bot's try is 1-based; trace retry indexes are 0-based.
 	tr := b.env.Tracer.StartAttempt(b.env.TraceTags, rcpt, try-1, b.env.Sched.Clock().Now)
-	contacted, host, outcome, refused := b.deliverOnce(c, rcpt, tr)
+	contacted, host, outcome, refused := b.deliverOnce(c, rcpt, try, tr)
 	if outcome == smtpclient.Delivered {
 		b.delivered.Add(1)
 	}
@@ -477,7 +526,7 @@ func outcomeLabel(o smtpclient.Outcome, refused bool) string {
 // according to the family's MX-selection behaviour. It returns every host
 // dialed (the connection log) plus the host and classification of the
 // final outcome.
-func (b *Bot) deliverOnce(c Campaign, rcpt string, tr *trace.Trace) (contacted []string, host string, outcome smtpclient.Outcome, refused bool) {
+func (b *Bot) deliverOnce(c Campaign, rcpt string, try int, tr *trace.Trace) (contacted []string, host string, outcome smtpclient.Outcome, refused bool) {
 	hosts, err := b.env.Resolver.LookupMXTrace(c.Domain, tr)
 	if err != nil || len(hosts) == 0 {
 		return nil, "", smtpclient.Unreachable, false
@@ -493,7 +542,7 @@ func (b *Bot) deliverOnce(c Campaign, rcpt string, tr *trace.Trace) (contacted [
 		}
 		lastHost = t.Host
 		contacted = append(contacted, t.Host)
-		out, wasRefused := b.attemptHost(t.Addrs[0], c, rcpt, tr)
+		out, wasRefused := b.attemptHost(t.Addrs[0], c, rcpt, try, tr)
 		lastOutcome, lastRefused = out, wasRefused
 		if out == smtpclient.Delivered || out == smtpclient.PermanentFailure || out == smtpclient.TransientFailure {
 			return contacted, t.Host, out, wasRefused
@@ -526,8 +575,8 @@ func (b *Bot) selectTargets(hosts []dnsresolver.MXHost) []dnsresolver.MXHost {
 }
 
 // attemptHost runs one SMTP transaction with the family's dialect.
-func (b *Bot) attemptHost(addr string, c Campaign, rcpt string, tr *trace.Trace) (smtpclient.Outcome, bool) {
-	conn, err := b.dialer.DialTrace(net.JoinHostPort(addr, smtpclient.SMTPPort), tr)
+func (b *Bot) attemptHost(addr string, c Campaign, rcpt string, try int, tr *trace.Trace) (smtpclient.Outcome, bool) {
+	conn, err := b.dialerFor(try).DialTrace(net.JoinHostPort(addr, smtpclient.SMTPPort), tr)
 	if err != nil {
 		return smtpclient.Unreachable, errors.Is(err, netsim.ErrConnRefused)
 	}

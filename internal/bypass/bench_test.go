@@ -1,0 +1,102 @@
+package bypass
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/greylist"
+	"repro/internal/simtime"
+)
+
+// The chain's performance contract: with all three production stages
+// enabled and warm, the chain-negative path (every stage misses, the
+// triplet dance decides) and the known-passed path must allocate
+// nothing — the bypass chain rides the same per-RCPT hot path the seed
+// pinned at 0 allocs/op, and BenchmarkBareTriplet alongside measures
+// what the chain itself costs over the bare check.
+
+// benchEngine builds a greylister fronted by the full stage set, with
+// every DNS answer pre-warmed into the stage caches.
+func benchEngine(tb testing.TB, threshold time.Duration) (*greylist.Greylister, *simtime.Sim, greylist.Triplet) {
+	e := newEnv(tb)
+	p := greylist.DefaultPolicy()
+	p.Threshold = threshold
+	p.EarnedLifetime = 35 * 24 * time.Hour
+	g := greylist.New(p, e.clock)
+	g.SetChain(greylist.NewChain(
+		greylist.WhitelistStage(g.Whitelist()),
+		e.spfStage(),
+		DNSWL(e.res, "wl.example", CacheConfig{Clock: e.clock}),
+		RDNS(e.res, CacheConfig{Clock: e.clock}),
+	))
+	// 203.0.113.9 is chain-negative everywhere: not whitelisted, SPF
+	// Fail for bulk.example, not DNSWL-listed, no PTR.
+	tr := trip("203.0.113.9", "news@bulk.example")
+	g.Check(tr) // warm every stage cache
+	return g, e.clock, tr
+}
+
+func BenchmarkCheckChainNegative(b *testing.B) {
+	g, _, tr := benchEngine(b, 300*time.Second)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Check(tr)
+	}
+}
+
+func BenchmarkCheckChainKnownPassed(b *testing.B) {
+	g, clock, tr := benchEngine(b, 300*time.Second)
+	clock.Advance(301 * time.Second)
+	if v := g.Check(tr); v.Reason != greylist.ReasonRetryAccepted {
+		b.Fatalf("warmup verdict = %+v", v)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Check(tr)
+	}
+}
+
+// BenchmarkBareTriplet is the no-chain baseline the two benchmarks
+// above are read against: the artifact's "chain-negative overhead" is
+// ChainNegative minus this.
+func BenchmarkBareTriplet(b *testing.B) {
+	clock := simtime.NewSim(simtime.Epoch)
+	p := greylist.DefaultPolicy()
+	p.Threshold = 300 * time.Second
+	g := greylist.New(p, clock)
+	tr := trip("203.0.113.9", "news@bulk.example")
+	g.Check(tr)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Check(tr)
+	}
+}
+
+// TestHotPathAllocs enforces in the ordinary test run what the
+// benchmarks report: 0 allocs/op for chain-negative and known-passed
+// checks with every stage enabled.
+func TestHotPathAllocs(t *testing.T) {
+	g, clock, tr := benchEngine(t, 300*time.Second)
+	if a := testing.AllocsPerRun(200, func() { g.Check(tr) }); a != 0 {
+		t.Errorf("chain-negative Check allocates %.1f/op", a)
+	}
+	clock.Advance(301 * time.Second)
+	if v := g.Check(tr); v.Reason != greylist.ReasonRetryAccepted {
+		t.Fatalf("promote verdict = %+v", v)
+	}
+	if a := testing.AllocsPerRun(200, func() { g.Check(tr) }); a != 0 {
+		t.Errorf("known-passed Check allocates %.1f/op", a)
+	}
+	// The earned fast path (granted by the promote above, keyed by the
+	// client) must be allocation-free too.
+	earned := trip("203.0.113.9", "other@elsewhere.example")
+	if v := g.Check(earned); v.Reason != greylist.ReasonEarnedWhitelist {
+		t.Fatalf("earned verdict = %+v", v)
+	}
+	if a := testing.AllocsPerRun(200, func() { g.Check(earned) }); a != 0 {
+		t.Errorf("earned Check allocates %.1f/op", a)
+	}
+}

@@ -96,6 +96,10 @@ type Config struct {
 	// GreylistShards selects a sharded store when > 1 (lower lock
 	// contention at high connection rates); <= 1 means a single store.
 	GreylistShards int
+	// BypassStages are evaluated ahead of the triplet check, after the
+	// engine's own whitelist stage (SPF re-keying, DNSWL, rDNS — see
+	// internal/bypass). Empty means the default whitelist-only chain.
+	BypassStages []greylist.Stage
 	// Users lists the valid local parts ("alice"); empty accepts any
 	// recipient. Unknown recipients get "550 5.1.1" before greylisting.
 	Users []string
@@ -228,6 +232,11 @@ func New(cfg Config, deps Deps) (*Domain, error) {
 		}
 		for _, u := range cfg.UnprotectedRecipients {
 			d.greylister.Whitelist().AddRecipient(strings.ToLower(u) + "@" + cfg.Domain)
+		}
+		if len(cfg.BypassStages) > 0 {
+			stages := append([]greylist.Stage{greylist.WhitelistStage(d.greylister.Whitelist())},
+				cfg.BypassStages...)
+			d.greylister.SetChain(greylist.NewChain(stages...))
 		}
 	}
 

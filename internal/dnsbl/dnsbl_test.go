@@ -146,3 +146,50 @@ func TestSynergyBoundaryFeed(t *testing.T) {
 		t.Fatalf("boundary feed: delivered %d", res.DeliveredWithDNSBL)
 	}
 }
+
+func TestAppendReverseIPv4(t *testing.T) {
+	var buf [16]byte
+	got, err := AppendReverseIPv4(buf[:0], "10.0.0.1")
+	if err != nil || string(got) != "1.0.0.10" {
+		t.Fatalf("AppendReverseIPv4 = %q, %v", got, err)
+	}
+	// Appends after existing content instead of clobbering it.
+	got, err = AppendReverseIPv4([]byte("x."), "1.2.3.4")
+	if err != nil || string(got) != "x.4.3.2.1" {
+		t.Fatalf("append onto prefix = %q, %v", got, err)
+	}
+	for _, bad := range []string{"", ".", "1.2.3", "1.2.3.4.5", "1.2.3.4.", ".1.2.3.4", "1..3.4", "1.2.3.256", "1.2.3.4a", "1.2.3.1234"} {
+		if _, err := AppendReverseIPv4(buf[:0], bad); err == nil {
+			t.Errorf("AppendReverseIPv4(%q) succeeded", bad)
+		}
+	}
+	// Leading zeros are accepted, matching dnsmsg.ParseIPv4.
+	if got, err := AppendReverseIPv4(buf[:0], "01.002.3.4"); err != nil || string(got) != "4.3.002.01" {
+		t.Errorf("leading zeros = %q, %v", got, err)
+	}
+}
+
+// TestAppendReverseIPv4Allocs pins the reversal at 0 allocs: it runs
+// per DNSWL lookup on the greylisting bypass path, where the old
+// strings.Split version cost three allocations.
+func TestAppendReverseIPv4Allocs(t *testing.T) {
+	var buf [16]byte
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := AppendReverseIPv4(buf[:0], "203.0.113.9"); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendReverseIPv4 allocates %.1f/op", allocs)
+	}
+}
+
+func BenchmarkAppendReverseIPv4(b *testing.B) {
+	var buf [16]byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := AppendReverseIPv4(buf[:0], "203.0.113.9"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

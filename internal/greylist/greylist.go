@@ -79,6 +79,15 @@ type Policy struct {
 	// SubnetKeying keys triplets and the auto-whitelist by the client's
 	// /24 network instead of the full address.
 	SubnetKeying bool
+	// EarnedLifetime enables the earned whitelist: once a client (its
+	// post-rekey key component — IP, /24, or SPF domain) survives the
+	// triplet dance, it is exempt from greylisting for this long after
+	// its last delivery, the timer renewing on every use (the
+	// -whiteexp knob of sqlgrey-style deployments, vs -greyexp ==
+	// RetryWindow). 0 disables. Unlike the per-triplet passed table,
+	// earned credit covers *new* sender/recipient pairs from the same
+	// client; unlike AutoWhitelistAfter it takes one pass, not N.
+	EarnedLifetime time.Duration
 }
 
 // DefaultPolicy returns Postgrey's defaults: 300 s delay, 2-day retry
@@ -138,6 +147,15 @@ const (
 	// ReasonWindowExpired: a retry arrived after the retry window;
 	// treated as a fresh first attempt (and deferred).
 	ReasonWindowExpired
+	// ReasonDNSWL: the client is listed on a configured DNS whitelist
+	// (bypass-chain stage).
+	ReasonDNSWL
+	// ReasonRDNS: the client's reverse DNS looks like a legitimate
+	// mail server (bypass-chain stage).
+	ReasonRDNS
+	// ReasonEarnedWhitelist: the client earned a whitelist pass by
+	// surviving the triplet dance within Policy.EarnedLifetime.
+	ReasonEarnedWhitelist
 )
 
 // String implements fmt.Stringer.
@@ -157,6 +175,12 @@ func (r Reason) String() string {
 		return "auto-whitelisted"
 	case ReasonWindowExpired:
 		return "window-expired"
+	case ReasonDNSWL:
+		return "dnswl-listed"
+	case ReasonRDNS:
+		return "rdns-mailserver"
+	case ReasonEarnedWhitelist:
+		return "earned-whitelist"
 	default:
 		return fmt.Sprintf("Reason(%d)", int(r))
 	}
@@ -190,6 +214,12 @@ type Stats struct {
 	PassedKnown       uint64 // already-whitelisted triplets
 	PassedWhitelist   uint64 // static whitelist hits
 	PassedAutoClient  uint64 // auto-whitelisted clients
+	PassedDNSWL       uint64 // DNS-whitelist bypass-stage hits
+	PassedRDNS        uint64 // reverse-DNS heuristic bypass-stage hits
+	PassedEarned      uint64 // earned-whitelist hits
+	PassedBypassOther uint64 // bypasses from stages with custom reasons
+	SPFRekeyed        uint64 // checks keyed by SPF domain instead of IP
+	EarnedGranted     uint64 // earned-whitelist entries granted
 	TripletsRecorded  uint64
 	TripletsWhitelist uint64 // triplets promoted to passed
 	GCSweeps          uint64 // GC invocations
@@ -207,6 +237,12 @@ func (s *Stats) add(o Stats) {
 	s.PassedKnown += o.PassedKnown
 	s.PassedWhitelist += o.PassedWhitelist
 	s.PassedAutoClient += o.PassedAutoClient
+	s.PassedDNSWL += o.PassedDNSWL
+	s.PassedRDNS += o.PassedRDNS
+	s.PassedEarned += o.PassedEarned
+	s.PassedBypassOther += o.PassedBypassOther
+	s.SPFRekeyed += o.SPFRekeyed
+	s.EarnedGranted += o.EarnedGranted
 	s.TripletsRecorded += o.TripletsRecorded
 	s.TripletsWhitelist += o.TripletsWhitelist
 	s.GCSweeps += o.GCSweeps
@@ -225,6 +261,12 @@ type counters struct {
 	passedKnown       atomic.Uint64
 	passedWhitelist   atomic.Uint64
 	passedAutoClient  atomic.Uint64
+	passedDNSWL       atomic.Uint64
+	passedRDNS        atomic.Uint64
+	passedEarned      atomic.Uint64
+	passedBypassOther atomic.Uint64
+	spfRekeyed        atomic.Uint64
+	earnedGranted     atomic.Uint64
 	tripletsRecorded  atomic.Uint64
 	tripletsWhitelist atomic.Uint64
 	gcSweeps          atomic.Uint64
@@ -241,6 +283,12 @@ func (c *counters) snapshot() Stats {
 		PassedKnown:       c.passedKnown.Load(),
 		PassedWhitelist:   c.passedWhitelist.Load(),
 		PassedAutoClient:  c.passedAutoClient.Load(),
+		PassedDNSWL:       c.passedDNSWL.Load(),
+		PassedRDNS:        c.passedRDNS.Load(),
+		PassedEarned:      c.passedEarned.Load(),
+		PassedBypassOther: c.passedBypassOther.Load(),
+		SPFRekeyed:        c.spfRekeyed.Load(),
+		EarnedGranted:     c.earnedGranted.Load(),
 		TripletsRecorded:  c.tripletsRecorded.Load(),
 		TripletsWhitelist: c.tripletsWhitelist.Load(),
 		GCSweeps:          c.gcSweeps.Load(),
@@ -257,6 +305,12 @@ func (c *counters) restore(s Stats) {
 	c.passedKnown.Store(s.PassedKnown)
 	c.passedWhitelist.Store(s.PassedWhitelist)
 	c.passedAutoClient.Store(s.PassedAutoClient)
+	c.passedDNSWL.Store(s.PassedDNSWL)
+	c.passedRDNS.Store(s.PassedRDNS)
+	c.passedEarned.Store(s.PassedEarned)
+	c.passedBypassOther.Store(s.PassedBypassOther)
+	c.spfRekeyed.Store(s.SPFRekeyed)
+	c.earnedGranted.Store(s.EarnedGranted)
 	c.tripletsRecorded.Store(s.TripletsRecorded)
 	c.tripletsWhitelist.Store(s.TripletsWhitelist)
 	c.gcSweeps.Store(s.GCSweeps)
@@ -287,11 +341,27 @@ type clientRecord struct {
 	lastUsed   atomic.Int64
 }
 
+// earnedRecord tracks an earned-whitelist grant, keyed by the client
+// component of the triplet key (so an SPF-rekeyed domain shares one
+// grant across all its outbound IPs). grantedAt is immutable after
+// creation; lastUsed/deliveries are atomics so read-locked hits renew
+// the expiry timer concurrently.
+type earnedRecord struct {
+	grantedAt  time.Time
+	lastUsed   atomic.Int64
+	deliveries atomic.Int64
+}
+
 // Greylister is the policy engine. It is safe for concurrent use.
 type Greylister struct {
 	policy    Policy
 	clock     simtime.Clock
 	whitelist *Whitelist
+
+	// chain is the bypass chain evaluated ahead of the triplet check.
+	// Swapped whole via SetChain (chains are immutable), so check
+	// paths pay one atomic load. Never nil after New.
+	chain atomic.Pointer[Chain]
 
 	stats counters
 	// inst holds the optional metrics instrumentation (latency and batch
@@ -303,6 +373,7 @@ type Greylister struct {
 	pending map[string]*pendingRecord
 	passed  map[string]*passedRecord
 	clients map[string]*clientRecord
+	earned  map[string]*earnedRecord
 
 	// wal, when non-nil, journals every table mutation (see wal.go).
 	// Read under either lock mode; attached and detached only under the
@@ -317,14 +388,19 @@ func New(policy Policy, clock simtime.Clock) *Greylister {
 	if clock == nil {
 		clock = simtime.Real{}
 	}
-	return &Greylister{
+	g := &Greylister{
 		policy:    policy,
 		clock:     clock,
 		whitelist: NewWhitelist(),
 		pending:   make(map[string]*pendingRecord),
 		passed:    make(map[string]*passedRecord),
 		clients:   make(map[string]*clientRecord),
+		earned:    make(map[string]*earnedRecord),
 	}
+	// The default chain is the classic behaviour: static whitelist,
+	// then the triplet check.
+	g.chain.Store(NewChain(WhitelistStage(g.whitelist)))
+	return g
 }
 
 // Policy returns the configured policy.
@@ -332,6 +408,20 @@ func (g *Greylister) Policy() Policy { return g.policy }
 
 // Whitelist returns the static whitelist for configuration.
 func (g *Greylister) Whitelist() *Whitelist { return g.whitelist }
+
+// SetChain installs a bypass chain, replacing the current one for all
+// subsequent checks (in-flight checks finish on the chain they loaded).
+// A nil chain restores the default whitelist-only chain. Call before
+// Register if per-stage metrics should cover the new stages.
+func (g *Greylister) SetChain(c *Chain) {
+	if c == nil {
+		c = NewChain(WhitelistStage(g.whitelist))
+	}
+	g.chain.Store(c)
+}
+
+// Chain returns the currently installed bypass chain.
+func (g *Greylister) Chain() *Chain { return g.chain.Load() }
 
 // Stats returns a snapshot of the counters.
 func (g *Greylister) Stats() Stats { return g.stats.snapshot() }
@@ -345,13 +435,8 @@ func (g *Greylister) Stats() Stats { return g.stats.snapshot() }
 // decision latency lands in the greylist_check_seconds histogram —
 // still allocation-free.
 func (g *Greylister) Check(t Triplet) Verdict {
-	if inst := g.inst.Load(); inst != nil {
-		start := time.Now()
-		v := g.check(t)
-		inst.checkSeconds.ObserveDuration(time.Since(start))
-		return v
-	}
-	return g.check(t)
+	out, _ := g.chain.Load().eval(t)
+	return g.routedCheck(t, out, nil)
 }
 
 // CheckTraced is Check with the verdict recorded into tr — the
@@ -364,32 +449,56 @@ func (g *Greylister) CheckTraced(t Triplet, tr *trace.Trace) Verdict {
 	if tr == nil {
 		return g.Check(t)
 	}
+	ch := g.chain.Load()
+	out, idx := ch.eval(t)
+	if idx >= 0 {
+		tr.Bypass(ch.StageName(idx), out.Action.String())
+	}
+	return g.routedCheck(t, out, tr)
+}
+
+// routedCheck is the post-chain decision entry: the chain has already
+// been evaluated (by this engine's Check/CheckTraced, or by Sharded
+// *before* shard routing, since a rekey changes which shard owns the
+// state). It applies latency instrumentation and trace recording
+// around decide.
+func (g *Greylister) routedCheck(t Triplet, out StageOutcome, tr *trace.Trace) Verdict {
 	var v Verdict
 	if inst := g.inst.Load(); inst != nil {
 		start := time.Now()
-		v = g.check(t)
-		inst.checkSeconds.ObserveDurationExemplar(time.Since(start), tr.ID())
+		v = g.decide(t, out)
+		if tr != nil {
+			inst.checkSeconds.ObserveDurationExemplar(time.Since(start), tr.ID())
+		} else {
+			inst.checkSeconds.ObserveDuration(time.Since(start))
+		}
 	} else {
-		v = g.check(t)
+		v = g.decide(t, out)
 	}
-	tr.Greylist(v.Decision.String(), v.Reason.String(), t.String(), v.WaitRemaining, v.Attempts)
+	if tr != nil {
+		tr.Greylist(v.Decision.String(), v.Reason.String(), t.String(), v.WaitRemaining, v.Attempts)
+	}
 	return v
 }
 
-func (g *Greylister) check(t Triplet) Verdict {
+// decide turns one chain-evaluated attempt into a verdict: a bypass
+// passes outright; otherwise the triplet check runs under the client
+// key the chain chose (the IP, or the SPF domain on a rekey).
+func (g *Greylister) decide(t Triplet, out StageOutcome) Verdict {
 	now := g.clock.Now()
 	g.stats.checks.Add(1)
 
-	// The static whitelist has its own lock; matching it before (and
-	// outside) the store lock keeps configured exemptions off the
-	// store's critical section entirely.
-	if g.whitelist.Match(t) {
-		g.stats.passedWhitelist.Add(1)
-		return Verdict{Decision: Pass, Reason: ReasonWhitelisted}
+	if out.Action == StageBypass {
+		g.countBypass(out.Reason)
+		return Verdict{Decision: Pass, Reason: out.Reason}
+	}
+	rekey := out.rekey()
+	if rekey != "" {
+		g.stats.spfRekeyed.Add(1)
 	}
 
 	var ckBuf, kBuf [keyBufCap]byte
-	clientKey := appendClientKey(ckBuf[:0], t.ClientIP, g.policy.SubnetKeying)
+	clientKey := appendChainClientKey(ckBuf[:0], t.ClientIP, rekey, g.policy.SubnetKeying)
 	key := t.appendKey(kBuf[:0], clientKey)
 
 	g.mu.RLock()
@@ -405,6 +514,20 @@ func (g *Greylister) check(t Triplet) Verdict {
 	return v
 }
 
+// countBypass attributes a chain bypass verdict to its Stats counter.
+func (g *Greylister) countBypass(r Reason) {
+	switch r {
+	case ReasonWhitelisted:
+		g.stats.passedWhitelist.Add(1)
+	case ReasonDNSWL:
+		g.stats.passedDNSWL.Add(1)
+	case ReasonRDNS:
+		g.stats.passedRDNS.Add(1)
+	default:
+		g.stats.passedBypassOther.Add(1)
+	}
+}
+
 // fastPath attempts the read-only decision: an auto-whitelisted client or
 // a known-passed triplet. It runs under the read lock and mutates nothing
 // but atomic fields. The second return value reports whether the verdict
@@ -412,6 +535,20 @@ func (g *Greylister) check(t Triplet) Verdict {
 // triplet, expired record to delete, or a client record to create).
 func (g *Greylister) fastPath(clientKey, key []byte, now time.Time) (Verdict, bool) {
 	nowNs := now.UnixNano()
+	if g.policy.EarnedLifetime > 0 {
+		if e, ok := g.earned[string(clientKey)]; ok {
+			if nowNs-e.lastUsed.Load() > int64(g.policy.EarnedLifetime) {
+				return Verdict{}, false // expired: slow path deletes it
+			}
+			e.lastUsed.Store(nowNs) // auto-renew on use
+			e.deliveries.Add(1)
+			if w := g.wal; w != nil {
+				w.append(walOpEarnTouch, key, nowNs, 0, 0)
+			}
+			g.stats.passedEarned.Add(1)
+			return Verdict{Decision: Pass, Reason: ReasonEarnedWhitelist, FirstSeen: e.grantedAt}, true
+		}
+	}
 	if g.policy.AutoWhitelistAfter > 0 {
 		if c, ok := g.clients[string(clientKey)]; ok {
 			if g.policy.AutoWhitelistLifetime > 0 && nowNs-c.lastUsed.Load() > int64(g.policy.AutoWhitelistLifetime) {
@@ -462,6 +599,25 @@ func (g *Greylister) fastPath(clientKey, key []byte, now time.Time) (Verdict, bo
 // cannot: record creation, promotion, expiry deletion.
 func (g *Greylister) checkSlow(clientKey, key []byte, now time.Time) Verdict {
 	nowNs := now.UnixNano()
+
+	if g.policy.EarnedLifetime > 0 {
+		if e, ok := g.earned[string(clientKey)]; ok {
+			if nowNs-e.lastUsed.Load() > int64(g.policy.EarnedLifetime) {
+				delete(g.earned, string(clientKey))
+				if w := g.wal; w != nil {
+					w.append(walOpDelEarned, key, 0, 0, 0)
+				}
+			} else {
+				e.lastUsed.Store(nowNs)
+				e.deliveries.Add(1)
+				if w := g.wal; w != nil {
+					w.append(walOpEarnTouch, key, nowNs, 0, 0)
+				}
+				g.stats.passedEarned.Add(1)
+				return Verdict{Decision: Pass, Reason: ReasonEarnedWhitelist, FirstSeen: e.grantedAt}
+			}
+		}
+	}
 
 	if g.policy.AutoWhitelistAfter > 0 {
 		if c, ok := g.clients[string(clientKey)]; ok {
@@ -558,7 +714,13 @@ func (g *Greylister) checkSlow(clientKey, key []byte, now time.Time) Verdict {
 	p.deliveries.Store(1)
 	g.passed[string(key)] = p
 	g.creditClient(clientKey, nowNs)
+	if g.grantEarned(clientKey, now) {
+		g.stats.earnedGranted.Add(1)
+	}
 	if w := g.wal; w != nil {
+		// No separate grant record: replaying the promote re-grants
+		// the earned entry whenever the policy enables it, mirroring
+		// this very mutation.
 		w.append(walOpPromote, key, nowNs, 0, 0)
 	}
 	g.stats.passedRetry.Add(1)
@@ -597,20 +759,72 @@ func (g *Greylister) checkBatch(ts []Triplet, out []Verdict) []Verdict {
 	if len(ts) == 0 {
 		return out
 	}
-	now := g.clock.Now()
 	g.stats.checks.Add(uint64(len(ts)))
+
+	// Evaluate the chain before (and outside) the store locks: stages
+	// may do DNS I/O on a cache miss, which must never run under the
+	// read lock the fast path shares with every other connection.
+	// Bypass verdicts complete here; out[i].Decision == 0 marks the
+	// attempts the store must decide. The rekey slice is only
+	// allocated when some stage actually rekeys, keeping the
+	// chain-negative batch allocation-free.
+	ch := g.chain.Load()
+	var rekeys []string
+	for i, t := range ts {
+		o, _ := ch.eval(t)
+		switch o.Action {
+		case StageBypass:
+			g.countBypass(o.Reason)
+			out[i] = Verdict{Decision: Pass, Reason: o.Reason}
+		case StageRekey:
+			g.stats.spfRekeyed.Add(1)
+			if rekeys == nil {
+				rekeys = make([]string, len(ts))
+			}
+			rekeys[i] = o.Domain
+			out[i] = Verdict{}
+		default:
+			out[i] = Verdict{}
+		}
+	}
+	return g.storeBatch(ts, rekeys, out)
+}
+
+// storeBatchTimed wraps storeBatch with the engine's batch histograms;
+// the Sharded engine calls it per shard group so per-shard batch sizes
+// and latencies land in the same series the single engine reports.
+func (g *Greylister) storeBatchTimed(ts []Triplet, rekeys []string, out []Verdict) []Verdict {
+	if inst := g.inst.Load(); inst != nil {
+		start := time.Now()
+		out = g.storeBatch(ts, rekeys, out)
+		inst.batchSeconds.ObserveDuration(time.Since(start))
+		inst.batchSize.Observe(float64(len(ts)))
+		return out
+	}
+	return g.storeBatch(ts, rekeys, out)
+}
+
+// storeBatch runs the triplet check for every attempt whose verdict in
+// out is still zero (chain-undecided), sharing one clock read and one
+// trip through the locks. rekeys, when non-nil, carries the per-attempt
+// key domain ("" = key by client IP). Callers have already counted
+// stats.checks and chain outcomes.
+func (g *Greylister) storeBatch(ts []Triplet, rekeys []string, out []Verdict) []Verdict {
+	now := g.clock.Now()
 
 	var kb keyBuilder
 	var miss []int
 
 	g.mu.RLock()
-	for i, t := range ts {
-		if g.whitelist.Match(t) {
-			g.stats.passedWhitelist.Add(1)
-			out[i] = Verdict{Decision: Pass, Reason: ReasonWhitelisted}
+	for i := range ts {
+		if out[i].Decision != 0 {
 			continue
 		}
-		clientKey, key := kb.build(t, g.policy.SubnetKeying)
+		rk := ""
+		if rekeys != nil {
+			rk = rekeys[i]
+		}
+		clientKey, key := kb.build(ts[i], rk, g.policy.SubnetKeying)
 		if v, ok := g.fastPath(clientKey, key, now); ok {
 			out[i] = v
 		} else {
@@ -624,7 +838,11 @@ func (g *Greylister) checkBatch(ts []Triplet, out []Verdict) []Verdict {
 	}
 	g.mu.Lock()
 	for _, i := range miss {
-		clientKey, key := kb.build(ts[i], g.policy.SubnetKeying)
+		rk := ""
+		if rekeys != nil {
+			rk = rekeys[i]
+		}
+		clientKey, key := kb.build(ts[i], rk, g.policy.SubnetKeying)
 		out[i] = g.checkSlow(clientKey, key, now)
 	}
 	g.mu.Unlock()
@@ -640,15 +858,18 @@ type keyBuilder struct {
 	ckBuf, kBuf          [keyBufCap]byte
 	clientKey, prefix    []byte
 	prevClient, prevSend string
+	prevRekey            string
 	valid                bool
 }
 
-// build returns (clientKey, storage key) for t; both share the
-// builder's buffers and are invalidated by the next call.
-func (kb *keyBuilder) build(t Triplet, subnet bool) (clientKey, key []byte) {
-	if !kb.valid || t.ClientIP != kb.prevClient {
-		kb.clientKey = appendClientKey(kb.ckBuf[:0], t.ClientIP, subnet)
+// build returns (clientKey, storage key) for t, keying the client
+// component by rekey (an SPF domain) when non-empty. Both results share
+// the builder's buffers and are invalidated by the next call.
+func (kb *keyBuilder) build(t Triplet, rekey string, subnet bool) (clientKey, key []byte) {
+	if !kb.valid || t.ClientIP != kb.prevClient || rekey != kb.prevRekey {
+		kb.clientKey = appendChainClientKey(kb.ckBuf[:0], t.ClientIP, rekey, subnet)
 		kb.prevClient = t.ClientIP
+		kb.prevRekey = rekey
 		kb.valid = true
 		kb.prefix = nil
 	}
@@ -684,6 +905,24 @@ func (g *Greylister) creditClient(clientKey []byte, nowNs int64) {
 	}
 	c.deliveries.Add(1)
 	c.lastUsed.Store(nowNs)
+}
+
+// grantEarned records an earned-whitelist grant for the client key
+// after a promote, reporting whether a new entry was created
+// (re-granting an existing one just renews it). Callers hold g.mu
+// exclusively. Stats are the caller's job: WAL replay shares this
+// mutation but must leave counters frozen.
+func (g *Greylister) grantEarned(clientKey []byte, now time.Time) bool {
+	if g.policy.EarnedLifetime <= 0 {
+		return false
+	}
+	e, ok := g.earned[string(clientKey)]
+	if !ok {
+		e = &earnedRecord{grantedAt: now}
+		g.earned[string(clientKey)] = e
+	}
+	e.lastUsed.Store(now.UnixNano())
+	return !ok
 }
 
 // GC removes expired pending and passed records and stale auto-whitelist
@@ -735,6 +974,14 @@ func (g *Greylister) gcLocked(now time.Time) int {
 			}
 		}
 	}
+	if g.policy.EarnedLifetime > 0 {
+		for k, rec := range g.earned {
+			if nowNs-rec.lastUsed.Load() > int64(g.policy.EarnedLifetime) {
+				delete(g.earned, k)
+				dropped++
+			}
+		}
+	}
 	return dropped
 }
 
@@ -758,4 +1005,11 @@ func (g *Greylister) ClientCount() int {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
 	return len(g.clients)
+}
+
+// EarnedCount reports the number of earned-whitelist records.
+func (g *Greylister) EarnedCount() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.earned)
 }

@@ -53,6 +53,25 @@ func appendClientKey(dst []byte, ip string, subnet bool) []byte {
 	return append(dst, ip...)
 }
 
+// rekeyPrefix namespaces domain-keyed client components so an SPF
+// domain can never collide with a literal client address (a colon is
+// impossible in the IPv4/subnet forms and unambiguous here even for
+// IPv6, whose textual form never starts with "spf:").
+const rekeyPrefix = "spf:"
+
+// appendChainClientKey appends the client component chosen by the
+// bypass chain: "spf:" plus the lowercased key domain on a rekey, the
+// plain client key otherwise. Domain-keyed state intentionally ignores
+// subnet keying — the domain already aggregates across every outbound
+// address the sender's SPF record covers.
+func appendChainClientKey(dst []byte, ip, rekey string, subnet bool) []byte {
+	if rekey != "" {
+		dst = append(dst, rekeyPrefix...)
+		return appendLower(dst, rekey)
+	}
+	return appendClientKey(dst, ip, subnet)
+}
+
 // appendLower appends s lowercased. Envelope addresses are ASCII in
 // practice, so the loop lowercases byte-at-a-time without allocating;
 // the first non-ASCII byte falls back to the full Unicode mapping for

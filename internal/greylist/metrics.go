@@ -45,6 +45,10 @@ var reasonMirrors = []struct {
 	{"known-triplet", func(s Stats) uint64 { return s.PassedKnown }},
 	{"whitelisted", func(s Stats) uint64 { return s.PassedWhitelist }},
 	{"auto-whitelisted", func(s Stats) uint64 { return s.PassedAutoClient }},
+	{"dnswl-listed", func(s Stats) uint64 { return s.PassedDNSWL }},
+	{"rdns-mailserver", func(s Stats) uint64 { return s.PassedRDNS }},
+	{"earned-whitelist", func(s Stats) uint64 { return s.PassedEarned }},
+	{"bypass-other", func(s Stats) uint64 { return s.PassedBypassOther }},
 }
 
 // registerMirror exports the cumulative Stats counters through stats
@@ -72,6 +76,42 @@ func registerMirror(reg *metrics.Registry, stats func() Stats) {
 	reg.CounterFunc("greylist_gc_dropped_total",
 		"Expired records dropped by GC.",
 		func() uint64 { return stats().GCDropped })
+	reg.CounterFunc("greylist_spf_rekeyed_total",
+		"Checks keyed by SPF domain instead of client IP.",
+		func() uint64 { return stats().SPFRekeyed })
+	reg.CounterFunc("greylist_earned_granted_total",
+		"Earned-whitelist entries granted.",
+		func() uint64 { return stats().EarnedGranted })
+}
+
+// registerChain exports per-stage bypass-chain counters. The stage set
+// is read at registration time (install chains with SetChain before
+// Register); the counters themselves read live through chain(), so a
+// later SetChain keeping the same stage names keeps reporting.
+func registerChain(reg *metrics.Registry, chain func() *Chain) {
+	statFor := func(name string) StageStat {
+		for _, st := range chain().StageStats() {
+			if st.Name == name {
+				return st
+			}
+		}
+		return StageStat{}
+	}
+	for _, st := range chain().StageStats() {
+		name := st.Name
+		reg.CounterFunc("greylist_bypass_stage_total",
+			"Bypass-chain stage outcomes by stage and action.",
+			func() uint64 { return statFor(name).Hits },
+			"stage", name, "action", "bypass")
+		reg.CounterFunc("greylist_bypass_stage_total",
+			"Bypass-chain stage outcomes by stage and action.",
+			func() uint64 { return statFor(name).Rekeys },
+			"stage", name, "action", "rekey")
+		reg.CounterFunc("greylist_bypass_stage_errors_total",
+			"Bypass-chain stage evaluation errors (failed open).",
+			func() uint64 { return statFor(name).Errors },
+			"stage", name)
+	}
 }
 
 // Register exports the engine's counters, table-size gauges, and latency
@@ -90,9 +130,13 @@ func (g *Greylister) Register(reg *metrics.Registry) {
 	reg.GaugeFunc("greylist_autowl_clients",
 		"Auto-whitelist client records.",
 		func() float64 { return float64(g.ClientCount()) })
+	reg.GaugeFunc("greylist_earned_entries",
+		"Earned-whitelist records.",
+		func() float64 { return float64(g.EarnedCount()) })
 	reg.GaugeFunc("greylist_shards",
 		"Store shards in the engine.",
 		func() float64 { return 1 })
+	registerChain(reg, g.Chain)
 	g.inst.Store(newInstruments(reg))
 }
 
@@ -110,9 +154,13 @@ func (s *Sharded) Register(reg *metrics.Registry) {
 	reg.GaugeFunc("greylist_autowl_clients",
 		"Auto-whitelist client records (summed across shards).",
 		func() float64 { return float64(s.ClientCount()) })
+	reg.GaugeFunc("greylist_earned_entries",
+		"Earned-whitelist records (summed across shards).",
+		func() float64 { return float64(s.EarnedCount()) })
 	reg.GaugeFunc("greylist_shards",
 		"Store shards in the engine.",
 		func() float64 { return float64(len(s.shards)) })
+	registerChain(reg, s.Chain)
 	inst := newInstruments(reg)
 	for _, g := range s.shards {
 		g.inst.Store(inst)

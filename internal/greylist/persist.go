@@ -11,11 +11,14 @@ import (
 
 // snapshot is the serialized form of a Greylister's dynamic state. The
 // static whitelist is configuration, not state, and is not serialized.
+// Version 2 added the Earned table; gob decodes version-1 streams into
+// the same struct (Earned stays nil), so old snapshots load unchanged.
 type snapshot struct {
 	Version int
 	Pending map[string]pendingSnap
 	Passed  map[string]passedSnap
 	Clients map[string]clientSnap
+	Earned  map[string]earnedSnap
 	Stats   Stats
 }
 
@@ -36,7 +39,13 @@ type clientSnap struct {
 	LastUsed   time.Time
 }
 
-const snapshotVersion = 1
+type earnedSnap struct {
+	GrantedAt  time.Time
+	LastUsed   time.Time
+	Deliveries int
+}
+
+const snapshotVersion = 2
 
 // Save writes the greylister's dynamic state (pending and passed triplets,
 // auto-whitelist counters, statistics) to w, so a daemon restart does not
@@ -73,6 +82,7 @@ func (g *Greylister) snapshotLocked() *snapshot {
 		Pending: make(map[string]pendingSnap, len(g.pending)),
 		Passed:  make(map[string]passedSnap, len(g.passed)),
 		Clients: make(map[string]clientSnap, len(g.clients)),
+		Earned:  make(map[string]earnedSnap, len(g.earned)),
 		Stats:   g.stats.snapshot(),
 	}
 	for k, v := range g.pending {
@@ -89,6 +99,13 @@ func (g *Greylister) snapshotLocked() *snapshot {
 		snap.Clients[k] = clientSnap{
 			Deliveries: int(v.deliveries.Load()),
 			LastUsed:   time.Unix(0, v.lastUsed.Load()).UTC(),
+		}
+	}
+	for k, v := range g.earned {
+		snap.Earned[k] = earnedSnap{
+			GrantedAt:  v.grantedAt,
+			LastUsed:   time.Unix(0, v.lastUsed.Load()).UTC(),
+			Deliveries: int(v.deliveries.Load()),
 		}
 	}
 	return snap
@@ -108,7 +125,7 @@ func decodeSnapshot(r io.Reader) (*snapshot, error) {
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
 		return nil, fmt.Errorf("greylist: load: %w", err)
 	}
-	if snap.Version != snapshotVersion {
+	if snap.Version < 1 || snap.Version > snapshotVersion {
 		return nil, fmt.Errorf("greylist: load: unsupported snapshot version %d", snap.Version)
 	}
 	return &snap, nil
@@ -135,12 +152,20 @@ func (g *Greylister) restoreSnapshot(snap *snapshot) {
 		c.lastUsed.Store(v.LastUsed.UnixNano())
 		clients[k] = c
 	}
+	earned := make(map[string]*earnedRecord, len(snap.Earned))
+	for k, v := range snap.Earned {
+		e := &earnedRecord{grantedAt: v.GrantedAt}
+		e.lastUsed.Store(v.LastUsed.UnixNano())
+		e.deliveries.Store(int64(v.Deliveries))
+		earned[k] = e
+	}
 
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	g.pending = pending
 	g.passed = passed
 	g.clients = clients
+	g.earned = earned
 	g.stats.restore(snap.Stats)
 }
 

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"sync/atomic"
 
 	"repro/internal/metrics"
 	"repro/internal/simtime"
@@ -24,6 +25,14 @@ import (
 type Sharded struct {
 	shards    []*Greylister
 	whitelist *Whitelist
+
+	// chain is the shared bypass chain. The Sharded engine evaluates
+	// it itself, *before* shard routing: a rekeying stage changes the
+	// triplet's key and therefore which shard owns its state (two
+	// outbound IPs of one SPF domain must land on the same shard).
+	// Every shard holds the same pointer so per-stage counters
+	// aggregate in one place.
+	chain atomic.Pointer[Chain]
 }
 
 // NewSharded returns a Sharded engine with n shards (n < 1 is treated as
@@ -33,13 +42,31 @@ func NewSharded(n int, policy Policy, clock simtime.Clock) *Sharded {
 		n = 1
 	}
 	s := &Sharded{whitelist: NewWhitelist()}
+	ch := NewChain(WhitelistStage(s.whitelist))
+	s.chain.Store(ch)
 	for i := 0; i < n; i++ {
 		g := New(policy, clock)
 		g.whitelist = s.whitelist // shared static whitelist
+		g.chain.Store(ch)         // shared chain (and counters)
 		s.shards = append(s.shards, g)
 	}
 	return s
 }
+
+// SetChain installs a bypass chain on the engine (and every shard). A
+// nil chain restores the default whitelist-only chain.
+func (s *Sharded) SetChain(c *Chain) {
+	if c == nil {
+		c = NewChain(WhitelistStage(s.whitelist))
+	}
+	s.chain.Store(c)
+	for _, g := range s.shards {
+		g.chain.Store(c)
+	}
+}
+
+// Chain returns the currently installed bypass chain.
+func (s *Sharded) Chain() *Chain { return s.chain.Load() }
 
 // Shards reports the shard count.
 func (s *Sharded) Shards() int { return len(s.shards) }
@@ -55,21 +82,36 @@ func (s *Sharded) Policy() Policy { return s.shards[0].policy }
 // The hash equals hash/fnv over t.key(...), so shard assignment (and
 // therefore on-disk sharded snapshots) is unchanged from the string-based
 // implementation.
-func (s *Sharded) shardIndex(t Triplet) int {
+func (s *Sharded) shardIndex(t Triplet) int { return s.shardIndexRekeyed(t, "") }
+
+// shardIndexRekeyed is shardIndex under the chain's chosen client key:
+// a rekeyed attempt routes by its key domain, so every outbound IP of
+// an SPF-passing domain shares one shard's state.
+func (s *Sharded) shardIndexRekeyed(t Triplet, rekey string) int {
 	var ckBuf, kBuf [keyBufCap]byte
-	clientKey := appendClientKey(ckBuf[:0], t.ClientIP, s.shards[0].policy.SubnetKeying)
+	clientKey := appendChainClientKey(ckBuf[:0], t.ClientIP, rekey, s.shards[0].policy.SubnetKeying)
 	key := t.appendKey(kBuf[:0], clientKey)
 	return int(fnv1a(key) % uint32(len(s.shards)))
 }
 
-// Check runs the greylisting decision on the triplet's shard.
+// Check evaluates the bypass chain, then runs the greylisting decision
+// on the shard owning the (possibly rekeyed) triplet.
 func (s *Sharded) Check(t Triplet) Verdict {
-	return s.shards[s.shardIndex(t)].Check(t)
+	out, _ := s.chain.Load().eval(t)
+	return s.shards[s.shardIndexRekeyed(t, out.rekey())].routedCheck(t, out, nil)
 }
 
 // CheckTraced runs the traced decision on the triplet's shard.
 func (s *Sharded) CheckTraced(t Triplet, tr *trace.Trace) Verdict {
-	return s.shards[s.shardIndex(t)].CheckTraced(t, tr)
+	if tr == nil {
+		return s.Check(t)
+	}
+	ch := s.chain.Load()
+	out, idx := ch.eval(t)
+	if idx >= 0 {
+		tr.Bypass(ch.StageName(idx), out.Action.String())
+	}
+	return s.shards[s.shardIndexRekeyed(t, out.rekey())].routedCheck(t, out, tr)
 }
 
 // CheckBatch decides a run of attempts, grouping them by shard so each
@@ -87,29 +129,70 @@ func (s *Sharded) CheckBatch(ts []Triplet, out []Verdict) []Verdict {
 		return out
 	}
 
-	// Group positions by shard. A batch is a pipelined burst from one
-	// client — small — so two stack-friendly slices beat a map.
+	// Evaluate the chain once for the whole batch, before routing:
+	// bypasses complete immediately (their counters land on shard 0,
+	// which feeds the same aggregate Stats), and rekeyed attempts
+	// route by their domain key. The rekey slice is only allocated
+	// when some stage actually rekeys.
+	ch := s.chain.Load()
+	g0 := s.shards[0]
+	g0.stats.checks.Add(uint64(len(ts)))
+	var rekeys []string
 	idx := make([]int, len(ts))
 	for i, t := range ts {
-		idx[i] = s.shardIndex(t)
+		o, _ := ch.eval(t)
+		switch o.Action {
+		case StageBypass:
+			g0.countBypass(o.Reason)
+			out[i] = Verdict{Decision: Pass, Reason: o.Reason}
+			idx[i] = -1
+			continue
+		case StageRekey:
+			g0.stats.spfRekeyed.Add(1)
+			if rekeys == nil {
+				rekeys = make([]string, len(ts))
+			}
+			rekeys[i] = o.Domain
+		}
+		out[i] = Verdict{}
+		rk := ""
+		if rekeys != nil {
+			rk = rekeys[i]
+		}
+		idx[i] = s.shardIndexRekeyed(t, rk)
 	}
+
+	// Group positions by shard. A batch is a pipelined burst from one
+	// client — small — so stack-friendly slices beat a map.
 	var (
-		group []Triplet
-		pos   []int
-		sub   []Verdict
+		group   []Triplet
+		rkGroup []string
+		pos     []int
+		sub     []Verdict
 	)
 	for sh := range s.shards {
-		group, pos = group[:0], pos[:0]
+		group, pos, rkGroup = group[:0], pos[:0], rkGroup[:0]
 		for i, want := range idx {
 			if want == sh {
 				group = append(group, ts[i])
 				pos = append(pos, i)
+				if rekeys != nil {
+					rkGroup = append(rkGroup, rekeys[i])
+				}
 			}
 		}
 		if len(group) == 0 {
 			continue
 		}
-		sub = s.shards[sh].CheckBatch(group, sub)
+		sub = verdictSlice(sub, len(group))
+		for j := range sub {
+			sub[j] = Verdict{} // storeBatch decides zero-verdict slots
+		}
+		var rk []string
+		if rekeys != nil {
+			rk = rkGroup
+		}
+		sub = s.shards[sh].storeBatchTimed(group, rk, sub)
 		for j, i := range pos {
 			out[i] = sub[j]
 		}
@@ -160,6 +243,18 @@ func (s *Sharded) ClientCount() int {
 	n := 0
 	for _, g := range s.shards {
 		n += g.ClientCount()
+	}
+	return n
+}
+
+// EarnedCount sums the earned-whitelist tables. Like the client
+// auto-whitelist, earned grants live in the shard of the triplet that
+// earned them, so a client greylisted across shards may earn (and be
+// counted) per shard.
+func (s *Sharded) EarnedCount() int {
+	n := 0
+	for _, g := range s.shards {
+		n += g.EarnedCount()
 	}
 	return n
 }
@@ -239,6 +334,7 @@ func (s *Sharded) reshardLoad(br *bufio.Reader, n int) error {
 		}
 	}
 	clients := make(map[string]clientSnap)
+	earned := make(map[string]earnedSnap)
 	var totals Stats
 
 	for i := 0; i < n; i++ {
@@ -260,6 +356,21 @@ func (s *Sharded) reshardLoad(br *bufio.Reader, n int) error {
 			}
 			clients[k] = merged
 		}
+		// Earned grants are client-keyed like the auto-whitelist: no
+		// exact shard mapping exists, so merge (earliest grant, newest
+		// use, summed deliveries) and replicate to every target shard
+		// — erring toward accepting mail, exactly like clients above.
+		for k, v := range snap.Earned {
+			merged, ok := earned[k]
+			if !ok || (!v.GrantedAt.IsZero() && v.GrantedAt.Before(merged.GrantedAt)) {
+				merged.GrantedAt = v.GrantedAt
+			}
+			merged.Deliveries += v.Deliveries
+			if v.LastUsed.After(merged.LastUsed) {
+				merged.LastUsed = v.LastUsed
+			}
+			earned[k] = merged
+		}
 		totals.add(snap.Stats)
 	}
 
@@ -269,6 +380,7 @@ func (s *Sharded) reshardLoad(br *bufio.Reader, n int) error {
 			Pending: dst[i].pending,
 			Passed:  dst[i].passed,
 			Clients: clients,
+			Earned:  earned,
 		}
 		if i == 0 {
 			snap.Stats = totals
@@ -340,8 +452,14 @@ type Engine interface {
 	PendingCount() int
 	PassedCount() int
 	ClientCount() int
+	EarnedCount() int
 	Save(io.Writer) error
 	Load(io.Reader) error
+	// SetChain installs a bypass chain evaluated ahead of the triplet
+	// check; nil restores the default whitelist-only chain.
+	SetChain(*Chain)
+	// Chain returns the installed bypass chain.
+	Chain() *Chain
 	// Register exports the engine's counters, gauges and latency
 	// histograms into reg (see metrics.go for the name catalogue).
 	Register(*metrics.Registry)

@@ -120,6 +120,15 @@ const (
 	walOpDelClient
 	// walOpGC re-runs the GC sweep at the payload time (i64 ns).
 	walOpGC
+	// walOpEarnTouch refreshes (creating if missing) the earned-
+	// whitelist entry for the key's client component: last-used :=
+	// payload ns (i64), deliveries += 1. The grant itself has no
+	// record — replaying walOpPromote re-grants whenever the policy
+	// enables the earned whitelist, mirroring the live mutation.
+	walOpEarnTouch
+	// walOpDelEarned deletes an expired earned-whitelist entry (no
+	// payload; key is the full triplet key, client prefix applies).
+	walOpDelEarned
 )
 
 const (
@@ -150,9 +159,9 @@ func walPayloadSize(op byte) int {
 	switch op {
 	case walOpPendingUpsert:
 		return 20
-	case walOpPromote, walOpTouch, walOpAutoPass, walOpGC:
+	case walOpPromote, walOpTouch, walOpAutoPass, walOpGC, walOpEarnTouch:
 		return 8
-	case walOpDelPassed, walOpDelClient:
+	case walOpDelPassed, walOpDelClient, walOpDelEarned:
 		return 0
 	default:
 		return -1
@@ -616,7 +625,7 @@ func (w *WAL) replay(r io.Reader, off int64) (replayed int, good int64, err erro
 			op.t1 = int64(binary.LittleEndian.Uint64(payload[0:]))
 			op.t2 = int64(binary.LittleEndian.Uint64(payload[8:]))
 			op.attempts = binary.LittleEndian.Uint32(payload[16:])
-		case walOpPromote, walOpTouch, walOpAutoPass, walOpGC:
+		case walOpPromote, walOpTouch, walOpAutoPass, walOpGC, walOpEarnTouch:
 			op.t1 = int64(binary.LittleEndian.Uint64(payload[0:]))
 		}
 		ops = append(ops, op)
@@ -776,7 +785,7 @@ func (w *WAL) frame(op byte, key []byte, t1, t2 int64, attempts uint32) {
 		w.buf = binary.LittleEndian.AppendUint64(w.buf, uint64(t1))
 		w.buf = binary.LittleEndian.AppendUint64(w.buf, uint64(t2))
 		w.buf = binary.LittleEndian.AppendUint32(w.buf, attempts)
-	case walOpPromote, walOpTouch, walOpAutoPass, walOpGC:
+	case walOpPromote, walOpTouch, walOpAutoPass, walOpGC, walOpEarnTouch:
 		w.buf = binary.LittleEndian.AppendUint64(w.buf, uint64(t1))
 	}
 	w.buf = binary.LittleEndian.AppendUint32(w.buf, crc32.ChecksumIEEE(w.buf[start:]))

@@ -67,6 +67,7 @@ func (g *Greylister) applyOpLocked(op walOp) {
 		p.deliveries.Store(1)
 		g.passed[string(op.key)] = p
 		g.creditClient(clientPrefix(op.key), op.t1)
+		g.grantEarned(clientPrefix(op.key), time.Unix(0, op.t1))
 	case walOpTouch:
 		p, ok := g.passed[string(op.key)]
 		if !ok {
@@ -87,6 +88,18 @@ func (g *Greylister) applyOpLocked(op walOp) {
 		delete(g.passed, string(op.key))
 	case walOpDelClient:
 		delete(g.clients, string(clientPrefix(op.key)))
+	case walOpEarnTouch:
+		e, ok := g.earned[string(clientPrefix(op.key))]
+		if !ok {
+			// Tolerate a gap before the promote that granted the
+			// entry (damaged log) by recreating it, like walOpTouch.
+			e = &earnedRecord{grantedAt: time.Unix(0, op.t1)}
+			g.earned[string(clientPrefix(op.key))] = e
+		}
+		e.lastUsed.Store(op.t1)
+		e.deliveries.Add(1)
+	case walOpDelEarned:
+		delete(g.earned, string(clientPrefix(op.key)))
 	case walOpGC:
 		g.gcLocked(time.Unix(0, op.t1))
 	}

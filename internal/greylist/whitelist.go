@@ -2,7 +2,7 @@ package greylist
 
 import (
 	"fmt"
-	"net"
+	"net/netip"
 	"strings"
 	"sync"
 
@@ -24,7 +24,7 @@ import (
 type Whitelist struct {
 	mu            sync.RWMutex
 	ips           map[string]bool
-	cidrs         []*net.IPNet
+	cidrs         []netip.Prefix
 	senderDomains map[string]bool
 	recipients    map[string]bool
 }
@@ -40,7 +40,7 @@ func NewWhitelist() *Whitelist {
 
 // AddIP exempts a single client address.
 func (w *Whitelist) AddIP(ip string) error {
-	if net.ParseIP(ip) == nil {
+	if _, err := netip.ParseAddr(ip); err != nil {
 		return fmt.Errorf("greylist: %q is not an IP address", ip)
 	}
 	w.mu.Lock()
@@ -49,15 +49,18 @@ func (w *Whitelist) AddIP(ip string) error {
 	return nil
 }
 
-// AddCIDR exempts a client network in CIDR form ("66.163.0.0/16").
+// AddCIDR exempts a client network in CIDR form ("66.163.0.0/16"). The
+// address part may carry host bits ("66.163.1.2/16" works); the stored
+// prefix is masked, matching net.ParseCIDR's old behaviour.
 func (w *Whitelist) AddCIDR(cidr string) error {
-	_, ipnet, err := net.ParseCIDR(cidr)
+	p, err := netip.ParsePrefix(cidr)
 	if err != nil {
 		return fmt.Errorf("greylist: %w", err)
 	}
+	p = p.Masked()
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	w.cidrs = append(w.cidrs, ipnet)
+	w.cidrs = append(w.cidrs, p)
 	return nil
 }
 
@@ -93,9 +96,12 @@ func (w *Whitelist) Match(t Triplet) bool {
 		return true
 	}
 	if len(w.cidrs) > 0 {
-		if ip := net.ParseIP(t.ClientIP); ip != nil {
-			for _, n := range w.cidrs {
-				if n.Contains(ip) {
+		// netip.ParseAddr is allocation-free (a value type), unlike the
+		// old net.ParseIP slice — this scan costs nothing but compares.
+		if a, err := netip.ParseAddr(t.ClientIP); err == nil {
+			a = a.Unmap()
+			for _, p := range w.cidrs {
+				if p.Contains(a) {
 					return true
 				}
 			}

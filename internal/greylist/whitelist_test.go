@@ -1,6 +1,8 @@
 package greylist
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 	"time"
 
@@ -110,5 +112,63 @@ func TestWhitelistedClientNeverDelayed(t *testing.T) {
 			t.Fatalf("attempt %d = %+v, want pass", i, v)
 		}
 		clock.Advance(time.Second)
+	}
+}
+
+// TestWhitelistConcurrentMutate hammers Match while every Add* mutator
+// runs concurrently; run under -race this pins the netip.Prefix rewrite
+// (a torn []net.IPNet append was the risk the RWMutex guards against).
+func TestWhitelistConcurrentMutate(t *testing.T) {
+	w := NewWhitelist()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for n := 0; ; n++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				w.Match(Triplet{
+					ClientIP:  "66.163.44.5",
+					Sender:    "user@gmail.com",
+					Recipient: "postmaster@victim.example",
+				})
+				w.Match(Triplet{ClientIP: "198.51.100.7"})
+			}
+		}()
+	}
+	for n := 0; n < 200; n++ {
+		if err := w.AddCIDR(fmt.Sprintf("10.%d.0.0/16", n%200)); err != nil {
+			t.Error(err)
+		}
+		if err := w.AddIP(fmt.Sprintf("198.51.100.%d", n%250)); err != nil {
+			t.Error(err)
+		}
+		w.AddSenderDomain(fmt.Sprintf("d%d.example", n))
+		w.AddRecipient(fmt.Sprintf("u%d@victim.example", n))
+	}
+	close(stop)
+	wg.Wait()
+	if !w.Match(Triplet{ClientIP: "10.42.1.1"}) {
+		t.Fatal("CIDR added during the hammering not matched")
+	}
+}
+
+func TestWhitelistCIDRHostBitsAndMapped(t *testing.T) {
+	w := NewWhitelist()
+	// Host bits in the CIDR are masked away, as net.ParseCIDR used to.
+	if err := w.AddCIDR("66.163.1.2/16"); err != nil {
+		t.Fatal(err)
+	}
+	if !w.Match(Triplet{ClientIP: "66.163.200.1"}) {
+		t.Fatal("masked CIDR not matched")
+	}
+	// A 4-in-6 mapped client address matches a v4 prefix.
+	if !w.Match(Triplet{ClientIP: "::ffff:66.163.4.4"}) {
+		t.Fatal("mapped v4 client not matched")
 	}
 }

@@ -1,0 +1,345 @@
+package lab
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"repro/internal/botnet"
+	"repro/internal/bypass"
+	"repro/internal/core"
+	"repro/internal/dnsbl"
+	"repro/internal/dnsmsg"
+	"repro/internal/dnsserver"
+	"repro/internal/greylist"
+	"repro/internal/smtpclient"
+	"repro/internal/spf"
+	"repro/internal/trace"
+)
+
+// The bypass-layer study quantifies the trade every greylisting bypass
+// heuristic makes. Section VI of the paper weighs greylisting's spam
+// blocked against its cost — every legitimate first contact eats the
+// triplet delay — and the filters that grew around greylisting
+// (spfgreylist's SPF-domain keying, grayland's DNSWL and rDNS waivers,
+// Postgrey's earned client whitelist) all try to spend that delay only
+// on bot-looking senders. Each heuristic is also an attack surface.
+// The study runs one bypass layer at a time in front of the triplet
+// check and measures both sides:
+//
+//   - benign cost: how much first-contact delay two legitimate sender
+//     profiles still pay — a conventional single-IP MTA, and a
+//     webmail-style provider that retries from a rotating pool (the
+//     Table III pathology: per-IP keying makes every retry look like a
+//     fresh client);
+//   - bot leakage: how many recipients each bot family reaches —
+//     the Table I families plus SPFProbe, an adversary that publishes
+//     its own SPF record, buys mail-server PTR names and gets its pool
+//     DNSWL-listed, then retries through rotating IPs.
+//
+// Postgrey's deliveries-per-client auto-whitelist is disabled in every
+// layer (including "off") so the columns isolate one mechanism each.
+
+// Bypass layer names accepted by Config.Bypass / Spec.Bypass.
+const (
+	// LayerOff runs the plain triplet check (but, like every layer,
+	// with the client auto-whitelist off — the study baseline).
+	LayerOff = "off"
+	// LayerSPF re-keys the triplet by sender domain when SPF passes.
+	LayerSPF = "spf"
+	// LayerDNSWL waives the dance for DNSWL-listed client IPs.
+	LayerDNSWL = "dnswl"
+	// LayerRDNS waives the dance for mail-server-looking PTR names.
+	LayerRDNS = "rdns"
+	// LayerEarned grants a per-client whitelist entry on the first
+	// completed dance, auto-renewed on use (the -whiteexp knob).
+	LayerEarned = "earned"
+)
+
+// BypassDNSWLOrigin is the DNS whitelist zone the lab publishes and
+// the dnswl layer queries.
+const BypassDNSWLOrigin = "wl.lab.example"
+
+// bypassEarnedLifetime is the -whiteexp value the earned layer uses.
+const bypassEarnedLifetime = 7 * 24 * time.Hour
+
+// BypassLayers returns the study's layers in presentation order.
+func BypassLayers() []string {
+	return []string{LayerOff, LayerSPF, LayerDNSWL, LayerRDNS, LayerEarned}
+}
+
+// bypassStages maps a Config.Bypass layer to the chain stages core
+// installs, adjusting the policy for the layers that live in the
+// engine rather than the chain. Layer "" leaves everything untouched
+// (the non-bypass experiments keep Postgrey defaults).
+func (l *Lab) bypassStages(layer string, policy *greylist.Policy) ([]greylist.Stage, error) {
+	if layer == "" {
+		return nil, nil
+	}
+	// One mechanism per column: the client auto-whitelist would
+	// otherwise shadow the layer under test.
+	policy.AutoWhitelistAfter = 0
+	switch layer {
+	case LayerOff:
+		return nil, nil
+	case LayerSPF:
+		checker := spf.NewCached(spf.New(l.Resolver), spf.CacheConfig{Clock: l.Clock})
+		return []greylist.Stage{bypass.SPF(checker)}, nil
+	case LayerDNSWL:
+		return []greylist.Stage{bypass.DNSWL(l.Resolver, BypassDNSWLOrigin, bypass.CacheConfig{Clock: l.Clock})}, nil
+	case LayerRDNS:
+		return []greylist.Stage{bypass.RDNS(l.Resolver, bypass.CacheConfig{Clock: l.Clock})}, nil
+	case LayerEarned:
+		policy.EarnedLifetime = bypassEarnedLifetime
+		return nil, nil
+	}
+	return nil, fmt.Errorf("unknown bypass layer %q", layer)
+}
+
+// bypassSender is one sender profile in the study.
+type bypassSender struct {
+	family    botnet.Family
+	sender    string
+	sourceIP  string
+	sourceIPs []string
+	benign    bool
+}
+
+// benignRetry is a conventional MTA queue: sendmail-style growing
+// backoff, four redelivery passes.
+func benignRetry() botnet.RetrySchedule {
+	return botnet.RetrySchedule{Peaks: []botnet.RetryPeak{
+		{Min: 600 * time.Second, Max: 900 * time.Second},
+		{Min: 1800 * time.Second, Max: 2700 * time.Second},
+		{Min: 5400 * time.Second, Max: 7200 * time.Second},
+		{Min: 9000 * time.Second, Max: 10800 * time.Second},
+	}}
+}
+
+// bypassSenders returns the study's sender profiles: two benign MTAs,
+// the three Table I families the acceptance floor asks for, and the
+// SPFProbe adversary. Order is presentation order.
+func bypassSenders() []bypassSender {
+	steady := botnet.Family{
+		Name:         "BenignMTA",
+		Behavior:     botnet.Families()[2].Behavior, // RFC-compliant MX walking
+		Retry:        benignRetry(),
+		Dialect:      botnet.Dialect{UseEHLO: true, SendQuit: true, HeloName: "mail.corp.example"},
+		SendInterval: 60 * time.Second,
+	}
+	rotator := steady
+	rotator.Name = "BenignRotator"
+	rotator.Dialect.HeloName = "out1.bulk-sender.example"
+	rotator.SendInterval = 30 * time.Second
+	return []bypassSender{
+		{family: steady, sender: "mta@corp.example", sourceIP: "198.51.100.10", benign: true},
+		{family: rotator, sender: "news@bulk-sender.example", benign: true,
+			sourceIPs: []string{"198.51.100.31", "198.51.100.32", "198.51.100.33", "198.51.100.34"}},
+		{family: botnet.Cutwail()},
+		{family: botnet.Kelihos()},
+		{family: botnet.DarkmailerV3()},
+		{family: botnet.SPFProbe(), sender: "offers@probe.example",
+			sourceIPs: []string{"203.0.113.57", "203.0.113.58", "203.0.113.59"}},
+	}
+}
+
+// setupBypassDNS publishes the study's extra DNS state into a lab:
+// SPF records for the SPF-publishing senders (the benign MTAs and the
+// probe — attacker-controlled zones exist regardless of the victim's
+// layer), the DNSWL zone with its listings, and the PTR names. Records
+// a layer's stage never queries are inert, so every spec shares this
+// one hook.
+func setupBypassDNS(l *Lab) error {
+	for _, d := range []struct {
+		domain string
+		terms  []string
+	}{
+		{"corp.example", []string{"ip4:198.51.100.10", "-all"}},
+		{"bulk-sender.example", []string{"ip4:198.51.100.31", "ip4:198.51.100.32", "ip4:198.51.100.33", "ip4:198.51.100.34", "-all"}},
+		{"probe.example", []string{"ip4:203.0.113.56/29", "-all"}},
+	} {
+		z := dnsserver.NewZone(d.domain)
+		z.MustAdd(dnsmsg.RR{Name: d.domain, Type: dnsmsg.TypeTXT, TTL: 300,
+			Data: spf.Record(d.terms...)})
+		l.DNS.AddZone(z)
+	}
+
+	wl := dnsbl.New(BypassDNSWLOrigin, l.DNS, l.Clock)
+	for _, ip := range []string{
+		"198.51.100.10", // the corp MTA earned its listing
+		"198.51.100.31", "198.51.100.32", "198.51.100.33", "198.51.100.34",
+		"203.0.113.57", "203.0.113.58", "203.0.113.59", // the probe bought its way on
+	} {
+		if err := wl.Add(ip); err != nil {
+			return err
+		}
+	}
+
+	ptr := dnsserver.NewZone("in-addr.arpa")
+	for _, p := range []struct{ name, target string }{
+		{"10.100.51.198", "mail.corp.example"},
+		{"31.100.51.198", "out1.bulk-sender.example"},
+		{"32.100.51.198", "out2.bulk-sender.example"},
+		{"33.100.51.198", "out3.bulk-sender.example"},
+		{"34.100.51.198", "out4.bulk-sender.example"},
+		{"57.113.0.203", "smtp1.probe.example"}, // the probe's flattering names
+		{"58.113.0.203", "smtp2.probe.example"},
+		{"59.113.0.203", "smtp3.probe.example"},
+	} {
+		ptr.MustAdd(dnsmsg.RR{Name: p.name + ".in-addr.arpa", Type: dnsmsg.TypePTR, TTL: 300,
+			Data: dnsmsg.PTR{Target: p.target}})
+	}
+	l.DNS.AddZone(ptr)
+	return nil
+}
+
+// BypassCell is one sender's outcome under one layer.
+type BypassCell struct {
+	// Sender is the profile name (family name).
+	Sender string
+	// Delivered / Recipients count mailboxes reached.
+	Delivered, Recipients int
+	// MeanDelay averages, over delivered recipients, the time from the
+	// sender's first attempt to acceptance. Benign profiles only.
+	MeanDelay time.Duration
+}
+
+// BypassRow is one bypass layer's full outcome.
+type BypassRow struct {
+	// Layer is the Layer* constant.
+	Layer string
+	// Benign holds the legitimate profiles' cells (delay is the story).
+	Benign []BypassCell
+	// Bots holds the bot families' cells (leakage is the story).
+	Bots []BypassCell
+}
+
+// BypassSpecs builds the study workload: every sender profile under
+// every layer, greylisting on at the Postgrey threshold, in rendering
+// order (layer-major).
+func BypassSpecs(recipients int) []Spec {
+	var specs []Spec
+	for _, layer := range BypassLayers() {
+		for _, s := range bypassSenders() {
+			specs = append(specs, Spec{
+				Defense:        core.DefenseGreylisting,
+				Bypass:         layer,
+				Family:         s.family,
+				SampleID:       1,
+				Recipients:     recipients,
+				SourceIP:       s.sourceIP,
+				SourceIPs:      s.sourceIPs,
+				Sender:         s.sender,
+				RecordAttempts: s.benign, // benign cells need per-delivery delays
+				Setup:          setupBypassDNS,
+			})
+		}
+	}
+	return specs
+}
+
+// RunBypassStudy executes the study across workers labs (0 =
+// GOMAXPROCS) and folds the results into one row per layer. Tracer,
+// when non-nil, records every attempt.
+func RunBypassStudy(recipients, workers int, tracer *trace.Tracer) ([]BypassRow, error) {
+	senders := bypassSenders()
+	specs := BypassSpecs(recipients)
+	r := Runner{Workers: workers, Tracer: tracer}
+	results, err := r.Run(specs)
+	if err != nil {
+		return nil, err
+	}
+	var rows []BypassRow
+	for li, layer := range BypassLayers() {
+		row := BypassRow{Layer: layer}
+		for si, s := range senders {
+			res := results[li*len(senders)+si]
+			cell := BypassCell{
+				Sender:     s.family.Name,
+				Delivered:  res.Delivered,
+				Recipients: len(res.Spec.RecipientAddrs),
+			}
+			if s.benign {
+				cell.MeanDelay = meanDeliveryDelay(res.Attempts)
+				row.Benign = append(row.Benign, cell)
+			} else {
+				row.Bots = append(row.Bots, cell)
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// meanDeliveryDelay averages the first-attempt-to-acceptance offset
+// over delivered recipients.
+func meanDeliveryDelay(attempts []botnet.Attempt) time.Duration {
+	var sum time.Duration
+	var n int
+	for _, a := range attempts {
+		if a.Outcome == smtpclient.Delivered {
+			sum += a.Offset
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / time.Duration(n)
+}
+
+// RenderBypassStudy formats the rows as the two-sided trade table:
+// benign first-contact delay (with the saving relative to the off
+// layer) against per-family bot leakage.
+func RenderBypassStudy(rows []BypassRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Bypass-layer study: benign first-contact delay vs bot leakage\n")
+	fmt.Fprintf(&b, "(greylisting at the Postgrey 300 s threshold; client auto-whitelist off;\n")
+	fmt.Fprintf(&b, " one bypass layer at a time ahead of the triplet check)\n\n")
+	if len(rows) == 0 {
+		return b.String()
+	}
+
+	fmt.Fprintf(&b, "Benign senders — delivered, mean delay, delay eliminated vs off:\n\n")
+	fmt.Fprintf(&b, "  %-8s", "layer")
+	for _, c := range rows[0].Benign {
+		fmt.Fprintf(&b, "  %-30s", c.Sender)
+	}
+	fmt.Fprintf(&b, "\n")
+	base := rows[0] // BypassLayers() puts LayerOff first
+	for _, row := range rows {
+		fmt.Fprintf(&b, "  %-8s", row.Layer)
+		for i, c := range row.Benign {
+			cell := fmt.Sprintf("%d/%d  %6s  -%s",
+				c.Delivered, c.Recipients, roundSeconds(c.MeanDelay),
+				roundSeconds(base.Benign[i].MeanDelay-c.MeanDelay))
+			fmt.Fprintf(&b, "  %-30s", cell)
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+
+	fmt.Fprintf(&b, "\nBot leakage — recipients reached:\n\n")
+	fmt.Fprintf(&b, "  %-8s", "layer")
+	for _, c := range rows[0].Bots {
+		fmt.Fprintf(&b, "  %-14s", c.Sender)
+	}
+	fmt.Fprintf(&b, "\n")
+	for _, row := range rows {
+		fmt.Fprintf(&b, "  %-8s", row.Layer)
+		for _, c := range row.Bots {
+			fmt.Fprintf(&b, "  %-14s", fmt.Sprintf("%d/%d", c.Delivered, c.Recipients))
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+
+	fmt.Fprintf(&b, "\nReading: the SPF layer is the only one that fixes the rotating-pool\n")
+	fmt.Fprintf(&b, "sender without waiving the dance for it, and every layer's waiver is\n")
+	fmt.Fprintf(&b, "exactly the surface SPFProbe walks through.\n")
+	return b.String()
+}
+
+// roundSeconds renders a duration as whole seconds.
+func roundSeconds(d time.Duration) string {
+	return fmt.Sprintf("%ds", int(math.Round(d.Seconds())))
+}

@@ -1,0 +1,122 @@
+package lab
+
+import (
+	"testing"
+	"time"
+)
+
+// bypassCells indexes a row's cells by sender name.
+func bypassCells(t *testing.T, rows []BypassRow, layer string) map[string]BypassCell {
+	t.Helper()
+	for _, r := range rows {
+		if r.Layer != layer {
+			continue
+		}
+		cells := make(map[string]BypassCell)
+		for _, c := range append(append([]BypassCell{}, r.Benign...), r.Bots...) {
+			cells[c.Sender] = c
+		}
+		return cells
+	}
+	t.Fatalf("no row for layer %q", layer)
+	return nil
+}
+
+// TestBypassStudyTrade pins the study's two-sided findings: what each
+// layer saves the benign senders and what it leaks to the bots.
+func TestBypassStudyTrade(t *testing.T) {
+	rows, err := RunBypassStudy(20, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(BypassLayers()) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(BypassLayers()))
+	}
+
+	off := bypassCells(t, rows, LayerOff)
+	// Baseline: benign senders pay the dance — the rotator
+	// catastrophically (per-IP keying restarts its triplet every retry
+	// until the pool wraps), and the probe's rotation keeps it out.
+	if c := off["BenignMTA"]; c.Delivered != 20 || c.MeanDelay < 300*time.Second {
+		t.Errorf("off BenignMTA = %+v, want all delivered after the dance", c)
+	}
+	if c := off["BenignRotator"]; c.Delivered != 20 || c.MeanDelay < 2*time.Hour {
+		t.Errorf("off BenignRotator = %+v, want the pool-wrap delay", c)
+	}
+	for _, f := range []string{"Cutwail", "Darkmailer(v3)", "SPFProbe"} {
+		if c := off[f]; c.Delivered != 0 {
+			t.Errorf("off %s leaked %d/%d", f, c.Delivered, c.Recipients)
+		}
+	}
+	if c := off["Kelihos"]; c.Delivered != 20 {
+		t.Errorf("off Kelihos = %+v, want full leakage (it retries in place)", c)
+	}
+
+	// SPF keying: collapses the rotator's delay to one retry without
+	// zeroing it — and the self-publishing probe now walks in.
+	spfRow := bypassCells(t, rows, LayerSPF)
+	if c := spfRow["BenignRotator"]; c.MeanDelay >= off["BenignRotator"].MeanDelay/4 || c.MeanDelay == 0 {
+		t.Errorf("spf BenignRotator delay = %v (off %v), want collapsed but nonzero",
+			c.MeanDelay, off["BenignRotator"].MeanDelay)
+	}
+	if c := spfRow["SPFProbe"]; c.Delivered != 20 {
+		t.Errorf("spf SPFProbe = %+v, want full leakage", c)
+	}
+
+	// The waiver layers zero the benign delay — and wave the probe's
+	// listed/flatteringly-named pool straight through.
+	for _, layer := range []string{LayerDNSWL, LayerRDNS} {
+		cells := bypassCells(t, rows, layer)
+		for _, b := range []string{"BenignMTA", "BenignRotator"} {
+			if c := cells[b]; c.Delivered != 20 || c.MeanDelay != 0 {
+				t.Errorf("%s %s = %+v, want immediate delivery", layer, b, c)
+			}
+		}
+		if c := cells["SPFProbe"]; c.Delivered != 20 {
+			t.Errorf("%s SPFProbe = %+v, want full leakage", layer, c)
+		}
+	}
+
+	// The earned whitelist helps only the steady sender (later
+	// recipients ride the client's completed dance); rotation — benign
+	// or hostile — never earns, because no single IP finishes a dance
+	// before the retry moves on.
+	earned := bypassCells(t, rows, LayerEarned)
+	if c := earned["BenignMTA"]; !(c.MeanDelay < off["BenignMTA"].MeanDelay) {
+		t.Errorf("earned BenignMTA delay = %v, want below off's %v",
+			c.MeanDelay, off["BenignMTA"].MeanDelay)
+	}
+	if c := earned["SPFProbe"]; c.Delivered != 0 {
+		t.Errorf("earned SPFProbe leaked %d/%d", c.Delivered, c.Recipients)
+	}
+
+	// No layer changes what the non-probe bot families achieve: the
+	// Table I columns are flat across rows.
+	for _, layer := range BypassLayers()[1:] {
+		cells := bypassCells(t, rows, layer)
+		for _, f := range []string{"Cutwail", "Kelihos", "Darkmailer(v3)"} {
+			if cells[f].Delivered != off[f].Delivered {
+				t.Errorf("%s %s delivered = %d, off = %d; layers must not change Table I families",
+					layer, f, cells[f].Delivered, off[f].Delivered)
+			}
+		}
+	}
+}
+
+// TestBypassStudyDeterministic is the chain-enabled half of the lab's
+// byte-identity guarantee: the rendered study is identical at any
+// worker count.
+func TestBypassStudyDeterministic(t *testing.T) {
+	serial, err := RunBypassStudy(10, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunBypassStudy(10, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := RenderBypassStudy(serial), RenderBypassStudy(parallel)
+	if a != b {
+		t.Fatalf("worker count changed the study output:\n--- workers=1\n%s\n--- workers=4\n%s", a, b)
+	}
+}

@@ -68,6 +68,12 @@ type Config struct {
 	// UnprotectedRecipients are local parts exempt from greylisting
 	// (the control addresses).
 	UnprotectedRecipients []string
+	// Bypass selects a greylisting bypass layer for the victim (one of
+	// the Layer* constants; "" or LayerOff means the plain triplet
+	// check). Setting any layer also disables Postgrey's own
+	// deliveries-per-client auto-whitelist, so the experiment measures
+	// the chain stage alone.
+	Bypass string
 	// Tracer, when non-nil, is installed on the lab (see Lab.Tracer).
 	Tracer *trace.Tracer
 }
@@ -88,6 +94,10 @@ func New(cfg Config) (*Lab, error) {
 	if cfg.Threshold > 0 {
 		policy.Threshold = cfg.Threshold
 	}
+	stages, err := l.bypassStages(cfg.Bypass, &policy)
+	if err != nil {
+		return nil, fmt.Errorf("lab: %w", err)
+	}
 	// The lab's retry window must accommodate Kelihos' 80 000-90 000 s
 	// peak (Postgrey's 2-day default does, comfortably).
 	domain, err := core.New(core.Config{
@@ -96,6 +106,7 @@ func New(cfg Config) (*Lab, error) {
 		SecondaryIP:           "10.0.0.2",
 		Defense:               cfg.Defense,
 		GreylistPolicy:        policy,
+		BypassStages:          stages,
 		UnprotectedRecipients: cfg.UnprotectedRecipients,
 	}, core.Deps{Net: l.Net, DNS: l.DNS, Clock: l.Clock})
 	if err != nil {

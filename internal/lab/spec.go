@@ -30,6 +30,9 @@ type Spec struct {
 	// UnprotectedRecipients are local parts exempt from greylisting
 	// (the control addresses).
 	UnprotectedRecipients []string
+	// Bypass selects the victim's greylisting bypass layer (a Layer*
+	// constant; "" means plain greylisting).
+	Bypass string
 
 	// Family is the malware family to run.
 	Family botnet.Family
@@ -49,6 +52,9 @@ type Spec struct {
 	// SourceIP is the infected machine's address; "" derives
 	// 203.0.113.(10+SampleID).
 	SourceIP string
+	// SourceIPs, when set, is the sender's rotation pool: try n goes
+	// out from SourceIPs[(n-1) mod len] (see botnet.Env.SourceIPs).
+	SourceIPs []string
 	// Sender is the envelope sender; "" derives
 	// sample<ID>@<family>.bot.example.
 	Sender string
@@ -70,6 +76,10 @@ type Spec struct {
 	// (before teardown): the hook for assertions that need the
 	// victim's state, e.g. the control experiment's mailbox check.
 	Inspect func(*Lab, *Result) error
+	// Setup, when set, runs against the live Lab before the campaign
+	// launches — the hook for publishing extra DNS state (SPF records,
+	// DNSWL listings, PTR names) the bypass experiments need.
+	Setup func(*Lab) error
 }
 
 // DeriveSeed returns the deterministic bot seed for a (family, sample)
@@ -116,6 +126,7 @@ func (s Spec) labConfig() Config {
 		Defense:               s.Defense,
 		Threshold:             s.Threshold,
 		UnprotectedRecipients: s.UnprotectedRecipients,
+		Bypass:                s.Bypass,
 	}
 }
 
@@ -183,6 +194,7 @@ func (l *Lab) RunSpec(spec Spec) (*Result, error) {
 		Resolver:  l.Resolver,
 		Sched:     l.Sched,
 		SourceIP:  spec.SourceIP,
+		SourceIPs: spec.SourceIPs,
 		Seed:      spec.Seed,
 		Sink:      sink,
 		Tracer:    l.Tracer,
@@ -190,6 +202,11 @@ func (l *Lab) RunSpec(spec Spec) (*Result, error) {
 	})
 	if err != nil {
 		return nil, err
+	}
+	if spec.Setup != nil {
+		if err := spec.Setup(l); err != nil {
+			return nil, fmt.Errorf("lab: setup: %w", err)
+		}
 	}
 	bot.Launch(botnet.Campaign{
 		Domain:     TargetDomain,

@@ -338,8 +338,21 @@ func Synergy(opts Options) (string, error) {
 		"slow feeds lose the race.\n", nil
 }
 
+// Bypass runs the bypass-layer study: each greylisting bypass
+// heuristic (SPF-domain keying, DNSWL, rDNS, earned whitelist) alone
+// ahead of the triplet check, measuring the benign first-contact delay
+// it eliminates against the bot leakage it admits — including the
+// SPFProbe adversary that publishes its own SPF record.
+func Bypass(opts Options) (string, error) {
+	rows, err := lab.RunBypassStudy(opts.Recipients, opts.Workers, opts.Tracer)
+	if err != nil {
+		return "", err
+	}
+	return lab.RenderBypassStudy(rows), nil
+}
+
 // Experiment names accepted by Run.
-var Experiments = []string{"table1", "fig2", "table2", "fig3", "fig4", "fig5", "table3", "table4", "control", "obsolescence", "synergy", "attribution"}
+var Experiments = []string{"table1", "fig2", "table2", "fig3", "fig4", "fig5", "table3", "table4", "control", "obsolescence", "synergy", "attribution", "bypass"}
 
 // Run executes one named experiment and returns its rendering.
 func Run(name string, opts Options) (string, error) {
@@ -370,6 +383,8 @@ func Run(name string, opts Options) (string, error) {
 		return Synergy(opts)
 	case "attribution":
 		return Attribution(opts)
+	case "bypass":
+		return Bypass(opts)
 	default:
 		return "", fmt.Errorf("report: unknown experiment %q (have %s)", name, strings.Join(Experiments, ", "))
 	}

@@ -1,0 +1,211 @@
+package spf
+
+import (
+	"net/netip"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dnsmsg"
+	"repro/internal/metrics"
+	"repro/internal/simtime"
+	"repro/internal/smtpproto"
+)
+
+// CachedChecker memoizes SPF evaluations. A bare Checker re-resolves
+// the whole record graph (TXT, plus any a/mx/include lookups) on every
+// call, which is fine for a one-shot verifier but not for a stage on
+// the per-RCPT greylisting path: a relaying provider delivering a
+// campaign asks the same (domain, outbound subnet) question thousands
+// of times per TTL.
+//
+// The cache key is (sender domain, client address masked to /24 — /64
+// for IPv6): SPF answers rarely differ inside a subnet (records
+// authorize blocks, not hosts), and masking keeps one busy provider
+// rotating through a /24 to a single entry. Verdicts live for TTL;
+// temperror verdicts for the shorter TempErrorTTL, so a DNS outage is
+// retried quickly instead of pinning "temperror" for the full TTL —
+// that is the whole temperror policy: fail open briefly, re-ask soon.
+type CachedChecker struct {
+	inner *Checker
+	clock simtime.Clock
+
+	ttl        time.Duration
+	tempTTL    time.Duration
+	maxEntries int
+
+	mu    sync.RWMutex
+	cache map[cacheKey]cacheEntry
+
+	checks     atomic.Uint64
+	hits       atomic.Uint64
+	misses     atomic.Uint64
+	temperrors atomic.Uint64
+	evictions  atomic.Uint64
+}
+
+type cacheKey struct {
+	domain string
+	net    netip.Prefix
+}
+
+type cacheEntry struct {
+	res     Result
+	err     error
+	expires int64 // unix ns
+}
+
+// CacheConfig tunes a CachedChecker; the zero value gets defaults.
+type CacheConfig struct {
+	// TTL is the lifetime of a cached verdict (default 10 min —
+	// conservative versus typical SPF record TTLs of an hour).
+	TTL time.Duration
+	// TempErrorTTL is the lifetime of a cached temperror verdict
+	// (default 30 s): long enough to shield a dead resolver from the
+	// full RCPT rate, short enough to recover promptly.
+	TempErrorTTL time.Duration
+	// MaxEntries bounds the cache (default 65536); overflow evicts
+	// arbitrary entries.
+	MaxEntries int
+	// Clock drives expiry; nil means real time (labs pass their
+	// simulated clock so cached verdicts age deterministically).
+	Clock simtime.Clock
+}
+
+// NewCached wraps checker with a verdict cache.
+func NewCached(checker *Checker, cfg CacheConfig) *CachedChecker {
+	if cfg.TTL <= 0 {
+		cfg.TTL = 10 * time.Minute
+	}
+	if cfg.TempErrorTTL <= 0 {
+		cfg.TempErrorTTL = 30 * time.Second
+	}
+	if cfg.MaxEntries <= 0 {
+		cfg.MaxEntries = 65536
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = simtime.Real{}
+	}
+	return &CachedChecker{
+		inner:      checker,
+		clock:      cfg.Clock,
+		ttl:        cfg.TTL,
+		tempTTL:    cfg.TempErrorTTL,
+		maxEntries: cfg.MaxEntries,
+		cache:      make(map[cacheKey]cacheEntry),
+	}
+}
+
+// Check evaluates SPF like Checker.Check, answering repeat questions
+// for the same (domain, client /24) from the cache. A warm hit takes a
+// read lock and allocates nothing.
+func (c *CachedChecker) Check(clientIP, mailFrom, helo string) (Result, error) {
+	c.checks.Add(1)
+	domain := smtpproto.DomainOf(mailFrom)
+	if domain == "" {
+		domain = dnsmsg.CanonicalName(helo)
+	}
+	key, cacheable := c.keyFor(domain, clientIP)
+	nowNs := c.clock.Now().UnixNano()
+	if cacheable {
+		c.mu.RLock()
+		e, ok := c.cache[key]
+		c.mu.RUnlock()
+		if ok && nowNs < e.expires {
+			c.hits.Add(1)
+			return e.res, e.err
+		}
+	}
+	c.misses.Add(1)
+	res, err := c.inner.Check(clientIP, mailFrom, helo)
+	if res == ResultTempError {
+		c.temperrors.Add(1)
+	}
+	if cacheable {
+		ttl := c.ttl
+		if res == ResultTempError {
+			ttl = c.tempTTL
+		}
+		c.store(key, cacheEntry{res: res, err: err, expires: nowNs + int64(ttl)})
+	}
+	return res, err
+}
+
+// keyFor builds the cache key; unparseable client addresses are not
+// cacheable (the inner checker answers permerror for them anyway).
+func (c *CachedChecker) keyFor(domain, clientIP string) (cacheKey, bool) {
+	if domain == "" {
+		return cacheKey{}, false
+	}
+	a, err := netip.ParseAddr(clientIP)
+	if err != nil {
+		return cacheKey{}, false
+	}
+	a = a.Unmap()
+	bits := 24
+	if !a.Is4() {
+		bits = 64
+	}
+	p, err := a.Prefix(bits)
+	if err != nil {
+		return cacheKey{}, false
+	}
+	return cacheKey{domain: domain, net: p}, true
+}
+
+func (c *CachedChecker) store(key cacheKey, e cacheEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.cache) >= c.maxEntries {
+		// Prefer dropping expired entries; fall back to arbitrary
+		// ones (map order) until there is room.
+		nowNs := c.clock.Now().UnixNano()
+		for k, old := range c.cache {
+			if nowNs >= old.expires {
+				delete(c.cache, k)
+				c.evictions.Add(1)
+				if len(c.cache) < c.maxEntries {
+					break
+				}
+			}
+		}
+		for k := range c.cache {
+			if len(c.cache) < c.maxEntries {
+				break
+			}
+			delete(c.cache, k)
+			c.evictions.Add(1)
+		}
+	}
+	c.cache[key] = e
+}
+
+// Entries reports the current cache size.
+func (c *CachedChecker) Entries() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.cache)
+}
+
+// Register exports the checker's counters into reg under the stable
+// spf_* namespace.
+func (c *CachedChecker) Register(reg *metrics.Registry) {
+	reg.CounterFunc("spf_checks_total",
+		"SPF evaluations requested.",
+		func() uint64 { return c.checks.Load() })
+	reg.CounterFunc("spf_cache_hits_total",
+		"SPF evaluations answered from the verdict cache.",
+		func() uint64 { return c.hits.Load() })
+	reg.CounterFunc("spf_cache_misses_total",
+		"SPF evaluations resolved through DNS.",
+		func() uint64 { return c.misses.Load() })
+	reg.CounterFunc("spf_temperrors_total",
+		"SPF evaluations ending in temperror (DNS trouble).",
+		func() uint64 { return c.temperrors.Load() })
+	reg.CounterFunc("spf_cache_evictions_total",
+		"SPF cache entries evicted by the size bound.",
+		func() uint64 { return c.evictions.Load() })
+	reg.GaugeFunc("spf_cache_entries",
+		"SPF verdict-cache entries.",
+		func() float64 { return float64(c.Entries()) })
+}

@@ -55,6 +55,9 @@ const (
 	// KindCheckpoint records scan-pipeline durability progress: a
 	// verdict chunk flushed, a shard resumed, a partial chunk rescanned.
 	KindCheckpoint
+	// KindBypass records a greylisting bypass-chain stage match: the
+	// deciding stage's name and its action ("bypass" or "rekey").
+	KindBypass
 )
 
 // String implements fmt.Stringer.
@@ -78,6 +81,8 @@ func (k Kind) String() string {
 		return "outcome"
 	case KindCheckpoint:
 		return "checkpoint"
+	case KindBypass:
+		return "bypass"
 	default:
 		return "unknown"
 	}
@@ -341,6 +346,16 @@ func (t *Trace) Greylist(decision, reason, key string, wait time.Duration, attem
 		return
 	}
 	t.Add(KindGreylist, decision, key+" "+reason, attempts, wait)
+}
+
+// Bypass records the greylisting bypass-chain stage that decided this
+// attempt and its action ("bypass" accepts outright, "rekey" switches
+// the greylist key to the sender's SPF domain).
+func (t *Trace) Bypass(stage, action string) {
+	if t == nil {
+		return
+	}
+	t.Add(KindBypass, stage, action, 0, 0)
 }
 
 // Policy records a policy-delegation action (e.g. "defer_if_permit").
