@@ -1,0 +1,280 @@
+// Command greyctl is the operator's view of a running daemon's live
+// observatory (greylistd or mailflow with -admin-addr): it fetches the
+// versioned /observatory snapshot and renders the windowed rollups the
+// daemon streams on its hot path.
+//
+// Usage:
+//
+//	greyctl [-addr http://127.0.0.1:9925] [-windows N] [-k K] <command>
+//
+//	greyctl top [set]     # heavy hitters per top-K set (or one set)
+//	greyctl delay         # quantile sketches: retry delay, check latency, ...
+//	greyctl stages        # per-window counters: verdicts, bypass stages, WAL
+//	greyctl watch         # poll and print one line per closed window
+//	greyctl health        # GET /healthz and print the readiness report
+//
+// top prints each set's estimated counts with the Space-Saving error
+// bound (true count lies in [count-err, count]). delay prints each
+// sketch's p50/p90/p99/p999 capped at the exact max — quantiles are
+// bucket upper edges, so they never understate. watch tracks window
+// sequence numbers and prints a summary line whenever a window closes
+// (-interval tunes the poll; -n bounds the iterations for scripting).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "greyctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("greyctl", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", "http://127.0.0.1:9925", "daemon admin listener base URL")
+		windows  = fs.Int("windows", 0, "closed windows to fetch (0 = the whole ring)")
+		k        = fs.Int("k", 0, "top-K entries per set (0 = the daemon's default)")
+		interval = fs.Duration("interval", 2*time.Second, "watch: poll interval")
+		iters    = fs.Int("n", 0, "watch: stop after this many polls (0 = forever)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() < 1 {
+		return fmt.Errorf("usage: greyctl [flags] top|delay|stages|watch|health (see -h)")
+	}
+	c := &client{base: strings.TrimSuffix(*addr, "/"), windows: *windows, k: *k}
+	switch cmd := fs.Arg(0); cmd {
+	case "top":
+		return c.top(out, fs.Arg(1))
+	case "delay":
+		return c.delay(out)
+	case "stages":
+		return c.stages(out)
+	case "watch":
+		return c.watch(out, *interval, *iters)
+	case "health":
+		return c.health(out)
+	default:
+		return fmt.Errorf("unknown command %q (want top, delay, stages, watch or health)", cmd)
+	}
+}
+
+type client struct {
+	base    string
+	windows int
+	k       int
+}
+
+// snapshot fetches and decodes /observatory.
+func (c *client) snapshot() (*obs.Snapshot, error) {
+	url := fmt.Sprintf("%s/observatory?windows=%d&k=%d", c.base, c.windows, c.k)
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("GET %s: %s: %s", url, resp.Status, strings.TrimSpace(string(body)))
+	}
+	var snap obs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("decoding %s: %w", url, err)
+	}
+	if snap.Version != obs.SnapshotVersion {
+		return nil, fmt.Errorf("snapshot version %d, greyctl speaks %d", snap.Version, obs.SnapshotVersion)
+	}
+	return &snap, nil
+}
+
+// span renders the merged view's coverage for report headers.
+func span(snap *obs.Snapshot) string {
+	return fmt.Sprintf("%d closed windows of %v + the open one",
+		len(snap.Recent), time.Duration(snap.WindowNs))
+}
+
+// top renders the heavy-hitter sets (or just the named one).
+func (c *client) top(out io.Writer, set string) error {
+	snap, err := c.snapshot()
+	if err != nil {
+		return err
+	}
+	names := make([]string, 0, len(snap.Merged.TopK))
+	for name := range snap.Merged.TopK {
+		if set != "" && name != set {
+			continue
+		}
+		names = append(names, name)
+	}
+	if set != "" && len(names) == 0 {
+		return fmt.Errorf("no top-K set %q (have: %s)", set, strings.Join(topkNames(snap), ", "))
+	}
+	sort.Strings(names)
+	fmt.Fprintf(out, "top talkers over %s\n", span(snap))
+	for _, name := range names {
+		entries := snap.Merged.TopK[name]
+		if len(entries) == 0 {
+			continue
+		}
+		fmt.Fprintf(out, "\n%s:\n", name)
+		tbl := stats.NewTable("KEY", "COUNT", "ERR")
+		for _, e := range entries {
+			tbl.AddRow(e.Key, fmt.Sprintf("%d", e.Count), fmt.Sprintf("≤%d", e.ErrMax))
+		}
+		fmt.Fprint(out, tbl.String())
+	}
+	return nil
+}
+
+func topkNames(snap *obs.Snapshot) []string {
+	names := make([]string, 0, len(snap.Merged.TopK))
+	for name := range snap.Merged.TopK {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// delay renders every quantile sketch.
+func (c *client) delay(out io.Writer) error {
+	snap, err := c.snapshot()
+	if err != nil {
+		return err
+	}
+	names := make([]string, 0, len(snap.Merged.Sketches))
+	for name := range snap.Merged.Sketches {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(out, "latency/delay sketches over %s (relative error %.1f%%)\n\n",
+		span(snap), 100*snap.RelativeError)
+	tbl := stats.NewTable("SKETCH", "COUNT", "MEAN", "P50", "P90", "P99", "P99.9", "MAX")
+	for _, name := range names {
+		v := snap.Merged.Sketches[name]
+		tbl.AddRow(name, fmt.Sprintf("%d", v.Count),
+			inUnit(v.Mean, v.Unit), inUnit(v.P50, v.Unit), inUnit(v.P90, v.Unit),
+			inUnit(v.P99, v.Unit), inUnit(v.P999, v.Unit), inUnit(v.Max, v.Unit))
+	}
+	fmt.Fprint(out, tbl.String())
+	return nil
+}
+
+// stages renders the counter deltas: merged totals plus the open window.
+func (c *client) stages(out io.Writer) error {
+	snap, err := c.snapshot()
+	if err != nil {
+		return err
+	}
+	names := make([]string, 0, len(snap.Merged.Counters))
+	for name := range snap.Merged.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(out, "counters over %s\n\n", span(snap))
+	tbl := stats.NewTable("COUNTER", "TOTAL", "OPEN WINDOW")
+	for _, name := range names {
+		tbl.AddRow(name, fmt.Sprintf("%d", snap.Merged.Counters[name]),
+			fmt.Sprintf("%d", snap.Current.Counters[name]))
+	}
+	fmt.Fprint(out, tbl.String())
+	return nil
+}
+
+// watch polls the observatory and prints one summary line per closed
+// window, diffing by window sequence number so a slow poll that misses
+// a rotation reports every window it can still see.
+func (c *client) watch(out io.Writer, interval time.Duration, iters int) error {
+	lastSeq := uint64(0)
+	for i := 0; iters <= 0 || i < iters; i++ {
+		if i > 0 {
+			time.Sleep(interval)
+		}
+		snap, err := c.snapshot()
+		if err != nil {
+			return err
+		}
+		// Recent is newest-first; walk backward so lines print oldest
+		// first.
+		for j := len(snap.Recent) - 1; j >= 0; j-- {
+			w := snap.Recent[j]
+			if w.Seq <= lastSeq {
+				continue
+			}
+			lastSeq = w.Seq
+			fmt.Fprintln(out, windowLine(&w))
+		}
+	}
+	return nil
+}
+
+// windowLine is one closed window's summary: verdict deltas, the retry
+// delay p99 and the top deferred client.
+func windowLine(w *obs.Window) string {
+	checks := w.Counters["greylist.checks"]
+	deferred := w.Counters["greylist.deferred.first_seen"] +
+		w.Counters["greylist.deferred.too_soon"] +
+		w.Counters["greylist.deferred.window_expired"]
+	var passed uint64
+	for name, v := range w.Counters {
+		if strings.HasPrefix(name, "greylist.passed.") {
+			passed += v
+		}
+	}
+	line := fmt.Sprintf("window %d %s: checks=%d deferred=%d passed=%d",
+		w.Seq, time.Unix(0, w.StartUnixNs).UTC().Format("15:04:05"), checks, deferred, passed)
+	if v, ok := w.Sketches[obs.SketchRetryDelay]; ok && v.Count > 0 {
+		line += fmt.Sprintf(" retry_p99=%s", inUnit(v.P99, v.Unit))
+	}
+	if top := w.TopK[obs.TopClientsDeferred]; len(top) > 0 {
+		line += fmt.Sprintf(" top_deferred=%s(%d)", top[0].Key, top[0].Count)
+	}
+	return line
+}
+
+// health fetches /healthz and prints the body; a degraded daemon makes
+// greyctl exit non-zero.
+func (c *client) health(out io.Writer) error {
+	resp, err := http.Get(c.base + "/healthz")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, string(body))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("daemon degraded (%s)", resp.Status)
+	}
+	return nil
+}
+
+// inUnit renders a sketch value in its unit: durations for ns/ms,
+// raw numbers otherwise.
+func inUnit(v int64, unit string) string {
+	switch unit {
+	case "ns":
+		return time.Duration(v).Round(time.Microsecond).String()
+	case "ms":
+		return stats.FormatDuration(time.Duration(v) * time.Millisecond)
+	default:
+		return fmt.Sprintf("%d%s", v, unit)
+	}
+}

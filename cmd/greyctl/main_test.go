@@ -1,0 +1,151 @@
+package main
+
+import (
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/greylist"
+	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/simtime"
+)
+
+// testDaemon stands up the same admin surface a daemon serves — the
+// observatory endpoint plus a health probe — fed by a real greylist
+// engine, so greyctl is tested against the wire format it will meet.
+func testDaemon(t *testing.T, degrade bool) string {
+	t.Helper()
+	clock := simtime.NewSim(simtime.Epoch)
+	g := greylist.New(greylist.DefaultPolicy(), clock)
+	o := obs.New(obs.Config{Window: 10 * time.Second, Windows: 8, Clock: clock})
+	g.SetObserver(o.Greylist())
+	o.WatchGreylist(g.Stats)
+
+	trip := greylist.Triplet{ClientIP: "198.51.100.7", Sender: "news@bulk.example", Recipient: "user@victim.example"}
+	g.Check(trip) // deferred: first sight
+	clock.Advance(301 * time.Second)
+	g.Check(trip) // passed: retry accepted after 301s
+	o.Rotate()    // close the window so watch has a closed window to report
+
+	health := metrics.NewHealth()
+	health.Add("engine", func() error {
+		if degrade {
+			return errors.New("synthetic failure")
+		}
+		return nil
+	})
+
+	mux := metrics.NewAdminMux(metrics.NewRegistry(), o.Endpoint(), health.Endpoint())
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts.URL
+}
+
+func runCmd(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var buf strings.Builder
+	err := run(args, &buf)
+	return buf.String(), err
+}
+
+func TestTop(t *testing.T) {
+	url := testDaemon(t, false)
+	out, err := runCmd(t, "-addr", url, "top")
+	if err != nil {
+		t.Fatalf("top: %v", err)
+	}
+	for _, want := range []string{obs.TopClientsDeferred, obs.TopClientsPassed, "198.51.100.7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("top output missing %q:\n%s", want, out)
+		}
+	}
+
+	out, err = runCmd(t, "-addr", url, "top", obs.TopClientsDeferred)
+	if err != nil {
+		t.Fatalf("top %s: %v", obs.TopClientsDeferred, err)
+	}
+	if strings.Contains(out, obs.TopClientsPassed) {
+		t.Errorf("top %s leaked other sets:\n%s", obs.TopClientsDeferred, out)
+	}
+
+	if _, err := runCmd(t, "-addr", url, "top", "no_such_set"); err == nil {
+		t.Error("top no_such_set: want error, got nil")
+	}
+}
+
+func TestDelay(t *testing.T) {
+	out, err := runCmd(t, "-addr", testDaemon(t, false), "delay")
+	if err != nil {
+		t.Fatalf("delay: %v", err)
+	}
+	if !strings.Contains(out, obs.SketchRetryDelay) || !strings.Contains(out, obs.SketchCheckLatency) {
+		t.Errorf("delay output missing sketches:\n%s", out)
+	}
+	// The retry waited 301 virtual seconds; the p50 line must show a
+	// minutes-scale value (sketch records ms, rendered as a duration).
+	if !strings.Contains(out, "5:0") {
+		t.Errorf("delay output missing the ~5m retry delay:\n%s", out)
+	}
+}
+
+func TestStages(t *testing.T) {
+	out, err := runCmd(t, "-addr", testDaemon(t, false), "stages")
+	if err != nil {
+		t.Fatalf("stages: %v", err)
+	}
+	for _, want := range []string{"greylist.checks", "greylist.passed.retry", "greylist.deferred.first_seen"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stages output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWatch(t *testing.T) {
+	out, err := runCmd(t, "-addr", testDaemon(t, false), "-n", "1", "-interval", "1ms", "watch")
+	if err != nil {
+		t.Fatalf("watch: %v", err)
+	}
+	if !strings.Contains(out, "checks=2") || !strings.Contains(out, "passed=1") {
+		t.Errorf("watch line missing verdict deltas:\n%s", out)
+	}
+
+	// A second poll of the same daemon must not repeat the window.
+	var buf strings.Builder
+	c := &client{base: testDaemon(t, false)}
+	if err := c.watch(&buf, time.Millisecond, 2); err != nil {
+		t.Fatalf("watch twice: %v", err)
+	}
+	if got := strings.Count(buf.String(), "window "); got != 1 {
+		t.Errorf("watch printed %d window lines over 2 polls, want 1:\n%s", got, buf.String())
+	}
+}
+
+func TestHealth(t *testing.T) {
+	out, err := runCmd(t, "-addr", testDaemon(t, false), "health")
+	if err != nil {
+		t.Fatalf("health: %v", err)
+	}
+	if !strings.Contains(out, "ok engine") {
+		t.Errorf("health output missing probe line:\n%s", out)
+	}
+
+	out, err = runCmd(t, "-addr", testDaemon(t, true), "health")
+	if err == nil {
+		t.Fatal("health against a degraded daemon: want error, got nil")
+	}
+	if !strings.Contains(out, "degraded engine: synthetic failure") {
+		t.Errorf("degraded health output missing failure line:\n%s", out)
+	}
+}
+
+func TestUnknownCommand(t *testing.T) {
+	if _, err := runCmd(t, "-addr", "http://127.0.0.1:1", "frobnicate"); err == nil {
+		t.Error("unknown command: want error, got nil")
+	}
+	if _, err := runCmd(t, "-addr", "http://127.0.0.1:1"); err == nil {
+		t.Error("no command: want error, got nil")
+	}
+}

@@ -39,6 +39,15 @@
 // (filter with ?outcome=, ?defense=, ?min_attempts=; see DESIGN.md,
 // "Tracing"). Each trace follows one SMTP session verb by verb through
 // its greylist verdicts to the final outcome.
+//
+// The admin listener also carries the live observatory: /observatory
+// serves versioned JSON rollups — per-window verdict counters, retry
+// delay and check-latency quantile sketches, top-K clients and senders
+// per verdict class and bypass stage — over a ring of -obs-window ×
+// -obs-windows windows (greyctl renders it: top, delay, stages,
+// watch), and /healthz answers 200 only while the WAL consumer, the
+// bypass chain and the observatory ring are all healthy. See
+// DESIGN.md, "Observatory".
 package main
 
 import (
@@ -59,6 +68,7 @@ import (
 	"repro/internal/dnsresolver"
 	"repro/internal/greylist"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/policyd"
 	"repro/internal/simtime"
 	"repro/internal/smtpproto"
@@ -112,6 +122,8 @@ func run() error {
 		tlsSelf     = flag.Bool("tls-self-signed", false, "enable STARTTLS with an ephemeral self-signed certificate")
 		adminAddr   = flag.String("admin-addr", "", "serve Prometheus /metrics and /debug/pprof on this address (e.g. 127.0.0.1:9925)")
 		traceRing   = flag.Int("trace-ring", 1024, "finished session traces kept for /debug/traces (0 = tracing off); needs -admin-addr")
+		obsWindow   = flag.Duration("obs-window", 10*time.Second, "observatory rollup window duration; needs -admin-addr")
+		obsWindows  = flag.Int("obs-windows", 30, "observatory ring length (closed windows kept for /observatory)")
 	)
 	var whitelistCIDRs, unprotect stringList
 	flag.Var(&whitelistCIDRs, "whitelist-ip", "client CIDR to exempt (repeatable)")
@@ -335,6 +347,7 @@ func run() error {
 	}
 
 	var admin *metrics.AdminServer
+	var obsv *obs.Observatory
 	if *adminAddr != "" {
 		reg := metrics.NewRegistry()
 		metrics.RegisterProcess(reg)
@@ -360,6 +373,52 @@ func run() error {
 				Handler: tracer.Handler(func(w io.Writer) { reg.WriteExemplars(w) }),
 			})
 		}
+
+		// The live observatory: the engine feeds verdict sketches and
+		// top-K sets on the hot path, cumulative counters are polled at
+		// window rotation, and /observatory serves the windowed rollup
+		// that greyctl renders.
+		obsv = obs.New(obs.Config{Window: *obsWindow, Windows: *obsWindows})
+		eng.SetObserver(obsv.Greylist())
+		obsv.WatchGreylist(eng.Stats)
+		if eng.Chain() != nil {
+			obsv.WatchChain(eng.Chain)
+		}
+		if wal != nil {
+			obsv.WatchWAL(wal)
+		}
+		obsv.Cumulative("smtp.sessions.delivered", func() uint64 {
+			d, _, _ := srv.OutcomeCounts()
+			return d
+		})
+		obsv.Cumulative("smtp.sessions.deferred", func() uint64 {
+			_, d, _ := srv.OutcomeCounts()
+			return d
+		})
+		obsv.Cumulative("smtp.sessions.none", func() uint64 {
+			_, _, n := srv.OutcomeCounts()
+			return n
+		})
+		obsv.Register(reg)
+		extra = append(extra, obsv.Endpoint())
+
+		// /healthz readiness: the trivial always-ok probe is replaced
+		// with real subsystem checks a load balancer can drain on.
+		health := metrics.NewHealth()
+		if wal != nil {
+			health.Add("wal", wal.Healthy)
+		}
+		if len(stages) > 0 {
+			health.Add("bypass-chain", func() error {
+				if ch := eng.Chain(); ch == nil || ch.Len() == 0 {
+					return fmt.Errorf("bypass chain not loaded")
+				}
+				return nil
+			})
+		}
+		health.Add("observatory", obsv.Healthy)
+		extra = append(extra, health.Endpoint())
+		obsv.Start()
 		admin, err = metrics.ServeAdmin(*adminAddr, reg, extra...)
 		if err != nil {
 			return fmt.Errorf("admin listener: %w", err)
@@ -414,6 +473,9 @@ func run() error {
 	select {
 	case err := <-errCh:
 		close(gcStop)
+		if obsv != nil {
+			obsv.Stop()
+		}
 		if serr := shutdownState(); serr != nil {
 			fmt.Fprintln(os.Stderr, "greylistd: saving state after listener failure:", serr)
 		}
@@ -423,6 +485,9 @@ func run() error {
 	}
 	close(gcStop)
 	srv.Close()
+	if obsv != nil {
+		obsv.Stop()
+	}
 	if policySrv != nil {
 		policySrv.Close()
 	}

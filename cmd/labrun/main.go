@@ -21,6 +21,15 @@
 // -workers bounds the spec-runner pool for -table2 (0 = one per core,
 // 1 = serial); the rendered matrix is byte-identical at any setting.
 //
+// -observe (single-family runs) wires the live observatory into the
+// lab's greylist engine, cross-checks its streamed aggregates — counter
+// window deltas, sketch sample counts, retry-delay quantiles — against
+// the engine's exact counters and the recorded attempt log, prints one
+// "observe PASS/FAIL" line per check, and dumps the versioned snapshot
+// behind a "# == observatory snapshot (json) ==" marker. Any failed
+// check exits non-zero: the live view must agree with the post-hoc
+// report within the sketch's documented bucket error.
+//
 // -metrics writes a final metrics snapshot in Prometheus text format to
 // the given file, or stdout for "-". Single-family runs dump the lab's
 // registry (greylist verdict counters, SMTP command/reply counters, DNS
@@ -47,6 +56,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/lab"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -67,6 +77,7 @@ func run() error {
 		threshold  = flag.Duration("threshold", 300*time.Second, "greylisting threshold")
 		recipients = flag.Int("recipients", 10, "campaign size")
 		workers    = flag.Int("workers", 0, "spec-runner pool size for -table2: 0 = one per core, 1 = serial; output is byte-identical at any setting")
+		observe    = flag.Bool("observe", false, "wire the live observatory into a single-family run, cross-check its streamed aggregates against the run's exact counters and attempt log, and print the snapshot")
 		metricsOut = flag.String("metrics", "", "write the final metrics snapshot to this file ('-' = stdout)")
 		traceOut   = flag.String("trace", "", "record every delivery attempt and write the finished traces as JSONL to this file ('-' = stdout)")
 	)
@@ -149,6 +160,10 @@ func run() error {
 		return err
 	}
 	defer l.Close()
+	var obsv *obs.Observatory
+	if *observe {
+		obsv = observatoryFor(l)
+	}
 	res, err := l.RunSpec(lab.Spec{
 		Defense:        def,
 		Threshold:      *threshold,
@@ -173,6 +188,11 @@ func run() error {
 	}
 	fmt.Print(tbl.String())
 
+	if obsv != nil {
+		if err := observeReport(obsv, l, res); err != nil {
+			return err
+		}
+	}
 	if *metricsOut != "" {
 		if err := dumpMetrics(l.Metrics, *metricsOut); err != nil {
 			return err

@@ -1,0 +1,157 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"time"
+
+	"repro/internal/hdr"
+	"repro/internal/lab"
+	"repro/internal/obs"
+	"repro/internal/smtpclient"
+	"repro/internal/stats"
+)
+
+// observeMarker precedes the observatory snapshot when it shares stdout
+// with the report text (same contract as the metrics/trace markers).
+const observeMarker = "# == observatory snapshot (json) =="
+
+// observatoryFor wires a live observatory into a single-family lab: the
+// greylist engine feeds the verdict observer on every check, and the
+// engine's cumulative stats become per-window counter deltas. The lab's
+// virtual clock drives window timestamps; rotation is explicit (the
+// run's virtual time advances in bursts, not wall ticks).
+func observatoryFor(l *lab.Lab) *obs.Observatory {
+	o := obs.New(obs.Config{Clock: l.Clock})
+	eng := l.Domain.Greylister()
+	eng.SetObserver(o.Greylist())
+	o.WatchGreylist(eng.Stats)
+	return o
+}
+
+// observeReport closes the run's window, cross-checks the observatory's
+// streamed aggregates against the run's exact ground truth, prints the
+// verdict lines and the snapshot behind the observe marker, and fails
+// if any check failed.
+//
+// The checks tie the two measurement paths together: the engine's
+// authoritative counters (exact, counted at decision time) versus the
+// observatory's counter deltas and sketch counts (streamed through the
+// window ring), and the retry-delay sketch's quantiles versus the
+// exact delays reconstructed from the recorded attempt log — the live
+// view of the paper's Fig. 5 benign-delay CDF must agree with the
+// post-hoc one within the sketch's documented bucket error.
+func observeReport(o *obs.Observatory, l *lab.Lab, res *lab.Result) error {
+	// Rotate once so the campaign's window closes and its counter
+	// deltas finalize through the same path a live daemon exercises.
+	o.Rotate()
+	snap := o.Snapshot(0, 0)
+	gs := l.Domain.Greylister().Stats()
+
+	failed := 0
+	check := func(name string, ok bool, detail string) {
+		verdict := "PASS"
+		if !ok {
+			verdict = "FAIL"
+			failed++
+		}
+		fmt.Printf("observe %s: %s (%s)\n", verdict, name, detail)
+	}
+
+	mc := snap.Merged.Counters
+	check("counter greylist.checks == engine checks",
+		mc["greylist.checks"] == gs.Checks,
+		fmt.Sprintf("observatory %d, engine %d", mc["greylist.checks"], gs.Checks))
+	check("counter greylist.passed.retry == engine passed-retry",
+		mc["greylist.passed.retry"] == gs.PassedRetry,
+		fmt.Sprintf("observatory %d, engine %d", mc["greylist.passed.retry"], gs.PassedRetry))
+
+	latency := snap.Merged.Sketches[obs.SketchCheckLatency]
+	check("latency sketch count == engine checks",
+		latency.Count == gs.Checks,
+		fmt.Sprintf("sketch %d, engine %d", latency.Count, gs.Checks))
+
+	retry := snap.Merged.Sketches[obs.SketchRetryDelay]
+	check("retry-delay sketch count == engine passed-retry",
+		retry.Count == gs.PassedRetry,
+		fmt.Sprintf("sketch %d, engine %d", retry.Count, gs.PassedRetry))
+
+	// Exact retry delays from the attempt log: a recipient delivered on
+	// try > 1 waited exactly its delivered attempt's offset (the triplet
+	// was first seen on try 1, at offset 0). Only the chronologically
+	// first retry.Count of those passed as retry-accepted — once enough
+	// deliveries accumulate, Postgrey's auto-whitelist passes the rest
+	// without a waited delay, so they never reach the sketch.
+	type delivery struct{ at, ms int64 }
+	var retried []delivery
+	for _, a := range res.Attempts {
+		if a.Outcome == smtpclient.Delivered && a.Try > 1 {
+			retried = append(retried, delivery{a.At.UnixNano(), a.Offset.Milliseconds()})
+		}
+	}
+	sort.Slice(retried, func(i, j int) bool { return retried[i].at < retried[j].at })
+	var exact []int64
+	for _, d := range retried {
+		if uint64(len(exact)) == retry.Count {
+			break
+		}
+		exact = append(exact, d.ms)
+	}
+	if uint64(len(exact)) == retry.Count && len(exact) > 0 {
+		sort.Slice(exact, func(i, j int) bool { return exact[i] < exact[j] })
+		for _, q := range []struct {
+			name string
+			q    float64
+			est  int64
+		}{{"p50", 0.50, retry.P50}, {"p99", 0.99, retry.P99}} {
+			want := exactQuantile(exact, q.q)
+			check(fmt.Sprintf("retry-delay %s within sketch error of exact", q.name),
+				withinSketchError(q.est, want),
+				fmt.Sprintf("sketch %s, exact %s",
+					stats.FormatDuration(msDuration(q.est)), stats.FormatDuration(msDuration(want))))
+		}
+	} else if retry.Count == 0 {
+		fmt.Println("observe SKIP: no retry-accepted deliveries to check quantiles against")
+	} else {
+		check("retry-delay sample count covered by attempt log",
+			false, fmt.Sprintf("sketch %d, delivered retries %d", retry.Count, len(retried)))
+	}
+
+	fmt.Println(observeMarker)
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(snap); err != nil {
+		return err
+	}
+	if failed > 0 {
+		return fmt.Errorf("observatory cross-check failed (%d checks)", failed)
+	}
+	return nil
+}
+
+// exactQuantile mirrors hdr.Hist.Quantile's rank rule (the sample at
+// index floor(q*n), clamped) over exact sorted samples.
+func exactQuantile(sorted []int64, q float64) int64 {
+	idx := int(q * float64(len(sorted)))
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// withinSketchError accepts an estimate that is at least the exact
+// value (sketch quantiles are bucket upper edges — they never
+// understate) and overstates it by at most twice the sketch's relative
+// error plus rounding slack.
+func withinSketchError(est, exact int64) bool {
+	if est < exact {
+		return false
+	}
+	slack := int64(float64(exact)*2*hdr.RelativeError) + 2
+	return est-exact <= slack
+}
+
+func msDuration(ms int64) time.Duration { return time.Duration(ms) * time.Millisecond }

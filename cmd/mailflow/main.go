@@ -56,6 +56,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/mta"
 	"repro/internal/mtaqueue"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/simtime"
 	"repro/internal/smtpclient"
@@ -99,6 +100,9 @@ func run() error {
 		probe     = flag.Bool("probe", false, "soak: engine-stress profile — pure pipelined RCPT probe volleys over kept connections (no DATA/QUIT churn)")
 		heapCheck = flag.Int64("heap-check", 0, "soak: fail if any phase's heap watermark exceeds this many bytes (0 = off)")
 		benchOut  = flag.String("bench-out", "", "soak: write the machine-readable report JSON to this file")
+
+		obsWindow  = flag.Duration("obs-window", time.Second, "observatory rollup window duration; needs -admin-addr")
+		obsWindows = flag.Int("obs-windows", 60, "observatory ring length (closed windows kept for /observatory)")
 	)
 	flag.Parse()
 
@@ -114,6 +118,7 @@ func run() error {
 	}
 
 	var adminReg *metrics.Registry
+	var obsv *obs.Observatory
 	if *adminAddr != "" {
 		reg := metrics.NewRegistry()
 		adminReg = reg
@@ -122,6 +127,19 @@ func run() error {
 		if tracer != nil {
 			extra = append(extra, metrics.Endpoint{Path: "/debug/traces", Handler: tracer.Handler()})
 		}
+		// The live observatory rides the admin listener: the soak's
+		// in-process engine and load generator (or the queue
+		// experiment's retry scheduler) feed it, /observatory serves
+		// the rollups greyctl renders. One-second windows by default —
+		// soak runs are short and greyctl watch wants fine grain.
+		obsv = obs.New(obs.Config{Window: *obsWindow, Windows: *obsWindows})
+		obsv.Register(reg)
+		extra = append(extra, obsv.Endpoint())
+		health := metrics.NewHealth()
+		health.Add("observatory", obsv.Healthy)
+		extra = append(extra, health.Endpoint())
+		obsv.Start()
+		defer obsv.Stop()
 		admin, err := metrics.ServeAdmin(*adminAddr, reg, extra...)
 		if err != nil {
 			return fmt.Errorf("admin listener: %w", err)
@@ -131,7 +149,7 @@ func run() error {
 				fmt.Fprintln(os.Stderr, "admin shutdown:", err)
 			}
 		}()
-		fmt.Fprintf(os.Stderr, "admin endpoint on http://%s/metrics (pprof at /debug/pprof/)\n",
+		fmt.Fprintf(os.Stderr, "admin endpoint on http://%s/metrics (pprof at /debug/pprof/, observatory at /observatory)\n",
 			admin.Addr())
 	}
 
@@ -225,7 +243,7 @@ func run() error {
 			return err
 		}
 		defer l.Close()
-		q, err := mtaqueue.New(mtaqueue.Config{
+		qcfg := mtaqueue.Config{
 			Schedule:  sched,
 			HeloName:  "mta.benign.example",
 			Resolver:  l.Resolver,
@@ -233,7 +251,11 @@ func run() error {
 			Sched:     l.Sched,
 			Tracer:    tracer,
 			TraceTags: trace.Tags{Defense: "greylisting", Threshold: *threshold},
-		})
+		}
+		if obsv != nil {
+			qcfg.RetryObserver = obsv.RetrySink()
+		}
+		q, err := mtaqueue.New(qcfg)
 		if err != nil {
 			return err
 		}
@@ -289,6 +311,7 @@ func run() error {
 			probe:     *probe,
 			heapCheck: *heapCheck,
 			benchOut:  *benchOut,
+			obsv:      obsv,
 		}, adminReg)
 
 	default:
@@ -332,6 +355,7 @@ type soakOptions struct {
 	probe     bool
 	heapCheck int64
 	benchOut  string
+	obsv      *obs.Observatory
 }
 
 // runSoak drives internal/loadgen against a real SMTP server over real
@@ -357,6 +381,10 @@ func runSoak(opt soakOptions, adminReg *metrics.Registry) error {
 		}, simtime.Real{})
 		if adminReg != nil {
 			g.Register(adminReg)
+		}
+		if opt.obsv != nil {
+			g.SetObserver(opt.obsv.Greylist())
+			opt.obsv.WatchGreylist(g.Stats)
 		}
 		srv := smtpserver.New(smtpserver.Config{
 			Hostname:      "soak.localdomain",
@@ -403,6 +431,7 @@ func runSoak(opt soakOptions, adminReg *metrics.Registry) error {
 		SLO:          opt.slo,
 		Seed:         opt.seed,
 		Probe:        opt.probe,
+		Obs:          opt.obsv,
 	})
 	if adminReg != nil {
 		gen.Register(adminReg)

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/greylist"
+	"repro/internal/obs"
 	"repro/internal/simtime"
 )
 
@@ -98,5 +99,66 @@ func TestHotPathAllocs(t *testing.T) {
 	}
 	if a := testing.AllocsPerRun(200, func() { g.Check(earned) }); a != 0 {
 		t.Errorf("earned Check allocates %.1f/op", a)
+	}
+}
+
+// benchEngineObserved is benchEngine with the live observatory's
+// verdict observer installed — the configuration a production greylistd
+// with -admin-addr runs. The warm check after SetObserver seeds the
+// top-K tables so the steady state is a monitored-key map hit.
+func benchEngineObserved(tb testing.TB, threshold time.Duration) (*greylist.Greylister, *simtime.Sim, greylist.Triplet) {
+	g, clock, tr := benchEngine(tb, threshold)
+	o := obs.New(obs.Config{Clock: clock})
+	g.SetObserver(o.Greylist())
+	o.WatchGreylist(g.Stats)
+	g.Check(tr)
+	return g, clock, tr
+}
+
+// TestHotPathAllocsObserved extends the 0 allocs/op contract to the
+// observatory-enabled engine: sketch records are per-window atomics,
+// counters are only polled at rotation, and observing a monitored
+// top-K key is a map hit — so turning the observatory on must not cost
+// the hot path a single allocation.
+func TestHotPathAllocsObserved(t *testing.T) {
+	g, clock, tr := benchEngineObserved(t, 300*time.Second)
+	if a := testing.AllocsPerRun(200, func() { g.Check(tr) }); a != 0 {
+		t.Errorf("observed chain-negative Check allocates %.1f/op", a)
+	}
+	clock.Advance(301 * time.Second)
+	if v := g.Check(tr); v.Reason != greylist.ReasonRetryAccepted {
+		t.Fatalf("promote verdict = %+v", v)
+	}
+	if a := testing.AllocsPerRun(200, func() { g.Check(tr) }); a != 0 {
+		t.Errorf("observed known-passed Check allocates %.1f/op", a)
+	}
+	earned := trip("203.0.113.9", "other@elsewhere.example")
+	if v := g.Check(earned); v.Reason != greylist.ReasonEarnedWhitelist {
+		t.Fatalf("earned verdict = %+v", v)
+	}
+	if a := testing.AllocsPerRun(200, func() { g.Check(earned) }); a != 0 {
+		t.Errorf("observed earned Check allocates %.1f/op", a)
+	}
+}
+
+func BenchmarkCheckChainNegativeObserved(b *testing.B) {
+	g, _, tr := benchEngineObserved(b, 300*time.Second)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Check(tr)
+	}
+}
+
+func BenchmarkCheckChainKnownPassedObserved(b *testing.B) {
+	g, clock, tr := benchEngineObserved(b, 300*time.Second)
+	clock.Advance(301 * time.Second)
+	if v := g.Check(tr); v.Reason != greylist.ReasonRetryAccepted {
+		b.Fatalf("warmup verdict = %+v", v)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Check(tr)
 	}
 }

@@ -148,6 +148,14 @@ func (c *Chain) eval(t Triplet) (StageOutcome, int) {
 	return StageOutcome{}, -1
 }
 
+// Len returns the stage count (0 for a nil chain).
+func (c *Chain) Len() int {
+	if c == nil {
+		return 0
+	}
+	return len(c.stages)
+}
+
 // StageName returns the i-th stage's name ("" out of range).
 func (c *Chain) StageName(i int) string {
 	if c == nil || i < 0 || i >= len(c.stages) {

@@ -368,6 +368,10 @@ type Greylister struct {
 	// histograms) installed by Register. Nil until then, so unregistered
 	// engines pay only one atomic pointer load per check.
 	inst atomic.Pointer[instruments]
+	// obsv holds the optional verdict observer feeding the live
+	// observatory (SetObserver). Same nil-until-installed discipline
+	// as inst: unobserved engines pay one atomic load per check.
+	obsv atomic.Pointer[Observer]
 
 	mu      sync.RWMutex
 	pending map[string]*pendingRecord
@@ -464,13 +468,21 @@ func (g *Greylister) CheckTraced(t Triplet, tr *trace.Trace) Verdict {
 // around decide.
 func (g *Greylister) routedCheck(t Triplet, out StageOutcome, tr *trace.Trace) Verdict {
 	var v Verdict
-	if inst := g.inst.Load(); inst != nil {
+	inst := g.inst.Load()
+	op := g.obsv.Load()
+	if inst != nil || op != nil {
 		start := time.Now()
 		v = g.decide(t, out)
-		if tr != nil {
-			inst.checkSeconds.ObserveDurationExemplar(time.Since(start), tr.ID())
-		} else {
-			inst.checkSeconds.ObserveDuration(time.Since(start))
+		elapsed := time.Since(start)
+		if inst != nil {
+			if tr != nil {
+				inst.checkSeconds.ObserveDurationExemplar(elapsed, tr.ID())
+			} else {
+				inst.checkSeconds.ObserveDuration(elapsed)
+			}
+		}
+		if op != nil {
+			(*op).ObserveVerdict(t, v, int64(elapsed))
 		}
 	} else {
 		v = g.decide(t, out)
@@ -744,14 +756,27 @@ func (g *Greylister) checkSlow(clientKey, key []byte, now time.Time) Verdict {
 // Verdicts are positionally matched to ts. Semantics are identical to
 // calling Check on each triplet in order at the same instant.
 func (g *Greylister) CheckBatch(ts []Triplet, out []Verdict) []Verdict {
-	if inst := g.inst.Load(); inst != nil {
-		start := time.Now()
-		out = g.checkBatch(ts, out)
-		inst.batchSeconds.ObserveDuration(time.Since(start))
-		inst.batchSize.Observe(float64(len(ts)))
-		return out
+	inst := g.inst.Load()
+	op := g.obsv.Load()
+	if inst == nil && op == nil {
+		return g.checkBatch(ts, out)
 	}
-	return g.checkBatch(ts, out)
+	start := time.Now()
+	out = g.checkBatch(ts, out)
+	elapsed := time.Since(start)
+	if inst != nil {
+		inst.batchSeconds.ObserveDuration(elapsed)
+		inst.batchSize.Observe(float64(len(ts)))
+	}
+	if op != nil && len(ts) > 0 {
+		// Batch verdicts share the amortized per-RCPT latency, the
+		// same accounting the batch path uses for its locks.
+		per := int64(elapsed) / int64(len(ts))
+		for i := range ts {
+			(*op).ObserveVerdict(ts[i], out[i], per)
+		}
+	}
+	return out
 }
 
 func (g *Greylister) checkBatch(ts []Triplet, out []Verdict) []Verdict {

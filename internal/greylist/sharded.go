@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/metrics"
 	"repro/internal/simtime"
@@ -33,6 +34,11 @@ type Sharded struct {
 	// Every shard holds the same pointer so per-stage counters
 	// aggregate in one place.
 	chain atomic.Pointer[Chain]
+
+	// obsv is the verdict observer for the batch path; single checks
+	// are observed inside the owning shard's routedCheck (SetObserver
+	// installs on both levels, each verdict reported exactly once).
+	obsv atomic.Pointer[Observer]
 }
 
 // NewSharded returns a Sharded engine with n shards (n < 1 is treated as
@@ -129,6 +135,12 @@ func (s *Sharded) CheckBatch(ts []Triplet, out []Verdict) []Verdict {
 		return out
 	}
 
+	var start time.Time
+	op := s.obsv.Load()
+	if op != nil {
+		start = time.Now()
+	}
+
 	// Evaluate the chain once for the whole batch, before routing:
 	// bypasses complete immediately (their counters land on shard 0,
 	// which feeds the same aggregate Stats), and rekeyed attempts
@@ -195,6 +207,14 @@ func (s *Sharded) CheckBatch(ts []Triplet, out []Verdict) []Verdict {
 		sub = s.shards[sh].storeBatchTimed(group, rk, sub)
 		for j, i := range pos {
 			out[i] = sub[j]
+		}
+	}
+	if op != nil {
+		// storeBatch bypasses the shards' routedCheck, so the batch
+		// observes here with the amortized per-RCPT latency.
+		per := int64(time.Since(start)) / int64(len(ts))
+		for i := range ts {
+			(*op).ObserveVerdict(ts[i], out[i], per)
 		}
 	}
 	return out
@@ -458,6 +478,10 @@ type Engine interface {
 	// SetChain installs a bypass chain evaluated ahead of the triplet
 	// check; nil restores the default whitelist-only chain.
 	SetChain(*Chain)
+	// SetObserver installs (nil: removes) the verdict observer feeding
+	// the live observatory; every decided verdict is reported exactly
+	// once with its engine-side latency.
+	SetObserver(Observer)
 	// Chain returns the installed bypass chain.
 	Chain() *Chain
 	// Register exports the engine's counters, gauges and latency

@@ -1017,6 +1017,45 @@ func (w *WAL) Close() error {
 // diagnostics).
 func (w *WAL) Generation() uint64 { return w.gen }
 
+// WALCounts is a snapshot of the WAL's cumulative op counters — the
+// observatory polls these at window rotation to derive per-window
+// deltas.
+type WALCounts struct {
+	Records     uint64
+	Bytes       uint64
+	Fsyncs      uint64
+	Compactions uint64
+}
+
+// Counts snapshots the cumulative WAL op counters.
+func (w *WAL) Counts() WALCounts {
+	return WALCounts{
+		Records:     w.nRecords.Load(),
+		Bytes:       w.nBytes.Load(),
+		Fsyncs:      w.nFsyncs.Load(),
+		Compactions: w.nCompactions.Load(),
+	}
+}
+
+// Healthy reports whether the WAL consumer is still journaling: nil
+// while the consumer is alive, an error after Close or after the
+// consumer died on an I/O error (the engine keeps serving with
+// journaling degraded to off — exactly the state a readiness probe
+// should surface). It backs the /healthz wal probe.
+func (w *WAL) Healthy() error {
+	if w.failed.Load() {
+		msg := "i/o error"
+		if p := w.errMsg.Load(); p != nil {
+			msg = *p
+		}
+		return fmt.Errorf("wal consumer died: %s", msg)
+	}
+	if w.closed.Load() {
+		return fmt.Errorf("wal closed")
+	}
+	return nil
+}
+
 // Register exports the WAL's counters and gauges into reg under the
 // wal_* namespace, mirroring the appender's own atomics.
 func (w *WAL) Register(reg *metrics.Registry) {

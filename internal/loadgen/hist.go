@@ -1,39 +1,24 @@
 package loadgen
 
 import (
-	"math/bits"
 	"time"
+
+	"repro/internal/hdr"
 )
 
-// HDR-style latency histogram: log-linear buckets with 32 linear
-// sub-buckets per power of two, covering 1ns up to ~9.2s of latency
-// with a worst-case quantization error of 1/32 (~3%) — the same layout
-// family as HdrHistogram, which is what makes high percentiles (p99.9)
-// trustworthy without storing raw samples. Values above the range are
-// clamped into the top bucket and tracked exactly via max.
+// Hist wraps the shared log-linear HDR histogram (internal/hdr — 32
+// sub-buckets per octave, ~3% worst-case quantization, exact max) with
+// the load generator's exemplar retention: sampled dialog descriptors
+// for the slowest observations, so a slow bucket can be tied back to a
+// concrete session shape.
 //
 // Histograms are deliberately NOT thread-safe: each load-generator
 // worker owns a private set and the coordinator merges them after the
 // run, so the recording path is a couple of integer operations with no
 // atomics — nothing the measurement itself can perturb.
-
-const (
-	histSubBits  = 5
-	histSubCount = 1 << histSubBits // 32 linear sub-buckets per octave
-	histOctaves  = 33               // up to 2^(5+32) ns ≈ 137s
-	histBuckets  = histSubCount + histOctaves*histSubCount
-)
-
-// Hist is a single-writer HDR-style histogram of durations.
 type Hist struct {
-	counts [histBuckets]uint64
-	count  uint64
-	sum    int64 // total ns
-	max    int64 // exact maximum ns
-	// exemplars are sampled dialog descriptors for the slowest
-	// observations: when an observation beats (or sits near) the
-	// current maximum, its label is retained so a slow bucket can be
-	// tied back to a concrete session shape.
+	h hdr.Hist
+	// exemplars are retained for the slowest observations seen.
 	exemplars [histExemplars]Exemplar
 }
 
@@ -48,52 +33,9 @@ type Exemplar struct {
 	Label string `json:"label"`
 }
 
-func histIndex(ns int64) int {
-	if ns < 0 {
-		ns = 0
-	}
-	v := uint64(ns)
-	if v < histSubCount {
-		return int(v)
-	}
-	e := bits.Len64(v) - 1 // e >= histSubBits
-	if e-histSubBits >= histOctaves {
-		return histBuckets - 1
-	}
-	sub := (v >> (uint(e) - histSubBits)) & (histSubCount - 1)
-	return histSubCount + (e-histSubBits)*histSubCount + int(sub)
-}
-
-// histLower returns the inclusive lower bound of bucket i in ns.
-func histLower(i int) int64 {
-	if i < histSubCount {
-		return int64(i)
-	}
-	i -= histSubCount
-	e := i/histSubCount + histSubBits
-	sub := i % histSubCount
-	return int64(1)<<uint(e) + int64(sub)<<(uint(e)-histSubBits)
-}
-
-// histUpper returns the exclusive upper bound of bucket i in ns.
-func histUpper(i int) int64 {
-	if i < histSubCount {
-		return int64(i) + 1
-	}
-	j := i - histSubCount
-	e := j/histSubCount + histSubBits
-	return histLower(i) + int64(1)<<(uint(e)-histSubBits)
-}
-
 // Record adds one observation.
 func (h *Hist) Record(d time.Duration) {
-	ns := int64(d)
-	h.counts[histIndex(ns)]++
-	h.count++
-	h.sum += ns
-	if ns > h.max {
-		h.max = ns
-	}
+	h.h.Record(int64(d))
 }
 
 // RecordExemplar adds one observation carrying a dialog label; the label
@@ -128,14 +70,7 @@ func (h *Hist) RetainExemplar(d time.Duration, label func() string) {
 
 // Merge folds o into h (coordinator-side, after workers stop).
 func (h *Hist) Merge(o *Hist) {
-	for i, c := range o.counts {
-		h.counts[i] += c
-	}
-	h.count += o.count
-	h.sum += o.sum
-	if o.max > h.max {
-		h.max = o.max
-	}
+	h.h.Merge(&o.h)
 	for _, ex := range o.exemplars {
 		if ex.Latency == 0 {
 			continue
@@ -153,48 +88,20 @@ func (h *Hist) Merge(o *Hist) {
 }
 
 // Count returns the number of observations.
-func (h *Hist) Count() uint64 { return h.count }
+func (h *Hist) Count() uint64 { return h.h.Count() }
 
 // Max returns the exact maximum observation.
-func (h *Hist) Max() time.Duration { return time.Duration(h.max) }
+func (h *Hist) Max() time.Duration { return time.Duration(h.h.Max()) }
 
 // Mean returns the mean observation.
-func (h *Hist) Mean() time.Duration {
-	if h.count == 0 {
-		return 0
-	}
-	return time.Duration(h.sum / int64(h.count))
-}
+func (h *Hist) Mean() time.Duration { return time.Duration(h.h.Mean()) }
 
 // Quantile returns an upper bound for the q-quantile (0 < q <= 1) —
 // the exclusive upper edge of the bucket holding the target rank, so
 // the reported p99 is never smaller than the true p99. The exact max
 // caps the answer.
 func (h *Hist) Quantile(q float64) time.Duration {
-	if h.count == 0 {
-		return 0
-	}
-	target := uint64(q * float64(h.count))
-	if target >= h.count {
-		target = h.count - 1
-	}
-	var cum uint64
-	for i, c := range h.counts {
-		cum += c
-		if cum > target {
-			if i == histBuckets-1 {
-				// Clamp bucket: its nominal edge understates out-of-range
-				// observations, so fall back to the exact maximum.
-				return time.Duration(h.max)
-			}
-			up := histUpper(i)
-			if up > h.max {
-				up = h.max
-			}
-			return time.Duration(up)
-		}
-	}
-	return time.Duration(h.max)
+	return time.Duration(h.h.Quantile(q))
 }
 
 // Exemplars returns the retained slow-path exemplars (empty slots

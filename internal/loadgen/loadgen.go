@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/smtpclient"
 )
 
@@ -74,6 +75,13 @@ type Config struct {
 	// SampleEvery is the heap watermark sampling interval; 0 means
 	// 100ms.
 	SampleEvery time.Duration
+	// Obs, when non-nil, mirrors every measured-phase sample into the
+	// live observatory: per-verdict RCPT round-trips land in the
+	// loadgen_verdict_* sketches and session latencies in
+	// loadgen_session_*, under exactly the warmup gating the end-of-run
+	// report uses — so `greyctl delay` agrees with the report within a
+	// bucket's relative error by construction.
+	Obs *obs.Observatory
 }
 
 func (cfg *Config) setDefaults() {
@@ -117,12 +125,25 @@ type Generator struct {
 	failed    [phaseCount]atomic.Uint64
 	busy      atomic.Int64
 	queue     chan Event
+
+	// Observatory mirrors of the report histograms (nil without
+	// cfg.Obs). Indexed like w.ws.verdict / w.ws.session.
+	obsVerdict [3]*obs.Sketch
+	obsSession [2]*obs.Sketch
 }
 
 // New returns a Generator for cfg.
 func New(cfg Config) *Generator {
 	cfg.setDefaults()
-	return &Generator{cfg: cfg}
+	g := &Generator{cfg: cfg}
+	if cfg.Obs != nil {
+		for v, name := range verdictNames {
+			g.obsVerdict[v] = cfg.Obs.Sketch("loadgen_verdict_"+name, "ns")
+		}
+		g.obsSession[Ham] = cfg.Obs.Sketch("loadgen_session_ham", "ns")
+		g.obsSession[Spam] = cfg.Obs.Sketch("loadgen_session_spam", "ns")
+	}
+	return g
 }
 
 // phaseOf maps an intended offset to its phase index.
@@ -488,6 +509,9 @@ func (w *sessionWorker) burst(events []Event) {
 			}
 			if record {
 				w.ws.verdict[v].Record(rtt)
+				if s := g.obsVerdict[v]; s != nil {
+					s.Record(int64(rtt))
+				}
 			}
 			if inst != nil {
 				inst.verdicts[v].Inc()
@@ -562,6 +586,9 @@ func (w *sessionWorker) finish(ev Event, seq uint64) {
 		h := &w.ws.session[ev.Shape.Class]
 		h.Record(lat)
 		h.RetainExemplar(lat, w.label)
+		if s := g.obsSession[ev.Shape.Class]; s != nil {
+			s.Record(int64(lat))
+		}
 		if lat > g.cfg.SLO {
 			w.ws.sloViolations++
 			if inst != nil {

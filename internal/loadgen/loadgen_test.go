@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/hdr"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/smtpclient"
@@ -20,24 +21,47 @@ func TestHistBucketEdges(t *testing.T) {
 	// Every representable value must land in a bucket whose bounds
 	// contain it, and bounds must tile without gaps.
 	for _, ns := range []int64{0, 1, 31, 32, 33, 63, 64, 100, 1000, 12345, 1 << 20, 1<<37 + 12345} {
-		i := histIndex(ns)
-		if lo, up := histLower(i), histUpper(i); ns < lo || ns >= up {
+		i := hdr.Index(ns)
+		if lo, up := hdr.Lower(i), hdr.Upper(i); ns < lo || ns >= up {
 			t.Errorf("value %d landed in bucket %d [%d,%d)", ns, i, lo, up)
 		}
 	}
-	for i := 0; i < histBuckets-1; i++ {
-		if histUpper(i) != histLower(i+1) {
-			t.Fatalf("bucket %d upper %d != bucket %d lower %d", i, histUpper(i), i+1, histLower(i+1))
+	for i := 0; i < hdr.Buckets-1; i++ {
+		if hdr.Upper(i) != hdr.Lower(i+1) {
+			t.Fatalf("bucket %d upper %d != bucket %d lower %d", i, hdr.Upper(i), i+1, hdr.Lower(i+1))
 		}
 	}
 	// Out-of-range values clamp into the top bucket; max stays exact.
-	if got := histIndex(1 << 50); got != histBuckets-1 {
-		t.Errorf("out-of-range value indexed %d, want top bucket %d", got, histBuckets-1)
+	if got := hdr.Index(1 << 50); got != hdr.Buckets-1 {
+		t.Errorf("out-of-range value indexed %d, want top bucket %d", got, hdr.Buckets-1)
 	}
 	var h Hist
 	h.Record(time.Duration(1 << 50))
 	if h.Max() != time.Duration(1<<50) || h.Quantile(0.99) != time.Duration(1<<50) {
 		t.Errorf("clamped value lost exactness: max %v q99 %v", h.Max(), h.Quantile(0.99))
+	}
+}
+
+func TestHistMatchesSharedHDR(t *testing.T) {
+	// The loadgen Hist is a thin wrapper over internal/hdr: identical
+	// samples must yield identical counts and quantiles, so BENCH_soak
+	// percentiles and observatory sketches stay comparable.
+	rng := rand.New(rand.NewSource(11))
+	var lg Hist
+	var shared hdr.Hist
+	for i := 0; i < 20000; i++ {
+		v := int64(rng.ExpFloat64() * float64(3*time.Millisecond))
+		lg.Record(time.Duration(v))
+		shared.Record(v)
+	}
+	if lg.Count() != shared.Count() || int64(lg.Max()) != shared.Max() || int64(lg.Mean()) != shared.Mean() {
+		t.Fatalf("wrapper diverged: count %d/%d max %d/%d mean %d/%d",
+			lg.Count(), shared.Count(), lg.Max(), shared.Max(), lg.Mean(), shared.Mean())
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999, 1} {
+		if int64(lg.Quantile(q)) != shared.Quantile(q) {
+			t.Fatalf("Quantile(%v): wrapper %d, shared %d", q, lg.Quantile(q), shared.Quantile(q))
+		}
 	}
 }
 

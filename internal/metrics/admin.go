@@ -22,8 +22,10 @@ type Endpoint struct {
 // NewAdminMux builds the admin endpoint surface: the registry exposition
 // on /metrics, runtime profiling under /debug/pprof/ (mounted explicitly
 // so importing this package never touches http.DefaultServeMux), a
-// trivial /healthz, and any extra endpoints. Daemons serve it on a
-// loopback or ops-network address via ServeAdmin.
+// /healthz (a trivial always-ok one unless an extra endpoint claims the
+// path — daemons pass Health.Endpoint() for real readiness probing),
+// and any extra endpoints. Daemons serve it on a loopback or
+// ops-network address via ServeAdmin.
 func NewAdminMux(reg *Registry, extras ...Endpoint) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", reg.Handler())
@@ -32,17 +34,27 @@ func NewAdminMux(reg *Registry, extras ...Endpoint) *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
-	})
+	customHealth := false
+	for _, e := range extras {
+		if e.Path == "/healthz" && e.Handler != nil {
+			customHealth = true
+		}
+	}
+	if !customHealth {
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprintln(w, "ok")
+		})
+	}
 	paths := []string{"/metrics", "/healthz", "/debug/pprof/"}
 	for _, e := range extras {
 		if e.Path == "" || e.Handler == nil {
 			continue
 		}
 		mux.Handle(e.Path, e.Handler)
-		paths = append(paths, e.Path)
+		if e.Path != "/healthz" {
+			paths = append(paths, e.Path)
+		}
 	}
 	index := "admin endpoints: " + strings.Join(paths, " ")
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {

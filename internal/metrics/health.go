@@ -1,0 +1,93 @@
+package metrics
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+)
+
+// Health is a named-probe readiness check for the admin listener's
+// /healthz: each probe reports one subsystem (WAL consumer alive,
+// bypass chain loaded, observatory ring current), and the endpoint
+// answers 200 only while every probe passes — the contract a fleet
+// load balancer needs to drain a degraded instance without killing it.
+type Health struct {
+	mu     sync.Mutex
+	order  []string
+	probes map[string]func() error
+}
+
+// NewHealth returns an empty Health (no probes — always ready).
+func NewHealth() *Health {
+	return &Health{probes: make(map[string]func() error)}
+}
+
+// Add registers (or replaces) a named probe. check must be safe for
+// concurrent use; it runs on every /healthz request.
+func (h *Health) Add(name string, check func() error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.probes[name]; !ok {
+		h.order = append(h.order, name)
+	}
+	h.probes[name] = check
+}
+
+// Check runs every probe and returns the failures by probe name
+// (empty when ready).
+func (h *Health) Check() map[string]error {
+	h.mu.Lock()
+	names := append([]string(nil), h.order...)
+	probes := make(map[string]func() error, len(h.probes))
+	for n, p := range h.probes {
+		probes[n] = p
+	}
+	h.mu.Unlock()
+	failures := make(map[string]error)
+	for _, n := range names {
+		if err := probes[n](); err != nil {
+			failures[n] = err
+		}
+	}
+	return failures
+}
+
+// Handler serves the readiness report: 200 with one "ok <probe>" line
+// per passing probe while ready, 503 with "degraded <probe>: <error>"
+// lines for every failing probe otherwise. Lines are sorted by probe
+// registration order so the body is stable for tests and log diffing.
+func (h *Health) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		h.mu.Lock()
+		names := append([]string(nil), h.order...)
+		h.mu.Unlock()
+		failures := h.Check()
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if len(failures) > 0 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			failed := make([]string, 0, len(failures))
+			for n := range failures {
+				failed = append(failed, n)
+			}
+			sort.Strings(failed)
+			for _, n := range failed {
+				fmt.Fprintf(w, "degraded %s: %v\n", n, failures[n])
+			}
+			return
+		}
+		if len(names) == 0 {
+			fmt.Fprintln(w, "ok")
+			return
+		}
+		for _, n := range names {
+			fmt.Fprintf(w, "ok %s\n", n)
+		}
+	})
+}
+
+// Endpoint mounts the handler at /healthz, overriding the admin mux's
+// built-in trivial probe.
+func (h *Health) Endpoint() Endpoint {
+	return Endpoint{Path: "/healthz", Handler: h.Handler()}
+}

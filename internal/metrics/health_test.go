@@ -1,0 +1,89 @@
+package metrics
+
+import (
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func getBody(t *testing.T, h *Health) (int, string) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	return rec.Code, rec.Body.String()
+}
+
+func TestHealthNoProbes(t *testing.T) {
+	code, body := getBody(t, NewHealth())
+	if code != 200 || body != "ok\n" {
+		t.Errorf("empty health = %d %q, want 200 \"ok\\n\"", code, body)
+	}
+}
+
+func TestHealthReadyAndDegraded(t *testing.T) {
+	h := NewHealth()
+	walErr := error(nil)
+	h.Add("wal", func() error { return walErr })
+	h.Add("bypass-chain", func() error { return nil })
+
+	code, body := getBody(t, h)
+	if code != 200 {
+		t.Fatalf("ready code = %d, want 200", code)
+	}
+	// One "ok <probe>" line per probe, in registration order.
+	if body != "ok wal\nok bypass-chain\n" {
+		t.Errorf("ready body = %q", body)
+	}
+
+	walErr = errors.New("wal consumer died: disk full")
+	code, body = getBody(t, h)
+	if code != 503 {
+		t.Fatalf("degraded code = %d, want 503", code)
+	}
+	if !strings.Contains(body, "degraded wal: wal consumer died: disk full") {
+		t.Errorf("degraded body missing failure: %q", body)
+	}
+	if strings.Contains(body, "bypass-chain") {
+		t.Errorf("degraded body lists passing probes: %q", body)
+	}
+
+	// Recovery flips it back without re-registration.
+	walErr = nil
+	if code, _ = getBody(t, h); code != 200 {
+		t.Errorf("recovered code = %d, want 200", code)
+	}
+}
+
+func TestHealthReplaceProbe(t *testing.T) {
+	h := NewHealth()
+	h.Add("wal", func() error { return errors.New("old probe") })
+	h.Add("wal", func() error { return nil })
+	if code, body := getBody(t, h); code != 200 || body != "ok wal\n" {
+		t.Errorf("replaced probe = %d %q, want 200 \"ok wal\\n\"", code, body)
+	}
+	if failures := h.Check(); len(failures) != 0 {
+		t.Errorf("Check = %v, want empty", failures)
+	}
+}
+
+// TestAdminMuxHealthzOverride: the admin mux's built-in trivial probe
+// must yield to a daemon's real Health endpoint at the same path.
+func TestAdminMuxHealthzOverride(t *testing.T) {
+	h := NewHealth()
+	h.Add("wal", func() error { return errors.New("down") })
+	mux := NewAdminMux(NewRegistry(), h.Endpoint())
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 503 {
+		t.Errorf("overridden /healthz = %d, want 503 from the real probe", rec.Code)
+	}
+
+	// Without an override the trivial probe answers.
+	mux = NewAdminMux(NewRegistry())
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 200 || rec.Body.String() != "ok\n" {
+		t.Errorf("builtin /healthz = %d %q, want 200 \"ok\\n\"", rec.Code, rec.Body.String())
+	}
+}

@@ -112,6 +112,11 @@ type Config struct {
 	Tracer *trace.Tracer
 	// TraceTags labels the traces (Family defaults to the MTA name).
 	TraceTags trace.Tags
+	// RetryObserver, when non-nil, receives every scheduled retry's
+	// backoff interval — the observatory's mtaqueue retry-interval
+	// sketch feed (obs.Observatory.RetrySink). Called with the queue
+	// lock held; it must be fast and non-blocking.
+	RetryObserver func(backoff time.Duration)
 }
 
 // MTA is a queueing mail transfer agent.
@@ -247,6 +252,9 @@ func (m *MTA) attempt(id, k int) {
 		if inst != nil {
 			inst.retries.Inc()
 			inst.backoffSeconds.Observe(m.offsets[next].Seconds())
+		}
+		if m.cfg.RetryObserver != nil {
+			m.cfg.RetryObserver(m.offsets[next])
 		}
 		tr.Queue("retry-scheduled", errDetail(receipt.LastError), at.Sub(now))
 		m.cfg.Sched.At(at, m.cfg.Name+" retry", func() { m.attempt(id, next) })

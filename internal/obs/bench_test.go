@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// The observatory's performance contract: recording into a sketch or an
+// already-monitored top-K key is allocation-free and fast enough to ride
+// the per-RCPT hot path; snapshotting is the expensive merge-on-read
+// side and stays off it.
+
+func benchObservatory() *Observatory {
+	return New(Config{Window: 10 * time.Second, Windows: 30})
+}
+
+func BenchmarkSketchRecord(b *testing.B) {
+	o := benchObservatory()
+	s := o.Sketch("lat", "ns")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Record(int64(i%1000 + 1))
+	}
+}
+
+func BenchmarkTopKObserveMonitored(b *testing.B) {
+	o := benchObservatory()
+	k := o.TopK("clients")
+	k.Observe("198.51.100.7")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Observe("198.51.100.7")
+	}
+}
+
+func BenchmarkTopKObserveRotating(b *testing.B) {
+	o := benchObservatory()
+	k := o.TopK("clients")
+	keys := make([]string, 1024)
+	for i := range keys {
+		keys[i] = "10.0." + string(rune('a'+i%26)) + "." + string(rune('a'+i/26%26))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Observe(keys[i%len(keys)])
+	}
+}
+
+func BenchmarkRotate(b *testing.B) {
+	o := benchObservatory()
+	s := o.Sketch("lat", "ns")
+	k := o.TopK("clients")
+	var n uint64
+	o.Cumulative("checks", func() uint64 { n++; return n })
+	s.Record(42)
+	k.Observe("198.51.100.7")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o.Rotate()
+	}
+}
+
+func BenchmarkSnapshot(b *testing.B) {
+	o := benchObservatory()
+	s := o.Sketch("lat", "ns")
+	k := o.TopK("clients")
+	for i := 0; i < 30; i++ {
+		for j := 0; j < 100; j++ {
+			s.Record(int64(j + 1))
+			k.Observe("198.51.100." + string(rune('0'+j%10)))
+		}
+		o.Rotate()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = o.Snapshot(0, 0)
+	}
+}

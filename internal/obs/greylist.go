@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"strings"
+	"time"
+
+	"repro/internal/greylist"
+)
+
+// Sketch and top-K set names fed by the greylist observer and the
+// daemons' wiring. greyctl and dashboards key on these.
+const (
+	// SketchCheckLatency is the RCPT→verdict decision latency in
+	// nanoseconds (batch verdicts carry the amortized per-RCPT cost).
+	SketchCheckLatency = "greylist_check_latency"
+	// SketchRetryDelay is the greylist retry delay in milliseconds:
+	// how long a retry-accepted delivery waited from first sight to
+	// acceptance — the live version of the paper's Fig. 5 benign-delay
+	// CDF. Milliseconds because thresholds run minutes to days, far
+	// past the HDR layout's nanosecond range.
+	SketchRetryDelay = "greylist_retry_delay"
+	// SketchMTARetry is the sending MTA queue's scheduled retry
+	// backoff in milliseconds (Table IV territory).
+	SketchMTARetry = "mtaqueue_retry_interval"
+)
+
+// Top-K heavy-hitter sets per verdict class and per bypass stage.
+const (
+	TopClientsPassed   = "clients_passed"
+	TopClientsDeferred = "clients_deferred"
+	TopSendersPassed   = "senders_passed"
+	TopSendersDeferred = "senders_deferred"
+	// TopBypassPrefix + stage reason names one set per bypass class:
+	// whitelist, auto, dnswl, rdns, earned, other.
+	TopBypassPrefix = "clients_bypass_"
+)
+
+// GreylistObserver adapts the observatory to greylist.Observer: every
+// verdict lands in the latency sketch and in the top-K set of its
+// class; retry-accepted passes additionally record their waited delay.
+// All steady-state paths are allocation-free (sketch records are
+// atomics; observing an already-monitored top-K key is a map hit).
+type GreylistObserver struct {
+	latency    *Sketch
+	retryDelay *Sketch
+
+	clientsPassed   *TopK
+	clientsDeferred *TopK
+	sendersPassed   *TopK
+	sendersDeferred *TopK
+
+	bypassWhitelist *TopK
+	bypassAuto      *TopK
+	bypassDNSWL     *TopK
+	bypassRDNS      *TopK
+	bypassEarned    *TopK
+	bypassOther     *TopK
+}
+
+// Greylist returns the observatory's greylist verdict observer,
+// registering its sketches and top-K sets on first use. Install it
+// with engine.SetObserver.
+func (o *Observatory) Greylist() *GreylistObserver {
+	return &GreylistObserver{
+		latency:         o.Sketch(SketchCheckLatency, "ns"),
+		retryDelay:      o.Sketch(SketchRetryDelay, "ms"),
+		clientsPassed:   o.TopK(TopClientsPassed),
+		clientsDeferred: o.TopK(TopClientsDeferred),
+		sendersPassed:   o.TopK(TopSendersPassed),
+		sendersDeferred: o.TopK(TopSendersDeferred),
+		bypassWhitelist: o.TopK(TopBypassPrefix + "whitelist"),
+		bypassAuto:      o.TopK(TopBypassPrefix + "auto"),
+		bypassDNSWL:     o.TopK(TopBypassPrefix + "dnswl"),
+		bypassRDNS:      o.TopK(TopBypassPrefix + "rdns"),
+		bypassEarned:    o.TopK(TopBypassPrefix + "earned"),
+		bypassOther:     o.TopK(TopBypassPrefix + "other"),
+	}
+}
+
+var _ greylist.Observer = (*GreylistObserver)(nil)
+
+// ObserveVerdict implements greylist.Observer.
+func (g *GreylistObserver) ObserveVerdict(t greylist.Triplet, v greylist.Verdict, latencyNs int64) {
+	g.latency.Record(latencyNs)
+	switch v.Decision {
+	case greylist.Defer:
+		g.clientsDeferred.Observe(t.ClientIP)
+		g.sendersDeferred.Observe(senderDomain(t.Sender))
+	case greylist.Pass:
+		switch v.Reason {
+		case greylist.ReasonKnownTriplet, greylist.ReasonRetryAccepted:
+			g.clientsPassed.Observe(t.ClientIP)
+			g.sendersPassed.Observe(senderDomain(t.Sender))
+			if v.Reason == greylist.ReasonRetryAccepted && v.Waited > 0 {
+				g.retryDelay.Record(v.Waited.Milliseconds())
+			}
+		case greylist.ReasonWhitelisted:
+			g.bypassWhitelist.Observe(t.ClientIP)
+		case greylist.ReasonAutoWhitelisted:
+			g.bypassAuto.Observe(t.ClientIP)
+		case greylist.ReasonDNSWL:
+			g.bypassDNSWL.Observe(t.ClientIP)
+		case greylist.ReasonRDNS:
+			g.bypassRDNS.Observe(t.ClientIP)
+		case greylist.ReasonEarnedWhitelist:
+			g.bypassEarned.Observe(t.ClientIP)
+		default:
+			g.bypassOther.Observe(t.ClientIP)
+		}
+	}
+}
+
+// senderDomain extracts the domain of an envelope sender without
+// allocating (substrings share the sender's backing array).
+func senderDomain(sender string) string {
+	if i := strings.LastIndexByte(sender, '@'); i >= 0 && i+1 < len(sender) {
+		return sender[i+1:]
+	}
+	return sender
+}
+
+// WatchGreylist registers the engine's cumulative verdict counters as
+// per-window delta sources — the zero-hot-path-cost half of the
+// observatory: nothing is recorded per check, the totals are polled at
+// rotation.
+func (o *Observatory) WatchGreylist(stats func() greylist.Stats) {
+	o.Cumulative("greylist.checks", func() uint64 { return stats().Checks })
+	o.Cumulative("greylist.deferred.first_seen", func() uint64 { return stats().DeferredNew })
+	o.Cumulative("greylist.deferred.too_soon", func() uint64 { return stats().DeferredEarly })
+	o.Cumulative("greylist.deferred.window_expired", func() uint64 { return stats().DeferredExpired })
+	o.Cumulative("greylist.passed.retry", func() uint64 { return stats().PassedRetry })
+	o.Cumulative("greylist.passed.known", func() uint64 { return stats().PassedKnown })
+	o.Cumulative("greylist.passed.whitelist", func() uint64 { return stats().PassedWhitelist })
+	o.Cumulative("greylist.passed.auto", func() uint64 { return stats().PassedAutoClient })
+	o.Cumulative("greylist.passed.dnswl", func() uint64 { return stats().PassedDNSWL })
+	o.Cumulative("greylist.passed.rdns", func() uint64 { return stats().PassedRDNS })
+	o.Cumulative("greylist.passed.earned", func() uint64 { return stats().PassedEarned })
+	o.Cumulative("greylist.passed.bypass_other", func() uint64 { return stats().PassedBypassOther })
+	o.Cumulative("greylist.spf_rekeyed", func() uint64 { return stats().SPFRekeyed })
+	o.Cumulative("greylist.earned_granted", func() uint64 { return stats().EarnedGranted })
+}
+
+// WatchChain registers per-stage hit/rekey/error deltas for the bypass
+// chain installed at call time. Stages are tracked by name, so a chain
+// swapped via SetChain keeps feeding the same windows as long as stage
+// names persist.
+func (o *Observatory) WatchChain(chain func() *greylist.Chain) {
+	ch := chain()
+	for i := 0; i < ch.Len(); i++ {
+		name := ch.StageName(i)
+		o.Cumulative("stage."+name+".hits", func() uint64 { return stageStat(chain(), name).Hits })
+		o.Cumulative("stage."+name+".rekeys", func() uint64 { return stageStat(chain(), name).Rekeys })
+		o.Cumulative("stage."+name+".errors", func() uint64 { return stageStat(chain(), name).Errors })
+	}
+}
+
+func stageStat(ch *greylist.Chain, name string) greylist.StageStat {
+	for _, st := range ch.StageStats() {
+		if st.Name == name {
+			return st
+		}
+	}
+	return greylist.StageStat{}
+}
+
+// WatchWAL registers the write-ahead log's op counters as per-window
+// delta sources.
+func (o *Observatory) WatchWAL(w *greylist.WAL) {
+	o.Cumulative("wal.records", func() uint64 { return w.Counts().Records })
+	o.Cumulative("wal.bytes", func() uint64 { return w.Counts().Bytes })
+	o.Cumulative("wal.fsyncs", func() uint64 { return w.Counts().Fsyncs })
+	o.Cumulative("wal.compactions", func() uint64 { return w.Counts().Compactions })
+}
+
+// RetrySink returns a hook for mtaqueue.Config.RetryObserver: every
+// scheduled retry backoff lands in the mtaqueue retry-interval sketch
+// (milliseconds).
+func (o *Observatory) RetrySink() func(backoff time.Duration) {
+	s := o.Sketch(SketchMTARetry, "ms")
+	return func(backoff time.Duration) { s.Record(backoff.Milliseconds()) }
+}

@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+
+	"repro/internal/metrics"
+)
+
+// Handler serves the versioned JSON snapshot. Query parameters:
+//
+//	windows=N  closed windows to include (default: the whole ring)
+//	k=K        top-K entries per set (default: the configured TopK)
+func (o *Observatory) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		lastN := queryInt(r, "windows", 0)
+		k := queryInt(r, "k", 0)
+		snap := o.Snapshot(lastN, k)
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(snap); err != nil {
+			// Too late for an error status; the connection is gone.
+			return
+		}
+	})
+}
+
+// Endpoint mounts the handler at /observatory for the admin listener.
+func (o *Observatory) Endpoint() metrics.Endpoint {
+	return metrics.Endpoint{Path: "/observatory", Handler: o.Handler()}
+}
+
+func queryInt(r *http.Request, name string, def int) int {
+	s := r.URL.Query().Get(name)
+	if s == "" {
+		return def
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 0 {
+		return def
+	}
+	return n
+}

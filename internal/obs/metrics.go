@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"strconv"
+
+	"repro/internal/metrics"
+)
+
+// Register exposes the observatory's Prometheus summary lines on reg.
+// Per-sketch series are created for every sketch registered at call
+// time, so daemons should register instruments first and call this
+// once afterwards. Values are windowed (merged across the live ring),
+// which makes the quantile and count series gauges: they fall as old
+// windows age out.
+//
+// Exported series (stable names, pinned by tests):
+//
+//	obs_window_seconds
+//	obs_windows
+//	obs_rotations_total
+//	obs_sketch_window_count{sketch}
+//	obs_sketch_quantile{sketch,q}   (q = "0.5", "0.9", "0.99")
+//	obs_counter_window{counter}
+//	obs_topk_tracked{set}
+func (o *Observatory) Register(reg *metrics.Registry) {
+	reg.GaugeFunc("obs_window_seconds", "Rollup window duration in seconds.",
+		func() float64 { return o.cfg.Window.Seconds() })
+	reg.GaugeFunc("obs_windows", "Window ring length including the open window.",
+		func() float64 { return float64(o.cfg.Windows) })
+	reg.CounterFunc("obs_rotations_total", "Window rotations since start.",
+		o.rotations.Load)
+
+	o.mu.Lock()
+	sketches := append([]*Sketch(nil), o.sketches...)
+	cums := append([]*cumulative(nil), o.cums...)
+	topks := append([]*TopK(nil), o.topks...)
+	o.mu.Unlock()
+
+	for _, s := range sketches {
+		name := s.name
+		reg.GaugeFunc("obs_sketch_window_count",
+			"Observations in the sketch across the live window ring.",
+			func() float64 { h := o.mergedSketch(name); return float64(h.Count()) },
+			"sketch", name)
+		for _, q := range []float64{0.5, 0.9, 0.99} {
+			q := q
+			reg.GaugeFunc("obs_sketch_quantile",
+				"Sketch quantile across the live window ring, in the sketch's unit.",
+				func() float64 { h := o.mergedSketch(name); return float64(h.Quantile(q)) },
+				"sketch", name, "q", strconv.FormatFloat(q, 'g', -1, 64))
+		}
+	}
+	for _, c := range cums {
+		name := c.name
+		reg.GaugeFunc("obs_counter_window",
+			"Counter delta summed across the live window ring.",
+			func() float64 { return float64(o.mergedCounter(name)) },
+			"counter", name)
+	}
+	for _, t := range topks {
+		t := t
+		reg.GaugeFunc("obs_topk_tracked",
+			"Distinct keys currently monitored in the open window.",
+			func() float64 {
+				entries, _ := t.collect(int(o.cur.Load()), nil)
+				return float64(len(entries))
+			},
+			"set", t.name)
+	}
+}

@@ -1,0 +1,304 @@
+// Package obs is the live observatory: a ring of fixed-duration time
+// windows that every daemon feeds on the hot path at ~0 cost, turning
+// the paper's after-the-fact aggregates (Table II block rates, Fig. 5
+// delay CDFs) into a continuously updated operational view — who the
+// top talkers are per verdict, what the retry-delay p50/p99 is right
+// now, which bypass stage is doing the work, and how the last N
+// windows differ from each other.
+//
+// Each window holds three kinds of state:
+//
+//   - Sketches: streaming quantile sketches over the shared log-linear
+//     HDR layout (internal/hdr). Recording is a handful of atomic adds
+//     into per-window bucket arrays — no locks, no allocations — and
+//     readers fold the buckets into an hdr.Hist at snapshot time
+//     (merge on read).
+//   - Top-K: Space-Saving heavy-hitter tables keyed by client IP or
+//     sender domain, sharded by key hash so every key lives in exactly
+//     one stripe (per-shard single-writer tables behind a short
+//     mutex); stripes concatenate at read time. Estimates carry the
+//     classic Space-Saving guarantee: true ≤ estimate ≤ true + err.
+//   - Counters: per-window deltas derived by polling registered
+//     cumulative sources (the engines' existing atomic stats) at
+//     window rotation — the hot path pays nothing at all for these.
+//
+// Rotation is driven by a single background goroutine (Start) or
+// explicitly (Rotate) for virtual-time labs and tests. Stragglers that
+// record into a window just as it rotates land in an adjacent window;
+// nothing blocks and nothing is lost.
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/simtime"
+)
+
+// SnapshotVersion is the /observatory JSON schema version.
+const SnapshotVersion = 1
+
+// Config parameterizes an Observatory.
+type Config struct {
+	// Window is one rollup window's duration (default 10s).
+	Window time.Duration
+	// Windows is the ring length including the current window
+	// (default 30 — five minutes of 10s windows).
+	Windows int
+	// TopK is the default number of heavy hitters reported per set
+	// (default 10).
+	TopK int
+	// TopKCapacity is the number of monitored keys per stripe; the
+	// Space-Saving error bound for a stripe is its observation count
+	// divided by this capacity (default 4×TopK).
+	TopKCapacity int
+	// TopKStripes is the per-window stripe count, rounded up to a
+	// power of two (default 4).
+	TopKStripes int
+	// Clock drives window timestamps and rotation (default wall).
+	Clock simtime.Clock
+}
+
+func (c Config) withDefaults() Config {
+	if c.Window <= 0 {
+		c.Window = 10 * time.Second
+	}
+	if c.Windows < 2 {
+		c.Windows = 30
+	}
+	if c.TopK <= 0 {
+		c.TopK = 10
+	}
+	if c.TopKCapacity <= 0 {
+		c.TopKCapacity = 4 * c.TopK
+	}
+	if c.TopKStripes <= 0 {
+		c.TopKStripes = 4
+	}
+	for c.TopKStripes&(c.TopKStripes-1) != 0 {
+		c.TopKStripes++
+	}
+	if c.Clock == nil {
+		c.Clock = simtime.Real{}
+	}
+	return c
+}
+
+// slotMeta is one ring slot's identity. seq 0 marks a slot that has
+// never held a window (or is mid-reset); readers re-check seq after
+// copying a slot's data and discard the copy if it changed underneath
+// them.
+type slotMeta struct {
+	seq     atomic.Uint64
+	startNs atomic.Int64
+	endNs   atomic.Int64 // 0 while the window is open
+}
+
+// cumulative is a registered cumulative counter source, polled at
+// rotation; the per-window delta is end − start.
+type cumulative struct {
+	name  string
+	fn    func() uint64
+	start []atomic.Uint64 // value at each slot's window start
+	delta []atomic.Uint64 // finalized delta for closed slots
+}
+
+// Observatory is the windowed rollup ring. All methods are safe for
+// concurrent use.
+type Observatory struct {
+	cfg   Config
+	clock simtime.Clock
+
+	// mu guards registration and rotation; the record path never
+	// takes it.
+	mu       sync.Mutex
+	sketches []*Sketch
+	topks    []*TopK
+	cums     []*cumulative
+
+	slots []slotMeta
+	cur   atomic.Int32
+
+	rotations  atomic.Uint64
+	lastRotate atomic.Int64 // clock ns of the last rotation (or Start)
+	started    atomic.Bool
+	stop       chan struct{}
+	stopOnce   sync.Once
+}
+
+// New builds an Observatory and opens its first window.
+func New(cfg Config) *Observatory {
+	cfg = cfg.withDefaults()
+	o := &Observatory{
+		cfg:   cfg,
+		clock: cfg.Clock,
+		slots: make([]slotMeta, cfg.Windows),
+		stop:  make(chan struct{}),
+	}
+	now := o.clock.Now().UnixNano()
+	o.slots[0].startNs.Store(now)
+	o.slots[0].seq.Store(1)
+	o.lastRotate.Store(now)
+	return o
+}
+
+// Window returns the configured window duration.
+func (o *Observatory) Window() time.Duration { return o.cfg.Window }
+
+// Windows returns the ring length.
+func (o *Observatory) Windows() int { return o.cfg.Windows }
+
+// Rotations returns how many times the ring has rotated.
+func (o *Observatory) Rotations() uint64 { return o.rotations.Load() }
+
+// Sketch registers (or returns) the named quantile sketch. unit is
+// descriptive metadata carried through snapshots ("ns", "ms") — the
+// sketch itself is unit-agnostic. Register all instruments before
+// serving traffic; registration after recording has started is safe
+// but the new instrument only fills from the current window on.
+func (o *Observatory) Sketch(name, unit string) *Sketch {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for _, s := range o.sketches {
+		if s.name == name {
+			return s
+		}
+	}
+	s := &Sketch{o: o, name: name, unit: unit, ring: make([]sketchWin, o.cfg.Windows)}
+	o.sketches = append(o.sketches, s)
+	return s
+}
+
+// TopK registers (or returns) the named heavy-hitter set.
+func (o *Observatory) TopK(name string) *TopK {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for _, t := range o.topks {
+		if t.name == name {
+			return t
+		}
+	}
+	t := &TopK{
+		o:    o,
+		name: name,
+		cap:  o.cfg.TopKCapacity,
+		mask: uint32(o.cfg.TopKStripes - 1),
+		ring: make([]topkWin, o.cfg.Windows),
+	}
+	for i := range t.ring {
+		t.ring[i].stripes = make([]topkStripe, o.cfg.TopKStripes)
+	}
+	o.topks = append(o.topks, t)
+	return t
+}
+
+// Cumulative registers a cumulative counter source. The source is
+// polled at every rotation; each window reports the delta over its
+// span. The current window's delta counts from registration time, so
+// pre-existing totals never show up as a spike.
+func (o *Observatory) Cumulative(name string, fn func() uint64) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for _, c := range o.cums {
+		if c.name == name {
+			return
+		}
+	}
+	c := &cumulative{
+		name:  name,
+		fn:    fn,
+		start: make([]atomic.Uint64, o.cfg.Windows),
+		delta: make([]atomic.Uint64, o.cfg.Windows),
+	}
+	c.start[o.cur.Load()].Store(fn())
+	o.cums = append(o.cums, c)
+}
+
+// Rotate closes the current window and opens the next, recycling the
+// oldest ring slot. It is the only writer of slot metadata; the record
+// path only ever reads the current index.
+func (o *Observatory) Rotate() {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	now := o.clock.Now().UnixNano()
+	cur := int(o.cur.Load())
+	next := (cur + 1) % len(o.slots)
+
+	// Finalize the closing window's counter deltas.
+	for _, c := range o.cums {
+		v := c.fn()
+		c.delta[cur].Store(v - c.start[cur].Load())
+		// Seed the next window from the same poll.
+		c.start[next].Store(v)
+		c.delta[next].Store(0)
+	}
+	o.slots[cur].endNs.Store(now)
+
+	// Invalidate the recycled slot before resetting it so a snapshot
+	// caught mid-read discards its copy, then rebuild and publish.
+	o.slots[next].seq.Store(0)
+	for _, s := range o.sketches {
+		s.ring[next].reset()
+	}
+	for _, t := range o.topks {
+		t.ring[next].reset()
+	}
+	o.slots[next].startNs.Store(now)
+	o.slots[next].endNs.Store(0)
+	o.slots[next].seq.Store(o.slots[cur].seq.Load() + 1)
+	o.cur.Store(int32(next))
+	o.rotations.Add(1)
+	o.lastRotate.Store(now)
+}
+
+// Start launches the background rotation driver. It is a no-op when
+// already started.
+func (o *Observatory) Start() {
+	if !o.started.CompareAndSwap(false, true) {
+		return
+	}
+	o.lastRotate.Store(o.clock.Now().UnixNano())
+	go func() {
+		for {
+			select {
+			case <-o.stop:
+				return
+			case <-o.clock.After(o.cfg.Window):
+				o.Rotate()
+			}
+		}
+	}()
+}
+
+// Stop halts the rotation driver. Recording and snapshotting remain
+// valid; the current window simply stops rotating.
+func (o *Observatory) Stop() {
+	o.stopOnce.Do(func() { close(o.stop) })
+}
+
+// Healthy reports whether the window ring is current: the rotation
+// driver is running and has rotated (or started) within two window
+// durations. It backs the /healthz observatory probe.
+func (o *Observatory) Healthy() error {
+	if !o.started.Load() {
+		return fmt.Errorf("rotation driver not started")
+	}
+	age := o.clock.Now().UnixNano() - o.lastRotate.Load()
+	if age > 2*int64(o.cfg.Window) {
+		return fmt.Errorf("window ring stale: last rotation %s ago (window %s)",
+			time.Duration(age), o.cfg.Window)
+	}
+	return nil
+}
+
+// fnv32a hashes a key for stripe selection without allocating.
+func fnv32a(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}

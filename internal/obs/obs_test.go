@@ -1,0 +1,353 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/greylist"
+	"repro/internal/hdr"
+	"repro/internal/metrics"
+	"repro/internal/simtime"
+)
+
+func testObservatory(clock simtime.Clock) *Observatory {
+	return New(Config{Window: 10 * time.Second, Windows: 4, TopK: 3, Clock: clock})
+}
+
+func TestSketchWindowing(t *testing.T) {
+	clock := simtime.NewSim(simtime.Epoch)
+	o := testObservatory(clock)
+	s := o.Sketch("lat", "ms")
+
+	s.Record(100)
+	s.Record(200)
+	clock.Advance(10 * time.Second)
+	o.Rotate()
+	s.Record(1000)
+
+	snap := o.Snapshot(0, 0)
+	if got := snap.Current.Sketches["lat"].Count; got != 1 {
+		t.Errorf("current count = %d, want 1", got)
+	}
+	if len(snap.Recent) != 1 {
+		t.Fatalf("recent windows = %d, want 1", len(snap.Recent))
+	}
+	if got := snap.Recent[0].Sketches["lat"].Count; got != 2 {
+		t.Errorf("closed window count = %d, want 2", got)
+	}
+	merged := snap.Merged.Sketches["lat"]
+	if merged.Count != 3 {
+		t.Errorf("merged count = %d, want 3", merged.Count)
+	}
+	if merged.Max != 1000 {
+		t.Errorf("merged max = %d, want 1000", merged.Max)
+	}
+	// p50 is the bucket upper edge of the rank-1 sample (200): at most
+	// one sub-bucket over.
+	if p := merged.P50; p < 200 || p > 200+200/hdr.SubCount+2 {
+		t.Errorf("merged p50 = %d, want ~200", p)
+	}
+}
+
+func TestRingRecycling(t *testing.T) {
+	clock := simtime.NewSim(simtime.Epoch)
+	o := testObservatory(clock) // 4 slots: 3 closed windows visible
+	s := o.Sketch("lat", "ms")
+	for i := 0; i < 6; i++ {
+		s.Record(int64(100 * (i + 1)))
+		clock.Advance(10 * time.Second)
+		o.Rotate()
+	}
+	snap := o.Snapshot(0, 0)
+	if len(snap.Recent) != 3 {
+		t.Fatalf("recent windows = %d, want 3 (ring of 4)", len(snap.Recent))
+	}
+	// Newest-first: windows held samples 600, 500, 400; older ones were
+	// recycled.
+	for i, want := range []int64{600, 500, 400} {
+		if got := snap.Recent[i].Sketches["lat"].Max; got != want {
+			t.Errorf("recent[%d] max = %d, want %d", i, got, want)
+		}
+	}
+	if snap.Recent[0].Seq != 6 {
+		t.Errorf("newest closed seq = %d, want 6", snap.Recent[0].Seq)
+	}
+}
+
+func TestCumulativeDeltas(t *testing.T) {
+	clock := simtime.NewSim(simtime.Epoch)
+	o := testObservatory(clock)
+	var total uint64 = 40 // pre-existing count at registration
+	o.Cumulative("checks", func() uint64 { return total })
+
+	// Registration must not report the pre-existing total as a delta.
+	if got := o.Snapshot(0, 0).Current.Counters["checks"]; got != 0 {
+		t.Errorf("delta at registration = %d, want 0", got)
+	}
+
+	total += 7
+	if got := o.Snapshot(0, 0).Current.Counters["checks"]; got != 7 {
+		t.Errorf("open-window live delta = %d, want 7", got)
+	}
+
+	clock.Advance(10 * time.Second)
+	o.Rotate()
+	total += 5
+	snap := o.Snapshot(0, 0)
+	if got := snap.Recent[0].Counters["checks"]; got != 7 {
+		t.Errorf("closed window delta = %d, want 7", got)
+	}
+	if got := snap.Current.Counters["checks"]; got != 5 {
+		t.Errorf("new open window delta = %d, want 5", got)
+	}
+	if got := snap.Merged.Counters["checks"]; got != 12 {
+		t.Errorf("merged delta = %d, want 12", got)
+	}
+	if got := o.mergedCounter("checks"); got != 12 {
+		t.Errorf("mergedCounter = %d, want 12", got)
+	}
+}
+
+func TestTopKErrorBounds(t *testing.T) {
+	clock := simtime.NewSim(simtime.Epoch)
+	// One stripe so the whole set is one Space-Saving table of capacity
+	// 4×3=12 and the bound is easy to state.
+	o := New(Config{Window: time.Minute, Windows: 2, TopK: 3, TopKStripes: 1, Clock: clock})
+	k := o.TopK("clients")
+
+	truth := map[string]uint64{}
+	observe := func(key string, n int) {
+		for i := 0; i < n; i++ {
+			k.Observe(key)
+			truth[key]++
+		}
+	}
+	observe("heavy-1", 500)
+	observe("heavy-2", 300)
+	for i := 0; i < 40; i++ {
+		observe(strings.Repeat("x", 1+i%7)+string(rune('a'+i%26)), 3)
+	}
+	observe("heavy-3", 200)
+
+	entries, total := k.collect(0, nil)
+	if want := uint64(500 + 300 + 200 + 120); total != want {
+		t.Fatalf("stripe total = %d, want %d", total, want)
+	}
+	found := map[string]ssEntry{}
+	for _, e := range entries {
+		found[e.key] = e
+		// Space-Saving guarantee: true ≤ estimate ≤ true + err.
+		if tr := truth[e.key]; e.count < tr || e.count > tr+e.err {
+			t.Errorf("%s: estimate %d err %d outside [%d, %d+%d]", e.key, e.count, e.err, tr, tr, e.err)
+		}
+	}
+	// Any key with true count > total/capacity is guaranteed monitored.
+	for _, heavy := range []string{"heavy-1", "heavy-2", "heavy-3"} {
+		if truth[heavy] > total/12 {
+			if _, ok := found[heavy]; !ok {
+				t.Errorf("%s (true %d > %d/12) not monitored", heavy, truth[heavy], total)
+			}
+		}
+	}
+}
+
+// TestTopKAdversarialRotation is the Cutwail scenario: a botnet
+// rotating through thousands of one-shot client IPs must not evict the
+// steady benign MTA from the monitored set — Space-Saving eviction
+// takes the minimum-count entry, and the steady key's count stays above
+// every fresh rotator's inherited min+1.
+func TestTopKAdversarialRotation(t *testing.T) {
+	clock := simtime.NewSim(simtime.Epoch)
+	o := New(Config{Window: time.Minute, Windows: 2, TopK: 10, TopKStripes: 1, Clock: clock})
+	k := o.TopK("clients")
+
+	steady := "203.0.113.25" // the benign MTA: one delivery per round
+	rotations := 10000
+	for i := 0; i < rotations; i++ {
+		k.Observe(steady)
+		// A fresh rotator IP, never seen again.
+		k.Observe("10." + string(rune('0'+i%10)) + "." + itoa(i/256%256) + "." + itoa(i%256) + ":" + itoa(i))
+	}
+
+	entries, _ := k.collect(0, nil)
+	var got *ssEntry
+	for i := range entries {
+		if entries[i].key == steady {
+			got = &entries[i]
+			break
+		}
+	}
+	if got == nil {
+		t.Fatalf("steady MTA evicted by %d one-shot rotators", rotations)
+	}
+	if got.count < uint64(rotations) {
+		t.Errorf("steady MTA estimate %d understates true %d", got.count, rotations)
+	}
+	if got.count > uint64(rotations)+got.err {
+		t.Errorf("steady MTA estimate %d exceeds true %d + err %d", got.count, rotations, got.err)
+	}
+	// And it must surface as the top entry of the rendered snapshot.
+	snap := o.Snapshot(0, 1)
+	top := snap.Current.TopK["clients"]
+	if len(top) == 0 || top[0].Key != steady {
+		t.Errorf("snapshot top entry = %+v, want %s first", top, steady)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+func TestHealthy(t *testing.T) {
+	clock := simtime.NewSim(simtime.Epoch)
+	o := testObservatory(clock)
+	if err := o.Healthy(); err == nil {
+		t.Error("Healthy before Start: want error, got nil")
+	}
+	o.Start()
+	defer o.Stop()
+	if err := o.Healthy(); err != nil {
+		t.Errorf("Healthy after Start: %v", err)
+	}
+	// Rotation keeps it fresh even as virtual time advances.
+	clock.Advance(15 * time.Second)
+	o.Rotate()
+	clock.Advance(15 * time.Second)
+	if err := o.Healthy(); err != nil {
+		t.Errorf("Healthy within 2 windows of a rotation: %v", err)
+	}
+	clock.Advance(30 * time.Second)
+	if err := o.Healthy(); err == nil {
+		t.Error("Healthy with a stale ring: want error, got nil")
+	}
+}
+
+func TestGreylistObserverEndToEnd(t *testing.T) {
+	clock := simtime.NewSim(simtime.Epoch)
+	o := testObservatory(clock)
+	g := greylist.New(greylist.DefaultPolicy(), clock)
+	g.SetObserver(o.Greylist())
+	o.WatchGreylist(g.Stats)
+
+	trip := greylist.Triplet{ClientIP: "198.51.100.7", Sender: "news@bulk.example", Recipient: "user@victim.example"}
+	if v := g.Check(trip); v.Decision != greylist.Defer {
+		t.Fatalf("first check = %v, want Defer", v.Decision)
+	}
+	clock.Advance(301 * time.Second)
+	if v := g.Check(trip); v.Reason != greylist.ReasonRetryAccepted {
+		t.Fatalf("retry reason = %v, want RetryAccepted", v.Reason)
+	}
+
+	snap := o.Snapshot(0, 0)
+	cur := snap.Current
+	if got := cur.Sketches[SketchCheckLatency].Count; got != 2 {
+		t.Errorf("latency sketch count = %d, want 2", got)
+	}
+	rd := cur.Sketches[SketchRetryDelay]
+	if rd.Count != 1 {
+		t.Fatalf("retry-delay count = %d, want 1", rd.Count)
+	}
+	// 301s recorded in ms; the quantile is an upper bucket edge capped
+	// at the exact max.
+	if rd.Max != 301_000 || rd.P99 != 301_000 {
+		t.Errorf("retry-delay max/p99 = %d/%d, want 301000", rd.Max, rd.P99)
+	}
+	wantTop := func(set, key string, count uint64) {
+		t.Helper()
+		entries := cur.TopK[set]
+		if len(entries) != 1 || entries[0].Key != key || entries[0].Count != count {
+			t.Errorf("topk %s = %+v, want [{%s %d 0}]", set, entries, key, count)
+		}
+	}
+	wantTop(TopClientsDeferred, "198.51.100.7", 1)
+	wantTop(TopClientsPassed, "198.51.100.7", 1)
+	wantTop(TopSendersDeferred, "bulk.example", 1)
+	wantTop(TopSendersPassed, "bulk.example", 1)
+	if got := cur.Counters["greylist.checks"]; got != 2 {
+		t.Errorf("greylist.checks delta = %d, want 2", got)
+	}
+	if got := cur.Counters["greylist.passed.retry"]; got != 1 {
+		t.Errorf("greylist.passed.retry delta = %d, want 1", got)
+	}
+}
+
+func TestHandlerServesVersionedJSON(t *testing.T) {
+	clock := simtime.NewSim(simtime.Epoch)
+	o := testObservatory(clock)
+	o.Sketch("lat", "ms").Record(42)
+	ts := httptest.NewServer(o.Handler())
+	defer ts.Close()
+
+	resp, err := ts.Client().Get(ts.URL + "/?windows=2&k=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var snap Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Version != SnapshotVersion {
+		t.Errorf("version = %d, want %d", snap.Version, SnapshotVersion)
+	}
+	if got := snap.Current.Sketches["lat"].Count; got != 1 {
+		t.Errorf("lat count over HTTP = %d, want 1", got)
+	}
+
+	post, err := ts.Client().Post(ts.URL, "text/plain", strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	post.Body.Close()
+	if post.StatusCode != 405 {
+		t.Errorf("POST status = %d, want 405", post.StatusCode)
+	}
+}
+
+// TestMetricsStableNames pins the obs_* exposition names: dashboards
+// key on them, so renames are breaking changes.
+func TestMetricsStableNames(t *testing.T) {
+	clock := simtime.NewSim(simtime.Epoch)
+	o := testObservatory(clock)
+	o.Sketch("greylist_retry_delay", "ms").Record(500)
+	o.TopK("clients_passed").Observe("198.51.100.7")
+	o.Cumulative("greylist.checks", func() uint64 { return 3 })
+
+	reg := metrics.NewRegistry()
+	o.Register(reg)
+	var b strings.Builder
+	if err := reg.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, want := range []string{
+		"obs_window_seconds 10",
+		"obs_windows 4",
+		"obs_rotations_total 0",
+		`obs_sketch_window_count{sketch="greylist_retry_delay"} 1`,
+		`obs_sketch_quantile{sketch="greylist_retry_delay",q="0.5"}`,
+		`obs_sketch_quantile{sketch="greylist_retry_delay",q="0.99"}`,
+		`obs_counter_window{counter="greylist.checks"}`,
+		`obs_topk_tracked{set="clients_passed"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}

@@ -1,0 +1,292 @@
+package obs
+
+import (
+	"sort"
+
+	"repro/internal/hdr"
+)
+
+// Snapshot is the versioned /observatory payload: the open window,
+// the most recent closed windows (newest first), and a merged rollup
+// across all of them.
+type Snapshot struct {
+	Version       int      `json:"version"`
+	WindowNs      int64    `json:"window_ns"`
+	Windows       int      `json:"windows"`
+	NowUnixNs     int64    `json:"now_unix_ns"`
+	Rotations     uint64   `json:"rotations"`
+	RelativeError float64  `json:"sketch_relative_error"`
+	Current       Window   `json:"current"`
+	Recent        []Window `json:"recent"`
+	Merged        Window   `json:"merged"`
+}
+
+// Window is one rollup window (or the merged view across several).
+type Window struct {
+	Seq         uint64                `json:"seq"`
+	StartUnixNs int64                 `json:"start_unix_ns"`
+	EndUnixNs   int64                 `json:"end_unix_ns,omitempty"` // 0 while open
+	Counters    map[string]uint64     `json:"counters"`
+	Sketches    map[string]SketchView `json:"sketches"`
+	TopK        map[string][]TopEntry `json:"topk"`
+}
+
+// SketchView summarizes one sketch over a window. Values are in the
+// sketch's unit; quantiles are bucket upper edges capped by the exact
+// max (they never understate).
+type SketchView struct {
+	Unit  string `json:"unit"`
+	Count uint64 `json:"count"`
+	Mean  int64  `json:"mean"`
+	Max   int64  `json:"max"`
+	P50   int64  `json:"p50"`
+	P90   int64  `json:"p90"`
+	P99   int64  `json:"p99"`
+	P999  int64  `json:"p999"`
+}
+
+// TopEntry is one heavy hitter: Count overestimates the key's true
+// frequency by at most ErrMax (Space-Saving guarantee), so the true
+// count lies in [Count-ErrMax, Count].
+type TopEntry struct {
+	Key    string `json:"key"`
+	Count  uint64 `json:"count"`
+	ErrMax uint64 `json:"err_max"`
+}
+
+// windowData is one slot's raw gathered state, pre-rendering.
+type windowData struct {
+	seq      uint64
+	startNs  int64
+	endNs    int64
+	sketch   map[string]*hdr.Hist
+	counters map[string]uint64
+	top      map[string][]ssEntry
+	topTotal map[string]uint64
+}
+
+// gather copies slot's state. It returns ok=false when the slot is
+// unused or was recycled mid-read (seq changed underneath the copy).
+func (o *Observatory) gather(slot int, current bool) (windowData, bool) {
+	seq := o.slots[slot].seq.Load()
+	if seq == 0 {
+		return windowData{}, false
+	}
+	d := windowData{
+		seq:      seq,
+		startNs:  o.slots[slot].startNs.Load(),
+		endNs:    o.slots[slot].endNs.Load(),
+		sketch:   make(map[string]*hdr.Hist, len(o.sketches)),
+		counters: make(map[string]uint64, len(o.cums)),
+		top:      make(map[string][]ssEntry, len(o.topks)),
+		topTotal: make(map[string]uint64, len(o.topks)),
+	}
+	for _, s := range o.sketches {
+		h := &hdr.Hist{}
+		s.fold(slot, h)
+		d.sketch[s.name] = h
+	}
+	for _, c := range o.cums {
+		if current {
+			d.counters[c.name] = c.fn() - c.start[slot].Load()
+		} else {
+			d.counters[c.name] = c.delta[slot].Load()
+		}
+	}
+	for _, t := range o.topks {
+		entries, total := t.collect(slot, nil)
+		d.top[t.name] = entries
+		d.topTotal[t.name] = total
+	}
+	if o.slots[slot].seq.Load() != seq {
+		return windowData{}, false
+	}
+	return d, true
+}
+
+// mergeInto folds src into dst (counters sum, sketches merge, top-K
+// entries merge by key with error bounds summing — a key absent from
+// one window contributes nothing there, so the bound stays valid).
+func mergeInto(dst *windowData, src *windowData) {
+	if dst.seq < src.seq {
+		dst.seq = src.seq
+	}
+	if dst.startNs == 0 || (src.startNs != 0 && src.startNs < dst.startNs) {
+		dst.startNs = src.startNs
+	}
+	if src.endNs > dst.endNs {
+		dst.endNs = src.endNs
+	}
+	for name, h := range src.sketch {
+		if cur, ok := dst.sketch[name]; ok {
+			cur.Merge(h)
+		} else {
+			cp := *h
+			dst.sketch[name] = &cp
+		}
+	}
+	for name, v := range src.counters {
+		dst.counters[name] += v
+	}
+	for name, entries := range src.top {
+		dst.topTotal[name] += src.topTotal[name]
+		merged := dst.top[name]
+		for _, e := range entries {
+			found := false
+			for i := range merged {
+				if merged[i].key == e.key {
+					merged[i].count += e.count
+					merged[i].err += e.err
+					found = true
+					break
+				}
+			}
+			if !found {
+				merged = append(merged, e)
+			}
+		}
+		dst.top[name] = merged
+	}
+}
+
+// render converts gathered data into the JSON view, truncating each
+// top-K set to k entries sorted by estimated count.
+func (d *windowData) render(k int, units map[string]string) Window {
+	w := Window{
+		Seq:         d.seq,
+		StartUnixNs: d.startNs,
+		EndUnixNs:   d.endNs,
+		Counters:    d.counters,
+		Sketches:    make(map[string]SketchView, len(d.sketch)),
+		TopK:        make(map[string][]TopEntry, len(d.top)),
+	}
+	for name, h := range d.sketch {
+		w.Sketches[name] = SketchView{
+			Unit:  units[name],
+			Count: h.Count(),
+			Mean:  h.Mean(),
+			Max:   h.Max(),
+			P50:   h.Quantile(0.50),
+			P90:   h.Quantile(0.90),
+			P99:   h.Quantile(0.99),
+			P999:  h.Quantile(0.999),
+		}
+	}
+	for name, entries := range d.top {
+		sort.Slice(entries, func(i, j int) bool {
+			if entries[i].count != entries[j].count {
+				return entries[i].count > entries[j].count
+			}
+			return entries[i].key < entries[j].key
+		})
+		if len(entries) > k {
+			entries = entries[:k]
+		}
+		out := make([]TopEntry, len(entries))
+		for i, e := range entries {
+			out[i] = TopEntry{Key: e.key, Count: e.count, ErrMax: e.err}
+		}
+		w.TopK[name] = out
+	}
+	return w
+}
+
+// Snapshot assembles the observatory's current view: the open window,
+// up to lastN closed windows (newest first; lastN <= 0 means the whole
+// ring), and the merged rollup. k bounds each reported top-K list
+// (<= 0 uses the configured default).
+func (o *Observatory) Snapshot(lastN, k int) Snapshot {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if k <= 0 {
+		k = o.cfg.TopK
+	}
+	if lastN <= 0 || lastN > len(o.slots)-1 {
+		lastN = len(o.slots) - 1
+	}
+	units := make(map[string]string, len(o.sketches))
+	for _, s := range o.sketches {
+		units[s.name] = s.unit
+	}
+
+	snap := Snapshot{
+		Version:       SnapshotVersion,
+		WindowNs:      int64(o.cfg.Window),
+		Windows:       o.cfg.Windows,
+		NowUnixNs:     o.clock.Now().UnixNano(),
+		Rotations:     o.rotations.Load(),
+		RelativeError: hdr.RelativeError,
+	}
+
+	cur := int(o.cur.Load())
+	curData, ok := o.gather(cur, true)
+	if !ok {
+		return snap
+	}
+	snap.Current = curData.render(k, units)
+
+	// The merged rollup needs its own gathered copy: mergeInto mutates
+	// its destination's maps, which render shares with the view above.
+	merged, ok := o.gather(cur, true)
+	if !ok {
+		return snap
+	}
+	// Walk backward over closed slots, newest first.
+	for i := 1; i <= lastN; i++ {
+		slot := (cur - i + len(o.slots)*2) % len(o.slots)
+		d, ok := o.gather(slot, false)
+		if !ok {
+			break
+		}
+		snap.Recent = append(snap.Recent, d.render(k, units))
+		mergeInto(&merged, &d)
+	}
+	snap.Merged = merged.render(k, units)
+	return snap
+}
+
+// mergedSketch folds one sketch across the whole ring — the cheap path
+// backing the Prometheus summary lines, which don't need counters or
+// top-K gathered.
+func (o *Observatory) mergedSketch(name string) hdr.Hist {
+	o.mu.Lock()
+	var s *Sketch
+	for _, c := range o.sketches {
+		if c.name == name {
+			s = c
+			break
+		}
+	}
+	o.mu.Unlock()
+	var h hdr.Hist
+	if s == nil {
+		return h
+	}
+	for slot := range s.ring {
+		if o.slots[slot].seq.Load() != 0 {
+			s.fold(slot, &h)
+		}
+	}
+	return h
+}
+
+// mergedCounter sums one counter's deltas across the whole ring,
+// including the open window's live delta.
+func (o *Observatory) mergedCounter(name string) uint64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for _, c := range o.cums {
+		if c.name != name {
+			continue
+		}
+		cur := int(o.cur.Load())
+		total := c.fn() - c.start[cur].Load()
+		for slot := range c.delta {
+			if slot != cur && o.slots[slot].seq.Load() != 0 {
+				total += c.delta[slot].Load()
+			}
+		}
+		return total
+	}
+	return 0
+}

@@ -1,0 +1,110 @@
+package obs
+
+import "sync"
+
+// TopK is a windowed Space-Saving heavy-hitter set. Every key hashes
+// to exactly one stripe, so each stripe runs the classic single-table
+// algorithm independently (per-shard accumulation) and a read simply
+// concatenates stripes — no cross-stripe merging is ever needed.
+//
+// The Space-Saving invariants hold per stripe: a monitored key's
+// estimated count never understates its true count and overstates it
+// by at most the entry's err (the evicted minimum it inherited), and
+// any key whose true count exceeds the stripe's observation total
+// divided by the stripe capacity is guaranteed to be monitored. A
+// steady heavy key can never be evicted by a rotating swarm of
+// one-shot keys: eviction always takes the minimum-count entry, and
+// the steady key's count stays above every fresh rotator's min+1.
+//
+// Observing an already-monitored key is allocation-free (a map hit and
+// an increment under the stripe's mutex); only first sightings insert.
+type TopK struct {
+	o    *Observatory
+	name string
+	cap  int    // monitored keys per stripe
+	mask uint32 // stripe index mask (power-of-two stripes)
+	ring []topkWin
+}
+
+type topkWin struct {
+	stripes []topkStripe
+}
+
+type topkStripe struct {
+	mu      sync.Mutex
+	idx     map[string]int // key → entries index, nil until first use
+	entries []ssEntry
+	total   uint64 // observations folded into this stripe
+}
+
+// ssEntry is one monitored key: count overestimates the key's true
+// frequency by at most err.
+type ssEntry struct {
+	key   string
+	count uint64
+	err   uint64
+}
+
+// Name returns the set's registered name.
+func (t *TopK) Name() string { return t.name }
+
+// Observe counts one occurrence of key in the current window.
+func (t *TopK) Observe(key string) {
+	st := &t.ring[t.o.cur.Load()].stripes[fnv32a(key)&t.mask]
+	st.mu.Lock()
+	st.total++
+	if st.idx == nil {
+		st.idx = make(map[string]int, t.cap)
+	}
+	if i, ok := st.idx[key]; ok {
+		st.entries[i].count++
+	} else if len(st.entries) < t.cap {
+		st.idx[key] = len(st.entries)
+		st.entries = append(st.entries, ssEntry{key: key, count: 1})
+	} else {
+		// Space-Saving eviction: replace the minimum-count entry; the
+		// newcomer inherits min as its error bound and min+1 as its
+		// estimate.
+		m := 0
+		for i := range st.entries {
+			if st.entries[i].count < st.entries[m].count {
+				m = i
+			}
+		}
+		e := &st.entries[m]
+		delete(st.idx, e.key)
+		e.err = e.count
+		e.count++
+		e.key = key
+		st.idx[key] = m
+	}
+	st.mu.Unlock()
+}
+
+// collect appends copies of slot's monitored entries to dst and
+// returns it along with the slot's observation total.
+func (t *TopK) collect(slot int, dst []ssEntry) ([]ssEntry, uint64) {
+	var total uint64
+	for i := range t.ring[slot].stripes {
+		st := &t.ring[slot].stripes[i]
+		st.mu.Lock()
+		dst = append(dst, st.entries...)
+		total += st.total
+		st.mu.Unlock()
+	}
+	return dst, total
+}
+
+// reset clears a recycled window slot (rotation only).
+func (w *topkWin) reset() {
+	for i := range w.stripes {
+		st := &w.stripes[i]
+		st.mu.Lock()
+		for k := range st.idx {
+			delete(st.idx, k)
+		}
+		st.entries = st.entries[:0]
+		st.total = 0
+		st.mu.Unlock()
+	}
+}

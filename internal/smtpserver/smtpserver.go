@@ -175,12 +175,33 @@ type Server struct {
 	ehloTail    []byte
 	ehloTailTLS []byte
 
+	// outcomes counts finished sessions by outcome class (delivered /
+	// deferred / no-delivery, the sessionOutcome classification),
+	// atomically so the observatory can poll them without the stats
+	// mutex.
+	outcomes [3]atomic.Uint64
+
 	mu        sync.Mutex
 	stats     Stats
 	closed    bool
 	conns     map[net.Conn]struct{}
 	wg        sync.WaitGroup
 	listeners []net.Listener
+}
+
+// Session-outcome classes, indexing OutcomeCounts.
+const (
+	OutcomeDelivered = iota // at least one message accepted
+	OutcomeDeferred         // no delivery, at least one 4xx reply
+	OutcomeNone             // no delivery, no transient pushback
+)
+
+// OutcomeCounts returns cumulative finished-session counts by class:
+// delivered, deferred, no-delivery.
+func (s *Server) OutcomeCounts() (delivered, deferred, none uint64) {
+	return s.outcomes[OutcomeDelivered].Load(),
+		s.outcomes[OutcomeDeferred].Load(),
+		s.outcomes[OutcomeNone].Load()
 }
 
 // New returns a Server with the given configuration.
@@ -371,6 +392,16 @@ func (s *Server) serveConn(conn net.Conn) {
 	// Replies suppressed by the pipelining rule must hit the wire
 	// before the connection closes.
 	sess.bw.Flush()
+	// Outcome accounting mirrors sessionOutcome's classification but
+	// runs for every session, traced or not.
+	switch {
+	case sess.trace.MessagesSent > 0:
+		s.outcomes[OutcomeDelivered].Add(1)
+	case sess.replies4xx > 0:
+		s.outcomes[OutcomeDeferred].Add(1)
+	default:
+		s.outcomes[OutcomeNone].Add(1)
+	}
 	hook := s.cfg.Hooks.OnSessionEnd
 	if hook != nil {
 		// The hook may retain the trace (dialect.Collector does), so it
